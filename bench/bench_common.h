@@ -1,0 +1,114 @@
+// Shared environment for the figure/table reproduction benches.
+//
+// Every bench binary builds the same SWISS-PROT-shaped protein database
+// (see DESIGN.md §2), packs the suffix tree into a temp directory, prepares
+// the ProClass-shaped motif query workload, and prints a paper-style table.
+//
+// Scaling knobs (environment variables):
+//   OASIS_DB_RESIDUES   database size in residues   (default 1000000)
+//   OASIS_NUM_QUERIES   number of motif queries      (default 50)
+//   OASIS_POOL_MB       buffer pool size in MiB      (default 64)
+//   OASIS_SEED          workload seed                (default 42)
+//
+// Absolute numbers depend on the machine; the *shape* of each table is what
+// reproduces the paper (EXPERIMENTS.md records both).
+
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oasis.h"
+#include "score/karlin.h"
+#include "seq/database.h"
+#include "storage/buffer_pool.h"
+#include "suffix/packed_builder.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/timer.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace bench {
+
+struct BenchEnv {
+  std::unique_ptr<seq::SequenceDatabase> db;
+  std::unique_ptr<util::TempDir> dir;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<suffix::PackedSuffixTree> tree;
+  std::vector<workload::MotifQuery> queries;
+  score::KarlinParams karlin;
+  const score::SubstitutionMatrix* matrix = nullptr;
+
+  uint64_t db_residues() const { return db->num_residues(); }
+};
+
+/// Builds the standard protein bench environment. Aborts on failure (benches
+/// have no meaningful degraded mode).
+inline BenchEnv MakeProteinEnv(uint64_t pool_bytes_override = 0) {
+  BenchEnv env;
+  env.matrix = &score::SubstitutionMatrix::Pam30();
+
+  workload::ProteinDatabaseOptions db_options;
+  db_options.target_residues =
+      static_cast<uint64_t>(util::EnvInt64("OASIS_DB_RESIDUES", 1000000));
+  db_options.seed = static_cast<uint64_t>(util::EnvInt64("OASIS_SEED", 42));
+  auto db = workload::GenerateProteinDatabase(db_options);
+  OASIS_CHECK(db.ok()) << db.status().ToString();
+  env.db = std::make_unique<seq::SequenceDatabase>(std::move(db).value());
+
+  env.dir = std::make_unique<util::TempDir>("bench");
+  uint64_t pool_bytes =
+      pool_bytes_override != 0
+          ? pool_bytes_override
+          : static_cast<uint64_t>(util::EnvInt64("OASIS_POOL_MB", 64)) << 20;
+  env.pool = std::make_unique<storage::BufferPool>(pool_bytes);
+  auto tree = suffix::BuildAndOpenPacked(*env.db, env.dir->path(),
+                                         env.pool.get());
+  OASIS_CHECK(tree.ok()) << tree.status().ToString();
+  env.tree = std::move(tree).value();
+
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries =
+      static_cast<uint32_t>(util::EnvInt64("OASIS_NUM_QUERIES", 50));
+  q_options.seed = db_options.seed;
+  auto queries =
+      workload::GenerateMotifQueries(*env.db, *env.matrix, q_options);
+  OASIS_CHECK(queries.ok()) << queries.status().ToString();
+  env.queries = std::move(queries).value();
+
+  auto karlin = score::ComputeKarlinParams(*env.matrix);
+  OASIS_CHECK(karlin.ok()) << karlin.status().ToString();
+  env.karlin = *karlin;
+  return env;
+}
+
+/// Buckets query indices by length (paper figures plot vs query length).
+inline std::map<uint32_t, std::vector<size_t>> BucketByLength(
+    const std::vector<workload::MotifQuery>& queries, uint32_t bucket = 8) {
+  std::map<uint32_t, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    uint32_t len = static_cast<uint32_t>(queries[i].symbols.size());
+    buckets[(len / bucket) * bucket].push_back(i);
+  }
+  return buckets;
+}
+
+inline void PrintHeader(const char* title, const BenchEnv& env) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("database: %llu residues, %zu sequences; matrix: %s; "
+              "queries: %zu (len %s)\n",
+              static_cast<unsigned long long>(env.db_residues()),
+              env.db->num_sequences(), env.matrix->name().c_str(),
+              env.queries.size(), "6-56, ProClass-shaped");
+  std::printf("lambda=%.4f K=%.4f H=%.4f\n", env.karlin.lambda, env.karlin.K,
+              env.karlin.H);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace oasis

@@ -1,0 +1,80 @@
+// Figure 4: filtering efficiency — number of DP columns expanded by OASIS
+// vs Smith-Waterman, per query length, E = 20000.
+//
+// Expected shape (paper §4.3): OASIS expands a few percent of S-W's
+// columns on average (paper: 3.9% mean, 18.5% worst case), growing with
+// query length.
+
+#include <algorithm>
+
+#include "align/smith_waterman.h"
+#include "bench_common.h"
+
+namespace oasis {
+namespace bench {
+namespace {
+
+int Run() {
+  BenchEnv env = MakeProteinEnv();
+  PrintHeader("Figure 4: columns expanded, OASIS vs S-W, E=20000", env);
+
+  core::OasisSearch search(env.tree.get(), env.matrix);
+
+  struct Row {
+    uint64_t oasis_cols = 0;
+    uint64_t sw_cols = 0;
+    int count = 0;
+  };
+  std::map<uint32_t, Row> rows;
+  double worst_pct = 0.0;
+  double sum_pct = 0.0;
+  int n = 0;
+
+  for (const auto& q : env.queries) {
+    const uint32_t len = static_cast<uint32_t>(q.symbols.size());
+    score::ScoreT min_score = score::MinScoreForEValue(
+        env.karlin, 20000.0, len, env.db_residues());
+
+    core::OasisOptions options;
+    options.min_score = min_score;
+    core::OasisStats stats;
+    auto results = search.SearchAll(q.symbols, options, &stats);
+    OASIS_CHECK(results.ok());
+
+    // S-W expands one column per database residue, independent of query.
+    const uint64_t sw_cols = env.db_residues();
+
+    Row& row = rows[(len / 8) * 8];
+    row.oasis_cols += stats.columns_expanded;
+    row.sw_cols += sw_cols;
+    ++row.count;
+
+    double pct = 100.0 * static_cast<double>(stats.columns_expanded) /
+                 static_cast<double>(sw_cols);
+    worst_pct = std::max(worst_pct, pct);
+    sum_pct += pct;
+    ++n;
+  }
+
+  std::printf("%-12s %8s %16s %16s %10s\n", "query_len", "queries",
+              "OASIS columns", "S-W columns", "OASIS/S-W");
+  for (const auto& [bucket, row] : rows) {
+    std::printf("%3u-%-8u %8d %16.0f %16.0f %9.2f%%\n", bucket, bucket + 7,
+                row.count,
+                static_cast<double>(row.oasis_cols) / row.count,
+                static_cast<double>(row.sw_cols) / row.count,
+                100.0 * static_cast<double>(row.oasis_cols) /
+                    static_cast<double>(row.sw_cols));
+  }
+  std::printf("\nmean per-query ratio: %.2f%%   worst case: %.2f%%\n",
+              sum_pct / n, worst_pct);
+  std::printf("paper shape check: mean ~3.9%%, worst ~18.5%% (scale-dependent;"
+              " must stay far below 100%%)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oasis
+
+int main() { return oasis::bench::Run(); }

@@ -1,0 +1,65 @@
+// Figure 7: effect of buffer pool size — OASIS mean query time as the pool
+// shrinks from "whole index resident" down to a small fraction of it.
+//
+// Expected shape (paper §4.5): flat while the index fits; degrading as the
+// pool shrinks below the tree size (paper: +57.5% at a quarter of the
+// tree). The pool is cleared between sweep points so each point starts
+// cold and warms over the workload, as in the paper's per-workload means.
+
+#include "bench_common.h"
+
+namespace oasis {
+namespace bench {
+namespace {
+
+int Run() {
+  BenchEnv env = MakeProteinEnv();
+  PrintHeader("Figure 7: mean query time vs buffer pool size, E=20000", env);
+
+  const uint64_t index_bytes = env.tree->index_bytes();
+  std::printf("index size: %.2f MiB\n\n",
+              static_cast<double>(index_bytes) / (1 << 20));
+
+  // Sweep pool sizes as fractions of the index, mirroring the paper's
+  // 32M..512M axis on the 500MB tree.
+  const double fractions[] = {1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1.0, 1.25};
+
+  std::printf("%-16s %14s %14s %12s\n", "pool (MiB)", "pool/index",
+              "mean time (s)", "hit ratio");
+  double base_time = -1.0;
+  for (double fraction : fractions) {
+    uint64_t pool_bytes =
+        static_cast<uint64_t>(static_cast<double>(index_bytes) * fraction);
+    // Reopen everything with this pool size (fresh, cold pool).
+    storage::BufferPool pool(pool_bytes);
+    auto tree = suffix::PackedSuffixTree::Open(env.dir->path(), &pool);
+    OASIS_CHECK(tree.ok()) << tree.status().ToString();
+    core::OasisSearch search(tree->get(), env.matrix);
+
+    util::Timer timer;
+    for (const auto& q : env.queries) {
+      score::ScoreT min_score = score::MinScoreForEValue(
+          env.karlin, 20000.0, q.symbols.size(), env.db_residues());
+      core::OasisOptions options;
+      options.min_score = min_score;
+      auto results = search.SearchAll(q.symbols, options);
+      OASIS_CHECK(results.ok());
+    }
+    double mean = timer.ElapsedSeconds() / env.queries.size();
+    if (fraction >= 1.0 && base_time < 0) base_time = mean;
+
+    storage::SegmentStats total = pool.TotalStats();
+    std::printf("%-16.2f %14.2f %14.4f %12.3f\n",
+                static_cast<double>(pool.capacity_bytes()) / (1 << 20),
+                fraction, mean, total.hit_ratio());
+  }
+  std::printf("\npaper shape check: time degrades as pool/index drops below "
+              "1 (paper: +57.5%% at 1/4)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oasis
+
+int main() { return oasis::bench::Run(); }

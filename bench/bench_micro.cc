@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark): component-level throughput numbers
+// that contextualize the figure benches — suffix-tree construction,
+// partitioned construction, buffer pool fetches, S-W cell rate and OASIS
+// query rate vs threshold.
+
+#include <benchmark/benchmark.h>
+
+#include "align/smith_waterman.h"
+#include "core/oasis.h"
+#include "storage/buffer_pool.h"
+#include "suffix/packed_builder.h"
+#include "suffix/partitioned_builder.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+seq::SequenceDatabase MakeDb(uint64_t residues, uint64_t seed = 42) {
+  workload::ProteinDatabaseOptions options;
+  options.target_residues = residues;
+  options.seed = seed;
+  auto db = workload::GenerateProteinDatabase(options);
+  OASIS_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+void BM_UkkonenConstruction(benchmark::State& state) {
+  seq::SequenceDatabase db = MakeDb(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto tree = suffix::SuffixTree::BuildUkkonen(db);
+    OASIS_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree->num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(db.total_length()));
+}
+BENCHMARK(BM_UkkonenConstruction)->Arg(1 << 14)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_PartitionedConstruction(benchmark::State& state) {
+  seq::SequenceDatabase db = MakeDb(1 << 15);
+  suffix::PartitionedBuildOptions options;
+  options.max_suffixes_per_pass = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto tree = suffix::BuildPartitioned(db, options);
+    OASIS_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree->num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(db.total_length()));
+}
+BENCHMARK(BM_PartitionedConstruction)->Arg(1 << 12)->Arg(1 << 20);
+
+void BM_BufferPoolFetchHit(benchmark::State& state) {
+  util::TempDir dir("mb");
+  seq::SequenceDatabase db = MakeDb(1 << 15);
+  auto tree = suffix::SuffixTree::BuildUkkonen(db);
+  OASIS_CHECK(tree.ok());
+  OASIS_CHECK(suffix::PackSuffixTree(*tree, dir.path()).ok());
+  storage::BufferPool pool(64 << 20);
+  auto packed = suffix::PackedSuffixTree::Open(dir.path(), &pool);
+  OASIS_CHECK(packed.ok());
+  uint64_t pos = 0;
+  for (auto _ : state) {
+    auto page = pool.Fetch((*packed)->symbols_segment(),
+                           pos % (*packed)->total_length() / 2048);
+    OASIS_CHECK(page.ok());
+    benchmark::DoNotOptimize(page->data());
+    ++pos;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolFetchHit);
+
+void BM_SmithWatermanCells(benchmark::State& state) {
+  seq::SequenceDatabase db = MakeDb(1 << 14);
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries = 1;
+  q_options.min_length = 16;
+  q_options.max_length = 16;
+  auto queries = workload::GenerateMotifQueries(
+      db, score::SubstitutionMatrix::Pam30(), q_options);
+  OASIS_CHECK(queries.ok());
+  const auto& q = (*queries)[0].symbols;
+  for (auto _ : state) {
+    align::AlignStats stats;
+    auto hits = align::ScanDatabase(q, db, score::SubstitutionMatrix::Pam30(),
+                                    1, &stats);
+    benchmark::DoNotOptimize(hits.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(db.num_residues()) *
+                          static_cast<int64_t>(q.size()));
+}
+BENCHMARK(BM_SmithWatermanCells);
+
+void BM_OasisQuery(benchmark::State& state) {
+  static util::TempDir dir("mo");
+  static seq::SequenceDatabase db = MakeDb(1 << 16);
+  static storage::BufferPool pool(64 << 20);
+  static auto packed = [] {
+    auto t = suffix::BuildAndOpenPacked(db, dir.path(), &pool);
+    OASIS_CHECK(t.ok());
+    return std::move(t).value();
+  }();
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries = 1;
+  q_options.min_length = 12;
+  q_options.max_length = 12;
+  auto queries = workload::GenerateMotifQueries(
+      db, score::SubstitutionMatrix::Pam30(), q_options);
+  OASIS_CHECK(queries.ok());
+  const auto& q = (*queries)[0].symbols;
+
+  core::OasisSearch search(packed.get(), &score::SubstitutionMatrix::Pam30());
+  core::OasisOptions options;
+  options.min_score = static_cast<score::ScoreT>(state.range(0));
+  for (auto _ : state) {
+    auto results = search.SearchAll(q, options);
+    OASIS_CHECK(results.ok());
+    benchmark::DoNotOptimize(results->size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OasisQuery)->Arg(30)->Arg(45)->Arg(60);
+
+}  // namespace
+}  // namespace oasis
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Space-utilization table (paper §4.2): index size and bytes per symbol for
+// the packed suffix tree, across database sizes, with the per-file
+// breakdown (symbols / internal nodes / leaves).
+//
+// Expected shape: bytes/symbol roughly constant across database sizes and
+// in the low tens (the paper reports 12.5 B/symbol, "comparable to the
+// most compact suffix tree representations").
+
+#include <filesystem>
+
+#include "bench_common.h"
+#include "suffix/packed_builder.h"
+
+namespace oasis {
+namespace bench {
+namespace {
+
+uint64_t FileBytes(const std::string& path) {
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<uint64_t>(size);
+}
+
+int Run() {
+  std::printf("==================================================================\n");
+  std::printf("Space-utilization table (paper S4.2): packed suffix tree\n");
+  std::printf("==================================================================\n");
+  std::printf("%-14s %10s %12s %12s %12s %12s %10s\n", "residues", "seqs",
+              "symbols(B)", "internal(B)", "leaves(B)", "total(B)", "B/sym");
+
+  const uint64_t base =
+      static_cast<uint64_t>(util::EnvInt64("OASIS_DB_RESIDUES", 200000));
+  for (uint64_t residues : {base / 4, base / 2, base}) {
+    workload::ProteinDatabaseOptions options;
+    options.target_residues = residues;
+    options.seed = static_cast<uint64_t>(util::EnvInt64("OASIS_SEED", 42));
+    auto db = workload::GenerateProteinDatabase(options);
+    OASIS_CHECK(db.ok());
+
+    util::TempDir dir("space");
+    auto tree = suffix::SuffixTree::BuildUkkonen(*db);
+    OASIS_CHECK(tree.ok()) << tree.status().ToString();
+    OASIS_CHECK(suffix::PackSuffixTree(*tree, dir.path()).ok());
+
+    uint64_t sym = FileBytes(dir.File(suffix::PackedTreeFiles::kSymbols));
+    uint64_t internal = FileBytes(dir.File(suffix::PackedTreeFiles::kInternal));
+    uint64_t leaves = FileBytes(dir.File(suffix::PackedTreeFiles::kLeaves));
+    uint64_t total = sym + internal + leaves +
+                     FileBytes(dir.File(suffix::PackedTreeFiles::kMeta));
+    std::printf("%-14llu %10zu %12llu %12llu %12llu %12llu %10.2f\n",
+                static_cast<unsigned long long>(db->num_residues()),
+                db->num_sequences(), static_cast<unsigned long long>(sym),
+                static_cast<unsigned long long>(internal),
+                static_cast<unsigned long long>(leaves),
+                static_cast<unsigned long long>(total),
+                static_cast<double>(total) /
+                    static_cast<double>(db->num_residues()));
+  }
+  std::printf("\npaper shape check: ~constant bytes/symbol, same order as the "
+              "paper's 12.5 B/symbol\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oasis
+
+int main() { return oasis::bench::Run(); }

@@ -1,0 +1,173 @@
+// oasis_cli: a small command-line front end over the library.
+//
+//   oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]
+//   oasis_cli search <db.fasta> <index_dir> <QUERYRESIDUES>
+//              [--dna|--protein] [--evalue E | --minscore S]
+//              [--top K] [--pool-mb MB] [--alignments]
+//
+// `index` builds the packed suffix tree from a FASTA file; `search` runs an
+// online OASIS query against a previously built index. The FASTA file is
+// reloaded for search because result reporting needs sequence ids (the
+// packed index stores only offsets; a production deployment would keep a
+// sequence catalog next to the index).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/oasis.h"
+#include "core/report.h"
+#include "seq/fasta.h"
+#include "suffix/packed_builder.h"
+#include "util/timer.h"
+
+using namespace oasis;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]\n"
+      "  oasis_cli search <db.fasta> <index_dir> <QUERY> [--dna|--protein]\n"
+      "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
+      "             [--alignments]\n");
+  return 2;
+}
+
+struct Args {
+  std::string command, fasta, index_dir, query;
+  bool dna = false;
+  double evalue = 10.0;
+  score::ScoreT min_score = 0;  // 0 = derive from evalue
+  uint64_t top = 0;
+  uint64_t pool_mb = 64;
+  bool alignments = false;
+};
+
+bool Parse(int argc, char** argv, Args* args) {
+  if (argc < 4) return false;
+  args->command = argv[1];
+  args->fasta = argv[2];
+  args->index_dir = argv[3];
+  int positional = 4;
+  if (args->command == "search") {
+    if (argc < 5) return false;
+    args->query = argv[4];
+    positional = 5;
+  } else if (args->command != "index") {
+    return false;
+  }
+  for (int i = positional; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--dna") {
+      args->dna = true;
+    } else if (flag == "--protein") {
+      args->dna = false;
+    } else if (flag == "--evalue") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->evalue = std::strtod(v, nullptr);
+    } else if (flag == "--minscore") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->min_score = static_cast<score::ScoreT>(std::strtol(v, nullptr, 10));
+    } else if (flag == "--top") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->top = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--pool-mb") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->pool_mb = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--alignments") {
+      args->alignments = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) return Usage();
+
+  const seq::Alphabet& alphabet =
+      args.dna ? seq::Alphabet::Dna() : seq::Alphabet::Protein();
+  auto records = seq::ReadFastaFile(args.fasta, alphabet);
+  if (!records.ok()) return Fail(records.status());
+  auto db = seq::SequenceDatabase::Build(alphabet, std::move(records).value());
+  if (!db.ok()) return Fail(db.status());
+
+  if (args.command == "index") {
+    util::Timer timer;
+    auto tree = suffix::SuffixTree::BuildUkkonen(*db);
+    if (!tree.ok()) return Fail(tree.status());
+    util::Status packed = suffix::PackSuffixTree(*tree, args.index_dir);
+    if (!packed.ok()) return Fail(packed);
+    std::printf("indexed %llu residues (%zu sequences) into %s in %.2fs\n",
+                static_cast<unsigned long long>(db->num_residues()),
+                db->num_sequences(), args.index_dir.c_str(),
+                timer.ElapsedSeconds());
+    return 0;
+  }
+
+  // search
+  storage::BufferPool pool(args.pool_mb << 20);
+  auto tree = suffix::PackedSuffixTree::Open(args.index_dir, &pool);
+  if (!tree.ok()) return Fail(tree.status());
+
+  auto query = alphabet.Encode(args.query);
+  if (!query.ok()) return Fail(query.status());
+
+  const score::SubstitutionMatrix& matrix =
+      args.dna ? score::SubstitutionMatrix::Blastn()
+               : score::SubstitutionMatrix::Pam30();
+  core::OasisSearch search(tree->get(), &matrix);
+
+  core::OasisOptions options;
+  if (args.min_score > 0) {
+    options.min_score = args.min_score;
+  } else {
+    auto karlin = score::ComputeKarlinParams(matrix);
+    if (!karlin.ok()) return Fail(karlin.status());
+    options.min_score =
+        search.MinScoreForEValue(*karlin, args.evalue, query->size());
+  }
+  options.max_results = args.top;
+  options.reconstruct_alignments = args.alignments;
+
+  std::printf("searching %zu-residue query, matrix %s, minScore %d\n\n",
+              query->size(), matrix.name().c_str(), options.min_score);
+  util::Timer timer;
+  uint64_t count = 0;
+  auto stats =
+      search.Search(*query, options, [&](const core::OasisResult& result) {
+        ++count;
+        if (args.alignments) {
+          std::printf("%s",
+                      core::FormatResultVerbose(result, *db, *query).c_str());
+        } else {
+          std::printf("%s\n", core::FormatResult(result, *db).c_str());
+        }
+        return true;
+      });
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("\n%llu results in %.4fs (%llu columns expanded)\n",
+              static_cast<unsigned long long>(count), timer.ElapsedSeconds(),
+              static_cast<unsigned long long>(stats->columns_expanded));
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "align/affine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace align {
+
+using score::kNegInf;
+using score::ScoreT;
+
+ScoreT AffineAlignScore(std::span<const seq::Symbol> query,
+                        std::span<const seq::Symbol> target,
+                        const score::SubstitutionMatrix& matrix,
+                        const AffineGapModel& gaps) {
+  OASIS_CHECK(gaps.Valid());
+  const size_t m = query.size();
+  const ScoreT open = gaps.gap_open;
+  const ScoreT extend = gaps.gap_extend;
+
+  // Column-major over the target; three state rows of length m+1.
+  std::vector<ScoreT> h_prev(m + 1, 0), h_cur(m + 1, 0);
+  std::vector<ScoreT> ix_prev(m + 1, kNegInf), ix_cur(m + 1, kNegInf);
+  // Iy only needs the current column (gap in query extends within column).
+
+  ScoreT best = 0;
+  for (size_t j = 1; j <= target.size(); ++j) {
+    const seq::Symbol t = target[j - 1];
+    h_cur[0] = 0;
+    ix_cur[0] = kNegInf;
+    ScoreT iy = kNegInf;  // Iy[0][j]
+    for (size_t i = 1; i <= m; ++i) {
+      // Ix: gap in target (consume query residue moving down the column
+      // boundary between target columns) -- extends from the previous
+      // column's H (open) or Ix (extend).
+      ScoreT ix = std::max<ScoreT>(
+          h_prev[i] == kNegInf ? kNegInf : h_prev[i] + open + extend,
+          ix_prev[i] == kNegInf ? kNegInf : ix_prev[i] + extend);
+      ix_cur[i] = ix;
+      // Iy: gap in query, extends within the current column.
+      ScoreT iy_open = h_cur[i - 1] == kNegInf ? kNegInf
+                                               : h_cur[i - 1] + open + extend;
+      ScoreT iy_ext = iy == kNegInf ? kNegInf : iy + extend;
+      iy = std::max(iy_open, iy_ext);
+      // H: residue pair, or close a gap state, or restart.
+      ScoreT diag = h_prev[i - 1] + matrix.Score(query[i - 1], t);
+      ScoreT v = std::max({ScoreT{0}, diag, ix, iy});
+      h_cur[i] = v;
+      best = std::max(best, v);
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(ix_prev, ix_cur);
+  }
+  return best;
+}
+
+std::vector<AffineHit> AffineScanDatabase(std::span<const seq::Symbol> query,
+                                          const seq::SequenceDatabase& db,
+                                          const score::SubstitutionMatrix& matrix,
+                                          const AffineGapModel& gaps,
+                                          ScoreT min_score) {
+  OASIS_CHECK_GE(min_score, 1);
+  std::vector<AffineHit> hits;
+  for (seq::SequenceId s = 0; s < db.num_sequences(); ++s) {
+    ScoreT best =
+        AffineAlignScore(query, db.sequence(s).symbols(), matrix, gaps);
+    if (best >= min_score) hits.push_back(AffineHit{s, best});
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const AffineHit& a, const AffineHit& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.sequence_id < b.sequence_id;
+                   });
+  return hits;
+}
+
+}  // namespace align
+}  // namespace oasis

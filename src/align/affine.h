@@ -1,0 +1,59 @@
+// Affine-gap local alignment (Gotoh's algorithm).
+//
+// The paper's own implementation supports only the fixed (linear) gap
+// model and lists affine gaps as future work (§4.2, §6), noting that both
+// OASIS and S-W would need three dynamic-programming matrices. This module
+// implements that baseline for Smith-Waterman — the M / Ix / Iy recurrence
+// — so the scoring substrate is ready for an affine OASIS:
+//
+//   M[i][j]  = best alignment ending in a residue pair at (i, j)
+//   Ix[i][j] = best alignment ending in a gap in the target (query residue
+//              consumed), opened with `gap_open` and extended with
+//              `gap_extend`
+//   Iy[i][j] = symmetric, gap in the query
+//
+// A k-symbol gap contributes gap_open + k * gap_extend, matching the
+// paper's definition "(o + k*e)" in §4.2.
+
+#pragma once
+
+#include <span>
+
+#include "score/substitution_matrix.h"
+#include "seq/database.h"
+
+namespace oasis {
+namespace align {
+
+struct AffineGapModel {
+  /// Charged once when a gap opens. Must be <= 0.
+  score::ScoreT gap_open = -9;
+  /// Charged per gap symbol (including the first). Must be < 0.
+  score::ScoreT gap_extend = -1;
+
+  bool Valid() const { return gap_open <= 0 && gap_extend < 0; }
+};
+
+/// Best local alignment score between `query` and `target` under the
+/// affine model (the residue scores come from `matrix`; its linear gap
+/// penalty is ignored). O(mn) time, O(m) memory.
+score::ScoreT AffineAlignScore(std::span<const seq::Symbol> query,
+                               std::span<const seq::Symbol> target,
+                               const score::SubstitutionMatrix& matrix,
+                               const AffineGapModel& gaps);
+
+/// Per-sequence best affine scores over a database, filtered by
+/// `min_score` and sorted by descending score (affine analogue of
+/// ScanDatabase in smith_waterman.h).
+struct AffineHit {
+  seq::SequenceId sequence_id = 0;
+  score::ScoreT score = 0;
+};
+std::vector<AffineHit> AffineScanDatabase(std::span<const seq::Symbol> query,
+                                          const seq::SequenceDatabase& db,
+                                          const score::SubstitutionMatrix& matrix,
+                                          const AffineGapModel& gaps,
+                                          score::ScoreT min_score);
+
+}  // namespace align
+}  // namespace oasis

@@ -1,0 +1,92 @@
+#include "align/smith_waterman.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace align {
+
+using score::ScoreT;
+
+SequenceHit AlignPair(std::span<const seq::Symbol> query,
+                      std::span<const seq::Symbol> target,
+                      const score::SubstitutionMatrix& matrix,
+                      AlignStats* stats) {
+  const size_t m = query.size();
+  const ScoreT gap = matrix.gap_penalty();
+
+  SequenceHit best;
+  best.score = 0;
+
+  // Column-major: prev/cur hold column j over query positions 0..m.
+  std::vector<ScoreT> prev(m + 1, 0);
+  std::vector<ScoreT> cur(m + 1, 0);
+
+  for (size_t j = 1; j <= target.size(); ++j) {
+    const seq::Symbol t = target[j - 1];
+    cur[0] = 0;
+    for (size_t i = 1; i <= m; ++i) {
+      ScoreT rep = prev[i - 1] + matrix.Score(query[i - 1], t);
+      ScoreT ins = prev[i] + gap;   // skip target symbol
+      ScoreT del = cur[i - 1] + gap;  // skip query symbol
+      ScoreT v = std::max({ScoreT{0}, rep, ins, del});
+      cur[i] = v;
+      if (v > best.score) {
+        best.score = v;
+        best.query_end = i - 1;
+        best.target_end = j - 1;
+      }
+    }
+    if (stats != nullptr) {
+      ++stats->columns_expanded;
+      stats->cells_computed += m;
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+std::vector<std::vector<ScoreT>> FullMatrix(
+    std::span<const seq::Symbol> query, std::span<const seq::Symbol> target,
+    const score::SubstitutionMatrix& matrix) {
+  const size_t m = query.size();
+  const size_t n = target.size();
+  const ScoreT gap = matrix.gap_penalty();
+  std::vector<std::vector<ScoreT>> h(m + 1, std::vector<ScoreT>(n + 1, 0));
+  for (size_t i = 1; i <= m; ++i) {
+    for (size_t j = 1; j <= n; ++j) {
+      ScoreT rep = h[i - 1][j - 1] + matrix.Score(query[i - 1], target[j - 1]);
+      ScoreT ins = h[i - 1][j] + gap;
+      ScoreT del = h[i][j - 1] + gap;
+      h[i][j] = std::max({ScoreT{0}, rep, ins, del});
+    }
+  }
+  return h;
+}
+
+std::vector<SequenceHit> ScanDatabase(std::span<const seq::Symbol> query,
+                                      const seq::SequenceDatabase& db,
+                                      const score::SubstitutionMatrix& matrix,
+                                      ScoreT min_score,
+                                      AlignStats* stats) {
+  OASIS_CHECK_GE(min_score, 1) << "local alignment scores are positive";
+  std::vector<SequenceHit> hits;
+  for (seq::SequenceId s = 0; s < db.num_sequences(); ++s) {
+    const seq::Sequence& target = db.sequence(s);
+    SequenceHit hit = AlignPair(query, target.symbols(), matrix, stats);
+    if (hit.score >= min_score) {
+      hit.sequence_id = s;
+      hits.push_back(hit);
+    }
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const SequenceHit& a, const SequenceHit& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.sequence_id < b.sequence_id;
+                   });
+  return hits;
+}
+
+}  // namespace align
+}  // namespace oasis

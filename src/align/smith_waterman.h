@@ -1,0 +1,62 @@
+// Smith-Waterman local alignment (paper §2.2), the exact baseline OASIS is
+// compared against.
+//
+// The scan variants compute, for each database sequence, the score of its
+// single strongest local alignment with the query (the paper's reporting
+// mode), instrumented with the "columns expanded" counter used by Figure 4
+// (one column per target symbol processed).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "score/substitution_matrix.h"
+#include "seq/database.h"
+
+namespace oasis {
+namespace align {
+
+/// Best-alignment summary for one target sequence.
+struct SequenceHit {
+  seq::SequenceId sequence_id = 0;
+  score::ScoreT score = 0;
+  /// 0-based inclusive end coordinates of the best cell.
+  uint64_t query_end = 0;
+  uint64_t target_end = 0;
+};
+
+/// Counters shared by the S-W scan and the OASIS search (Figure 4 compares
+/// the two on equal terms).
+struct AlignStats {
+  uint64_t columns_expanded = 0;  ///< DP columns (one per target symbol)
+  uint64_t cells_computed = 0;    ///< individual DP cells
+};
+
+/// Smith-Waterman between one query and one target. O(m) memory (two
+/// columns). Returns the single best-scoring cell (ties: smallest target
+/// end, then smallest query end — the first one reached in column order).
+SequenceHit AlignPair(std::span<const seq::Symbol> query,
+                      std::span<const seq::Symbol> target,
+                      const score::SubstitutionMatrix& matrix,
+                      AlignStats* stats = nullptr);
+
+/// Full S-W DP matrix for small inputs (tests and the paper's Table 2
+/// example). Row 0 / column 0 are the zero boundary; entry (i, j) scores
+/// alignments ending at query i / target j (1-based).
+std::vector<std::vector<score::ScoreT>> FullMatrix(
+    std::span<const seq::Symbol> query, std::span<const seq::Symbol> target,
+    const score::SubstitutionMatrix& matrix);
+
+/// Scans the whole database; returns one hit per sequence whose best score
+/// is >= min_score, sorted by descending score (ties: ascending sequence
+/// id). This is the paper's "accurate but expensive" baseline.
+std::vector<SequenceHit> ScanDatabase(std::span<const seq::Symbol> query,
+                                      const seq::SequenceDatabase& db,
+                                      const score::SubstitutionMatrix& matrix,
+                                      score::ScoreT min_score,
+                                      AlignStats* stats = nullptr);
+
+}  // namespace align
+}  // namespace oasis

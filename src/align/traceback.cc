@@ -1,0 +1,233 @@
+#include "align/traceback.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace align {
+
+using score::kNegInf;
+using score::ScoreT;
+
+namespace {
+
+// Backpointer codes for the DP matrices.
+enum class Back : uint8_t { kNone, kRep, kIns, kDel };
+
+Alignment WalkBack(const std::vector<std::vector<ScoreT>>& h,
+                   const std::vector<std::vector<Back>>& back, size_t bi,
+                   size_t bj, std::span<const seq::Symbol> query,
+                   std::span<const seq::Symbol> target) {
+  Alignment out;
+  out.score = h[bi][bj];
+  size_t i = bi, j = bj;
+  std::vector<Op> rev;
+  while (i > 0 || j > 0) {
+    Back b = back[i][j];
+    if (b == Back::kNone) break;
+    switch (b) {
+      case Back::kRep:
+        rev.push_back(query[i - 1] == target[j - 1] ? Op::kMatch : Op::kMismatch);
+        --i;
+        --j;
+        break;
+      case Back::kIns:
+        rev.push_back(Op::kInsert);
+        --i;
+        break;
+      case Back::kDel:
+        rev.push_back(Op::kDelete);
+        --j;
+        break;
+      case Back::kNone:
+        break;
+    }
+  }
+  out.ops.assign(rev.rbegin(), rev.rend());
+  // i, j now index the cell *before* the first consumed symbol.
+  out.query_start = i;  // 0-based first consumed query index == i
+  out.target_start = j;
+  out.query_end = bi == 0 ? 0 : bi - 1;
+  out.target_end = bj == 0 ? 0 : bj - 1;
+  return out;
+}
+
+}  // namespace
+
+std::string Alignment::Cigar() const {
+  std::string out;
+  size_t run = 0;
+  Op prev = Op::kMatch;
+  auto flush = [&]() {
+    if (run == 0) return;
+    out += std::to_string(run);
+    switch (prev) {
+      case Op::kMatch: out += '='; break;
+      case Op::kMismatch: out += 'X'; break;
+      case Op::kInsert: out += 'I'; break;
+      case Op::kDelete: out += 'D'; break;
+    }
+  };
+  for (Op op : ops) {
+    if (run > 0 && op == prev) {
+      ++run;
+    } else {
+      flush();
+      prev = op;
+      run = 1;
+    }
+  }
+  flush();
+  return out;
+}
+
+std::string Alignment::Pretty(const seq::Alphabet& alphabet,
+                              std::span<const seq::Symbol> query,
+                              std::span<const seq::Symbol> target) const {
+  std::string q_line, m_line, t_line;
+  size_t qi = query_start, tj = target_start;
+  for (Op op : ops) {
+    switch (op) {
+      case Op::kMatch:
+      case Op::kMismatch:
+        q_line += alphabet.CodeToChar(query[qi]);
+        t_line += alphabet.CodeToChar(target[tj]);
+        m_line += (op == Op::kMatch) ? '|' : '.';
+        ++qi;
+        ++tj;
+        break;
+      case Op::kInsert:
+        q_line += alphabet.CodeToChar(query[qi]);
+        t_line += '-';
+        m_line += ' ';
+        ++qi;
+        break;
+      case Op::kDelete:
+        q_line += '-';
+        t_line += alphabet.CodeToChar(target[tj]);
+        m_line += ' ';
+        ++tj;
+        break;
+    }
+  }
+  return q_line + "\n" + m_line + "\n" + t_line + "\n";
+}
+
+ScoreT Alignment::RecomputeScore(const score::SubstitutionMatrix& matrix,
+                                 std::span<const seq::Symbol> query,
+                                 std::span<const seq::Symbol> target) const {
+  ScoreT total = 0;
+  size_t qi = query_start, tj = target_start;
+  for (Op op : ops) {
+    switch (op) {
+      case Op::kMatch:
+      case Op::kMismatch:
+        total += matrix.Score(query[qi], target[tj]);
+        ++qi;
+        ++tj;
+        break;
+      case Op::kInsert:
+        total += matrix.gap_penalty();
+        ++qi;
+        break;
+      case Op::kDelete:
+        total += matrix.gap_penalty();
+        ++tj;
+        break;
+    }
+  }
+  return total;
+}
+
+Alignment TracebackLocal(std::span<const seq::Symbol> query,
+                         std::span<const seq::Symbol> target,
+                         const score::SubstitutionMatrix& matrix) {
+  const size_t m = query.size();
+  const size_t n = target.size();
+  const ScoreT gap = matrix.gap_penalty();
+  std::vector<std::vector<ScoreT>> h(m + 1, std::vector<ScoreT>(n + 1, 0));
+  std::vector<std::vector<Back>> back(m + 1,
+                                      std::vector<Back>(n + 1, Back::kNone));
+  size_t bi = 0, bj = 0;
+  ScoreT best = 0;
+  for (size_t i = 1; i <= m; ++i) {
+    for (size_t j = 1; j <= n; ++j) {
+      ScoreT rep = h[i - 1][j - 1] + matrix.Score(query[i - 1], target[j - 1]);
+      ScoreT ins = h[i - 1][j] + gap;
+      ScoreT del = h[i][j - 1] + gap;
+      ScoreT v = std::max({ScoreT{0}, rep, ins, del});
+      h[i][j] = v;
+      if (v == 0) {
+        back[i][j] = Back::kNone;
+      } else if (v == rep) {
+        back[i][j] = Back::kRep;
+      } else if (v == ins) {
+        back[i][j] = Back::kIns;
+      } else {
+        back[i][j] = Back::kDel;
+      }
+      if (v > best) {
+        best = v;
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+  if (best == 0) return Alignment{};
+  return WalkBack(h, back, bi, bj, query, target);
+}
+
+Alignment TracebackPathPinned(std::span<const seq::Symbol> query,
+                              std::span<const seq::Symbol> target,
+                              const score::SubstitutionMatrix& matrix) {
+  const size_t m = query.size();
+  const size_t n = target.size();
+  const ScoreT gap = matrix.gap_penalty();
+  // DP of §3.2: row 0 (empty query prefix) decays by gaps from cell (0,0);
+  // column 0 is 0 for every i (any query position may start the alignment);
+  // no reset to zero inside the matrix.
+  std::vector<std::vector<ScoreT>> h(m + 1,
+                                     std::vector<ScoreT>(n + 1, kNegInf));
+  std::vector<std::vector<Back>> back(m + 1,
+                                      std::vector<Back>(n + 1, Back::kNone));
+  for (size_t i = 0; i <= m; ++i) h[i][0] = 0;
+  for (size_t j = 1; j <= n; ++j) {
+    h[0][j] = h[0][j - 1] + gap;
+    back[0][j] = Back::kDel;
+  }
+  for (size_t i = 1; i <= m; ++i) {
+    for (size_t j = 1; j <= n; ++j) {
+      ScoreT rep = h[i - 1][j - 1] + matrix.Score(query[i - 1], target[j - 1]);
+      ScoreT ins = h[i - 1][j] + gap;
+      ScoreT del = h[i][j - 1] + gap;
+      ScoreT v = std::max({rep, ins, del});
+      h[i][j] = v;
+      if (v == rep) {
+        back[i][j] = Back::kRep;
+      } else if (v == ins) {
+        back[i][j] = Back::kIns;
+      } else {
+        back[i][j] = Back::kDel;
+      }
+    }
+  }
+  // End pinned at target column n; free over query end rows.
+  size_t bi = 0;
+  ScoreT best = kNegInf;
+  for (size_t i = 0; i <= m; ++i) {
+    if (h[i][n] > best) {
+      best = h[i][n];
+      bi = i;
+    }
+  }
+  Alignment out = WalkBack(h, back, bi, n, query, target);
+  // Trim leading pure-insert run: column 0 is free (score 0), so any ops
+  // consumed before the first target symbol would never appear; WalkBack
+  // stops at column 0 because back[i][0] == kNone. Nothing to trim.
+  out.score = best;
+  return out;
+}
+
+}  // namespace align
+}  // namespace oasis

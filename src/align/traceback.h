@@ -1,0 +1,72 @@
+// Alignment reconstruction (traceback) for reporting.
+//
+// Two variants:
+//   * TracebackLocal      — classic S-W traceback (free start, free end),
+//                           used by the baselines and examples.
+//   * TracebackPathPinned — the OASIS variant: the *target start is pinned*
+//                           to the beginning of the DP region (a suffix-tree
+//                           path start) and no reset-to-zero is allowed,
+//                           matching the Expand recurrence of §3.2. Used to
+//                           recover the alignment behind an OASIS result.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "score/substitution_matrix.h"
+#include "seq/alphabet.h"
+
+namespace oasis {
+namespace align {
+
+/// One alignment operation (paper §2.1 / Figure 1).
+enum class Op : uint8_t {
+  kMatch,     ///< replacement with the same symbol
+  kMismatch,  ///< replacement with a different symbol
+  kInsert,    ///< gap in the target ("a -> -": query symbol skipped)
+  kDelete,    ///< gap in the query ("- -> b": target symbol skipped)
+};
+
+/// A reconstructed local alignment with 0-based inclusive coordinates.
+struct Alignment {
+  score::ScoreT score = 0;
+  uint64_t query_start = 0, query_end = 0;
+  uint64_t target_start = 0, target_end = 0;
+  std::vector<Op> ops;  ///< query/target order, start -> end
+
+  /// Compact CIGAR-like string, e.g. "5=1X2I3=" (= match, X mismatch,
+  /// I insert/gap-in-target, D delete/gap-in-query).
+  std::string Cigar() const;
+
+  /// Three-line pretty rendering (query / bars / target) under `alphabet`.
+  std::string Pretty(const seq::Alphabet& alphabet,
+                     std::span<const seq::Symbol> query,
+                     std::span<const seq::Symbol> target) const;
+
+  /// Recomputes the score from ops (consistency check for tests).
+  score::ScoreT RecomputeScore(const score::SubstitutionMatrix& matrix,
+                               std::span<const seq::Symbol> query,
+                               std::span<const seq::Symbol> target) const;
+};
+
+/// Best local alignment between `query` and `target` with full traceback.
+/// Returns a zero-score empty alignment when no positive-scoring local
+/// alignment exists.
+Alignment TracebackLocal(std::span<const seq::Symbol> query,
+                         std::span<const seq::Symbol> target,
+                         const score::SubstitutionMatrix& matrix);
+
+/// OASIS-style traceback: finds the best alignment of any query substring
+/// against the *entire* target span (target consumed from its first symbol
+/// to `target.size()`), i.e. the DP of §3.2 with the pinned start, ending
+/// exactly at the last target symbol. Callers pass the path prefix ending
+/// where the OASIS search recorded its best cell.
+Alignment TracebackPathPinned(std::span<const seq::Symbol> query,
+                              std::span<const seq::Symbol> target,
+                              const score::SubstitutionMatrix& matrix);
+
+}  // namespace align
+}  // namespace oasis

@@ -1,0 +1,150 @@
+// BLAST database scan: seeding, extension, E-value filtering.
+
+#include "blast/blast.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "blast/extend.h"
+#include "util/logging.h"
+
+namespace oasis {
+namespace blast {
+
+using score::ScoreT;
+
+namespace {
+
+/// Per-sequence scan state for two-hit seeding: the last hit's target
+/// position per diagonal (diagonal = t_pos - q_pos, shifted to stay
+/// non-negative). Matches the NCBI convention: a hit that overlaps the
+/// previous hit on its diagonal does not replace it — otherwise a
+/// contiguous run of word hits could never produce a non-overlapping pair.
+class DiagonalTracker {
+ public:
+  DiagonalTracker(size_t query_len, size_t target_len, uint32_t word,
+                  uint32_t window)
+      : shift_(query_len), word_(word), window_(window),
+        last_hit_(query_len + target_len + 1, kEmpty) {}
+
+  static constexpr int64_t kEmpty = -1;
+
+  /// Returns true when (q_pos, t_pos) completes a two-hit pair: a prior
+  /// non-overlapping hit on the same diagonal within the window.
+  bool RecordAndCheck(uint64_t q_pos, uint64_t t_pos) {
+    size_t d = static_cast<size_t>(
+        static_cast<int64_t>(t_pos) - static_cast<int64_t>(q_pos) +
+        static_cast<int64_t>(shift_));
+    int64_t prev = last_hit_[d];
+    if (prev != kEmpty && t_pos < static_cast<uint64_t>(prev) + word_) {
+      return false;  // overlap: keep the older hit as the pairing anchor
+    }
+    last_hit_[d] = static_cast<int64_t>(t_pos);
+    return prev != kEmpty &&
+           t_pos - static_cast<uint64_t>(prev) <= window_;
+  }
+
+ private:
+  size_t shift_;
+  uint32_t word_;
+  uint32_t window_;
+  std::vector<int64_t> last_hit_;
+};
+
+}  // namespace
+
+util::StatusOr<std::vector<BlastHit>> Search(const BlastQuery& query,
+                                             const seq::SequenceDatabase& db,
+                                             const score::SubstitutionMatrix& matrix,
+                                             const score::KarlinParams& karlin,
+                                             BlastStats* stats) {
+  const BlastOptions& opt = query.options();
+  const std::vector<seq::Symbol>& q = query.query();
+  const uint32_t w = opt.word_size;
+  BlastStats local_stats;
+
+  std::vector<BlastHit> hits;
+  const uint64_t db_residues = db.num_residues();
+
+  for (seq::SequenceId sid = 0; sid < db.num_sequences(); ++sid) {
+    const std::vector<seq::Symbol>& t = db.sequence(sid).symbols();
+    if (t.size() < w) continue;
+
+    DiagonalTracker diagonals(q.size(), t.size(), w, opt.two_hit_window);
+    // Extension dedup: best gapped score per sequence; skip seeds that fall
+    // inside an already-extended region on the same diagonal.
+    struct Region {
+      uint64_t q_start, q_end, t_start, t_end;
+    };
+    std::vector<Region> covered;
+    ScoreT best_score = 0;
+    uint64_t best_qe = 0, best_te = 0;
+
+    // Rolling word scan over the target.
+    for (uint64_t tp = 0; tp + w <= t.size(); ++tp) {
+      uint64_t code = query.EncodeWord(&t[tp]);
+      for (uint32_t qp : query.Positions(code)) {
+        ++local_stats.word_hits;
+        if (opt.two_hit && !diagonals.RecordAndCheck(qp, tp)) continue;
+        // Skip if inside an already-extended region (same diagonal band).
+        bool redundant = false;
+        for (const Region& r : covered) {
+          if (qp >= r.q_start && qp + w - 1 <= r.q_end && tp >= r.t_start &&
+              tp + w - 1 <= r.t_end) {
+            redundant = true;
+            break;
+          }
+        }
+        if (redundant) continue;
+
+        ++local_stats.seeds_extended;
+        Extension ungapped =
+            ExtendUngapped(q, t, qp, tp, w, matrix, opt.ungapped_xdrop);
+        // Each ungapped extension processes ~(segment length) target
+        // symbols; count it in column-equivalents.
+        local_stats.columns_expanded +=
+            ungapped.target_end - ungapped.target_start + 1;
+        if (ungapped.score < opt.gapped_trigger) continue;
+
+        ++local_stats.gapped_extensions;
+        // Anchor the gapped pass at the middle of the ungapped segment.
+        uint64_t qa = (ungapped.query_start + ungapped.query_end) / 2;
+        uint64_t ta = (ungapped.target_start + ungapped.target_end) / 2;
+        Extension gapped = ExtendGapped(q, t, qa, ta, matrix, opt.gapped_xdrop,
+                                        &local_stats.columns_expanded);
+        covered.push_back(Region{gapped.query_start, gapped.query_end,
+                                 gapped.target_start, gapped.target_end});
+        if (gapped.score > best_score) {
+          best_score = gapped.score;
+          best_qe = gapped.query_end;
+          best_te = gapped.target_end;
+        }
+      }
+    }
+
+    if (best_score > 0) {
+      double evalue =
+          score::EValueForScore(karlin, best_score, q.size(), db_residues);
+      if (evalue <= opt.evalue_cutoff) {
+        BlastHit hit;
+        hit.sequence_id = sid;
+        hit.score = best_score;
+        hit.evalue = evalue;
+        hit.query_end = best_qe;
+        hit.target_end = best_te;
+        hits.push_back(hit);
+      }
+    }
+  }
+
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const BlastHit& a, const BlastHit& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.sequence_id < b.sequence_id;
+                   });
+  if (stats != nullptr) *stats = local_stats;
+  return hits;
+}
+
+}  // namespace blast
+}  // namespace oasis

@@ -1,0 +1,182 @@
+#include "blast/extend.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace blast {
+
+using score::kNegInf;
+using score::ScoreT;
+
+Extension ExtendUngapped(std::span<const seq::Symbol> query,
+                         std::span<const seq::Symbol> target, uint64_t q_pos,
+                         uint64_t t_pos, uint32_t word,
+                         const score::SubstitutionMatrix& matrix,
+                         ScoreT xdrop) {
+  // Score of the seed word itself.
+  ScoreT seed_score = 0;
+  for (uint32_t k = 0; k < word; ++k) {
+    seed_score += matrix.Score(query[q_pos + k], target[t_pos + k]);
+  }
+
+  Extension ext;
+  ext.query_start = q_pos;
+  ext.target_start = t_pos;
+  ext.query_end = q_pos + word - 1;
+  ext.target_end = t_pos + word - 1;
+
+  // Extend right.
+  ScoreT right_best = 0;
+  {
+    ScoreT run = 0;
+    uint64_t qi = q_pos + word, tj = t_pos + word;
+    uint64_t best_q = ext.query_end, best_t = ext.target_end;
+    while (qi < query.size() && tj < target.size()) {
+      run += matrix.Score(query[qi], target[tj]);
+      if (run > right_best) {
+        right_best = run;
+        best_q = qi;
+        best_t = tj;
+      }
+      if (run <= right_best - xdrop) break;
+      ++qi;
+      ++tj;
+    }
+    ext.query_end = best_q;
+    ext.target_end = best_t;
+  }
+
+  // Extend left.
+  ScoreT left_best = 0;
+  {
+    ScoreT run = 0;
+    uint64_t qi = q_pos, tj = t_pos;
+    uint64_t best_q = ext.query_start, best_t = ext.target_start;
+    while (qi > 0 && tj > 0) {
+      --qi;
+      --tj;
+      run += matrix.Score(query[qi], target[tj]);
+      if (run > left_best) {
+        left_best = run;
+        best_q = qi;
+        best_t = tj;
+      }
+      if (run <= left_best - xdrop) break;
+    }
+    ext.query_start = best_q;
+    ext.target_start = best_t;
+  }
+
+  ext.score = seed_score + right_best + left_best;
+  return ext;
+}
+
+namespace {
+
+/// One direction of the gapped X-drop DP. Aligns query[q0, q0+dir, ...] vs
+/// target[t0, ...] moving away from the anchor; returns the best score
+/// found and its (query, target) offsets *from the anchor* (0 = the cell
+/// adjacent to the anchor was not improved upon).
+struct HalfExtension {
+  ScoreT score = 0;
+  uint64_t q_span = 0;  ///< symbols consumed on the query side
+  uint64_t t_span = 0;
+};
+
+/// Forward == true extends towards larger indices starting just past the
+/// anchor; forward == false extends towards smaller indices starting just
+/// before it. The DP is the plain fixed-gap recurrence; cells that fall
+/// more than `xdrop` below the global best are pruned, and a row stops
+/// when all of its live cells are pruned.
+HalfExtension GappedHalf(std::span<const seq::Symbol> query,
+                         std::span<const seq::Symbol> target, uint64_t q_anchor,
+                         uint64_t t_anchor, bool forward,
+                         const score::SubstitutionMatrix& matrix, ScoreT xdrop,
+                         uint64_t* columns_out) {
+  const ScoreT gap = matrix.gap_penalty();
+  const uint64_t qn = forward ? query.size() - (q_anchor + 1) : q_anchor;
+  const uint64_t tn = forward ? target.size() - (t_anchor + 1) : t_anchor;
+
+  auto q_at = [&](uint64_t i) {  // i in [1, qn]
+    return forward ? query[q_anchor + i] : query[q_anchor - i];
+  };
+  auto t_at = [&](uint64_t j) {
+    return forward ? target[t_anchor + j] : target[t_anchor - j];
+  };
+
+  HalfExtension best;
+  if (tn == 0 || qn == 0) {
+    // Degenerate: can still slide along one side, but pure-gap extensions
+    // never help (gap < 0), so the empty extension is optimal.
+    return best;
+  }
+
+  // prev[i] = score of best path consuming i query symbols and j-1 target
+  // symbols. Band is implicit via X-drop pruning.
+  std::vector<ScoreT> prev(qn + 1, kNegInf), cur(qn + 1, kNegInf);
+  prev[0] = 0;
+  for (uint64_t i = 1; i <= qn; ++i) {
+    prev[i] = prev[i - 1] + gap;
+    if (prev[i] < -xdrop) prev[i] = kNegInf;
+  }
+
+  for (uint64_t j = 1; j <= tn; ++j) {
+    bool any_live = false;
+    cur[0] = (static_cast<ScoreT>(j) * gap >= best.score - xdrop)
+                 ? static_cast<ScoreT>(j) * gap
+                 : kNegInf;
+    if (cur[0] != kNegInf) any_live = true;
+    for (uint64_t i = 1; i <= qn; ++i) {
+      ScoreT rep = prev[i - 1] == kNegInf
+                       ? kNegInf
+                       : prev[i - 1] + matrix.Score(q_at(i), t_at(j));
+      ScoreT ins = prev[i] == kNegInf ? kNegInf : prev[i] + gap;
+      ScoreT del = cur[i - 1] == kNegInf ? kNegInf : cur[i - 1] + gap;
+      ScoreT v = std::max({rep, ins, del});
+      if (v != kNegInf && v < best.score - xdrop) v = kNegInf;
+      cur[i] = v;
+      if (v == kNegInf) continue;
+      any_live = true;
+      if (v > best.score) {
+        best.score = v;
+        best.q_span = i;
+        best.t_span = j;
+      }
+    }
+    if (columns_out != nullptr) ++*columns_out;
+    if (!any_live) break;
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+}  // namespace
+
+Extension ExtendGapped(std::span<const seq::Symbol> query,
+                       std::span<const seq::Symbol> target, uint64_t q_anchor,
+                       uint64_t t_anchor,
+                       const score::SubstitutionMatrix& matrix, ScoreT xdrop,
+                       uint64_t* columns_out) {
+  OASIS_DCHECK(q_anchor < query.size());
+  OASIS_DCHECK(t_anchor < target.size());
+
+  HalfExtension fwd = GappedHalf(query, target, q_anchor, t_anchor,
+                                 /*forward=*/true, matrix, xdrop, columns_out);
+  HalfExtension bwd = GappedHalf(query, target, q_anchor, t_anchor,
+                                 /*forward=*/false, matrix, xdrop, columns_out);
+
+  Extension ext;
+  ext.score = matrix.Score(query[q_anchor], target[t_anchor]) + fwd.score +
+              bwd.score;
+  ext.query_start = q_anchor - bwd.q_span;
+  ext.target_start = t_anchor - bwd.t_span;
+  ext.query_end = q_anchor + fwd.q_span;
+  ext.target_end = t_anchor + fwd.t_span;
+  return ext;
+}
+
+}  // namespace blast
+}  // namespace oasis

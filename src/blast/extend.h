@@ -1,0 +1,44 @@
+// Seed-extension primitives for the BLAST-style pipeline.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "score/substitution_matrix.h"
+#include "seq/alphabet.h"
+
+namespace oasis {
+namespace blast {
+
+/// Result of extending a seed.
+struct Extension {
+  score::ScoreT score = 0;
+  /// 0-based inclusive bounds of the extended segment.
+  uint64_t query_start = 0, query_end = 0;
+  uint64_t target_start = 0, target_end = 0;
+};
+
+/// Ungapped X-drop extension of the word match
+/// query[q_pos, q_pos+word) == target[t_pos, t_pos+word) in both directions:
+/// each direction advances while the running score stays within `xdrop` of
+/// the best seen. Returns the maximal segment pair.
+Extension ExtendUngapped(std::span<const seq::Symbol> query,
+                         std::span<const seq::Symbol> target, uint64_t q_pos,
+                         uint64_t t_pos, uint32_t word,
+                         const score::SubstitutionMatrix& matrix,
+                         score::ScoreT xdrop);
+
+/// Gapped X-drop extension from the anchor cell (q_anchor, t_anchor)
+/// (0-based, inclusive: the anchor pair is scored once). Runs a banded-ish
+/// dynamic program forward and backward from the anchor, abandoning cells
+/// more than `xdrop` below the running best. `columns_out`, when non-null,
+/// is incremented by the number of DP columns the extension touched.
+Extension ExtendGapped(std::span<const seq::Symbol> query,
+                       std::span<const seq::Symbol> target, uint64_t q_anchor,
+                       uint64_t t_anchor,
+                       const score::SubstitutionMatrix& matrix,
+                       score::ScoreT xdrop, uint64_t* columns_out = nullptr);
+
+}  // namespace blast
+}  // namespace oasis

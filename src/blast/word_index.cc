@@ -1,0 +1,120 @@
+// BlastQuery::Prepare — query word table with neighborhood expansion.
+
+#include <algorithm>
+#include <functional>
+
+#include "blast/blast.h"
+#include "util/logging.h"
+
+namespace oasis {
+namespace blast {
+
+using score::ScoreT;
+
+namespace {
+
+/// Recursively enumerates all length-w words whose cumulative substitution
+/// score against query_word is >= threshold, pruning with the per-position
+/// best-possible remainder (branch and bound over sigma^w).
+void EnumerateNeighbors(const score::SubstitutionMatrix& matrix,
+                        const seq::Symbol* query_word, uint32_t word,
+                        ScoreT threshold, const std::vector<ScoreT>& suffix_max,
+                        uint32_t depth, uint64_t code_prefix, ScoreT score_prefix,
+                        const std::function<void(uint64_t)>& emit) {
+  const uint32_t sigma = matrix.size();
+  if (depth == word) {
+    if (score_prefix >= threshold) emit(code_prefix);
+    return;
+  }
+  for (uint32_t b = 0; b < sigma; ++b) {
+    ScoreT s = score_prefix + matrix.Score(query_word[depth], b);
+    // suffix_max[depth + 1]: best achievable over remaining positions.
+    if (s + suffix_max[depth + 1] < threshold) continue;
+    EnumerateNeighbors(matrix, query_word, word, threshold, suffix_max,
+                       depth + 1, code_prefix * sigma + b, s, emit);
+  }
+}
+
+}  // namespace
+
+uint64_t BlastQuery::EncodeWord(const seq::Symbol* word) const {
+  uint64_t code = 0;
+  for (uint32_t k = 0; k < options_.word_size; ++k) {
+    code = code * sigma_ + word[k];
+  }
+  return code;
+}
+
+std::span<const uint32_t> BlastQuery::Positions(uint64_t word_code) const {
+  if (word_code + 1 >= offsets_.size()) return {};
+  uint32_t begin = offsets_[word_code];
+  uint32_t end = offsets_[word_code + 1];
+  return std::span<const uint32_t>(positions_.data() + begin, end - begin);
+}
+
+util::StatusOr<BlastQuery> BlastQuery::Prepare(
+    std::span<const seq::Symbol> query, const score::SubstitutionMatrix& matrix,
+    const BlastOptions& options) {
+  if (options.word_size == 0) {
+    return util::Status::InvalidArgument("word size must be positive");
+  }
+  if (query.size() < options.word_size) {
+    return util::Status::InvalidArgument(
+        "query (length " + std::to_string(query.size()) +
+        ") shorter than the word size " + std::to_string(options.word_size));
+  }
+  const uint32_t sigma = matrix.size();
+  double table = 1.0;
+  for (uint32_t i = 0; i < options.word_size; ++i) table *= sigma;
+  if (table > (1u << 28)) {
+    return util::Status::InvalidArgument(
+        "word table too large (sigma^w overflow); reduce word size");
+  }
+
+  BlastQuery out;
+  out.query_.assign(query.begin(), query.end());
+  out.options_ = options;
+  if (matrix.alphabet().kind() == seq::AlphabetKind::kDna) {
+    out.options_.exact_words_only = true;  // blastn semantics
+  }
+  out.sigma_ = sigma;
+  out.table_size_ = static_cast<uint64_t>(table);
+
+  // Gather (code, query_pos) pairs.
+  std::vector<std::pair<uint64_t, uint32_t>> entries;
+  const uint32_t w = options.word_size;
+  const uint32_t num_query_words = static_cast<uint32_t>(query.size()) - w + 1;
+
+  if (out.options_.exact_words_only) {
+    for (uint32_t pos = 0; pos < num_query_words; ++pos) {
+      entries.push_back({out.EncodeWord(&query[pos]), pos});
+    }
+  } else {
+    // Per-position maximum attainable remainder for branch-and-bound.
+    for (uint32_t pos = 0; pos < num_query_words; ++pos) {
+      std::vector<ScoreT> suffix_max(w + 1, 0);
+      for (int d = static_cast<int>(w) - 1; d >= 0; --d) {
+        suffix_max[d] =
+            suffix_max[d + 1] + matrix.MaxScoreForResidue(query[pos + d]);
+      }
+      EnumerateNeighbors(matrix, &query[pos], w, options.neighbor_threshold,
+                         suffix_max, 0, 0, 0, [&](uint64_t code) {
+                           entries.push_back({code, pos});
+                         });
+    }
+  }
+
+  std::sort(entries.begin(), entries.end());
+  out.num_entries_ = entries.size();
+  out.offsets_.assign(out.table_size_ + 1, 0);
+  for (const auto& [code, pos] : entries) ++out.offsets_[code + 1];
+  for (size_t i = 1; i < out.offsets_.size(); ++i) {
+    out.offsets_[i] += out.offsets_[i - 1];
+  }
+  out.positions_.reserve(entries.size());
+  for (const auto& [code, pos] : entries) out.positions_.push_back(pos);
+  return out;
+}
+
+}  // namespace blast
+}  // namespace oasis

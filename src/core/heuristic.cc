@@ -1,0 +1,19 @@
+#include "core/heuristic.h"
+
+#include <algorithm>
+
+namespace oasis {
+namespace core {
+
+HeuristicVector::HeuristicVector(std::span<const seq::Symbol> query,
+                                 const score::SubstitutionMatrix& matrix) {
+  const size_t n = query.size();
+  h_.assign(n + 1, 0);
+  for (size_t i = n; i-- > 0;) {
+    h_[i] = std::max<score::ScoreT>(
+        0, h_[i + 1] + matrix.MaxScoreForResidue(query[i]));
+  }
+}
+
+}  // namespace core
+}  // namespace oasis

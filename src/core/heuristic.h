@@ -1,0 +1,45 @@
+// The OASIS heuristic vector (paper §3.1).
+//
+// h[i] is an upper bound on the best local-alignment score achievable by
+// the query suffix q_{i+1..n} against *any* target. With non-positive gap
+// scores the optimal completion never uses gaps, so
+//
+//     h[n] = 0,   h[i] = max(0, h[i+1] + max_b S(q_{i+1}, b))
+//
+// The max(0, ...) clamp keeps the bound admissible for residues whose best
+// substitution score is negative (the completion may simply stop early);
+// for matrices with positive diagonals it coincides with the paper's rule.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "score/substitution_matrix.h"
+#include "seq/alphabet.h"
+
+namespace oasis {
+namespace core {
+
+/// Heuristic completion bounds for one query under one matrix.
+class HeuristicVector {
+ public:
+  HeuristicVector(std::span<const seq::Symbol> query,
+                  const score::SubstitutionMatrix& matrix);
+
+  /// Upper bound for completing from query position i (0 <= i <= n).
+  score::ScoreT operator[](size_t i) const { return h_[i]; }
+  size_t size() const { return h_.size(); }
+
+  /// h[0]: the best score any alignment of this query can reach.
+  score::ScoreT max_possible() const { return h_[0]; }
+
+  /// Raw contiguous access for hot loops.
+  const score::ScoreT* data() const { return h_.data(); }
+
+ private:
+  std::vector<score::ScoreT> h_;
+};
+
+}  // namespace core
+}  // namespace oasis

@@ -1,0 +1,563 @@
+#include "core/oasis.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace core {
+
+using score::kNegInf;
+using score::ScoreT;
+
+namespace {
+
+enum class NodeStatus : uint8_t { kViable, kAccepted, kUnviable };
+
+/// A search node (paper §3): mirrors one suffix-tree node.
+struct SearchNode {
+  suffix::PackedNodeRef st;     ///< corresponding suffix-tree node
+  uint32_t depth = 0;           ///< path depth in residues
+  NodeStatus status = NodeStatus::kViable;
+  ScoreT f = 0;                 ///< queue priority (see header)
+  ScoreT max_score = 0;         ///< strongest alignment found on this path
+  uint32_t best_q = 0;          ///< query end (1-based) of max_score
+  uint32_t best_depth = 0;      ///< path depth of max_score
+  /// Child pointers of the packed record, captured at expansion time so a
+  /// viable node's children can be walked without re-reading its record.
+  uint32_t first_internal = suffix::kNone;
+  uint32_t first_leaf = suffix::kNone;
+  std::vector<ScoreT> B;        ///< DP column (empty for accepted/leaf nodes)
+};
+
+/// Priority queue entry; nodes live in an arena and are referenced by
+/// index so the heap stays small.
+struct QueueEntry {
+  ScoreT f;
+  uint32_t depth;
+  uint32_t node;  ///< arena index
+};
+
+struct QueueLess {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+    // Max-heap on f; deeper nodes first among ties (reaches accepts
+    // sooner without affecting correctness).
+    if (a.f != b.f) return a.f < b.f;
+    return a.depth < b.depth;
+  }
+};
+
+/// Min-heap order on per-sequence-adjusted E-values (E-value-ordered
+/// emission mode).
+struct CandidateGreater {
+  bool operator()(const OasisResult& a, const OasisResult& b) const {
+    if (a.evalue != b.evalue) return a.evalue > b.evalue;
+    return a.sequence_id > b.sequence_id;
+  }
+};
+
+/// The state of one Search() invocation.
+class SearchRun {
+ public:
+  SearchRun(const suffix::PackedSuffixTree& tree,
+            const score::SubstitutionMatrix& matrix,
+            std::span<const seq::Symbol> query, const OasisOptions& options,
+            const ResultCallback& callback)
+      : tree_(tree),
+        cursor_(&tree),
+        matrix_(matrix),
+        query_(query),
+        options_(options),
+        callback_(callback),
+        h_(query, matrix) {}
+
+  util::StatusOr<OasisStats> Run() {
+    OASIS_CHECK_GE(options_.min_score, 1);
+    reported_.assign(tree_.num_sequences(), false);
+
+    if (options_.order_by_evalue) {
+      if (options_.karlin.lambda <= 0.0 || options_.karlin.K <= 0.0) {
+        return util::Status::InvalidArgument(
+            "order_by_evalue requires valid KarlinParams in options");
+      }
+      // Shortest sequence length: lower-bounds every per-sequence E.
+      min_seq_len_ = ~0ull;
+      for (uint32_t s = 0; s < tree_.num_sequences(); ++s) {
+        uint64_t len = tree_.TerminatorPos(s) - tree_.SequenceStart(s);
+        min_seq_len_ = std::min(min_seq_len_, len);
+      }
+    }
+
+    // Query profile: profile_[t * (n+1) + i] = S(q_i, t), so the expansion
+    // inner loop reads one contiguous row per arc symbol instead of
+    // indexing the matrix per cell.
+    const size_t n = query_.size();
+    const uint32_t sigma = matrix_.size();
+    profile_.assign(static_cast<size_t>(sigma) * (n + 1), 0);
+    for (uint32_t t = 0; t < sigma; ++t) {
+      for (size_t i = 1; i <= n; ++i) {
+        profile_[t * (n + 1) + i] = matrix_.Score(query_[i - 1], t);
+      }
+    }
+
+    // --- Initialization (Algorithm 2). -----------------------------------
+    // Root node: empty path, B[i] = 0 wherever a completion could reach
+    // minScore, else pruned.
+    SearchNode root;
+    root.st = cursor_.Root();
+    root.depth = 0;
+    {
+      OASIS_ASSIGN_OR_RETURN(suffix::PackedInternalNode rec,
+                             tree_.ReadInternal(0));
+      root.first_internal = rec.first_internal;
+      root.first_leaf = rec.first_leaf;
+    }
+    root.B.assign(query_.size() + 1, kNegInf);
+    ScoreT root_f = kNegInf;
+    for (size_t i = 0; i <= query_.size(); ++i) {
+      if (h_[i] >= options_.min_score || options_.disable_rule3_pruning) {
+        root.B[i] = 0;
+        root_f = std::max(root_f, h_[i]);
+      }
+    }
+    if (root_f < options_.min_score && !options_.disable_rule3_pruning) {
+      // No alignment of this query can reach the threshold.
+      return stats_;
+    }
+    root.f = root_f;
+    root.status = NodeStatus::kViable;
+    Push(std::move(root));
+
+    // --- Main loop (Algorithm 1). -----------------------------------------
+    while (!queue_.empty() && !aborted_) {
+      stats_.max_queue_size = std::max<uint64_t>(stats_.max_queue_size,
+                                                 queue_.size());
+      QueueEntry top = queue_.top();
+      queue_.pop();
+      SearchNode node = std::move(arena_[top.node]);
+      ReleaseSlot(top.node);
+
+      if (node.status == NodeStatus::kAccepted) {
+        OASIS_RETURN_NOT_OK(Report(node));
+      } else {
+        OASIS_RETURN_NOT_OK(ExpandChildren(node));
+      }
+      if (options_.order_by_evalue && !aborted_) {
+        OASIS_RETURN_NOT_OK(FlushCandidates());
+      }
+    }
+    if (options_.order_by_evalue && !aborted_) {
+      OASIS_RETURN_NOT_OK(FlushCandidates());
+    }
+    return stats_;
+  }
+
+  // --- E-value-ordered emission (paper §4.3 sketch) -------------------------
+  //
+  // Pending results are held back until no node on the frontier could
+  // produce a lower per-sequence-adjusted E-value: any future candidate
+  // reaches at most score f(head) on a sequence of at least min_seq_len_
+  // residues, so its E is at least EValue(f(head), min_seq_len_).
+
+  double SequenceEValue(ScoreT s, uint64_t seq_len) const {
+    return score::EValueForScore(options_.karlin, s, query_.size(), seq_len);
+  }
+
+  util::Status FlushCandidates() {
+    while (!candidates_.empty()) {
+      if (!queue_.empty()) {
+        double frontier_floor =
+            SequenceEValue(queue_.top().f, min_seq_len_);
+        if (candidates_.top().evalue > frontier_floor) break;
+      }
+      OasisResult result = candidates_.top();
+      candidates_.pop();
+      OASIS_RETURN_NOT_OK(Emit(std::move(result)));
+      if (aborted_) break;
+    }
+    return util::Status::OK();
+  }
+
+  /// Expands every suffix-tree child of a viable node: the contiguous
+  /// internal-sibling run, then the leaf chain (paper §3.4 layout).
+  util::Status ExpandChildren(const SearchNode& node) {
+    suffix::ChildArc arc;
+    if (node.first_internal != suffix::kNone) {
+      uint32_t idx = node.first_internal;
+      while (true) {
+        OASIS_ASSIGN_OR_RETURN(suffix::PackedInternalNode child,
+                               tree_.ReadInternal(idx));
+        arc.node = suffix::PackedNodeRef::Internal(idx);
+        arc.depth = child.depth();
+        arc.arc_len = child.depth() - node.depth;
+        arc.arc_start = child.sym_offset;
+        OASIS_RETURN_NOT_OK(ExpandInto(node, arc, &child));
+        if (child.last_sibling()) break;
+        ++idx;
+      }
+    }
+    uint32_t leaf = node.first_leaf;
+    while (leaf != suffix::kNone) {
+      uint64_t term = tree_.TerminatorPos(tree_.SequenceOf(leaf));
+      uint64_t label_start = static_cast<uint64_t>(leaf) + node.depth;
+      arc.node = suffix::PackedNodeRef::Leaf(leaf);
+      arc.arc_start = label_start;
+      arc.arc_len = static_cast<uint32_t>(term - label_start);
+      arc.depth = node.depth + arc.arc_len;
+      OASIS_RETURN_NOT_OK(ExpandInto(node, arc, nullptr));
+      OASIS_ASSIGN_OR_RETURN(leaf, tree_.ReadLeafNext(leaf));
+    }
+    return util::Status::OK();
+  }
+
+  util::Status ExpandInto(const SearchNode& parent, const suffix::ChildArc& arc,
+                          const suffix::PackedInternalNode* rec) {
+    OASIS_ASSIGN_OR_RETURN(SearchNode child, Expand(parent, arc));
+    if (child.status == NodeStatus::kUnviable) {
+      ++stats_.nodes_unviable;
+      return util::Status::OK();
+    }
+    if (rec != nullptr) {
+      child.first_internal = rec->first_internal;
+      child.first_leaf = rec->first_leaf;
+    }
+    Push(std::move(child));
+    return util::Status::OK();
+  }
+
+ private:
+  // --- Arena / queue management -------------------------------------------
+
+  void Push(SearchNode&& node) {
+    if (node.status == NodeStatus::kAccepted) {
+      ++stats_.nodes_accepted;
+    } else {
+      ++stats_.nodes_viable;
+    }
+    uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      arena_[slot] = std::move(node);
+    } else {
+      slot = static_cast<uint32_t>(arena_.size());
+      arena_.push_back(std::move(node));
+    }
+    queue_.push(QueueEntry{arena_[slot].f, arena_[slot].depth, slot});
+  }
+
+  void ReleaseSlot(uint32_t slot) {
+    // Recycle the B storage through the expansion scratch pool so arena
+    // reuse does not reallocate.
+    if (arena_[slot].B.capacity() > 0) {
+      b_pool_.push_back(std::move(arena_[slot].B));
+    }
+    free_slots_.push_back(slot);
+  }
+
+  std::vector<ScoreT> TakeColumnStorage(size_t n) {
+    if (!b_pool_.empty()) {
+      std::vector<ScoreT> v = std::move(b_pool_.back());
+      b_pool_.pop_back();
+      v.resize(n);
+      return v;
+    }
+    return std::vector<ScoreT>(n);
+  }
+
+  // --- Expansion (Algorithm 3) ----------------------------------------------
+
+  util::StatusOr<SearchNode> Expand(const SearchNode& parent,
+                                    const suffix::ChildArc& arc) {
+    ++stats_.nodes_expanded;
+    const size_t n = query_.size();
+    const ScoreT gap = matrix_.gap_penalty();
+    const ScoreT min_score = options_.min_score;
+
+    SearchNode node;
+    node.st = arc.node;
+    node.depth = arc.depth;
+    node.max_score = parent.max_score;
+    node.best_q = parent.best_q;
+    node.best_depth = parent.best_depth;
+
+    // Arc labels are fetched lazily in chunks: leaf arcs can run to the end
+    // of their sequence, but expansion usually terminates after a few
+    // columns, so reading the whole label up front is wasted work.
+    constexpr uint32_t kArcChunk = 32;
+    uint32_t buffered = 0;
+
+    const std::vector<ScoreT>* prev = &parent.B;
+    std::vector<ScoreT>& cur = col_buf_;
+    cur.resize(n + 1);
+    std::vector<ScoreT>& keep = node.B;  // filled at the end if viable
+
+    ScoreT h_col = kNegInf;  // completion bound of the last filled column
+    for (uint32_t j = 0; j < arc.arc_len; ++j) {
+      if (j == buffered) {
+        uint32_t chunk = std::min(kArcChunk, arc.arc_len - buffered);
+        OASIS_RETURN_NOT_OK(
+            cursor_.ReadArcSymbols(arc.arc_start + buffered, chunk, &chunk_buf_));
+        if (buffered == 0) {
+          arc_buf_.swap(chunk_buf_);
+        } else {
+          arc_buf_.insert(arc_buf_.end(), chunk_buf_.begin(), chunk_buf_.end());
+        }
+        buffered += chunk;
+      }
+      const seq::Symbol t = arc_buf_[j];
+      OASIS_DCHECK(t != suffix::kTerminatorByte);
+      ++stats_.columns_expanded;
+      stats_.cells_computed += n + 1;
+      h_col = kNegInf;
+
+      // Row 0: the empty query prefix can only delete target symbols;
+      // always <= gap < 0, so it is pruned by rule 1. (Starting the
+      // alignment later in the target is covered by a sibling path.)
+      cur[0] = kNegInf;
+
+      // Branch-light inner loop. kNegInf is INT_MIN/4, so adding a score
+      // or gap to a pruned cell stays deeply negative and is re-pruned by
+      // the v <= 0 rule; no explicit sentinel checks are needed.
+      const ScoreT* prof = profile_.data() + static_cast<size_t>(t) * (n + 1);
+      const ScoreT* p = prev->data();
+      const ScoreT* h = h_.data();
+      ScoreT* c = cur.data();
+      // Ablation switches hoisted into predictable locals; rule 3 off is
+      // expressed as an unreachable threshold.
+      const bool rule2_on = !options_.disable_rule2_pruning;
+      const ScoreT rule3_min =
+          options_.disable_rule3_pruning ? ScoreT{kNegInf / 2} : min_score;
+      ScoreT left = kNegInf;
+      ScoreT maxs = node.max_score;
+      for (size_t i = 1; i <= n; ++i) {
+        ScoreT v = p[i - 1] + prof[i];
+        v = std::max(v, p[i] + gap);
+        v = std::max(v, left + gap);
+        const ScoreT bound = v + h[i];
+        // Pruning rules 1-3 (§3.2).
+        if (v <= 0 || (rule2_on && bound <= maxs) || bound < rule3_min) {
+          c[i] = kNegInf;
+          left = kNegInf;
+          continue;
+        }
+        c[i] = v;
+        left = v;
+        if (v > maxs) {
+          maxs = v;
+          node.best_q = static_cast<uint32_t>(i);
+          node.best_depth = parent.depth + j + 1;
+        }
+        if (bound > h_col) h_col = bound;
+      }
+      node.max_score = maxs;
+
+      // Early termination checks after each column.
+      if (node.max_score >= h_col) {
+        // Nothing below can beat what this path already found.
+        node.status = node.max_score >= min_score ? NodeStatus::kAccepted
+                                                  : NodeStatus::kUnviable;
+        node.f = node.max_score;
+        return node;
+      }
+      if (h_col < min_score && !options_.disable_rule3_pruning) {
+        node.status = NodeStatus::kUnviable;
+        return node;
+      }
+      if (h_col == kNegInf) {
+        // Every cell pruned: nothing to extend regardless of ablation.
+        node.status = NodeStatus::kUnviable;
+        return node;
+      }
+      // Roll the column.
+      if (j == 0) {
+        keep = TakeColumnStorage(n + 1);
+        keep.assign(cur.begin(), cur.end());
+        prev = &keep;
+        std::swap(cur, swap_buf_);
+        cur.resize(n + 1);
+      } else {
+        std::swap(keep, cur);
+        prev = &keep;
+      }
+    }
+
+    if (arc.arc_len == 0) {
+      // Terminator-only leaf arc: the node contributes no new columns; its
+      // value is the path's existing best (paper: "set f and s to the
+      // maximum value seen along the path").
+      h_col = node.max_score;
+      keep = parent.B;
+    }
+
+    if (arc.node.is_leaf) {
+      // The path ends at a terminator; no extension is possible.
+      node.status = node.max_score >= min_score ? NodeStatus::kAccepted
+                                                : NodeStatus::kUnviable;
+      node.f = node.max_score;
+      node.B.clear();
+      return node;
+    }
+
+    // Internal node, arc fully processed, improvements still possible.
+    node.status = NodeStatus::kViable;
+    node.f = h_col;
+    OASIS_DCHECK(node.f >= min_score);
+    return node;
+  }
+
+  // --- Online reporting (Algorithm 1's accept branch) -----------------------
+
+  util::Status Report(const SearchNode& node) {
+    // Every leaf below this node is an occurrence of the path, and the
+    // path carries the alignment of score node.f ending at best_depth.
+    leaf_buf_.clear();
+    OASIS_RETURN_NOT_OK(cursor_.CollectLeafPositions(node.st, &leaf_buf_));
+    for (uint64_t leaf : leaf_buf_) {
+      uint32_t sid = tree_.SequenceOf(leaf);
+      if (!options_.all_alignments) {
+        if (reported_[sid]) continue;
+        reported_[sid] = true;
+      }
+      OasisResult result;
+      result.sequence_id = sid;
+      result.score = node.f;
+      result.db_end_pos = leaf + node.best_depth - 1;
+      result.target_end = result.db_end_pos - tree_.SequenceStart(sid);
+      result.query_end = node.best_q - 1;
+      if (options_.reconstruct_alignments) {
+        OASIS_RETURN_NOT_OK(Reconstruct(leaf, node, &result));
+      }
+      if (options_.order_by_evalue) {
+        uint64_t seq_len = tree_.TerminatorPos(sid) - tree_.SequenceStart(sid);
+        result.evalue = SequenceEValue(result.score, seq_len);
+        candidates_.push(std::move(result));
+      } else {
+        OASIS_RETURN_NOT_OK(Emit(std::move(result)));
+        if (aborted_) return util::Status::OK();
+      }
+    }
+    return util::Status::OK();
+  }
+
+  util::Status Emit(OasisResult result) {
+    ++stats_.results_emitted;
+    if (!options_.all_alignments) ++num_reported_;
+    if (!callback_(result) ||
+        (options_.max_results != 0 &&
+         stats_.results_emitted >= options_.max_results)) {
+      aborted_ = true;
+      return util::Status::OK();
+    }
+    // Paper §3.3: "in a multi-sequence tree, we would continue the search
+    // in order to identify maximal alignments for all sequences" — once
+    // every sequence has its maximal alignment, nothing further can be
+    // emitted in per-sequence mode, so the search is complete. (In
+    // E-value-ordered mode pending candidates must still drain first.)
+    if (!options_.all_alignments && num_reported_ == reported_.size() &&
+        candidates_.empty()) {
+      aborted_ = true;
+    }
+    return util::Status::OK();
+  }
+
+  util::Status Reconstruct(uint64_t leaf, const SearchNode& node,
+                           OasisResult* result) const {
+    // Re-run the pinned DP over the path prefix that carries the best cell.
+    std::vector<uint8_t> bytes;
+    OASIS_RETURN_NOT_OK(tree_.ReadSymbols(leaf, node.best_depth, &bytes));
+    std::vector<seq::Symbol> path(bytes.begin(), bytes.end());
+    align::Alignment aln =
+        align::TracebackPathPinned(query_, path, matrix_);
+    OASIS_CHECK_EQ(aln.score, node.f)
+        << "traceback disagrees with search score";
+    // Shift target coordinates from path-local to sequence-local.
+    uint64_t seq_start = tree_.SequenceStart(result->sequence_id);
+    aln.target_start += leaf - seq_start;
+    aln.target_end += leaf - seq_start;
+    result->alignment = std::move(aln);
+    return util::Status::OK();
+  }
+
+  const suffix::PackedSuffixTree& tree_;
+  suffix::TreeCursor cursor_;
+  const score::SubstitutionMatrix& matrix_;
+  std::span<const seq::Symbol> query_;
+  const OasisOptions& options_;
+  const ResultCallback& callback_;
+  HeuristicVector h_;
+
+  std::vector<SearchNode> arena_;
+  std::vector<uint32_t> free_slots_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, QueueLess> queue_;
+  std::vector<bool> reported_;
+  size_t num_reported_ = 0;
+  OasisStats stats_;
+  bool aborted_ = false;
+
+  // E-value-ordered emission state.
+  std::priority_queue<OasisResult, std::vector<OasisResult>, CandidateGreater>
+      candidates_;
+  uint64_t min_seq_len_ = 1;
+
+  // Scratch buffers reused across expansions.
+  mutable std::vector<uint8_t> arc_buf_;
+  mutable std::vector<uint8_t> chunk_buf_;
+  std::vector<ScoreT> col_buf_;
+  std::vector<ScoreT> swap_buf_;
+  std::vector<uint64_t> leaf_buf_;
+  std::vector<std::vector<ScoreT>> b_pool_;  ///< recycled B-column storage
+  std::vector<ScoreT> profile_;  ///< query profile, sigma rows of n+1
+};
+
+}  // namespace
+
+OasisSearch::OasisSearch(const suffix::PackedSuffixTree* tree,
+                         const score::SubstitutionMatrix* matrix)
+    : tree_(tree), matrix_(matrix) {
+  OASIS_CHECK(tree != nullptr && matrix != nullptr);
+  OASIS_CHECK_EQ(tree->alphabet_size(), matrix->size())
+      << "matrix alphabet must match the indexed database";
+}
+
+util::StatusOr<OasisStats> OasisSearch::Search(
+    std::span<const seq::Symbol> query, const OasisOptions& options,
+    const ResultCallback& callback) const {
+  if (query.empty()) {
+    return util::Status::InvalidArgument("query must be non-empty");
+  }
+  if (options.min_score < 1) {
+    return util::Status::InvalidArgument("min_score must be >= 1");
+  }
+  for (seq::Symbol s : query) {
+    if (s >= matrix_->size()) {
+      return util::Status::InvalidArgument("query contains invalid residue code");
+    }
+  }
+  SearchRun run(*tree_, *matrix_, query, options, callback);
+  return run.Run();
+}
+
+util::StatusOr<std::vector<OasisResult>> OasisSearch::SearchAll(
+    std::span<const seq::Symbol> query, const OasisOptions& options,
+    OasisStats* stats) const {
+  std::vector<OasisResult> results;
+  OASIS_ASSIGN_OR_RETURN(OasisStats st,
+                         Search(query, options, [&](const OasisResult& r) {
+                           results.push_back(r);
+                           return true;
+                         }));
+  if (stats != nullptr) *stats = st;
+  return results;
+}
+
+score::ScoreT OasisSearch::MinScoreForEValue(const score::KarlinParams& karlin,
+                                             double evalue,
+                                             uint64_t query_len) const {
+  uint64_t db_residues = tree_->total_length() - tree_->num_sequences();
+  return score::MinScoreForEValue(karlin, evalue, query_len, db_residues);
+}
+
+}  // namespace core
+}  // namespace oasis

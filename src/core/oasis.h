@@ -1,0 +1,151 @@
+// OASIS: Online and Accurate Search technique for Inferring local
+// alignments on Sequences (paper §3, Algorithms 1-3).
+//
+// A best-first (A*) search over the packed suffix tree. Each search node
+// mirrors a suffix-tree node and carries:
+//   B         one DP column: B[i] = best score of an alignment of some
+//             query substring ending at q_i against the *entire* path
+//             label (target start pinned at the path start; every target
+//             start is enumerated by a different tree path, which is why
+//             the S-W reset-to-zero is absent — §3.2);
+//   MaxScore  the strongest alignment score found anywhere along the path;
+//   f         an optimistic completion bound: max_i(B[i] + h[i]) for
+//             viable nodes, == MaxScore for accepted nodes.
+//
+// Expansion fills the DP columns of a child arc, applying the three
+// pruning rules of §3.2:
+//   1. non-positive cells (covered by the sibling path that starts later);
+//   2. cells whose optimistic completion cannot beat MaxScore (an equal or
+//      better alignment already exists on this path);
+//   3. cells whose optimistic completion cannot reach minScore.
+// A node whose MaxScore can no longer be beaten anywhere below it is
+// ACCEPTED; when an accepted node reaches the head of the f-ordered queue,
+// its alignment is guaranteed to be the global next-best, so it is emitted
+// immediately — the online property.
+//
+// Reporting duplicates S-W behaviour (the paper's mode): one strongest
+// alignment per database sequence, in non-increasing score order.
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "align/traceback.h"
+#include "core/heuristic.h"
+#include "score/karlin.h"
+#include "score/substitution_matrix.h"
+#include "suffix/tree_cursor.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace core {
+
+/// Search configuration.
+struct OasisOptions {
+  /// Minimum alignment score; all alignments with score >= minScore are
+  /// found (must be >= 1: local alignments have positive scores).
+  score::ScoreT min_score = 1;
+
+  /// Stop after this many results have been emitted (0 = unlimited). The
+  /// online ordering guarantees these are the true top-k.
+  uint64_t max_results = 0;
+
+  /// When true, reconstruct the full alignment (operations + coordinates)
+  /// for each emitted result via the pinned-path traceback.
+  bool reconstruct_alignments = false;
+
+  /// Report every accepted alignment location instead of only the best per
+  /// sequence (extension beyond the paper's reporting mode). Each sequence
+  /// is still reported at most once per distinct accepted node.
+  bool all_alignments = false;
+
+  /// Order the result stream by per-sequence-adjusted E-value instead of
+  /// raw score (the paper's §4.3 sketch: sort the queue by an optimistic
+  /// E-value; on acceptance, re-key each sequence with its non-optimistic
+  /// E adjusted for the actual sequence length). With a fixed query, the
+  /// optimistic E is monotone in score, so the search order is unchanged;
+  /// only the emission order of near-tied results across sequences of very
+  /// different lengths differs. Requires `karlin` to be set.
+  bool order_by_evalue = false;
+  score::KarlinParams karlin;
+
+  /// Ablation switches (bench/bench_ablation_pruning.cc): disable pruning
+  /// rule 2 ("existing alignment as good", §3.2) or rule 3 ("threshold
+  /// failure"). Results are unchanged — only more of the search space is
+  /// explored. Rule 1 (non-positive cells) cannot be disabled: without it
+  /// alignments are double-counted across sibling paths.
+  bool disable_rule2_pruning = false;
+  bool disable_rule3_pruning = false;
+};
+
+/// One emitted result.
+struct OasisResult {
+  uint32_t sequence_id = 0;
+  score::ScoreT score = 0;
+  /// Per-sequence-adjusted E-value; only set in order_by_evalue mode
+  /// (negative otherwise).
+  double evalue = -1.0;
+  /// Global position (concatenated coordinates) where the alignment ends.
+  uint64_t db_end_pos = 0;
+  /// 0-based inclusive end within the sequence.
+  uint64_t target_end = 0;
+  /// 0-based inclusive end within the query.
+  uint32_t query_end = 0;
+  /// Filled when OasisOptions::reconstruct_alignments is set.
+  std::optional<align::Alignment> alignment;
+};
+
+/// Search counters (Figure 4 compares columns_expanded against S-W).
+struct OasisStats {
+  uint64_t columns_expanded = 0;   ///< DP columns filled (arc symbols scored)
+  uint64_t cells_computed = 0;
+  uint64_t nodes_expanded = 0;     ///< Expand() invocations
+  uint64_t nodes_viable = 0;
+  uint64_t nodes_accepted = 0;
+  uint64_t nodes_unviable = 0;     ///< pruned subtrees
+  uint64_t results_emitted = 0;
+  uint64_t max_queue_size = 0;
+};
+
+/// Callback invoked for each result as soon as it is proven next-best.
+/// Return false to abort the search (the "scientist aborts after the top
+/// few matches" use case).
+using ResultCallback = std::function<bool(const OasisResult&)>;
+
+/// The OASIS search engine bound to one packed tree. Stateless across
+/// Search() calls; reuse one instance for a query workload.
+class OasisSearch {
+ public:
+  /// `tree` must outlive the searcher. The matrix alphabet must match the
+  /// tree's alphabet.
+  OasisSearch(const suffix::PackedSuffixTree* tree,
+              const score::SubstitutionMatrix* matrix);
+
+  /// Runs the search, emitting results online through `callback` in
+  /// non-increasing score order. Returns the statistics.
+  util::StatusOr<OasisStats> Search(std::span<const seq::Symbol> query,
+                                    const OasisOptions& options,
+                                    const ResultCallback& callback) const;
+
+  /// Convenience: collects all results into a vector.
+  util::StatusOr<std::vector<OasisResult>> SearchAll(
+      std::span<const seq::Symbol> query, const OasisOptions& options,
+      OasisStats* stats = nullptr) const;
+
+  /// Translates a BLAST E-value cutoff into the equivalent minScore for
+  /// this database (paper Eq. 3).
+  score::ScoreT MinScoreForEValue(const score::KarlinParams& karlin,
+                                  double evalue, uint64_t query_len) const;
+
+  const suffix::PackedSuffixTree& tree() const { return *tree_; }
+  const score::SubstitutionMatrix& matrix() const { return *matrix_; }
+
+ private:
+  const suffix::PackedSuffixTree* tree_;
+  const score::SubstitutionMatrix* matrix_;
+};
+
+}  // namespace core
+}  // namespace oasis

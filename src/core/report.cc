@@ -1,0 +1,40 @@
+#include "core/report.h"
+
+#include <sstream>
+
+namespace oasis {
+namespace core {
+
+std::string FormatResult(const OasisResult& result,
+                         const seq::SequenceDatabase& db, double evalue) {
+  std::ostringstream out;
+  const seq::Sequence& target = db.sequence(result.sequence_id);
+  out << target.id() << " score=" << result.score;
+  if (evalue >= 0.0) out << " E=" << evalue;
+  out << " query_end=" << result.query_end
+      << " target_end=" << result.target_end;
+  return out.str();
+}
+
+std::string FormatResultVerbose(const OasisResult& result,
+                                const seq::SequenceDatabase& db,
+                                std::span<const seq::Symbol> query) {
+  std::ostringstream out;
+  out << FormatResult(result, db) << "\n";
+  if (result.alignment.has_value()) {
+    const align::Alignment& aln = *result.alignment;
+    out << "  query  [" << aln.query_start << ", " << aln.query_end << "]\n";
+    out << "  target [" << aln.target_start << ", " << aln.target_end << "]\n";
+    out << "  cigar  " << aln.Cigar() << "\n";
+    const seq::Sequence& target = db.sequence(result.sequence_id);
+    std::string pretty =
+        aln.Pretty(db.alphabet(), query, target.symbols());
+    std::istringstream lines(pretty);
+    std::string line;
+    while (std::getline(lines, line)) out << "    " << line << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace core
+}  // namespace oasis

@@ -1,0 +1,26 @@
+// Human-readable rendering of OASIS results (used by examples and the
+// benchmark harnesses).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/oasis.h"
+#include "seq/database.h"
+
+namespace oasis {
+namespace core {
+
+/// One-line summary: "seq <id> score=<s> E=<e> q[..] t[..]".
+/// `evalue` < 0 suppresses the E-value field.
+std::string FormatResult(const OasisResult& result,
+                         const seq::SequenceDatabase& db, double evalue = -1.0);
+
+/// Multi-line rendering including the pretty alignment when present.
+std::string FormatResultVerbose(const OasisResult& result,
+                                const seq::SequenceDatabase& db,
+                                std::span<const seq::Symbol> query);
+
+}  // namespace core
+}  // namespace oasis

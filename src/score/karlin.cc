@@ -1,0 +1,220 @@
+#include "score/karlin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace score {
+
+namespace {
+
+// Robinson & Robinson (1991) amino-acid background frequencies, the standard
+// protein composition model used by BLAST statistics. Order matches
+// seq::Alphabet::Protein(): A R N D C Q E G H I L K M F P S T W Y V (B,Z,X=0).
+constexpr double kRobinsonFreqs[20] = {
+    0.07805, 0.05129, 0.04487, 0.05364, 0.01925, 0.04264, 0.06295,
+    0.07377, 0.02199, 0.05142, 0.09019, 0.05744, 0.02243, 0.03856,
+    0.05203, 0.07120, 0.05841, 0.01330, 0.03216, 0.06441};
+
+// Pair-score distribution: prob[s - lo] = sum over residue pairs with
+// Score(a,b) == s of p_a * p_b.
+struct ScoreDistribution {
+  int lo = 0;
+  int hi = 0;
+  std::vector<double> prob;  // size hi - lo + 1
+
+  double Prob(int s) const { return prob[static_cast<size_t>(s - lo)]; }
+};
+
+ScoreDistribution PairScoreDistribution(const SubstitutionMatrix& matrix,
+                                        const std::vector<double>& bg) {
+  ScoreDistribution dist;
+  dist.lo = matrix.min_score();
+  dist.hi = matrix.max_score();
+  dist.prob.assign(static_cast<size_t>(dist.hi - dist.lo + 1), 0.0);
+  const uint32_t n = matrix.size();
+  double total = 0.0;
+  for (uint32_t a = 0; a < n; ++a) {
+    if (bg[a] <= 0.0) continue;
+    for (uint32_t b = 0; b < n; ++b) {
+      if (bg[b] <= 0.0) continue;
+      double p = bg[a] * bg[b];
+      dist.prob[static_cast<size_t>(matrix.Score(a, b) - dist.lo)] += p;
+      total += p;
+    }
+  }
+  // Normalize in case the background is not exactly 1 after truncation.
+  if (total > 0.0) {
+    for (double& p : dist.prob) p /= total;
+  }
+  // Trim empty tails so lo/hi are attainable scores.
+  while (dist.lo < dist.hi && dist.prob.front() == 0.0) {
+    dist.prob.erase(dist.prob.begin());
+    ++dist.lo;
+  }
+  while (dist.hi > dist.lo && dist.prob.back() == 0.0) {
+    dist.prob.pop_back();
+    --dist.hi;
+  }
+  return dist;
+}
+
+// phi(lambda) = sum_s p_s * e^{lambda s}. phi(0)=1; with negative mean and
+// positive max score, phi has exactly one positive root lambda* of
+// phi(lambda)=1, and phi is strictly convex.
+double Phi(const ScoreDistribution& d, double lambda) {
+  double sum = 0.0;
+  for (int s = d.lo; s <= d.hi; ++s) {
+    double p = d.Prob(s);
+    if (p > 0.0) sum += p * std::exp(lambda * s);
+  }
+  return sum;
+}
+
+double SolveLambda(const ScoreDistribution& d) {
+  // Bracket the root: phi decreases below 1 just above 0 (negative mean)
+  // and eventually exceeds 1 (positive max score).
+  double hi = 0.5;
+  while (Phi(d, hi) < 1.0) {
+    hi *= 2.0;
+    OASIS_CHECK_LT(hi, 1e4) << "lambda bracket failed";
+  }
+  double lo = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (Phi(d, mid) < 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+int ScoreGcd(const ScoreDistribution& d) {
+  int g = 0;
+  for (int s = d.lo; s <= d.hi; ++s) {
+    if (d.Prob(s) > 0.0 && s != 0) g = std::gcd(g, std::abs(s));
+  }
+  return g == 0 ? 1 : g;
+}
+
+// Karlin-Altschul (1990) series for K; see header comment. P_i, the i-step
+// partial-sum distribution, is built by repeated convolution with the pair
+// distribution. Terms decay geometrically (negative drift), so ~100
+// iterations with an absolute tolerance is ample for any sane matrix.
+double ComputeK(const ScoreDistribution& d, double lambda, double H) {
+  const int kMaxIter = 200;
+  const double kTol = 1e-10;
+  const int span = d.hi - d.lo + 1;
+
+  // walk[j - walk_lo] = P(S_i = j) for the current i.
+  std::vector<double> walk(d.prob);
+  int walk_lo = d.lo;
+
+  double sigma = 0.0;
+  for (int i = 1; i <= kMaxIter; ++i) {
+    // Accumulate this step's term.
+    double term = 0.0;
+    for (size_t idx = 0; idx < walk.size(); ++idx) {
+      int j = walk_lo + static_cast<int>(idx);
+      double p = walk[idx];
+      if (p <= 0.0) continue;
+      term += (j >= 0) ? p : p * std::exp(lambda * j);
+    }
+    sigma += term / i;
+    if (term / i < kTol) break;
+
+    if (i == kMaxIter) break;
+    // Convolve walk with the base distribution for the next step.
+    std::vector<double> next(walk.size() + static_cast<size_t>(span) - 1, 0.0);
+    for (size_t idx = 0; idx < walk.size(); ++idx) {
+      double p = walk[idx];
+      if (p <= 0.0) continue;
+      for (int s = d.lo; s <= d.hi; ++s) {
+        double q = d.Prob(s);
+        if (q > 0.0) next[idx + static_cast<size_t>(s - d.lo)] += p * q;
+      }
+    }
+    walk = std::move(next);
+    walk_lo += d.lo;
+  }
+
+  int gcd = ScoreGcd(d);
+  double K = gcd * lambda * std::exp(-2.0 * sigma) /
+             (H * (1.0 - std::exp(-static_cast<double>(gcd) * lambda)));
+  return K;
+}
+
+}  // namespace
+
+std::vector<double> BackgroundFrequencies(const seq::Alphabet& alphabet) {
+  std::vector<double> bg(alphabet.size(), 0.0);
+  if (alphabet.kind() == seq::AlphabetKind::kDna) {
+    std::fill(bg.begin(), bg.end(), 0.25);
+  } else {
+    for (size_t i = 0; i < 20 && i < bg.size(); ++i) bg[i] = kRobinsonFreqs[i];
+  }
+  return bg;
+}
+
+util::StatusOr<KarlinParams> ComputeKarlinParams(
+    const SubstitutionMatrix& matrix, const std::vector<double>& background) {
+  if (background.size() != matrix.size()) {
+    return util::Status::InvalidArgument(
+        "background frequency vector size mismatch");
+  }
+  ScoreDistribution d = PairScoreDistribution(matrix, background);
+  if (d.hi <= 0) {
+    return util::Status::InvalidArgument(
+        "matrix '" + matrix.name() +
+        "': maximum attainable pair score must be positive");
+  }
+  double mean = 0.0;
+  for (int s = d.lo; s <= d.hi; ++s) mean += s * d.Prob(s);
+  if (mean >= 0.0) {
+    return util::Status::InvalidArgument(
+        "matrix '" + matrix.name() +
+        "': expected pair score must be negative for local alignment "
+        "statistics (got " +
+        std::to_string(mean) + ")");
+  }
+
+  KarlinParams params;
+  params.lambda = SolveLambda(d);
+  // H = lambda * sum_s s p_s e^{lambda s}.
+  double h = 0.0;
+  for (int s = d.lo; s <= d.hi; ++s) {
+    double p = d.Prob(s);
+    if (p > 0.0) h += s * p * std::exp(params.lambda * s);
+  }
+  params.H = params.lambda * h;
+  params.K = ComputeK(d, params.lambda, params.H);
+  return params;
+}
+
+util::StatusOr<KarlinParams> ComputeKarlinParams(const SubstitutionMatrix& matrix) {
+  return ComputeKarlinParams(matrix, BackgroundFrequencies(matrix.alphabet()));
+}
+
+double EValueForScore(const KarlinParams& params, double s, uint64_t query_len,
+                      uint64_t db_len) {
+  return params.K * static_cast<double>(query_len) *
+         static_cast<double>(db_len) * std::exp(-params.lambda * s);
+}
+
+ScoreT MinScoreForEValue(const KarlinParams& params, double evalue,
+                         uint64_t query_len, uint64_t db_len) {
+  OASIS_CHECK_GT(evalue, 0.0);
+  double kmn = params.K * static_cast<double>(query_len) *
+               static_cast<double>(db_len);
+  double s = std::log(kmn / evalue) / params.lambda;
+  ScoreT min_score = static_cast<ScoreT>(std::ceil(s - 1e-9));
+  return std::max<ScoreT>(min_score, 1);
+}
+
+}  // namespace score
+}  // namespace oasis

@@ -1,0 +1,67 @@
+// Karlin-Altschul local-alignment statistics.
+//
+// The paper relates BLAST's E-value selectivity knob to OASIS's minScore
+// threshold (Equations 2 and 3):
+//
+//     E = K * m * n * exp(-lambda * S)                             (Eq. 2)
+//     minScore = ceil( ln(K * m * n / E) / lambda )                (Eq. 3)
+//
+// where m is the query length, n the database size, and (lambda, K) the
+// Karlin-Altschul parameters of the scoring system under the residue
+// background distribution. We compute lambda exactly (unique positive root
+// of sum_s p_s e^{lambda s} = 1), the relative entropy H, and K by the
+// Karlin-Altschul (1990) series method (the same computation as NCBI
+// BLAST's ungapped K): with sigma = sum_{i>=1} (1/i) * [ P(S_i >= 0) +
+// sum_{j<0} P(S_i = j) e^{lambda j} ],
+//
+//     K = d * lambda * exp(-2 * sigma) / (H * (1 - e^{-d * lambda}))
+//
+// where d is the gcd of attainable scores and S_i the i-step random walk of
+// pair scores. The series converges geometrically because the expected pair
+// score is negative.
+
+#pragma once
+
+#include <vector>
+
+#include "score/substitution_matrix.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace score {
+
+/// Karlin-Altschul parameters of a scoring system.
+struct KarlinParams {
+  double lambda = 0.0;  ///< scale of the score distribution (nats/score unit)
+  double K = 0.0;       ///< search-space size correction factor
+  double H = 0.0;       ///< relative entropy per aligned pair (nats)
+};
+
+/// Residue background frequencies used to derive the pair-score
+/// distribution. Returns the Robinson-Robinson frequencies for the protein
+/// alphabet (ambiguity codes B/Z/X get frequency 0) and uniform 1/4 for DNA.
+std::vector<double> BackgroundFrequencies(const seq::Alphabet& alphabet);
+
+/// Computes (lambda, K, H) for `matrix` under `background` frequencies.
+///
+/// Fails with InvalidArgument when the scoring system is invalid for local
+/// alignment statistics: the expected pair score must be negative and the
+/// maximum pair score positive.
+util::StatusOr<KarlinParams> ComputeKarlinParams(
+    const SubstitutionMatrix& matrix, const std::vector<double>& background);
+
+/// ComputeKarlinParams with the default background for the matrix alphabet.
+util::StatusOr<KarlinParams> ComputeKarlinParams(const SubstitutionMatrix& matrix);
+
+/// Eq. 2: the E-value of an alignment with score `s` for a query of length
+/// `query_len` against a database of `db_len` residues.
+double EValueForScore(const KarlinParams& params, double s, uint64_t query_len,
+                      uint64_t db_len);
+
+/// Eq. 3: the smallest integer score whose E-value is <= `evalue`.
+/// Scores below 1 are clamped to 1 (a local alignment score is positive).
+ScoreT MinScoreForEValue(const KarlinParams& params, double evalue,
+                         uint64_t query_len, uint64_t db_len);
+
+}  // namespace score
+}  // namespace oasis

@@ -1,0 +1,112 @@
+#include "score/substitution_matrix.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace score {
+
+SubstitutionMatrix::SubstitutionMatrix(const seq::Alphabet* alphabet,
+                                       std::string name,
+                                       std::vector<ScoreT> table, ScoreT gap)
+    : alphabet_(alphabet),
+      name_(std::move(name)),
+      n_(alphabet->size()),
+      table_(std::move(table)),
+      gap_(gap) {
+  row_max_.resize(n_, kNegInf);
+  max_score_ = kNegInf;
+  min_score_ = -kNegInf;
+  for (uint32_t a = 0; a < n_; ++a) {
+    for (uint32_t b = 0; b < n_; ++b) {
+      ScoreT s = table_[a * n_ + b];
+      row_max_[a] = std::max(row_max_[a], s);
+      max_score_ = std::max(max_score_, s);
+      min_score_ = std::min(min_score_, s);
+    }
+  }
+}
+
+util::StatusOr<SubstitutionMatrix> SubstitutionMatrix::Create(
+    const seq::Alphabet& alphabet, std::string name, std::vector<ScoreT> table,
+    ScoreT gap_penalty) {
+  const size_t expected =
+      static_cast<size_t>(alphabet.size()) * alphabet.size();
+  if (table.size() != expected) {
+    return util::Status::InvalidArgument(
+        "matrix '" + name + "': table has " + std::to_string(table.size()) +
+        " entries, expected " + std::to_string(expected));
+  }
+  if (gap_penalty >= 0) {
+    return util::Status::InvalidArgument(
+        "matrix '" + name + "': gap penalty must be negative, got " +
+        std::to_string(gap_penalty));
+  }
+  return SubstitutionMatrix(&alphabet, std::move(name), std::move(table),
+                            gap_penalty);
+}
+
+const SubstitutionMatrix& SubstitutionMatrix::UnitDna() {
+  static const SubstitutionMatrix* m = [] {
+    const seq::Alphabet& a = seq::Alphabet::Dna();
+    std::vector<ScoreT> t(16, -1);
+    for (uint32_t i = 0; i < 4; ++i) t[i * 4 + i] = 1;
+    auto result = Create(a, "unit", std::move(t), -1);
+    OASIS_CHECK(result.ok());
+    return new SubstitutionMatrix(std::move(result).value());
+  }();
+  return *m;
+}
+
+const SubstitutionMatrix& SubstitutionMatrix::Blastn() {
+  static const SubstitutionMatrix* m = [] {
+    const seq::Alphabet& a = seq::Alphabet::Dna();
+    std::vector<ScoreT> t(16, -4);
+    for (uint32_t i = 0; i < 4; ++i) t[i * 4 + i] = 5;
+    auto result = Create(a, "blastn", std::move(t), -6);
+    OASIS_CHECK(result.ok());
+    return new SubstitutionMatrix(std::move(result).value());
+  }();
+  return *m;
+}
+
+const SubstitutionMatrix& SubstitutionMatrix::Pam30() {
+  static const SubstitutionMatrix* m = [] {
+    const seq::Alphabet& a = seq::Alphabet::Protein();
+    std::vector<ScoreT> t(internal::kPam30Table, internal::kPam30Table + 23 * 23);
+    auto result = Create(a, "PAM30", std::move(t), -11);
+    OASIS_CHECK(result.ok());
+    return new SubstitutionMatrix(std::move(result).value());
+  }();
+  return *m;
+}
+
+const SubstitutionMatrix& SubstitutionMatrix::Blosum62() {
+  static const SubstitutionMatrix* m = [] {
+    const seq::Alphabet& a = seq::Alphabet::Protein();
+    std::vector<ScoreT> t(internal::kBlosum62Table,
+                          internal::kBlosum62Table + 23 * 23);
+    auto result = Create(a, "BLOSUM62", std::move(t), -8);
+    OASIS_CHECK(result.ok());
+    return new SubstitutionMatrix(std::move(result).value());
+  }();
+  return *m;
+}
+
+bool SubstitutionMatrix::IsSymmetric() const {
+  for (uint32_t a = 0; a < n_; ++a) {
+    for (uint32_t b = a + 1; b < n_; ++b) {
+      if (table_[a * n_ + b] != table_[b * n_ + a]) return false;
+    }
+  }
+  return true;
+}
+
+util::StatusOr<SubstitutionMatrix> SubstitutionMatrix::WithGapPenalty(
+    ScoreT gap_penalty) const {
+  return Create(*alphabet_, name_, table_, gap_penalty);
+}
+
+}  // namespace score
+}  // namespace oasis

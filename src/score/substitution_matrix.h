@@ -1,0 +1,108 @@
+// Substitution matrices and the (fixed / linear) gap model of the paper.
+//
+// Every alignment operation is a replacement "a -> b"; insertions are
+// "- -> b" and deletions "a -> -" (paper §2.1). A SubstitutionMatrix stores
+// the residue-by-residue scores plus the gap row/column. The paper (and our
+// implementation, like the paper's) uses the *fixed* gap penalty model: a
+// run of k insertions or deletions contributes k * gap_penalty.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "seq/alphabet.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace score {
+
+/// Alignment scores are small; int32 leaves ample headroom for sums over
+/// maximum-length queries.
+using ScoreT = int32_t;
+
+/// Sentinel for pruned / impossible alignment cells.
+inline constexpr ScoreT kNegInf = std::numeric_limits<ScoreT>::min() / 4;
+
+/// A residue substitution matrix bound to an alphabet, plus a linear gap
+/// penalty. Immutable after construction.
+class SubstitutionMatrix {
+ public:
+  /// Builds a matrix from a dense row-major table of size n*n where
+  /// n == alphabet.size(). `gap_penalty` must be negative (a non-negative
+  /// gap cost breaks the heuristic admissibility argument of §3.1 and is
+  /// rejected).
+  static util::StatusOr<SubstitutionMatrix> Create(const seq::Alphabet& alphabet,
+                                                   std::string name,
+                                                   std::vector<ScoreT> table,
+                                                   ScoreT gap_penalty);
+
+  /// The paper's Table 1 "unit edit distance" matrix on the DNA alphabet:
+  /// +1 match, -1 mismatch, -1 gap.
+  static const SubstitutionMatrix& UnitDna();
+
+  /// blastn-style DNA scoring: +5 match, -4 mismatch, -6 gap.
+  static const SubstitutionMatrix& Blastn();
+
+  /// NCBI PAM30 (protein; the paper's matrix for short queries) with the
+  /// linear gap penalty -11.
+  static const SubstitutionMatrix& Pam30();
+
+  /// NCBI BLOSUM62 (protein) with the linear gap penalty -8.
+  static const SubstitutionMatrix& Blosum62();
+
+  const seq::Alphabet& alphabet() const { return *alphabet_; }
+  const std::string& name() const { return name_; }
+  uint32_t size() const { return n_; }
+  ScoreT gap_penalty() const { return gap_; }
+
+  /// Score of replacing residue code `a` with residue code `b`.
+  /// Precondition: a, b < size().
+  ScoreT Score(seq::Symbol a, seq::Symbol b) const { return table_[a * n_ + b]; }
+
+  /// Score of a replacement where either side may be a terminator symbol
+  /// (code >= size()): aligning against a terminator is impossible.
+  ScoreT ScoreOrNegInf(seq::Symbol a, seq::Symbol b) const {
+    if (a >= n_ || b >= n_) return kNegInf;
+    return table_[a * n_ + b];
+  }
+
+  /// max_b Score(a, b): the best score residue `a` can achieve against any
+  /// database residue. Used by the OASIS heuristic vector (§3.1).
+  ScoreT MaxScoreForResidue(seq::Symbol a) const { return row_max_[a]; }
+
+  /// Largest entry in the matrix.
+  ScoreT max_score() const { return max_score_; }
+  /// Smallest entry in the matrix.
+  ScoreT min_score() const { return min_score_; }
+
+  /// True when the matrix is symmetric (all built-ins are).
+  bool IsSymmetric() const;
+
+  /// Returns a copy with a different gap penalty (must be negative).
+  util::StatusOr<SubstitutionMatrix> WithGapPenalty(ScoreT gap_penalty) const;
+
+ private:
+  SubstitutionMatrix(const seq::Alphabet* alphabet, std::string name,
+                     std::vector<ScoreT> table, ScoreT gap);
+
+  const seq::Alphabet* alphabet_;
+  std::string name_;
+  uint32_t n_;
+  std::vector<ScoreT> table_;    ///< n*n row-major residue scores.
+  std::vector<ScoreT> row_max_;  ///< per-row maxima.
+  ScoreT gap_;
+  ScoreT max_score_;
+  ScoreT min_score_;
+};
+
+namespace internal {
+/// Raw tables defined in matrices_data.cc (row-major, alphabet code order).
+extern const ScoreT kPam30Table[23 * 23];
+extern const ScoreT kBlosum62Table[23 * 23];
+}  // namespace internal
+
+}  // namespace score
+}  // namespace oasis

@@ -1,0 +1,73 @@
+#include "seq/alphabet.h"
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace seq {
+
+Alphabet::Alphabet(AlphabetKind kind, std::string_view letters)
+    : kind_(kind), size_(static_cast<uint32_t>(letters.size())), letters_(letters) {
+  char_to_code_.fill(-1);
+  for (uint32_t i = 0; i < size_; ++i) {
+    char up = Upper(letters_[i]);
+    char_to_code_[static_cast<unsigned char>(up)] = static_cast<int8_t>(i);
+    // Accept lowercase input as well.
+    if (up >= 'A' && up <= 'Z') {
+      char_to_code_[static_cast<unsigned char>(up - 'A' + 'a')] =
+          static_cast<int8_t>(i);
+    }
+  }
+}
+
+const Alphabet& Alphabet::Dna() {
+  static const Alphabet alpha(AlphabetKind::kDna, "ACGT");
+  return alpha;
+}
+
+const Alphabet& Alphabet::Protein() {
+  // Code order matches the row/column order of the built-in PAM/BLOSUM
+  // tables in score/matrices_data.cc.
+  static const Alphabet alpha(AlphabetKind::kProtein, "ARNDCQEGHILKMFPSTWYVBZX");
+  return alpha;
+}
+
+const Alphabet& Alphabet::Get(AlphabetKind kind) {
+  return kind == AlphabetKind::kDna ? Dna() : Protein();
+}
+
+Symbol Alphabet::CharToCode(char c) const {
+  int8_t code = char_to_code_[static_cast<unsigned char>(c)];
+  OASIS_DCHECK(code >= 0) << "invalid residue '" << c << "'";
+  return static_cast<Symbol>(code);
+}
+
+char Alphabet::CodeToChar(Symbol code) const {
+  OASIS_DCHECK(code < size_);
+  return letters_[code];
+}
+
+util::StatusOr<std::vector<Symbol>> Alphabet::Encode(std::string_view text) const {
+  std::vector<Symbol> out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    int8_t code = char_to_code_[static_cast<unsigned char>(c)];
+    if (code < 0) {
+      return util::Status::InvalidArgument(
+          "character '" + std::string(1, c) + "' at position " +
+          std::to_string(i) + " is not in the alphabet");
+    }
+    out.push_back(static_cast<Symbol>(code));
+  }
+  return out;
+}
+
+std::string Alphabet::Decode(const std::vector<Symbol>& codes) const {
+  std::string out;
+  out.reserve(codes.size());
+  for (Symbol s : codes) out.push_back(s < size_ ? letters_[s] : '$');
+  return out;
+}
+
+}  // namespace seq
+}  // namespace oasis

@@ -1,0 +1,79 @@
+// Biological alphabets and symbol encoding.
+//
+// All sequences are stored *encoded*: each residue is a small integer code
+// in [0, size()). Terminator symbols used by the generalized suffix tree
+// live above the alphabet range (see seq/database.h) and are never produced
+// by an Alphabet.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace oasis {
+namespace seq {
+
+/// Encoded residue. Values >= Alphabet::size() are reserved for terminators.
+using Symbol = uint32_t;
+
+enum class AlphabetKind { kDna, kProtein };
+
+/// Maps residue characters <-> dense integer codes.
+///
+/// DNA:      ACGT (4 symbols). 'N' and other IUPAC ambiguity codes are
+///           rejected by Encode (callers sanitize; the workload generators
+///           never emit them).
+/// Protein:  The 20 standard amino acids ARNDCQEGHILKMFPSTWYV, plus the
+///           ambiguity codes B, Z and X accepted by PAM/BLOSUM tables
+///           (23 symbols), matching the matrices in score/matrices_data.cc.
+class Alphabet {
+ public:
+  static const Alphabet& Dna();
+  static const Alphabet& Protein();
+  static const Alphabet& Get(AlphabetKind kind);
+
+  AlphabetKind kind() const { return kind_; }
+
+  /// Number of distinct residue codes.
+  uint32_t size() const { return size_; }
+
+  /// Residue characters in code order, e.g. "ACGT".
+  std::string_view letters() const { return letters_; }
+
+  /// True when `c` (case-insensitive) is a residue of this alphabet.
+  bool IsValidChar(char c) const { return char_to_code_[Upper(c)] >= 0; }
+
+  /// Code for character `c`. Precondition: IsValidChar(c).
+  Symbol CharToCode(char c) const;
+
+  /// Character for code `code`. Precondition: code < size().
+  char CodeToChar(Symbol code) const;
+
+  /// Encodes a residue string. Fails with InvalidArgument on any character
+  /// outside the alphabet (whitespace included).
+  util::StatusOr<std::vector<Symbol>> Encode(std::string_view text) const;
+
+  /// Decodes codes back to characters. Terminator codes (>= size()) are
+  /// rendered as '$'.
+  std::string Decode(const std::vector<Symbol>& codes) const;
+
+ private:
+  Alphabet(AlphabetKind kind, std::string_view letters);
+
+  static char Upper(char c) {
+    return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+  }
+
+  AlphabetKind kind_;
+  uint32_t size_;
+  std::string letters_;
+  std::array<int8_t, 256> char_to_code_;
+};
+
+}  // namespace seq
+}  // namespace oasis

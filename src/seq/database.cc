@@ -1,0 +1,56 @@
+#include "seq/database.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace seq {
+
+util::StatusOr<SequenceDatabase> SequenceDatabase::Build(
+    const Alphabet& alphabet, std::vector<Sequence> sequences) {
+  if (sequences.empty()) {
+    return util::Status::InvalidArgument("database must contain at least one sequence");
+  }
+  uint64_t total = 0;
+  for (size_t i = 0; i < sequences.size(); ++i) {
+    if (sequences[i].empty()) {
+      return util::Status::InvalidArgument("sequence " + std::to_string(i) + " ('" +
+                                           sequences[i].id() + "') is empty");
+    }
+    total += sequences[i].size() + 1;  // +1 terminator
+  }
+
+  std::vector<Symbol> symbols;
+  symbols.reserve(total);
+  std::vector<GlobalPos> starts;
+  starts.reserve(sequences.size());
+
+  for (size_t i = 0; i < sequences.size(); ++i) {
+    starts.push_back(symbols.size());
+    const std::vector<Symbol>& src = sequences[i].symbols();
+    for (Symbol s : src) {
+      if (s >= alphabet.size()) {
+        return util::Status::InvalidArgument(
+            "sequence '" + sequences[i].id() +
+            "' contains a symbol code outside the alphabet");
+      }
+    }
+    symbols.insert(symbols.end(), src.begin(), src.end());
+    symbols.push_back(alphabet.size() + static_cast<Symbol>(i));
+  }
+  OASIS_CHECK_EQ(symbols.size(), total);
+
+  return SequenceDatabase(&alphabet, std::move(sequences), std::move(symbols),
+                          std::move(starts));
+}
+
+SequenceCoord SequenceDatabase::Locate(GlobalPos pos) const {
+  OASIS_DCHECK(pos < symbols_.size());
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+  SequenceId id = static_cast<SequenceId>(it - starts_.begin() - 1);
+  return SequenceCoord{id, pos - starts_[id]};
+}
+
+}  // namespace seq
+}  // namespace oasis

@@ -1,0 +1,94 @@
+// SequenceDatabase: the concatenated, terminator-separated symbol store that
+// the generalized suffix tree and all search algorithms operate on.
+//
+// Layout of the concatenated buffer for sequences s0..s_{k-1}:
+//
+//   [ s0 symbols | T0 | s1 symbols | T1 | ... | s_{k-1} symbols | T_{k-1} ]
+//
+// where terminator Ti = alphabet.size() + i is *unique per sequence*. Unique
+// terminators make Ukkonen's algorithm over the concatenation produce a true
+// generalized suffix tree: no path can span a sequence boundary, and no two
+// sequences' suffixes can collapse onto a shared terminator edge.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace seq {
+
+/// Global position in the concatenated buffer.
+using GlobalPos = uint64_t;
+/// Sequence ordinal within the database.
+using SequenceId = uint32_t;
+
+/// A (sequence, offset) coordinate resolved from a global position.
+struct SequenceCoord {
+  SequenceId sequence_id = 0;
+  uint64_t offset = 0;  ///< 0-based offset within the sequence.
+};
+
+/// Immutable multi-sequence database over one alphabet.
+class SequenceDatabase {
+ public:
+  /// Builds the concatenated representation. Fails if `sequences` is empty
+  /// or any sequence is empty.
+  static util::StatusOr<SequenceDatabase> Build(const Alphabet& alphabet,
+                                                std::vector<Sequence> sequences);
+
+  const Alphabet& alphabet() const { return *alphabet_; }
+
+  size_t num_sequences() const { return sequences_.size(); }
+  const Sequence& sequence(SequenceId id) const { return sequences_[id]; }
+  const std::vector<Sequence>& sequences() const { return sequences_; }
+
+  /// Concatenated symbols including terminators.
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+  /// Total length including terminators.
+  uint64_t total_length() const { return symbols_.size(); }
+  /// Total residue count excluding terminators.
+  uint64_t num_residues() const { return symbols_.size() - sequences_.size(); }
+
+  /// First terminator code; terminator for sequence i is kTermBase + i.
+  Symbol terminator_base() const { return alphabet_->size(); }
+  /// True when `s` is any sequence terminator.
+  bool IsTerminator(Symbol s) const { return s >= alphabet_->size(); }
+  /// Terminator symbol of sequence `id`.
+  Symbol TerminatorOf(SequenceId id) const { return alphabet_->size() + id; }
+
+  /// Global position of the first symbol of sequence `id`.
+  GlobalPos SequenceStart(SequenceId id) const { return starts_[id]; }
+  /// Global position one past the last residue (== terminator position).
+  GlobalPos SequenceEnd(SequenceId id) const {
+    return starts_[id] + sequences_[id].size();
+  }
+
+  /// Maps a global position (residue or terminator) to (sequence, offset).
+  /// Precondition: pos < total_length().
+  SequenceCoord Locate(GlobalPos pos) const;
+
+  /// Sequence id owning global position `pos` (terminators belong to their
+  /// sequence). Precondition: pos < total_length().
+  SequenceId SequenceOf(GlobalPos pos) const { return Locate(pos).sequence_id; }
+
+ private:
+  SequenceDatabase(const Alphabet* alphabet, std::vector<Sequence> sequences,
+                   std::vector<Symbol> symbols, std::vector<GlobalPos> starts)
+      : alphabet_(alphabet),
+        sequences_(std::move(sequences)),
+        symbols_(std::move(symbols)),
+        starts_(std::move(starts)) {}
+
+  const Alphabet* alphabet_ = nullptr;
+  std::vector<Sequence> sequences_;
+  std::vector<Symbol> symbols_;
+  std::vector<GlobalPos> starts_;  ///< start position per sequence, ascending.
+};
+
+}  // namespace seq
+}  // namespace oasis

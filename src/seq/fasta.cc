@@ -1,0 +1,102 @@
+#include "seq/fasta.h"
+
+#include <fstream>
+
+namespace oasis {
+namespace seq {
+
+namespace {
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+}  // namespace
+
+util::StatusOr<std::vector<Sequence>> ReadFasta(std::istream& in,
+                                                const Alphabet& alphabet) {
+  std::vector<Sequence> records;
+  std::string line;
+  std::string id;
+  std::string description;
+  std::string residues;
+  bool in_record = false;
+  size_t line_no = 0;
+
+  auto flush = [&]() -> util::Status {
+    auto encoded = alphabet.Encode(residues);
+    if (!encoded.ok()) {
+      return util::Status::InvalidArgument("record '" + id + "': " +
+                                           encoded.status().message());
+    }
+    records.emplace_back(std::move(id), std::move(description),
+                         std::move(encoded).value());
+    id.clear();
+    description.clear();
+    residues.clear();
+    return util::Status::OK();
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    StripTrailingCr(&line);
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      if (in_record) OASIS_RETURN_NOT_OK(flush());
+      in_record = true;
+      size_t ws = line.find_first_of(" \t");
+      if (ws == std::string::npos) {
+        id = line.substr(1);
+      } else {
+        id = line.substr(1, ws - 1);
+        size_t desc_start = line.find_first_not_of(" \t", ws);
+        if (desc_start != std::string::npos) description = line.substr(desc_start);
+      }
+      if (id.empty()) {
+        return util::Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": empty FASTA identifier");
+      }
+    } else {
+      if (!in_record) {
+        return util::Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": residue data before any '>' header");
+      }
+      residues += line;
+    }
+  }
+  if (in_record) OASIS_RETURN_NOT_OK(flush());
+  return records;
+}
+
+util::StatusOr<std::vector<Sequence>> ReadFastaFile(const std::string& path,
+                                                    const Alphabet& alphabet) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IOError("cannot open '" + path + "' for reading");
+  return ReadFasta(in, alphabet);
+}
+
+util::Status WriteFasta(std::ostream& out, const Alphabet& alphabet,
+                        const std::vector<Sequence>& records, int width) {
+  if (width <= 0) return util::Status::InvalidArgument("line width must be positive");
+  for (const Sequence& rec : records) {
+    out << '>' << rec.id();
+    if (!rec.description().empty()) out << ' ' << rec.description();
+    out << '\n';
+    std::string text = rec.ToString(alphabet);
+    for (size_t pos = 0; pos < text.size(); pos += static_cast<size_t>(width)) {
+      out << text.substr(pos, static_cast<size_t>(width)) << '\n';
+    }
+    if (text.empty()) out << '\n';
+  }
+  if (!out) return util::Status::IOError("FASTA write failed");
+  return util::Status::OK();
+}
+
+util::Status WriteFastaFile(const std::string& path, const Alphabet& alphabet,
+                            const std::vector<Sequence>& records, int width) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IOError("cannot open '" + path + "' for writing");
+  return WriteFasta(out, alphabet, records, width);
+}
+
+}  // namespace seq
+}  // namespace oasis

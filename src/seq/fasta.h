@@ -1,0 +1,39 @@
+// FASTA reading and writing.
+//
+// The parser is deliberately strict about structure (a record must start
+// with '>') but tolerant about formatting: blank lines, Windows line
+// endings and lowercase residues are accepted. Characters outside the
+// alphabet fail the parse with a line-numbered error.
+
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace seq {
+
+/// Parses all FASTA records from `in`. The header line `>id description`
+/// is split at the first whitespace.
+util::StatusOr<std::vector<Sequence>> ReadFasta(std::istream& in,
+                                                const Alphabet& alphabet);
+
+/// Parses a FASTA file from disk.
+util::StatusOr<std::vector<Sequence>> ReadFastaFile(const std::string& path,
+                                                    const Alphabet& alphabet);
+
+/// Writes records to `out`, wrapping residue lines at `width` characters.
+util::Status WriteFasta(std::ostream& out, const Alphabet& alphabet,
+                        const std::vector<Sequence>& records, int width = 70);
+
+/// Writes records to a file.
+util::Status WriteFastaFile(const std::string& path, const Alphabet& alphabet,
+                            const std::vector<Sequence>& records, int width = 70);
+
+}  // namespace seq
+}  // namespace oasis

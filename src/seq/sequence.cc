@@ -1,0 +1,14 @@
+#include "seq/sequence.h"
+
+namespace oasis {
+namespace seq {
+
+util::StatusOr<Sequence> Sequence::FromString(const Alphabet& alphabet,
+                                              std::string id,
+                                              std::string_view residues) {
+  OASIS_ASSIGN_OR_RETURN(std::vector<Symbol> codes, alphabet.Encode(residues));
+  return Sequence(std::move(id), std::move(codes));
+}
+
+}  // namespace seq
+}  // namespace oasis

@@ -1,0 +1,51 @@
+// A named, encoded biological sequence.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/alphabet.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace seq {
+
+/// An immutable encoded sequence with an identifier and optional
+/// description (FASTA header fields).
+class Sequence {
+ public:
+  Sequence() = default;
+  Sequence(std::string id, std::vector<Symbol> symbols)
+      : id_(std::move(id)), symbols_(std::move(symbols)) {}
+  Sequence(std::string id, std::string description, std::vector<Symbol> symbols)
+      : id_(std::move(id)),
+        description_(std::move(description)),
+        symbols_(std::move(symbols)) {}
+
+  /// Encodes `residues` with `alphabet`. Fails on invalid characters.
+  static util::StatusOr<Sequence> FromString(const Alphabet& alphabet,
+                                             std::string id,
+                                             std::string_view residues);
+
+  const std::string& id() const { return id_; }
+  const std::string& description() const { return description_; }
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+  size_t size() const { return symbols_.size(); }
+  bool empty() const { return symbols_.empty(); }
+  Symbol operator[](size_t i) const { return symbols_[i]; }
+
+  /// Residue string under `alphabet`.
+  std::string ToString(const Alphabet& alphabet) const {
+    return alphabet.Decode(symbols_);
+  }
+
+ private:
+  std::string id_;
+  std::string description_;
+  std::vector<Symbol> symbols_;
+};
+
+}  // namespace seq
+}  // namespace oasis

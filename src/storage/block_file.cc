@@ -1,0 +1,152 @@
+#include "storage/block_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace storage {
+
+namespace {
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + std::strerror(errno);
+}
+}  // namespace
+
+BlockFile::~BlockFile() { Close(); }
+
+BlockFile::BlockFile(BlockFile&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)),
+      block_size_(other.block_size_), num_blocks_(other.num_blocks_) {
+  other.fd_ = -1;
+}
+
+BlockFile& BlockFile::operator=(BlockFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    block_size_ = other.block_size_;
+    num_blocks_ = other.num_blocks_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+util::StatusOr<BlockFile> BlockFile::Create(const std::string& path,
+                                            uint32_t block_size) {
+  if (block_size == 0) {
+    return util::Status::InvalidArgument("block size must be positive");
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return util::Status::IOError(Errno("create", path));
+  return BlockFile(fd, path, block_size, 0);
+}
+
+util::StatusOr<BlockFile> BlockFile::Open(const std::string& path,
+                                          uint32_t block_size) {
+  if (block_size == 0) {
+    return util::Status::InvalidArgument("block size must be positive");
+  }
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return util::Status::IOError(Errno("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return util::Status::IOError(Errno("stat", path));
+  }
+  if (st.st_size % block_size != 0) {
+    ::close(fd);
+    return util::Status::Corruption(
+        "file '" + path + "' size " + std::to_string(st.st_size) +
+        " is not a multiple of block size " + std::to_string(block_size));
+  }
+  return BlockFile(fd, path, block_size,
+                   static_cast<uint64_t>(st.st_size) / block_size);
+}
+
+util::StatusOr<BlockId> BlockFile::AppendBlock(const void* data) {
+  if (fd_ < 0) return util::Status::IOError("block file is closed");
+  off_t offset = static_cast<off_t>(num_blocks_) * block_size_;
+  ssize_t written = ::pwrite(fd_, data, block_size_, offset);
+  if (written != static_cast<ssize_t>(block_size_)) {
+    return util::Status::IOError(Errno("write", path_));
+  }
+  return num_blocks_++;
+}
+
+util::Status BlockFile::ReadBlock(BlockId id, void* out) const {
+  if (fd_ < 0) return util::Status::IOError("block file is closed");
+  if (id >= num_blocks_) {
+    return util::Status::OutOfRange("block " + std::to_string(id) +
+                                    " beyond end (" +
+                                    std::to_string(num_blocks_) + " blocks)");
+  }
+  off_t offset = static_cast<off_t>(id) * block_size_;
+  ssize_t got = ::pread(fd_, out, block_size_, offset);
+  if (got != static_cast<ssize_t>(block_size_)) {
+    return util::Status::IOError(Errno("read", path_));
+  }
+  return util::Status::OK();
+}
+
+util::Status BlockFile::Flush() {
+  if (fd_ < 0) return util::Status::IOError("block file is closed");
+  if (::fsync(fd_) != 0) return util::Status::IOError(Errno("fsync", path_));
+  return util::Status::OK();
+}
+
+void BlockFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::StatusOr<RecordBlockWriter> RecordBlockWriter::Create(BlockFile* file,
+                                                            uint32_t record_size) {
+  OASIS_CHECK(file != nullptr);
+  if (record_size == 0 || record_size > file->block_size()) {
+    return util::Status::InvalidArgument("record size must be in (0, block_size]");
+  }
+  if (file->block_size() % record_size != 0) {
+    return util::Status::InvalidArgument(
+        "record size " + std::to_string(record_size) +
+        " must divide block size " + std::to_string(file->block_size()));
+  }
+  return RecordBlockWriter(file, record_size, file->block_size() / record_size);
+}
+
+util::Status RecordBlockWriter::Append(const void* record) {
+  if (finished_) return util::Status::Internal("Append after Finish");
+  std::memcpy(buffer_.data() + static_cast<size_t>(in_buffer_) * record_size_,
+              record, record_size_);
+  ++in_buffer_;
+  ++num_records_;
+  if (in_buffer_ == records_per_block_) {
+    OASIS_ASSIGN_OR_RETURN(BlockId id, file_->AppendBlock(buffer_.data()));
+    (void)id;
+    std::memset(buffer_.data(), 0, buffer_.size());
+    in_buffer_ = 0;
+  }
+  return util::Status::OK();
+}
+
+util::Status RecordBlockWriter::Finish() {
+  if (finished_) return util::Status::OK();
+  finished_ = true;
+  if (in_buffer_ > 0) {
+    OASIS_ASSIGN_OR_RETURN(BlockId id, file_->AppendBlock(buffer_.data()));
+    (void)id;
+    in_buffer_ = 0;
+  }
+  return file_->Flush();
+}
+
+}  // namespace storage
+}  // namespace oasis

@@ -1,0 +1,167 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace storage {
+
+PageHandle::~PageHandle() {
+  if (pool_ != nullptr) pool_->Unpin(frame_);
+}
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_), data_(other.data_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) pool_->Unpin(frame_);
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+BufferPool::BufferPool(uint64_t capacity_bytes, uint32_t block_size)
+    : block_size_(block_size) {
+  OASIS_CHECK_GT(block_size, 0u);
+  uint64_t frames = capacity_bytes / block_size;
+  num_frames_ = static_cast<uint32_t>(
+      std::clamp<uint64_t>(frames, 1, 1u << 28));
+  memory_.resize(static_cast<size_t>(num_frames_) * block_size_);
+  frames_.resize(num_frames_);
+}
+
+BufferPool::~BufferPool() { OASIS_CHECK_EQ(num_pinned(), 0u); }
+
+util::StatusOr<SegmentId> BufferPool::RegisterSegment(std::string name,
+                                                      const BlockFile* file) {
+  OASIS_CHECK(file != nullptr);
+  if (file->block_size() != block_size_) {
+    return util::Status::InvalidArgument(
+        "segment '" + name + "' block size " +
+        std::to_string(file->block_size()) + " != pool block size " +
+        std::to_string(block_size_));
+  }
+  files_.push_back(file);
+  names_.push_back(std::move(name));
+  stats_.emplace_back();
+  return static_cast<SegmentId>(files_.size() - 1);
+}
+
+util::StatusOr<PageHandle> BufferPool::Fetch(SegmentId segment, BlockId block) {
+  if (segment >= files_.size()) {
+    return util::Status::InvalidArgument("unknown segment id " +
+                                         std::to_string(segment));
+  }
+  SegmentStats& st = stats_[segment];
+  ++st.requests;
+
+  // Single-entry memo: repeated fetches of the same block (sibling record
+  // runs, sequential arc reads) skip the hash probe.
+  const uint64_t key = Key(segment, block);
+  if (key == memo_key_) {
+    Frame& f = frames_[memo_frame_];
+    if (f.occupied && f.segment == segment && f.block == block) {
+      ++st.hits;
+      ++f.pin_count;
+      f.referenced = true;
+      return PageHandle(this, memo_frame_,
+                        memory_.data() +
+                            static_cast<size_t>(memo_frame_) * block_size_);
+    }
+  }
+
+  auto it = page_table_.find(key);
+  if (it != page_table_.end()) {
+    ++st.hits;
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    f.referenced = true;
+    memo_key_ = key;
+    memo_frame_ = it->second;
+    return PageHandle(this, it->second,
+                      memory_.data() + static_cast<size_t>(it->second) * block_size_);
+  }
+
+  OASIS_ASSIGN_OR_RETURN(uint32_t victim, FindVictim());
+  Frame& f = frames_[victim];
+  if (f.occupied) {
+    page_table_.erase(Key(f.segment, f.block));
+  }
+  uint8_t* slot = memory_.data() + static_cast<size_t>(victim) * block_size_;
+  OASIS_RETURN_NOT_OK(files_[segment]->ReadBlock(block, slot));
+  f.segment = segment;
+  f.block = block;
+  f.pin_count = 1;
+  f.referenced = true;
+  f.occupied = true;
+  page_table_[key] = victim;
+  memo_key_ = key;
+  memo_frame_ = victim;
+  return PageHandle(this, victim, slot);
+}
+
+util::StatusOr<uint32_t> BufferPool::FindVictim() {
+  // CLOCK: sweep at most two full revolutions; first pass clears reference
+  // bits, second pass must find an unpinned frame unless all are pinned.
+  for (uint64_t step = 0; step < 2ull * num_frames_ + 1; ++step) {
+    Frame& f = frames_[clock_hand_];
+    uint32_t candidate = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % num_frames_;
+    if (!f.occupied) return candidate;
+    if (f.pin_count > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    return candidate;
+  }
+  return util::Status::Internal("buffer pool exhausted: all frames pinned");
+}
+
+void BufferPool::Unpin(uint32_t frame) {
+  Frame& f = frames_[frame];
+  OASIS_CHECK_GT(f.pin_count, 0u);
+  --f.pin_count;
+}
+
+SegmentStats BufferPool::TotalStats() const {
+  SegmentStats total;
+  for (const SegmentStats& s : stats_) {
+    total.requests += s.requests;
+    total.hits += s.hits;
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (SegmentStats& s : stats_) s = SegmentStats{};
+}
+
+void BufferPool::Clear() {
+  OASIS_CHECK_EQ(num_pinned(), 0u);
+  for (Frame& f : frames_) f = Frame{};
+  page_table_.clear();
+  clock_hand_ = 0;
+  memo_key_ = ~0ull;
+  memo_frame_ = 0;
+}
+
+uint32_t BufferPool::num_pinned() const {
+  uint32_t pinned = 0;
+  for (const Frame& f : frames_) {
+    if (f.occupied && f.pin_count > 0) ++pinned;
+  }
+  return pinned;
+}
+
+}  // namespace storage
+}  // namespace oasis

@@ -1,0 +1,146 @@
+// Buffer pool with CLOCK (second-chance) replacement.
+//
+// The paper's implementation "reads disk pages from a buffer pool, which
+// uses a simple clock replacement policy" (§4.2) with a 2K block size, and
+// evaluates performance against the pool size (Figure 7) and per-component
+// buffer hit ratios (Figure 8). Each logical component of the packed suffix
+// tree (symbols / internal nodes / leaves) registers as a separate *segment*
+// backed by its own BlockFile; frames are shared across segments so the
+// pool size is a single global knob, while request/hit statistics are kept
+// per segment.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/block_file.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace storage {
+
+using SegmentId = uint32_t;
+
+/// Request/hit counters for one segment.
+struct SegmentStats {
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+
+  uint64_t misses() const { return requests - hits; }
+  double hit_ratio() const {
+    return requests == 0 ? 1.0 : static_cast<double>(hits) / requests;
+  }
+};
+
+/// A page pinned in the pool. Unpins on destruction. The data pointer stays
+/// valid while the handle is alive; the pool never evicts pinned frames.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  ~PageHandle();
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+
+  const uint8_t* data() const { return data_; }
+  bool valid() const { return pool_ != nullptr; }
+
+ private:
+  friend class BufferPool;
+  PageHandle(class BufferPool* pool, uint32_t frame, const uint8_t* data)
+      : pool_(pool), frame_(frame), data_(data) {}
+
+  class BufferPool* pool_ = nullptr;
+  uint32_t frame_ = 0;
+  const uint8_t* data_ = nullptr;
+};
+
+/// Fixed-capacity shared buffer pool over registered block files.
+///
+/// Not thread-safe (single-threaded searches, matching the paper).
+class BufferPool {
+ public:
+  /// `capacity_bytes` is rounded down to whole frames of `block_size`;
+  /// at least one frame is always allocated.
+  BufferPool(uint64_t capacity_bytes, uint32_t block_size = kDefaultBlockSize);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Registers a backing file as a segment. The file must outlive the pool
+  /// and have the pool's block size.
+  util::StatusOr<SegmentId> RegisterSegment(std::string name, const BlockFile* file);
+
+  uint32_t block_size() const { return block_size_; }
+  uint32_t num_frames() const { return num_frames_; }
+  uint64_t capacity_bytes() const {
+    return static_cast<uint64_t>(num_frames_) * block_size_;
+  }
+
+  /// Fetches block `block` of `segment`, pinning it. Counts one request,
+  /// and one hit when the block was already resident.
+  util::StatusOr<PageHandle> Fetch(SegmentId segment, BlockId block);
+
+  /// Statistics for one segment.
+  const SegmentStats& stats(SegmentId segment) const { return stats_[segment]; }
+  const std::string& segment_name(SegmentId segment) const {
+    return names_[segment];
+  }
+  size_t num_segments() const { return files_.size(); }
+
+  /// Aggregate statistics over all segments.
+  SegmentStats TotalStats() const;
+
+  /// Zeroes all statistics (the cached pages stay resident).
+  void ResetStats();
+
+  /// Drops all cached pages (fails any future hit) and resets the clock.
+  /// Precondition: no pages pinned.
+  void Clear();
+
+  /// Number of currently pinned frames (for tests).
+  uint32_t num_pinned() const;
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    SegmentId segment = 0;
+    BlockId block = 0;
+    uint32_t pin_count = 0;
+    bool referenced = false;
+    bool occupied = false;
+  };
+
+  void Unpin(uint32_t frame);
+  /// CLOCK sweep; returns a victim frame index or fails when all pinned.
+  util::StatusOr<uint32_t> FindVictim();
+
+  uint32_t block_size_;
+  uint32_t num_frames_;
+  std::vector<uint8_t> memory_;  ///< num_frames_ * block_size_ bytes.
+  std::vector<Frame> frames_;
+  uint32_t clock_hand_ = 0;
+
+  std::vector<const BlockFile*> files_;
+  std::vector<std::string> names_;
+  mutable std::vector<SegmentStats> stats_;
+
+  /// (segment, block) -> frame index.
+  std::unordered_map<uint64_t, uint32_t> page_table_;
+  /// Last-fetch memo (hot-path shortcut; see Fetch).
+  uint64_t memo_key_ = ~0ull;
+  uint32_t memo_frame_ = 0;
+  static uint64_t Key(SegmentId segment, BlockId block) {
+    return (static_cast<uint64_t>(segment) << 48) | block;
+  }
+};
+
+}  // namespace storage
+}  // namespace oasis

@@ -1,0 +1,213 @@
+#include "suffix/packed_builder.h"
+
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+
+#include "storage/block_file.h"
+#include "util/random.h"
+#include "util/logging.h"
+
+namespace oasis {
+namespace suffix {
+
+namespace {
+
+util::Status WriteSymbolsFile(const SuffixTree& tree, const std::string& path,
+                              uint32_t block_size) {
+  const seq::SequenceDatabase& db = tree.database();
+  OASIS_ASSIGN_OR_RETURN(storage::BlockFile file,
+                         storage::BlockFile::Create(path, block_size));
+  OASIS_ASSIGN_OR_RETURN(storage::RecordBlockWriter writer,
+                         storage::RecordBlockWriter::Create(&file, 1));
+  const uint32_t sigma = db.alphabet().size();
+  for (seq::Symbol s : db.symbols()) {
+    uint8_t byte = s < sigma ? static_cast<uint8_t>(s) : kTerminatorByte;
+    OASIS_RETURN_NOT_OK(writer.Append(&byte));
+  }
+  return writer.Finish();
+}
+
+util::Status WriteMeta(const SuffixTree& tree, uint64_t num_internal,
+                       const std::string& path, uint32_t block_size) {
+  const seq::SequenceDatabase& db = tree.database();
+  std::ofstream out(path);
+  if (!out) return util::Status::IOError("cannot write metadata '" + path + "'");
+  out << "num_internal " << num_internal << "\n";
+  out << "total_length " << db.total_length() << "\n";
+  out << "sigma " << db.alphabet().size() << "\n";
+  out << "block_size " << block_size << "\n";
+  out << "alphabet_kind "
+      << (db.alphabet().kind() == seq::AlphabetKind::kDna ? 0 : 1) << "\n";
+  out << "num_sequences " << db.num_sequences() << "\n";
+  for (size_t i = 0; i < db.num_sequences(); ++i) {
+    out << "seq_start " << db.SequenceStart(static_cast<seq::SequenceId>(i))
+        << "\n";
+  }
+  out.flush();
+  if (!out) return util::Status::IOError("metadata write failed");
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status PackSuffixTree(const SuffixTree& tree, const std::string& dir,
+                            const PackOptions& options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::IOError("cannot create index directory '" + dir +
+                                 "': " + ec.message());
+  }
+  const seq::SequenceDatabase& db = tree.database();
+  if (db.alphabet().size() >= kTerminatorByte) {
+    return util::Status::NotSupported("alphabet too large for packed format");
+  }
+  if (db.total_length() > 0x7FFFFFFFull) {
+    return util::Status::NotSupported(
+        "database too large for 31-bit packed node pointers");
+  }
+
+  // --- Pass 1: BFS over internal nodes assigns level-first indices. -------
+  // BFS processes each internal node's internal children as one contiguous
+  // run, which is exactly the sibling-adjacency the format requires.
+  //
+  // In scatter mode (layout ablation), the sibling *groups* gathered by the
+  // BFS are permuted before index assignment: runs stay contiguous, but
+  // related groups no longer share blocks.
+  std::vector<NodeId> bfs_order;          // packed idx -> in-memory node id
+  std::vector<uint32_t> packed_idx(tree.num_nodes(), kNone);
+  {
+    std::vector<std::vector<NodeId>> groups;
+    groups.push_back({tree.root()});
+    std::deque<NodeId> queue{tree.root()};
+    while (!queue.empty()) {
+      NodeId node = queue.front();
+      queue.pop_front();
+      std::vector<NodeId> group;
+      for (const SuffixTree::ChildEdge& e : tree.children(node)) {
+        if (!tree.is_leaf(e.second)) {
+          group.push_back(e.second);
+          queue.push_back(e.second);
+        }
+      }
+      if (!group.empty()) groups.push_back(std::move(group));
+    }
+    if (options.scatter_internal_nodes && groups.size() > 2) {
+      // Fisher-Yates over groups[1..] (the root stays at index 0).
+      util::Random rng(options.scatter_seed);
+      for (size_t i = groups.size() - 1; i > 1; --i) {
+        size_t j = 1 + static_cast<size_t>(rng.Uniform(i));
+        std::swap(groups[i], groups[j]);
+      }
+    }
+    for (const std::vector<NodeId>& group : groups) {
+      for (NodeId node : group) {
+        packed_idx[node] = static_cast<uint32_t>(bfs_order.size());
+        bfs_order.push_back(node);
+      }
+    }
+  }
+  const uint64_t num_internal = bfs_order.size();
+
+  // Depths of internal nodes, computed top-down over the tree itself
+  // (bfs_order may be permuted in scatter mode, so parents are not
+  // guaranteed to precede children there).
+  std::vector<uint32_t> depth(num_internal, 0);
+  {
+    std::vector<std::pair<NodeId, uint32_t>> stack{{tree.root(), 0}};
+    while (!stack.empty()) {
+      auto [node, d] = stack.back();
+      stack.pop_back();
+      depth[packed_idx[node]] = d;
+      for (const SuffixTree::ChildEdge& e : tree.children(node)) {
+        if (!tree.is_leaf(e.second)) {
+          stack.push_back({e.second, d + tree.edge_length(e.second)});
+        }
+      }
+    }
+  }
+
+  // --- Pass 2: build records and the leaf chains. --------------------------
+  std::vector<PackedInternalNode> records(num_internal);
+  std::vector<uint32_t> leaf_next(db.total_length(), kNone);
+
+  // Depth/offset first; the child-linking pass below ORs last-sibling flags
+  // into *child* records, which must not be overwritten afterwards.
+  for (uint64_t i = 0; i < num_internal; ++i) {
+    records[i].depth_and_flag = depth[i];
+    records[i].sym_offset = static_cast<uint32_t>(tree.edge_start(bfs_order[i]));
+    records[i].first_internal = kNone;
+    records[i].first_leaf = kNone;
+  }
+  for (uint64_t i = 0; i < num_internal; ++i) {
+    NodeId node = bfs_order[i];
+    PackedInternalNode& rec = records[i];
+    uint32_t last_internal_child = kNone;
+    uint32_t prev_leaf = kNone;
+    for (const SuffixTree::ChildEdge& e : tree.children(node)) {
+      if (tree.is_leaf(e.second)) {
+        uint32_t leaf = static_cast<uint32_t>(tree.suffix_start(e.second));
+        if (rec.first_leaf == kNone) {
+          rec.first_leaf = leaf;
+        } else {
+          leaf_next[prev_leaf] = leaf;
+        }
+        prev_leaf = leaf;
+      } else {
+        uint32_t child = packed_idx[e.second];
+        if (rec.first_internal == kNone) rec.first_internal = child;
+        last_internal_child = child;
+      }
+    }
+    if (last_internal_child != kNone) {
+      records[last_internal_child].depth_and_flag |= 0x80000000u;
+    }
+  }
+  // The root has no siblings; mark it last for well-formedness.
+  records[0].depth_and_flag |= 0x80000000u;
+
+  // --- Write the files. -----------------------------------------------------
+  OASIS_RETURN_NOT_OK(WriteSymbolsFile(
+      tree, dir + "/" + PackedTreeFiles::kSymbols, options.block_size));
+
+  {
+    OASIS_ASSIGN_OR_RETURN(
+        storage::BlockFile file,
+        storage::BlockFile::Create(dir + "/" + PackedTreeFiles::kInternal,
+                                   options.block_size));
+    OASIS_ASSIGN_OR_RETURN(
+        storage::RecordBlockWriter writer,
+        storage::RecordBlockWriter::Create(&file, sizeof(PackedInternalNode)));
+    for (const PackedInternalNode& rec : records) {
+      OASIS_RETURN_NOT_OK(writer.Append(&rec));
+    }
+    OASIS_RETURN_NOT_OK(writer.Finish());
+  }
+  {
+    OASIS_ASSIGN_OR_RETURN(
+        storage::BlockFile file,
+        storage::BlockFile::Create(dir + "/" + PackedTreeFiles::kLeaves,
+                                   options.block_size));
+    OASIS_ASSIGN_OR_RETURN(storage::RecordBlockWriter writer,
+                           storage::RecordBlockWriter::Create(&file, 4));
+    for (uint32_t next : leaf_next) {
+      OASIS_RETURN_NOT_OK(writer.Append(&next));
+    }
+    OASIS_RETURN_NOT_OK(writer.Finish());
+  }
+  return WriteMeta(tree, num_internal, dir + "/" + PackedTreeFiles::kMeta,
+                   options.block_size);
+}
+
+util::StatusOr<std::unique_ptr<PackedSuffixTree>> BuildAndOpenPacked(
+    const seq::SequenceDatabase& db, const std::string& dir,
+    storage::BufferPool* pool, const PackOptions& options) {
+  OASIS_ASSIGN_OR_RETURN(SuffixTree tree, SuffixTree::BuildUkkonen(db));
+  OASIS_RETURN_NOT_OK(PackSuffixTree(tree, dir, options));
+  return PackedSuffixTree::Open(dir, pool);
+}
+
+}  // namespace suffix
+}  // namespace oasis

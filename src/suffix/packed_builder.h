@@ -1,0 +1,39 @@
+// Serializes an in-memory SuffixTree to the packed on-disk form
+// (packed_tree.h). Internal nodes are emitted in level-first (BFS) order so
+// siblings land in adjacent records; leaf-chain links are written at the
+// leaf's fixed array slot (== suffix position).
+
+#pragma once
+
+#include <string>
+
+#include "suffix/packed_tree.h"
+#include "suffix/suffix_tree.h"
+
+namespace oasis {
+namespace suffix {
+
+struct PackOptions {
+  uint32_t block_size = storage::kDefaultBlockSize;
+
+  /// Layout-ablation switch (bench/bench_ablation_layout.cc): place sibling
+  /// groups of internal nodes in a pseudo-random order instead of
+  /// level-first. Sibling runs stay contiguous (the format requires it);
+  /// only the *clustering of related groups into common blocks* — the §3.4
+  /// optimization — is destroyed. Never use for production indexes.
+  bool scatter_internal_nodes = false;
+  uint64_t scatter_seed = 1;
+};
+
+/// Writes the four packed-tree files into directory `dir` (created if
+/// missing). Overwrites any previous tree in that directory.
+util::Status PackSuffixTree(const SuffixTree& tree, const std::string& dir,
+                            const PackOptions& options = PackOptions());
+
+/// Convenience: Ukkonen-build + pack + open in one call.
+util::StatusOr<std::unique_ptr<PackedSuffixTree>> BuildAndOpenPacked(
+    const seq::SequenceDatabase& db, const std::string& dir,
+    storage::BufferPool* pool, const PackOptions& options = PackOptions());
+
+}  // namespace suffix
+}  // namespace oasis

@@ -1,0 +1,174 @@
+#include "suffix/packed_tree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace suffix {
+
+namespace {
+// Metadata file format: a line-oriented key=value text file (easy to
+// inspect with standard tools; read once at open).
+struct Meta {
+  uint64_t num_internal = 0;
+  uint64_t total_length = 0;
+  uint32_t sigma = 0;
+  uint32_t block_size = 0;
+  int alphabet_kind = 1;  // 0 = dna, 1 = protein
+  std::vector<uint64_t> seq_starts;
+};
+
+util::StatusOr<Meta> ReadMeta(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IOError("cannot open metadata '" + path + "'");
+  Meta meta;
+  std::string key;
+  while (in >> key) {
+    if (key == "num_internal") {
+      in >> meta.num_internal;
+    } else if (key == "total_length") {
+      in >> meta.total_length;
+    } else if (key == "sigma") {
+      in >> meta.sigma;
+    } else if (key == "block_size") {
+      in >> meta.block_size;
+    } else if (key == "alphabet_kind") {
+      in >> meta.alphabet_kind;
+    } else if (key == "num_sequences") {
+      uint64_t n;
+      in >> n;
+      meta.seq_starts.reserve(n);
+    } else if (key == "seq_start") {
+      uint64_t s;
+      in >> s;
+      meta.seq_starts.push_back(s);
+    } else {
+      return util::Status::Corruption("unknown metadata key '" + key + "'");
+    }
+    if (!in && !in.eof()) {
+      return util::Status::Corruption("malformed metadata value for '" + key + "'");
+    }
+  }
+  if (meta.total_length == 0 || meta.sigma == 0 || meta.block_size == 0 ||
+      meta.seq_starts.empty()) {
+    return util::Status::Corruption("incomplete metadata in '" + path + "'");
+  }
+  return meta;
+}
+}  // namespace
+
+util::StatusOr<std::unique_ptr<PackedSuffixTree>> PackedSuffixTree::Open(
+    const std::string& dir, storage::BufferPool* pool) {
+  OASIS_CHECK(pool != nullptr);
+  OASIS_ASSIGN_OR_RETURN(Meta meta,
+                         ReadMeta(dir + "/" + PackedTreeFiles::kMeta));
+  if (meta.block_size != pool->block_size()) {
+    return util::Status::InvalidArgument(
+        "packed tree block size " + std::to_string(meta.block_size) +
+        " != buffer pool block size " + std::to_string(pool->block_size()));
+  }
+
+  // Cannot use make_unique: constructor is private.
+  std::unique_ptr<PackedSuffixTree> tree(new PackedSuffixTree());
+  tree->pool_ = pool;
+  tree->num_internal_ = meta.num_internal;
+  tree->total_length_ = meta.total_length;
+  tree->sigma_ = meta.sigma;
+  tree->kind_ = meta.alphabet_kind == 0 ? seq::AlphabetKind::kDna
+                                        : seq::AlphabetKind::kProtein;
+  tree->seq_starts_ = std::move(meta.seq_starts);
+  tree->block_size_ = meta.block_size;
+
+  OASIS_ASSIGN_OR_RETURN(
+      tree->symbols_file_,
+      storage::BlockFile::Open(dir + "/" + PackedTreeFiles::kSymbols,
+                               meta.block_size));
+  OASIS_ASSIGN_OR_RETURN(
+      tree->internal_file_,
+      storage::BlockFile::Open(dir + "/" + PackedTreeFiles::kInternal,
+                               meta.block_size));
+  OASIS_ASSIGN_OR_RETURN(
+      tree->leaves_file_,
+      storage::BlockFile::Open(dir + "/" + PackedTreeFiles::kLeaves,
+                               meta.block_size));
+  tree->index_bytes_ =
+      (tree->symbols_file_.num_blocks() + tree->internal_file_.num_blocks() +
+       tree->leaves_file_.num_blocks()) *
+      static_cast<uint64_t>(meta.block_size);
+
+  OASIS_ASSIGN_OR_RETURN(
+      tree->seg_symbols_,
+      pool->RegisterSegment("symbols", &tree->symbols_file_));
+  OASIS_ASSIGN_OR_RETURN(
+      tree->seg_internal_,
+      pool->RegisterSegment("internal", &tree->internal_file_));
+  OASIS_ASSIGN_OR_RETURN(tree->seg_leaves_,
+                         pool->RegisterSegment("leaves", &tree->leaves_file_));
+  return tree;
+}
+
+uint32_t PackedSuffixTree::SequenceOf(uint64_t pos) const {
+  OASIS_DCHECK(pos < total_length_);
+  auto it = std::upper_bound(seq_starts_.begin(), seq_starts_.end(), pos);
+  return static_cast<uint32_t>(it - seq_starts_.begin() - 1);
+}
+
+util::StatusOr<PackedInternalNode> PackedSuffixTree::ReadInternal(
+    uint32_t idx) const {
+  if (idx >= num_internal_) {
+    return util::Status::OutOfRange("internal node " + std::to_string(idx) +
+                                    " out of range");
+  }
+  const uint32_t per_block = block_size_ / sizeof(PackedInternalNode);
+  OASIS_ASSIGN_OR_RETURN(storage::PageHandle page,
+                         pool_->Fetch(seg_internal_, idx / per_block));
+  PackedInternalNode node;
+  std::memcpy(&node,
+              page.data() + static_cast<size_t>(idx % per_block) *
+                                sizeof(PackedInternalNode),
+              sizeof(node));
+  return node;
+}
+
+util::StatusOr<uint32_t> PackedSuffixTree::ReadLeafNext(uint32_t idx) const {
+  if (idx >= total_length_) {
+    return util::Status::OutOfRange("leaf " + std::to_string(idx) +
+                                    " out of range");
+  }
+  const uint32_t per_block = block_size_ / sizeof(uint32_t);
+  OASIS_ASSIGN_OR_RETURN(storage::PageHandle page,
+                         pool_->Fetch(seg_leaves_, idx / per_block));
+  uint32_t next;
+  std::memcpy(&next,
+              page.data() + static_cast<size_t>(idx % per_block) * sizeof(uint32_t),
+              sizeof(next));
+  return next;
+}
+
+util::Status PackedSuffixTree::ReadSymbols(uint64_t pos, uint32_t len,
+                                           std::vector<uint8_t>* out) const {
+  if (pos + len > total_length_) {
+    return util::Status::OutOfRange("symbol range [" + std::to_string(pos) +
+                                    ", +" + std::to_string(len) +
+                                    ") out of range");
+  }
+  out->resize(len);
+  uint32_t written = 0;
+  while (written < len) {
+    uint64_t p = pos + written;
+    storage::BlockId block = p / block_size_;
+    uint32_t offset = static_cast<uint32_t>(p % block_size_);
+    uint32_t chunk = std::min(len - written, block_size_ - offset);
+    OASIS_ASSIGN_OR_RETURN(storage::PageHandle page,
+                           pool_->Fetch(seg_symbols_, block));
+    std::memcpy(out->data() + written, page.data() + offset, chunk);
+    written += chunk;
+  }
+  return util::Status::OK();
+}
+
+}  // namespace suffix
+}  // namespace oasis

@@ -1,0 +1,149 @@
+// Disk-based suffix-tree representation (paper §3.4).
+//
+// Three block-organized arrays, each in its own file, all read through a
+// shared BufferPool with per-segment hit statistics:
+//
+//   symbols   one byte per position of the concatenated database: residue
+//             codes 0..sigma-1, or kTerminatorByte for any terminator
+//             (terminator identity is recovered from position via the
+//             sequence-start table, which lives in the metadata file).
+//
+//   internal  16-byte records in *level-first* (BFS) order, so all internal
+//             siblings are physically adjacent — the layout optimization
+//             the paper calls out, since OASIS expands all children of a
+//             node together. Fields (paper: depth, seq_index, firstChild,
+//             lastSibling):
+//               depth_and_flag   bit31 = last-sibling flag, bits 0..30 =
+//                                path depth (symbols from root)
+//               sym_offset       start of the incoming-arc label in the
+//                                symbols array (arc length = depth -
+//                                parent.depth)
+//               first_internal   index of the first internal child
+//                                (siblings follow contiguously until one
+//                                carries the last-sibling flag), or kNone
+//               first_leaf       head of this node's leaf-child chain,
+//                                or kNone
+//
+//   leaves    4-byte records where *array index == suffix start position*
+//             (so a leaf's arc label is implicit: it runs from
+//             suffix_start + parent.depth to its sequence's terminator).
+//             The record is just the next-sibling leaf index, or kNone —
+//             leaves cannot be clustered next to their siblings because
+//             their index is fixed by the suffix position, exactly the
+//             paper's trade-off (and what Figure 8 measures).
+//
+// A small metadata file stores counts, the alphabet kind and the
+// sequence-start table.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "seq/database.h"
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace suffix {
+
+/// Byte written in the symbols file for every terminator position.
+inline constexpr uint8_t kTerminatorByte = 0xFF;
+/// Null child / sibling pointer.
+inline constexpr uint32_t kNone = 0xFFFFFFFFu;
+
+/// On-disk internal-node record. 16 bytes; 128 per 2K block.
+struct PackedInternalNode {
+  uint32_t depth_and_flag;
+  uint32_t sym_offset;
+  uint32_t first_internal;
+  uint32_t first_leaf;
+
+  uint32_t depth() const { return depth_and_flag & 0x7FFFFFFFu; }
+  bool last_sibling() const { return (depth_and_flag & 0x80000000u) != 0; }
+};
+static_assert(sizeof(PackedInternalNode) == 16);
+
+/// File names inside a packed-tree directory.
+struct PackedTreeFiles {
+  static constexpr const char* kSymbols = "symbols.blk";
+  static constexpr const char* kInternal = "internal.blk";
+  static constexpr const char* kLeaves = "leaves.blk";
+  static constexpr const char* kMeta = "tree.meta";
+};
+
+/// Read-only handle over the three packed files. All block reads go through
+/// the BufferPool supplied at open time; the pool's per-segment statistics
+/// therefore directly reproduce the paper's Figure 8 measurements.
+class PackedSuffixTree {
+ public:
+  /// Opens a packed tree from `dir`, registering its three segments with
+  /// `pool`. The pool must outlive the returned tree.
+  static util::StatusOr<std::unique_ptr<PackedSuffixTree>> Open(
+      const std::string& dir, storage::BufferPool* pool);
+
+  // --- metadata (memory resident) -----------------------------------------
+  uint64_t num_internal() const { return num_internal_; }
+  uint64_t num_leaves() const { return total_length_; }
+  uint64_t total_length() const { return total_length_; }
+  uint32_t alphabet_size() const { return sigma_; }
+  seq::AlphabetKind alphabet_kind() const { return kind_; }
+  uint64_t num_sequences() const { return seq_starts_.size(); }
+
+  /// Start position of sequence `id` in the concatenation.
+  uint64_t SequenceStart(uint32_t id) const { return seq_starts_[id]; }
+  /// Terminator position of sequence `id` (== one past its last residue).
+  uint64_t TerminatorPos(uint32_t id) const {
+    return (id + 1 < seq_starts_.size() ? seq_starts_[id + 1]
+                                        : total_length_) -
+           1;
+  }
+  /// Sequence owning global position `pos` (terminators belong to their
+  /// sequence).
+  uint32_t SequenceOf(uint64_t pos) const;
+
+  /// Sum of the three file sizes in bytes (for the space-utilization table).
+  uint64_t index_bytes() const { return index_bytes_; }
+
+  // --- block-level access (through the buffer pool) -----------------------
+
+  /// Reads the internal-node record `idx`.
+  util::StatusOr<PackedInternalNode> ReadInternal(uint32_t idx) const;
+
+  /// Reads the next-sibling pointer of leaf `idx` (== suffix position).
+  util::StatusOr<uint32_t> ReadLeafNext(uint32_t idx) const;
+
+  /// Reads `len` symbol bytes starting at `pos` into `out` (resized).
+  util::Status ReadSymbols(uint64_t pos, uint32_t len,
+                           std::vector<uint8_t>* out) const;
+
+  /// Segment ids (for stats reporting; order: symbols, internal, leaves).
+  storage::SegmentId symbols_segment() const { return seg_symbols_; }
+  storage::SegmentId internal_segment() const { return seg_internal_; }
+  storage::SegmentId leaves_segment() const { return seg_leaves_; }
+  storage::BufferPool* pool() const { return pool_; }
+
+ private:
+  PackedSuffixTree() = default;
+
+  storage::BufferPool* pool_ = nullptr;
+  storage::BlockFile symbols_file_;
+  storage::BlockFile internal_file_;
+  storage::BlockFile leaves_file_;
+  storage::SegmentId seg_symbols_ = 0;
+  storage::SegmentId seg_internal_ = 0;
+  storage::SegmentId seg_leaves_ = 0;
+
+  uint64_t num_internal_ = 0;
+  uint64_t total_length_ = 0;
+  uint32_t sigma_ = 0;
+  seq::AlphabetKind kind_ = seq::AlphabetKind::kProtein;
+  std::vector<uint64_t> seq_starts_;
+  uint64_t index_bytes_ = 0;
+  uint32_t block_size_ = storage::kDefaultBlockSize;
+};
+
+}  // namespace suffix
+}  // namespace oasis

@@ -1,0 +1,125 @@
+#include "suffix/partitioned_builder.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace suffix {
+
+namespace {
+
+// Prefixes are encoded as base-(sigma+1) integers of exactly
+// `prefix_length` digits. Residues map to their code; any terminator maps
+// to the single digit `sigma` (terminators all sort together: each
+// terminated suffix is unique anyway, and partitioning only needs a
+// *disjoint cover*, not a total order refined to individual terminators).
+// Suffixes shorter than the prefix length are padded with the terminator
+// digit, which is correct because every suffix really does continue with
+// its terminator and then nothing.
+class PrefixCoder {
+ public:
+  PrefixCoder(const seq::SequenceDatabase& db, uint32_t prefix_length)
+      : db_(db), sigma_(db.alphabet().size()), len_(prefix_length) {
+    num_codes_ = 1;
+    for (uint32_t i = 0; i < len_; ++i) num_codes_ *= (sigma_ + 1);
+  }
+
+  uint64_t num_codes() const { return num_codes_; }
+
+  /// Code of the suffix starting at global position `pos`.
+  uint64_t Encode(uint64_t pos) const {
+    const std::vector<seq::Symbol>& text = db_.symbols();
+    uint64_t code = 0;
+    uint64_t p = pos;
+    bool past_end = false;
+    for (uint32_t i = 0; i < len_; ++i) {
+      uint32_t digit;
+      if (past_end || p >= text.size()) {
+        digit = sigma_;
+      } else {
+        seq::Symbol s = text[p];
+        if (s >= sigma_) {
+          digit = sigma_;  // terminator: the suffix ends here
+          past_end = true;
+        } else {
+          digit = s;
+        }
+        ++p;
+      }
+      code = code * (sigma_ + 1) + digit;
+    }
+    return code;
+  }
+
+ private:
+  const seq::SequenceDatabase& db_;
+  uint32_t sigma_;
+  uint32_t len_;
+  uint64_t num_codes_;
+};
+
+}  // namespace
+
+util::StatusOr<SuffixTree> BuildPartitioned(
+    const seq::SequenceDatabase& db, const PartitionedBuildOptions& options,
+    PartitionedBuildStats* stats_out) {
+  if (options.prefix_length == 0 || options.prefix_length > 8) {
+    return util::Status::InvalidArgument("prefix_length must be in [1, 8]");
+  }
+  if (options.max_suffixes_per_pass == 0) {
+    return util::Status::InvalidArgument("max_suffixes_per_pass must be positive");
+  }
+  PrefixCoder coder(db, options.prefix_length);
+  if (coder.num_codes() > (1ull << 28)) {
+    return util::Status::InvalidArgument(
+        "prefix_length too large for this alphabet (code space overflow)");
+  }
+
+  const uint64_t n = db.total_length();
+
+  // Pass 0: count suffixes per prefix code.
+  std::vector<uint64_t> counts(coder.num_codes(), 0);
+  for (uint64_t pos = 0; pos < n; ++pos) ++counts[coder.Encode(pos)];
+
+  // Greedily group consecutive codes into partitions under the budget.
+  // Partition i covers codes [bounds[i], bounds[i+1]).
+  std::vector<uint64_t> bounds{0};
+  uint64_t running = 0;
+  for (uint64_t code = 0; code < coder.num_codes(); ++code) {
+    if (running > 0 && running + counts[code] > options.max_suffixes_per_pass) {
+      bounds.push_back(code);
+      running = 0;
+    }
+    running += counts[code];
+  }
+  bounds.push_back(coder.num_codes());
+
+  PartitionedBuildStats stats;
+  stats.num_partitions = static_cast<uint32_t>(bounds.size() - 1);
+
+  // One pass per partition: insert the partition's suffixes.
+  TreeBuilder builder(db);
+  for (size_t part = 0; part + 1 < bounds.size(); ++part) {
+    const uint64_t lo = bounds[part];
+    const uint64_t hi = bounds[part + 1];
+    uint64_t inserted = 0;
+    for (uint64_t pos = 0; pos < n; ++pos) {
+      uint64_t code = coder.Encode(pos);
+      if (code >= lo && code < hi) {
+        builder.InsertSuffixFromRoot(pos);
+        ++inserted;
+      }
+    }
+    ++stats.num_passes;
+    stats.max_partition_suffixes =
+        std::max(stats.max_partition_suffixes, inserted);
+  }
+
+  if (stats_out != nullptr) *stats_out = stats;
+  return builder.Finish();
+}
+
+}  // namespace suffix
+}  // namespace oasis

@@ -1,0 +1,57 @@
+// Partitioned suffix-tree construction (paper §3.4.1, Hunt et al. [16]
+// style).
+//
+// Traditional in-memory construction algorithms (Ukkonen, McCreight) need
+// the whole tree plus active state resident during construction. The
+// technique the paper adopts instead builds sub-trees "stemming from
+// fixed-length prefixes of each suffix ... by making one pass through the
+// sequence data for each subtree", selecting the lexical range of each pass
+// from the observed content of the database.
+//
+// This implementation follows that structure:
+//   1. one counting pass computes the frequency of every length-L prefix;
+//   2. consecutive prefixes are greedily grouped into partitions whose
+//      suffix counts stay below a budget (the "memory bound": the working
+//      set of a pass is proportional to the partition's subtree);
+//   3. one pass per partition scans the database and inserts exactly the
+//      suffixes whose prefix falls in the partition's lexical range.
+//
+// Suffix insertion walks from the root (O(matched depth) per suffix, i.e.
+// O(n log_sigma n) expected total). The result is bit-for-bit the same tree
+// Ukkonen's algorithm produces (property-tested), so either builder can
+// feed the packed on-disk form.
+
+#pragma once
+
+#include <cstdint>
+
+#include "suffix/suffix_tree.h"
+
+namespace oasis {
+namespace suffix {
+
+struct PartitionedBuildOptions {
+  /// Length of the classifying prefix (the paper's "fixed-length prefixes").
+  uint32_t prefix_length = 2;
+  /// Target maximum number of suffixes handled in one pass. A single
+  /// prefix whose count exceeds the budget still forms its own partition
+  /// (it cannot be split at this prefix length).
+  uint64_t max_suffixes_per_pass = 1u << 20;
+};
+
+/// Statistics of a partitioned build (exposed for tests and benches).
+struct PartitionedBuildStats {
+  uint32_t num_partitions = 0;
+  uint64_t num_passes = 0;  ///< == num_partitions (one scan per partition)
+  uint64_t max_partition_suffixes = 0;
+};
+
+/// Builds the generalized suffix tree with the multi-pass partitioned
+/// algorithm. `stats_out` may be null.
+util::StatusOr<SuffixTree> BuildPartitioned(
+    const seq::SequenceDatabase& db,
+    const PartitionedBuildOptions& options = PartitionedBuildOptions(),
+    PartitionedBuildStats* stats_out = nullptr);
+
+}  // namespace suffix
+}  // namespace oasis

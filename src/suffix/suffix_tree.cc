@@ -1,0 +1,460 @@
+#include "suffix/suffix_tree.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace suffix {
+
+namespace {
+/// Sentinel "still growing" edge end used during Ukkonen construction.
+constexpr uint64_t kOpenEnd = ~0ull;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TreeBuilder primitives
+// ---------------------------------------------------------------------------
+
+TreeBuilder::TreeBuilder(const seq::SequenceDatabase& db)
+    : db_(&db), tree_(&db) {
+  // Node 0: root.
+  tree_.nodes_.emplace_back();
+  tree_.nodes_[0].parent = kInvalidNode;
+}
+
+NodeId TreeBuilder::NewInternal(uint64_t start, uint64_t end, NodeId parent) {
+  NodeId id = static_cast<NodeId>(tree_.nodes_.size());
+  tree_.nodes_.emplace_back();
+  SuffixTree::Node& n = tree_.nodes_.back();
+  n.start = start;
+  n.end = end;
+  n.parent = parent;
+  return id;
+}
+
+NodeId TreeBuilder::NewLeaf(uint64_t start, uint64_t end, NodeId parent,
+                            uint64_t suffix_start) {
+  NodeId id = NewInternal(start, end, parent);
+  tree_.nodes_[id].is_leaf = true;
+  tree_.nodes_[id].suffix_start = suffix_start;
+  ++tree_.num_leaves_;
+  return id;
+}
+
+NodeId TreeBuilder::FindChild(NodeId node, seq::Symbol symbol) const {
+  const auto& kids = tree_.nodes_[node].children;
+  auto it = std::lower_bound(
+      kids.begin(), kids.end(), symbol,
+      [](const SuffixTree::ChildEdge& e, seq::Symbol s) { return e.first < s; });
+  if (it != kids.end() && it->first == symbol) return it->second;
+  return kInvalidNode;
+}
+
+void TreeBuilder::SetChild(NodeId node, seq::Symbol symbol, NodeId child) {
+  auto& kids = tree_.nodes_[node].children;
+  auto it = std::lower_bound(
+      kids.begin(), kids.end(), symbol,
+      [](const SuffixTree::ChildEdge& e, seq::Symbol s) { return e.first < s; });
+  if (it != kids.end() && it->first == symbol) {
+    it->second = child;
+  } else {
+    kids.insert(it, {symbol, child});
+  }
+  tree_.nodes_[child].parent = node;
+}
+
+uint64_t TreeBuilder::EdgeStart(NodeId node) const {
+  return tree_.nodes_[node].start;
+}
+uint64_t TreeBuilder::EdgeEnd(NodeId node) const {
+  return tree_.nodes_[node].end;
+}
+void TreeBuilder::SetEdgeStart(NodeId node, uint64_t start) {
+  tree_.nodes_[node].start = start;
+}
+void TreeBuilder::SetEdgeEnd(NodeId node, uint64_t end) {
+  tree_.nodes_[node].end = end;
+}
+NodeId TreeBuilder::SuffixLink(NodeId node) const {
+  return tree_.nodes_[node].link;
+}
+void TreeBuilder::SetSuffixLink(NodeId node, NodeId target) {
+  tree_.nodes_[node].link = target;
+}
+
+void TreeBuilder::InsertSuffixFromRoot(uint64_t suffix_pos) {
+  const std::vector<seq::Symbol>& text = db_->symbols();
+  seq::SequenceCoord coord = db_->Locate(suffix_pos);
+  // The suffix runs through its sequence's terminator, inclusive.
+  const uint64_t suffix_end = db_->SequenceEnd(coord.sequence_id) + 1;
+  OASIS_DCHECK(suffix_pos < suffix_end);
+
+  NodeId node = tree_.root();
+  uint64_t pos = suffix_pos;
+  while (true) {
+    NodeId child = FindChild(node, text[pos]);
+    if (child == kInvalidNode) {
+      NodeId leaf = NewLeaf(pos, suffix_end, node, suffix_pos);
+      SetChild(node, text[pos], leaf);
+      return;
+    }
+    // Match along the child's arc.
+    const uint64_t arc_start = tree_.nodes_[child].start;
+    const uint64_t arc_end = tree_.nodes_[child].end;
+    uint64_t k = arc_start;
+    while (k < arc_end && pos < suffix_end && text[k] == text[pos]) {
+      ++k;
+      ++pos;
+    }
+    if (k == arc_end) {
+      // Fully matched the arc; descend. pos < suffix_end is guaranteed:
+      // the terminator is unique, so the suffix cannot be exhausted at an
+      // existing node (no other path contains this terminator).
+      OASIS_DCHECK(pos < suffix_end);
+      node = child;
+      continue;
+    }
+    // Mismatch inside the arc (k > arc_start because FindChild matched the
+    // first symbol): split and hang a new leaf.
+    NodeId split = NewInternal(arc_start, k, node);
+    SetChild(node, text[arc_start], split);
+    tree_.nodes_[child].start = k;
+    SetChild(split, text[k], child);
+    NodeId leaf = NewLeaf(pos, suffix_end, split, suffix_pos);
+    SetChild(split, text[pos], leaf);
+    return;
+  }
+}
+
+util::StatusOr<SuffixTree> TreeBuilder::Finish() {
+  OASIS_RETURN_NOT_OK(tree_.Validate());
+  return std::move(tree_);
+}
+
+// ---------------------------------------------------------------------------
+// Ukkonen construction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Classic Ukkonen active-point construction, processed sequence by
+/// sequence. Leaves created while processing sequence k carry the open-end
+/// sentinel; after the terminator phase of sequence k they are frozen at
+/// the terminator position + 1, the active point is back at the root and
+/// the next sequence starts cleanly. (See suffix_tree.h header comment.)
+class UkkonenBuilder {
+ public:
+  explicit UkkonenBuilder(const seq::SequenceDatabase& db)
+      : db_(db), text_(db.symbols()), b_(db) {}
+
+  util::StatusOr<SuffixTree> BuildRaw() {
+    for (seq::SequenceId s = 0; s < db_.num_sequences(); ++s) {
+      const uint64_t begin = db_.SequenceStart(s);
+      const uint64_t term = db_.SequenceEnd(s);  // terminator position
+      open_leaves_.clear();
+      for (uint64_t pos = begin; pos <= term; ++pos) ExtendWith(pos);
+      OASIS_CHECK_EQ(remainder_, 0u)
+          << "unique terminator must flush all pending suffixes";
+      OASIS_CHECK_EQ(active_len_, 0u);
+      active_node_ = b_.tree().root();
+      // Freeze this sequence's leaves at terminator + 1.
+      for (NodeId leaf : open_leaves_) b_.SetEdgeEnd(leaf, term + 1);
+    }
+    // Skip TreeBuilder::Finish(): suffix starts are not derived yet, so
+    // Validate() would fail; BuildUkkonen validates after deriving them.
+    return std::move(b_.tree());
+  }
+
+ private:
+  uint64_t NodeEnd(NodeId n, uint64_t phase_pos) {
+    uint64_t e = b_.EdgeEnd(n);
+    return e == kOpenEnd ? phase_pos + 1 : e;
+  }
+  uint64_t EdgeLen(NodeId n, uint64_t phase_pos) {
+    return NodeEnd(n, phase_pos) - b_.EdgeStart(n);
+  }
+
+  NodeId NewOpenLeaf(uint64_t start, NodeId parent) {
+    NodeId leaf = b_.NewLeaf(start, kOpenEnd, parent, /*suffix_start=*/0);
+    open_leaves_.push_back(leaf);
+    return leaf;
+  }
+
+  void AddSuffixLink(NodeId node) {
+    if (pending_link_ != kInvalidNode && pending_link_ != node) {
+      b_.SetSuffixLink(pending_link_, node);
+    }
+    pending_link_ = node;
+  }
+
+  /// Walk-down (canonize): when the active length spans the whole active
+  /// edge, descend one node and retry.
+  bool WalkDown(NodeId next, uint64_t phase_pos) {
+    uint64_t len = EdgeLen(next, phase_pos);
+    if (active_len_ >= len) {
+      active_edge_pos_ += len;
+      active_len_ -= len;
+      active_node_ = next;
+      return true;
+    }
+    return false;
+  }
+
+  void ExtendWith(uint64_t pos) {
+    const seq::Symbol c = text_[pos];
+    pending_link_ = kInvalidNode;
+    ++remainder_;
+    while (remainder_ > 0) {
+      if (active_len_ == 0) active_edge_pos_ = pos;
+      NodeId next = b_.FindChild(active_node_, text_[active_edge_pos_]);
+      if (next == kInvalidNode) {
+        // Rule 2: new leaf directly under active_node_.
+        NodeId leaf = NewOpenLeaf(pos, active_node_);
+        b_.SetChild(active_node_, c, leaf);
+        AddSuffixLink(active_node_);
+      } else {
+        if (WalkDown(next, pos)) continue;
+        if (text_[b_.EdgeStart(next) + active_len_] == c) {
+          // Rule 3: already present. Stop this phase.
+          AddSuffixLink(active_node_);
+          ++active_len_;
+          break;
+        }
+        // Rule 2 with split.
+        uint64_t split_point = b_.EdgeStart(next) + active_len_;
+        NodeId split =
+            b_.NewInternal(b_.EdgeStart(next), split_point, active_node_);
+        b_.SetChild(active_node_, text_[b_.EdgeStart(next)], split);
+        b_.SetEdgeStart(next, split_point);
+        b_.SetChild(split, text_[split_point], next);
+        NodeId leaf = NewOpenLeaf(pos, split);
+        b_.SetChild(split, c, leaf);
+        AddSuffixLink(split);
+      }
+      --remainder_;
+      if (active_node_ == b_.tree().root() && active_len_ > 0) {
+        --active_len_;
+        active_edge_pos_ = pos - remainder_ + 1;
+      } else if (active_node_ != b_.tree().root()) {
+        active_node_ = b_.SuffixLink(active_node_);
+      }
+    }
+  }
+
+  const seq::SequenceDatabase& db_;
+  const std::vector<seq::Symbol>& text_;
+  TreeBuilder b_;
+
+  NodeId active_node_ = 0;
+  uint64_t active_edge_pos_ = 0;
+  uint64_t active_len_ = 0;
+  uint32_t remainder_ = 0;
+  NodeId pending_link_ = kInvalidNode;
+  std::vector<NodeId> open_leaves_;
+};
+
+}  // namespace
+
+util::StatusOr<SuffixTree> SuffixTree::BuildUkkonen(
+    const seq::SequenceDatabase& db) {
+  UkkonenBuilder builder(db);
+  OASIS_ASSIGN_OR_RETURN(SuffixTree tree, builder.BuildRaw());
+  // Derive suffix_start for every leaf: suffix_start = edge_end - depth.
+  // Iterative DFS carrying path depth.
+  std::vector<std::pair<NodeId, uint32_t>> stack;  // (node, depth at node)
+  stack.push_back({tree.root(), 0});
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    for (const ChildEdge& e : tree.nodes_[node].children) {
+      Node& child = tree.nodes_[e.second];
+      uint32_t child_depth =
+          depth + static_cast<uint32_t>(child.end - child.start);
+      if (child.is_leaf) {
+        child.suffix_start = child.end - child_depth;
+      } else {
+        stack.push_back({e.second, child_depth});
+      }
+    }
+  }
+  OASIS_RETURN_NOT_OK(tree.Validate());
+  return tree;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+uint32_t SuffixTree::depth(NodeId id) const {
+  uint32_t d = 0;
+  while (id != root()) {
+    d += edge_length(id);
+    id = nodes_[id].parent;
+  }
+  return d;
+}
+
+NodeId SuffixTree::FindChild(NodeId id, seq::Symbol symbol) const {
+  const auto& kids = nodes_[id].children;
+  auto it = std::lower_bound(
+      kids.begin(), kids.end(), symbol,
+      [](const ChildEdge& e, seq::Symbol s) { return e.first < s; });
+  if (it != kids.end() && it->first == symbol) return it->second;
+  return kInvalidNode;
+}
+
+NodeId SuffixTree::MatchPattern(std::span<const seq::Symbol> pattern) const {
+  if (pattern.empty()) return root();
+  const std::vector<seq::Symbol>& text = db_->symbols();
+  NodeId node = root();
+  size_t matched = 0;
+  while (matched < pattern.size()) {
+    NodeId child = FindChild(node, pattern[matched]);
+    if (child == kInvalidNode) return kInvalidNode;
+    uint64_t k = nodes_[child].start;
+    uint64_t end = nodes_[child].end;
+    while (k < end && matched < pattern.size()) {
+      if (text[k] != pattern[matched]) return kInvalidNode;
+      ++k;
+      ++matched;
+    }
+    node = child;
+  }
+  return node;
+}
+
+bool SuffixTree::ContainsSubstring(std::span<const seq::Symbol> pattern) const {
+  return MatchPattern(pattern) != kInvalidNode;
+}
+
+std::vector<uint64_t> SuffixTree::FindOccurrences(
+    std::span<const seq::Symbol> pattern) const {
+  std::vector<uint64_t> out;
+  NodeId node = MatchPattern(pattern);
+  if (node == kInvalidNode) return out;
+  // Collect suffix starts of all leaf descendants.
+  std::vector<NodeId> stack{node};
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    if (nodes_[n].is_leaf) {
+      out.push_back(nodes_[n].suffix_start);
+      continue;
+    }
+    for (const ChildEdge& e : nodes_[n].children) stack.push_back(e.second);
+  }
+  return out;
+}
+
+util::Status SuffixTree::Validate() const {
+  const std::vector<seq::Symbol>& text = db_->symbols();
+  if (nodes_.empty()) return util::Status::Corruption("no root node");
+  if (num_leaves_ != db_->total_length()) {
+    return util::Status::Corruption(
+        "leaf count " + std::to_string(num_leaves_) + " != suffix count " +
+        std::to_string(db_->total_length()));
+  }
+  // DFS: check compactness, child ordering, edge first-symbol consistency,
+  // parent pointers, and leaf suffix labels.
+  std::vector<std::pair<NodeId, uint32_t>> stack{{root(), 0}};
+  size_t visited = 0;
+  std::vector<bool> leaf_seen(db_->total_length(), false);
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    ++visited;
+    const Node& n = nodes_[node];
+    if (n.is_leaf) {
+      if (!n.children.empty()) {
+        return util::Status::Corruption("leaf has children");
+      }
+      uint64_t ss = n.suffix_start;
+      if (ss >= db_->total_length() || leaf_seen[ss]) {
+        return util::Status::Corruption("bad or duplicate leaf suffix start");
+      }
+      leaf_seen[ss] = true;
+      // The leaf's path must equal the suffix: depth symbols ending just
+      // past the terminator of its sequence.
+      seq::SequenceCoord c = db_->Locate(ss);
+      uint64_t expect_end = db_->SequenceEnd(c.sequence_id) + 1;
+      if (ss + depth != expect_end) {
+        return util::Status::Corruption(
+            "leaf path length mismatch at suffix " + std::to_string(ss));
+      }
+      continue;
+    }
+    if (node != root() && n.children.size() < 2) {
+      return util::Status::Corruption("non-compact internal node");
+    }
+    seq::Symbol prev_sym = 0;
+    bool first = true;
+    for (const ChildEdge& e : n.children) {
+      if (!first && e.first <= prev_sym) {
+        return util::Status::Corruption("children not strictly sorted");
+      }
+      first = false;
+      prev_sym = e.first;
+      const Node& child = nodes_[e.second];
+      if (child.parent != node) {
+        return util::Status::Corruption("bad parent pointer");
+      }
+      if (child.start >= child.end || child.end > text.size()) {
+        return util::Status::Corruption("bad edge range");
+      }
+      if (text[child.start] != e.first) {
+        return util::Status::Corruption("edge first symbol != child key");
+      }
+      stack.push_back(
+          {e.second, depth + static_cast<uint32_t>(child.end - child.start)});
+    }
+  }
+  if (visited != nodes_.size()) {
+    return util::Status::Corruption("orphan nodes present");
+  }
+  for (size_t i = 0; i < leaf_seen.size(); ++i) {
+    if (!leaf_seen[i]) {
+      return util::Status::Corruption("suffix " + std::to_string(i) +
+                                      " missing from tree");
+    }
+  }
+  return util::Status::OK();
+}
+
+bool SuffixTree::Equal(const SuffixTree& a, const SuffixTree& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_leaves() != b.num_leaves()) {
+    return false;
+  }
+  const std::vector<seq::Symbol>& ta = a.db_->symbols();
+  const std::vector<seq::Symbol>& tb = b.db_->symbols();
+  // Parallel DFS comparing structure and labels (node ids may differ).
+  std::vector<std::pair<NodeId, NodeId>> stack{{a.root(), b.root()}};
+  while (!stack.empty()) {
+    auto [na, nb] = stack.back();
+    stack.pop_back();
+    const Node& x = a.nodes_[na];
+    const Node& y = b.nodes_[nb];
+    if (x.is_leaf != y.is_leaf) return false;
+    if (x.is_leaf) {
+      if (x.suffix_start != y.suffix_start) return false;
+      continue;
+    }
+    if (x.children.size() != y.children.size()) return false;
+    for (size_t i = 0; i < x.children.size(); ++i) {
+      if (x.children[i].first != y.children[i].first) return false;
+      const Node& cx = a.nodes_[x.children[i].second];
+      const Node& cy = b.nodes_[y.children[i].second];
+      uint64_t len_x = cx.end - cx.start;
+      uint64_t len_y = cy.end - cy.start;
+      if (len_x != len_y) return false;
+      for (uint64_t k = 0; k < len_x; ++k) {
+        if (ta[cx.start + k] != tb[cy.start + k]) return false;
+      }
+      stack.push_back({x.children[i].second, y.children[i].second});
+    }
+  }
+  return true;
+}
+
+}  // namespace suffix
+}  // namespace oasis

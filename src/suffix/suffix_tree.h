@@ -1,0 +1,153 @@
+// In-memory generalized suffix tree (paper §2.3).
+//
+// The tree is *compact* (PATRICIA): every node is the root, a branching
+// node, or a leaf. It is built over the SequenceDatabase concatenation,
+// where sequence i ends with the unique terminator symbol
+// alphabet.size() + i. Unique terminators guarantee:
+//   * no path spans a sequence boundary (a terminator occurs once, so any
+//     string containing one occurs once and cannot label an internal path);
+//   * there is exactly one leaf per suffix, total_length() leaves in all.
+//
+// Two construction algorithms produce identical trees:
+//   * SuffixTree::BuildUkkonen        — online linear-time (Ukkonen [38]),
+//     processing sequence by sequence with leaf-edge freezing at each
+//     terminator;
+//   * BuildPartitioned (partitioned_builder.h) — the Hunt et al. [16] style
+//     multi-pass construction the paper uses for larger-than-memory data.
+//
+// This in-memory form is the construction intermediate; searches run
+// against the disk-oriented PackedSuffixTree (packed_tree.h) derived
+// from it.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "seq/database.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace suffix {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// Compact generalized suffix tree. Node 0 is always the root.
+class SuffixTree {
+ public:
+  /// One child edge: first symbol of the arc label -> child node.
+  using ChildEdge = std::pair<seq::Symbol, NodeId>;
+
+  /// Builds the tree with Ukkonen's algorithm. O(total_length) expected
+  /// (child lookups are O(log branching)).
+  static util::StatusOr<SuffixTree> BuildUkkonen(const seq::SequenceDatabase& db);
+
+  const seq::SequenceDatabase& database() const { return *db_; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_leaves() const { return num_leaves_; }
+  size_t num_internal() const { return nodes_.size() - num_leaves_; }
+  NodeId root() const { return 0; }
+
+  bool is_leaf(NodeId id) const { return nodes_[id].is_leaf; }
+  NodeId parent(NodeId id) const { return nodes_[id].parent; }
+
+  /// Incoming-arc label range [edge_start, edge_end) in database symbols.
+  /// The root's range is empty.
+  uint64_t edge_start(NodeId id) const { return nodes_[id].start; }
+  uint64_t edge_end(NodeId id) const { return nodes_[id].end; }
+  uint32_t edge_length(NodeId id) const {
+    return static_cast<uint32_t>(nodes_[id].end - nodes_[id].start);
+  }
+
+  /// Path length from the root (number of symbols on the path). O(depth).
+  uint32_t depth(NodeId id) const;
+
+  /// Children in ascending first-symbol order.
+  const std::vector<ChildEdge>& children(NodeId id) const {
+    return nodes_[id].children;
+  }
+
+  /// Child whose arc starts with `symbol`, or kInvalidNode.
+  NodeId FindChild(NodeId id, seq::Symbol symbol) const;
+
+  /// Global start position of the suffix ending at leaf `id`.
+  /// Precondition: is_leaf(id).
+  uint64_t suffix_start(NodeId id) const { return nodes_[id].suffix_start; }
+
+  /// True when `pattern` (residue codes) occurs in the database (§2.3.1).
+  bool ContainsSubstring(std::span<const seq::Symbol> pattern) const;
+
+  /// All global positions where `pattern` occurs, in no particular order.
+  std::vector<uint64_t> FindOccurrences(std::span<const seq::Symbol> pattern) const;
+
+  /// Structural invariants: leaf count, suffix coverage, compactness,
+  /// child ordering, edge-label consistency. O(total path length); intended
+  /// for tests.
+  util::Status Validate() const;
+
+  /// True when both trees are structurally identical (same shape, labels
+  /// and suffix starts).
+  static bool Equal(const SuffixTree& a, const SuffixTree& b);
+
+ private:
+  friend class TreeBuilder;  // shared by Ukkonen and partitioned builders
+
+  struct Node {
+    uint64_t start = 0;  ///< arc label [start, end)
+    uint64_t end = 0;
+    uint64_t suffix_start = 0;  ///< leaves only
+    NodeId parent = kInvalidNode;
+    NodeId link = 0;  ///< Ukkonen suffix link (root if unset)
+    bool is_leaf = false;
+    std::vector<ChildEdge> children;  ///< sorted by symbol
+  };
+
+  explicit SuffixTree(const seq::SequenceDatabase* db) : db_(db) {}
+
+  /// Descends matching `pattern`; returns the node at/below which the match
+  /// ends, or kInvalidNode. (Helper for Contains/FindOccurrences.)
+  NodeId MatchPattern(std::span<const seq::Symbol> pattern) const;
+
+  const seq::SequenceDatabase* db_;
+  std::vector<Node> nodes_;
+  size_t num_leaves_ = 0;
+};
+
+/// Low-level mutable tree used by both construction algorithms. Exposed so
+/// partitioned_builder.cc can share node bookkeeping; not part of the
+/// public API surface.
+class TreeBuilder {
+ public:
+  explicit TreeBuilder(const seq::SequenceDatabase& db);
+
+  /// Inserts one suffix [suffix_pos, end-of-its-sequence] by walking from
+  /// the root (brute-force insertion used by the partitioned builder).
+  void InsertSuffixFromRoot(uint64_t suffix_pos);
+
+  /// Finalizes: sorts/validates bookkeeping and returns the tree.
+  util::StatusOr<SuffixTree> Finish();
+
+  // --- primitives shared with the Ukkonen builder -------------------------
+  NodeId NewInternal(uint64_t start, uint64_t end, NodeId parent);
+  NodeId NewLeaf(uint64_t start, uint64_t end, NodeId parent, uint64_t suffix_start);
+  NodeId FindChild(NodeId node, seq::Symbol symbol) const;
+  void SetChild(NodeId node, seq::Symbol symbol, NodeId child);
+  uint64_t EdgeStart(NodeId node) const;
+  uint64_t EdgeEnd(NodeId node) const;
+  void SetEdgeStart(NodeId node, uint64_t start);
+  void SetEdgeEnd(NodeId node, uint64_t end);
+  NodeId SuffixLink(NodeId node) const;
+  void SetSuffixLink(NodeId node, NodeId target);
+  SuffixTree& tree() { return tree_; }
+  const seq::SequenceDatabase& db() const { return *db_; }
+
+ private:
+  const seq::SequenceDatabase* db_;
+  SuffixTree tree_;
+};
+
+}  // namespace suffix
+}  // namespace oasis

@@ -1,0 +1,126 @@
+#include "suffix/tree_cursor.h"
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace suffix {
+
+util::Status TreeCursor::ForEachChild(
+    PackedNodeRef parent, uint32_t parent_depth,
+    const std::function<bool(const ChildArc&)>& fn) const {
+  OASIS_CHECK(!parent.is_leaf) << "leaves have no children";
+  OASIS_ASSIGN_OR_RETURN(PackedInternalNode rec,
+                         tree_->ReadInternal(parent.index));
+  OASIS_DCHECK(rec.depth() == parent_depth);
+
+  // Internal children: a contiguous run starting at first_internal, ended
+  // by the last-sibling flag.
+  if (rec.first_internal != kNone) {
+    uint32_t idx = rec.first_internal;
+    while (true) {
+      OASIS_ASSIGN_OR_RETURN(PackedInternalNode child, tree_->ReadInternal(idx));
+      ChildArc arc;
+      arc.node = PackedNodeRef::Internal(idx);
+      arc.depth = child.depth();
+      arc.arc_len = child.depth() - parent_depth;
+      arc.arc_start = child.sym_offset;
+      if (!fn(arc)) return util::Status::OK();
+      if (child.last_sibling()) break;
+      ++idx;
+    }
+  }
+
+  // Leaf children: a linked chain of leaf-array slots.
+  uint32_t leaf = rec.first_leaf;
+  while (leaf != kNone) {
+    // The leaf's suffix runs from position `leaf` through its sequence's
+    // terminator; the unconsumed arc label starts parent_depth symbols in.
+    uint64_t term = tree_->TerminatorPos(tree_->SequenceOf(leaf));
+    uint64_t label_start = static_cast<uint64_t>(leaf) + parent_depth;
+    OASIS_DCHECK(label_start <= term);
+    ChildArc arc;
+    arc.node = PackedNodeRef::Leaf(leaf);
+    arc.arc_start = label_start;
+    arc.arc_len = static_cast<uint32_t>(term - label_start);
+    arc.depth = parent_depth + arc.arc_len;
+    if (!fn(arc)) return util::Status::OK();
+    OASIS_ASSIGN_OR_RETURN(leaf, tree_->ReadLeafNext(leaf));
+  }
+  return util::Status::OK();
+}
+
+util::Status TreeCursor::CollectLeafPositions(PackedNodeRef node,
+                                              std::vector<uint64_t>* out,
+                                              size_t limit) const {
+  if (node.is_leaf) {
+    out->push_back(node.index);
+    return util::Status::OK();
+  }
+  // Iterative DFS over packed records. Depth argument to ForEachChild must
+  // be the node's own depth, which we fetch from its record.
+  std::vector<PackedNodeRef> stack{node};
+  while (!stack.empty()) {
+    PackedNodeRef n = stack.back();
+    stack.pop_back();
+    if (n.is_leaf) {
+      out->push_back(n.index);
+      if (limit != 0 && out->size() >= limit) return util::Status::OK();
+      continue;
+    }
+    OASIS_ASSIGN_OR_RETURN(PackedInternalNode rec, tree_->ReadInternal(n.index));
+    OASIS_RETURN_NOT_OK(ForEachChild(n, rec.depth(),
+                                     [&stack](const ChildArc& arc) {
+                                       stack.push_back(arc.node);
+                                       return true;
+                                     }));
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<bool> TreeCursor::ContainsSubstring(
+    const std::vector<uint8_t>& pattern) const {
+  PackedNodeRef node = Root();
+  uint32_t node_depth = 0;
+  size_t matched = 0;
+  std::vector<uint8_t> label;
+  while (matched < pattern.size()) {
+    if (node.is_leaf) return false;
+    // Find the child whose arc starts with pattern[matched].
+    bool found = false;
+    ChildArc next;
+    util::Status status = ForEachChild(
+        node, node_depth, [&](const ChildArc& arc) {
+          if (arc.arc_len == 0) return true;  // terminator-only leaf arc
+          // Peek the first symbol of the arc.
+          std::vector<uint8_t> first;
+          util::Status s = ReadArcSymbols(arc.arc_start, 1, &first);
+          if (!s.ok()) return true;  // surfaced by the full read below
+          if (first[0] == pattern[matched]) {
+            next = arc;
+            found = true;
+            return false;
+          }
+          return true;
+        });
+    OASIS_RETURN_NOT_OK(status);
+    if (!found) return false;
+    uint32_t take = std::min<uint32_t>(
+        next.arc_len, static_cast<uint32_t>(pattern.size() - matched));
+    OASIS_RETURN_NOT_OK(ReadArcSymbols(next.arc_start, take, &label));
+    for (uint32_t k = 0; k < take; ++k) {
+      if (label[k] != pattern[matched + k]) return false;
+    }
+    matched += take;
+    if (matched < pattern.size() && take == next.arc_len) {
+      node = next.node;
+      node_depth = next.depth;
+      continue;
+    }
+    if (matched == pattern.size()) return true;
+    return false;  // pattern continues but the arc ended at a terminator
+  }
+  return true;  // empty pattern
+}
+
+}  // namespace suffix
+}  // namespace oasis

@@ -1,0 +1,77 @@
+// Traversal layer over PackedSuffixTree: typed node references, child
+// enumeration (internal run + leaf chain), arc-label fetching and leaf-
+// descendant collection. This is the interface the OASIS search consumes.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "suffix/packed_tree.h"
+
+namespace oasis {
+namespace suffix {
+
+/// Reference to a packed node: either an internal record index or a leaf
+/// array index (== suffix start position).
+struct PackedNodeRef {
+  uint32_t index = 0;
+  bool is_leaf = false;
+
+  static PackedNodeRef Internal(uint32_t idx) { return {idx, false}; }
+  static PackedNodeRef Leaf(uint32_t idx) { return {idx, true}; }
+  bool operator==(const PackedNodeRef&) const = default;
+};
+
+/// One child produced by TreeCursor::ForEachChild.
+struct ChildArc {
+  PackedNodeRef node;
+  uint64_t arc_start = 0;  ///< first symbol position of the arc label
+  uint32_t arc_len = 0;    ///< residue symbols on the arc (terminator excluded)
+  uint32_t depth = 0;      ///< child path depth in residues (terminator excluded)
+};
+
+/// Stateless cursor utilities over one packed tree. All operations return
+/// Status because every access may touch disk through the buffer pool.
+class TreeCursor {
+ public:
+  explicit TreeCursor(const PackedSuffixTree* tree) : tree_(tree) {}
+
+  const PackedSuffixTree& tree() const { return *tree_; }
+
+  PackedNodeRef Root() const { return PackedNodeRef::Internal(0); }
+
+  /// Invokes `fn` for every child of internal node `parent` (depth
+  /// `parent_depth`): first the contiguous internal-sibling run, then the
+  /// leaf chain. `fn` returning false stops the iteration early.
+  ///
+  /// For a leaf child the arc label is implicit: it starts at
+  /// leaf_index + parent_depth and runs to the sequence terminator; arc_len
+  /// counts only the residues (possibly zero for a terminator-only arc).
+  util::Status ForEachChild(PackedNodeRef parent, uint32_t parent_depth,
+                            const std::function<bool(const ChildArc&)>& fn) const;
+
+  /// Collects the suffix start positions of every leaf in `node`'s subtree.
+  /// For a leaf, that is the leaf itself. `limit` caps the result size
+  /// (0 = unlimited).
+  util::Status CollectLeafPositions(PackedNodeRef node,
+                                    std::vector<uint64_t>* out,
+                                    size_t limit = 0) const;
+
+  /// Reads `len` residue bytes of an arc label starting at `pos`.
+  util::Status ReadArcSymbols(uint64_t pos, uint32_t len,
+                              std::vector<uint8_t>* out) const {
+    return tree_->ReadSymbols(pos, len, out);
+  }
+
+  /// Exact-substring test over the packed tree (paper §2.3.1); used by
+  /// tests to validate the packed form against the in-memory form.
+  /// `pattern` holds residue codes.
+  util::StatusOr<bool> ContainsSubstring(const std::vector<uint8_t>& pattern) const;
+
+ private:
+  const PackedSuffixTree* tree_;
+};
+
+}  // namespace suffix
+}  // namespace oasis

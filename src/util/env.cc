@@ -1,0 +1,53 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace util {
+
+int64_t EnvInt64(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') return def;
+  return static_cast<int64_t>(parsed);
+}
+
+double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return def;
+  return parsed;
+}
+
+std::string EnvString(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : def;
+}
+
+TempDir::TempDir(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") + "/oasis-" +
+                     prefix + "-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* made = mkdtemp(buf.data());
+  OASIS_CHECK(made != nullptr) << "mkdtemp failed for " << tmpl;
+  path_ = made;
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);
+}
+
+}  // namespace util
+}  // namespace oasis

@@ -1,0 +1,44 @@
+// Environment-variable helpers shared by benches and examples, plus a tiny
+// scoped temporary-directory utility used by tests and disk-backed benches.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace oasis {
+namespace util {
+
+/// Returns the integer value of env var `name`, or `def` when unset/invalid.
+int64_t EnvInt64(const char* name, int64_t def);
+
+/// Returns the double value of env var `name`, or `def` when unset/invalid.
+double EnvDouble(const char* name, double def);
+
+/// Returns env var `name`, or `def` when unset.
+std::string EnvString(const char* name, const std::string& def);
+
+/// Creates a unique temporary directory and removes it (recursively) on
+/// destruction. Used for packed-tree files in tests and benches.
+class TempDir {
+ public:
+  /// Creates a directory under $TMPDIR (default /tmp) named
+  /// oasis-<prefix>-XXXXXX. Aborts on failure (tests cannot proceed).
+  explicit TempDir(const std::string& prefix = "t");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  /// Path of `name` inside the directory.
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace util
+}  // namespace oasis

@@ -1,0 +1,70 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace oasis {
+namespace util {
+
+namespace {
+std::atomic<int> g_level{-1};
+
+int InitLevelFromEnv() {
+  const char* env = std::getenv("OASIS_LOG_LEVEL");
+  if (env != nullptr && env[0] >= '0' && env[0] <= '4' && env[1] == '\0') {
+    return env[0] - '0';
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+}  // namespace
+
+LogLevel GetLogLevel() {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl < 0) {
+    lvl = InitLevelFromEnv();
+    g_level.store(lvl, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(lvl);
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+namespace {
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kFatal: return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+  if (level_ == LogLevel::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace util
+}  // namespace oasis

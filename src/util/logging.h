@@ -1,0 +1,70 @@
+// Minimal leveled logging plus CHECK macros (Google glog-style subset).
+
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace oasis {
+namespace util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo; override with the OASIS_LOG_LEVEL env var (0-4).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogMessageVoidify {
+  // Lower precedence than << but higher than ?:.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace util
+}  // namespace oasis
+
+#define OASIS_LOG_INTERNAL(level)                                            \
+  ::oasis::util::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define OASIS_LOG(severity)                                                  \
+  (::oasis::util::LogLevel::k##severity < ::oasis::util::GetLogLevel())      \
+      ? (void)0                                                              \
+      : ::oasis::util::internal::LogMessageVoidify() &                       \
+            OASIS_LOG_INTERNAL(::oasis::util::LogLevel::k##severity)
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// these guard invariants whose violation means memory corruption ahead.
+#define OASIS_CHECK(cond)                                                    \
+  (cond) ? (void)0                                                           \
+         : ::oasis::util::internal::LogMessageVoidify() &                    \
+               OASIS_LOG_INTERNAL(::oasis::util::LogLevel::kFatal)           \
+                   << "Check failed: " #cond " "
+
+#define OASIS_CHECK_EQ(a, b) OASIS_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OASIS_CHECK_NE(a, b) OASIS_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OASIS_CHECK_LE(a, b) OASIS_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OASIS_CHECK_LT(a, b) OASIS_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OASIS_CHECK_GE(a, b) OASIS_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OASIS_CHECK_GT(a, b) OASIS_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifndef NDEBUG
+#define OASIS_DCHECK(cond) OASIS_CHECK(cond)
+#else
+#define OASIS_DCHECK(cond) \
+  while (false) OASIS_CHECK(cond)
+#endif

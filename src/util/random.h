@@ -1,0 +1,51 @@
+// Deterministic, fast PRNG (xoshiro256**) used everywhere randomness is
+// needed so that workloads, tests and benchmarks are reproducible from a
+// single seed.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oasis {
+namespace util {
+
+/// xoshiro256** 1.0 with splitmix64 seeding. Not cryptographic; chosen for
+/// speed and reproducibility across platforms (no libstdc++ distribution
+/// dependence in the core generator).
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). Precondition: n > 0. Uses Lemire's unbiased method.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller (no state caching; fine for workloads).
+  double NextGaussian();
+
+  /// Samples an index according to `weights` (need not be normalized;
+  /// non-negative). Returns weights.size()-1 on numeric fallthrough.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fork a statistically independent child stream (for per-sequence seeds).
+  Random Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace util
+}  // namespace oasis

@@ -1,0 +1,140 @@
+// Status / StatusOr error-handling primitives (RocksDB / Arrow idiom).
+//
+// Library code never throws on expected failure paths; fallible operations
+// return util::Status (or util::StatusOr<T> when they also produce a value).
+
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace oasis {
+namespace util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kOutOfRange,
+  kNotSupported,
+  kInternal,
+};
+
+/// Result of a fallible operation: a code plus a human-readable message.
+/// Cheap to copy in the OK case (no allocation), explicit everywhere else.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Analogous to
+/// absl::StatusOr / arrow::Result.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: `return value;` works in StatusOr-returning code.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: `return Status::IOError(...)` works.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() && "StatusOr must not hold OK without value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace util
+}  // namespace oasis
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define OASIS_RETURN_NOT_OK(expr)                    \
+  do {                                               \
+    ::oasis::util::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression to `lhs`, or returns its error.
+#define OASIS_ASSIGN_OR_RETURN(lhs, rexpr)           \
+  auto OASIS_CONCAT_(_statusor_, __LINE__) = (rexpr);          \
+  if (!OASIS_CONCAT_(_statusor_, __LINE__).ok())               \
+    return OASIS_CONCAT_(_statusor_, __LINE__).status();       \
+  lhs = std::move(OASIS_CONCAT_(_statusor_, __LINE__)).value()
+
+#define OASIS_CONCAT_IMPL_(a, b) a##b
+#define OASIS_CONCAT_(a, b) OASIS_CONCAT_IMPL_(a, b)

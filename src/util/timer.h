@@ -1,0 +1,36 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace oasis {
+namespace util {
+
+/// Monotonic stopwatch. Started on construction; Restart() resets.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace oasis

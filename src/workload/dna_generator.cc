@@ -1,0 +1,82 @@
+#include <algorithm>
+
+#include "util/logging.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace workload {
+
+namespace {
+
+std::vector<seq::Symbol> RandomDna(util::Random& rng, size_t length) {
+  std::vector<seq::Symbol> out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<seq::Symbol>(rng.Uniform(4)));
+  }
+  return out;
+}
+
+/// Copies `element` with per-symbol divergence (random substitutions).
+std::vector<seq::Symbol> DivergedCopy(util::Random& rng,
+                                      const std::vector<seq::Symbol>& element,
+                                      double divergence) {
+  std::vector<seq::Symbol> out = element;
+  for (seq::Symbol& s : out) {
+    if (rng.Bernoulli(divergence)) {
+      s = static_cast<seq::Symbol>((s + 1 + rng.Uniform(3)) % 4);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+util::StatusOr<seq::SequenceDatabase> GenerateDnaDatabase(
+    const DnaDatabaseOptions& options) {
+  if (options.num_sequences == 0 || options.target_residues == 0) {
+    return util::Status::InvalidArgument("empty database requested");
+  }
+  if (options.repeat_fraction < 0.0 || options.repeat_fraction > 0.9) {
+    return util::Status::InvalidArgument("repeat_fraction must be in [0, 0.9]");
+  }
+  util::Random rng(options.seed);
+
+  // Repeat element library (genomic DNA shares long suffix-tree paths
+  // through repeat families; planting them reproduces that structure).
+  std::vector<std::vector<seq::Symbol>> elements;
+  for (uint32_t f = 0; f < options.num_repeat_families; ++f) {
+    elements.push_back(RandomDna(rng, options.repeat_element_length));
+  }
+
+  const uint64_t per_seq =
+      std::max<uint64_t>(1, options.target_residues / options.num_sequences);
+  std::vector<seq::Sequence> sequences;
+  for (uint32_t s = 0; s < options.num_sequences; ++s) {
+    std::vector<seq::Symbol> residues;
+    residues.reserve(per_seq);
+    while (residues.size() < per_seq) {
+      bool plant_repeat = !elements.empty() &&
+                          rng.Bernoulli(options.repeat_fraction) &&
+                          residues.size() + options.repeat_element_length <=
+                              per_seq + options.repeat_element_length;
+      if (plant_repeat) {
+        std::vector<seq::Symbol> copy = DivergedCopy(
+            rng, elements[rng.Uniform(elements.size())],
+            options.repeat_divergence);
+        residues.insert(residues.end(), copy.begin(), copy.end());
+      } else {
+        std::vector<seq::Symbol> chunk =
+            RandomDna(rng, std::min<uint64_t>(256, per_seq));
+        residues.insert(residues.end(), chunk.begin(), chunk.end());
+      }
+    }
+    residues.resize(per_seq);
+    sequences.emplace_back("SCAF" + std::to_string(s), std::move(residues));
+  }
+  return seq::SequenceDatabase::Build(seq::Alphabet::Dna(),
+                                      std::move(sequences));
+}
+
+}  // namespace workload
+}  // namespace oasis

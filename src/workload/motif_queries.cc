@@ -1,0 +1,98 @@
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace workload {
+
+namespace {
+
+/// Draws a replacement residue for `original`, weighted by
+/// exp(S(original, b) / 2) over b != original — a crude single PAM step
+/// conditioned on the scoring matrix, so mutations mostly land on
+/// positively-scoring (biochemically similar) residues.
+seq::Symbol MutateResidue(util::Random& rng,
+                          const score::SubstitutionMatrix& matrix,
+                          seq::Symbol original, uint32_t num_residues) {
+  std::vector<double> weights(num_residues, 0.0);
+  for (uint32_t b = 0; b < num_residues; ++b) {
+    if (b == original) continue;
+    weights[b] = std::exp(matrix.Score(original, b) / 2.0);
+  }
+  return static_cast<seq::Symbol>(rng.Categorical(weights));
+}
+
+}  // namespace
+
+util::StatusOr<std::vector<MotifQuery>> GenerateMotifQueries(
+    const seq::SequenceDatabase& db, const score::SubstitutionMatrix& matrix,
+    const MotifQueryOptions& options) {
+  if (options.min_length == 0 || options.min_length > options.max_length) {
+    return util::Status::InvalidArgument("invalid query length range");
+  }
+  // Mutations draw from the standard residues only (the first 20 protein
+  // codes, or all 4 DNA codes).
+  const uint32_t num_residues =
+      db.alphabet().kind() == seq::AlphabetKind::kProtein
+          ? 20
+          : db.alphabet().size();
+
+  util::Random rng(options.seed);
+  std::vector<MotifQuery> queries;
+  queries.reserve(options.num_queries);
+
+  uint32_t attempts = 0;
+  while (queries.size() < options.num_queries) {
+    if (++attempts > options.num_queries * 100) {
+      return util::Status::Internal(
+          "query generation stalled: database sequences too short for the "
+          "requested query lengths");
+    }
+    double len_draw =
+        std::exp(options.log_mean + options.log_sigma * rng.NextGaussian());
+    uint32_t len = static_cast<uint32_t>(
+        std::clamp<double>(len_draw, options.min_length, options.max_length));
+
+    seq::SequenceId sid =
+        static_cast<seq::SequenceId>(rng.Uniform(db.num_sequences()));
+    const seq::Sequence& source = db.sequence(sid);
+    if (source.size() < len) continue;
+    uint64_t offset = rng.Uniform(source.size() - len + 1);
+
+    MotifQuery query;
+    query.source_sequence = sid;
+    query.source_offset = offset;
+    query.symbols.assign(source.symbols().begin() + offset,
+                         source.symbols().begin() + offset + len);
+
+    // Point substitutions.
+    for (seq::Symbol& s : query.symbols) {
+      if (rng.Bernoulli(options.substitution_rate)) {
+        s = MutateResidue(rng, matrix, s, num_residues);
+      }
+    }
+    // Rare short indel.
+    if (rng.Bernoulli(options.indel_probability) && query.symbols.size() > 4) {
+      uint32_t indel_len = 1 + static_cast<uint32_t>(rng.Uniform(2));
+      uint64_t pos = rng.Uniform(query.symbols.size() - indel_len);
+      if (rng.Bernoulli(0.5)) {
+        query.symbols.erase(query.symbols.begin() + pos,
+                            query.symbols.begin() + pos + indel_len);
+      } else {
+        for (uint32_t k = 0; k < indel_len; ++k) {
+          query.symbols.insert(
+              query.symbols.begin() + pos,
+              static_cast<seq::Symbol>(rng.Uniform(num_residues)));
+        }
+      }
+    }
+    if (query.symbols.size() < options.min_length) continue;
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace workload
+}  // namespace oasis

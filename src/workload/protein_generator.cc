@@ -1,0 +1,62 @@
+#include <algorithm>
+#include <cmath>
+
+#include "score/karlin.h"
+#include "util/logging.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace workload {
+
+std::vector<seq::Symbol> RandomProteinResidues(util::Random& rng,
+                                               size_t length) {
+  // Robinson-Robinson background (score/karlin.cc) over the 20 standard
+  // residues; ambiguity codes are never generated.
+  static const std::vector<double> weights = [] {
+    std::vector<double> bg =
+        score::BackgroundFrequencies(seq::Alphabet::Protein());
+    bg.resize(20);
+    return bg;
+  }();
+  std::vector<seq::Symbol> out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<seq::Symbol>(rng.Categorical(weights)));
+  }
+  return out;
+}
+
+util::StatusOr<seq::SequenceDatabase> GenerateProteinDatabase(
+    const ProteinDatabaseOptions& options) {
+  if (options.min_length == 0 || options.min_length > options.max_length) {
+    return util::Status::InvalidArgument("invalid length range");
+  }
+  if (options.target_residues == 0) {
+    return util::Status::InvalidArgument("target_residues must be positive");
+  }
+  util::Random rng(options.seed);
+  std::vector<seq::Sequence> sequences;
+  uint64_t total = 0;
+  uint32_t index = 0;
+  while (total < options.target_residues) {
+    double len_draw =
+        std::exp(options.log_mean + options.log_sigma * rng.NextGaussian());
+    uint32_t len = static_cast<uint32_t>(
+        std::clamp<double>(len_draw, options.min_length, options.max_length));
+    // Do not overshoot the target by more than one sequence; trim the last
+    // sequence to land close to target_residues (but never below min).
+    if (total + len > options.target_residues) {
+      uint64_t remaining = options.target_residues - total;
+      len = static_cast<uint32_t>(
+          std::max<uint64_t>(remaining, options.min_length));
+    }
+    sequences.emplace_back("SP" + std::to_string(index++),
+                           RandomProteinResidues(rng, len));
+    total += len;
+  }
+  return seq::SequenceDatabase::Build(seq::Alphabet::Protein(),
+                                      std::move(sequences));
+}
+
+}  // namespace workload
+}  // namespace oasis

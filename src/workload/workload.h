@@ -1,0 +1,90 @@
+// Synthetic workload generators substituting for the paper's data sets
+// (see DESIGN.md §2 for the substitution rationale):
+//   * ProteinDatabaseGenerator  — SWISS-PROT-shaped protein database
+//     (log-normal lengths clamped to [7, 2048], Robinson-Robinson residue
+//     background);
+//   * DnaDatabaseGenerator      — Drosophila-shaped nucleotide database
+//     with planted repeat families;
+//   * MotifQueryGenerator       — ProClass-motif-shaped query workload:
+//     substrings of database sequences mutated by a substitution-matrix-
+//     aware point process plus rare short indels, so queries have genuine
+//     homologous targets.
+//
+// All generators are deterministic given the seed.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "score/substitution_matrix.h"
+#include "seq/database.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace workload {
+
+struct ProteinDatabaseOptions {
+  uint64_t target_residues = 1 << 20;  ///< approximate total residue count
+  uint32_t min_length = 7;             ///< SWISS-PROT range (paper §4.1)
+  uint32_t max_length = 2048;
+  double log_mean = 5.7;   ///< log-normal length parameters: median ~300,
+  double log_sigma = 0.75; ///< matching SWISS-PROT's ~400-residue mean
+  uint64_t seed = 42;
+};
+
+/// Generates a protein database. Sequence ids are "SP<index>".
+util::StatusOr<seq::SequenceDatabase> GenerateProteinDatabase(
+    const ProteinDatabaseOptions& options);
+
+struct DnaDatabaseOptions {
+  uint64_t target_residues = 1 << 20;
+  uint32_t num_sequences = 64;
+  /// Fraction of the database covered by copies of repeat elements.
+  double repeat_fraction = 0.2;
+  uint32_t repeat_element_length = 400;
+  uint32_t num_repeat_families = 8;
+  /// Per-symbol divergence applied to each planted repeat copy.
+  double repeat_divergence = 0.05;
+  uint64_t seed = 43;
+};
+
+/// Generates a nucleotide database with planted repeat families. Sequence
+/// ids are "SCAF<index>".
+util::StatusOr<seq::SequenceDatabase> GenerateDnaDatabase(
+    const DnaDatabaseOptions& options);
+
+struct MotifQueryOptions {
+  uint32_t num_queries = 100;   ///< the paper's workload size
+  uint32_t min_length = 6;      ///< paper: queries range 6..56, mean 16
+  uint32_t max_length = 56;
+  double log_mean = 2.7;        ///< log-normal centred near length 15-16
+  double log_sigma = 0.45;
+  /// Per-residue probability of a point substitution (drawn from the
+  /// matrix-conditioned mutation distribution).
+  double substitution_rate = 0.10;
+  /// Probability of one short (1-2 residue) indel per query.
+  double indel_probability = 0.10;
+  uint64_t seed = 44;
+};
+
+/// One generated query with its provenance (for accuracy checks).
+struct MotifQuery {
+  std::vector<seq::Symbol> symbols;
+  seq::SequenceId source_sequence = 0;
+  uint64_t source_offset = 0;
+};
+
+/// Samples mutated substrings of `db` sequences as queries. The mutation
+/// process favours substitutions the matrix scores highly (a crude PAM
+/// step), so planted homologies have realistic score distributions.
+util::StatusOr<std::vector<MotifQuery>> GenerateMotifQueries(
+    const seq::SequenceDatabase& db, const score::SubstitutionMatrix& matrix,
+    const MotifQueryOptions& options);
+
+/// Robinson-Robinson-weighted random protein residues (exposed for tests).
+std::vector<seq::Symbol> RandomProteinResidues(util::Random& rng, size_t length);
+
+}  // namespace workload
+}  // namespace oasis

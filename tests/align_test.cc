@@ -1,0 +1,186 @@
+// Smith-Waterman and traceback properties beyond the paper example:
+// score consistency, coordinate sanity, symmetry, and randomized
+// cross-checks between the scan and the traceback variants.
+
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.h"
+#include "align/traceback.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace oasis {
+namespace {
+
+using testing::Encode;
+using testing::MakeDatabase;
+
+std::vector<seq::Symbol> RandomSeq(util::Random& rng, uint32_t sigma,
+                                   size_t len) {
+  std::vector<seq::Symbol> out(len);
+  for (auto& s : out) s = static_cast<seq::Symbol>(rng.Uniform(sigma));
+  return out;
+}
+
+TEST(SmithWaterman, IdenticalSequencesScoreSelfScore) {
+  auto q = Encode(seq::Alphabet::Dna(), "GATTACA");
+  align::SequenceHit hit =
+      align::AlignPair(q, q, score::SubstitutionMatrix::UnitDna());
+  EXPECT_EQ(hit.score, 7);
+}
+
+TEST(SmithWaterman, DisjointAlphabetsScoreZero) {
+  auto q = Encode(seq::Alphabet::Dna(), "AAAA");
+  auto t = Encode(seq::Alphabet::Dna(), "CCCC");
+  align::SequenceHit hit =
+      align::AlignPair(q, t, score::SubstitutionMatrix::UnitDna());
+  EXPECT_EQ(hit.score, 0);
+}
+
+TEST(SmithWaterman, SymmetricUnderSwap) {
+  util::Random rng(11);
+  for (int i = 0; i < 20; ++i) {
+    auto a = RandomSeq(rng, 4, 1 + rng.Uniform(30));
+    auto b = RandomSeq(rng, 4, 1 + rng.Uniform(30));
+    align::SequenceHit ab =
+        align::AlignPair(a, b, score::SubstitutionMatrix::UnitDna());
+    align::SequenceHit ba =
+        align::AlignPair(b, a, score::SubstitutionMatrix::UnitDna());
+    EXPECT_EQ(ab.score, ba.score);
+  }
+}
+
+TEST(SmithWaterman, ScoreNeverDecreasesWhenTargetGrows) {
+  util::Random rng(12);
+  auto q = RandomSeq(rng, 4, 10);
+  auto t = RandomSeq(rng, 4, 50);
+  score::ScoreT prev = 0;
+  for (size_t len = 1; len <= t.size(); ++len) {
+    std::span<const seq::Symbol> prefix(t.data(), len);
+    align::SequenceHit hit =
+        align::AlignPair(q, prefix, score::SubstitutionMatrix::UnitDna());
+    EXPECT_GE(hit.score, prev);
+    prev = hit.score;
+  }
+}
+
+TEST(SmithWaterman, ColumnsExpandedEqualsDatabaseResidues) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"ACGTT", "GGG", "TATATA"});
+  auto q = Encode(seq::Alphabet::Dna(), "ACG");
+  align::AlignStats stats;
+  align::ScanDatabase(q, db, score::SubstitutionMatrix::UnitDna(), 1, &stats);
+  EXPECT_EQ(stats.columns_expanded, db.num_residues());
+}
+
+TEST(SmithWaterman, ScanFiltersAndSortsByScore) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(),
+                         {"TTTT", "ACGT", "AACGTT", "CCCC"});
+  auto q = Encode(seq::Alphabet::Dna(), "ACGT");
+  auto hits = align::ScanDatabase(q, db, score::SubstitutionMatrix::UnitDna(),
+                                  3);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].score, 4);
+  EXPECT_EQ(hits[1].score, 4);
+  EXPECT_LT(hits[0].sequence_id, hits[1].sequence_id);
+}
+
+TEST(Traceback, ScoreMatchesScanOnRandomPairs) {
+  util::Random rng(13);
+  for (int i = 0; i < 40; ++i) {
+    auto q = RandomSeq(rng, 4, 1 + rng.Uniform(25));
+    auto t = RandomSeq(rng, 4, 1 + rng.Uniform(40));
+    align::SequenceHit hit =
+        align::AlignPair(q, t, score::SubstitutionMatrix::UnitDna());
+    align::Alignment aln =
+        align::TracebackLocal(q, t, score::SubstitutionMatrix::UnitDna());
+    EXPECT_EQ(aln.score, hit.score);
+    if (aln.score > 0) {
+      EXPECT_EQ(aln.RecomputeScore(score::SubstitutionMatrix::UnitDna(), q, t),
+                aln.score);
+    }
+  }
+}
+
+TEST(Traceback, CigarRoundTrip) {
+  auto q = Encode(seq::Alphabet::Dna(), "ACGTACGT");
+  auto t = Encode(seq::Alphabet::Dna(), "ACGACGT");  // T deleted from query view
+  align::Alignment aln =
+      align::TracebackLocal(q, t, score::SubstitutionMatrix::UnitDna());
+  EXPECT_GT(aln.score, 0);
+  std::string cigar = aln.Cigar();
+  EXPECT_FALSE(cigar.empty());
+  // Total consumed query symbols from the CIGAR must match coordinates.
+  size_t q_consumed = 0, t_consumed = 0;
+  for (align::Op op : aln.ops) {
+    if (op != align::Op::kDelete) ++q_consumed;
+    if (op != align::Op::kInsert) ++t_consumed;
+  }
+  EXPECT_EQ(q_consumed, aln.query_end - aln.query_start + 1);
+  EXPECT_EQ(t_consumed, aln.target_end - aln.target_start + 1);
+}
+
+TEST(Traceback, PrettyRendersAllThreeLines) {
+  auto q = Encode(seq::Alphabet::Dna(), "ACGT");
+  auto t = Encode(seq::Alphabet::Dna(), "ACGT");
+  align::Alignment aln =
+      align::TracebackLocal(q, t, score::SubstitutionMatrix::UnitDna());
+  std::string pretty = aln.Pretty(seq::Alphabet::Dna(), q, t);
+  EXPECT_EQ(pretty, "ACGT\n||||\nACGT\n");
+}
+
+TEST(Traceback, PathPinnedConsumesWholeTarget) {
+  // Pinned variant must align the target span end to end.
+  auto q = Encode(seq::Alphabet::Dna(), "TTACGTT");
+  auto t = Encode(seq::Alphabet::Dna(), "ACG");
+  align::Alignment aln = align::TracebackPathPinned(
+      q, t, score::SubstitutionMatrix::UnitDna());
+  EXPECT_EQ(aln.score, 3);
+  EXPECT_EQ(aln.target_start, 0u);
+  EXPECT_EQ(aln.target_end, 2u);
+  EXPECT_EQ(aln.query_start, 2u);
+  EXPECT_EQ(aln.query_end, 4u);
+}
+
+TEST(Traceback, PathPinnedNeverExceedsLocal) {
+  // The pinned DP is a restriction of local alignment: its score is <= the
+  // free local score for any pair.
+  util::Random rng(14);
+  for (int i = 0; i < 30; ++i) {
+    auto q = RandomSeq(rng, 4, 1 + rng.Uniform(20));
+    auto t = RandomSeq(rng, 4, 1 + rng.Uniform(15));
+    align::Alignment pinned = align::TracebackPathPinned(
+        q, t, score::SubstitutionMatrix::UnitDna());
+    align::Alignment local =
+        align::TracebackLocal(q, t, score::SubstitutionMatrix::UnitDna());
+    EXPECT_LE(pinned.score, local.score);
+  }
+}
+
+TEST(Traceback, EmptyAlignmentForHopelessPair) {
+  auto q = Encode(seq::Alphabet::Dna(), "A");
+  auto t = Encode(seq::Alphabet::Dna(), "C");
+  align::Alignment aln =
+      align::TracebackLocal(q, t, score::SubstitutionMatrix::UnitDna());
+  EXPECT_EQ(aln.score, 0);
+  EXPECT_TRUE(aln.ops.empty());
+  EXPECT_EQ(aln.Cigar(), "");
+}
+
+TEST(FullMatrix, AgreesWithAlignPairBest) {
+  util::Random rng(15);
+  for (int i = 0; i < 20; ++i) {
+    auto q = RandomSeq(rng, 4, 1 + rng.Uniform(12));
+    auto t = RandomSeq(rng, 4, 1 + rng.Uniform(18));
+    auto h = align::FullMatrix(q, t, score::SubstitutionMatrix::UnitDna());
+    score::ScoreT best = 0;
+    for (const auto& row : h) {
+      for (score::ScoreT v : row) best = std::max(best, v);
+    }
+    align::SequenceHit hit =
+        align::AlignPair(q, t, score::SubstitutionMatrix::UnitDna());
+    EXPECT_EQ(hit.score, best);
+  }
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,281 @@
+// BLAST-style baseline: seeding, neighborhood expansion, extension and
+// E-value filtering — plus the heuristic's defining property: it can miss
+// matches that OASIS/S-W find (never the reverse for strong exact-word
+// hits).
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.h"
+#include "blast/blast.h"
+#include "blast/extend.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+using testing::Encode;
+using testing::MakeDatabase;
+
+score::KarlinParams Params(const score::SubstitutionMatrix& m) {
+  auto p = score::ComputeKarlinParams(m);
+  EXPECT_TRUE(p.ok());
+  return *p;
+}
+
+TEST(BlastQuery, ExactWordsIndexTheQuery) {
+  auto query = Encode(seq::Alphabet::Dna(), "ACGTACG");
+  blast::BlastOptions options;
+  options.word_size = 4;
+  options.exact_words_only = true;
+  auto prepared = blast::BlastQuery::Prepare(
+      query, score::SubstitutionMatrix::UnitDna(), options);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  // 4 query words: ACGT, CGTA, GTAC, TACG.
+  EXPECT_EQ(prepared->num_neighbor_entries(), 4u);
+  auto positions = prepared->Positions(prepared->EncodeWord(&query[0]));
+  ASSERT_EQ(positions.size(), 1u);  // ACGT occurs only at offset 0
+  EXPECT_EQ(positions[0], 0u);
+  // A word absent from the query has no entries.
+  auto absent = testing::Encode(seq::Alphabet::Dna(), "GGGG");
+  EXPECT_TRUE(prepared->Positions(prepared->EncodeWord(&absent[0])).empty());
+}
+
+TEST(BlastQuery, RepeatedWordsKeepAllPositions) {
+  auto query = Encode(seq::Alphabet::Dna(), "ACGACGACG");
+  blast::BlastOptions options;
+  options.word_size = 3;
+  options.exact_words_only = true;
+  auto prepared = blast::BlastQuery::Prepare(
+      query, score::SubstitutionMatrix::UnitDna(), options);
+  ASSERT_TRUE(prepared.ok());
+  auto positions = prepared->Positions(prepared->EncodeWord(&query[0]));
+  EXPECT_EQ(positions.size(), 3u);  // ACG at 0, 3, 6
+}
+
+TEST(BlastQuery, NeighborhoodContainsExactWordAndGrowsWithLowerT) {
+  auto query = Encode(seq::Alphabet::Protein(), "MKTAY");
+  blast::BlastOptions strict;
+  strict.word_size = 3;
+  strict.neighbor_threshold = 18;  // very strict: near-exact words only
+  auto a = blast::BlastQuery::Prepare(query, score::SubstitutionMatrix::Pam30(),
+                                      strict);
+  ASSERT_TRUE(a.ok());
+
+  blast::BlastOptions loose = strict;
+  loose.neighbor_threshold = 10;
+  auto b = blast::BlastQuery::Prepare(query, score::SubstitutionMatrix::Pam30(),
+                                      loose);
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->num_neighbor_entries(), a->num_neighbor_entries());
+
+  // The exact word always scores >= any threshold below its self-score, so
+  // the exact word of each query position is present in the loose table.
+  for (size_t pos = 0; pos + 3 <= query.size(); ++pos) {
+    auto positions = b->Positions(b->EncodeWord(&query[pos]));
+    EXPECT_TRUE(std::find(positions.begin(), positions.end(), pos) !=
+                positions.end())
+        << "position " << pos;
+  }
+}
+
+TEST(BlastQuery, RejectsShortQueryAndZeroWord) {
+  auto query = Encode(seq::Alphabet::Dna(), "AC");
+  blast::BlastOptions options;
+  options.word_size = 3;
+  EXPECT_FALSE(blast::BlastQuery::Prepare(
+                   query, score::SubstitutionMatrix::UnitDna(), options)
+                   .ok());
+  options.word_size = 0;
+  EXPECT_FALSE(blast::BlastQuery::Prepare(
+                   query, score::SubstitutionMatrix::UnitDna(), options)
+                   .ok());
+}
+
+TEST(Extend, UngappedGrowsAroundSeed) {
+  // Seed CGT inside a longer perfect match region.
+  auto query = Encode(seq::Alphabet::Dna(), "AACGTAA");
+  auto target = Encode(seq::Alphabet::Dna(), "TTAACGTAATT");
+  blast::Extension ext =
+      blast::ExtendUngapped(query, target, 2, 4, 3,
+                            score::SubstitutionMatrix::UnitDna(), 5);
+  // The full 7-symbol identity should be recovered: score 7.
+  EXPECT_EQ(ext.score, 7);
+  EXPECT_EQ(ext.query_start, 0u);
+  EXPECT_EQ(ext.query_end, 6u);
+  EXPECT_EQ(ext.target_start, 2u);
+  EXPECT_EQ(ext.target_end, 8u);
+}
+
+TEST(Extend, UngappedStopsAtXdrop) {
+  // Perfect seed followed by garbage: extension must stop near the seed.
+  auto query = Encode(seq::Alphabet::Dna(), "ACGTTTTTTT");
+  auto target = Encode(seq::Alphabet::Dna(), "ACGTAAAAAA");
+  blast::Extension ext =
+      blast::ExtendUngapped(query, target, 0, 0, 4,
+                            score::SubstitutionMatrix::UnitDna(), 2);
+  EXPECT_EQ(ext.score, 4);
+  EXPECT_EQ(ext.query_end, 3u);
+}
+
+TEST(Extend, GappedRecoversIndelAlignment) {
+  // Query = target with one symbol deleted; gapped extension must bridge it.
+  auto query = Encode(seq::Alphabet::Dna(), "ACGTACGTACGT");
+  auto target = Encode(seq::Alphabet::Dna(), "ACGTACTACGT");  // G deleted
+  blast::Extension ext = blast::ExtendGapped(
+      query, target, 2, 2, score::SubstitutionMatrix::UnitDna(), 10);
+  // 11 matches + 1 gap = 11 - 1 = 10 under unit scoring.
+  EXPECT_EQ(ext.score, 10);
+  EXPECT_EQ(ext.query_start, 0u);
+  EXPECT_EQ(ext.query_end, 11u);
+  EXPECT_EQ(ext.target_end, 10u);
+}
+
+TEST(BlastSearch, FindsPlantedExactMatch) {
+  util::Random rng(31);
+  workload::ProteinDatabaseOptions db_options;
+  db_options.target_residues = 4000;
+  db_options.seed = 31;
+  auto db = workload::GenerateProteinDatabase(db_options);
+  ASSERT_TRUE(db.ok());
+
+  // Query = exact substring of sequence 2.
+  const seq::Sequence& src = db->sequence(2);
+  ASSERT_GE(src.size(), 12u);
+  std::vector<seq::Symbol> query(src.symbols().begin(),
+                                 src.symbols().begin() + 12);
+
+  blast::BlastOptions options;
+  options.word_size = 3;
+  options.neighbor_threshold = 13;
+  options.evalue_cutoff = 20000.0;
+  auto prepared = blast::BlastQuery::Prepare(
+      query, score::SubstitutionMatrix::Pam30(), options);
+  ASSERT_TRUE(prepared.ok());
+
+  blast::BlastStats stats;
+  auto hits = blast::Search(*prepared, *db, score::SubstitutionMatrix::Pam30(),
+                            Params(score::SubstitutionMatrix::Pam30()), &stats);
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  ASSERT_FALSE(hits->empty());
+  EXPECT_EQ((*hits)[0].sequence_id, 2u);
+  EXPECT_GT(stats.word_hits, 0u);
+  EXPECT_GT(stats.seeds_extended, 0u);
+
+  // The top score must equal the S-W score for that sequence (an exact
+  // full-length hit is trivially recovered by the gapped extension).
+  auto sw = align::ScanDatabase(query, *db, score::SubstitutionMatrix::Pam30(),
+                                1);
+  ASSERT_FALSE(sw.empty());
+  EXPECT_EQ((*hits)[0].score, sw[0].score);
+}
+
+TEST(BlastSearch, NeverExceedsSmithWaterman) {
+  // BLAST is a lower bound on S-W per-sequence scores: it may miss, it must
+  // not invent.
+  workload::ProteinDatabaseOptions db_options;
+  db_options.target_residues = 3000;
+  db_options.seed = 32;
+  auto db = workload::GenerateProteinDatabase(db_options);
+  ASSERT_TRUE(db.ok());
+
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries = 5;
+  q_options.seed = 32;
+  auto queries = workload::GenerateMotifQueries(
+      *db, score::SubstitutionMatrix::Pam30(), q_options);
+  ASSERT_TRUE(queries.ok());
+
+  for (const auto& q : *queries) {
+    if (q.symbols.size() < 3) continue;
+    blast::BlastOptions options;
+    options.evalue_cutoff = 1e9;
+    auto prepared = blast::BlastQuery::Prepare(
+        q.symbols, score::SubstitutionMatrix::Pam30(), options);
+    ASSERT_TRUE(prepared.ok());
+    auto hits = blast::Search(*prepared, *db,
+                              score::SubstitutionMatrix::Pam30(),
+                              Params(score::SubstitutionMatrix::Pam30()));
+    ASSERT_TRUE(hits.ok());
+
+    auto sw =
+        align::ScanDatabase(q.symbols, *db, score::SubstitutionMatrix::Pam30(), 1);
+    std::map<seq::SequenceId, score::ScoreT> sw_best;
+    for (const auto& h : sw) sw_best[h.sequence_id] = h.score;
+    for (const auto& h : *hits) {
+      ASSERT_TRUE(sw_best.count(h.sequence_id));
+      EXPECT_LE(h.score, sw_best[h.sequence_id]);
+    }
+  }
+}
+
+TEST(BlastSearch, EValueCutoffFilters) {
+  workload::ProteinDatabaseOptions db_options;
+  db_options.target_residues = 3000;
+  db_options.seed = 33;
+  auto db = workload::GenerateProteinDatabase(db_options);
+  ASSERT_TRUE(db.ok());
+  const seq::Sequence& src = db->sequence(0);
+  std::vector<seq::Symbol> query(src.symbols().begin(),
+                                 src.symbols().begin() + 10);
+
+  blast::BlastOptions loose;
+  loose.evalue_cutoff = 1e6;
+  blast::BlastOptions strict = loose;
+  strict.evalue_cutoff = 1e-3;
+
+  auto p_loose = blast::BlastQuery::Prepare(
+      query, score::SubstitutionMatrix::Pam30(), loose);
+  auto p_strict = blast::BlastQuery::Prepare(
+      query, score::SubstitutionMatrix::Pam30(), strict);
+  ASSERT_TRUE(p_loose.ok() && p_strict.ok());
+  auto karlin = Params(score::SubstitutionMatrix::Pam30());
+  auto h_loose =
+      blast::Search(*p_loose, *db, score::SubstitutionMatrix::Pam30(), karlin);
+  auto h_strict =
+      blast::Search(*p_strict, *db, score::SubstitutionMatrix::Pam30(), karlin);
+  ASSERT_TRUE(h_loose.ok() && h_strict.ok());
+  EXPECT_GE(h_loose->size(), h_strict->size());
+  for (const auto& h : *h_strict) {
+    EXPECT_LE(h.evalue, 1e-3);
+  }
+}
+
+TEST(BlastSearch, TwoHitIsMoreSelectiveThanOneHit) {
+  workload::ProteinDatabaseOptions db_options;
+  db_options.target_residues = 5000;
+  db_options.seed = 34;
+  auto db = workload::GenerateProteinDatabase(db_options);
+  ASSERT_TRUE(db.ok());
+  const seq::Sequence& src = db->sequence(1);
+  std::vector<seq::Symbol> query(src.symbols().begin(),
+                                 src.symbols().begin() + 20);
+
+  blast::BlastOptions one_hit;
+  one_hit.evalue_cutoff = 1e9;
+  blast::BlastOptions two_hit = one_hit;
+  two_hit.two_hit = true;
+
+  auto p1 = blast::BlastQuery::Prepare(query,
+                                       score::SubstitutionMatrix::Pam30(),
+                                       one_hit);
+  auto p2 = blast::BlastQuery::Prepare(query,
+                                       score::SubstitutionMatrix::Pam30(),
+                                       two_hit);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  auto karlin = Params(score::SubstitutionMatrix::Pam30());
+  blast::BlastStats s1, s2;
+  auto h1 = blast::Search(*p1, *db, score::SubstitutionMatrix::Pam30(), karlin, &s1);
+  auto h2 = blast::Search(*p2, *db, score::SubstitutionMatrix::Pam30(), karlin, &s2);
+  ASSERT_TRUE(h1.ok() && h2.ok());
+  EXPECT_LE(s2.seeds_extended, s1.seeds_extended);
+  // The planted identity has many two-hit diagonals; it must survive.
+  ASSERT_FALSE(h2->empty());
+  EXPECT_EQ((*h2)[0].sequence_id, 1u);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,266 @@
+// Buffer pool invariants (DESIGN.md invariant #6): contents match direct
+// file reads under arbitrary traces, statistics add up, pinned pages
+// survive, CLOCK evicts unpinned pages under pressure.
+
+#include <cstring>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "storage/block_file.h"
+#include "storage/buffer_pool.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace oasis {
+namespace {
+
+constexpr uint32_t kBlock = 256;  // small blocks make eviction easy to force
+
+/// Writes `n` blocks whose bytes are a function of the block id.
+storage::BlockFile MakeFile(const std::string& path, uint32_t n) {
+  auto file = storage::BlockFile::Create(path, kBlock);
+  EXPECT_TRUE(file.ok());
+  std::vector<uint8_t> buf(kBlock);
+  for (uint32_t b = 0; b < n; ++b) {
+    for (uint32_t i = 0; i < kBlock; ++i) {
+      buf[i] = static_cast<uint8_t>((b * 131 + i) & 0xFF);
+    }
+    auto id = file->AppendBlock(buf.data());
+    EXPECT_TRUE(id.ok());
+    EXPECT_EQ(*id, b);
+  }
+  OASIS_EXPECT_OK(file->Flush());
+  file->Close();
+  auto reopened = storage::BlockFile::Open(path, kBlock);
+  EXPECT_TRUE(reopened.ok());
+  return std::move(reopened).value();
+}
+
+bool BlockIsCorrect(const uint8_t* data, uint32_t b) {
+  for (uint32_t i = 0; i < kBlock; ++i) {
+    if (data[i] != static_cast<uint8_t>((b * 131 + i) & 0xFF)) return false;
+  }
+  return true;
+}
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  util::TempDir dir_{"bp"};
+};
+
+TEST_F(BufferPoolTest, FetchReturnsFileContents) {
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 16);
+  storage::BufferPool pool(8 * kBlock, kBlock);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+  for (uint32_t b = 0; b < 16; ++b) {
+    auto page = pool.Fetch(*seg, b);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    EXPECT_TRUE(BlockIsCorrect(page->data(), b)) << "block " << b;
+  }
+}
+
+TEST_F(BufferPoolTest, HitAndMissAccounting) {
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 4);
+  storage::BufferPool pool(8 * kBlock, kBlock);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  for (uint32_t b = 0; b < 4; ++b) (void)pool.Fetch(*seg, b);
+  EXPECT_EQ(pool.stats(*seg).requests, 4u);
+  EXPECT_EQ(pool.stats(*seg).hits, 0u);
+
+  for (uint32_t b = 0; b < 4; ++b) (void)pool.Fetch(*seg, b);
+  EXPECT_EQ(pool.stats(*seg).requests, 8u);
+  EXPECT_EQ(pool.stats(*seg).hits, 4u);
+  EXPECT_EQ(pool.stats(*seg).misses(), 4u);
+  EXPECT_DOUBLE_EQ(pool.stats(*seg).hit_ratio(), 0.5);
+}
+
+TEST_F(BufferPoolTest, EvictionUnderPressureStillCorrect) {
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 64);
+  storage::BufferPool pool(4 * kBlock, kBlock);  // 4 frames, 64 blocks
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  util::Random rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t b = static_cast<uint32_t>(rng.Uniform(64));
+    auto page = pool.Fetch(*seg, b);
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE(BlockIsCorrect(page->data(), b)) << "iteration " << i;
+  }
+  // With 4 frames over 64 hot blocks the hit ratio must be far below 1.
+  EXPECT_LT(pool.stats(*seg).hit_ratio(), 0.5);
+}
+
+TEST_F(BufferPoolTest, LargerPoolGivesHigherHitRatio) {
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 64);
+  double ratios[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    storage::BufferPool pool((variant == 0 ? 4u : 32u) * kBlock, kBlock);
+    auto seg = pool.RegisterSegment("a", &file);
+    ASSERT_TRUE(seg.ok());
+    util::Random rng(7);
+    for (int i = 0; i < 3000; ++i) {
+      (void)pool.Fetch(*seg, static_cast<uint32_t>(rng.Uniform(64)));
+    }
+    ratios[variant] = pool.stats(*seg).hit_ratio();
+  }
+  EXPECT_GT(ratios[1], ratios[0]);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 16);
+  storage::BufferPool pool(2 * kBlock, kBlock);  // 2 frames
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  auto pinned = pool.Fetch(*seg, 0);
+  ASSERT_TRUE(pinned.ok());
+  const uint8_t* pinned_data = pinned->data();
+
+  // Churn through every other block with the second frame.
+  for (uint32_t b = 1; b < 16; ++b) {
+    auto page = pool.Fetch(*seg, b);
+    ASSERT_TRUE(page.ok());
+  }
+  // The pinned page's memory must still hold block 0.
+  EXPECT_TRUE(BlockIsCorrect(pinned_data, 0));
+  EXPECT_EQ(pool.num_pinned(), 1u);
+}
+
+TEST_F(BufferPoolTest, AllFramesPinnedFails) {
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 4);
+  storage::BufferPool pool(2 * kBlock, kBlock);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  auto p0 = pool.Fetch(*seg, 0);
+  auto p1 = pool.Fetch(*seg, 1);
+  ASSERT_TRUE(p0.ok() && p1.ok());
+  auto p2 = pool.Fetch(*seg, 2);
+  EXPECT_FALSE(p2.ok());
+}
+
+TEST_F(BufferPoolTest, MultipleSegmentsShareFramesButNotStats) {
+  storage::BlockFile a = MakeFile(dir_.File("a.blk"), 8);
+  storage::BlockFile b = MakeFile(dir_.File("b.blk"), 8);
+  storage::BufferPool pool(16 * kBlock, kBlock);
+  auto sa = pool.RegisterSegment("a", &a);
+  auto sb = pool.RegisterSegment("b", &b);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+
+  for (uint32_t blk = 0; blk < 8; ++blk) {
+    (void)pool.Fetch(*sa, blk);
+  }
+  (void)pool.Fetch(*sb, 0);
+  EXPECT_EQ(pool.stats(*sa).requests, 8u);
+  EXPECT_EQ(pool.stats(*sb).requests, 1u);
+  EXPECT_EQ(pool.TotalStats().requests, 9u);
+  EXPECT_EQ(pool.segment_name(*sa), "a");
+  EXPECT_EQ(pool.segment_name(*sb), "b");
+}
+
+TEST_F(BufferPoolTest, SamePageTwiceIsPinnedTwice) {
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 4);
+  storage::BufferPool pool(4 * kBlock, kBlock);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+  {
+    auto p1 = pool.Fetch(*seg, 0);
+    auto p2 = pool.Fetch(*seg, 0);
+    ASSERT_TRUE(p1.ok() && p2.ok());
+    EXPECT_EQ(p1->data(), p2->data());
+    EXPECT_EQ(pool.num_pinned(), 1u);  // one frame, pin count 2
+  }
+  EXPECT_EQ(pool.num_pinned(), 0u);
+}
+
+TEST_F(BufferPoolTest, ResetStatsKeepsResidency) {
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 4);
+  storage::BufferPool pool(4 * kBlock, kBlock);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+  (void)pool.Fetch(*seg, 0);
+  pool.ResetStats();
+  EXPECT_EQ(pool.stats(*seg).requests, 0u);
+  (void)pool.Fetch(*seg, 0);
+  EXPECT_EQ(pool.stats(*seg).hits, 1u);  // still resident
+}
+
+TEST_F(BufferPoolTest, ClearDropsResidency) {
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 4);
+  storage::BufferPool pool(4 * kBlock, kBlock);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+  (void)pool.Fetch(*seg, 0);
+  pool.Clear();
+  pool.ResetStats();
+  (void)pool.Fetch(*seg, 0);
+  EXPECT_EQ(pool.stats(*seg).hits, 0u);
+}
+
+TEST_F(BufferPoolTest, MismatchedBlockSizeRejected) {
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 4);
+  storage::BufferPool pool(4 * 512, 512);
+  EXPECT_FALSE(pool.RegisterSegment("a", &file).ok());
+}
+
+TEST(BlockFileTest, OutOfRangeReadFails) {
+  util::TempDir dir("bf");
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), 2);
+  std::vector<uint8_t> buf(kBlock);
+  EXPECT_TRUE(file.ReadBlock(1, buf.data()).ok());
+  EXPECT_FALSE(file.ReadBlock(2, buf.data()).ok());
+}
+
+TEST(BlockFileTest, OpenRejectsPartialBlocks) {
+  util::TempDir dir("bf");
+  std::string path = dir.File("bad.blk");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "short";
+  }
+  EXPECT_FALSE(storage::BlockFile::Open(path, kBlock).ok());
+}
+
+TEST(RecordBlockWriterTest, RecordsRoundTrip) {
+  util::TempDir dir("rw");
+  std::string path = dir.File("rec.blk");
+  {
+    auto file = storage::BlockFile::Create(path, kBlock);
+    ASSERT_TRUE(file.ok());
+    auto writer = storage::RecordBlockWriter::Create(&*file, 8);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_EQ(writer->records_per_block(), kBlock / 8);
+    for (uint64_t r = 0; r < 100; ++r) {
+      OASIS_ASSERT_OK(writer->Append(&r));
+    }
+    OASIS_ASSERT_OK(writer->Finish());
+    EXPECT_EQ(writer->num_records(), 100u);
+  }
+  auto file = storage::BlockFile::Open(path, kBlock);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> buf(kBlock);
+  for (uint64_t r = 0; r < 100; ++r) {
+    uint64_t block = r / (kBlock / 8);
+    OASIS_ASSERT_OK(file->ReadBlock(block, buf.data()));
+    uint64_t value;
+    std::memcpy(&value, buf.data() + (r % (kBlock / 8)) * 8, 8);
+    EXPECT_EQ(value, r);
+  }
+}
+
+TEST(RecordBlockWriterTest, RejectsNonDividingRecordSize) {
+  util::TempDir dir("rw");
+  auto file = storage::BlockFile::Create(dir.File("rec.blk"), kBlock);
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE(storage::RecordBlockWriter::Create(&*file, 7).ok());
+  EXPECT_FALSE(storage::RecordBlockWriter::Create(&*file, 0).ok());
+  EXPECT_FALSE(storage::RecordBlockWriter::Create(&*file, kBlock + 1).ok());
+}
+
+}  // namespace
+}  // namespace oasis

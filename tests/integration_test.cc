@@ -1,0 +1,206 @@
+// End-to-end integration: generate -> FASTA round trip -> index -> search
+// with all three algorithms, plus corruption / failure-injection paths for
+// the on-disk index.
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.h"
+#include "blast/blast.h"
+#include "core/oasis.h"
+#include "seq/fasta.h"
+#include "suffix/packed_builder.h"
+#include "suffix/partitioned_builder.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+TEST(Integration, FullPipelineProteinWorkload) {
+  // 1. Generate a database and persist it as FASTA (the CLI's path).
+  workload::ProteinDatabaseOptions db_options;
+  db_options.target_residues = 20000;
+  db_options.seed = 2024;
+  auto generated = workload::GenerateProteinDatabase(db_options);
+  ASSERT_TRUE(generated.ok());
+
+  util::TempDir dir("e2e");
+  std::string fasta_path = dir.File("db.fasta");
+  OASIS_ASSERT_OK(seq::WriteFastaFile(fasta_path, seq::Alphabet::Protein(),
+                                      generated->sequences()));
+
+  // 2. Reload from FASTA and rebuild the database: must be identical.
+  auto reloaded = seq::ReadFastaFile(fasta_path, seq::Alphabet::Protein());
+  ASSERT_TRUE(reloaded.ok());
+  auto db = seq::SequenceDatabase::Build(seq::Alphabet::Protein(),
+                                         std::move(reloaded).value());
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->symbols(), generated->symbols());
+
+  // 3. Index through both construction algorithms; the packed trees must
+  // behave identically (spot-checked through search results below).
+  storage::BufferPool pool(64 << 20);
+  auto tree =
+      suffix::BuildAndOpenPacked(*db, dir.File("idx"), &pool);
+  ASSERT_TRUE(tree.ok());
+
+  // 4. Query with OASIS / S-W / BLAST and cross-check.
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries = 8;
+  q_options.seed = 2024;
+  const auto& matrix = score::SubstitutionMatrix::Pam30();
+  auto queries = workload::GenerateMotifQueries(*db, matrix, q_options);
+  ASSERT_TRUE(queries.ok());
+  auto karlin = score::ComputeKarlinParams(matrix);
+  ASSERT_TRUE(karlin.ok());
+
+  core::OasisSearch search(tree->get(), &matrix);
+  for (const auto& q : *queries) {
+    score::ScoreT min_score = score::MinScoreForEValue(
+        *karlin, 50.0, q.symbols.size(), db->num_residues());
+    core::OasisOptions options;
+    options.min_score = min_score;
+    auto oasis_results = search.SearchAll(q.symbols, options);
+    ASSERT_TRUE(oasis_results.ok());
+
+    auto sw = align::ScanDatabase(q.symbols, *db, matrix, min_score);
+    ASSERT_EQ(oasis_results->size(), sw.size());
+    // Same (sequence, score) multiset; the top hit must be the planted
+    // source or an equally strong match.
+    std::map<seq::SequenceId, score::ScoreT> a, b;
+    for (const auto& r : *oasis_results) a[r.sequence_id] = r.score;
+    for (const auto& h : sw) b[h.sequence_id] = h.score;
+    EXPECT_EQ(a, b);
+    if (!oasis_results->empty() && !sw.empty()) {
+      EXPECT_EQ((*oasis_results)[0].score, sw[0].score);
+    }
+
+    // BLAST is a subset, never a superset, of the exact result set.
+    if (q.symbols.size() >= 3) {
+      blast::BlastOptions blast_options;
+      blast_options.evalue_cutoff = 50.0;
+      auto prepared =
+          blast::BlastQuery::Prepare(q.symbols, matrix, blast_options);
+      ASSERT_TRUE(prepared.ok());
+      auto hits = blast::Search(*prepared, *db, matrix, *karlin);
+      ASSERT_TRUE(hits.ok());
+      for (const auto& h : *hits) {
+        auto it = a.find(h.sequence_id);
+        ASSERT_TRUE(it != a.end())
+            << "BLAST hit absent from the exact result set";
+        EXPECT_LE(h.score, it->second);
+      }
+    }
+  }
+}
+
+TEST(Integration, DnaPipelineWithPartitionedBuilder) {
+  workload::DnaDatabaseOptions db_options;
+  db_options.target_residues = 20000;
+  db_options.num_sequences = 8;
+  db_options.seed = 99;
+  auto db = workload::GenerateDnaDatabase(db_options);
+  ASSERT_TRUE(db.ok());
+
+  // Index via the Hunt-style partitioned builder.
+  suffix::PartitionedBuildOptions build_options;
+  build_options.prefix_length = 3;
+  build_options.max_suffixes_per_pass = 4096;
+  suffix::PartitionedBuildStats build_stats;
+  auto tree = suffix::BuildPartitioned(*db, build_options, &build_stats);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(build_stats.num_partitions, 1u);
+
+  util::TempDir dir("e2edna");
+  OASIS_ASSERT_OK(suffix::PackSuffixTree(*tree, dir.path()));
+  storage::BufferPool pool(32 << 20);
+  auto packed = suffix::PackedSuffixTree::Open(dir.path(), &pool);
+  ASSERT_TRUE(packed.ok());
+
+  const auto& matrix = score::SubstitutionMatrix::Blastn();
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries = 5;
+  q_options.min_length = 16;
+  q_options.max_length = 24;
+  q_options.seed = 99;
+  auto queries = workload::GenerateMotifQueries(*db, matrix, q_options);
+  ASSERT_TRUE(queries.ok());
+
+  core::OasisSearch search(packed->get(), &matrix);
+  for (const auto& q : *queries) {
+    score::ScoreT min_score = static_cast<score::ScoreT>(q.symbols.size() * 3);
+    core::OasisOptions options;
+    options.min_score = min_score;
+    auto results = search.SearchAll(q.symbols, options);
+    ASSERT_TRUE(results.ok());
+    auto sw = align::ScanDatabase(q.symbols, *db, matrix, min_score);
+    ASSERT_EQ(results->size(), sw.size());
+  }
+}
+
+// --- failure injection -------------------------------------------------------
+
+class CorruptionTest : public ::testing::Test {
+ protected:
+  CorruptionTest() : dir_("corrupt") {
+    auto db = testing::MakeDatabase(seq::Alphabet::Dna(),
+                                    {"ACGTACGTAC", "GATTACA"});
+    auto tree = suffix::SuffixTree::BuildUkkonen(db);
+    EXPECT_TRUE(tree.ok());
+    OASIS_EXPECT_OK(suffix::PackSuffixTree(*tree, dir_.path()));
+  }
+
+  util::TempDir dir_;
+};
+
+TEST_F(CorruptionTest, MissingMetadataFails) {
+  std::remove(dir_.File(suffix::PackedTreeFiles::kMeta).c_str());
+  storage::BufferPool pool(1 << 20);
+  auto opened = suffix::PackedSuffixTree::Open(dir_.path(), &pool);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsIOError());
+}
+
+TEST_F(CorruptionTest, GarbageMetadataFails) {
+  {
+    std::ofstream out(dir_.File(suffix::PackedTreeFiles::kMeta));
+    out << "mystery_key 42\n";
+  }
+  storage::BufferPool pool(1 << 20);
+  EXPECT_FALSE(suffix::PackedSuffixTree::Open(dir_.path(), &pool).ok());
+}
+
+TEST_F(CorruptionTest, IncompleteMetadataFails) {
+  {
+    std::ofstream out(dir_.File(suffix::PackedTreeFiles::kMeta));
+    out << "num_internal 3\n";  // everything else missing
+  }
+  storage::BufferPool pool(1 << 20);
+  auto opened = suffix::PackedSuffixTree::Open(dir_.path(), &pool);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsCorruption());
+}
+
+TEST_F(CorruptionTest, TruncatedBlockFileFails) {
+  // Truncate the internal-node file to a non-multiple of the block size.
+  std::string path = dir_.File(suffix::PackedTreeFiles::kInternal);
+  std::error_code ec;
+  std::filesystem::resize_file(path, 100, ec);
+  ASSERT_FALSE(ec);
+  storage::BufferPool pool(1 << 20);
+  auto opened = suffix::PackedSuffixTree::Open(dir_.path(), &pool);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsCorruption());
+}
+
+TEST_F(CorruptionTest, MissingBlockFileFails) {
+  std::remove(dir_.File(suffix::PackedTreeFiles::kLeaves).c_str());
+  storage::BufferPool pool(1 << 20);
+  EXPECT_FALSE(suffix::PackedSuffixTree::Open(dir_.path(), &pool).ok());
+}
+
+}  // namespace
+}  // namespace oasis

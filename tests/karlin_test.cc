@@ -1,0 +1,144 @@
+// Karlin-Altschul statistics (DESIGN.md invariant #7): lambda solves the
+// characteristic equation, E-values are monotone, Eq. 2 <-> Eq. 3 round-trip.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "score/karlin.h"
+#include "test_util.h"
+
+namespace oasis {
+namespace {
+
+double Phi(const score::SubstitutionMatrix& m, const std::vector<double>& bg,
+           double lambda) {
+  double sum = 0.0;
+  for (uint32_t a = 0; a < m.size(); ++a) {
+    for (uint32_t b = 0; b < m.size(); ++b) {
+      if (bg[a] <= 0 || bg[b] <= 0) continue;
+      sum += bg[a] * bg[b] * std::exp(lambda * m.Score(a, b));
+    }
+  }
+  return sum;
+}
+
+class KarlinMatrixTest
+    : public ::testing::TestWithParam<const score::SubstitutionMatrix*> {};
+
+TEST_P(KarlinMatrixTest, LambdaSolvesCharacteristicEquation) {
+  const score::SubstitutionMatrix& m = *GetParam();
+  auto params = score::ComputeKarlinParams(m);
+  ASSERT_TRUE(params.ok()) << params.status().ToString();
+  EXPECT_GT(params->lambda, 0.0);
+
+  std::vector<double> bg = score::BackgroundFrequencies(m.alphabet());
+  double total = 0.0;
+  for (double p : bg) total += p;
+  for (double& p : bg) p /= total;  // normalize (protein bg sums to ~1)
+
+  EXPECT_NEAR(Phi(m, bg, params->lambda), 1.0, 1e-6) << m.name();
+}
+
+TEST_P(KarlinMatrixTest, ParametersArePhysical) {
+  auto params = score::ComputeKarlinParams(*GetParam());
+  ASSERT_TRUE(params.ok());
+  EXPECT_GT(params->K, 0.0);
+  EXPECT_LE(params->K, 1.0);  // K <= 1 for all real scoring systems
+  EXPECT_GT(params->H, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrices, KarlinMatrixTest,
+    ::testing::Values(&score::SubstitutionMatrix::UnitDna(),
+                      &score::SubstitutionMatrix::Blastn(),
+                      &score::SubstitutionMatrix::Pam30(),
+                      &score::SubstitutionMatrix::Blosum62()),
+    [](const ::testing::TestParamInfo<const score::SubstitutionMatrix*>& info) {
+      return info.param->name() == "unit" ? "unit"
+             : info.param->name() == "blastn" ? "blastn"
+             : info.param->name() == "PAM30" ? "pam30" : "blosum62";
+    });
+
+TEST(KarlinTest, KnownValuesForUnitUniform) {
+  // For +1/-1 with uniform p=1/4: phi(lambda) = (1/4)e^l + (3/4)e^-l = 1
+  // => e^l = 3 => lambda = ln 3.
+  auto params = score::ComputeKarlinParams(score::SubstitutionMatrix::UnitDna());
+  ASSERT_TRUE(params.ok());
+  EXPECT_NEAR(params->lambda, std::log(3.0), 1e-9);
+}
+
+TEST(KarlinTest, EValueMonotoneDecreasingInScore) {
+  auto params = score::ComputeKarlinParams(score::SubstitutionMatrix::Pam30());
+  ASSERT_TRUE(params.ok());
+  double prev = score::EValueForScore(*params, 1, 16, 1 << 20);
+  for (int s = 2; s < 120; ++s) {
+    double e = score::EValueForScore(*params, s, 16, 1 << 20);
+    EXPECT_LT(e, prev) << "score " << s;
+    prev = e;
+  }
+}
+
+TEST(KarlinTest, EValueScalesWithSearchSpace) {
+  auto params = score::ComputeKarlinParams(score::SubstitutionMatrix::Pam30());
+  ASSERT_TRUE(params.ok());
+  double e1 = score::EValueForScore(*params, 40, 16, 1 << 20);
+  double e2 = score::EValueForScore(*params, 40, 32, 1 << 20);
+  double e3 = score::EValueForScore(*params, 40, 16, 1 << 21);
+  EXPECT_DOUBLE_EQ(e2, 2 * e1);
+  EXPECT_DOUBLE_EQ(e3, 2 * e1);
+}
+
+// Eq. 3 must be the inverse of Eq. 2: the returned score's E-value is <=
+// the cutoff, and one score lower would exceed it.
+TEST(KarlinTest, MinScoreRoundTripsEValue) {
+  auto params = score::ComputeKarlinParams(score::SubstitutionMatrix::Pam30());
+  ASSERT_TRUE(params.ok());
+  for (double evalue : {0.001, 0.1, 1.0, 100.0, 20000.0}) {
+    score::ScoreT s = score::MinScoreForEValue(*params, evalue, 16, 1 << 20);
+    EXPECT_LE(score::EValueForScore(*params, s, 16, 1 << 20), evalue + 1e-9)
+        << "E=" << evalue;
+    if (s > 1) {
+      EXPECT_GT(score::EValueForScore(*params, s - 1, 16, 1 << 20), evalue)
+          << "E=" << evalue;
+    }
+  }
+}
+
+TEST(KarlinTest, MinScoreMonotoneInEValue) {
+  auto params = score::ComputeKarlinParams(score::SubstitutionMatrix::Pam30());
+  ASSERT_TRUE(params.ok());
+  score::ScoreT s1 = score::MinScoreForEValue(*params, 1.0, 16, 1 << 20);
+  score::ScoreT s20000 = score::MinScoreForEValue(*params, 20000.0, 16, 1 << 20);
+  // Looser E-value => lower threshold (the paper's Figure 6 contrast).
+  EXPECT_LT(s20000, s1);
+  EXPECT_GE(s20000, 1);
+}
+
+TEST(KarlinTest, RejectsNonNegativeMeanScoringSystem) {
+  // A matrix with a positive expected score has no valid statistics.
+  const seq::Alphabet& a = seq::Alphabet::Dna();
+  std::vector<score::ScoreT> table(16, 1);  // all-positive scores
+  auto m = score::SubstitutionMatrix::Create(a, "bad", std::move(table), -1);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(score::ComputeKarlinParams(*m).ok());
+}
+
+TEST(KarlinTest, BackgroundFrequenciesSumToOne) {
+  for (const seq::Alphabet* a :
+       {&seq::Alphabet::Dna(), &seq::Alphabet::Protein()}) {
+    std::vector<double> bg = score::BackgroundFrequencies(*a);
+    double total = 0.0;
+    for (double p : bg) total += p;
+    EXPECT_NEAR(total, 1.0, 0.01);
+  }
+}
+
+TEST(KarlinTest, RejectsMismatchedBackgroundSize) {
+  std::vector<double> bg(3, 1.0 / 3);
+  EXPECT_FALSE(
+      score::ComputeKarlinParams(score::SubstitutionMatrix::UnitDna(), bg).ok());
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,188 @@
+// The paper's central claim (invariant #1 in DESIGN.md): OASIS is *exact*.
+// For every database sequence whose Smith-Waterman best local-alignment
+// score is >= minScore, OASIS reports that sequence with exactly that
+// score; no sequence below the threshold is reported; and results arrive
+// in non-increasing score order.
+//
+// Verified by randomized property tests over both alphabets, several
+// matrices, gap penalties and thresholds (parameterized sweep).
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.h"
+#include "core/oasis.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+using testing::MakeDatabase;
+using testing::PackedFixture;
+using testing::RunOasis;
+
+std::vector<seq::Symbol> RandomResidues(util::Random& rng, uint32_t sigma,
+                                        size_t len) {
+  std::vector<seq::Symbol> out(len);
+  for (auto& s : out) s = static_cast<seq::Symbol>(rng.Uniform(sigma));
+  return out;
+}
+
+/// Checks the exactness contract for one (db, query, matrix, minScore).
+void CheckEquivalence(const seq::SequenceDatabase& db,
+                      const suffix::PackedSuffixTree& tree,
+                      const score::SubstitutionMatrix& matrix,
+                      const std::vector<seq::Symbol>& query,
+                      score::ScoreT min_score) {
+  // Ground truth: per-sequence S-W maxima.
+  auto sw_hits = align::ScanDatabase(query, db, matrix, min_score);
+  std::map<seq::SequenceId, score::ScoreT> expected;
+  for (const auto& hit : sw_hits) expected[hit.sequence_id] = hit.score;
+
+  core::OasisOptions options;
+  options.min_score = min_score;
+  auto results = RunOasis(tree, matrix, query, options);
+
+  // (a) Online order: non-increasing scores.
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i].score, results[i - 1].score)
+        << "online order violated at result " << i;
+  }
+  // (b) Each reported sequence appears once, with the S-W max score.
+  std::map<seq::SequenceId, score::ScoreT> reported;
+  for (const auto& r : results) {
+    EXPECT_TRUE(reported.find(r.sequence_id) == reported.end())
+        << "sequence " << r.sequence_id << " reported twice";
+    reported[r.sequence_id] = r.score;
+  }
+  // (c) Exactly the S-W hit set.
+  EXPECT_EQ(reported, expected);
+}
+
+struct EquivalenceCase {
+  const char* name;
+  seq::AlphabetKind kind;
+  const score::SubstitutionMatrix* matrix;
+  uint32_t num_sequences;
+  uint32_t max_seq_len;
+  uint32_t query_len;
+  score::ScoreT min_score;
+  uint64_t seed;
+};
+
+class OasisEquivalence : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(OasisEquivalence, MatchesSmithWaterman) {
+  const EquivalenceCase& c = GetParam();
+  util::Random rng(c.seed);
+  const seq::Alphabet& alphabet = seq::Alphabet::Get(c.kind);
+  // Sample only real residues (protein generators avoid B/Z/X like real
+  // sequence data does).
+  const uint32_t sigma = c.kind == seq::AlphabetKind::kDna ? 4 : 20;
+
+  std::vector<seq::Sequence> sequences;
+  for (uint32_t i = 0; i < c.num_sequences; ++i) {
+    size_t len = 1 + rng.Uniform(c.max_seq_len);
+    sequences.emplace_back("s" + std::to_string(i),
+                           RandomResidues(rng, sigma, len));
+  }
+  auto db = seq::SequenceDatabase::Build(alphabet, std::move(sequences));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  PackedFixture fixture(*db);
+
+  // Several random queries per case, plus one planted homolog (a mutated
+  // substring) so strong matches are exercised, not just noise.
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<seq::Symbol> query;
+    if (trial == 2) {
+      const seq::Sequence& src = db->sequence(0);
+      size_t len = std::min<size_t>(c.query_len, src.size());
+      size_t off = src.size() > len ? rng.Uniform(src.size() - len) : 0;
+      query.assign(src.symbols().begin() + off,
+                   src.symbols().begin() + off + len);
+      for (auto& s : query) {
+        if (rng.Bernoulli(0.15)) s = static_cast<seq::Symbol>(rng.Uniform(sigma));
+      }
+    } else {
+      query = RandomResidues(rng, sigma, c.query_len);
+    }
+    CheckEquivalence(*db, *fixture.tree, *c.matrix, query, c.min_score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OasisEquivalence,
+    ::testing::Values(
+        EquivalenceCase{"dna_unit_tiny", seq::AlphabetKind::kDna,
+                        &score::SubstitutionMatrix::UnitDna(), 4, 24, 6, 3, 101},
+        EquivalenceCase{"dna_unit_small", seq::AlphabetKind::kDna,
+                        &score::SubstitutionMatrix::UnitDna(), 8, 60, 10, 5, 102},
+        EquivalenceCase{"dna_unit_low_threshold", seq::AlphabetKind::kDna,
+                        &score::SubstitutionMatrix::UnitDna(), 6, 40, 8, 2, 103},
+        EquivalenceCase{"dna_blastn", seq::AlphabetKind::kDna,
+                        &score::SubstitutionMatrix::Blastn(), 8, 60, 12, 20, 104},
+        EquivalenceCase{"dna_blastn_loose", seq::AlphabetKind::kDna,
+                        &score::SubstitutionMatrix::Blastn(), 5, 80, 9, 11, 105},
+        EquivalenceCase{"protein_pam30", seq::AlphabetKind::kProtein,
+                        &score::SubstitutionMatrix::Pam30(), 8, 50, 10, 25, 106},
+        EquivalenceCase{"protein_pam30_loose", seq::AlphabetKind::kProtein,
+                        &score::SubstitutionMatrix::Pam30(), 10, 40, 8, 12, 107},
+        EquivalenceCase{"protein_blosum62", seq::AlphabetKind::kProtein,
+                        &score::SubstitutionMatrix::Blosum62(), 8, 50, 12, 18, 108},
+        EquivalenceCase{"protein_blosum62_loose", seq::AlphabetKind::kProtein,
+                        &score::SubstitutionMatrix::Blosum62(), 6, 60, 10, 10, 109},
+        EquivalenceCase{"protein_long_targets", seq::AlphabetKind::kProtein,
+                        &score::SubstitutionMatrix::Pam30(), 4, 300, 14, 30, 110},
+        EquivalenceCase{"dna_many_sequences", seq::AlphabetKind::kDna,
+                        &score::SubstitutionMatrix::UnitDna(), 40, 30, 8, 4, 111},
+        EquivalenceCase{"protein_single_residue_query",
+                        seq::AlphabetKind::kProtein,
+                        &score::SubstitutionMatrix::Pam30(), 6, 30, 1, 5, 112}),
+    [](const ::testing::TestParamInfo<EquivalenceCase>& info) {
+      return info.param.name;
+    });
+
+// Repetitive databases stress suffix-tree path sharing and the rule-2
+// pruning ("existing alignment as good").
+TEST(OasisEquivalenceSpecial, RepetitiveDna) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(),
+                         {"AAAAAAAAAAAAAAAA", "ACACACACACACACAC",
+                          "AAAACCCCAAAACCCC", "ACGTACGTACGTACGT"});
+  PackedFixture fixture(db);
+  util::Random rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto query = RandomResidues(rng, 4, 1 + rng.Uniform(8));
+    for (score::ScoreT min_score : {1, 2, 4}) {
+      CheckEquivalence(db, *fixture.tree, score::SubstitutionMatrix::UnitDna(),
+                       query, min_score);
+    }
+  }
+}
+
+// Queries longer than every database sequence force gap-heavy alignments.
+TEST(OasisEquivalenceSpecial, QueryLongerThanTargets) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"ACG", "TTT", "GATC"});
+  PackedFixture fixture(db);
+  util::Random rng(8);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto query = RandomResidues(rng, 4, 12);
+    CheckEquivalence(db, *fixture.tree, score::SubstitutionMatrix::UnitDna(),
+                     query, 2);
+  }
+}
+
+// A database of single-symbol sequences: every suffix is a root child leaf.
+TEST(OasisEquivalenceSpecial, SingleSymbolSequences) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"A", "C", "G", "T", "A"});
+  PackedFixture fixture(db);
+  auto query = testing::Encode(seq::Alphabet::Dna(), "AC");
+  CheckEquivalence(db, *fixture.tree, score::SubstitutionMatrix::UnitDna(),
+                   query, 1);
+}
+
+}  // namespace
+}  // namespace oasis

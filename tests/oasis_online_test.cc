@@ -1,0 +1,185 @@
+// Online behaviour (paper §3, §4.6): results stream in non-increasing score
+// order, top-k abort works, the callback contract holds, and the
+// all-alignments extension mode reports additional locations.
+
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.h"
+#include "core/oasis.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+using testing::MakeDatabase;
+using testing::PackedFixture;
+
+class OasisOnlineTest : public ::testing::Test {
+ protected:
+  OasisOnlineTest() {
+    workload::ProteinDatabaseOptions options;
+    options.target_residues = 6000;
+    options.log_mean = 4.0;  // shorter sequences, more of them
+    options.seed = 77;
+    auto db = workload::GenerateProteinDatabase(options);
+    EXPECT_TRUE(db.ok());
+    db_ = std::make_unique<seq::SequenceDatabase>(std::move(db).value());
+    fixture_ = std::make_unique<PackedFixture>(*db_);
+
+    // A query planted from the database so several strong hits exist.
+    const seq::Sequence& src = db_->sequence(3);
+    query_.assign(src.symbols().begin(), src.symbols().begin() +
+                                             std::min<size_t>(13, src.size()));
+  }
+
+  std::unique_ptr<seq::SequenceDatabase> db_;
+  std::unique_ptr<PackedFixture> fixture_;
+  std::vector<seq::Symbol> query_;
+};
+
+TEST_F(OasisOnlineTest, ScoresAreNonIncreasing) {
+  core::OasisOptions options;
+  options.min_score = 15;
+  auto results = testing::RunOasis(
+      *fixture_->tree, score::SubstitutionMatrix::Pam30(), query_, options);
+  ASSERT_FALSE(results.empty());
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i].score, results[i - 1].score);
+  }
+}
+
+TEST_F(OasisOnlineTest, MaxResultsReturnsTrueTopK) {
+  core::OasisOptions options;
+  options.min_score = 15;
+  auto all = testing::RunOasis(*fixture_->tree,
+                               score::SubstitutionMatrix::Pam30(), query_,
+                               options);
+  ASSERT_GT(all.size(), 3u);
+
+  options.max_results = 3;
+  auto top3 = testing::RunOasis(*fixture_->tree,
+                                score::SubstitutionMatrix::Pam30(), query_,
+                                options);
+  ASSERT_EQ(top3.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(top3[i].score, all[i].score) << "rank " << i;
+    EXPECT_EQ(top3[i].sequence_id, all[i].sequence_id) << "rank " << i;
+  }
+}
+
+TEST_F(OasisOnlineTest, CallbackAbortStopsSearch) {
+  core::OasisOptions options;
+  options.min_score = 15;
+  core::OasisSearch search(fixture_->tree.get(),
+                           &score::SubstitutionMatrix::Pam30());
+  int seen = 0;
+  auto stats = search.Search(query_, options, [&](const core::OasisResult&) {
+    ++seen;
+    return seen < 2;  // abort after the second result
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(stats->results_emitted, 2u);
+}
+
+TEST_F(OasisOnlineTest, TopResultMatchesSmithWatermanGlobalBest) {
+  core::OasisOptions options;
+  options.min_score = 10;
+  options.max_results = 1;
+  auto top = testing::RunOasis(*fixture_->tree,
+                               score::SubstitutionMatrix::Pam30(), query_,
+                               options);
+  ASSERT_EQ(top.size(), 1u);
+
+  auto sw = align::ScanDatabase(query_, *db_,
+                                score::SubstitutionMatrix::Pam30(), 10);
+  ASSERT_FALSE(sw.empty());
+  EXPECT_EQ(top[0].score, sw[0].score);
+}
+
+TEST_F(OasisOnlineTest, AllAlignmentsModeReportsAtLeastPerSequence) {
+  core::OasisOptions options;
+  options.min_score = 15;
+  auto per_seq = testing::RunOasis(
+      *fixture_->tree, score::SubstitutionMatrix::Pam30(), query_, options);
+  options.all_alignments = true;
+  auto all = testing::RunOasis(*fixture_->tree,
+                               score::SubstitutionMatrix::Pam30(), query_,
+                               options);
+  EXPECT_GE(all.size(), per_seq.size());
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i].score, all[i - 1].score);
+  }
+}
+
+TEST_F(OasisOnlineTest, ReconstructedAlignmentsAreConsistent) {
+  core::OasisOptions options;
+  options.min_score = 15;
+  options.reconstruct_alignments = true;
+  auto results = testing::RunOasis(
+      *fixture_->tree, score::SubstitutionMatrix::Pam30(), query_, options);
+  ASSERT_FALSE(results.empty());
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.alignment.has_value());
+    const align::Alignment& aln = *r.alignment;
+    EXPECT_EQ(aln.score, r.score);
+    // Recomputing the op-list score against the actual sequences must agree.
+    const seq::Sequence& target = db_->sequence(r.sequence_id);
+    EXPECT_EQ(aln.RecomputeScore(score::SubstitutionMatrix::Pam30(), query_,
+                                 target.symbols()),
+              r.score);
+    EXPECT_LE(aln.target_end, target.size() - 1);
+    EXPECT_LE(aln.query_start, aln.query_end);
+  }
+}
+
+TEST_F(OasisOnlineTest, InvalidInputsRejected) {
+  core::OasisSearch search(fixture_->tree.get(),
+                           &score::SubstitutionMatrix::Pam30());
+  core::OasisOptions options;
+  auto empty = search.SearchAll({}, options);
+  EXPECT_FALSE(empty.ok());
+
+  options.min_score = 0;
+  auto zero = search.SearchAll(query_, options);
+  EXPECT_FALSE(zero.ok());
+
+  options.min_score = 1;
+  std::vector<seq::Symbol> bad_query{999};
+  auto bad = search.SearchAll(bad_query, options);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(OasisOnlineTest, EValueThresholdConversion) {
+  core::OasisSearch search(fixture_->tree.get(),
+                           &score::SubstitutionMatrix::Pam30());
+  auto karlin = score::ComputeKarlinParams(score::SubstitutionMatrix::Pam30());
+  ASSERT_TRUE(karlin.ok());
+  score::ScoreT strict = search.MinScoreForEValue(*karlin, 1.0, query_.size());
+  score::ScoreT loose =
+      search.MinScoreForEValue(*karlin, 20000.0, query_.size());
+  EXPECT_GT(strict, loose);
+  EXPECT_GE(loose, 1);
+}
+
+// Higher minScore must never slow the search down (monotone pruning).
+TEST_F(OasisOnlineTest, HigherThresholdExpandsFewerColumns) {
+  core::OasisSearch search(fixture_->tree.get(),
+                           &score::SubstitutionMatrix::Pam30());
+  core::OasisOptions options;
+  uint64_t cols[2];
+  int i = 0;
+  for (score::ScoreT min_score : {12, 40}) {
+    options.min_score = min_score;
+    core::OasisStats stats;
+    auto results = search.SearchAll(query_, options, &stats);
+    ASSERT_TRUE(results.ok());
+    cols[i++] = stats.columns_expanded;
+  }
+  EXPECT_LE(cols[1], cols[0]);
+}
+
+}  // namespace
+}  // namespace oasis

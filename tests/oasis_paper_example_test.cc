@@ -1,0 +1,113 @@
+// Reproduces the paper's §3.3 worked example: OASIS searching for TACG in
+// the suffix tree of AGTACGCCTAG with the unit matrix and minScore = 1,
+// plus the §3.1 heuristic-vector example.
+
+#include <gtest/gtest.h>
+
+#include "core/heuristic.h"
+#include "core/oasis.h"
+#include "suffix/suffix_tree.h"
+#include "test_util.h"
+
+namespace oasis {
+namespace {
+
+using testing::Encode;
+using testing::MakeDatabase;
+using testing::PackedFixture;
+using testing::RunOasis;
+
+class OasisPaperExample : public ::testing::Test {
+ protected:
+  OasisPaperExample()
+      : db_(MakeDatabase(seq::Alphabet::Dna(), {"AGTACGCCTAG"})),
+        fixture_(db_),
+        query_(Encode(seq::Alphabet::Dna(), "TACG")) {}
+
+  seq::SequenceDatabase db_;
+  PackedFixture fixture_;
+  std::vector<seq::Symbol> query_;
+};
+
+// §3.1 / §3.3: the heuristic vector for TACG under the unit matrix is
+// h = [4, 3, 2, 1, 0].
+TEST_F(OasisPaperExample, HeuristicVector) {
+  core::HeuristicVector h(query_, score::SubstitutionMatrix::UnitDna());
+  ASSERT_EQ(h.size(), 5u);
+  for (size_t i = 0; i <= 4; ++i) {
+    EXPECT_EQ(h[i], static_cast<score::ScoreT>(4 - i)) << "h[" << i << "]";
+  }
+  EXPECT_EQ(h.max_possible(), 4);
+}
+
+// §2.3: the suffix tree of AGTACGCCTAG has 12 leaves (11 symbols + the
+// terminator suffix) and contains every substring.
+TEST_F(OasisPaperExample, SuffixTreeShape) {
+  auto tree = suffix::SuffixTree::BuildUkkonen(db_);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->num_leaves(), 12u);
+  OASIS_EXPECT_OK(tree->Validate());
+
+  // §2.3.1's example: TACG occurs at position 2.
+  auto occurrences = tree->FindOccurrences(Encode(seq::Alphabet::Dna(), "TACG"));
+  ASSERT_EQ(occurrences.size(), 1u);
+  EXPECT_EQ(occurrences[0], 2u);
+}
+
+// §3.3: with minScore=1, the top result is the exact TACG match, score 4,
+// ending at target position 5 (0-based), query position 3.
+TEST_F(OasisPaperExample, TopResultIsScore4) {
+  core::OasisOptions options;
+  options.min_score = 1;
+  options.reconstruct_alignments = true;
+  auto results = RunOasis(*fixture_.tree, score::SubstitutionMatrix::UnitDna(),
+                          query_, options);
+  ASSERT_EQ(results.size(), 1u);  // one sequence -> one (best) result
+  EXPECT_EQ(results[0].score, 4);
+  EXPECT_EQ(results[0].sequence_id, 0u);
+  EXPECT_EQ(results[0].target_end, 5u);
+  EXPECT_EQ(results[0].query_end, 3u);
+  ASSERT_TRUE(results[0].alignment.has_value());
+  EXPECT_EQ(results[0].alignment->Cigar(), "4=");
+  EXPECT_EQ(results[0].alignment->target_start, 2u);
+}
+
+// The search must terminate having found the alignment without touching
+// most of the tree: the paper's example accepts 3N early and expands only
+// a handful of nodes.
+TEST_F(OasisPaperExample, SearchIsSelective) {
+  core::OasisOptions options;
+  options.min_score = 1;
+  core::OasisStats stats;
+  core::OasisSearch search(&*fixture_.tree,
+                           &score::SubstitutionMatrix::UnitDna());
+  auto results = search.SearchAll(query_, options, &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_GT(stats.nodes_expanded, 0u);
+  EXPECT_GT(stats.columns_expanded, 0u);
+  // S-W would expand 11 columns; OASIS stops early on pruned paths but
+  // explores several tree arcs. Sanity bound only.
+  EXPECT_LT(stats.columns_expanded, 200u);
+}
+
+// minScore above the best score: no results at all (threshold pruning).
+TEST_F(OasisPaperExample, MinScoreAboveBestPrunesEverything) {
+  core::OasisOptions options;
+  options.min_score = 5;
+  auto results = RunOasis(*fixture_.tree, score::SubstitutionMatrix::UnitDna(),
+                          query_, options);
+  EXPECT_TRUE(results.empty());
+}
+
+// minScore equal to the best score: exactly the one alignment.
+TEST_F(OasisPaperExample, MinScoreEqualToBest) {
+  core::OasisOptions options;
+  options.min_score = 4;
+  auto results = RunOasis(*fixture_.tree, score::SubstitutionMatrix::UnitDna(),
+                          query_, options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].score, 4);
+}
+
+}  // namespace
+}  // namespace oasis

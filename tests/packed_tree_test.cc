@@ -1,0 +1,246 @@
+// Packed on-disk tree (paper §3.4): pack/open round trip, structural
+// equivalence with the in-memory tree, cursor traversal, and the
+// terminator-byte / leaf-index conventions.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "suffix/packed_builder.h"
+#include "suffix/suffix_tree.h"
+#include "suffix/tree_cursor.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace oasis {
+namespace {
+
+using testing::Encode;
+using testing::MakeDatabase;
+
+std::string RandomDnaString(util::Random& rng, size_t len) {
+  std::string out;
+  for (size_t i = 0; i < len; ++i) out.push_back("ACGT"[rng.Uniform(4)]);
+  return out;
+}
+
+/// Recursively verifies that the packed node matches the in-memory node:
+/// same child arcs (labels and kinds), same leaf positions, same depths.
+void CompareSubtree(const suffix::SuffixTree& mem, suffix::NodeId mem_node,
+                    uint32_t mem_depth, const suffix::TreeCursor& cursor,
+                    suffix::PackedNodeRef packed_node) {
+  ASSERT_FALSE(mem.is_leaf(mem_node));
+  const seq::SequenceDatabase& db = mem.database();
+
+  struct PackedChild {
+    suffix::ChildArc arc;
+    std::vector<uint8_t> label;
+  };
+  std::vector<PackedChild> packed_children;
+  util::Status status = cursor.ForEachChild(
+      packed_node, mem_depth, [&](const suffix::ChildArc& arc) {
+        PackedChild child;
+        child.arc = arc;
+        if (arc.arc_len > 0) {
+          EXPECT_TRUE(
+              cursor.ReadArcSymbols(arc.arc_start, arc.arc_len, &child.label)
+                  .ok());
+        }
+        packed_children.push_back(std::move(child));
+        return true;
+      });
+  OASIS_ASSERT_OK(status);
+
+  const auto& mem_children = mem.children(mem_node);
+  ASSERT_EQ(packed_children.size(), mem_children.size())
+      << "child count mismatch at depth " << mem_depth;
+
+  // The packed iteration interleaves internal-run then leaf-chain; compare
+  // as sets keyed by the (kind, label) pair, then recurse pairwise.
+  // Build lookup from first label byte -> packed child.
+  for (const auto& [symbol, mem_child] : mem_children) {
+    // Locate the matching packed child.
+    const PackedChild* match = nullptr;
+    for (const PackedChild& pc : packed_children) {
+      bool mem_is_leaf = mem.is_leaf(mem_child);
+      if (pc.arc.node.is_leaf != mem_is_leaf) continue;
+      if (mem_is_leaf) {
+        if (pc.arc.node.index == mem.suffix_start(mem_child)) {
+          match = &pc;
+          break;
+        }
+      } else {
+        if (!pc.label.empty() &&
+            pc.label[0] == static_cast<uint8_t>(symbol)) {
+          match = &pc;
+          break;
+        }
+      }
+    }
+    ASSERT_NE(match, nullptr) << "no packed child for symbol " << symbol;
+
+    // Arc label must match the in-memory edge label (residues; for leaves
+    // the in-memory edge includes the terminator, the packed arc excludes
+    // it).
+    uint64_t mem_start = mem.edge_start(mem_child);
+    uint32_t mem_len = mem.edge_length(mem_child);
+    uint32_t residue_len = mem.is_leaf(mem_child) ? mem_len - 1 : mem_len;
+    ASSERT_EQ(match->arc.arc_len, residue_len);
+    for (uint32_t k = 0; k < residue_len; ++k) {
+      EXPECT_EQ(match->label[k],
+                static_cast<uint8_t>(db.symbols()[mem_start + k]));
+    }
+    if (!mem.is_leaf(mem_child)) {
+      EXPECT_EQ(match->arc.depth, mem_depth + mem_len);
+      CompareSubtree(mem, mem_child, mem_depth + mem_len, cursor,
+                     match->arc.node);
+    }
+  }
+}
+
+class PackedTreeTest : public ::testing::Test {};
+
+TEST_F(PackedTreeTest, PaperExampleRoundTrip) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"AGTACGCCTAG"});
+  auto mem = suffix::SuffixTree::BuildUkkonen(db);
+  ASSERT_TRUE(mem.ok());
+  testing::PackedFixture fixture(db);
+
+  EXPECT_EQ(fixture.tree->num_internal(), mem->num_internal());
+  EXPECT_EQ(fixture.tree->num_leaves(), mem->num_leaves());
+  EXPECT_EQ(fixture.tree->alphabet_size(), 4u);
+  EXPECT_EQ(fixture.tree->num_sequences(), 1u);
+
+  suffix::TreeCursor cursor(fixture.tree.get());
+  CompareSubtree(*mem, mem->root(), 0, cursor, cursor.Root());
+}
+
+TEST_F(PackedTreeTest, RandomDatabasesStructurallyEqual) {
+  util::Random rng(555);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::string> texts;
+    size_t n = 1 + rng.Uniform(5);
+    for (size_t i = 0; i < n; ++i) {
+      texts.push_back(RandomDnaString(rng, 1 + rng.Uniform(100)));
+    }
+    auto db = MakeDatabase(seq::Alphabet::Dna(), texts);
+    auto mem = suffix::SuffixTree::BuildUkkonen(db);
+    ASSERT_TRUE(mem.ok());
+    testing::PackedFixture fixture(db);
+    suffix::TreeCursor cursor(fixture.tree.get());
+    CompareSubtree(*mem, mem->root(), 0, cursor, cursor.Root());
+  }
+}
+
+TEST_F(PackedTreeTest, ContainsSubstringMatchesInMemory) {
+  util::Random rng(556);
+  auto db = MakeDatabase(seq::Alphabet::Dna(),
+                         {RandomDnaString(rng, 200), RandomDnaString(rng, 80)});
+  auto mem = suffix::SuffixTree::BuildUkkonen(db);
+  ASSERT_TRUE(mem.ok());
+  testing::PackedFixture fixture(db);
+  suffix::TreeCursor cursor(fixture.tree.get());
+
+  for (int q = 0; q < 50; ++q) {
+    std::string pattern = RandomDnaString(rng, 1 + rng.Uniform(8));
+    auto encoded = Encode(seq::Alphabet::Dna(), pattern);
+    std::vector<uint8_t> bytes(encoded.begin(), encoded.end());
+    auto packed_result = cursor.ContainsSubstring(bytes);
+    ASSERT_TRUE(packed_result.ok());
+    EXPECT_EQ(*packed_result, mem->ContainsSubstring(encoded))
+        << "pattern " << pattern;
+  }
+}
+
+TEST_F(PackedTreeTest, CollectLeafPositionsEqualsOccurrences) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"GATTACAGATTACA"});
+  auto mem = suffix::SuffixTree::BuildUkkonen(db);
+  ASSERT_TRUE(mem.ok());
+  testing::PackedFixture fixture(db);
+  suffix::TreeCursor cursor(fixture.tree.get());
+
+  // Root subtree must contain every suffix position exactly once.
+  std::vector<uint64_t> leaves;
+  OASIS_ASSERT_OK(cursor.CollectLeafPositions(cursor.Root(), &leaves));
+  std::set<uint64_t> unique(leaves.begin(), leaves.end());
+  EXPECT_EQ(unique.size(), db.total_length());
+  EXPECT_EQ(leaves.size(), db.total_length());
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), db.total_length() - 1);
+}
+
+TEST_F(PackedTreeTest, CollectLeafPositionsRespectsLimit) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"GATTACAGATTACA"});
+  testing::PackedFixture fixture(db);
+  suffix::TreeCursor cursor(fixture.tree.get());
+  std::vector<uint64_t> leaves;
+  OASIS_ASSERT_OK(cursor.CollectLeafPositions(cursor.Root(), &leaves, 3));
+  EXPECT_EQ(leaves.size(), 3u);
+}
+
+TEST_F(PackedTreeTest, SymbolsFileUsesTerminatorByte) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"AC", "G"});
+  testing::PackedFixture fixture(db);
+  std::vector<uint8_t> bytes;
+  OASIS_ASSERT_OK(fixture.tree->ReadSymbols(0, 5, &bytes));
+  EXPECT_EQ(bytes[0], 0);                        // A
+  EXPECT_EQ(bytes[1], 1);                        // C
+  EXPECT_EQ(bytes[2], suffix::kTerminatorByte);  // $0
+  EXPECT_EQ(bytes[3], 2);                        // G
+  EXPECT_EQ(bytes[4], suffix::kTerminatorByte);  // $1
+}
+
+TEST_F(PackedTreeTest, SequenceMetadataAccessors) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"ACG", "TT"});
+  testing::PackedFixture fixture(db);
+  EXPECT_EQ(fixture.tree->SequenceStart(0), 0u);
+  EXPECT_EQ(fixture.tree->TerminatorPos(0), 3u);
+  EXPECT_EQ(fixture.tree->SequenceStart(1), 4u);
+  EXPECT_EQ(fixture.tree->TerminatorPos(1), 6u);
+  EXPECT_EQ(fixture.tree->SequenceOf(0), 0u);
+  EXPECT_EQ(fixture.tree->SequenceOf(3), 0u);
+  EXPECT_EQ(fixture.tree->SequenceOf(4), 1u);
+  EXPECT_EQ(fixture.tree->SequenceOf(6), 1u);
+}
+
+TEST_F(PackedTreeTest, IndexBytesReported) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"ACGTACGTACGT"});
+  testing::PackedFixture fixture(db);
+  // Three files, each at least one block.
+  EXPECT_GE(fixture.tree->index_bytes(), 3u * storage::kDefaultBlockSize);
+}
+
+TEST_F(PackedTreeTest, OpenFailsOnMissingDirectory) {
+  storage::BufferPool pool(1 << 20);
+  EXPECT_FALSE(suffix::PackedSuffixTree::Open("/nonexistent/dir", &pool).ok());
+}
+
+TEST_F(PackedTreeTest, OpenFailsOnBlockSizeMismatch) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"ACGT"});
+  util::TempDir dir("pt");
+  auto mem = suffix::SuffixTree::BuildUkkonen(db);
+  ASSERT_TRUE(mem.ok());
+  suffix::PackOptions options;
+  options.block_size = 1024;
+  OASIS_ASSERT_OK(suffix::PackSuffixTree(*mem, dir.path(), options));
+  storage::BufferPool pool(1 << 20, 2048);  // different block size
+  EXPECT_FALSE(suffix::PackedSuffixTree::Open(dir.path(), &pool).ok());
+}
+
+TEST_F(PackedTreeTest, OutOfRangeReadsFail) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"ACGT"});
+  testing::PackedFixture fixture(db);
+  EXPECT_FALSE(fixture.tree
+                   ->ReadInternal(static_cast<uint32_t>(
+                       fixture.tree->num_internal()))
+                   .ok());
+  EXPECT_FALSE(fixture.tree
+                   ->ReadLeafNext(static_cast<uint32_t>(
+                       fixture.tree->num_leaves()))
+                   .ok());
+  std::vector<uint8_t> buf;
+  EXPECT_FALSE(fixture.tree->ReadSymbols(3, 10, &buf).ok());
+}
+
+}  // namespace
+}  // namespace oasis

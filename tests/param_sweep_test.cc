@@ -1,0 +1,169 @@
+// Parameterized cross-cutting sweeps: the packed tree and the OASIS search
+// must behave identically across block sizes and alphabets, and the result
+// formatting helpers must render stable output.
+
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.h"
+#include "core/oasis.h"
+#include "core/report.h"
+#include "suffix/packed_builder.h"
+#include "suffix/partitioned_builder.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+using testing::Encode;
+using testing::MakeDatabase;
+
+// --- Block-size sweep -------------------------------------------------------
+
+class BlockSizeSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BlockSizeSweep, SearchResultsIndependentOfBlockSize) {
+  const uint32_t block_size = GetParam();
+  util::Random rng(block_size);
+  std::vector<std::string> texts;
+  for (int i = 0; i < 6; ++i) {
+    std::string s;
+    for (int k = 0; k < 120; ++k) s.push_back("ACGT"[rng.Uniform(4)]);
+    texts.push_back(s);
+  }
+  auto db = MakeDatabase(seq::Alphabet::Dna(), texts);
+  testing::PackedFixture fixture(db, /*pool_bytes=*/1 << 20, block_size);
+
+  auto query = Encode(seq::Alphabet::Dna(), "ACGTACGT");
+  core::OasisOptions options;
+  options.min_score = 5;
+  auto results = testing::RunOasis(
+      *fixture.tree, score::SubstitutionMatrix::UnitDna(), query, options);
+  auto sw = align::ScanDatabase(query, db,
+                                score::SubstitutionMatrix::UnitDna(), 5);
+  ASSERT_EQ(results.size(), sw.size()) << "block size " << block_size;
+  std::map<seq::SequenceId, score::ScoreT> a, b;
+  for (const auto& r : results) a[r.sequence_id] = r.score;
+  for (const auto& h : sw) b[h.sequence_id] = h.score;
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlockSizeSweep,
+                         ::testing::Values(256u, 512u, 1024u, 2048u, 4096u),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return "block" + std::to_string(info.param);
+                         });
+
+// --- Protein-alphabet suffix tree -------------------------------------------
+
+TEST(ProteinSuffixTree, FullInvariantsOnWorkloadData) {
+  workload::ProteinDatabaseOptions options;
+  options.target_residues = 5000;
+  options.seed = 321;
+  auto db = workload::GenerateProteinDatabase(options);
+  ASSERT_TRUE(db.ok());
+  auto tree = suffix::SuffixTree::BuildUkkonen(*db);
+  ASSERT_TRUE(tree.ok());
+  OASIS_EXPECT_OK(tree->Validate());
+  EXPECT_EQ(tree->num_leaves(), db->total_length());
+
+  // Every sampled substring of the database must be found.
+  util::Random rng(321);
+  const auto& text = db->symbols();
+  for (int i = 0; i < 50; ++i) {
+    uint64_t pos = rng.Uniform(text.size() - 12);
+    std::vector<seq::Symbol> window;
+    for (uint64_t k = pos; k < pos + 10; ++k) {
+      if (db->IsTerminator(text[k])) break;
+      window.push_back(text[k]);
+    }
+    if (window.empty()) continue;
+    EXPECT_TRUE(tree->ContainsSubstring(window));
+  }
+}
+
+TEST(ProteinSuffixTree, PartitionedEqualsUkkonenOnProtein) {
+  workload::ProteinDatabaseOptions options;
+  options.target_residues = 2000;
+  options.seed = 322;
+  auto db = workload::GenerateProteinDatabase(options);
+  ASSERT_TRUE(db.ok());
+  auto ukkonen = suffix::SuffixTree::BuildUkkonen(*db);
+  ASSERT_TRUE(ukkonen.ok());
+  suffix::PartitionedBuildOptions build_options;
+  build_options.prefix_length = 1;
+  build_options.max_suffixes_per_pass = 256;
+  auto partitioned = suffix::BuildPartitioned(*db, build_options);
+  ASSERT_TRUE(partitioned.ok());
+  EXPECT_TRUE(suffix::SuffixTree::Equal(*ukkonen, *partitioned));
+}
+
+// --- Result formatting -------------------------------------------------------
+
+TEST(Report, FormatResultFields) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"AGTACGCCTAG"});
+  core::OasisResult result;
+  result.sequence_id = 0;
+  result.score = 4;
+  result.query_end = 3;
+  result.target_end = 5;
+  std::string line = core::FormatResult(result, db);
+  EXPECT_NE(line.find("s0"), std::string::npos);
+  EXPECT_NE(line.find("score=4"), std::string::npos);
+  EXPECT_NE(line.find("target_end=5"), std::string::npos);
+  EXPECT_EQ(line.find("E="), std::string::npos);  // suppressed by default
+
+  std::string with_e = core::FormatResult(result, db, 0.25);
+  EXPECT_NE(with_e.find("E=0.25"), std::string::npos);
+}
+
+TEST(Report, VerboseIncludesAlignmentBlock) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"AGTACGCCTAG"});
+  testing::PackedFixture fixture(db);
+  auto query = Encode(seq::Alphabet::Dna(), "TACG");
+  core::OasisOptions options;
+  options.min_score = 4;
+  options.reconstruct_alignments = true;
+  auto results = testing::RunOasis(
+      *fixture.tree, score::SubstitutionMatrix::UnitDna(), query, options);
+  ASSERT_EQ(results.size(), 1u);
+  std::string verbose = core::FormatResultVerbose(results[0], db, query);
+  EXPECT_NE(verbose.find("cigar  4="), std::string::npos);
+  EXPECT_NE(verbose.find("TACG"), std::string::npos);
+  EXPECT_NE(verbose.find("||||"), std::string::npos);
+}
+
+// --- Search-statistics contracts ---------------------------------------------
+
+TEST(SearchStats, CountersAreConsistent) {
+  workload::ProteinDatabaseOptions options;
+  options.target_residues = 4000;
+  options.seed = 55;
+  auto db = workload::GenerateProteinDatabase(options);
+  ASSERT_TRUE(db.ok());
+  testing::PackedFixture fixture(*db);
+  const seq::Sequence& src = db->sequence(0);
+  std::vector<seq::Symbol> query(src.symbols().begin(),
+                                 src.symbols().begin() + 10);
+
+  core::OasisSearch search(fixture.tree.get(),
+                           &score::SubstitutionMatrix::Pam30());
+  core::OasisOptions search_options;
+  search_options.min_score = 20;
+  core::OasisStats stats;
+  auto results = search.SearchAll(query, search_options, &stats);
+  ASSERT_TRUE(results.ok());
+
+  // Every expanded node is classified exactly once; the root enters the
+  // queue as viable without an Expand call, hence the +1.
+  EXPECT_EQ(stats.nodes_expanded + 1,
+            stats.nodes_viable + stats.nodes_accepted + stats.nodes_unviable);
+  EXPECT_EQ(stats.results_emitted, results->size());
+  EXPECT_GT(stats.columns_expanded, 0u);
+  EXPECT_GE(stats.cells_computed, stats.columns_expanded * query.size());
+  EXPECT_GT(stats.max_queue_size, 0u);
+}
+
+}  // namespace
+}  // namespace oasis

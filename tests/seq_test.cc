@@ -1,0 +1,210 @@
+// Alphabet / Sequence / FASTA / SequenceDatabase unit tests.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "seq/database.h"
+#include "seq/fasta.h"
+#include "test_util.h"
+
+namespace oasis {
+namespace {
+
+using testing::MakeDatabase;
+
+TEST(Alphabet, DnaRoundTrip) {
+  const seq::Alphabet& a = seq::Alphabet::Dna();
+  EXPECT_EQ(a.size(), 4u);
+  for (char c : std::string("ACGT")) {
+    EXPECT_TRUE(a.IsValidChar(c));
+    EXPECT_EQ(a.CodeToChar(a.CharToCode(c)), c);
+  }
+  EXPECT_FALSE(a.IsValidChar('N'));
+  EXPECT_FALSE(a.IsValidChar('$'));
+  EXPECT_FALSE(a.IsValidChar(' '));
+}
+
+TEST(Alphabet, ProteinHas23Codes) {
+  const seq::Alphabet& a = seq::Alphabet::Protein();
+  EXPECT_EQ(a.size(), 23u);
+  for (char c : std::string("ARNDCQEGHILKMFPSTWYVBZX")) {
+    EXPECT_TRUE(a.IsValidChar(c)) << c;
+  }
+  EXPECT_FALSE(a.IsValidChar('J'));
+  EXPECT_FALSE(a.IsValidChar('O'));
+  EXPECT_FALSE(a.IsValidChar('U'));
+}
+
+TEST(Alphabet, LowercaseAccepted) {
+  const seq::Alphabet& a = seq::Alphabet::Dna();
+  auto encoded = a.Encode("acgt");
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(a.Decode(*encoded), "ACGT");
+}
+
+TEST(Alphabet, EncodeRejectsInvalidWithPosition) {
+  auto bad = seq::Alphabet::Dna().Encode("ACGXN");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().message().find("position 3"), std::string::npos);
+}
+
+TEST(Sequence, FromString) {
+  auto s = seq::Sequence::FromString(seq::Alphabet::Protein(), "p1", "MKT");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->id(), "p1");
+  EXPECT_EQ(s->size(), 3u);
+  EXPECT_EQ(s->ToString(seq::Alphabet::Protein()), "MKT");
+}
+
+TEST(Fasta, ParseMultiRecord) {
+  std::istringstream in(
+      ">seq1 first protein\nMKT\nLLV\n\n>seq2\nACDEF\n");
+  auto records = seq::ReadFasta(in, seq::Alphabet::Protein());
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].id(), "seq1");
+  EXPECT_EQ((*records)[0].description(), "first protein");
+  EXPECT_EQ((*records)[0].ToString(seq::Alphabet::Protein()), "MKTLLV");
+  EXPECT_EQ((*records)[1].id(), "seq2");
+  EXPECT_EQ((*records)[1].description(), "");
+}
+
+TEST(Fasta, WindowsLineEndings) {
+  std::istringstream in(">a\r\nACGT\r\n");
+  auto records = seq::ReadFasta(in, seq::Alphabet::Dna());
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)[0].ToString(seq::Alphabet::Dna()), "ACGT");
+}
+
+TEST(Fasta, RejectsDataBeforeHeader) {
+  std::istringstream in("ACGT\n>a\nACGT\n");
+  EXPECT_FALSE(seq::ReadFasta(in, seq::Alphabet::Dna()).ok());
+}
+
+TEST(Fasta, RejectsInvalidResidues) {
+  std::istringstream in(">a\nACGN\n");
+  auto result = seq::ReadFasta(in, seq::Alphabet::Dna());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("'a'"), std::string::npos);
+}
+
+TEST(Fasta, WriteReadRoundTrip) {
+  util::TempDir dir("fasta");
+  std::vector<seq::Sequence> records;
+  records.push_back(
+      *seq::Sequence::FromString(seq::Alphabet::Protein(), "p1", "MKTAYIAKQR"));
+  records.push_back(
+      *seq::Sequence::FromString(seq::Alphabet::Protein(), "p2", "QFSLW"));
+  std::string path = dir.File("t.fasta");
+  OASIS_ASSERT_OK(seq::WriteFastaFile(path, seq::Alphabet::Protein(), records,
+                                      /*width=*/4));
+  auto reread = seq::ReadFastaFile(path, seq::Alphabet::Protein());
+  ASSERT_TRUE(reread.ok());
+  ASSERT_EQ(reread->size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ((*reread)[i].id(), records[i].id());
+    EXPECT_EQ((*reread)[i].symbols(), records[i].symbols());
+  }
+}
+
+TEST(Fasta, MissingFileFails) {
+  EXPECT_FALSE(
+      seq::ReadFastaFile("/nonexistent/x.fasta", seq::Alphabet::Dna()).ok());
+}
+
+TEST(SequenceDatabase, ConcatenationLayout) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"ACG", "TT"});
+  EXPECT_EQ(db.num_sequences(), 2u);
+  EXPECT_EQ(db.num_residues(), 5u);
+  EXPECT_EQ(db.total_length(), 7u);  // +2 terminators
+  EXPECT_EQ(db.SequenceStart(0), 0u);
+  EXPECT_EQ(db.SequenceEnd(0), 3u);  // terminator position
+  EXPECT_EQ(db.SequenceStart(1), 4u);
+  EXPECT_EQ(db.SequenceEnd(1), 6u);
+  // Terminators are unique per sequence.
+  EXPECT_EQ(db.symbols()[3], db.TerminatorOf(0));
+  EXPECT_EQ(db.symbols()[6], db.TerminatorOf(1));
+  EXPECT_NE(db.TerminatorOf(0), db.TerminatorOf(1));
+  EXPECT_TRUE(db.IsTerminator(db.symbols()[3]));
+  EXPECT_FALSE(db.IsTerminator(db.symbols()[0]));
+}
+
+TEST(SequenceDatabase, LocateEveryPosition) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"ACG", "TT", "A"});
+  struct Expected {
+    seq::SequenceId sid;
+    uint64_t off;
+  };
+  const Expected expected[] = {{0, 0}, {0, 1}, {0, 2}, {0, 3}, {1, 0},
+                               {1, 1}, {1, 2}, {2, 0}, {2, 1}};
+  for (uint64_t pos = 0; pos < db.total_length(); ++pos) {
+    seq::SequenceCoord c = db.Locate(pos);
+    EXPECT_EQ(c.sequence_id, expected[pos].sid) << "pos " << pos;
+    EXPECT_EQ(c.offset, expected[pos].off) << "pos " << pos;
+  }
+}
+
+TEST(SequenceDatabase, RejectsEmptyInputs) {
+  EXPECT_FALSE(
+      seq::SequenceDatabase::Build(seq::Alphabet::Dna(), {}).ok());
+  std::vector<seq::Sequence> with_empty;
+  with_empty.emplace_back("e", std::vector<seq::Symbol>{});
+  EXPECT_FALSE(
+      seq::SequenceDatabase::Build(seq::Alphabet::Dna(), std::move(with_empty))
+          .ok());
+}
+
+TEST(SubstitutionMatrix, BuiltInsAreSymmetricWithPositiveDiagonal) {
+  for (const score::SubstitutionMatrix* m :
+       {&score::SubstitutionMatrix::UnitDna(),
+        &score::SubstitutionMatrix::Blastn(),
+        &score::SubstitutionMatrix::Pam30(),
+        &score::SubstitutionMatrix::Blosum62()}) {
+    EXPECT_TRUE(m->IsSymmetric()) << m->name();
+    EXPECT_LT(m->gap_penalty(), 0) << m->name();
+    // Positive diagonal over the standard residues.
+    uint32_t standard = m->alphabet().kind() == seq::AlphabetKind::kDna ? 4 : 20;
+    for (uint32_t a = 0; a < standard; ++a) {
+      EXPECT_GT(m->Score(a, a), 0) << m->name() << " residue " << a;
+    }
+  }
+}
+
+TEST(SubstitutionMatrix, RowMaxMatchesBruteForce) {
+  const score::SubstitutionMatrix& m = score::SubstitutionMatrix::Pam30();
+  for (uint32_t a = 0; a < m.size(); ++a) {
+    score::ScoreT expect = score::kNegInf;
+    for (uint32_t b = 0; b < m.size(); ++b) {
+      expect = std::max(expect, m.Score(a, b));
+    }
+    EXPECT_EQ(m.MaxScoreForResidue(a), expect);
+  }
+}
+
+TEST(SubstitutionMatrix, TerminatorScoresNegInf) {
+  const score::SubstitutionMatrix& m = score::SubstitutionMatrix::UnitDna();
+  EXPECT_EQ(m.ScoreOrNegInf(0, 7), score::kNegInf);
+  EXPECT_EQ(m.ScoreOrNegInf(9, 0), score::kNegInf);
+  EXPECT_EQ(m.ScoreOrNegInf(0, 0), 1);
+}
+
+TEST(SubstitutionMatrix, CreateValidation) {
+  const seq::Alphabet& a = seq::Alphabet::Dna();
+  EXPECT_FALSE(score::SubstitutionMatrix::Create(a, "short",
+                                                 std::vector<score::ScoreT>(15),
+                                                 -1)
+                   .ok());
+  EXPECT_FALSE(score::SubstitutionMatrix::Create(a, "posgap",
+                                                 std::vector<score::ScoreT>(16),
+                                                 0)
+                   .ok());
+  auto with_gap = score::SubstitutionMatrix::UnitDna().WithGapPenalty(-3);
+  ASSERT_TRUE(with_gap.ok());
+  EXPECT_EQ(with_gap->gap_penalty(), -3);
+  EXPECT_FALSE(score::SubstitutionMatrix::UnitDna().WithGapPenalty(1).ok());
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,206 @@
+// Suffix-tree invariants (DESIGN.md invariant #4): every suffix is a
+// root-to-leaf path, every substring is a path prefix, the tree is compact,
+// and both construction algorithms agree.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "suffix/partitioned_builder.h"
+#include "suffix/suffix_tree.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace oasis {
+namespace {
+
+using testing::Encode;
+using testing::MakeDatabase;
+
+std::string RandomDnaString(util::Random& rng, size_t len) {
+  std::string out;
+  for (size_t i = 0; i < len; ++i) out.push_back("ACGT"[rng.Uniform(4)]);
+  return out;
+}
+
+TEST(SuffixTree, PaperFigure2Example) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"AGTACGCCTAG"});
+  auto tree = suffix::SuffixTree::BuildUkkonen(db);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  OASIS_EXPECT_OK(tree->Validate());
+  // 12 suffixes (including the lone-terminator suffix) -> 12 leaves.
+  EXPECT_EQ(tree->num_leaves(), 12u);
+
+  // §2.3.1: query TACG is present, found at position 2.
+  EXPECT_TRUE(tree->ContainsSubstring(Encode(seq::Alphabet::Dna(), "TACG")));
+  auto occ = tree->FindOccurrences(Encode(seq::Alphabet::Dna(), "TACG"));
+  EXPECT_EQ(occ, std::vector<uint64_t>{2});
+
+  // Absent strings.
+  EXPECT_FALSE(tree->ContainsSubstring(Encode(seq::Alphabet::Dna(), "TACT")));
+  EXPECT_FALSE(tree->ContainsSubstring(Encode(seq::Alphabet::Dna(), "GG")));
+}
+
+TEST(SuffixTree, EverySuffixIsAPath) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"ACGTACGT", "GATTACA", "TT"});
+  auto tree = suffix::SuffixTree::BuildUkkonen(db);
+  ASSERT_TRUE(tree.ok());
+  for (seq::SequenceId s = 0; s < db.num_sequences(); ++s) {
+    const auto& symbols = db.sequence(s).symbols();
+    for (size_t off = 0; off < symbols.size(); ++off) {
+      std::vector<seq::Symbol> suffix(symbols.begin() + off, symbols.end());
+      EXPECT_TRUE(tree->ContainsSubstring(suffix))
+          << "sequence " << s << " offset " << off;
+      auto occ = tree->FindOccurrences(suffix);
+      uint64_t global = db.SequenceStart(s) + off;
+      EXPECT_TRUE(std::find(occ.begin(), occ.end(), global) != occ.end());
+    }
+  }
+}
+
+// Property test: occurrences reported by the tree equal brute-force string
+// search, for random databases and random patterns (present and absent).
+TEST(SuffixTree, OccurrencesMatchBruteForce) {
+  util::Random rng(2024);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::string> texts;
+    size_t num_seqs = 1 + rng.Uniform(4);
+    for (size_t i = 0; i < num_seqs; ++i) {
+      texts.push_back(RandomDnaString(rng, 1 + rng.Uniform(64)));
+    }
+    auto db = MakeDatabase(seq::Alphabet::Dna(), texts);
+    auto tree = suffix::SuffixTree::BuildUkkonen(db);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    OASIS_ASSERT_OK(tree->Validate());
+
+    for (int q = 0; q < 20; ++q) {
+      std::string pattern = RandomDnaString(rng, 1 + rng.Uniform(6));
+      auto encoded = Encode(seq::Alphabet::Dna(), pattern);
+
+      // Brute force over the concatenation (skip matches crossing
+      // terminators; encoded patterns contain no terminator codes, so a
+      // window match cannot contain one anyway).
+      std::set<uint64_t> expected;
+      const auto& text = db.symbols();
+      for (size_t pos = 0; pos + encoded.size() <= text.size(); ++pos) {
+        bool match = true;
+        for (size_t k = 0; k < encoded.size(); ++k) {
+          if (text[pos + k] != encoded[k]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) expected.insert(pos);
+      }
+
+      auto occ = tree->FindOccurrences(encoded);
+      std::set<uint64_t> actual(occ.begin(), occ.end());
+      EXPECT_EQ(actual, expected) << "pattern " << pattern;
+      EXPECT_EQ(occ.size(), actual.size()) << "duplicate occurrences";
+    }
+  }
+}
+
+TEST(SuffixTree, DepthAndParentAreConsistent) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"GATTACAGATTACA"});
+  auto tree = suffix::SuffixTree::BuildUkkonen(db);
+  ASSERT_TRUE(tree.ok());
+  for (suffix::NodeId id = 0; id < tree->num_nodes(); ++id) {
+    if (id == tree->root()) continue;
+    uint32_t d = tree->depth(id);
+    uint32_t parent_d = tree->depth(tree->parent(id));
+    EXPECT_EQ(d, parent_d + tree->edge_length(id));
+  }
+}
+
+TEST(SuffixTree, SingleSymbolDatabase) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"A"});
+  auto tree = suffix::SuffixTree::BuildUkkonen(db);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_leaves(), 2u);  // "A$" and "$"
+  EXPECT_TRUE(tree->ContainsSubstring(Encode(seq::Alphabet::Dna(), "A")));
+  EXPECT_FALSE(tree->ContainsSubstring(Encode(seq::Alphabet::Dna(), "C")));
+}
+
+TEST(SuffixTree, RunsOfOneSymbol) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"AAAAAAAA"});
+  auto tree = suffix::SuffixTree::BuildUkkonen(db);
+  ASSERT_TRUE(tree.ok());
+  OASIS_EXPECT_OK(tree->Validate());
+  auto occ = tree->FindOccurrences(Encode(seq::Alphabet::Dna(), "AAA"));
+  EXPECT_EQ(occ.size(), 6u);
+}
+
+// Identical sequences: terminators must keep their suffixes distinct.
+TEST(SuffixTree, DuplicateSequences) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"ACGT", "ACGT", "ACGT"});
+  auto tree = suffix::SuffixTree::BuildUkkonen(db);
+  ASSERT_TRUE(tree.ok());
+  OASIS_EXPECT_OK(tree->Validate());
+  EXPECT_EQ(tree->num_leaves(), 15u);  // 3 * (4 + 1)
+  auto occ = tree->FindOccurrences(Encode(seq::Alphabet::Dna(), "ACGT"));
+  EXPECT_EQ(occ.size(), 3u);
+}
+
+// --- Partitioned builder =? Ukkonen ---------------------------------------
+
+struct PartitionCase {
+  uint32_t prefix_length;
+  uint64_t budget;
+  uint64_t seed;
+};
+
+class PartitionedBuilderEquivalence
+    : public ::testing::TestWithParam<PartitionCase> {};
+
+TEST_P(PartitionedBuilderEquivalence, SameTreeAsUkkonen) {
+  const PartitionCase& c = GetParam();
+  util::Random rng(c.seed);
+  std::vector<std::string> texts;
+  size_t num_seqs = 1 + rng.Uniform(5);
+  for (size_t i = 0; i < num_seqs; ++i) {
+    texts.push_back(RandomDnaString(rng, 1 + rng.Uniform(80)));
+  }
+  auto db = MakeDatabase(seq::Alphabet::Dna(), texts);
+
+  auto ukkonen = suffix::SuffixTree::BuildUkkonen(db);
+  ASSERT_TRUE(ukkonen.ok()) << ukkonen.status().ToString();
+
+  suffix::PartitionedBuildOptions options;
+  options.prefix_length = c.prefix_length;
+  options.max_suffixes_per_pass = c.budget;
+  suffix::PartitionedBuildStats stats;
+  auto partitioned = suffix::BuildPartitioned(db, options, &stats);
+  ASSERT_TRUE(partitioned.ok()) << partitioned.status().ToString();
+  OASIS_EXPECT_OK(partitioned->Validate());
+
+  EXPECT_TRUE(suffix::SuffixTree::Equal(*ukkonen, *partitioned));
+  EXPECT_GE(stats.num_partitions, 1u);
+  if (c.budget < 16) {
+    // A small budget must produce multiple passes on any non-trivial input.
+    EXPECT_GT(stats.num_partitions, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionedBuilderEquivalence,
+    ::testing::Values(PartitionCase{1, 8, 21}, PartitionCase{1, 1u << 20, 22},
+                      PartitionCase{2, 10, 23}, PartitionCase{2, 100, 24},
+                      PartitionCase{3, 5, 25}, PartitionCase{3, 1u << 20, 26},
+                      PartitionCase{4, 64, 27}));
+
+TEST(PartitionedBuilder, RejectsBadOptions) {
+  auto db = MakeDatabase(seq::Alphabet::Dna(), {"ACGT"});
+  suffix::PartitionedBuildOptions options;
+  options.prefix_length = 0;
+  EXPECT_FALSE(suffix::BuildPartitioned(db, options).ok());
+  options.prefix_length = 9;
+  EXPECT_FALSE(suffix::BuildPartitioned(db, options).ok());
+  options.prefix_length = 2;
+  options.max_suffixes_per_pass = 0;
+  EXPECT_FALSE(suffix::BuildPartitioned(db, options).ok());
+}
+
+}  // namespace
+}  // namespace oasis

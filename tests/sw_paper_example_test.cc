@@ -1,0 +1,75 @@
+// Reproduces the paper's §2.2 worked example: the Smith-Waterman matrix for
+// query TACG against target AGTACGCCTAG under the unit edit-distance matrix
+// (Table 1 / Table 2).
+
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.h"
+#include "align/traceback.h"
+#include "test_util.h"
+
+namespace oasis {
+namespace {
+
+using testing::Encode;
+
+TEST(SwPaperExample, UnitMatrixIsTable1) {
+  const score::SubstitutionMatrix& m = score::SubstitutionMatrix::UnitDna();
+  const seq::Alphabet& a = seq::Alphabet::Dna();
+  for (char x : std::string("ACGT")) {
+    for (char y : std::string("ACGT")) {
+      score::ScoreT s = m.Score(a.CharToCode(x), a.CharToCode(y));
+      EXPECT_EQ(s, x == y ? 1 : -1) << x << " vs " << y;
+    }
+  }
+  EXPECT_EQ(m.gap_penalty(), -1);
+}
+
+TEST(SwPaperExample, MatrixMatchesTable2) {
+  const seq::Alphabet& a = seq::Alphabet::Dna();
+  auto query = Encode(a, "TACG");
+  auto target = Encode(a, "AGTACGCCTAG");
+  auto h = align::FullMatrix(query, target,
+                             score::SubstitutionMatrix::UnitDna());
+
+  // Paper Table 2 (rows T, A, C, G; columns A G T A C G C C T A G).
+  const score::ScoreT kExpected[4][11] = {
+      {0, 0, 1, 0, 0, 0, 0, 0, 1, 0, 0},   // T
+      {1, 0, 0, 2, 1, 0, 0, 0, 0, 2, 1},   // A
+      {0, 0, 0, 1, 3, 2, 1, 1, 0, 1, 1},   // C
+      {0, 1, 0, 0, 2, 4, 3, 2, 1, 0, 2},   // G
+  };
+  for (size_t i = 1; i <= 4; ++i) {
+    for (size_t j = 1; j <= 11; ++j) {
+      EXPECT_EQ(h[i][j], kExpected[i - 1][j - 1])
+          << "cell (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(SwPaperExample, BestAlignmentIsTacgExact) {
+  const seq::Alphabet& a = seq::Alphabet::Dna();
+  auto query = Encode(a, "TACG");
+  auto target = Encode(a, "AGTACGCCTAG");
+
+  align::AlignStats stats;
+  align::SequenceHit hit = align::AlignPair(
+      query, target, score::SubstitutionMatrix::UnitDna(), &stats);
+  EXPECT_EQ(hit.score, 4);
+  EXPECT_EQ(hit.query_end, 3u);   // last query symbol
+  EXPECT_EQ(hit.target_end, 5u);  // the G at target position 5 (0-based)
+  EXPECT_EQ(stats.columns_expanded, 11u);
+
+  align::Alignment aln = align::TracebackLocal(
+      query, target, score::SubstitutionMatrix::UnitDna());
+  EXPECT_EQ(aln.score, 4);
+  EXPECT_EQ(aln.Cigar(), "4=");  // TACG aligned to TACG, all matches
+  EXPECT_EQ(aln.target_start, 2u);
+  EXPECT_EQ(aln.target_end, 5u);
+  EXPECT_EQ(aln.RecomputeScore(score::SubstitutionMatrix::UnitDna(), query,
+                               target),
+            4);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,91 @@
+// Shared helpers for the OASIS test suite.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/oasis.h"
+#include "seq/database.h"
+#include "storage/buffer_pool.h"
+#include "suffix/packed_builder.h"
+#include "util/env.h"
+
+namespace oasis {
+namespace testing {
+
+/// Asserts that a Status is OK, printing it otherwise.
+#define OASIS_ASSERT_OK(expr)                                 \
+  do {                                                        \
+    const ::oasis::util::Status _st = (expr);                 \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+#define OASIS_EXPECT_OK(expr)                                 \
+  do {                                                        \
+    const ::oasis::util::Status _st = (expr);                 \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+/// Builds a database from residue strings (ids auto-assigned "s0", "s1"...).
+inline seq::SequenceDatabase MakeDatabase(const seq::Alphabet& alphabet,
+                                          const std::vector<std::string>& texts) {
+  std::vector<seq::Sequence> sequences;
+  for (size_t i = 0; i < texts.size(); ++i) {
+    auto s = seq::Sequence::FromString(alphabet, "s" + std::to_string(i),
+                                       texts[i]);
+    EXPECT_TRUE(s.ok()) << s.status().ToString();
+    sequences.push_back(std::move(s).value());
+  }
+  auto db = seq::SequenceDatabase::Build(alphabet, std::move(sequences));
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+/// Encodes one residue string.
+inline std::vector<seq::Symbol> Encode(const seq::Alphabet& alphabet,
+                                       const std::string& text) {
+  auto encoded = alphabet.Encode(text);
+  EXPECT_TRUE(encoded.ok()) << encoded.status().ToString();
+  return std::move(encoded).value();
+}
+
+/// A packed suffix tree in a temp directory plus its buffer pool; keeps
+/// everything alive together for the duration of a test.
+struct PackedFixture {
+  util::TempDir dir;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<suffix::PackedSuffixTree> tree;
+
+  explicit PackedFixture(const seq::SequenceDatabase& db,
+                         uint64_t pool_bytes = 64 << 20,
+                         uint32_t block_size = storage::kDefaultBlockSize)
+      : dir("packed") {
+    pool = std::make_unique<storage::BufferPool>(pool_bytes, block_size);
+    suffix::PackOptions options;
+    options.block_size = block_size;
+    auto opened =
+        suffix::BuildAndOpenPacked(db, dir.path(), pool.get(), options);
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    tree = std::move(opened).value();
+  }
+};
+
+/// Runs OASIS and returns all results (empty on error, with test failure).
+inline std::vector<core::OasisResult> RunOasis(
+    const suffix::PackedSuffixTree& tree,
+    const score::SubstitutionMatrix& matrix,
+    const std::vector<seq::Symbol>& query, const core::OasisOptions& options,
+    core::OasisStats* stats = nullptr) {
+  core::OasisSearch search(&tree, &matrix);
+  auto results = search.SearchAll(query, options, stats);
+  EXPECT_TRUE(results.ok()) << results.status().ToString();
+  return results.ok() ? std::move(results).value()
+                      : std::vector<core::OasisResult>{};
+}
+
+}  // namespace testing
+}  // namespace oasis

@@ -1,0 +1,196 @@
+// util: Status/StatusOr, Random, env helpers, heuristic vector.
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.h"
+#include "core/heuristic.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace {
+
+TEST(Status, OkByDefault) {
+  util::Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CodesAndMessages) {
+  util::Status s = util::Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+  EXPECT_TRUE(util::Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(util::Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(util::Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(util::Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(util::Status::NotSupported("x").IsNotSupported());
+}
+
+util::StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return util::Status::InvalidArgument("not positive");
+  return x;
+}
+
+util::StatusOr<int> Doubled(int x) {
+  OASIS_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(StatusOr, ValueAndError) {
+  auto good = ParsePositive(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 5);
+  auto bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(StatusOr, AssignOrReturnMacroPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(Random, DeterministicPerSeed) {
+  util::Random a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+  }
+  bool differs = false;
+  util::Random a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Random, UniformStaysInRange) {
+  util::Random rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Random, UniformCoversAllValues) {
+  util::Random rng(6);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Random, BernoulliExtremes) {
+  util::Random rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Random, CategoricalRespectsWeights) {
+  util::Random rng(8);
+  std::vector<double> weights{0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Categorical(weights), 1u);
+  }
+  // Roughly proportional sampling.
+  std::vector<double> w2{1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Categorical(w2) == 1) ++ones;
+  }
+  EXPECT_GT(ones, 6800);
+  EXPECT_LT(ones, 8200);
+}
+
+TEST(Random, GaussianMomentsRoughlyStandard) {
+  util::Random rng(9);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(TempDir, CreatesAndRemoves) {
+  std::string path;
+  {
+    util::TempDir dir("ut");
+    path = dir.path();
+    EXPECT_TRUE(std::filesystem::exists(path));
+    std::ofstream(dir.File("x.txt")) << "hello";
+    EXPECT_TRUE(std::filesystem::exists(dir.File("x.txt")));
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(EnvHelpers, ParseAndDefault) {
+  ::setenv("OASIS_TEST_INT", "42", 1);
+  EXPECT_EQ(util::EnvInt64("OASIS_TEST_INT", 7), 42);
+  EXPECT_EQ(util::EnvInt64("OASIS_TEST_MISSING", 7), 7);
+  ::setenv("OASIS_TEST_BAD", "4x2", 1);
+  EXPECT_EQ(util::EnvInt64("OASIS_TEST_BAD", 7), 7);
+  ::setenv("OASIS_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(util::EnvDouble("OASIS_TEST_DBL", 1.0), 2.5);
+  EXPECT_EQ(util::EnvString("OASIS_TEST_MISSING", "dflt"), "dflt");
+}
+
+// --- Heuristic vector (paper §3.1) ----------------------------------------
+
+TEST(HeuristicVector, MonotoneNonIncreasing) {
+  auto q = testing::Encode(seq::Alphabet::Protein(), "MKTAYIAKQRW");
+  core::HeuristicVector h(q, score::SubstitutionMatrix::Pam30());
+  for (size_t i = 1; i < h.size(); ++i) {
+    EXPECT_GE(h[i - 1], h[i]);
+  }
+  EXPECT_EQ(h[q.size()], 0);
+}
+
+TEST(HeuristicVector, IsAdmissibleUpperBound) {
+  // h[i] must dominate the S-W score of the query suffix against any
+  // target; check against targets drawn from the query itself (which
+  // maximize the score).
+  auto q = testing::Encode(seq::Alphabet::Protein(), "MKTAYIAKQRW");
+  const auto& m = score::SubstitutionMatrix::Pam30();
+  core::HeuristicVector h(q, m);
+  for (size_t i = 0; i < q.size(); ++i) {
+    std::vector<seq::Symbol> suffix(q.begin() + i, q.end());
+    align::SequenceHit hit = align::AlignPair(suffix, suffix, m);
+    EXPECT_GE(h[i], hit.score) << "suffix at " << i;
+  }
+}
+
+TEST(HeuristicVector, ClampsNegativeBestScores) {
+  // A matrix where one residue has an all-negative row: the clamp keeps h
+  // non-negative (DESIGN.md: admissibility with "stop early" completions).
+  const seq::Alphabet& a = seq::Alphabet::Dna();
+  std::vector<score::ScoreT> table(16, -2);
+  table[0 * 4 + 0] = 3;  // only A matches positively
+  auto m = score::SubstitutionMatrix::Create(a, "hostile", std::move(table), -1);
+  ASSERT_TRUE(m.ok());
+  auto q = testing::Encode(a, "CA");
+  core::HeuristicVector h(q, *m);
+  // h[2] = 0; h[1] = max(0, 0+3) = 3 (A); h[0] = max(0, 3 + (-2)) = 1 (C).
+  EXPECT_EQ(h[2], 0);
+  EXPECT_EQ(h[1], 3);
+  EXPECT_EQ(h[0], 1);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,207 @@
+// Workload generators: determinism, shape constraints matching the paper's
+// data-set descriptions (§4.1), and planted-homology strength.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+TEST(ProteinGenerator, RespectsLengthBoundsAndTarget) {
+  workload::ProteinDatabaseOptions options;
+  options.target_residues = 20000;
+  options.seed = 1;
+  auto db = workload::GenerateProteinDatabase(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_GE(db->num_residues(), options.target_residues);
+  EXPECT_LT(db->num_residues(), options.target_residues + 2048);
+  for (const auto& s : db->sequences()) {
+    EXPECT_GE(s.size(), 7u);
+    EXPECT_LE(s.size(), 2048u);
+    for (seq::Symbol sym : s.symbols()) {
+      EXPECT_LT(sym, 20u);  // only standard residues
+    }
+  }
+}
+
+TEST(ProteinGenerator, DeterministicForSeed) {
+  workload::ProteinDatabaseOptions options;
+  options.target_residues = 5000;
+  options.seed = 9;
+  auto a = workload::GenerateProteinDatabase(options);
+  auto b = workload::GenerateProteinDatabase(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->num_sequences(), b->num_sequences());
+  EXPECT_EQ(a->symbols(), b->symbols());
+
+  options.seed = 10;
+  auto c = workload::GenerateProteinDatabase(options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->symbols(), c->symbols());
+}
+
+TEST(ProteinGenerator, CompositionTracksBackground) {
+  workload::ProteinDatabaseOptions options;
+  options.target_residues = 200000;
+  options.seed = 2;
+  auto db = workload::GenerateProteinDatabase(options);
+  ASSERT_TRUE(db.ok());
+  std::vector<uint64_t> counts(23, 0);
+  for (seq::Symbol s : db->symbols()) {
+    if (s < 23) ++counts[s];
+  }
+  std::vector<double> bg = score::BackgroundFrequencies(seq::Alphabet::Protein());
+  const double n = static_cast<double>(db->num_residues());
+  for (uint32_t a = 0; a < 20; ++a) {
+    double freq = counts[a] / n;
+    EXPECT_NEAR(freq, bg[a], 0.01) << "residue " << a;
+  }
+}
+
+TEST(ProteinGenerator, RejectsBadOptions) {
+  workload::ProteinDatabaseOptions options;
+  options.min_length = 0;
+  EXPECT_FALSE(workload::GenerateProteinDatabase(options).ok());
+  options = {};
+  options.target_residues = 0;
+  EXPECT_FALSE(workload::GenerateProteinDatabase(options).ok());
+  options = {};
+  options.min_length = 100;
+  options.max_length = 10;
+  EXPECT_FALSE(workload::GenerateProteinDatabase(options).ok());
+}
+
+TEST(DnaGenerator, ShapeAndDeterminism) {
+  workload::DnaDatabaseOptions options;
+  options.target_residues = 30000;
+  options.num_sequences = 10;
+  options.seed = 3;
+  auto db = workload::GenerateDnaDatabase(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->num_sequences(), 10u);
+  for (const auto& s : db->sequences()) {
+    for (seq::Symbol sym : s.symbols()) EXPECT_LT(sym, 4u);
+  }
+  auto again = workload::GenerateDnaDatabase(options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(db->symbols(), again->symbols());
+}
+
+TEST(DnaGenerator, PlantedRepeatsShareLongSubstrings) {
+  workload::DnaDatabaseOptions options;
+  options.target_residues = 40000;
+  options.num_sequences = 8;
+  options.repeat_fraction = 0.5;
+  options.repeat_divergence = 0.0;  // identical copies
+  options.num_repeat_families = 2;
+  options.seed = 4;
+  auto db = workload::GenerateDnaDatabase(options);
+  ASSERT_TRUE(db.ok());
+
+  // With exact repeat copies, some 100-mer must occur more than once.
+  auto tree = suffix::SuffixTree::BuildUkkonen(*db);
+  ASSERT_TRUE(tree.ok());
+  bool found_repeat = false;
+  const auto& text = db->symbols();
+  for (uint64_t pos = 0; pos + 100 < text.size() && !found_repeat; pos += 997) {
+    bool clean = true;
+    for (uint64_t k = pos; k < pos + 100; ++k) {
+      if (db->IsTerminator(text[k])) {
+        clean = false;
+        break;
+      }
+    }
+    if (!clean) continue;
+    std::vector<seq::Symbol> window(text.begin() + pos, text.begin() + pos + 100);
+    if (tree->FindOccurrences(window).size() > 1) found_repeat = true;
+  }
+  EXPECT_TRUE(found_repeat);
+}
+
+TEST(MotifQueries, ShapeMatchesPaperWorkload) {
+  workload::ProteinDatabaseOptions db_options;
+  db_options.target_residues = 30000;
+  db_options.seed = 5;
+  auto db = workload::GenerateProteinDatabase(db_options);
+  ASSERT_TRUE(db.ok());
+
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries = 100;
+  q_options.seed = 5;
+  auto queries = workload::GenerateMotifQueries(
+      *db, score::SubstitutionMatrix::Pam30(), q_options);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  ASSERT_EQ(queries->size(), 100u);
+
+  double total_len = 0;
+  for (const auto& q : *queries) {
+    EXPECT_GE(q.symbols.size(), 6u);
+    EXPECT_LE(q.symbols.size(), 56u);
+    total_len += q.symbols.size();
+    EXPECT_LT(q.source_sequence, db->num_sequences());
+  }
+  // Paper: average query length ~16.
+  double mean = total_len / queries->size();
+  EXPECT_GT(mean, 10.0);
+  EXPECT_LT(mean, 24.0);
+}
+
+TEST(MotifQueries, PlantedHomologScoresWell) {
+  workload::ProteinDatabaseOptions db_options;
+  db_options.target_residues = 10000;
+  db_options.seed = 6;
+  auto db = workload::GenerateProteinDatabase(db_options);
+  ASSERT_TRUE(db.ok());
+
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries = 20;
+  q_options.seed = 6;
+  auto queries = workload::GenerateMotifQueries(
+      *db, score::SubstitutionMatrix::Pam30(), q_options);
+  ASSERT_TRUE(queries.ok());
+
+  // Each query's source sequence should carry a strong alignment: at least
+  // half the self-score of an unmutated query of that length.
+  int strong = 0;
+  for (const auto& q : *queries) {
+    align::SequenceHit hit = align::AlignPair(
+        q.symbols, db->sequence(q.source_sequence).symbols(),
+        score::SubstitutionMatrix::Pam30());
+    score::ScoreT self = 0;
+    for (seq::Symbol s : q.symbols) {
+      self += score::SubstitutionMatrix::Pam30().Score(s, s);
+    }
+    if (hit.score * 2 >= self) ++strong;
+  }
+  EXPECT_GE(strong, 15) << "planted homologies too weak";
+}
+
+TEST(MotifQueries, DeterministicForSeed) {
+  workload::ProteinDatabaseOptions db_options;
+  db_options.target_residues = 5000;
+  db_options.seed = 7;
+  auto db = workload::GenerateProteinDatabase(db_options);
+  ASSERT_TRUE(db.ok());
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries = 10;
+  q_options.seed = 7;
+  auto a = workload::GenerateMotifQueries(*db,
+                                          score::SubstitutionMatrix::Pam30(),
+                                          q_options);
+  auto b = workload::GenerateMotifQueries(*db,
+                                          score::SubstitutionMatrix::Pam30(),
+                                          q_options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].symbols, (*b)[i].symbols);
+  }
+}
+
+}  // namespace
+}  // namespace oasis
