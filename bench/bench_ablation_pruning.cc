@@ -23,7 +23,7 @@ int Run() {
   PrintHeader("Pruning ablation: columns expanded per disabled rule, E=1000",
               env);
 
-  core::OasisSearch search(env.tree.get(), env.matrix);
+  core::OasisSearch search(env.tree, env.matrix);
   const Config configs[] = {
       {"all rules (paper)", false, false},
       {"no rule 2", true, false},

@@ -1,0 +1,72 @@
+// Batched concurrent queries (extension beyond the paper, toward the
+// production north star): wall-clock throughput of Engine::SearchBatch as
+// the worker count grows. Every worker searches through its own packed-tree
+// replica + private buffer pool, so queries share nothing mutable; the
+// speedup ceiling is the machine's core count and the page cache.
+//
+// Scaling knobs: the usual bench_common environment variables, plus
+//   OASIS_BATCH_THREADS  max worker count to sweep to   (default 8)
+
+#include "bench_common.h"
+
+namespace oasis {
+namespace bench {
+namespace {
+
+int Run() {
+  BenchEnv env = MakeProteinEnv();
+  PrintHeader("Batch throughput: Engine::SearchBatch worker sweep, E=1000",
+              env);
+
+  std::vector<api::SearchRequest> requests;
+  for (const auto& q : env.queries) {
+    api::SearchRequest request(q.symbols);
+    request.EValue(1000.0);
+    requests.push_back(std::move(request));
+  }
+
+  // Sequential reference (and correctness anchor for the sweep).
+  util::Timer timer;
+  uint64_t total_results = 0;
+  for (const auto& request : requests) {
+    auto outcome = env.engine->SearchAll(request);
+    OASIS_CHECK(outcome.ok()) << outcome.status().ToString();
+    total_results += outcome->results.size();
+  }
+  const double sequential_s = timer.ElapsedSeconds();
+
+  std::printf("%zu queries, %llu results; sequential: %.4fs\n\n",
+              requests.size(),
+              static_cast<unsigned long long>(total_results), sequential_s);
+  std::printf("%-10s %12s %10s %14s\n", "threads", "batch(s)", "speedup",
+              "queries/s");
+
+  const uint32_t max_threads =
+      static_cast<uint32_t>(util::EnvInt64("OASIS_BATCH_THREADS", 8));
+  for (uint32_t threads = 1; threads <= max_threads; threads *= 2) {
+    api::BatchOptions options;
+    options.threads = threads;
+    timer.Restart();
+    auto outcome = env.engine->SearchBatch(requests, options);
+    const double batch_s = timer.ElapsedSeconds();
+    OASIS_CHECK(outcome.ok()) << outcome.status().ToString();
+
+    uint64_t batch_results = 0;
+    for (const auto& item : *outcome) batch_results += item.results.size();
+    OASIS_CHECK_EQ(batch_results, total_results)
+        << "batch results diverge from sequential";
+
+    std::printf("%-10u %12.4f %10.2f %14.1f\n", threads, batch_s,
+                sequential_s / batch_s,
+                static_cast<double>(requests.size()) / batch_s);
+  }
+  std::printf("\nshape check: batch(1) ~= sequential; speedup grows toward "
+              "the core count\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oasis
+
+int main() { return oasis::bench::Run(); }

@@ -21,11 +21,11 @@
 #include <string>
 #include <vector>
 
+#include "api/engine.h"
 #include "core/oasis.h"
 #include "score/karlin.h"
 #include "seq/database.h"
 #include "storage/buffer_pool.h"
-#include "suffix/packed_builder.h"
 #include "util/env.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -34,11 +34,14 @@
 namespace oasis {
 namespace bench {
 
+/// The bench environment is built through the oasis::Engine facade; the
+/// raw pointers below alias engine-owned components for the benches that
+/// drive the core layers directly (that is the point of several figures).
 struct BenchEnv {
-  std::unique_ptr<seq::SequenceDatabase> db;
   std::unique_ptr<util::TempDir> dir;
-  std::unique_ptr<storage::BufferPool> pool;
-  std::unique_ptr<suffix::PackedSuffixTree> tree;
+  std::unique_ptr<api::Engine> engine;
+  const seq::SequenceDatabase* db = nullptr;       ///< engine-resident
+  const suffix::PackedSuffixTree* tree = nullptr;  ///< engine-owned
   std::vector<workload::MotifQuery> queries;
   score::KarlinParams karlin;
   const score::SubstitutionMatrix* matrix = nullptr;
@@ -58,18 +61,22 @@ inline BenchEnv MakeProteinEnv(uint64_t pool_bytes_override = 0) {
   db_options.seed = static_cast<uint64_t>(util::EnvInt64("OASIS_SEED", 42));
   auto db = workload::GenerateProteinDatabase(db_options);
   OASIS_CHECK(db.ok()) << db.status().ToString();
-  env.db = std::make_unique<seq::SequenceDatabase>(std::move(db).value());
 
   env.dir = std::make_unique<util::TempDir>("bench");
-  uint64_t pool_bytes =
+  api::EngineOptions options;
+  options.matrix = env.matrix;
+  options.pool_bytes =
       pool_bytes_override != 0
           ? pool_bytes_override
           : static_cast<uint64_t>(util::EnvInt64("OASIS_POOL_MB", 64)) << 20;
-  env.pool = std::make_unique<storage::BufferPool>(pool_bytes);
-  auto tree = suffix::BuildAndOpenPacked(*env.db, env.dir->path(),
-                                         env.pool.get());
-  OASIS_CHECK(tree.ok()) << tree.status().ToString();
-  env.tree = std::move(tree).value();
+  auto engine = api::Engine::BuildFromDatabase(std::move(db).value(),
+                                               env.dir->path(), options);
+  OASIS_CHECK(engine.ok()) << engine.status().ToString();
+  env.engine = std::move(engine).value();
+  env.db = env.engine->database();
+  env.tree = &env.engine->tree();
+  OASIS_CHECK(env.engine->has_karlin());
+  env.karlin = env.engine->karlin();
 
   workload::MotifQueryOptions q_options;
   q_options.num_queries =
@@ -79,10 +86,6 @@ inline BenchEnv MakeProteinEnv(uint64_t pool_bytes_override = 0) {
       workload::GenerateMotifQueries(*env.db, *env.matrix, q_options);
   OASIS_CHECK(queries.ok()) << queries.status().ToString();
   env.queries = std::move(queries).value();
-
-  auto karlin = score::ComputeKarlinParams(*env.matrix);
-  OASIS_CHECK(karlin.ok()) << karlin.status().ToString();
-  env.karlin = *karlin;
   return env;
 }
 

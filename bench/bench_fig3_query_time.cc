@@ -22,7 +22,7 @@ int Run() {
   BenchEnv env = MakeProteinEnv();
   PrintHeader("Figure 3: mean query time (s) vs query length, E=20000", env);
 
-  core::OasisSearch oasis_search(env.tree.get(), env.matrix);
+  core::OasisSearch oasis_search(env.tree, env.matrix);
 
   struct Row {
     double oasis_s = 0, blast_s = 0, sw_s = 0;

@@ -18,7 +18,7 @@ int Run() {
   BenchEnv env = MakeProteinEnv();
   PrintHeader("Figure 4: columns expanded, OASIS vs S-W, E=20000", env);
 
-  core::OasisSearch search(env.tree.get(), env.matrix);
+  core::OasisSearch search(env.tree, env.matrix);
 
   struct Row {
     uint64_t oasis_cols = 0;

@@ -15,7 +15,7 @@ int Run() {
   BenchEnv env = MakeProteinEnv();
   PrintHeader("Figure 6: effect of selectivity, E=1 vs E=20000", env);
 
-  core::OasisSearch search(env.tree.get(), env.matrix);
+  core::OasisSearch search(env.tree, env.matrix);
 
   struct Row {
     double e1_s = 0, e20000_s = 0;

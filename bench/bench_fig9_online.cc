@@ -35,7 +35,7 @@ int Run() {
       env.karlin, 30000.0, query.size(), env.db_residues());
   std::printf("query length 13, minScore %d\n\n", min_score);
 
-  core::OasisSearch search(env.tree.get(), env.matrix);
+  core::OasisSearch search(env.tree, env.matrix);
   core::OasisOptions options;
   options.min_score = min_score;
 

@@ -36,45 +36,47 @@ int Run() {
     OASIS_CHECK(db.ok());
 
     util::TempDir dir("scal");
-    storage::BufferPool pool(
-        static_cast<uint64_t>(util::EnvInt64("OASIS_POOL_MB", 64)) << 20);
-    auto tree = suffix::BuildAndOpenPacked(*db, dir.path(), &pool);
-    OASIS_CHECK(tree.ok());
+    api::EngineOptions engine_options;
+    engine_options.matrix = &matrix;
+    engine_options.pool_bytes =
+        static_cast<uint64_t>(util::EnvInt64("OASIS_POOL_MB", 64)) << 20;
+    auto engine = api::Engine::BuildFromDatabase(std::move(db).value(),
+                                                 dir.path(), engine_options);
+    OASIS_CHECK(engine.ok());
+    const seq::SequenceDatabase& resident = *(*engine)->database();
 
     workload::MotifQueryOptions q_options;
     q_options.num_queries = 10;
     q_options.min_length = 14;
     q_options.max_length = 18;
     q_options.seed = options.seed;
-    auto queries = workload::GenerateMotifQueries(*db, matrix, q_options);
+    auto queries = workload::GenerateMotifQueries(resident, matrix, q_options);
     OASIS_CHECK(queries.ok());
 
-    core::OasisSearch search(tree->get(), &matrix);
     double oasis_s = 0, sw_s = 0;
     uint64_t oasis_cols = 0, sw_cols = 0;
     score::ScoreT last_min_score = 0;
     for (const auto& q : *queries) {
-      score::ScoreT min_score = score::MinScoreForEValue(
-          *karlin, 20000.0, q.symbols.size(), db->num_residues());
-      last_min_score = min_score;
-      core::OasisOptions search_options;
-      search_options.min_score = min_score;
-      core::OasisStats stats;
+      api::SearchRequest request(q.symbols);
+      request.EValue(20000.0);
+      auto min_score = (*engine)->ResolveMinScore(request);
+      OASIS_CHECK(min_score.ok());
+      last_min_score = *min_score;
       util::Timer timer;
-      auto results = search.SearchAll(q.symbols, search_options, &stats);
-      OASIS_CHECK(results.ok());
+      auto outcome = (*engine)->SearchAll(request);
+      OASIS_CHECK(outcome.ok());
       oasis_s += timer.ElapsedSeconds();
-      oasis_cols += stats.columns_expanded;
+      oasis_cols += outcome->stats.columns_expanded;
 
       align::AlignStats sw_stats;
       timer.Restart();
-      auto hits =
-          align::ScanDatabase(q.symbols, *db, matrix, min_score, &sw_stats);
+      auto hits = align::ScanDatabase(q.symbols, resident, matrix, *min_score,
+                                      &sw_stats);
       sw_s += timer.ElapsedSeconds();
       sw_cols += sw_stats.columns_expanded;
     }
     std::printf("%-12llu %10d %12.4f %12.4f %10.2f %12llu %9.2f%%\n",
-                static_cast<unsigned long long>(db->num_residues()),
+                static_cast<unsigned long long>(resident.num_residues()),
                 last_min_score, oasis_s / queries->size(),
                 sw_s / queries->size(), sw_s / oasis_s,
                 static_cast<unsigned long long>(oasis_cols / queries->size()),

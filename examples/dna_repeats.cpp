@@ -1,7 +1,8 @@
 // Nucleotide search over a genomic-style database with repeat families
 // (the paper's secondary data set was the Drosophila genome, §4.1).
 // Searches for a diverged copy of a repeat element and shows how the
-// suffix tree shares work across the repeat family.
+// suffix tree shares work across the repeat family — all through the
+// Engine facade (Blastn scoring is the engine's DNA default).
 //
 // Usage: dna_repeats [residues]
 
@@ -9,9 +10,8 @@
 #include <cstdlib>
 
 #include "align/smith_waterman.h"
-#include "core/oasis.h"
+#include "api/engine.h"
 #include "core/report.h"
-#include "suffix/packed_builder.h"
 #include "util/env.h"
 #include "util/timer.h"
 #include "workload/workload.h"
@@ -32,16 +32,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  util::TempDir dir("dna");
-  storage::BufferPool pool(64 << 20);
-  auto tree = suffix::BuildAndOpenPacked(*db, dir.path(), &pool);
-  if (!tree.ok()) {
-    std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
-    return 1;
-  }
-
   // Query: a 24-nt window cut from scaffold 0 and lightly mutated, i.e. a
-  // primer-like probe. blastn-style +5/-4 scoring.
+  // primer-like probe. blastn-style +5/-4 scoring (the DNA default).
   const auto& matrix = score::SubstitutionMatrix::Blastn();
   workload::MotifQueryOptions q_options;
   q_options.num_queries = 3;
@@ -54,42 +46,49 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  core::OasisSearch search(tree->get(), &matrix);
-  std::printf("genomic database: %llu nt in %zu scaffolds; blastn scores\n\n",
-              static_cast<unsigned long long>(db->num_residues()),
-              db->num_sequences());
+  util::TempDir dir("dna");
+  auto engine = Engine::BuildFromDatabase(std::move(db).value(), dir.path());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  const seq::SequenceDatabase& resident = *(*engine)->database();
+
+  std::printf("genomic database: %llu nt in %llu scaffolds; %s scores\n\n",
+              static_cast<unsigned long long>((*engine)->num_residues()),
+              static_cast<unsigned long long>((*engine)->num_sequences()),
+              (*engine)->matrix().name().c_str());
 
   for (const auto& q : *queries) {
     score::ScoreT min_score =
         static_cast<score::ScoreT>(q.symbols.size()) * 4;  // ~80% identity
     std::printf("probe %s (minScore %d)\n",
-                db->alphabet().Decode(q.symbols).c_str(), min_score);
+                (*engine)->alphabet().Decode(q.symbols).c_str(), min_score);
 
-    core::OasisOptions options;
-    options.min_score = min_score;
-    options.reconstruct_alignments = true;
-    core::OasisStats stats;
+    SearchRequest request(q.symbols);
+    request.MinScore(min_score).WithAlignments();
     util::Timer timer;
-    auto results = search.SearchAll(q.symbols, options, &stats);
+    auto outcome = (*engine)->SearchAll(request);
     double oasis_s = timer.ElapsedSeconds();
-    if (!results.ok()) {
-      std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
       return 1;
     }
 
     timer.Restart();
-    auto sw_hits = align::ScanDatabase(q.symbols, *db, matrix, min_score);
+    auto sw_hits = align::ScanDatabase(q.symbols, resident, matrix, min_score);
     double sw_s = timer.ElapsedSeconds();
 
     std::printf("  %zu scaffold hits in %.4fs (S-W scan: %.4fs, %.0fx); "
                 "%.2f%% of S-W columns expanded\n",
-                results->size(), oasis_s, sw_s, sw_s / oasis_s,
-                100.0 * static_cast<double>(stats.columns_expanded) /
-                    static_cast<double>(db->num_residues()));
-    for (size_t i = 0; i < results->size() && i < 3; ++i) {
-      std::printf("  %s\n", core::FormatResult((*results)[i], *db).c_str());
+                outcome->results.size(), oasis_s, sw_s, sw_s / oasis_s,
+                100.0 * static_cast<double>(outcome->stats.columns_expanded) /
+                    static_cast<double>((*engine)->num_residues()));
+    for (size_t i = 0; i < outcome->results.size() && i < 3; ++i) {
+      std::printf("  %s\n",
+                  core::FormatResult(outcome->results[i], resident).c_str());
     }
-    if (results->size() != sw_hits.size()) {
+    if (outcome->results.size() != sw_hits.size()) {
       std::printf("  !! exactness violated\n");
       return 1;
     }

@@ -1,24 +1,26 @@
-// oasis_cli: a small command-line front end over the library.
+// oasis_cli: a small command-line front end over the oasis::Engine facade.
 //
 //   oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]
-//   oasis_cli search <db.fasta> <index_dir> <QUERYRESIDUES>
-//              [--dna|--protein] [--evalue E | --minscore S]
-//              [--top K] [--pool-mb MB] [--alignments]
+//   oasis_cli search <index_dir> <QUERYRESIDUES>
+//              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
+//              [--alignments] [--by-evalue]
+//   oasis_cli batch  <index_dir> <queries.fasta> [--threads N]
+//              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
 //
-// `index` builds the packed suffix tree from a FASTA file; `search` runs an
-// online OASIS query against a previously built index. The FASTA file is
-// reloaded for search because result reporting needs sequence ids (the
-// packed index stores only offsets; a production deployment would keep a
-// sequence catalog next to the index).
+// `index` builds the packed suffix tree AND the sequence catalog from a
+// FASTA file; `search` and `batch` need only the index directory — result
+// labels come from the catalog, so the database FASTA is never reloaded.
+// `batch` reads one query per FASTA record and fans them across a thread
+// pool via Engine::SearchBatch.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
-#include "core/oasis.h"
+#include "api/engine.h"
 #include "core/report.h"
 #include "seq/fasta.h"
-#include "suffix/packed_builder.h"
 #include "util/timer.h"
 
 using namespace oasis;
@@ -30,9 +32,11 @@ int Usage() {
       stderr,
       "usage:\n"
       "  oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]\n"
-      "  oasis_cli search <db.fasta> <index_dir> <QUERY> [--dna|--protein]\n"
+      "  oasis_cli search <index_dir> <QUERY>\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
-      "             [--alignments]\n");
+      "             [--alignments] [--by-evalue]\n"
+      "  oasis_cli batch  <index_dir> <queries.fasta> [--threads N]\n"
+      "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n");
   return 2;
 }
 
@@ -43,23 +47,27 @@ struct Args {
   score::ScoreT min_score = 0;  // 0 = derive from evalue
   uint64_t top = 0;
   uint64_t pool_mb = 64;
+  uint32_t threads = 4;
   bool alignments = false;
+  bool by_evalue = false;
 };
 
 bool Parse(int argc, char** argv, Args* args) {
   if (argc < 4) return false;
   args->command = argv[1];
-  args->fasta = argv[2];
-  args->index_dir = argv[3];
-  int positional = 4;
-  if (args->command == "search") {
-    if (argc < 5) return false;
-    args->query = argv[4];
-    positional = 5;
-  } else if (args->command != "index") {
+  if (args->command == "index") {
+    args->fasta = argv[2];
+    args->index_dir = argv[3];
+  } else if (args->command == "search") {
+    args->index_dir = argv[2];
+    args->query = argv[3];
+  } else if (args->command == "batch") {
+    args->index_dir = argv[2];
+    args->fasta = argv[3];
+  } else {
     return false;
   }
-  for (int i = positional; i < argc; ++i) {
+  for (int i = 4; i < argc; ++i) {
     std::string flag = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -84,8 +92,14 @@ bool Parse(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->pool_mb = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->threads = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (flag == "--alignments") {
       args->alignments = true;
+    } else if (flag == "--by-evalue") {
+      args->by_evalue = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return false;
@@ -99,75 +113,140 @@ int Fail(const util::Status& status) {
   return 1;
 }
 
+/// Translates the shared selectivity/reporting flags onto a request.
+void ApplyFlags(SearchRequest* request, const Args& args) {
+  if (args.min_score > 0) {
+    request->MinScore(args.min_score);
+  } else {
+    request->EValue(args.evalue);
+  }
+  request->TopK(args.top)
+      .WithAlignments(args.alignments)
+      .OrderByEValue(args.by_evalue);
+}
+
+int RunIndex(const Args& args) {
+  EngineOptions options;
+  options.alphabet =
+      args.dna ? seq::AlphabetKind::kDna : seq::AlphabetKind::kProtein;
+  util::Timer timer;
+  auto engine = Engine::Build(args.fasta, args.index_dir, options);
+  if (!engine.ok()) return Fail(engine.status());
+  std::printf("indexed %llu residues (%llu sequences) into %s in %.2fs\n",
+              static_cast<unsigned long long>((*engine)->num_residues()),
+              static_cast<unsigned long long>((*engine)->num_sequences()),
+              args.index_dir.c_str(), timer.ElapsedSeconds());
+  return 0;
+}
+
+int RunSearch(const Args& args) {
+  EngineOptions options;
+  options.pool_bytes = args.pool_mb << 20;
+  auto engine = Engine::Open(args.index_dir, options);
+  if (!engine.ok()) return Fail(engine.status());
+
+  auto request = SearchRequest::FromText((*engine)->alphabet(), args.query);
+  if (!request.ok()) return Fail(request.status());
+  ApplyFlags(&*request, args);
+
+  auto min_score = (*engine)->ResolveMinScore(*request);
+  if (!min_score.ok()) return Fail(min_score.status());
+  std::printf("searching %zu-residue query, matrix %s, minScore %d\n\n",
+              request->query().size(), (*engine)->matrix().name().c_str(),
+              *min_score);
+
+  // Verbose alignment printing needs the residues; materialize them from
+  // the index (still no FASTA involved).
+  const seq::SequenceDatabase* db = nullptr;
+  if (args.alignments) {
+    auto resident = (*engine)->ResidentDatabase();
+    if (!resident.ok()) return Fail(resident.status());
+    db = *resident;
+  }
+
+  auto cursor = (*engine)->Search(*request);
+  if (!cursor.ok()) return Fail(cursor.status());
+
+  util::Timer timer;
+  uint64_t count = 0;
+  while (true) {
+    auto next = cursor->Next();
+    if (!next.ok()) return Fail(next.status());
+    if (!next->has_value()) break;
+    const core::OasisResult& result = **next;
+    ++count;
+    if (args.alignments) {
+      std::printf("%s",
+                  core::FormatResultVerbose(result, *db, request->query())
+                      .c_str());
+    } else {
+      std::printf("%s\n",
+                  core::FormatResult(result,
+                                     (*engine)->catalog().name(
+                                         result.sequence_id),
+                                     result.evalue)
+                      .c_str());
+    }
+  }
+  std::printf("\n%llu results in %.4fs (%llu columns expanded)\n",
+              static_cast<unsigned long long>(count), timer.ElapsedSeconds(),
+              static_cast<unsigned long long>(
+                  cursor->stats().columns_expanded));
+  return 0;
+}
+
+int RunBatch(const Args& args) {
+  EngineOptions options;
+  options.pool_bytes = args.pool_mb << 20;
+  auto engine = Engine::Open(args.index_dir, options);
+  if (!engine.ok()) return Fail(engine.status());
+
+  auto records = seq::ReadFastaFile(args.fasta, (*engine)->alphabet());
+  if (!records.ok()) return Fail(records.status());
+  std::vector<std::string> labels;
+  std::vector<SearchRequest> requests;
+  for (seq::Sequence& record : *records) {
+    labels.push_back(record.id());
+    SearchRequest request(std::vector<seq::Symbol>(record.symbols()));
+    ApplyFlags(&request, args);
+    requests.push_back(std::move(request));
+  }
+
+  BatchOptions batch;
+  batch.threads = args.threads;
+  // --pool-mb sizes the pools that actually serve the batch: each worker's
+  // private tree replica (the engine's own pool is idle during SearchBatch).
+  batch.pool_bytes_per_thread = args.pool_mb << 20;
+  std::printf("batch: %zu queries, up to %u worker threads\n\n",
+              requests.size(), std::max(1u, batch.threads));
+  util::Timer timer;
+  auto results = (*engine)->SearchBatch(requests, batch);
+  if (!results.ok()) return Fail(results.status());
+  double elapsed = timer.ElapsedSeconds();
+
+  for (size_t i = 0; i < results->size(); ++i) {
+    const BatchResult& item = (*results)[i];
+    std::printf("query %s: %zu results\n", labels[i].c_str(),
+                item.results.size());
+    for (const core::OasisResult& result : item.results) {
+      std::printf("  %s\n",
+                  core::FormatResult(result,
+                                     (*engine)->catalog().name(
+                                         result.sequence_id),
+                                     result.evalue)
+                      .c_str());
+    }
+  }
+  std::printf("\n%zu queries in %.4fs\n", results->size(), elapsed);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!Parse(argc, argv, &args)) return Usage();
-
-  const seq::Alphabet& alphabet =
-      args.dna ? seq::Alphabet::Dna() : seq::Alphabet::Protein();
-  auto records = seq::ReadFastaFile(args.fasta, alphabet);
-  if (!records.ok()) return Fail(records.status());
-  auto db = seq::SequenceDatabase::Build(alphabet, std::move(records).value());
-  if (!db.ok()) return Fail(db.status());
-
-  if (args.command == "index") {
-    util::Timer timer;
-    auto tree = suffix::SuffixTree::BuildUkkonen(*db);
-    if (!tree.ok()) return Fail(tree.status());
-    util::Status packed = suffix::PackSuffixTree(*tree, args.index_dir);
-    if (!packed.ok()) return Fail(packed);
-    std::printf("indexed %llu residues (%zu sequences) into %s in %.2fs\n",
-                static_cast<unsigned long long>(db->num_residues()),
-                db->num_sequences(), args.index_dir.c_str(),
-                timer.ElapsedSeconds());
-    return 0;
-  }
-
-  // search
-  storage::BufferPool pool(args.pool_mb << 20);
-  auto tree = suffix::PackedSuffixTree::Open(args.index_dir, &pool);
-  if (!tree.ok()) return Fail(tree.status());
-
-  auto query = alphabet.Encode(args.query);
-  if (!query.ok()) return Fail(query.status());
-
-  const score::SubstitutionMatrix& matrix =
-      args.dna ? score::SubstitutionMatrix::Blastn()
-               : score::SubstitutionMatrix::Pam30();
-  core::OasisSearch search(tree->get(), &matrix);
-
-  core::OasisOptions options;
-  if (args.min_score > 0) {
-    options.min_score = args.min_score;
-  } else {
-    auto karlin = score::ComputeKarlinParams(matrix);
-    if (!karlin.ok()) return Fail(karlin.status());
-    options.min_score =
-        search.MinScoreForEValue(*karlin, args.evalue, query->size());
-  }
-  options.max_results = args.top;
-  options.reconstruct_alignments = args.alignments;
-
-  std::printf("searching %zu-residue query, matrix %s, minScore %d\n\n",
-              query->size(), matrix.name().c_str(), options.min_score);
-  util::Timer timer;
-  uint64_t count = 0;
-  auto stats =
-      search.Search(*query, options, [&](const core::OasisResult& result) {
-        ++count;
-        if (args.alignments) {
-          std::printf("%s",
-                      core::FormatResultVerbose(result, *db, *query).c_str());
-        } else {
-          std::printf("%s\n", core::FormatResult(result, *db).c_str());
-        }
-        return true;
-      });
-  if (!stats.ok()) return Fail(stats.status());
-  std::printf("\n%llu results in %.4fs (%llu columns expanded)\n",
-              static_cast<unsigned long long>(count), timer.ElapsedSeconds(),
-              static_cast<unsigned long long>(stats->columns_expanded));
-  return 0;
+  if (args.command == "index") return RunIndex(args);
+  if (args.command == "batch") return RunBatch(args);
+  return RunSearch(args);
 }

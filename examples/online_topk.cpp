@@ -1,7 +1,8 @@
 // Online top-k search: the paper's "abort after the top few matches" use
-// case (§1, §4.6). OASIS streams results in decreasing score order, so the
-// first k results are guaranteed to be the true top-k — the search is
-// simply aborted once they arrive, long before a full scan would finish.
+// case (§1, §4.6), through the pull-based ResultCursor. OASIS streams
+// results in decreasing score order, so the first k pulled are guaranteed
+// to be the true top-k — the consumer simply stops pulling (Close()) once
+// satisfied, long before a full scan would finish.
 //
 // Usage: online_topk [k] [residues]
 
@@ -9,9 +10,8 @@
 #include <cstdlib>
 
 #include "align/smith_waterman.h"
-#include "core/oasis.h"
+#include "api/engine.h"
 #include "core/report.h"
-#include "suffix/packed_builder.h"
 #include "util/env.h"
 #include "util/timer.h"
 #include "workload/workload.h"
@@ -31,14 +31,6 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  util::TempDir dir("topk");
-  storage::BufferPool pool(64 << 20);
-  auto tree = suffix::BuildAndOpenPacked(*db, dir.path(), &pool);
-  if (!tree.ok()) {
-    std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
-    return 1;
-  }
-
   // A 13-residue peptide (the paper's §4.6 query length) planted in the
   // database, with a relaxed threshold so thousands of alignments qualify.
   workload::MotifQueryOptions q_options;
@@ -51,38 +43,53 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
     return 1;
   }
-  const auto& query = (*queries)[0].symbols;
-  auto karlin = score::ComputeKarlinParams(matrix);
-  score::ScoreT min_score = score::MinScoreForEValue(
-      *karlin, 30000.0, query.size(), db->num_residues());
+  std::vector<seq::Symbol> query = (*queries)[0].symbols;
 
+  util::TempDir dir("topk");
+  auto engine = Engine::BuildFromDatabase(std::move(db).value(), dir.path());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  auto min_score =
+      (*engine)->ResolveMinScore(SearchRequest(query).EValue(30000.0));
+  if (!min_score.ok()) {
+    std::fprintf(stderr, "%s\n", min_score.status().ToString().c_str());
+    return 1;
+  }
   std::printf("query %s  (minScore %d over %llu residues)\n\n",
-              db->alphabet().Decode(query).c_str(), min_score,
-              static_cast<unsigned long long>(db->num_residues()));
+              (*engine)->alphabet().Decode(query).c_str(), *min_score,
+              static_cast<unsigned long long>((*engine)->num_residues()));
 
-  // Online: abort after k results.
-  core::OasisSearch search(tree->get(), &matrix);
-  core::OasisOptions options;
-  options.min_score = min_score;
-  options.max_results = k;
+  // Online: pull exactly k results, then close the cursor. The search does
+  // only the work needed to prove each result as it is pulled.
+  auto cursor = (*engine)->Search(SearchRequest(query).EValue(30000.0));
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "%s\n", cursor.status().ToString().c_str());
+    return 1;
+  }
   util::Timer timer;
   uint64_t rank = 0;
-  auto stats = search.Search(query, options, [&](const core::OasisResult& r) {
+  while (rank < k) {
+    auto next = cursor->Next();
+    if (!next.ok()) {
+      std::fprintf(stderr, "%s\n", next.status().ToString().c_str());
+      return 1;
+    }
+    if (!next->has_value()) break;
     ++rank;
     std::printf("#%-3llu t=%8.5fs  %s\n", static_cast<unsigned long long>(rank),
                 timer.ElapsedSeconds(),
-                core::FormatResult(r, *db).c_str());
-    return true;
-  });
-  if (!stats.ok()) {
-    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
-    return 1;
+                core::FormatResult(**next, *(*engine)->database()).c_str());
   }
+  cursor->Close();
   double topk_s = timer.ElapsedSeconds();
 
   // Baseline: a full S-W scan cannot return anything until it finishes.
   timer.Restart();
-  auto sw_hits = align::ScanDatabase(query, *db, matrix, min_score);
+  auto sw_hits = align::ScanDatabase(query, *(*engine)->database(), matrix,
+                                     *min_score);
   double sw_s = timer.ElapsedSeconds();
 
   std::printf("\ntop-%llu via OASIS: %.4fs   full S-W scan (%zu hits): %.4fs  "

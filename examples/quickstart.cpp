@@ -1,16 +1,18 @@
-// Quickstart: index a handful of sequences and run an OASIS search.
+// Quickstart: index a handful of sequences and pull an online OASIS search
+// through the oasis::Engine facade.
 //
-// Demonstrates the minimal end-to-end flow of the public API:
+// The minimal end-to-end flow of the public API:
 //   1. build a SequenceDatabase from residue strings;
-//   2. build + pack the suffix tree and open it through a buffer pool;
-//   3. run an online OASIS search and print results as they stream out.
+//   2. Engine::BuildFromDatabase — suffix tree, packed index, buffer pool
+//      and sequence catalog in one call;
+//   3. describe the search with a fluent SearchRequest;
+//   4. pull results from the ResultCursor — each arrives as soon as it is
+//      *proven* next-best (the paper's online guarantee).
 
 #include <cstdio>
 
-#include "core/oasis.h"
+#include "api/engine.h"
 #include "core/report.h"
-#include "seq/database.h"
-#include "suffix/packed_builder.h"
 #include "util/env.h"
 
 using namespace oasis;
@@ -39,34 +41,46 @@ int main() {
     return 1;
   }
 
-  // 2. Index: suffix tree -> packed on-disk form -> buffer pool.
+  // 2. One call owns the whole index lifecycle.
   util::TempDir dir("quickstart");
-  storage::BufferPool pool(16 << 20);
-  auto tree = suffix::BuildAndOpenPacked(*db, dir.path(), &pool);
-  if (!tree.ok()) {
-    std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
+  EngineOptions options;
+  options.matrix = &score::SubstitutionMatrix::UnitDna();
+  auto engine = Engine::BuildFromDatabase(std::move(db).value(), dir.path(),
+                                          options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
   }
 
-  // 3. Search for TACG (the paper's worked example, unit edit scores).
-  auto query = alphabet.Encode("TACG");
-  core::OasisSearch search(tree->get(), &score::SubstitutionMatrix::UnitDna());
-  core::OasisOptions options;
-  options.min_score = 2;
-  options.reconstruct_alignments = true;
-
-  std::printf("query TACG, minScore=%d, unit edit scores\n\n", options.min_score);
-  auto stats =
-      search.Search(*query, options, [&](const core::OasisResult& result) {
-        std::printf("%s", core::FormatResultVerbose(result, *db, *query).c_str());
-        return true;  // keep streaming
-      });
-  if (!stats.ok()) {
-    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+  // 3 + 4. Search for TACG (the paper's worked example, unit edit scores)
+  // and stream the results out.
+  auto request = SearchRequest::FromText(alphabet, "TACG");
+  if (!request.ok()) {
+    std::fprintf(stderr, "%s\n", request.status().ToString().c_str());
     return 1;
+  }
+  request->MinScore(2).WithAlignments();
+
+  std::printf("query TACG, minScore=2, unit edit scores\n\n");
+  auto cursor = (*engine)->Search(*request);
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "%s\n", cursor.status().ToString().c_str());
+    return 1;
+  }
+  while (true) {
+    auto next = cursor->Next();
+    if (!next.ok()) {
+      std::fprintf(stderr, "%s\n", next.status().ToString().c_str());
+      return 1;
+    }
+    if (!next->has_value()) break;
+    std::printf("%s", core::FormatResultVerbose(
+                          **next, *(*engine)->database(), request->query())
+                          .c_str());
   }
   std::printf("\nexpanded %llu DP columns over %llu search nodes\n",
-              static_cast<unsigned long long>(stats->columns_expanded),
-              static_cast<unsigned long long>(stats->nodes_expanded));
+              static_cast<unsigned long long>(
+                  cursor->stats().columns_expanded),
+              static_cast<unsigned long long>(cursor->stats().nodes_expanded));
   return 0;
 }

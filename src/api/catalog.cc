@@ -1,0 +1,100 @@
+#include "api/catalog.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace oasis {
+namespace api {
+
+SequenceCatalog SequenceCatalog::FromDatabase(const seq::SequenceDatabase& db) {
+  std::vector<CatalogEntry> entries;
+  entries.reserve(db.num_sequences());
+  for (const seq::Sequence& s : db.sequences()) {
+    entries.push_back(CatalogEntry{s.id(), s.description(), s.size()});
+  }
+  return SequenceCatalog(std::move(entries));
+}
+
+util::StatusOr<SequenceCatalog> SequenceCatalog::Load(const std::string& dir) {
+  const std::string path = dir + "/" + kFileName;
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::NotFound("cannot open catalog '" + path + "'");
+  }
+  std::string line;
+  uint64_t declared = 0;
+  std::vector<CatalogEntry> entries;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "num_sequences") {
+      fields >> declared;
+    } else if (key == "seq") {
+      CatalogEntry entry;
+      fields >> entry.length >> entry.id;
+      if (!fields) {
+        return util::Status::Corruption("catalog '" + path + "' line " +
+                                        std::to_string(line_no) +
+                                        ": malformed seq record");
+      }
+      std::getline(fields, entry.description);
+      size_t start = entry.description.find_first_not_of(" \t");
+      entry.description =
+          start == std::string::npos ? "" : entry.description.substr(start);
+      entries.push_back(std::move(entry));
+    } else {
+      return util::Status::Corruption("catalog '" + path + "' line " +
+                                      std::to_string(line_no) +
+                                      ": unknown key '" + key + "'");
+    }
+  }
+  if (declared != entries.size()) {
+    return util::Status::Corruption(
+        "catalog '" + path + "' declares " + std::to_string(declared) +
+        " sequences but lists " + std::to_string(entries.size()));
+  }
+  return SequenceCatalog(std::move(entries));
+}
+
+util::Status SequenceCatalog::Save(const std::string& dir) const {
+  const std::string path = dir + "/" + kFileName;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return util::Status::IOError("cannot write catalog '" + path + "'");
+  }
+  out << "num_sequences " << entries_.size() << "\n";
+  for (const CatalogEntry& entry : entries_) {
+    // The line format relies on ids being whitespace-free (guaranteed for
+    // FASTA-parsed ids, but not for programmatically built databases) and
+    // on descriptions being single-line.
+    if (entry.id.empty() ||
+        entry.id.find_first_of(" \t\r\n") != std::string::npos) {
+      return util::Status::InvalidArgument(
+          "sequence id '" + entry.id +
+          "' is empty or contains whitespace; cannot be cataloged");
+    }
+    if (entry.description.find_first_of("\r\n") != std::string::npos) {
+      return util::Status::InvalidArgument(
+          "description of sequence '" + entry.id + "' contains a newline");
+    }
+    out << "seq " << entry.length << " " << entry.id;
+    if (!entry.description.empty()) out << " " << entry.description;
+    out << "\n";
+  }
+  out.flush();
+  if (!out) return util::Status::IOError("catalog write failed");
+  return util::Status::OK();
+}
+
+std::string SequenceCatalog::name(uint32_t id) const {
+  if (id < entries_.size()) return entries_[id].id;
+  return "s" + std::to_string(id);
+}
+
+}  // namespace api
+}  // namespace oasis

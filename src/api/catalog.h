@@ -1,0 +1,66 @@
+// SequenceCatalog: the minimal per-sequence metadata (id, description,
+// length) persisted next to a packed index as `catalog.meta`.
+//
+// The packed suffix tree stores only offsets; labelling results used to
+// require reloading the source FASTA. The catalog removes that: Engine
+// writes it at index-build time and reads it back at open time, so a
+// search needs nothing but the index directory.
+//
+// Format (line-oriented text, like tree.meta):
+//   num_sequences N
+//   seq <length> <id> [description...]
+// one `seq` line per sequence, in sequence-id order. Ids cannot contain
+// whitespace (the FASTA parser splits them at the first whitespace), so the
+// line is unambiguous; the description runs to end of line.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/database.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace api {
+
+struct CatalogEntry {
+  std::string id;
+  std::string description;
+  uint64_t length = 0;  ///< residues, excluding the terminator
+};
+
+class SequenceCatalog {
+ public:
+  /// File name inside an index directory.
+  static constexpr const char* kFileName = "catalog.meta";
+
+  SequenceCatalog() = default;
+  explicit SequenceCatalog(std::vector<CatalogEntry> entries)
+      : entries_(std::move(entries)) {}
+
+  /// Builds the catalog of `db` (in sequence-id order).
+  static SequenceCatalog FromDatabase(const seq::SequenceDatabase& db);
+
+  /// Reads `dir`/catalog.meta.
+  static util::StatusOr<SequenceCatalog> Load(const std::string& dir);
+
+  /// Writes `dir`/catalog.meta (overwriting).
+  util::Status Save(const std::string& dir) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const CatalogEntry& entry(uint32_t id) const { return entries_[id]; }
+  const std::vector<CatalogEntry>& entries() const { return entries_; }
+
+  /// Sequence id `id`'s FASTA identifier, or "s<id>" past the end (so
+  /// callers can label results even against a catalog-less legacy index).
+  std::string name(uint32_t id) const;
+
+ private:
+  std::vector<CatalogEntry> entries_;
+};
+
+}  // namespace api
+}  // namespace oasis

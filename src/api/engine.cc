@@ -1,0 +1,371 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "seq/fasta.h"
+#include "suffix/suffix_tree.h"
+#include "util/logging.h"
+
+namespace oasis {
+namespace api {
+
+namespace {
+
+const score::SubstitutionMatrix& DefaultMatrix(seq::AlphabetKind kind) {
+  return kind == seq::AlphabetKind::kDna ? score::SubstitutionMatrix::Blastn()
+                                         : score::SubstitutionMatrix::Pam30();
+}
+
+}  // namespace
+
+// --- SearchRequest ----------------------------------------------------------
+
+util::StatusOr<SearchRequest> SearchRequest::FromText(
+    const seq::Alphabet& alphabet, std::string_view text) {
+  OASIS_ASSIGN_OR_RETURN(std::vector<seq::Symbol> query,
+                         alphabet.Encode(text));
+  return SearchRequest(std::move(query));
+}
+
+// --- ResultCursor -----------------------------------------------------------
+
+ResultCursor::ResultCursor(core::OasisCursor stream)
+    : stream_(std::move(stream)) {}
+
+ResultCursor::ResultCursor(std::vector<core::OasisResult> replay)
+    : replay_(std::move(replay)) {}
+
+util::StatusOr<std::optional<core::OasisResult>> ResultCursor::Next() {
+  if (closed_) return std::optional<core::OasisResult>();
+  if (stream_.has_value()) {
+    OASIS_ASSIGN_OR_RETURN(std::optional<core::OasisResult> next,
+                           stream_->Next());
+    stats_ = stream_->stats();
+    if (!next.has_value()) {
+      // Exhausted: release the search state (arena, frontier queue) now
+      // rather than at cursor destruction; stats_ stays readable.
+      stream_.reset();
+      closed_ = true;
+    }
+    return next;
+  }
+  if (replay_pos_ >= replay_.size()) return std::optional<core::OasisResult>();
+  return std::optional<core::OasisResult>(replay_[replay_pos_++]);
+}
+
+void ResultCursor::Close() {
+  if (stream_.has_value()) {
+    stats_ = stream_->stats();
+    stream_.reset();
+  }
+  replay_.clear();
+  replay_.shrink_to_fit();
+  closed_ = true;
+}
+
+bool ResultCursor::done() const {
+  if (closed_) return true;
+  if (stream_.has_value()) return stream_->done();
+  return replay_pos_ >= replay_.size();
+}
+
+// --- Engine factories -------------------------------------------------------
+
+util::StatusOr<std::unique_ptr<Engine>> Engine::Build(
+    const std::string& fasta_path, const std::string& index_dir,
+    const EngineOptions& options) {
+  const seq::Alphabet& alphabet = seq::Alphabet::Get(options.alphabet);
+  OASIS_ASSIGN_OR_RETURN(std::vector<seq::Sequence> records,
+                         seq::ReadFastaFile(fasta_path, alphabet));
+  OASIS_ASSIGN_OR_RETURN(
+      seq::SequenceDatabase db,
+      seq::SequenceDatabase::Build(alphabet, std::move(records)));
+  return BuildFromDatabase(std::move(db), index_dir, options);
+}
+
+util::StatusOr<std::unique_ptr<Engine>> Engine::BuildFromDatabase(
+    seq::SequenceDatabase db, const std::string& index_dir,
+    const EngineOptions& options) {
+  OASIS_ASSIGN_OR_RETURN(suffix::SuffixTree tree,
+                         suffix::SuffixTree::BuildUkkonen(db));
+  suffix::PackOptions pack;
+  pack.block_size = options.block_size;
+  OASIS_RETURN_NOT_OK(suffix::PackSuffixTree(tree, index_dir, pack));
+  OASIS_RETURN_NOT_OK(SequenceCatalog::FromDatabase(db).Save(index_dir));
+  return OpenInternal(index_dir, options,
+                      std::make_unique<seq::SequenceDatabase>(std::move(db)));
+}
+
+util::StatusOr<std::unique_ptr<Engine>> Engine::Open(
+    const std::string& index_dir, const EngineOptions& options) {
+  return OpenInternal(index_dir, options, nullptr);
+}
+
+util::StatusOr<std::unique_ptr<Engine>> Engine::OpenInternal(
+    const std::string& index_dir, const EngineOptions& options,
+    std::unique_ptr<seq::SequenceDatabase> resident_db) {
+  OASIS_ASSIGN_OR_RETURN(uint32_t block_size,
+                         suffix::PeekIndexBlockSize(index_dir));
+
+  // Cannot use make_unique: constructor is private.
+  std::unique_ptr<Engine> engine(new Engine());
+  engine->index_dir_ = index_dir;
+  engine->pool_ =
+      std::make_unique<storage::BufferPool>(options.pool_bytes, block_size);
+  OASIS_ASSIGN_OR_RETURN(
+      engine->tree_,
+      suffix::PackedSuffixTree::Open(index_dir, engine->pool_.get()));
+  engine->alphabet_ = &seq::Alphabet::Get(engine->tree_->alphabet_kind());
+  engine->matrix_ = options.matrix != nullptr
+                        ? options.matrix
+                        : &DefaultMatrix(engine->tree_->alphabet_kind());
+  if (engine->matrix_->size() != engine->tree_->alphabet_size()) {
+    return util::Status::InvalidArgument(
+        "matrix alphabet (" + std::to_string(engine->matrix_->size()) +
+        " symbols) does not match the indexed database (" +
+        std::to_string(engine->tree_->alphabet_size()) + ")");
+  }
+  engine->search_ = std::make_unique<core::OasisSearch>(engine->tree_.get(),
+                                                        engine->matrix_);
+  engine->db_ = std::move(resident_db);
+
+  auto catalog = SequenceCatalog::Load(index_dir);
+  if (catalog.ok()) {
+    if (catalog->size() != engine->tree_->num_sequences()) {
+      return util::Status::Corruption(
+          "catalog lists " + std::to_string(catalog->size()) +
+          " sequences but the index holds " +
+          std::to_string(engine->tree_->num_sequences()));
+    }
+    engine->catalog_ = std::move(catalog).value();
+  } else if (!catalog.status().IsNotFound()) {
+    return catalog.status();
+  }
+  // A missing catalog (pre-catalog index) degrades to synthetic "s<i>"
+  // labels via SequenceCatalog::name; lengths stay available from the tree.
+
+  auto karlin = score::ComputeKarlinParams(*engine->matrix_);
+  if (karlin.ok()) {
+    engine->karlin_ = *karlin;
+    engine->has_karlin_ = true;
+  }
+  return engine;
+}
+
+// --- Request resolution -----------------------------------------------------
+
+util::StatusOr<score::ScoreT> Engine::ResolveMinScore(
+    const SearchRequest& request) const {
+  if (request.min_score() > 0) return request.min_score();
+  if (!has_karlin_) {
+    return util::Status::InvalidArgument(
+        "E-value selectivity needs Karlin statistics, which matrix '" +
+        matrix_->name() +
+        "' does not admit; set SearchRequest::MinScore explicitly");
+  }
+  return search_->MinScoreForEValue(karlin_, request.evalue(),
+                                    request.query().size());
+}
+
+util::StatusOr<core::OasisOptions> Engine::ResolveOptions(
+    const SearchRequest& request) const {
+  core::OasisOptions options;
+  OASIS_ASSIGN_OR_RETURN(options.min_score, ResolveMinScore(request));
+  options.max_results = request.top_k();
+  options.reconstruct_alignments = request.alignments();
+  options.all_alignments = request.all_alignments();
+  options.order_by_evalue = request.order_by_evalue();
+  if (request.order_by_evalue()) {
+    if (!has_karlin_) {
+      return util::Status::InvalidArgument(
+          "OrderByEValue needs Karlin statistics, which matrix '" +
+          matrix_->name() + "' does not admit");
+    }
+    options.karlin = karlin_;
+  }
+  return options;
+}
+
+// --- Queries ----------------------------------------------------------------
+
+util::StatusOr<ResultCursor> Engine::Search(const SearchRequest& request) const {
+  OASIS_ASSIGN_OR_RETURN(core::OasisOptions options,
+                         ResolveOptions(request));
+  OASIS_ASSIGN_OR_RETURN(core::OasisCursor cursor,
+                         search_->Cursor(request.query(), options));
+  return ResultCursor(std::move(cursor));
+}
+
+util::StatusOr<BatchResult> Engine::SearchAll(
+    const SearchRequest& request) const {
+  OASIS_ASSIGN_OR_RETURN(ResultCursor cursor, Search(request));
+  BatchResult out;
+  while (true) {
+    OASIS_ASSIGN_OR_RETURN(std::optional<core::OasisResult> next,
+                           cursor.Next());
+    if (!next.has_value()) break;
+    out.results.push_back(std::move(*next));
+  }
+  out.stats = cursor.stats();
+  return out;
+}
+
+util::StatusOr<std::vector<BatchResult>> Engine::SearchBatch(
+    std::span<const SearchRequest> requests,
+    const BatchOptions& options) const {
+  const size_t n = requests.size();
+  std::vector<BatchResult> out(n);
+  if (n == 0) return out;
+
+  // Resolve every request up front on the calling thread: resolution reads
+  // shared engine state, and failing fast beats failing mid-fan-out.
+  std::vector<core::OasisOptions> resolved(n);
+  for (size_t i = 0; i < n; ++i) {
+    OASIS_ASSIGN_OR_RETURN(resolved[i], ResolveOptions(requests[i]));
+  }
+
+  const uint32_t threads = std::max<uint32_t>(
+      1, std::min<uint32_t>(options.threads, static_cast<uint32_t>(n)));
+
+  // Work-stealing over a shared index; each worker searches through its own
+  // PackedSuffixTree replica + private BufferPool, because the pool is the
+  // one non-thread-safe layer (storage/buffer_pool.h). OasisSearch itself
+  // is stateless/const, and the matrix and request vectors are only read,
+  // so distinct output slots are the only writes — race-free by
+  // construction.
+  std::atomic<size_t> next_request{0};
+  std::mutex error_mutex;
+  util::Status first_error = util::Status::OK();
+
+  auto worker = [&]() {
+    storage::BufferPool pool(options.pool_bytes_per_thread,
+                             pool_->block_size());
+    auto tree = suffix::PackedSuffixTree::Open(index_dir_, &pool);
+    if (!tree.ok()) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error.ok()) first_error = tree.status();
+      return;
+    }
+    core::OasisSearch search(tree->get(), matrix_);
+    while (true) {
+      const size_t i = next_request.fetch_add(1);
+      if (i >= n) break;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error.ok()) break;
+      }
+      core::OasisStats stats;
+      auto results = search.SearchAll(requests[i].query(), resolved[i], &stats);
+      if (!results.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = results.status();
+        break;
+      }
+      out[i].results = std::move(results).value();
+      out[i].stats = stats;
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) workers.emplace_back(worker);
+  for (std::thread& t : workers) t.join();
+
+  OASIS_RETURN_NOT_OK(first_error);
+  return out;
+}
+
+util::StatusOr<ResultCursor> Engine::BlastSearch(
+    const SearchRequest& request, const blast::BlastOptions& blast_options) {
+  if (!has_karlin_) {
+    return util::Status::InvalidArgument(
+        "BLAST E-value statistics need Karlin parameters, which matrix '" +
+        matrix_->name() + "' does not admit");
+  }
+  OASIS_ASSIGN_OR_RETURN(const seq::SequenceDatabase* db, ResidentDatabase());
+
+  // The request's selectivity knob wins, mirroring the OASIS path: an
+  // explicit MinScore disables the E-value cutoff entirely (score filtering
+  // happens below), otherwise the request's E-value replaces the one in
+  // blast_options so both engines run at the same selectivity.
+  blast::BlastOptions resolved = blast_options;
+  resolved.evalue_cutoff = request.min_score() > 0
+                               ? std::numeric_limits<double>::infinity()
+                               : request.evalue();
+  OASIS_ASSIGN_OR_RETURN(
+      blast::BlastQuery prepared,
+      blast::BlastQuery::Prepare(request.query(), *matrix_, resolved));
+  OASIS_ASSIGN_OR_RETURN(std::vector<blast::BlastHit> hits,
+                         blast::Search(prepared, *db, *matrix_, karlin_));
+
+  // Same shape as the OASIS stream: one best hit per sequence, descending
+  // score. (Alignment reconstruction is not available for the heuristic
+  // baseline; WithAlignments is ignored.)
+  std::vector<core::OasisResult> results;
+  results.reserve(hits.size());
+  for (const blast::BlastHit& hit : hits) {
+    if (request.min_score() > 0 && hit.score < request.min_score()) continue;
+    core::OasisResult result;
+    result.sequence_id = hit.sequence_id;
+    result.score = hit.score;
+    result.evalue = hit.evalue;
+    result.target_end = hit.target_end;
+    result.db_end_pos = db->SequenceStart(hit.sequence_id) + hit.target_end;
+    result.query_end = static_cast<uint32_t>(hit.query_end);
+    results.push_back(result);
+    if (request.top_k() != 0 && results.size() >= request.top_k()) break;
+  }
+  return ResultCursor(std::move(results));
+}
+
+// --- Resident database ------------------------------------------------------
+
+util::StatusOr<const seq::SequenceDatabase*> Engine::ResidentDatabase() {
+  if (db_ != nullptr) return static_cast<const seq::SequenceDatabase*>(db_.get());
+
+  // Materialize from the packed symbols file: residue bytes decode 1:1 to
+  // symbol codes, and sequence boundaries come from the tree metadata.
+  std::vector<seq::Sequence> sequences;
+  sequences.reserve(tree_->num_sequences());
+  std::vector<uint8_t> bytes;
+  for (uint32_t id = 0; id < tree_->num_sequences(); ++id) {
+    const uint64_t start = tree_->SequenceStart(id);
+    const uint64_t len = tree_->TerminatorPos(id) - start;
+    // ReadSymbols takes a 32-bit length; read in chunks so sequences are
+    // not silently truncated (positions are 64-bit).
+    std::vector<seq::Symbol> symbols;
+    symbols.reserve(len);
+    constexpr uint64_t kChunk = 1u << 20;
+    for (uint64_t off = 0; off < len; off += kChunk) {
+      const uint32_t n = static_cast<uint32_t>(std::min(kChunk, len - off));
+      OASIS_RETURN_NOT_OK(tree_->ReadSymbols(start + off, n, &bytes));
+      symbols.insert(symbols.end(), bytes.begin(), bytes.end());
+    }
+    for (seq::Symbol s : symbols) {
+      if (s >= alphabet_->size()) {
+        return util::Status::Corruption(
+            "index symbols contain a non-residue byte inside sequence " +
+            std::to_string(id));
+      }
+    }
+    std::string cat_id = catalog_.name(id);
+    std::string description =
+        id < catalog_.size() ? catalog_.entry(id).description : "";
+    sequences.emplace_back(std::move(cat_id), std::move(description),
+                           std::move(symbols));
+  }
+  OASIS_ASSIGN_OR_RETURN(
+      seq::SequenceDatabase db,
+      seq::SequenceDatabase::Build(*alphabet_, std::move(sequences)));
+  db_ = std::make_unique<seq::SequenceDatabase>(std::move(db));
+  return static_cast<const seq::SequenceDatabase*>(db_.get());
+}
+
+}  // namespace api
+}  // namespace oasis

@@ -1,0 +1,313 @@
+// oasis::Engine — the top-level facade of the library.
+//
+// Everything below this header (database, packed suffix tree, buffer pool,
+// substitution matrix, Karlin statistics, sequence catalog) used to be
+// wired together by every consumer separately. The Engine owns that whole
+// index lifecycle:
+//
+//   auto engine = oasis::Engine::Build("db.fasta", "index_dir", options);
+//   // ...or, later / in another process, without the FASTA:
+//   auto engine = oasis::Engine::Open("index_dir", options);
+//
+// and exposes the paper's headline property — results streaming out in
+// provably non-increasing score order — as a first-class *pull* cursor:
+//
+//   auto cursor = (*engine)->Search(
+//       oasis::SearchRequest(query).EValue(10.0).TopK(40));
+//   while (true) {
+//     auto next = cursor->Next();
+//     if (!next.ok() || !next->has_value()) break;
+//     Use(**next);                    // proven next-best when it arrives
+//     if (Satisfied()) { cursor->Close(); break; }
+//   }
+//
+// The consumer sets the pace: each Next() advances the A* search only far
+// enough to prove the next result, so stopping after the top few matches
+// costs a few node expansions, not a database scan. SearchBatch() fans N
+// requests across a thread pool (each worker reads through its own tree
+// replica — the buffer pool is the one non-thread-safe layer), and
+// BlastSearch() runs the BLAST-style baseline behind the same
+// request/cursor interface so OASIS-vs-BLAST comparisons share one API.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/catalog.h"
+#include "blast/blast.h"
+#include "core/oasis.h"
+#include "score/karlin.h"
+#include "score/substitution_matrix.h"
+#include "seq/database.h"
+#include "storage/buffer_pool.h"
+#include "suffix/packed_builder.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace api {
+
+/// Construction-time knobs of an Engine.
+struct EngineOptions {
+  /// Buffer pool capacity for this engine's searches.
+  uint64_t pool_bytes = 64ull << 20;
+
+  /// Block size for *newly built* indexes (Build / BuildFromDatabase).
+  /// Open() always adopts the block size recorded in the index metadata.
+  uint32_t block_size = storage::kDefaultBlockSize;
+
+  /// Scoring matrix. nullptr picks the default for the database alphabet:
+  /// Blastn for DNA, Pam30 for protein (the paper's matrix for short
+  /// queries). The matrix must outlive the engine.
+  const score::SubstitutionMatrix* matrix = nullptr;
+
+  /// Alphabet used by Build() to parse the FASTA file. Ignored by Open()
+  /// (recorded in the index) and BuildFromDatabase() (taken from the db).
+  seq::AlphabetKind alphabet = seq::AlphabetKind::kProtein;
+};
+
+/// A fluent search request: what to look for and how to report it. Replaces
+/// hand-assembled core::OasisOptions plumbing; the Engine resolves it
+/// (E-value -> minScore via the index's Karlin statistics) at search time.
+class SearchRequest {
+ public:
+  /// A request for `query` (encoded residues). Default selectivity is
+  /// E-value 10.0, matching BLAST's default.
+  explicit SearchRequest(std::vector<seq::Symbol> query)
+      : query_(std::move(query)) {}
+
+  /// Parses `text` under `alphabet` (case-insensitive residues).
+  static util::StatusOr<SearchRequest> FromText(const seq::Alphabet& alphabet,
+                                                std::string_view text);
+
+  /// Explicit score threshold; overrides the E-value cutoff.
+  SearchRequest& MinScore(score::ScoreT min_score) {
+    min_score_ = min_score;
+    return *this;
+  }
+  /// E-value cutoff, translated to minScore per paper Eq. 3 (the default
+  /// selectivity knob; ignored when MinScore() was set).
+  SearchRequest& EValue(double evalue) {
+    evalue_ = evalue;
+    return *this;
+  }
+  /// Stop after the top `k` results (0 = unlimited). The online ordering
+  /// guarantees these are the true top-k.
+  SearchRequest& TopK(uint64_t k) {
+    top_k_ = k;
+    return *this;
+  }
+  /// Reconstruct the full alignment (operations + coordinates) for each
+  /// emitted result.
+  SearchRequest& WithAlignments(bool on = true) {
+    alignments_ = on;
+    return *this;
+  }
+  /// Report every accepted alignment location instead of only the best per
+  /// sequence.
+  SearchRequest& AllAlignments(bool on = true) {
+    all_alignments_ = on;
+    return *this;
+  }
+  /// Order the stream by per-sequence-adjusted E-value instead of raw score
+  /// (paper §4.3). Requires the engine to have Karlin statistics.
+  SearchRequest& OrderByEValue(bool on = true) {
+    order_by_evalue_ = on;
+    return *this;
+  }
+
+  const std::vector<seq::Symbol>& query() const { return query_; }
+  score::ScoreT min_score() const { return min_score_; }
+  double evalue() const { return evalue_; }
+  uint64_t top_k() const { return top_k_; }
+  bool alignments() const { return alignments_; }
+  bool all_alignments() const { return all_alignments_; }
+  bool order_by_evalue() const { return order_by_evalue_; }
+
+ private:
+  std::vector<seq::Symbol> query_;
+  score::ScoreT min_score_ = 0;  ///< 0 = derive from evalue_
+  double evalue_ = 10.0;
+  uint64_t top_k_ = 0;
+  bool alignments_ = false;
+  bool all_alignments_ = false;
+  bool order_by_evalue_ = false;
+};
+
+/// The pull stream of one search. Streaming searches (Engine::Search) wrap
+/// a live core::OasisCursor — each Next() resumes the A* loop; adapter
+/// searches (Engine::BlastSearch) replay a precomputed result list behind
+/// the same interface. Move-only.
+class ResultCursor {
+ public:
+  ResultCursor(ResultCursor&&) noexcept = default;
+  ResultCursor& operator=(ResultCursor&&) noexcept = default;
+
+  /// The next proven result, std::nullopt when the stream is exhausted or
+  /// the cursor was closed.
+  util::StatusOr<std::optional<core::OasisResult>> Next();
+
+  /// Abandons the remaining stream and releases the search state (arena,
+  /// frontier queue, pending results): every later Next() returns
+  /// std::nullopt; stats() stays readable. Closing after k results is
+  /// exactly equivalent to having requested TopK(k).
+  void Close();
+
+  bool done() const;
+
+  /// Search statistics so far (zero-valued for adapter streams).
+  const core::OasisStats& stats() const { return stats_; }
+
+ private:
+  friend class Engine;
+  explicit ResultCursor(core::OasisCursor stream);
+  explicit ResultCursor(std::vector<core::OasisResult> replay);
+
+  std::optional<core::OasisCursor> stream_;
+  std::vector<core::OasisResult> replay_;
+  size_t replay_pos_ = 0;
+  core::OasisStats stats_;
+  bool closed_ = false;
+};
+
+/// One query's outcome within a SearchBatch.
+struct BatchResult {
+  std::vector<core::OasisResult> results;
+  core::OasisStats stats;
+};
+
+struct BatchOptions {
+  /// Worker threads (clamped to the number of requests; >= 1).
+  uint32_t threads = 4;
+  /// Buffer pool capacity of each worker's private tree replica.
+  uint64_t pool_bytes_per_thread = 16ull << 20;
+};
+
+/// The engine facade. Owns database metadata + packed suffix tree + buffer
+/// pool + scoring for one index directory. All search entry points are
+/// const; the engine itself is single-threaded apart from SearchBatch,
+/// which never touches the engine's own pool (see its comment).
+class Engine {
+ public:
+  /// Builds an index: parse `fasta_path` under options.alphabet, build the
+  /// generalized suffix tree, pack it into `index_dir` (created if
+  /// missing), write the sequence catalog, and open the result. The source
+  /// database stays resident (database() != nullptr).
+  static util::StatusOr<std::unique_ptr<Engine>> Build(
+      const std::string& fasta_path, const std::string& index_dir,
+      const EngineOptions& options = EngineOptions());
+
+  /// Build() for an already-constructed database (workload generators,
+  /// tests).
+  static util::StatusOr<std::unique_ptr<Engine>> BuildFromDatabase(
+      seq::SequenceDatabase db, const std::string& index_dir,
+      const EngineOptions& options = EngineOptions());
+
+  /// Opens an existing index directory; no FASTA needed. Labels come from
+  /// the persisted catalog (synthesized as "s<i>" for pre-catalog indexes).
+  static util::StatusOr<std::unique_ptr<Engine>> Open(
+      const std::string& index_dir,
+      const EngineOptions& options = EngineOptions());
+
+  // --- Queries --------------------------------------------------------------
+
+  /// Starts an online OASIS search; results stream through the returned
+  /// cursor in non-increasing score order (or E-value order when
+  /// requested).
+  util::StatusOr<ResultCursor> Search(const SearchRequest& request) const;
+
+  /// Convenience: drains Search() into a vector.
+  util::StatusOr<BatchResult> SearchAll(const SearchRequest& request) const;
+
+  /// Fans `requests` across a thread pool. Each worker opens its own
+  /// replica of the packed tree over a private buffer pool — OasisSearch is
+  /// stateless/const, so with per-worker trees the queries share nothing
+  /// mutable. Results arrive in request order, identical to running each
+  /// request sequentially.
+  util::StatusOr<std::vector<BatchResult>> SearchBatch(
+      std::span<const SearchRequest> requests,
+      const BatchOptions& options = BatchOptions()) const;
+
+  /// The BLAST-style heuristic baseline (word seeding + X-drop extension)
+  /// behind the same request/cursor interface, for OASIS-vs-BLAST
+  /// comparisons. Not online: the scan completes up front and the cursor
+  /// replays its hits in descending score order. Requires the resident
+  /// database (materialized from the index on first use).
+  util::StatusOr<ResultCursor> BlastSearch(
+      const SearchRequest& request,
+      const blast::BlastOptions& blast_options = blast::BlastOptions());
+
+  /// Resolves the effective minScore of `request` (explicit MinScore, or
+  /// E-value translated via paper Eq. 3).
+  util::StatusOr<score::ScoreT> ResolveMinScore(
+      const SearchRequest& request) const;
+
+  /// Resolves a request into the core-layer options it would run with
+  /// (the bridge for callers that drive core::OasisSearch directly).
+  util::StatusOr<core::OasisOptions> ResolveOptions(
+      const SearchRequest& request) const;
+
+  // --- Components -----------------------------------------------------------
+
+  /// The in-memory sequence database. Resident after Build /
+  /// BuildFromDatabase; for Open()ed engines the first call materializes it
+  /// from the packed symbols file + catalog.
+  util::StatusOr<const seq::SequenceDatabase*> ResidentDatabase();
+
+  /// Resident database if already materialized, else nullptr (non-forcing).
+  const seq::SequenceDatabase* database() const { return db_.get(); }
+
+  const std::string& index_dir() const { return index_dir_; }
+  const seq::Alphabet& alphabet() const { return *alphabet_; }
+  const score::SubstitutionMatrix& matrix() const { return *matrix_; }
+  const suffix::PackedSuffixTree& tree() const { return *tree_; }
+  const SequenceCatalog& catalog() const { return catalog_; }
+  storage::BufferPool& pool() { return *pool_; }
+
+  /// Karlin-Altschul statistics of the scoring system (needed for E-value
+  /// cutoffs and E-value-ordered streams). Absent for scoring systems with
+  /// no valid local-alignment statistics.
+  bool has_karlin() const { return has_karlin_; }
+  const score::KarlinParams& karlin() const { return karlin_; }
+
+  uint64_t num_sequences() const { return tree_->num_sequences(); }
+  uint64_t num_residues() const {
+    return tree_->total_length() - tree_->num_sequences();
+  }
+
+ private:
+  Engine() = default;
+
+  /// Shared tail of the factory functions: open the packed tree, pick the
+  /// matrix, compute Karlin statistics.
+  static util::StatusOr<std::unique_ptr<Engine>> OpenInternal(
+      const std::string& index_dir, const EngineOptions& options,
+      std::unique_ptr<seq::SequenceDatabase> resident_db);
+
+  std::string index_dir_;
+  const seq::Alphabet* alphabet_ = nullptr;
+  const score::SubstitutionMatrix* matrix_ = nullptr;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<suffix::PackedSuffixTree> tree_;
+  std::unique_ptr<core::OasisSearch> search_;
+  std::unique_ptr<seq::SequenceDatabase> db_;  ///< resident; may be null
+  SequenceCatalog catalog_;
+  score::KarlinParams karlin_;
+  bool has_karlin_ = false;
+};
+
+}  // namespace api
+
+// The facade types are the library's front door; export them at the top
+// level so consumers write oasis::Engine / oasis::SearchRequest.
+using api::BatchOptions;
+using api::BatchResult;
+using api::Engine;
+using api::EngineOptions;
+using api::ResultCursor;
+using api::SearchRequest;
+
+}  // namespace oasis

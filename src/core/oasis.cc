@@ -1,6 +1,7 @@
 #include "core/oasis.h"
 
 #include <algorithm>
+#include <deque>
 #include <queue>
 
 #include "util/logging.h"
@@ -11,7 +12,7 @@ namespace core {
 using score::kNegInf;
 using score::ScoreT;
 
-namespace {
+namespace internal {
 
 enum class NodeStatus : uint8_t { kViable, kAccepted, kUnviable };
 
@@ -57,22 +58,28 @@ struct CandidateGreater {
   }
 };
 
-/// The state of one Search() invocation.
+/// The resumable state of one search: Algorithm 1 cut at its emission
+/// points. Init() performs Algorithm 2; each Step() pops one queue head
+/// (one expansion or one accept); Next() steps until the pending buffer
+/// holds a proven next-best result and hands it out. OasisCursor is a thin
+/// pimpl shell over this class, and the callback Search() drives the same
+/// stepper, so the pull and push streams are identical by construction.
 class SearchRun {
  public:
   SearchRun(const suffix::PackedSuffixTree& tree,
             const score::SubstitutionMatrix& matrix,
-            std::span<const seq::Symbol> query, const OasisOptions& options,
-            const ResultCallback& callback)
+            std::span<const seq::Symbol> query, const OasisOptions& options)
       : tree_(tree),
         cursor_(&tree),
         matrix_(matrix),
-        query_(query),
+        query_storage_(query.begin(), query.end()),
+        query_(query_storage_),
         options_(options),
-        callback_(callback),
-        h_(query, matrix) {}
+        h_(query_, matrix) {}
 
-  util::StatusOr<OasisStats> Run() {
+  /// Algorithm 2: prime the queue with the root node. May already finish
+  /// the search (no alignment of this query can reach minScore).
+  util::Status Init() {
     OASIS_CHECK_GE(options_.min_score, 1);
     reported_.assign(tree_.num_sequences(), false);
 
@@ -101,7 +108,6 @@ class SearchRun {
       }
     }
 
-    // --- Initialization (Algorithm 2). -----------------------------------
     // Root node: empty path, B[i] = 0 wherever a completion could reach
     // minScore, else pruned.
     SearchNode root;
@@ -123,34 +129,64 @@ class SearchRun {
     }
     if (root_f < options_.min_score && !options_.disable_rule3_pruning) {
       // No alignment of this query can reach the threshold.
-      return stats_;
+      done_ = true;
+      return util::Status::OK();
     }
     root.f = root_f;
     root.status = NodeStatus::kViable;
     Push(std::move(root));
+    return util::Status::OK();
+  }
 
-    // --- Main loop (Algorithm 1). -----------------------------------------
-    while (!queue_.empty() && !aborted_) {
-      stats_.max_queue_size = std::max<uint64_t>(stats_.max_queue_size,
-                                                 queue_.size());
-      QueueEntry top = queue_.top();
-      queue_.pop();
-      SearchNode node = std::move(arena_[top.node]);
-      ReleaseSlot(top.node);
-
-      if (node.status == NodeStatus::kAccepted) {
-        OASIS_RETURN_NOT_OK(Report(node));
-      } else {
-        OASIS_RETURN_NOT_OK(ExpandChildren(node));
+  /// Advances the main loop (Algorithm 1) until the next proven result is
+  /// available, and returns it; std::nullopt once the search is complete.
+  util::StatusOr<std::optional<OasisResult>> Next() {
+    while (pending_.empty() && !done_) {
+      if (queue_.empty()) {
+        // Frontier exhausted; in E-value mode the held-back candidates
+        // drain unconditionally now.
+        if (options_.order_by_evalue) OASIS_RETURN_NOT_OK(FlushCandidates());
+        done_ = true;
+        break;
       }
-      if (options_.order_by_evalue && !aborted_) {
-        OASIS_RETURN_NOT_OK(FlushCandidates());
-      }
+      OASIS_RETURN_NOT_OK(Step());
     }
-    if (options_.order_by_evalue && !aborted_) {
+    if (!pending_.empty()) {
+      // results_emitted counts *delivered* results: for a run drained to
+      // completion it equals the legacy callback count, and for an
+      // abandoned cursor it does not include proven-but-never-pulled
+      // results sitting in pending_.
+      ++stats_.results_emitted;
+      OasisResult result = std::move(pending_.front());
+      pending_.pop_front();
+      return std::optional<OasisResult>(std::move(result));
+    }
+    return std::optional<OasisResult>();
+  }
+
+  bool done() const { return done_ && pending_.empty(); }
+  const OasisStats& stats() const { return stats_; }
+
+ private:
+  /// One iteration of Algorithm 1: pop the queue head; an accepted node
+  /// emits its alignments, a viable node expands its children.
+  util::Status Step() {
+    stats_.max_queue_size =
+        std::max<uint64_t>(stats_.max_queue_size, queue_.size());
+    QueueEntry top = queue_.top();
+    queue_.pop();
+    SearchNode node = std::move(arena_[top.node]);
+    ReleaseSlot(top.node);
+
+    if (node.status == NodeStatus::kAccepted) {
+      OASIS_RETURN_NOT_OK(Report(node));
+    } else {
+      OASIS_RETURN_NOT_OK(ExpandChildren(node));
+    }
+    if (options_.order_by_evalue && !done_) {
       OASIS_RETURN_NOT_OK(FlushCandidates());
     }
-    return stats_;
+    return util::Status::OK();
   }
 
   // --- E-value-ordered emission (paper §4.3 sketch) -------------------------
@@ -173,8 +209,8 @@ class SearchRun {
       }
       OasisResult result = candidates_.top();
       candidates_.pop();
-      OASIS_RETURN_NOT_OK(Emit(std::move(result)));
-      if (aborted_) break;
+      Emit(std::move(result));
+      if (done_) break;
     }
     return util::Status::OK();
   }
@@ -226,7 +262,6 @@ class SearchRun {
     return util::Status::OK();
   }
 
- private:
   // --- Arena / queue management -------------------------------------------
 
   void Push(SearchNode&& node) {
@@ -434,21 +469,22 @@ class SearchRun {
         result.evalue = SequenceEValue(result.score, seq_len);
         candidates_.push(std::move(result));
       } else {
-        OASIS_RETURN_NOT_OK(Emit(std::move(result)));
-        if (aborted_) return util::Status::OK();
+        Emit(std::move(result));
+        if (done_) return util::Status::OK();
       }
     }
     return util::Status::OK();
   }
 
-  util::Status Emit(OasisResult result) {
-    ++stats_.results_emitted;
+  /// Hands a proven result to the consumer (the pending buffer Next()
+  /// drains) and decides whether the search is complete.
+  void Emit(OasisResult result) {
+    ++num_produced_;
     if (!options_.all_alignments) ++num_reported_;
-    if (!callback_(result) ||
-        (options_.max_results != 0 &&
-         stats_.results_emitted >= options_.max_results)) {
-      aborted_ = true;
-      return util::Status::OK();
+    pending_.push_back(std::move(result));
+    if (options_.max_results != 0 && num_produced_ >= options_.max_results) {
+      done_ = true;
+      return;
     }
     // Paper §3.3: "in a multi-sequence tree, we would continue the search
     // in order to identify maximal alignments for all sequences" — once
@@ -457,9 +493,8 @@ class SearchRun {
     // E-value-ordered mode pending candidates must still drain first.)
     if (!options_.all_alignments && num_reported_ == reported_.size() &&
         candidates_.empty()) {
-      aborted_ = true;
+      done_ = true;
     }
-    return util::Status::OK();
   }
 
   util::Status Reconstruct(uint64_t leaf, const SearchNode& node,
@@ -483,9 +518,9 @@ class SearchRun {
   const suffix::PackedSuffixTree& tree_;
   suffix::TreeCursor cursor_;
   const score::SubstitutionMatrix& matrix_;
+  std::vector<seq::Symbol> query_storage_;  ///< owned; cursor outlives caller
   std::span<const seq::Symbol> query_;
-  const OasisOptions& options_;
-  const ResultCallback& callback_;
+  const OasisOptions options_;
   HeuristicVector h_;
 
   std::vector<SearchNode> arena_;
@@ -493,8 +528,12 @@ class SearchRun {
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, QueueLess> queue_;
   std::vector<bool> reported_;
   size_t num_reported_ = 0;
+  uint64_t num_produced_ = 0;  ///< results proven (pending_ + delivered)
   OasisStats stats_;
-  bool aborted_ = false;
+  bool done_ = false;
+
+  /// Results proven next-best but not yet pulled through Next().
+  std::deque<OasisResult> pending_;
 
   // E-value-ordered emission state.
   std::priority_queue<OasisResult, std::vector<OasisResult>, CandidateGreater>
@@ -511,7 +550,29 @@ class SearchRun {
   std::vector<ScoreT> profile_;  ///< query profile, sigma rows of n+1
 };
 
-}  // namespace
+}  // namespace internal
+
+// --- OasisCursor (pimpl over internal::SearchRun) ---------------------------
+
+OasisCursor::OasisCursor(std::unique_ptr<internal::SearchRun> run)
+    : run_(std::move(run)) {}
+OasisCursor::OasisCursor(OasisCursor&&) noexcept = default;
+OasisCursor& OasisCursor::operator=(OasisCursor&&) noexcept = default;
+OasisCursor::~OasisCursor() = default;
+
+util::StatusOr<std::optional<OasisResult>> OasisCursor::Next() {
+  OASIS_CHECK(run_ != nullptr) << "Next() on a moved-from cursor";
+  return run_->Next();
+}
+
+bool OasisCursor::done() const { return run_ == nullptr || run_->done(); }
+
+const OasisStats& OasisCursor::stats() const {
+  OASIS_CHECK(run_ != nullptr) << "stats() on a moved-from cursor";
+  return run_->stats();
+}
+
+// --- OasisSearch ------------------------------------------------------------
 
 OasisSearch::OasisSearch(const suffix::PackedSuffixTree* tree,
                          const score::SubstitutionMatrix* matrix)
@@ -521,9 +582,8 @@ OasisSearch::OasisSearch(const suffix::PackedSuffixTree* tree,
       << "matrix alphabet must match the indexed database";
 }
 
-util::StatusOr<OasisStats> OasisSearch::Search(
-    std::span<const seq::Symbol> query, const OasisOptions& options,
-    const ResultCallback& callback) const {
+util::StatusOr<OasisCursor> OasisSearch::Cursor(
+    std::span<const seq::Symbol> query, const OasisOptions& options) const {
   if (query.empty()) {
     return util::Status::InvalidArgument("query must be non-empty");
   }
@@ -535,8 +595,22 @@ util::StatusOr<OasisStats> OasisSearch::Search(
       return util::Status::InvalidArgument("query contains invalid residue code");
     }
   }
-  SearchRun run(*tree_, *matrix_, query, options, callback);
-  return run.Run();
+  auto run = std::make_unique<internal::SearchRun>(*tree_, *matrix_, query,
+                                                   options);
+  OASIS_RETURN_NOT_OK(run->Init());
+  return OasisCursor(std::move(run));
+}
+
+util::StatusOr<OasisStats> OasisSearch::Search(
+    std::span<const seq::Symbol> query, const OasisOptions& options,
+    const ResultCallback& callback) const {
+  OASIS_ASSIGN_OR_RETURN(OasisCursor cursor, Cursor(query, options));
+  while (true) {
+    OASIS_ASSIGN_OR_RETURN(std::optional<OasisResult> next, cursor.Next());
+    if (!next.has_value()) break;
+    if (!callback(*next)) break;  // consumer abort: stop pulling
+  }
+  return cursor.stats();
 }
 
 util::StatusOr<std::vector<OasisResult>> OasisSearch::SearchAll(

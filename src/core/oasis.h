@@ -29,6 +29,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -114,14 +115,64 @@ struct OasisStats {
 /// few matches" use case).
 using ResultCallback = std::function<bool(const OasisResult&)>;
 
-/// The OASIS search engine bound to one packed tree. Stateless across
-/// Search() calls; reuse one instance for a query workload.
+namespace internal {
+class SearchRun;
+}  // namespace internal
+
+/// A pull-based handle over one in-progress OASIS search: the A* loop of
+/// Algorithm 1 made resumable. Each Next() call advances the search just
+/// far enough to prove the next-best result and returns it; std::nullopt
+/// signals exhaustion. Dropping the cursor (or simply not calling Next()
+/// again) aborts the remaining search — the "scientist stops after the top
+/// few matches" use case, with the consumer setting the pace.
+///
+/// The emitted stream is identical to the callback API: OasisSearch::Search
+/// is implemented on top of this cursor, so the two can never diverge.
+/// A cursor owns a copy of the query and options; the tree and matrix it
+/// was created from must outlive it. Move-only, single-threaded.
+class OasisCursor {
+ public:
+  OasisCursor(OasisCursor&&) noexcept;
+  OasisCursor& operator=(OasisCursor&&) noexcept;
+  ~OasisCursor();
+
+  /// Advances to the next result. Returns std::nullopt when the search is
+  /// complete (every qualifying alignment has been emitted, or the
+  /// max_results cap was reached).
+  util::StatusOr<std::optional<OasisResult>> Next();
+
+  /// True once Next() has returned std::nullopt (or the search aborted).
+  bool done() const;
+
+  /// Statistics of the search so far; final once done().
+  const OasisStats& stats() const;
+
+ private:
+  friend class OasisSearch;
+  explicit OasisCursor(std::unique_ptr<internal::SearchRun> run);
+
+  std::unique_ptr<internal::SearchRun> run_;
+};
+
+/// The OASIS search engine bound to one packed tree.
+///
+/// Stateless and const across Search()/Cursor() calls: all per-query state
+/// lives in the SearchRun behind each cursor, and the tree and matrix are
+/// only read. One instance can therefore serve a whole query workload, and
+/// concurrent searches are safe *provided each thread reads through its own
+/// PackedSuffixTree + BufferPool* (the pool is the one non-thread-safe
+/// layer — see storage/buffer_pool.h; api::Engine::SearchBatch exploits
+/// exactly this by opening one tree replica per worker).
 class OasisSearch {
  public:
   /// `tree` must outlive the searcher. The matrix alphabet must match the
   /// tree's alphabet.
   OasisSearch(const suffix::PackedSuffixTree* tree,
               const score::SubstitutionMatrix* matrix);
+
+  /// Starts an incremental search and returns its pull cursor.
+  util::StatusOr<OasisCursor> Cursor(std::span<const seq::Symbol> query,
+                                     const OasisOptions& options) const;
 
   /// Runs the search, emitting results online through `callback` in
   /// non-increasing score order. Returns the statistics.

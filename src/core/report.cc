@@ -7,9 +7,13 @@ namespace core {
 
 std::string FormatResult(const OasisResult& result,
                          const seq::SequenceDatabase& db, double evalue) {
+  return FormatResult(result, db.sequence(result.sequence_id).id(), evalue);
+}
+
+std::string FormatResult(const OasisResult& result,
+                         std::string_view sequence_name, double evalue) {
   std::ostringstream out;
-  const seq::Sequence& target = db.sequence(result.sequence_id);
-  out << target.id() << " score=" << result.score;
+  out << sequence_name << " score=" << result.score;
   if (evalue >= 0.0) out << " E=" << evalue;
   out << " query_end=" << result.query_end
       << " target_end=" << result.target_end;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/oasis.h"
@@ -16,6 +17,11 @@ namespace core {
 /// `evalue` < 0 suppresses the E-value field.
 std::string FormatResult(const OasisResult& result,
                          const seq::SequenceDatabase& db, double evalue = -1.0);
+
+/// FormatResult with an explicit sequence label — for callers that label
+/// results from an index-resident catalog instead of a loaded database.
+std::string FormatResult(const OasisResult& result,
+                         std::string_view sequence_name, double evalue = -1.0);
 
 /// Multi-line rendering including the pretty alignment when present.
 std::string FormatResultVerbose(const OasisResult& result,

@@ -22,6 +22,10 @@ util::StatusOr<std::vector<Sequence>> ReadFasta(std::istream& in,
   size_t line_no = 0;
 
   auto flush = [&]() -> util::Status {
+    if (residues.empty()) {
+      return util::Status::InvalidArgument(
+          "record '" + id + "': empty sequence (no residue lines)");
+    }
     auto encoded = alphabet.Encode(residues);
     if (!encoded.ok()) {
       return util::Status::InvalidArgument("record '" + id + "': " +

@@ -1,9 +1,10 @@
 // FASTA reading and writing.
 //
 // The parser is deliberately strict about structure (a record must start
-// with '>') but tolerant about formatting: blank lines, Windows line
-// endings and lowercase residues are accepted. Characters outside the
-// alphabet fail the parse with a line-numbered error.
+// with '>', and a record with no residues is an error, not a silent skip)
+// but tolerant about formatting: blank lines, Windows (CRLF) line endings
+// and lowercase residues are accepted. Characters outside the alphabet
+// fail the parse with a line-numbered error.
 
 #pragma once
 

@@ -60,6 +60,12 @@ util::StatusOr<Meta> ReadMeta(const std::string& path) {
 }
 }  // namespace
 
+util::StatusOr<uint32_t> PeekIndexBlockSize(const std::string& dir) {
+  OASIS_ASSIGN_OR_RETURN(Meta meta,
+                         ReadMeta(dir + "/" + PackedTreeFiles::kMeta));
+  return meta.block_size;
+}
+
 util::StatusOr<std::unique_ptr<PackedSuffixTree>> PackedSuffixTree::Open(
     const std::string& dir, storage::BufferPool* pool) {
   OASIS_CHECK(pool != nullptr);

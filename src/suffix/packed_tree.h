@@ -74,6 +74,10 @@ struct PackedTreeFiles {
   static constexpr const char* kMeta = "tree.meta";
 };
 
+/// Reads just the block size recorded in `dir`'s metadata, so callers can
+/// size a BufferPool to match before Open (which rejects mismatched pools).
+util::StatusOr<uint32_t> PeekIndexBlockSize(const std::string& dir);
+
 /// Read-only handle over the three packed files. All block reads go through
 /// the BufferPool supplied at open time; the pool's per-segment statistics
 /// therefore directly reproduce the paper's Figure 8 measurements.

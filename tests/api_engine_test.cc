@@ -1,0 +1,408 @@
+// Tests for the oasis::Engine facade: index lifecycle, the pull-based
+// ResultCursor (vs the legacy callback stream), batched concurrent queries,
+// the BLAST adapter and the persisted sequence catalog.
+
+#include "api/engine.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "blast/blast.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+using testing::Encode;
+using testing::MakeDatabase;
+
+// Field-by-field equality of two results, including the reconstructed
+// alignment when present.
+void ExpectResultEq(const core::OasisResult& a, const core::OasisResult& b,
+                    size_t index) {
+  SCOPED_TRACE("result #" + std::to_string(index));
+  EXPECT_EQ(a.sequence_id, b.sequence_id);
+  EXPECT_EQ(a.score, b.score);
+  EXPECT_DOUBLE_EQ(a.evalue, b.evalue);
+  EXPECT_EQ(a.db_end_pos, b.db_end_pos);
+  EXPECT_EQ(a.target_end, b.target_end);
+  EXPECT_EQ(a.query_end, b.query_end);
+  ASSERT_EQ(a.alignment.has_value(), b.alignment.has_value());
+  if (a.alignment.has_value()) {
+    EXPECT_EQ(a.alignment->score, b.alignment->score);
+    EXPECT_EQ(a.alignment->query_start, b.alignment->query_start);
+    EXPECT_EQ(a.alignment->query_end, b.alignment->query_end);
+    EXPECT_EQ(a.alignment->target_start, b.alignment->target_start);
+    EXPECT_EQ(a.alignment->target_end, b.alignment->target_end);
+    EXPECT_EQ(a.alignment->ops, b.alignment->ops);
+  }
+}
+
+void ExpectStreamsEq(const std::vector<core::OasisResult>& a,
+                     const std::vector<core::OasisResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ExpectResultEq(a[i], b[i], i);
+}
+
+// Drains a cursor into a vector, asserting OK at each pull.
+std::vector<core::OasisResult> Drain(ResultCursor& cursor) {
+  std::vector<core::OasisResult> out;
+  while (true) {
+    auto next = cursor.Next();
+    EXPECT_TRUE(next.ok()) << next.status().ToString();
+    if (!next.ok() || !next->has_value()) break;
+    out.push_back(std::move(**next));
+  }
+  return out;
+}
+
+// A small deterministic protein database + engine in a temp index dir.
+struct EngineFixture {
+  util::TempDir dir;
+  std::unique_ptr<Engine> engine;
+
+  explicit EngineFixture(uint64_t residues = 20000,
+                         EngineOptions options = EngineOptions())
+      : dir("api") {
+    workload::ProteinDatabaseOptions db_options;
+    db_options.target_residues = residues;
+    db_options.seed = 7;
+    auto db = workload::GenerateProteinDatabase(db_options);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    auto built =
+        Engine::BuildFromDatabase(std::move(db).value(), dir.path(), options);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    engine = std::move(built).value();
+  }
+};
+
+std::vector<SearchRequest> MotifRequests(const Engine& engine, uint32_t count,
+                                         double evalue) {
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries = count;
+  q_options.seed = 11;
+  auto db = const_cast<Engine&>(engine).ResidentDatabase();
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  auto queries =
+      workload::GenerateMotifQueries(**db, engine.matrix(), q_options);
+  EXPECT_TRUE(queries.ok()) << queries.status().ToString();
+  std::vector<SearchRequest> requests;
+  for (auto& q : *queries) {
+    requests.push_back(SearchRequest(std::move(q.symbols)).EValue(evalue));
+  }
+  return requests;
+}
+
+// --- Cursor vs callback equivalence ----------------------------------------
+
+TEST(ResultCursor, MatchesCallbackStream) {
+  EngineFixture fx;
+  for (SearchRequest base : MotifRequests(*fx.engine, 6, 1000.0)) {
+    for (bool alignments : {false, true}) {
+      for (bool evalue_order : {false, true}) {
+        SCOPED_TRACE("alignments=" + std::to_string(alignments) +
+                     " evalue_order=" + std::to_string(evalue_order));
+        SearchRequest request = base;
+        request.WithAlignments(alignments).OrderByEValue(evalue_order);
+
+        // Legacy push path: core::OasisSearch::Search with a callback.
+        auto options = fx.engine->ResolveOptions(request);
+        ASSERT_TRUE(options.ok()) << options.status().ToString();
+        core::OasisSearch search(&fx.engine->tree(), &fx.engine->matrix());
+        std::vector<core::OasisResult> pushed;
+        auto stats = search.Search(request.query(), *options,
+                                   [&](const core::OasisResult& r) {
+                                     pushed.push_back(r);
+                                     return true;
+                                   });
+        ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+        // Pull path through the facade.
+        auto cursor = fx.engine->Search(request);
+        ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+        std::vector<core::OasisResult> pulled = Drain(*cursor);
+
+        ExpectStreamsEq(pulled, pushed);
+        EXPECT_EQ(cursor->stats().results_emitted, stats->results_emitted);
+        EXPECT_EQ(cursor->stats().nodes_expanded, stats->nodes_expanded);
+        EXPECT_EQ(cursor->stats().columns_expanded, stats->columns_expanded);
+      }
+    }
+  }
+}
+
+TEST(ResultCursor, StreamIsScoreOrdered) {
+  EngineFixture fx;
+  for (SearchRequest& request : MotifRequests(*fx.engine, 4, 1000.0)) {
+    auto cursor = fx.engine->Search(request);
+    ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+    std::vector<core::OasisResult> results = Drain(*cursor);
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_LE(results[i].score, results[i - 1].score)
+          << "online ordering violated at result " << i;
+    }
+    EXPECT_TRUE(cursor->done());
+  }
+}
+
+// --- Early termination ------------------------------------------------------
+
+TEST(ResultCursor, EarlyCloseMatchesTopK) {
+  EngineFixture fx;
+  for (SearchRequest& base : MotifRequests(*fx.engine, 4, 5000.0)) {
+    // Reference: how many results exist in total?
+    auto full = fx.engine->SearchAll(base);
+    ASSERT_TRUE(full.ok()) << full.status().ToString();
+    if (full->results.size() < 3) continue;
+    const uint64_t k = full->results.size() / 2 + 1;
+
+    // TopK(k) through the request.
+    SearchRequest topk = base;
+    topk.TopK(k);
+    auto capped = fx.engine->SearchAll(topk);
+    ASSERT_TRUE(capped.ok()) << capped.status().ToString();
+
+    // Pull k results, then Close().
+    auto cursor = fx.engine->Search(base);
+    ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+    std::vector<core::OasisResult> closed;
+    for (uint64_t i = 0; i < k; ++i) {
+      auto next = cursor->Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      ASSERT_TRUE(next->has_value());
+      closed.push_back(std::move(**next));
+    }
+    cursor->Close();
+    auto after_close = cursor->Next();
+    ASSERT_TRUE(after_close.ok());
+    EXPECT_FALSE(after_close->has_value());
+    EXPECT_TRUE(cursor->done());
+
+    ExpectStreamsEq(closed, capped->results);
+  }
+}
+
+TEST(ResultCursor, LazyAdvance) {
+  // Pulling one result must not run the search to completion: the cursor
+  // advances only far enough to prove the head of the stream.
+  EngineFixture fx;
+  SearchRequest request = MotifRequests(*fx.engine, 1, 5000.0)[0];
+  auto full = fx.engine->SearchAll(request);
+  ASSERT_TRUE(full.ok());
+  if (full->results.size() < 2) GTEST_SKIP() << "workload too selective";
+
+  auto cursor = fx.engine->Search(request);
+  ASSERT_TRUE(cursor.ok());
+  auto first = cursor->Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  EXPECT_LT(cursor->stats().nodes_expanded, full->stats.nodes_expanded)
+      << "first Next() should not exhaust the search";
+}
+
+// --- Batched concurrent queries ---------------------------------------------
+
+TEST(SearchBatch, FourThreadsMatchSequential) {
+  EngineFixture fx(40000);
+  std::vector<SearchRequest> requests = MotifRequests(*fx.engine, 8, 1000.0);
+  // Mix in per-request option diversity.
+  requests[1].WithAlignments();
+  requests[2].TopK(3);
+  requests[3].OrderByEValue();
+
+  BatchOptions batch;
+  batch.threads = 4;
+  auto parallel = fx.engine->SearchBatch(requests, batch);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_EQ(parallel->size(), requests.size());
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SCOPED_TRACE("request #" + std::to_string(i));
+    auto sequential = fx.engine->SearchAll(requests[i]);
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+    ExpectStreamsEq((*parallel)[i].results, sequential->results);
+    EXPECT_EQ((*parallel)[i].stats.results_emitted,
+              sequential->stats.results_emitted);
+  }
+}
+
+TEST(SearchBatch, MoreThreadsThanRequests) {
+  EngineFixture fx;
+  std::vector<SearchRequest> requests = MotifRequests(*fx.engine, 2, 1000.0);
+  BatchOptions batch;
+  batch.threads = 8;
+  auto out = fx.engine->SearchBatch(requests, batch);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->size(), 2u);
+}
+
+TEST(SearchBatch, EmptyBatch) {
+  EngineFixture fx;
+  auto out = fx.engine->SearchBatch(std::span<const SearchRequest>{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+// --- Engine lifecycle -------------------------------------------------------
+
+TEST(Engine, OpenFromDiskMatchesBuild) {
+  const seq::Alphabet& alphabet = seq::Alphabet::Dna();
+  seq::SequenceDatabase db = MakeDatabase(
+      alphabet, {"AGTACGCCTAG", "TACGTACGTACG", "GGGGCCCCGGGG"});
+  util::TempDir dir("engine-open");
+  EngineOptions options;
+  options.matrix = &score::SubstitutionMatrix::UnitDna();
+
+  auto built = Engine::BuildFromDatabase(std::move(db), dir.path(), options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto opened = Engine::Open(dir.path(), options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+
+  EXPECT_EQ((*opened)->num_sequences(), 3u);
+  EXPECT_EQ((*opened)->alphabet().kind(), seq::AlphabetKind::kDna);
+  EXPECT_EQ((*opened)->catalog().name(1), "s1");
+
+  auto request = SearchRequest::FromText(alphabet, "tacg");  // lowercase OK
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  request->MinScore(2).WithAlignments();
+
+  auto from_build = (*built)->SearchAll(*request);
+  auto from_open = (*opened)->SearchAll(*request);
+  ASSERT_TRUE(from_build.ok()) << from_build.status().ToString();
+  ASSERT_TRUE(from_open.ok()) << from_open.status().ToString();
+  EXPECT_FALSE(from_build->results.empty());
+  ExpectStreamsEq(from_open->results, from_build->results);
+}
+
+TEST(Engine, BuildFromFastaFile) {
+  util::TempDir dir("engine-fasta");
+  const std::string fasta = dir.File("db.fasta");
+  {
+    std::ofstream out(fasta);
+    out << ">chr1 toy scaffold\r\nAGTACGCCTAG\r\n>chr2\r\ntacgtacgtacg\r\n";
+  }
+  EngineOptions options;
+  options.alphabet = seq::AlphabetKind::kDna;
+  const std::string index_dir = dir.File("index");
+  auto engine = Engine::Build(fasta, index_dir, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->num_sequences(), 2u);
+  EXPECT_EQ((*engine)->catalog().name(0), "chr1");
+  EXPECT_EQ((*engine)->catalog().entry(0).description, "toy scaffold");
+  EXPECT_EQ((*engine)->catalog().entry(1).length, 12u);
+
+  // The catalog travels with the index: reopen without the FASTA.
+  auto reopened = Engine::Open(index_dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->catalog().name(1), "chr2");
+}
+
+TEST(Engine, ResidentDatabaseMaterializesFromIndex) {
+  EngineFixture fx(5000);
+  const seq::SequenceDatabase* original = fx.engine->database();
+  ASSERT_NE(original, nullptr);
+
+  auto opened = Engine::Open(fx.dir.path());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ((*opened)->database(), nullptr) << "must be lazy";
+  auto materialized = (*opened)->ResidentDatabase();
+  ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+
+  ASSERT_EQ((*materialized)->num_sequences(), original->num_sequences());
+  for (size_t i = 0; i < original->num_sequences(); ++i) {
+    const auto id = static_cast<seq::SequenceId>(i);
+    EXPECT_EQ((*materialized)->sequence(id).id(), original->sequence(id).id());
+    EXPECT_EQ((*materialized)->sequence(id).symbols(),
+              original->sequence(id).symbols());
+  }
+}
+
+TEST(Engine, OpenMissingDirectoryFails) {
+  auto engine = Engine::Open("/nonexistent/index-dir");
+  EXPECT_FALSE(engine.ok());
+}
+
+TEST(Engine, RejectsInvalidQuery) {
+  EngineFixture fx(2000);
+  auto empty = fx.engine->Search(SearchRequest(std::vector<seq::Symbol>{}));
+  EXPECT_FALSE(empty.ok());
+  auto bad_code = fx.engine->Search(
+      SearchRequest(std::vector<seq::Symbol>{9999}).MinScore(5));
+  EXPECT_FALSE(bad_code.ok());
+}
+
+// --- BLAST adapter ----------------------------------------------------------
+
+TEST(Engine, BlastAdapterMatchesDirectBlast) {
+  EngineFixture fx(30000);
+  SearchRequest request = MotifRequests(*fx.engine, 1, 100.0)[0];
+
+  auto cursor = fx.engine->BlastSearch(request);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  std::vector<core::OasisResult> adapted = Drain(*cursor);
+
+  blast::BlastOptions blast_options;
+  blast_options.evalue_cutoff = request.evalue();
+  auto prepared = blast::BlastQuery::Prepare(request.query(),
+                                             fx.engine->matrix(), blast_options);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto db = fx.engine->ResidentDatabase();
+  ASSERT_TRUE(db.ok());
+  auto hits = blast::Search(*prepared, **db, fx.engine->matrix(),
+                            fx.engine->karlin());
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+
+  ASSERT_EQ(adapted.size(), hits->size());
+  for (size_t i = 0; i < adapted.size(); ++i) {
+    EXPECT_EQ(adapted[i].sequence_id, (*hits)[i].sequence_id);
+    EXPECT_EQ(adapted[i].score, (*hits)[i].score);
+    EXPECT_DOUBLE_EQ(adapted[i].evalue, (*hits)[i].evalue);
+    EXPECT_EQ(adapted[i].target_end, (*hits)[i].target_end);
+  }
+}
+
+TEST(Engine, BlastAdapterHonorsTopK) {
+  EngineFixture fx(30000);
+  SearchRequest request = MotifRequests(*fx.engine, 1, 1000.0)[0];
+  auto full = fx.engine->BlastSearch(request);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  size_t total = Drain(*full).size();
+  if (total < 2) GTEST_SKIP() << "not enough BLAST hits";
+
+  request.TopK(total - 1);
+  auto capped = fx.engine->BlastSearch(request);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(Drain(*capped).size(), total - 1);
+}
+
+// --- Catalog ----------------------------------------------------------------
+
+TEST(SequenceCatalog, SaveLoadRoundTrip) {
+  util::TempDir dir("catalog");
+  api::SequenceCatalog catalog(std::vector<api::CatalogEntry>{
+      {"sp|P1", "first protein, with commas", 120},
+      {"sp|P2", "", 44},
+  });
+  OASIS_ASSERT_OK(catalog.Save(dir.path()));
+  auto loaded = api::SequenceCatalog::Load(dir.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->entry(0).id, "sp|P1");
+  EXPECT_EQ(loaded->entry(0).description, "first protein, with commas");
+  EXPECT_EQ(loaded->entry(0).length, 120u);
+  EXPECT_EQ(loaded->entry(1).id, "sp|P2");
+  EXPECT_EQ(loaded->entry(1).description, "");
+  EXPECT_EQ(loaded->name(5), "s5") << "past-the-end labels are synthesized";
+}
+
+TEST(SequenceCatalog, LoadMissingIsNotFound) {
+  util::TempDir dir("catalog-missing");
+  auto loaded = api::SequenceCatalog::Load(dir.path());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace oasis

@@ -61,6 +61,26 @@ void CheckEquivalence(const seq::SequenceDatabase& db,
   }
   // (c) Exactly the S-W hit set.
   EXPECT_EQ(reported, expected);
+
+  // (d) The pull-based cursor replays a byte-identical stream in identical
+  // order to the callback path, across every corpus of the sweep.
+  core::OasisSearch search(&tree, &matrix);
+  auto cursor = search.Cursor(query, options);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  size_t pulled = 0;
+  while (true) {
+    auto next = cursor->Next();
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    if (!next->has_value()) break;
+    ASSERT_LT(pulled, results.size()) << "cursor emitted extra results";
+    EXPECT_EQ((*next)->sequence_id, results[pulled].sequence_id);
+    EXPECT_EQ((*next)->score, results[pulled].score);
+    EXPECT_EQ((*next)->db_end_pos, results[pulled].db_end_pos);
+    EXPECT_EQ((*next)->target_end, results[pulled].target_end);
+    EXPECT_EQ((*next)->query_end, results[pulled].query_end);
+    ++pulled;
+  }
+  EXPECT_EQ(pulled, results.size());
 }
 
 struct EquivalenceCase {

@@ -72,6 +72,48 @@ TEST_F(OasisPaperExample, TopResultIsScore4) {
   EXPECT_EQ(results[0].alignment->target_start, 2u);
 }
 
+// The pull cursor on the paper's worked example emits the identical stream
+// (field by field, alignments included) to the callback path.
+TEST_F(OasisPaperExample, CursorMatchesCallbackOnPaperExample) {
+  core::OasisOptions options;
+  options.min_score = 1;
+  options.reconstruct_alignments = true;
+  options.all_alignments = true;  // every accepted location, not just best
+  core::OasisSearch search(&*fixture_.tree,
+                           &score::SubstitutionMatrix::UnitDna());
+
+  std::vector<core::OasisResult> pushed;
+  auto stats = search.Search(query_, options, [&](const core::OasisResult& r) {
+    pushed.push_back(r);
+    return true;
+  });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_FALSE(pushed.empty());
+
+  auto cursor = search.Cursor(query_, options);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  size_t i = 0;
+  while (true) {
+    auto next = cursor->Next();
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    if (!next->has_value()) break;
+    ASSERT_LT(i, pushed.size());
+    EXPECT_EQ((*next)->sequence_id, pushed[i].sequence_id);
+    EXPECT_EQ((*next)->score, pushed[i].score);
+    EXPECT_EQ((*next)->db_end_pos, pushed[i].db_end_pos);
+    EXPECT_EQ((*next)->target_end, pushed[i].target_end);
+    EXPECT_EQ((*next)->query_end, pushed[i].query_end);
+    ASSERT_EQ((*next)->alignment.has_value(), pushed[i].alignment.has_value());
+    if ((*next)->alignment.has_value()) {
+      EXPECT_EQ((*next)->alignment->ops, pushed[i].alignment->ops);
+      EXPECT_EQ((*next)->alignment->Cigar(), pushed[i].alignment->Cigar());
+    }
+    ++i;
+  }
+  EXPECT_EQ(i, pushed.size());
+  EXPECT_EQ(cursor->stats().results_emitted, stats->results_emitted);
+}
+
 // The search must terminate having found the alignment without touching
 // most of the tree: the paper's example accepts 3N early and expands only
 // a handful of nodes.

@@ -78,6 +78,43 @@ TEST(Fasta, WindowsLineEndings) {
   EXPECT_EQ((*records)[0].ToString(seq::Alphabet::Dna()), "ACGT");
 }
 
+TEST(Fasta, LowercaseResidues) {
+  std::istringstream in(">a\nacgt\n>b mixed CASE\nAcGtaC\n");
+  auto records = seq::ReadFasta(in, seq::Alphabet::Dna());
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].ToString(seq::Alphabet::Dna()), "ACGT");
+  EXPECT_EQ((*records)[1].ToString(seq::Alphabet::Dna()), "ACGTAC");
+}
+
+TEST(Fasta, CrlfAndLowercaseTogether) {
+  std::istringstream in(">a desc here\r\nacGT\r\n\r\n>b\r\ntttt\r\n");
+  auto records = seq::ReadFasta(in, seq::Alphabet::Dna());
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].description(), "desc here");
+  EXPECT_EQ((*records)[0].ToString(seq::Alphabet::Dna()), "ACGT");
+  EXPECT_EQ((*records)[1].ToString(seq::Alphabet::Dna()), "TTTT");
+}
+
+TEST(Fasta, EmptySequenceIsError) {
+  // A header followed immediately by another header (or EOF) is a record
+  // with no residues: a clear error, not a silent skip.
+  {
+    std::istringstream in(">empty\n>b\nACGT\n");
+    auto result = seq::ReadFasta(in, seq::Alphabet::Dna());
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsInvalidArgument());
+    EXPECT_NE(result.status().message().find("empty"), std::string::npos);
+  }
+  {
+    std::istringstream in(">a\nACGT\n>trailing\n");
+    auto result = seq::ReadFasta(in, seq::Alphabet::Dna());
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("trailing"), std::string::npos);
+  }
+}
+
 TEST(Fasta, RejectsDataBeforeHeader) {
   std::istringstream in("ACGT\n>a\nACGT\n");
   EXPECT_FALSE(seq::ReadFasta(in, seq::Alphabet::Dna()).ok());
