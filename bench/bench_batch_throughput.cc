@@ -1,8 +1,10 @@
 // Batched concurrent queries (extension beyond the paper, toward the
 // production north star): wall-clock throughput of Engine::SearchBatch as
-// the worker count grows. Every worker searches through its own packed-tree
-// replica + private buffer pool, so queries share nothing mutable; the
-// speedup ceiling is the machine's core count and the page cache.
+// the worker count grows. Every worker searches the engine's one shared
+// packed tree through the one sharded buffer pool, so cache warmth is
+// shared across the whole batch; the speedup ceiling is the machine's core
+// count and per-shard lock contention (see bench_shared_pool for the
+// shared-vs-replica comparison).
 //
 // Scaling knobs: the usual bench_common environment variables, plus
 //   OASIS_BATCH_THREADS  max worker count to sweep to   (default 8)

@@ -37,10 +37,10 @@ int Run() {
       OASIS_CHECK(results.ok());
     }
 
-    const storage::SegmentStats& sym = pool.stats((*tree)->symbols_segment());
-    const storage::SegmentStats& internal =
+    const storage::SegmentStats sym = pool.stats((*tree)->symbols_segment());
+    const storage::SegmentStats internal =
         pool.stats((*tree)->internal_segment());
-    const storage::SegmentStats& leaves = pool.stats((*tree)->leaves_segment());
+    const storage::SegmentStats leaves = pool.stats((*tree)->leaves_segment());
     std::printf("%-16.2f %12.3f %12.3f %12.3f %12.3f\n",
                 static_cast<double>(pool.capacity_bytes()) / (1 << 20),
                 sym.hit_ratio(), internal.hit_ratio(), leaves.hit_ratio(),

@@ -1,0 +1,172 @@
+// Shared sharded buffer pool vs the old replica-per-thread design.
+//
+// Before the concurrent pool, every SearchBatch worker opened its own
+// PackedSuffixTree replica over a private CLOCK pool: with T threads the
+// total pool budget was split T ways and no worker saw another's cache
+// warmth, so the Figure 7/8 hit-ratio story collapsed as T grew. This
+// bench runs the same query workload both ways at EQUAL TOTAL POOL BYTES
+// and reports wall-clock throughput plus the aggregate hit ratio.
+//
+// Expected shape: the shared pool's aggregate hit ratio stays at (or
+// above) the single-thread baseline at every thread count, while the
+// replica design's ratio decays as each private pool shrinks. Wall-clock
+// speedup additionally needs real cores.
+//
+// Scaling knobs: the usual bench_common environment variables, plus
+//   OASIS_BATCH_THREADS  max worker count to sweep to   (default 8)
+//   OASIS_POOL_MB        total pool budget in MiB       (default 64;
+//                        pick ~index/4 to make eviction visible)
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "suffix/packed_tree.h"
+
+namespace oasis {
+namespace bench {
+namespace {
+
+struct ModeOutcome {
+  double seconds = 0;
+  storage::SegmentStats stats;  ///< aggregated over every pool involved
+  uint64_t results = 0;
+};
+
+/// Runs the workload with `threads` workers, each over its own tree
+/// replica + private pool of total_bytes/threads (the pre-refactor design).
+ModeOutcome RunReplicaMode(const BenchEnv& env,
+                           const std::vector<core::OasisOptions>& resolved,
+                           uint32_t threads, uint64_t total_bytes) {
+  ModeOutcome outcome;
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> results{0};
+  std::mutex stats_mutex;
+  util::Timer timer;
+  std::vector<std::thread> workers;
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&]() {
+      storage::BufferPool pool(std::max<uint64_t>(1, total_bytes / threads));
+      auto tree = suffix::PackedSuffixTree::Open(env.dir->path(), &pool);
+      OASIS_CHECK(tree.ok()) << tree.status().ToString();
+      core::OasisSearch search(tree->get(), env.matrix);
+      while (true) {
+        const size_t i = next.fetch_add(1);
+        if (i >= env.queries.size()) break;
+        auto out = search.SearchAll(env.queries[i].symbols, resolved[i]);
+        OASIS_CHECK(out.ok()) << out.status().ToString();
+        results.fetch_add(out->size());
+      }
+      const storage::SegmentStats local = pool.TotalStats();
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      outcome.stats.requests += local.requests;
+      outcome.stats.hits += local.hits;
+    });
+  }
+  for (auto& w : workers) w.join();
+  outcome.seconds = timer.ElapsedSeconds();
+  outcome.results = results.load();
+  return outcome;
+}
+
+/// Runs the workload with `threads` workers over ONE shared tree + pool of
+/// the full budget (the refactored design).
+ModeOutcome RunSharedMode(const BenchEnv& env,
+                          const std::vector<core::OasisOptions>& resolved,
+                          uint32_t threads, uint64_t total_bytes) {
+  ModeOutcome outcome;
+  storage::BufferPool pool(total_bytes);
+  auto tree = suffix::PackedSuffixTree::Open(env.dir->path(), &pool);
+  OASIS_CHECK(tree.ok()) << tree.status().ToString();
+  core::OasisSearch search(tree->get(), env.matrix);
+
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> results{0};
+  util::Timer timer;
+  std::vector<std::thread> workers;
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&]() {
+      while (true) {
+        const size_t i = next.fetch_add(1);
+        if (i >= env.queries.size()) break;
+        auto out = search.SearchAll(env.queries[i].symbols, resolved[i]);
+        OASIS_CHECK(out.ok()) << out.status().ToString();
+        results.fetch_add(out->size());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  outcome.seconds = timer.ElapsedSeconds();
+  outcome.stats = pool.TotalStats();
+  outcome.results = results.load();
+  return outcome;
+}
+
+int Run() {
+  BenchEnv env = MakeProteinEnv();
+  PrintHeader("Shared sharded pool vs replica-per-thread, equal total bytes",
+              env);
+
+  // A budget of a quarter of the index keeps eviction in play; callers can
+  // override with OASIS_POOL_MB.
+  const uint64_t default_bytes = std::max<uint64_t>(
+      storage::kDefaultBlockSize, env.tree->index_bytes() / 4);
+  const int64_t pool_mb = util::EnvInt64("OASIS_POOL_MB", 0);
+  const uint64_t total_bytes =
+      pool_mb > 0 ? static_cast<uint64_t>(pool_mb) << 20 : default_bytes;
+  std::printf("index: %.2f MiB, total pool budget: %.2f MiB\n\n",
+              static_cast<double>(env.tree->index_bytes()) / (1 << 20),
+              static_cast<double>(total_bytes) / (1 << 20));
+
+  // Resolve once (E=1000, same as the batch-throughput bench).
+  std::vector<core::OasisOptions> resolved(env.queries.size());
+  for (size_t i = 0; i < env.queries.size(); ++i) {
+    resolved[i].min_score = score::MinScoreForEValue(
+        env.karlin, 1000.0, env.queries[i].symbols.size(), env.db_residues());
+  }
+
+  const uint32_t max_threads =
+      static_cast<uint32_t>(util::EnvInt64("OASIS_BATCH_THREADS", 8));
+  std::printf("%-8s | %12s %10s %9s | %12s %10s %9s\n", "threads",
+              "replica(s)", "qps", "hit", "shared(s)", "qps", "hit");
+
+  double baseline_hit = -1.0;
+  bool hit_ok = true;
+  uint64_t reference_results = 0;
+  for (uint32_t threads = 1; threads <= max_threads; threads *= 2) {
+    ModeOutcome replica = RunReplicaMode(env, resolved, threads, total_bytes);
+    ModeOutcome shared = RunSharedMode(env, resolved, threads, total_bytes);
+    OASIS_CHECK_EQ(replica.results, shared.results)
+        << "modes must find identical result sets";
+    if (threads == 1) {
+      baseline_hit = shared.stats.hit_ratio();
+      reference_results = shared.results;
+    }
+    OASIS_CHECK_EQ(shared.results, reference_results)
+        << "thread count must not change the result set";
+    // The shared pool must hold the single-thread hit ratio at every
+    // thread count (tiny slack absorbs interleaving-order noise).
+    if (shared.stats.hit_ratio() + 0.01 < baseline_hit) hit_ok = false;
+
+    const double n = static_cast<double>(env.queries.size());
+    std::printf("%-8u | %12.4f %10.1f %9.3f | %12.4f %10.1f %9.3f\n", threads,
+                replica.seconds, n / replica.seconds,
+                replica.stats.hit_ratio(), shared.seconds, n / shared.seconds,
+                shared.stats.hit_ratio());
+  }
+
+  std::printf("\nshape check: shared hit ratio stays >= the single-thread "
+              "baseline (%.3f) at every thread count: %s\n", baseline_hit,
+              hit_ok ? "PASS" : "FAIL");
+  std::printf("replica hit ratio decays as the per-worker pool shrinks; "
+              "shared wall-clock speedup additionally needs real cores\n");
+  return hit_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oasis
+
+int main() { return oasis::bench::Run(); }

@@ -3,15 +3,19 @@
 //   oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]
 //   oasis_cli search <index_dir> <QUERYRESIDUES>
 //              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
-//              [--alignments] [--by-evalue]
+//              [--alignments] [--by-evalue] [--stats]
 //   oasis_cli batch  <index_dir> <queries.fasta> [--threads N]
 //              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
+//              [--stats]
 //
 // `index` builds the packed suffix tree AND the sequence catalog from a
 // FASTA file; `search` and `batch` need only the index directory — result
 // labels come from the catalog, so the database FASTA is never reloaded.
 // `batch` reads one query per FASTA record and fans them across a thread
-// pool via Engine::SearchBatch.
+// pool via Engine::SearchBatch; all workers share the engine's one sharded
+// buffer pool, sized by --pool-mb. `--stats` prints the per-segment
+// buffer-pool requests / hits / hit ratios after the search — the same
+// numbers Figure 8 of the paper plots.
 
 #include <algorithm>
 #include <cstdio>
@@ -34,9 +38,10 @@ int Usage() {
       "  oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]\n"
       "  oasis_cli search <index_dir> <QUERY>\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
-      "             [--alignments] [--by-evalue]\n"
+      "             [--alignments] [--by-evalue] [--stats]\n"
       "  oasis_cli batch  <index_dir> <queries.fasta> [--threads N]\n"
-      "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n");
+      "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
+      "             [--stats]\n");
   return 2;
 }
 
@@ -50,6 +55,7 @@ struct Args {
   uint32_t threads = 4;
   bool alignments = false;
   bool by_evalue = false;
+  bool stats = false;
 };
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -100,6 +106,8 @@ bool Parse(int argc, char** argv, Args* args) {
       args->alignments = true;
     } else if (flag == "--by-evalue") {
       args->by_evalue = true;
+    } else if (flag == "--stats") {
+      args->stats = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return false;
@@ -111,6 +119,31 @@ bool Parse(int argc, char** argv, Args* args) {
 int Fail(const util::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Per-segment buffer-pool requests / hits / hit ratio — the Figure 8
+/// numbers, straight from the CLI.
+void PrintPoolStats(const Engine& engine) {
+  const storage::BufferPool& pool = engine.pool();
+  std::printf("\nbuffer pool: %u frames x %u B in %u shard%s\n",
+              pool.num_frames(), pool.block_size(), pool.num_shards(),
+              pool.num_shards() == 1 ? "" : "s");
+  std::printf("%-10s %12s %12s %10s\n", "segment", "requests", "hits",
+              "hit ratio");
+  for (storage::SegmentId seg = 0;
+       seg < static_cast<storage::SegmentId>(pool.num_segments()); ++seg) {
+    const storage::SegmentStats stats = pool.stats(seg);
+    std::printf("%-10s %12llu %12llu %10.3f\n",
+                pool.segment_name(seg).c_str(),
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.hits),
+                stats.hit_ratio());
+  }
+  const storage::SegmentStats total = pool.TotalStats();
+  std::printf("%-10s %12llu %12llu %10.3f\n", "total",
+              static_cast<unsigned long long>(total.requests),
+              static_cast<unsigned long long>(total.hits),
+              total.hit_ratio());
 }
 
 /// Translates the shared selectivity/reporting flags onto a request.
@@ -164,6 +197,10 @@ int RunSearch(const Args& args) {
     db = *resident;
   }
 
+  // Database materialization above reads through the pool too; reset so
+  // --stats reports the search traffic alone.
+  if (args.stats) (*engine)->pool().ResetStats();
+
   auto cursor = (*engine)->Search(*request);
   if (!cursor.ok()) return Fail(cursor.status());
 
@@ -192,6 +229,7 @@ int RunSearch(const Args& args) {
               static_cast<unsigned long long>(count), timer.ElapsedSeconds(),
               static_cast<unsigned long long>(
                   cursor->stats().columns_expanded));
+  if (args.stats) PrintPoolStats(**engine);
   return 0;
 }
 
@@ -214,11 +252,12 @@ int RunBatch(const Args& args) {
 
   BatchOptions batch;
   batch.threads = args.threads;
-  // --pool-mb sizes the pools that actually serve the batch: each worker's
-  // private tree replica (the engine's own pool is idle during SearchBatch).
-  batch.pool_bytes_per_thread = args.pool_mb << 20;
-  std::printf("batch: %zu queries, up to %u worker threads\n\n",
-              requests.size(), std::max(1u, batch.threads));
+  // --pool-mb sized the engine's pool above; all batch workers share it.
+  if (args.stats) (*engine)->pool().ResetStats();
+  std::printf("batch: %zu queries, up to %u worker threads over a shared "
+              "%llu MiB pool\n\n",
+              requests.size(), batch.threads,
+              static_cast<unsigned long long>(args.pool_mb));
   util::Timer timer;
   auto results = (*engine)->SearchBatch(requests, batch);
   if (!results.ok()) return Fail(results.status());
@@ -238,6 +277,7 @@ int RunBatch(const Args& args) {
     }
   }
   std::printf("\n%zu queries in %.4fs\n", results->size(), elapsed);
+  if (args.stats) PrintPoolStats(**engine);
   return 0;
 }
 

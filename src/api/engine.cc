@@ -92,6 +92,18 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::Build(
 util::StatusOr<std::unique_ptr<Engine>> Engine::BuildFromDatabase(
     seq::SequenceDatabase db, const std::string& index_dir,
     const EngineOptions& options) {
+  OASIS_RETURN_NOT_OK(ValidateOptions(options));
+  if (options.block_size == 0) {
+    return util::Status::InvalidArgument(
+        "EngineOptions::block_size must be positive");
+  }
+  if (options.block_size % sizeof(suffix::PackedInternalNode) != 0) {
+    return util::Status::InvalidArgument(
+        "EngineOptions::block_size " + std::to_string(options.block_size) +
+        " must be a multiple of the " +
+        std::to_string(sizeof(suffix::PackedInternalNode)) +
+        "-byte internal-node record");
+  }
   OASIS_ASSIGN_OR_RETURN(suffix::SuffixTree tree,
                          suffix::SuffixTree::BuildUkkonen(db));
   suffix::PackOptions pack;
@@ -107,9 +119,19 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::Open(
   return OpenInternal(index_dir, options, nullptr);
 }
 
+util::Status Engine::ValidateOptions(const EngineOptions& options) {
+  if (options.pool_bytes == 0) {
+    return util::Status::InvalidArgument(
+        "EngineOptions::pool_bytes must be positive (the buffer pool is the "
+        "one global cache all searches share)");
+  }
+  return util::Status::OK();
+}
+
 util::StatusOr<std::unique_ptr<Engine>> Engine::OpenInternal(
     const std::string& index_dir, const EngineOptions& options,
     std::unique_ptr<seq::SequenceDatabase> resident_db) {
+  OASIS_RETURN_NOT_OK(ValidateOptions(options));
   OASIS_ASSIGN_OR_RETURN(uint32_t block_size,
                          suffix::PeekIndexBlockSize(index_dir));
 
@@ -219,6 +241,10 @@ util::StatusOr<BatchResult> Engine::SearchAll(
 util::StatusOr<std::vector<BatchResult>> Engine::SearchBatch(
     std::span<const SearchRequest> requests,
     const BatchOptions& options) const {
+  if (options.threads == 0) {
+    return util::Status::InvalidArgument(
+        "BatchOptions::threads must be positive");
+  }
   const size_t n = requests.size();
   std::vector<BatchResult> out(n);
   if (n == 0) return out;
@@ -230,29 +256,20 @@ util::StatusOr<std::vector<BatchResult>> Engine::SearchBatch(
     OASIS_ASSIGN_OR_RETURN(resolved[i], ResolveOptions(requests[i]));
   }
 
-  const uint32_t threads = std::max<uint32_t>(
-      1, std::min<uint32_t>(options.threads, static_cast<uint32_t>(n)));
+  const uint32_t threads =
+      std::min<uint32_t>(options.threads, static_cast<uint32_t>(n));
 
-  // Work-stealing over a shared index; each worker searches through its own
-  // PackedSuffixTree replica + private BufferPool, because the pool is the
-  // one non-thread-safe layer (storage/buffer_pool.h). OasisSearch itself
-  // is stateless/const, and the matrix and request vectors are only read,
-  // so distinct output slots are the only writes — race-free by
-  // construction.
+  // Work-stealing over the shared index: every worker drives the engine's
+  // one OasisSearch over the one packed tree and one sharded buffer pool.
+  // OasisSearch is stateless/const, the tree's read paths are thread-safe,
+  // the pool synchronizes per shard, and the matrix and request vectors are
+  // only read — so the workers share cache warmth and write only to
+  // distinct output slots.
   std::atomic<size_t> next_request{0};
   std::mutex error_mutex;
   util::Status first_error = util::Status::OK();
 
   auto worker = [&]() {
-    storage::BufferPool pool(options.pool_bytes_per_thread,
-                             pool_->block_size());
-    auto tree = suffix::PackedSuffixTree::Open(index_dir_, &pool);
-    if (!tree.ok()) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (first_error.ok()) first_error = tree.status();
-      return;
-    }
-    core::OasisSearch search(tree->get(), matrix_);
     while (true) {
       const size_t i = next_request.fetch_add(1);
       if (i >= n) break;
@@ -261,7 +278,8 @@ util::StatusOr<std::vector<BatchResult>> Engine::SearchBatch(
         if (!first_error.ok()) break;
       }
       core::OasisStats stats;
-      auto results = search.SearchAll(requests[i].query(), resolved[i], &stats);
+      auto results =
+          search_->SearchAll(requests[i].query(), resolved[i], &stats);
       if (!results.ok()) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (first_error.ok()) first_error = results.status();

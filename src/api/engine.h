@@ -24,8 +24,9 @@
 // The consumer sets the pace: each Next() advances the A* search only far
 // enough to prove the next result, so stopping after the top few matches
 // costs a few node expansions, not a database scan. SearchBatch() fans N
-// requests across a thread pool (each worker reads through its own tree
-// replica — the buffer pool is the one non-thread-safe layer), and
+// requests across a thread pool; every worker reads the engine's one
+// packed tree through its one sharded buffer pool, so cache warmth is
+// shared across all of them and pool_bytes is a single global knob.
 // BlastSearch() runs the BLAST-style baseline behind the same
 // request/cursor interface so OASIS-vs-BLAST comparisons share one API.
 
@@ -52,7 +53,9 @@ namespace api {
 
 /// Construction-time knobs of an Engine.
 struct EngineOptions {
-  /// Buffer pool capacity for this engine's searches.
+  /// Buffer pool capacity for this engine's searches — one global knob
+  /// shared by every concurrent search (including SearchBatch workers).
+  /// Must be positive; the factories reject 0.
   uint64_t pool_bytes = 64ull << 20;
 
   /// Block size for *newly built* indexes (Build / BuildFromDatabase).
@@ -180,16 +183,18 @@ struct BatchResult {
 };
 
 struct BatchOptions {
-  /// Worker threads (clamped to the number of requests; >= 1).
+  /// Worker threads (clamped down to the number of requests). Must be
+  /// positive; SearchBatch rejects 0.
   uint32_t threads = 4;
-  /// Buffer pool capacity of each worker's private tree replica.
-  uint64_t pool_bytes_per_thread = 16ull << 20;
 };
 
 /// The engine facade. Owns database metadata + packed suffix tree + buffer
 /// pool + scoring for one index directory. All search entry points are
-/// const; the engine itself is single-threaded apart from SearchBatch,
-/// which never touches the engine's own pool (see its comment).
+/// const and safe to call from any number of threads concurrently: they
+/// share the engine's one packed tree and one sharded buffer pool
+/// (SearchBatch is just a convenience fan-out over the same machinery).
+/// The non-const members (BlastSearch via ResidentDatabase, pool()
+/// mutation) are single-threaded.
 class Engine {
  public:
   /// Builds an index: parse `fasta_path` under options.alphabet, build the
@@ -222,11 +227,12 @@ class Engine {
   /// Convenience: drains Search() into a vector.
   util::StatusOr<BatchResult> SearchAll(const SearchRequest& request) const;
 
-  /// Fans `requests` across a thread pool. Each worker opens its own
-  /// replica of the packed tree over a private buffer pool — OasisSearch is
-  /// stateless/const, so with per-worker trees the queries share nothing
-  /// mutable. Results arrive in request order, identical to running each
-  /// request sequentially.
+  /// Fans `requests` across a thread pool. Every worker searches the
+  /// engine's shared packed tree through the shared sharded buffer pool —
+  /// OasisSearch is stateless/const and the storage layer is concurrent,
+  /// so the workers share cache warmth and nothing mutable beyond the pool
+  /// internals (which synchronize per shard). Results arrive in request
+  /// order, identical to running each request sequentially.
   util::StatusOr<std::vector<BatchResult>> SearchBatch(
       std::span<const SearchRequest> requests,
       const BatchOptions& options = BatchOptions()) const;
@@ -266,6 +272,7 @@ class Engine {
   const suffix::PackedSuffixTree& tree() const { return *tree_; }
   const SequenceCatalog& catalog() const { return catalog_; }
   storage::BufferPool& pool() { return *pool_; }
+  const storage::BufferPool& pool() const { return *pool_; }
 
   /// Karlin-Altschul statistics of the scoring system (needed for E-value
   /// cutoffs and E-value-ordered streams). Absent for scoring systems with
@@ -280,6 +287,10 @@ class Engine {
 
  private:
   Engine() = default;
+
+  /// Rejects invalid construction knobs (pool_bytes == 0) with a clear
+  /// Status instead of UB or silent clamping downstream.
+  static util::Status ValidateOptions(const EngineOptions& options);
 
   /// Shared tail of the factory functions: open the packed tree, pick the
   /// matrix, compute Karlin statistics.

@@ -159,10 +159,11 @@ class OasisCursor {
 /// Stateless and const across Search()/Cursor() calls: all per-query state
 /// lives in the SearchRun behind each cursor, and the tree and matrix are
 /// only read. One instance can therefore serve a whole query workload, and
-/// concurrent searches are safe *provided each thread reads through its own
-/// PackedSuffixTree + BufferPool* (the pool is the one non-thread-safe
-/// layer — see storage/buffer_pool.h; api::Engine::SearchBatch exploits
-/// exactly this by opening one tree replica per worker).
+/// because the packed tree's read paths and the sharded buffer pool beneath
+/// it are thread-safe (storage/buffer_pool.h), any number of threads may
+/// run Search()/Cursor() concurrently on one shared instance — cache
+/// warmth is shared across all of them (api::Engine::SearchBatch does
+/// exactly this).
 class OasisSearch {
  public:
   /// `tree` must outlive the searcher. The matrix alphabet must match the

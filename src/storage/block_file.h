@@ -20,8 +20,11 @@ inline constexpr uint32_t kDefaultBlockSize = 2048;
 
 using BlockId = uint64_t;
 
-/// A fixed-block-size file. Not thread-safe (OASIS searches are
-/// single-threaded, as in the paper).
+/// A fixed-block-size file. Reads are positional (pread) and touch no
+/// mutable state, so any number of threads may ReadBlock concurrently —
+/// this is what lets the sharded buffer pool serve all search threads from
+/// one set of file descriptors. Writes (AppendBlock / Flush / Close) are
+/// single-threaded, build-time operations.
 class BlockFile {
  public:
   BlockFile() = default;

@@ -1,42 +1,58 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "util/logging.h"
 
 namespace oasis {
 namespace storage {
 
-PageHandle::~PageHandle() {
-  if (pool_ != nullptr) pool_->Unpin(frame_);
+namespace {
+
+/// Largest power of two <= x (x >= 1).
+uint32_t FloorPow2(uint32_t x) {
+  uint32_t p = 1;
+  while (p * 2 <= x && p * 2 != 0) p *= 2;
+  return p;
 }
 
-PageHandle::PageHandle(PageHandle&& other) noexcept
-    : pool_(other.pool_), frame_(other.frame_), data_(other.data_) {
-  other.pool_ = nullptr;
-  other.data_ = nullptr;
-}
-
-PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
-  if (this != &other) {
-    if (pool_ != nullptr) pool_->Unpin(frame_);
-    pool_ = other.pool_;
-    frame_ = other.frame_;
-    data_ = other.data_;
-    other.pool_ = nullptr;
-    other.data_ = nullptr;
+uint32_t PickShardCount(uint32_t num_frames, uint32_t requested) {
+  if (requested != 0) {
+    return FloorPow2(std::clamp<uint32_t>(requested, 1, num_frames));
   }
-  return *this;
+  // Auto: enough stripes to keep threads off each other's locks, but never
+  // fewer than 8 frames per shard — tiny (test-sized) pools collapse to one
+  // shard so their CLOCK behaviour stays deterministic.
+  uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  uint32_t limit = std::max(1u, num_frames / 8);
+  return FloorPow2(std::min({4 * hw, 64u, limit}));
 }
 
-BufferPool::BufferPool(uint64_t capacity_bytes, uint32_t block_size)
+}  // namespace
+
+BufferPool::BufferPool(uint64_t capacity_bytes, uint32_t block_size,
+                       uint32_t num_shards)
     : block_size_(block_size) {
   OASIS_CHECK_GT(block_size, 0u);
   uint64_t frames = capacity_bytes / block_size;
   num_frames_ = static_cast<uint32_t>(
       std::clamp<uint64_t>(frames, 1, 1u << 28));
   memory_.resize(static_cast<size_t>(num_frames_) * block_size_);
-  frames_.resize(num_frames_);
+
+  const uint32_t shard_count = PickShardCount(num_frames_, num_shards);
+  shard_mask_ = shard_count - 1;
+  uint32_t assigned = 0;
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    Shard& shard = shards_.emplace_back();
+    // Spread the remainder so every shard gets >= 1 frame.
+    uint32_t count = num_frames_ / shard_count +
+                     (s < num_frames_ % shard_count ? 1 : 0);
+    shard.frames.resize(count);
+    shard.memory = memory_.data() + static_cast<size_t>(assigned) * block_size_;
+    assigned += count;
+  }
+  OASIS_CHECK_EQ(assigned, num_frames_);
 }
 
 BufferPool::~BufferPool() { OASIS_CHECK_EQ(num_pinned(), 0u); }
@@ -52,7 +68,7 @@ util::StatusOr<SegmentId> BufferPool::RegisterSegment(std::string name,
   }
   files_.push_back(file);
   names_.push_back(std::move(name));
-  stats_.emplace_back();
+  stats_.emplace_back(shards_.size());
   return static_cast<SegmentId>(files_.size() - 1);
 }
 
@@ -61,81 +77,96 @@ util::StatusOr<PageHandle> BufferPool::Fetch(SegmentId segment, BlockId block) {
     return util::Status::InvalidArgument("unknown segment id " +
                                          std::to_string(segment));
   }
-  SegmentStats& st = stats_[segment];
-  ++st.requests;
-
-  // Single-entry memo: repeated fetches of the same block (sibling record
-  // runs, sequential arc reads) skip the hash probe.
   const uint64_t key = Key(segment, block);
-  if (key == memo_key_) {
-    Frame& f = frames_[memo_frame_];
-    if (f.occupied && f.segment == segment && f.block == block) {
-      ++st.hits;
-      ++f.pin_count;
-      f.referenced = true;
-      return PageHandle(this, memo_frame_,
-                        memory_.data() +
-                            static_cast<size_t>(memo_frame_) * block_size_);
-    }
-  }
+  const size_t shard_index = Mix(key) & shard_mask_;
+  Shard& shard = shards_[shard_index];
+  SegmentStatsCell& st = stats_[segment].cells[shard_index];
+  st.requests.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(shard.mutex);
 
-  auto it = page_table_.find(key);
-  if (it != page_table_.end()) {
-    ++st.hits;
-    Frame& f = frames_[it->second];
-    ++f.pin_count;
+  auto it = shard.page_table.find(key);
+  if (it != shard.page_table.end()) {
+    st.hits.fetch_add(1, std::memory_order_relaxed);
+    Frame& f = shard.frames[it->second];
+    f.pin_count.fetch_add(1, std::memory_order_relaxed);
     f.referenced = true;
-    memo_key_ = key;
-    memo_frame_ = it->second;
-    return PageHandle(this, it->second,
-                      memory_.data() + static_cast<size_t>(it->second) * block_size_);
+    return PageHandle(&f.pin_count,
+                      shard.memory +
+                          static_cast<size_t>(it->second) * block_size_);
   }
 
-  OASIS_ASSIGN_OR_RETURN(uint32_t victim, FindVictim());
-  Frame& f = frames_[victim];
-  if (f.occupied) {
-    page_table_.erase(Key(f.segment, f.block));
+  // A shard can be *transiently* fully pinned when concurrent fetches
+  // collide on it; pins are released without the shard mutex, so they can
+  // drain while we wait. Retry the sweep before declaring exhaustion —
+  // the hard error is reserved for pins that never go away (a caller
+  // holding more handles than the shard has frames).
+  util::StatusOr<uint32_t> victim_or = FindVictim(shard);
+  for (int attempt = 0; !victim_or.ok() && attempt < 256; ++attempt) {
+    std::this_thread::yield();
+    victim_or = FindVictim(shard);
   }
-  uint8_t* slot = memory_.data() + static_cast<size_t>(victim) * block_size_;
+  OASIS_ASSIGN_OR_RETURN(uint32_t victim, std::move(victim_or));
+  Frame& f = shard.frames[victim];
+  if (f.occupied) {
+    // Drop the victim's old identity *before* the read: if ReadBlock fails
+    // the slot may be partially overwritten, and a frame still carrying the
+    // old (segment, block) would serve that corrupt data on a later fetch.
+    shard.page_table.erase(Key(f.segment, f.block));
+    f.occupied = false;
+  }
+  uint8_t* slot = shard.memory + static_cast<size_t>(victim) * block_size_;
+  // The read happens under the shard mutex: simple and provably
+  // duplicate-free, at the cost of serializing this shard during a miss.
+  // Moving it off-lock needs an in-flight table (see ROADMAP "Async
+  // prefetch") — without one, two concurrent misses on the same block
+  // would load two frames with the same identity and corrupt the table.
   OASIS_RETURN_NOT_OK(files_[segment]->ReadBlock(block, slot));
   f.segment = segment;
   f.block = block;
-  f.pin_count = 1;
+  f.pin_count.store(1, std::memory_order_relaxed);
   f.referenced = true;
   f.occupied = true;
-  page_table_[key] = victim;
-  memo_key_ = key;
-  memo_frame_ = victim;
-  return PageHandle(this, victim, slot);
+  shard.page_table[key] = victim;
+  return PageHandle(&f.pin_count, slot);
 }
 
-util::StatusOr<uint32_t> BufferPool::FindVictim() {
+util::StatusOr<uint32_t> BufferPool::FindVictim(Shard& shard) {
   // CLOCK: sweep at most two full revolutions; first pass clears reference
   // bits, second pass must find an unpinned frame unless all are pinned.
-  for (uint64_t step = 0; step < 2ull * num_frames_ + 1; ++step) {
-    Frame& f = frames_[clock_hand_];
-    uint32_t candidate = clock_hand_;
-    clock_hand_ = (clock_hand_ + 1) % num_frames_;
+  const uint32_t n = static_cast<uint32_t>(shard.frames.size());
+  for (uint64_t step = 0; step < 2ull * n + 1; ++step) {
+    Frame& f = shard.frames[shard.clock_hand];
+    uint32_t candidate = shard.clock_hand;
+    shard.clock_hand = (shard.clock_hand + 1) % n;
     if (!f.occupied) return candidate;
-    if (f.pin_count > 0) continue;
+    // Acquire pairs with the release decrement in PageHandle::Release: once
+    // we observe pin_count == 0 here, every read the last holder made
+    // through the frame happened-before our overwrite. A count can only
+    // rise again under this shard's lock, which we hold.
+    if (f.pin_count.load(std::memory_order_acquire) > 0) continue;
     if (f.referenced) {
       f.referenced = false;
       continue;
     }
     return candidate;
   }
-  return util::Status::Internal("buffer pool exhausted: all frames pinned");
+  return util::Status::Internal(
+      "buffer pool exhausted: all frames of the shard pinned");
 }
 
-void BufferPool::Unpin(uint32_t frame) {
-  Frame& f = frames_[frame];
-  OASIS_CHECK_GT(f.pin_count, 0u);
-  --f.pin_count;
+SegmentStats BufferPool::stats(SegmentId segment) const {
+  SegmentStats out;
+  for (const SegmentStatsCell& cell : stats_[segment].cells) {
+    out.requests += cell.requests.load(std::memory_order_relaxed);
+    out.hits += cell.hits.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 SegmentStats BufferPool::TotalStats() const {
   SegmentStats total;
-  for (const SegmentStats& s : stats_) {
+  for (size_t seg = 0; seg < stats_.size(); ++seg) {
+    const SegmentStats s = stats(static_cast<SegmentId>(seg));
     total.requests += s.requests;
     total.hits += s.hits;
   }
@@ -143,22 +174,39 @@ SegmentStats BufferPool::TotalStats() const {
 }
 
 void BufferPool::ResetStats() {
-  for (SegmentStats& s : stats_) s = SegmentStats{};
+  for (AtomicSegmentStats& s : stats_) {
+    for (SegmentStatsCell& cell : s.cells) {
+      cell.requests.store(0, std::memory_order_relaxed);
+      cell.hits.store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 void BufferPool::Clear() {
   OASIS_CHECK_EQ(num_pinned(), 0u);
-  for (Frame& f : frames_) f = Frame{};
-  page_table_.clear();
-  clock_hand_ = 0;
-  memo_key_ = ~0ull;
-  memo_frame_ = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (Frame& f : shard.frames) {
+      f.segment = 0;
+      f.block = 0;
+      f.pin_count.store(0, std::memory_order_relaxed);
+      f.referenced = false;
+      f.occupied = false;
+    }
+    shard.page_table.clear();
+    shard.clock_hand = 0;
+  }
 }
 
 uint32_t BufferPool::num_pinned() const {
   uint32_t pinned = 0;
-  for (const Frame& f : frames_) {
-    if (f.occupied && f.pin_count > 0) ++pinned;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const Frame& f : shard.frames) {
+      if (f.occupied && f.pin_count.load(std::memory_order_acquire) > 0) {
+        ++pinned;
+      }
+    }
   }
   return pinned;
 }

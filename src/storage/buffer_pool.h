@@ -1,4 +1,4 @@
-// Buffer pool with CLOCK (second-chance) replacement.
+// Concurrent sharded buffer pool with CLOCK (second-chance) replacement.
 //
 // The paper's implementation "reads disk pages from a buffer pool, which
 // uses a simple clock replacement policy" (§4.2) with a 2K block size, and
@@ -8,16 +8,36 @@
 // backed by its own BlockFile; frames are shared across segments so the
 // pool size is a single global knob, while request/hit statistics are kept
 // per segment.
+//
+// Concurrency model (lock striping, the standard design in disk engines):
+// the frames are partitioned into shards, each an independent CLOCK region
+// with its own mutex, page table and clock hand. A block's shard is fixed
+// by a hash of its (segment, block) key, so any number of threads can
+// Fetch() concurrently and only collide when their blocks land on the same
+// shard. Pin counts are atomic — PageHandle release never takes a lock —
+// and per-segment statistics are relaxed atomics striped per shard (each
+// slice on its own cache line), so the hot path shares nothing across
+// shards while single-threaded runs (the Figure 7/8 benches) still
+// aggregate exactly. Block reads use pread through BlockFile, which is
+// safe for concurrent readers.
+//
+// RegisterSegment is the one exception: segments must all be registered
+// before the first concurrent Fetch (the engine registers them at index
+// open time, before any search runs).
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/block_file.h"
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace oasis {
@@ -25,7 +45,8 @@ namespace storage {
 
 using SegmentId = uint32_t;
 
-/// Request/hit counters for one segment.
+/// Request/hit counters for one segment: a plain-value snapshot of the
+/// pool's internal atomic counters.
 struct SegmentStats {
   uint64_t requests = 0;
   uint64_t hits = 0;
@@ -38,57 +59,93 @@ struct SegmentStats {
 
 /// A page pinned in the pool. Unpins on destruction. The data pointer stays
 /// valid while the handle is alive; the pool never evicts pinned frames.
+/// Release is a single lock-free atomic decrement, so handles can be
+/// dropped from any thread.
 class PageHandle {
  public:
   PageHandle() = default;
-  ~PageHandle();
+  ~PageHandle() { Release(); }
   PageHandle(const PageHandle&) = delete;
   PageHandle& operator=(const PageHandle&) = delete;
-  PageHandle(PageHandle&& other) noexcept;
-  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(PageHandle&& other) noexcept
+      : pin_(other.pin_), data_(other.data_) {
+    other.pin_ = nullptr;
+    other.data_ = nullptr;
+  }
+  PageHandle& operator=(PageHandle&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pin_ = other.pin_;
+      data_ = other.data_;
+      other.pin_ = nullptr;
+      other.data_ = nullptr;
+    }
+    return *this;
+  }
 
   const uint8_t* data() const { return data_; }
-  bool valid() const { return pool_ != nullptr; }
+  bool valid() const { return pin_ != nullptr; }
 
  private:
   friend class BufferPool;
-  PageHandle(class BufferPool* pool, uint32_t frame, const uint8_t* data)
-      : pool_(pool), frame_(frame), data_(data) {}
+  PageHandle(std::atomic<uint32_t>* pin, const uint8_t* data)
+      : pin_(pin), data_(data) {}
 
-  class BufferPool* pool_ = nullptr;
-  uint32_t frame_ = 0;
+  void Release() {
+    if (pin_ != nullptr) {
+      // Release order: page reads made through data_ happen-before the
+      // eviction that observes pin_count == 0 and overwrites the frame.
+      const uint32_t prior = pin_->fetch_sub(1, std::memory_order_release);
+      OASIS_DCHECK(prior > 0);  // underflow would pin the frame forever
+      (void)prior;
+      pin_ = nullptr;
+      data_ = nullptr;
+    }
+  }
+
+  std::atomic<uint32_t>* pin_ = nullptr;
   const uint8_t* data_ = nullptr;
 };
 
 /// Fixed-capacity shared buffer pool over registered block files.
 ///
-/// Not thread-safe (single-threaded searches, matching the paper).
+/// Thread-safe for concurrent Fetch / handle release / stats reads once all
+/// segments are registered. Clear() and ResetStats() take every shard lock
+/// and require quiescence only in the sense documented on each.
 class BufferPool {
  public:
   /// `capacity_bytes` is rounded down to whole frames of `block_size`;
-  /// at least one frame is always allocated.
-  BufferPool(uint64_t capacity_bytes, uint32_t block_size = kDefaultBlockSize);
+  /// at least one frame is always allocated. `num_shards` of 0 picks a
+  /// power of two sized to the hardware concurrency, never more than one
+  /// shard per 8 frames (tiny pools degrade to a single CLOCK region, which
+  /// keeps their eviction order deterministic).
+  BufferPool(uint64_t capacity_bytes, uint32_t block_size = kDefaultBlockSize,
+             uint32_t num_shards = 0);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Registers a backing file as a segment. The file must outlive the pool
-  /// and have the pool's block size.
+  /// and have the pool's block size. Not thread-safe: all registrations
+  /// must complete before the first concurrent Fetch.
   util::StatusOr<SegmentId> RegisterSegment(std::string name, const BlockFile* file);
 
   uint32_t block_size() const { return block_size_; }
   uint32_t num_frames() const { return num_frames_; }
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
   uint64_t capacity_bytes() const {
     return static_cast<uint64_t>(num_frames_) * block_size_;
   }
 
   /// Fetches block `block` of `segment`, pinning it. Counts one request,
-  /// and one hit when the block was already resident.
+  /// and one hit when the block was already resident. Safe to call from any
+  /// number of threads concurrently.
   util::StatusOr<PageHandle> Fetch(SegmentId segment, BlockId block);
 
-  /// Statistics for one segment.
-  const SegmentStats& stats(SegmentId segment) const { return stats_[segment]; }
+  /// Statistics snapshot for one segment. Exact after quiescence; during
+  /// concurrent traffic each counter is individually exact (relaxed loads).
+  SegmentStats stats(SegmentId segment) const;
   const std::string& segment_name(SegmentId segment) const {
     return names_[segment];
   }
@@ -100,7 +157,7 @@ class BufferPool {
   /// Zeroes all statistics (the cached pages stay resident).
   void ResetStats();
 
-  /// Drops all cached pages (fails any future hit) and resets the clock.
+  /// Drops all cached pages (fails any future hit) and resets every clock.
   /// Precondition: no pages pinned.
   void Clear();
 
@@ -108,38 +165,70 @@ class BufferPool {
   uint32_t num_pinned() const;
 
  private:
-  friend class PageHandle;
-
   struct Frame {
     SegmentId segment = 0;
     BlockId block = 0;
-    uint32_t pin_count = 0;
+    std::atomic<uint32_t> pin_count{0};
     bool referenced = false;
     bool occupied = false;
+
+    Frame() = default;
+    // Move is only used while the shard's frame vector is being built,
+    // strictly before any concurrent access.
+    Frame(Frame&& other) noexcept
+        : segment(other.segment), block(other.block),
+          pin_count(other.pin_count.load(std::memory_order_relaxed)),
+          referenced(other.referenced), occupied(other.occupied) {}
   };
 
-  void Unpin(uint32_t frame);
-  /// CLOCK sweep; returns a victim frame index or fails when all pinned.
-  util::StatusOr<uint32_t> FindVictim();
+  /// One independent CLOCK region: its own lock, frames, table and hand.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Frame> frames;
+    /// (segment, block) key -> index into `frames`.
+    std::unordered_map<uint64_t, uint32_t> page_table;
+    uint32_t clock_hand = 0;
+    uint8_t* memory = nullptr;  ///< frames.size() * block_size bytes.
+  };
 
-  uint32_t block_size_;
-  uint32_t num_frames_;
-  std::vector<uint8_t> memory_;  ///< num_frames_ * block_size_ bytes.
-  std::vector<Frame> frames_;
-  uint32_t clock_hand_ = 0;
+  /// One shard's slice of a segment's counters, its own cache line:
+  /// threads fetching through different shards never share a stats line,
+  /// so the hot path stays contention-free end to end. stats() sums the
+  /// slices (cold path); after quiescence the totals are exact, which is
+  /// what the Figure 7/8 benches aggregate.
+  struct alignas(64) SegmentStatsCell {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> hits{0};
+  };
+  struct AtomicSegmentStats {
+    std::vector<SegmentStatsCell> cells;  ///< one per shard
+    explicit AtomicSegmentStats(size_t num_shards) : cells(num_shards) {}
+  };
 
-  std::vector<const BlockFile*> files_;
-  std::vector<std::string> names_;
-  mutable std::vector<SegmentStats> stats_;
+  /// CLOCK sweep within one shard (its mutex held); returns a victim frame
+  /// index or fails when every frame of the shard is pinned.
+  util::StatusOr<uint32_t> FindVictim(Shard& shard);
 
-  /// (segment, block) -> frame index.
-  std::unordered_map<uint64_t, uint32_t> page_table_;
-  /// Last-fetch memo (hot-path shortcut; see Fetch).
-  uint64_t memo_key_ = ~0ull;
-  uint32_t memo_frame_ = 0;
   static uint64_t Key(SegmentId segment, BlockId block) {
     return (static_cast<uint64_t>(segment) << 48) | block;
   }
+  /// splitmix64 finalizer: decorrelates the shard choice from the block id
+  /// so sequential scans spread across shards.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+  uint32_t block_size_;
+  uint32_t num_frames_;
+  uint64_t shard_mask_ = 0;  ///< shards_.size() - 1 (power of two).
+  std::vector<uint8_t> memory_;  ///< num_frames_ * block_size_ bytes.
+  std::deque<Shard> shards_;     ///< deque: Shard holds a mutex (immovable).
+
+  std::vector<const BlockFile*> files_;
+  std::vector<std::string> names_;
+  mutable std::deque<AtomicSegmentStats> stats_;
 };
 
 }  // namespace storage

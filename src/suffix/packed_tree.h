@@ -81,6 +81,12 @@ util::StatusOr<uint32_t> PeekIndexBlockSize(const std::string& dir);
 /// Read-only handle over the three packed files. All block reads go through
 /// the BufferPool supplied at open time; the pool's per-segment statistics
 /// therefore directly reproduce the paper's Figure 8 measurements.
+///
+/// All read paths are const and thread-safe: the metadata is immutable
+/// after Open, block reads go through the concurrent sharded pool, and the
+/// backing BlockFiles use positional reads. One tree over one pool can
+/// therefore serve any number of concurrent searches — no per-thread
+/// replicas needed (api::Engine::SearchBatch relies on exactly this).
 class PackedSuffixTree {
  public:
   /// Opens a packed tree from `dir`, registering its three segments with

@@ -245,6 +245,45 @@ TEST(SearchBatch, EmptyBatch) {
   EXPECT_TRUE(out->empty());
 }
 
+TEST(SearchBatch, RejectsZeroThreads) {
+  EngineFixture fx(2000);
+  std::vector<SearchRequest> requests = MotifRequests(*fx.engine, 1, 1000.0);
+  BatchOptions batch;
+  batch.threads = 0;
+  auto out = fx.engine->SearchBatch(requests, batch);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsInvalidArgument());
+}
+
+TEST(SearchBatch, WorkersShareTheEnginePool) {
+  // The refactored batch path must read through the engine's own buffer
+  // pool (no per-worker replicas): its stats advance during the batch, and
+  // a repeat batch benefits from the warmth the first one left behind.
+  EngineFixture fx(20000);
+  std::vector<SearchRequest> requests = MotifRequests(*fx.engine, 4, 1000.0);
+  // Start cold: fixture setup (index build, database materialization) has
+  // already warmed the pool, and the whole index fits in it.
+  fx.engine->pool().Clear();
+  fx.engine->pool().ResetStats();
+
+  BatchOptions batch;
+  batch.threads = 4;
+  auto first = fx.engine->SearchBatch(requests, batch);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const storage::SegmentStats after_first = fx.engine->pool().TotalStats();
+  EXPECT_GT(after_first.requests, 0u)
+      << "batch workers bypassed the shared pool";
+
+  fx.engine->pool().ResetStats();
+  auto second = fx.engine->SearchBatch(requests, batch);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  const storage::SegmentStats after_second = fx.engine->pool().TotalStats();
+  EXPECT_GT(after_second.hit_ratio(), after_first.hit_ratio())
+      << "a repeat batch over the shared pool must be warmer";
+  EXPECT_EQ(after_second.requests, after_first.requests)
+      << "identical batches must issue identical block requests";
+}
+
 // --- Engine lifecycle -------------------------------------------------------
 
 TEST(Engine, OpenFromDiskMatchesBuild) {
@@ -322,6 +361,49 @@ TEST(Engine, ResidentDatabaseMaterializesFromIndex) {
 TEST(Engine, OpenMissingDirectoryFails) {
   auto engine = Engine::Open("/nonexistent/index-dir");
   EXPECT_FALSE(engine.ok());
+}
+
+TEST(Engine, RejectsZeroPoolBytes) {
+  const seq::Alphabet& alphabet = seq::Alphabet::Dna();
+  seq::SequenceDatabase db = MakeDatabase(alphabet, {"AGTACGCCTAG"});
+  util::TempDir dir("engine-validate");
+  EngineOptions options;
+  options.matrix = &score::SubstitutionMatrix::UnitDna();
+
+  // Build once so Open has something to reject against.
+  auto built = Engine::BuildFromDatabase(std::move(db), dir.path(), options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  options.pool_bytes = 0;
+  auto opened = Engine::Open(dir.path(), options);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsInvalidArgument())
+      << opened.status().ToString();
+
+  seq::SequenceDatabase db2 = MakeDatabase(alphabet, {"AGTACGCCTAG"});
+  util::TempDir dir2("engine-validate2");
+  auto rebuilt = Engine::BuildFromDatabase(std::move(db2), dir2.path(), options);
+  ASSERT_FALSE(rebuilt.ok());
+  EXPECT_TRUE(rebuilt.status().IsInvalidArgument());
+}
+
+TEST(Engine, RejectsBadBlockSize) {
+  const seq::Alphabet& alphabet = seq::Alphabet::Dna();
+  util::TempDir dir("engine-blocksize");
+  EngineOptions options;
+  options.matrix = &score::SubstitutionMatrix::UnitDna();
+
+  options.block_size = 0;
+  auto zero = Engine::BuildFromDatabase(
+      MakeDatabase(alphabet, {"AGTACGCCTAG"}), dir.File("z"), options);
+  ASSERT_FALSE(zero.ok());
+  EXPECT_TRUE(zero.status().IsInvalidArgument()) << zero.status().ToString();
+
+  options.block_size = 1000;  // not a multiple of the 16-byte record
+  auto odd = Engine::BuildFromDatabase(
+      MakeDatabase(alphabet, {"AGTACGCCTAG"}), dir.File("o"), options);
+  ASSERT_FALSE(odd.ok());
+  EXPECT_TRUE(odd.status().IsInvalidArgument()) << odd.status().ToString();
 }
 
 TEST(Engine, RejectsInvalidQuery) {

@@ -1,9 +1,15 @@
 // Buffer pool invariants (DESIGN.md invariant #6): contents match direct
 // file reads under arbitrary traces, statistics add up, pinned pages
-// survive, CLOCK evicts unpinned pages under pressure.
+// survive, CLOCK evicts unpinned pages under pressure, failed reads never
+// leave a frame claiming a stale identity, and concurrent fetches through
+// the sharded pool stay correct (the BufferPoolConcurrency suite also runs
+// under the TSan CI job).
 
+#include <atomic>
 #include <cstring>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -202,10 +208,223 @@ TEST_F(BufferPoolTest, ClearDropsResidency) {
   EXPECT_EQ(pool.stats(*seg).hits, 0u);
 }
 
+TEST_F(BufferPoolTest, SingleFrameCapacity) {
+  // capacity_bytes below one block still allocates exactly one frame, and
+  // the pool stays correct while thrashing it.
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 4);
+  storage::BufferPool pool(1, kBlock);
+  EXPECT_EQ(pool.num_frames(), 1u);
+  EXPECT_EQ(pool.num_shards(), 1u);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  for (int round = 0; round < 3; ++round) {
+    for (uint32_t b = 0; b < 4; ++b) {
+      auto page = pool.Fetch(*seg, b);
+      ASSERT_TRUE(page.ok());
+      EXPECT_TRUE(BlockIsCorrect(page->data(), b));
+    }
+  }
+  EXPECT_EQ(pool.stats(*seg).hits, 0u) << "every fetch must evict";
+
+  // Same block twice in a row IS a hit even with one frame.
+  (void)pool.Fetch(*seg, 0);
+  auto again = pool.Fetch(*seg, 0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(pool.stats(*seg).hits, 1u);
+}
+
+TEST_F(BufferPoolTest, ExplicitShardCountIsHonored) {
+  storage::BufferPool pool(64 * kBlock, kBlock, 4);
+  EXPECT_EQ(pool.num_shards(), 4u);
+  EXPECT_EQ(pool.num_frames(), 64u);
+  // Shard count rounds down to a power of two and never exceeds the frames.
+  storage::BufferPool rounded(64 * kBlock, kBlock, 6);
+  EXPECT_EQ(rounded.num_shards(), 4u);
+  storage::BufferPool tiny(2 * kBlock, kBlock, 16);
+  EXPECT_EQ(tiny.num_shards(), 2u);
+}
+
+TEST_F(BufferPoolTest, FailedReadInvalidatesVictimFrame) {
+  // Regression: when ReadBlock fails after a victim was chosen, the victim
+  // used to keep its old (segment, block) identity and stay occupied even
+  // though its page-table entry was erased — and the fetch memo would then
+  // serve the (possibly partially overwritten) frame as a hit. The victim
+  // must instead be invalidated, so the old block is re-read from disk.
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 2);
+  storage::BufferPool pool(1 * kBlock, kBlock);  // one frame: forced victim
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  {
+    auto page = pool.Fetch(*seg, 0);
+    ASSERT_TRUE(page.ok());
+    EXPECT_TRUE(BlockIsCorrect(page->data(), 0));
+  }
+  // Out-of-range block: victim already selected, read fails.
+  auto bad = pool.Fetch(*seg, 99);
+  EXPECT_FALSE(bad.ok());
+
+  // Re-fetching block 0 must be a MISS served from disk, not a stale "hit"
+  // on the invalidated frame.
+  auto page = pool.Fetch(*seg, 0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(BlockIsCorrect(page->data(), 0));
+  EXPECT_EQ(pool.stats(*seg).requests, 3u);
+  EXPECT_EQ(pool.stats(*seg).hits, 0u)
+      << "stale frame served as a hit after a failed read";
+}
+
+TEST_F(BufferPoolTest, PoolRemainsUsableAfterIOError) {
+  // A read error from the backing file (closed fd) must not poison the
+  // pool: resident pages keep hitting and new blocks load normally after
+  // the failure.
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 4);
+  storage::BufferPool pool(4 * kBlock, kBlock);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  {
+    auto page = pool.Fetch(*seg, 0);
+    ASSERT_TRUE(page.ok());
+  }
+  file.Close();
+  EXPECT_FALSE(pool.Fetch(*seg, 1).ok()) << "closed file must fail the read";
+  auto resident = pool.Fetch(*seg, 0);  // still cached: no file IO
+  ASSERT_TRUE(resident.ok());
+  EXPECT_TRUE(BlockIsCorrect(resident->data(), 0));
+
+  auto reopened = storage::BlockFile::Open(dir_.File("a.blk"), kBlock);
+  ASSERT_TRUE(reopened.ok());
+  file = std::move(reopened).value();
+  auto fresh = pool.Fetch(*seg, 1);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(BlockIsCorrect(fresh->data(), 1));
+}
+
 TEST_F(BufferPoolTest, MismatchedBlockSizeRejected) {
   storage::BlockFile file = MakeFile(dir_.File("a.blk"), 4);
   storage::BufferPool pool(4 * 512, 512);
   EXPECT_FALSE(pool.RegisterSegment("a", &file).ok());
+}
+
+// --- Concurrent fetches through the shared sharded pool --------------------
+// (these also run under the TSan CI job; keep the suite name stable)
+
+TEST(BufferPoolConcurrency, ConcurrentFetchStressIsCorrect) {
+  util::TempDir dir("bp-conc");
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), 64);
+  // 32 frames over 64 hot blocks across multiple shards: constant eviction
+  // races between the worker threads. 8 frames per shard keeps the trace
+  // failure-free: the 7 other threads pin at most 7 distinct blocks at any
+  // moment, so no shard can ever be fully pinned when a victim is needed.
+  storage::BufferPool pool(32 * kBlock, kBlock, 4);
+  ASSERT_EQ(pool.num_shards(), 4u);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::atomic<int> corrupt{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      util::Random rng(1000 + t);
+      for (int i = 0; i < kIters; ++i) {
+        uint32_t b = static_cast<uint32_t>(rng.Uniform(64));
+        auto page = pool.Fetch(*seg, b);
+        if (!page.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (!BlockIsCorrect(page->data(), b)) corrupt.fetch_add(1);
+        // Occasionally hold a second overlapping pin to exercise pin
+        // stacking across threads.
+        if (i % 7 == 0) {
+          auto second = pool.Fetch(*seg, b);
+          if (second.ok() && !BlockIsCorrect(second->data(), b)) {
+            corrupt.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(corrupt.load(), 0) << "a fetch observed wrong block contents";
+  EXPECT_EQ(failures.load(), 0) << "no fetch should fail in this trace";
+  EXPECT_EQ(pool.num_pinned(), 0u);
+  // Relaxed counters still add up exactly once the threads are joined.
+  const storage::SegmentStats total = pool.TotalStats();
+  uint64_t expected = 0;
+  // kIters fetches plus one extra for every i % 7 == 0 iteration, per thread.
+  expected = static_cast<uint64_t>(kThreads) *
+             (kIters + (kIters + 6) / 7);
+  EXPECT_EQ(total.requests, expected);
+  EXPECT_GT(total.hits, 0u);
+}
+
+TEST(BufferPoolConcurrency, PinnedPagesSurviveConcurrentChurn) {
+  util::TempDir dir("bp-pin");
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), 64);
+  storage::BufferPool pool(32 * kBlock, kBlock, 2);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  // Each thread pins one block for its whole lifetime while every thread
+  // churns the rest of the pool; the pinned data must never change.
+  constexpr int kThreads = 4;
+  std::atomic<int> corrupt{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      uint32_t mine = static_cast<uint32_t>(t);
+      auto pinned = pool.Fetch(*seg, mine);
+      if (!pinned.ok()) {
+        corrupt.fetch_add(1);
+        return;
+      }
+      util::Random rng(77 + t);
+      for (int i = 0; i < 1500; ++i) {
+        uint32_t b = static_cast<uint32_t>(rng.Uniform(64));
+        auto page = pool.Fetch(*seg, b);
+        if (page.ok() && !BlockIsCorrect(page->data(), b)) corrupt.fetch_add(1);
+        if (!BlockIsCorrect(pinned->data(), mine)) corrupt.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(corrupt.load(), 0);
+  EXPECT_EQ(pool.num_pinned(), 0u);
+}
+
+TEST(BufferPoolConcurrency, MultiSegmentStatsStayPerSegment) {
+  util::TempDir dir("bp-seg");
+  storage::BlockFile a = MakeFile(dir.File("a.blk"), 16);
+  storage::BlockFile b = MakeFile(dir.File("b.blk"), 16);
+  storage::BufferPool pool(8 * kBlock, kBlock, 2);
+  auto sa = pool.RegisterSegment("a", &a);
+  auto sb = pool.RegisterSegment("b", &b);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      util::Random rng(5 + t);
+      for (int i = 0; i < kIters; ++i) {
+        storage::SegmentId seg = (t % 2 == 0) ? *sa : *sb;
+        (void)pool.Fetch(seg, static_cast<uint32_t>(rng.Uniform(16)));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(pool.stats(*sa).requests,
+            static_cast<uint64_t>(kThreads / 2) * kIters);
+  EXPECT_EQ(pool.stats(*sb).requests,
+            static_cast<uint64_t>(kThreads / 2) * kIters);
 }
 
 TEST(BlockFileTest, OutOfRangeReadFails) {
