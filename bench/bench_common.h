@@ -16,9 +16,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/engine.h"
@@ -65,6 +67,10 @@ inline BenchEnv MakeProteinEnv(uint64_t pool_bytes_override = 0) {
   env.dir = std::make_unique<util::TempDir>("bench");
   api::EngineOptions options;
   options.matrix = env.matrix;
+  // The figure benches exist to measure the paper's buffer-pool behaviour,
+  // so the shared env engine always uses the pooled path; bench_io_mode
+  // opens its own mapped tree to compare the mmap fast path against it.
+  options.io_mode = api::IoMode::kPooled;
   options.pool_bytes =
       pool_bytes_override != 0
           ? pool_bytes_override
@@ -98,6 +104,30 @@ inline std::map<uint32_t, std::vector<size_t>> BucketByLength(
     buckets[(len / bucket) * bucket].push_back(i);
   }
   return buckets;
+}
+
+/// Writes the bench's headline metrics as JSON when OASIS_BENCH_JSON names
+/// an output path (the CI bench-smoke job sets it; see ci/bench_gate.py,
+/// which merges these files into BENCH_ci.json and gates them against the
+/// checked-in baseline). No-op otherwise.
+inline void WriteBenchJson(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const char* path = std::getenv("OASIS_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write OASIS_BENCH_JSON '%s'\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", bench.c_str());
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(out, "%s\n    \"%s\": %.6f", i == 0 ? "" : ",",
+                 metrics[i].first.c_str(), metrics[i].second);
+  }
+  std::fprintf(out, "\n  }\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %zu metrics to %s\n", metrics.size(), path);
 }
 
 inline void PrintHeader(const char* title, const BenchEnv& env) {

@@ -16,11 +16,20 @@ int Run() {
   PrintHeader("Figure 8: per-component buffer hit ratios", env);
 
   const uint64_t index_bytes = env.tree->index_bytes();
-  const double fractions[] = {1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1.0};
+  struct Fraction {
+    double value;
+    const char* label;  ///< JSON metric suffix ("p6" = pool 1/16 of index)
+  };
+  const Fraction fractions[] = {{1.0 / 16, "p6"},
+                                {1.0 / 8, "p12"},
+                                {1.0 / 4, "p25"},
+                                {1.0 / 2, "p50"},
+                                {1.0, "p100"}};
+  std::vector<std::pair<std::string, double>> metrics;
 
   std::printf("%-16s %12s %12s %12s %12s\n", "pool (MiB)", "symbols",
               "internal", "leaves", "overall");
-  for (double fraction : fractions) {
+  for (const auto& [fraction, label] : fractions) {
     uint64_t pool_bytes =
         static_cast<uint64_t>(static_cast<double>(index_bytes) * fraction);
     storage::BufferPool pool(pool_bytes);
@@ -45,9 +54,15 @@ int Run() {
                 static_cast<double>(pool.capacity_bytes()) / (1 << 20),
                 sym.hit_ratio(), internal.hit_ratio(), leaves.hit_ratio(),
                 pool.TotalStats().hit_ratio());
+    const std::string prefix = std::string("hit.") + label + ".";
+    metrics.emplace_back(prefix + "symbols", sym.hit_ratio());
+    metrics.emplace_back(prefix + "internal", internal.hit_ratio());
+    metrics.emplace_back(prefix + "leaves", leaves.hit_ratio());
+    metrics.emplace_back(prefix + "overall", pool.TotalStats().hit_ratio());
   }
   std::printf("\npaper shape check: internal nodes (clustered layout) retain "
               "the best ratio at small pools\n");
+  WriteBenchJson("fig8_hitratio", metrics);
   return 0;
 }
 

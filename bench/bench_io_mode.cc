@@ -1,0 +1,148 @@
+// kMmap vs kPooled block access on an in-RAM index.
+//
+// The acceptance bar for the mmap fast path: with the whole index resident
+// (pool sized to the full index vs the three files mmapped), raw block
+// accesses through the mapped PageSource must beat the pooled path by at
+// least 1.5x — the pooled hit path still pays an atomic stats bump, a
+// shard lock, a hash probe and pin traffic per access, while the mapped
+// path is a bounds check and pointer arithmetic. The gap widens with
+// threads contending on shard locks.
+//
+// Two tables: raw internal-node block accesses (the access the search loop
+// does most) at 1 and 4 threads, and an end-to-end query workload in both
+// modes, whose result counts must be identical.
+//
+// Scaling knobs: the usual bench_common environment variables.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "suffix/packed_tree.h"
+#include "util/random.h"
+
+namespace oasis {
+namespace bench {
+namespace {
+
+constexpr double kRequiredSpeedup = 1.5;
+
+/// Random internal-node reads over `tree` with `threads` workers; returns
+/// accesses per second. `indices` is pre-generated so both modes replay
+/// the identical trace.
+double MeasureBlockAccess(const suffix::PackedSuffixTree& tree,
+                          const std::vector<uint32_t>& indices,
+                          uint32_t threads) {
+  std::atomic<uint64_t> checksum{0};
+  util::Timer timer;
+  std::vector<std::thread> workers;
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      // Each worker walks the shared trace from its own offset so threads
+      // touch the same blocks in different orders (shard contention in the
+      // pooled mode, nothing shared in the mapped mode).
+      uint64_t local = 0;
+      const size_t n = indices.size();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t idx = indices[(i + t * (n / (threads + 1))) % n];
+        auto node = tree.ReadInternal(idx);
+        OASIS_CHECK(node.ok()) << node.status().ToString();
+        local += node->depth();
+      }
+      checksum.fetch_add(local);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double seconds = timer.ElapsedSeconds();
+  OASIS_CHECK_GT(checksum.load(), 0u);
+  return static_cast<double>(indices.size()) * threads / seconds;
+}
+
+/// Runs every env query through `tree` and returns (results, qps).
+std::pair<uint64_t, double> MeasureQueries(
+    const BenchEnv& env, const suffix::PackedSuffixTree& tree,
+    const std::vector<core::OasisOptions>& resolved) {
+  core::OasisSearch search(&tree, env.matrix);
+  uint64_t results = 0;
+  util::Timer timer;
+  for (size_t i = 0; i < env.queries.size(); ++i) {
+    auto out = search.SearchAll(env.queries[i].symbols, resolved[i]);
+    OASIS_CHECK(out.ok()) << out.status().ToString();
+    results += out->size();
+  }
+  return {results, static_cast<double>(env.queries.size()) /
+                       timer.ElapsedSeconds()};
+}
+
+int Run() {
+  BenchEnv env = MakeProteinEnv();
+  PrintHeader("I/O modes: mmap fast path vs buffer pool, in-RAM index", env);
+
+  // Pooled best case: the pool holds the entire index, so after one warmup
+  // pass every access is a hit — this isolates the per-access overhead the
+  // mmap path removes rather than measuring eviction.
+  storage::BufferPool pool(env.tree->index_bytes() + (1u << 20));
+  auto pooled = suffix::PackedSuffixTree::Open(env.dir->path(), &pool);
+  OASIS_CHECK(pooled.ok()) << pooled.status().ToString();
+  auto mapped = suffix::PackedSuffixTree::OpenMapped(env.dir->path());
+  OASIS_CHECK(mapped.ok()) << mapped.status().ToString();
+  OASIS_CHECK((*mapped)->mapped());
+
+  const uint32_t num_internal =
+      static_cast<uint32_t>((*pooled)->num_internal());
+  util::Random rng(static_cast<uint64_t>(util::EnvInt64("OASIS_SEED", 42)));
+  std::vector<uint32_t> indices(200000);
+  for (uint32_t& idx : indices) {
+    idx = static_cast<uint32_t>(rng.Uniform(num_internal));
+  }
+  // Warmup: fault the mapping in and make the pool fully resident.
+  MeasureBlockAccess(**pooled, indices, 1);
+  MeasureBlockAccess(**mapped, indices, 1);
+
+  std::vector<std::pair<std::string, double>> metrics;
+  bool pass = true;
+  std::printf("block accesses (random internal-node reads, %zu per thread)\n",
+              indices.size());
+  std::printf("%-8s %16s %16s %10s\n", "threads", "pooled (op/s)",
+              "mmap (op/s)", "speedup");
+  for (uint32_t threads : {1u, 4u}) {
+    const double pooled_ops = MeasureBlockAccess(**pooled, indices, threads);
+    const double mapped_ops = MeasureBlockAccess(**mapped, indices, threads);
+    const double speedup = mapped_ops / pooled_ops;
+    std::printf("%-8u %16.0f %16.0f %9.2fx\n", threads, pooled_ops,
+                mapped_ops, speedup);
+    const std::string t = "t" + std::to_string(threads);
+    metrics.emplace_back("blockaccess.speedup." + t, speedup);
+    if (speedup < kRequiredSpeedup) pass = false;
+  }
+
+  // End-to-end: the same query workload in both modes must agree exactly
+  // on the result set, and the mapped mode should win wall-clock.
+  std::vector<core::OasisOptions> resolved(env.queries.size());
+  for (size_t i = 0; i < env.queries.size(); ++i) {
+    resolved[i].min_score = score::MinScoreForEValue(
+        env.karlin, 1000.0, env.queries[i].symbols.size(), env.db_residues());
+  }
+  auto [pooled_results, pooled_qps] = MeasureQueries(env, **pooled, resolved);
+  auto [mapped_results, mapped_qps] = MeasureQueries(env, **mapped, resolved);
+  OASIS_CHECK_EQ(pooled_results, mapped_results)
+      << "modes must find identical result sets";
+  std::printf("\nqueries end-to-end: pooled %.1f q/s, mmap %.1f q/s "
+              "(%.2fx), %llu results in both modes\n",
+              pooled_qps, mapped_qps, mapped_qps / pooled_qps,
+              static_cast<unsigned long long>(pooled_results));
+  metrics.emplace_back("query.speedup", mapped_qps / pooled_qps);
+
+  std::printf("\nshape check: mmap >= %.1fx pooled block-access throughput "
+              "at 1 and 4 threads: %s\n", kRequiredSpeedup,
+              pass ? "PASS" : "FAIL");
+  WriteBenchJson("io_mode", metrics);
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oasis
+
+int main() { return oasis::bench::Run(); }

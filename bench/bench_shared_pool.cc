@@ -135,6 +135,7 @@ int Run() {
   double baseline_hit = -1.0;
   bool hit_ok = true;
   uint64_t reference_results = 0;
+  std::vector<std::pair<std::string, double>> metrics;
   for (uint32_t threads = 1; threads <= max_threads; threads *= 2) {
     ModeOutcome replica = RunReplicaMode(env, resolved, threads, total_bytes);
     ModeOutcome shared = RunSharedMode(env, resolved, threads, total_bytes);
@@ -155,6 +156,10 @@ int Run() {
                 replica.seconds, n / replica.seconds,
                 replica.stats.hit_ratio(), shared.seconds, n / shared.seconds,
                 shared.stats.hit_ratio());
+    const std::string t = "t" + std::to_string(threads);
+    metrics.emplace_back("hit.shared." + t, shared.stats.hit_ratio());
+    metrics.emplace_back("hit.replica." + t, replica.stats.hit_ratio());
+    metrics.emplace_back("qps.shared." + t, n / shared.seconds);
   }
 
   std::printf("\nshape check: shared hit ratio stays >= the single-thread "
@@ -162,6 +167,7 @@ int Run() {
               hit_ok ? "PASS" : "FAIL");
   std::printf("replica hit ratio decays as the per-worker pool shrinks; "
               "shared wall-clock speedup additionally needs real cores\n");
+  WriteBenchJson("shared_pool", metrics);
   return hit_ok ? 0 : 1;
 }
 

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Merge bench JSON outputs and gate them against the checked-in baseline.
+
+Each bench binary writes a {"bench": name, "metrics": {...}} file when
+OASIS_BENCH_JSON is set (see bench/bench_common.h). This script merges those
+files into one BENCH_ci.json artifact and compares every metric listed in
+the baseline's "gated" array against the baseline value: all gated metrics
+are higher-is-better, and a value below baseline * (1 - tolerance) fails
+the job. Ungated metrics (wall-clock throughput on shared runners, mostly)
+are recorded in the artifact but never fail CI.
+
+Usage:
+  bench_gate.py --baseline ci/bench_baseline.json --out BENCH_ci.json \
+      fig8.json shared_pool.json io_mode.json
+
+Regenerating the baseline after an intentional perf change: run the benches
+with the same OASIS_* settings the CI job uses, then
+  bench_gate.py --baseline ci/bench_baseline.json --out BENCH_ci.json \
+      --write-baseline ...files
+which rewrites the baseline's metric values, keeping its gated list and
+tolerance.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--out", required=True)
+    parser.add_argument("--write-baseline", action="store_true")
+    parser.add_argument("inputs", nargs="+")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    tolerance = baseline.get("tolerance", 0.25)
+
+    merged = {}
+    for path in args.inputs:
+        data = load(path)
+        bench = data["bench"]
+        for name, value in data["metrics"].items():
+            merged[f"{bench}.{name}"] = value
+
+    with open(args.out, "w") as f:
+        json.dump(
+            {"tolerance": tolerance, "gated": baseline["gated"], "metrics": merged},
+            f,
+            indent=2,
+            sort_keys=True,
+        )
+        f.write("\n")
+    print(f"wrote {len(merged)} metrics to {args.out}")
+
+    if args.write_baseline:
+        baseline["metrics"] = {
+            key: merged[key] for key in baseline["gated"] if key in merged
+        }
+        missing = [key for key in baseline["gated"] if key not in merged]
+        if missing:
+            sys.exit(f"gated metrics absent from this run: {missing}")
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"rewrote baseline {args.baseline}")
+        return
+
+    failures = []
+    print(f"\n{'metric':48} {'baseline':>10} {'current':>10} {'floor':>10}")
+    for key in baseline["gated"]:
+        base = baseline["metrics"].get(key)
+        current = merged.get(key)
+        if base is None or current is None:
+            failures.append(f"{key}: missing ({'baseline' if base is None else 'current run'})")
+            continue
+        floor = base * (1.0 - tolerance)
+        status = "ok" if current >= floor else "REGRESSION"
+        print(f"{key:48} {base:10.4f} {current:10.4f} {floor:10.4f}  {status}")
+        if current < floor:
+            failures.append(
+                f"{key}: {current:.4f} < floor {floor:.4f} (baseline {base:.4f})"
+            )
+
+    if failures:
+        print("\nbench regression gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        sys.exit(1)
+    print(f"\nbench regression gate passed ({len(baseline['gated'])} gated metrics)")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,19 +3,24 @@
 //   oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]
 //   oasis_cli search <index_dir> <QUERYRESIDUES>
 //              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
+//              [--io-mode auto|pooled|mmap]
 //              [--alignments] [--by-evalue] [--stats]
 //   oasis_cli batch  <index_dir> <queries.fasta> [--threads N]
 //              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
-//              [--stats]
+//              [--io-mode auto|pooled|mmap] [--stats]
 //
 // `index` builds the packed suffix tree AND the sequence catalog from a
 // FASTA file; `search` and `batch` need only the index directory — result
 // labels come from the catalog, so the database FASTA is never reloaded.
 // `batch` reads one query per FASTA record and fans them across a thread
 // pool via Engine::SearchBatch; all workers share the engine's one sharded
-// buffer pool, sized by --pool-mb. `--stats` prints the per-segment
-// buffer-pool requests / hits / hit ratios after the search — the same
-// numbers Figure 8 of the paper plots.
+// buffer pool, sized by --pool-mb. `--io-mode` picks the storage path:
+// `mmap` maps the index read-only (zero-copy, no pool), `pooled` forces
+// the buffer pool, and `auto` (default) maps the index when it fits the
+// engine's RAM budget. `--stats` prints the per-segment buffer-pool
+// requests / hits / hit ratios after the search — the same numbers
+// Figure 8 of the paper plots (pooled mode only; an mmap engine keeps no
+// such statistics).
 
 #include <algorithm>
 #include <cstdio>
@@ -38,10 +43,11 @@ int Usage() {
       "  oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]\n"
       "  oasis_cli search <index_dir> <QUERY>\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
+      "             [--io-mode auto|pooled|mmap]\n"
       "             [--alignments] [--by-evalue] [--stats]\n"
       "  oasis_cli batch  <index_dir> <queries.fasta> [--threads N]\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
-      "             [--stats]\n");
+      "             [--io-mode auto|pooled|mmap] [--stats]\n");
   return 2;
 }
 
@@ -52,6 +58,7 @@ struct Args {
   score::ScoreT min_score = 0;  // 0 = derive from evalue
   uint64_t top = 0;
   uint64_t pool_mb = 64;
+  IoMode io_mode = IoMode::kAuto;
   uint32_t threads = 4;
   bool alignments = false;
   bool by_evalue = false;
@@ -98,6 +105,19 @@ bool Parse(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->pool_mb = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--io-mode") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "auto") == 0) {
+        args->io_mode = IoMode::kAuto;
+      } else if (std::strcmp(v, "pooled") == 0) {
+        args->io_mode = IoMode::kPooled;
+      } else if (std::strcmp(v, "mmap") == 0) {
+        args->io_mode = IoMode::kMmap;
+      } else {
+        std::fprintf(stderr, "unknown --io-mode '%s'\n", v);
+        return false;
+      }
     } else if (flag == "--threads") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -121,9 +141,19 @@ int Fail(const util::Status& status) {
   return 1;
 }
 
+const char* IoModeName(IoMode mode) {
+  return mode == IoMode::kMmap ? "mmap" : "pooled";
+}
+
 /// Per-segment buffer-pool requests / hits / hit ratio — the Figure 8
-/// numbers, straight from the CLI.
+/// numbers, straight from the CLI. An mmap engine never fetches through a
+/// pool, so there is nothing to print.
 void PrintPoolStats(const Engine& engine) {
+  if (!engine.uses_pool()) {
+    std::printf("\nio mode mmap: zero-copy block access, no buffer-pool "
+                "statistics (use --io-mode pooled for Figure 8 numbers)\n");
+    return;
+  }
   const storage::BufferPool& pool = engine.pool();
   std::printf("\nbuffer pool: %u frames x %u B in %u shard%s\n",
               pool.num_frames(), pool.block_size(), pool.num_shards(),
@@ -175,6 +205,7 @@ int RunIndex(const Args& args) {
 int RunSearch(const Args& args) {
   EngineOptions options;
   options.pool_bytes = args.pool_mb << 20;
+  options.io_mode = args.io_mode;
   auto engine = Engine::Open(args.index_dir, options);
   if (!engine.ok()) return Fail(engine.status());
 
@@ -184,9 +215,10 @@ int RunSearch(const Args& args) {
 
   auto min_score = (*engine)->ResolveMinScore(*request);
   if (!min_score.ok()) return Fail(min_score.status());
-  std::printf("searching %zu-residue query, matrix %s, minScore %d\n\n",
+  std::printf("searching %zu-residue query, matrix %s, minScore %d, "
+              "io mode %s\n\n",
               request->query().size(), (*engine)->matrix().name().c_str(),
-              *min_score);
+              *min_score, IoModeName((*engine)->io_mode()));
 
   // Verbose alignment printing needs the residues; materialize them from
   // the index (still no FASTA involved).
@@ -199,7 +231,7 @@ int RunSearch(const Args& args) {
 
   // Database materialization above reads through the pool too; reset so
   // --stats reports the search traffic alone.
-  if (args.stats) (*engine)->pool().ResetStats();
+  if (args.stats && (*engine)->uses_pool()) (*engine)->pool().ResetStats();
 
   auto cursor = (*engine)->Search(*request);
   if (!cursor.ok()) return Fail(cursor.status());
@@ -236,6 +268,7 @@ int RunSearch(const Args& args) {
 int RunBatch(const Args& args) {
   EngineOptions options;
   options.pool_bytes = args.pool_mb << 20;
+  options.io_mode = args.io_mode;
   auto engine = Engine::Open(args.index_dir, options);
   if (!engine.ok()) return Fail(engine.status());
 
@@ -253,11 +286,17 @@ int RunBatch(const Args& args) {
   BatchOptions batch;
   batch.threads = args.threads;
   // --pool-mb sized the engine's pool above; all batch workers share it.
-  if (args.stats) (*engine)->pool().ResetStats();
-  std::printf("batch: %zu queries, up to %u worker threads over a shared "
-              "%llu MiB pool\n\n",
-              requests.size(), batch.threads,
-              static_cast<unsigned long long>(args.pool_mb));
+  if (args.stats && (*engine)->uses_pool()) (*engine)->pool().ResetStats();
+  if ((*engine)->uses_pool()) {
+    std::printf("batch: %zu queries, up to %u worker threads over a shared "
+                "%llu MiB pool\n\n",
+                requests.size(), batch.threads,
+                static_cast<unsigned long long>(args.pool_mb));
+  } else {
+    std::printf("batch: %zu queries, up to %u worker threads over the "
+                "mmapped index\n\n",
+                requests.size(), batch.threads);
+  }
   util::Timer timer;
   auto results = (*engine)->SearchBatch(requests, batch);
   if (!results.ok()) return Fail(results.status());

@@ -120,10 +120,13 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::Open(
 }
 
 util::Status Engine::ValidateOptions(const EngineOptions& options) {
-  if (options.pool_bytes == 0) {
+  // An explicit kMmap engine never creates a pool, so pool_bytes is
+  // legitimately irrelevant (0 included). kAuto may still resolve to the
+  // pooled path, so it needs a valid size up front.
+  if (options.pool_bytes == 0 && options.io_mode != IoMode::kMmap) {
     return util::Status::InvalidArgument(
         "EngineOptions::pool_bytes must be positive (the buffer pool is the "
-        "one global cache all searches share)");
+        "one global cache all pooled-mode searches share)");
   }
   return util::Status::OK();
 }
@@ -135,14 +138,30 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::OpenInternal(
   OASIS_ASSIGN_OR_RETURN(uint32_t block_size,
                          suffix::PeekIndexBlockSize(index_dir));
 
+  // Resolve the I/O path: kAuto maps the index when its packed files fit
+  // the RAM budget and falls back to the bounded pool otherwise.
+  IoMode io_mode = options.io_mode;
+  if (io_mode == IoMode::kAuto) {
+    OASIS_ASSIGN_OR_RETURN(uint64_t index_bytes,
+                           suffix::PackedIndexBytes(index_dir));
+    io_mode = index_bytes <= options.mmap_budget_bytes ? IoMode::kMmap
+                                                       : IoMode::kPooled;
+  }
+
   // Cannot use make_unique: constructor is private.
   std::unique_ptr<Engine> engine(new Engine());
   engine->index_dir_ = index_dir;
-  engine->pool_ =
-      std::make_unique<storage::BufferPool>(options.pool_bytes, block_size);
-  OASIS_ASSIGN_OR_RETURN(
-      engine->tree_,
-      suffix::PackedSuffixTree::Open(index_dir, engine->pool_.get()));
+  engine->io_mode_ = io_mode;
+  if (io_mode == IoMode::kMmap) {
+    OASIS_ASSIGN_OR_RETURN(engine->tree_,
+                           suffix::PackedSuffixTree::OpenMapped(index_dir));
+  } else {
+    engine->pool_ =
+        std::make_unique<storage::BufferPool>(options.pool_bytes, block_size);
+    OASIS_ASSIGN_OR_RETURN(
+        engine->tree_,
+        suffix::PackedSuffixTree::Open(index_dir, engine->pool_.get()));
+  }
   engine->alphabet_ = &seq::Alphabet::Get(engine->tree_->alphabet_kind());
   engine->matrix_ = options.matrix != nullptr
                         ? options.matrix
@@ -362,7 +381,11 @@ util::StatusOr<const seq::SequenceDatabase*> Engine::ResidentDatabase() {
     constexpr uint64_t kChunk = 1u << 20;
     for (uint64_t off = 0; off < len; off += kChunk) {
       const uint32_t n = static_cast<uint32_t>(std::min(kChunk, len - off));
-      OASIS_RETURN_NOT_OK(tree_->ReadSymbols(start + off, n, &bytes));
+      // One-pass scan of the whole symbols file: the kScan admission hint
+      // keeps it from refreshing CLOCK reference bits, so materializing
+      // the database cannot evict the hot internal blocks searches use.
+      OASIS_RETURN_NOT_OK(tree_->ReadSymbols(start + off, n, &bytes,
+                                             storage::Admission::kScan));
       symbols.insert(symbols.end(), bytes.begin(), bytes.end());
     }
     for (seq::Symbol s : symbols) {

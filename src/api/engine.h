@@ -51,12 +51,37 @@
 namespace oasis {
 namespace api {
 
+/// How the engine reads index blocks (the storage layer's two I/O paths).
+enum class IoMode {
+  /// Pick per index: mmap when the packed files fit the RAM budget
+  /// (EngineOptions::mmap_budget_bytes), the buffer pool otherwise.
+  kAuto,
+  /// Always the sharded CLOCK buffer pool: bounded memory
+  /// (EngineOptions::pool_bytes) and per-segment hit statistics — the
+  /// disk-resident configuration the paper measures (Figures 7/8).
+  kPooled,
+  /// Always mmap the three packed files: zero-copy block access with no
+  /// locking and no pool bookkeeping, at the cost of statistics and of
+  /// trusting the OS page cache to hold the index.
+  kMmap,
+};
+
 /// Construction-time knobs of an Engine.
 struct EngineOptions {
   /// Buffer pool capacity for this engine's searches — one global knob
   /// shared by every concurrent search (including SearchBatch workers).
-  /// Must be positive; the factories reject 0.
+  /// Must be positive unless io_mode is explicitly kMmap (no pool exists
+  /// then and the field is ignored; the factories reject 0 otherwise,
+  /// kAuto included since it may resolve to the pooled path).
   uint64_t pool_bytes = 64ull << 20;
+
+  /// I/O path selection; see IoMode.
+  IoMode io_mode = IoMode::kAuto;
+
+  /// kAuto picks mmap when the packed index is at most this many bytes
+  /// (0 = never auto-map). The default trusts indexes up to 1 GiB to sit
+  /// comfortably in RAM alongside the rest of the process.
+  uint64_t mmap_budget_bytes = 1ull << 30;
 
   /// Block size for *newly built* indexes (Build / BuildFromDatabase).
   /// Open() always adopts the block size recorded in the index metadata.
@@ -188,13 +213,15 @@ struct BatchOptions {
   uint32_t threads = 4;
 };
 
-/// The engine facade. Owns database metadata + packed suffix tree + buffer
-/// pool + scoring for one index directory. All search entry points are
-/// const and safe to call from any number of threads concurrently: they
-/// share the engine's one packed tree and one sharded buffer pool
-/// (SearchBatch is just a convenience fan-out over the same machinery).
-/// The non-const members (BlastSearch via ResidentDatabase, pool()
-/// mutation) are single-threaded.
+/// The engine facade. Owns database metadata + packed suffix tree +
+/// storage layer + scoring for one index directory. All search entry
+/// points are const and safe to call from any number of threads
+/// concurrently: they share the engine's one packed tree, read through
+/// one of the two storage paths — the sharded buffer pool, or mmapped
+/// index files when io_mode resolves to kMmap (then uses_pool() is false
+/// and pool() must not be called) — and SearchBatch is just a convenience
+/// fan-out over the same machinery. The non-const members (BlastSearch
+/// via ResidentDatabase, pool() mutation) are single-threaded.
 class Engine {
  public:
   /// Builds an index: parse `fasta_path` under options.alphabet, build the
@@ -271,8 +298,21 @@ class Engine {
   const score::SubstitutionMatrix& matrix() const { return *matrix_; }
   const suffix::PackedSuffixTree& tree() const { return *tree_; }
   const SequenceCatalog& catalog() const { return catalog_; }
-  storage::BufferPool& pool() { return *pool_; }
-  const storage::BufferPool& pool() const { return *pool_; }
+
+  /// The I/O path this engine resolved to (never kAuto).
+  IoMode io_mode() const { return io_mode_; }
+  /// True when index blocks go through a buffer pool (io_mode kPooled);
+  /// mmap engines have no pool and keep no access statistics.
+  bool uses_pool() const { return pool_ != nullptr; }
+  /// The buffer pool. Precondition: uses_pool().
+  storage::BufferPool& pool() {
+    OASIS_CHECK(pool_ != nullptr) << "mmap engine has no buffer pool";
+    return *pool_;
+  }
+  const storage::BufferPool& pool() const {
+    OASIS_CHECK(pool_ != nullptr) << "mmap engine has no buffer pool";
+    return *pool_;
+  }
 
   /// Karlin-Altschul statistics of the scoring system (needed for E-value
   /// cutoffs and E-value-ordered streams). Absent for scoring systems with
@@ -301,7 +341,8 @@ class Engine {
   std::string index_dir_;
   const seq::Alphabet* alphabet_ = nullptr;
   const score::SubstitutionMatrix* matrix_ = nullptr;
-  std::unique_ptr<storage::BufferPool> pool_;
+  IoMode io_mode_ = IoMode::kPooled;  ///< resolved; never kAuto
+  std::unique_ptr<storage::BufferPool> pool_;  ///< null for mmap engines
   std::unique_ptr<suffix::PackedSuffixTree> tree_;
   std::unique_ptr<core::OasisSearch> search_;
   std::unique_ptr<seq::SequenceDatabase> db_;  ///< resident; may be null
@@ -318,6 +359,7 @@ using api::BatchOptions;
 using api::BatchResult;
 using api::Engine;
 using api::EngineOptions;
+using api::IoMode;
 using api::ResultCursor;
 using api::SearchRequest;
 

@@ -72,7 +72,8 @@ util::StatusOr<SegmentId> BufferPool::RegisterSegment(std::string name,
   return static_cast<SegmentId>(files_.size() - 1);
 }
 
-util::StatusOr<PageHandle> BufferPool::Fetch(SegmentId segment, BlockId block) {
+util::StatusOr<PageHandle> BufferPool::Fetch(SegmentId segment, BlockId block,
+                                             Admission admission) {
   if (segment >= files_.size()) {
     return util::Status::InvalidArgument("unknown segment id " +
                                          std::to_string(segment));
@@ -82,30 +83,52 @@ util::StatusOr<PageHandle> BufferPool::Fetch(SegmentId segment, BlockId block) {
   Shard& shard = shards_[shard_index];
   SegmentStatsCell& st = stats_[segment].cells[shard_index];
   st.requests.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::unique_lock<std::mutex> lock(shard.mutex);
 
-  auto it = shard.page_table.find(key);
-  if (it != shard.page_table.end()) {
-    st.hits.fetch_add(1, std::memory_order_relaxed);
-    Frame& f = shard.frames[it->second];
-    f.pin_count.fetch_add(1, std::memory_order_relaxed);
-    f.referenced = true;
-    return PageHandle(&f.pin_count,
-                      shard.memory +
-                          static_cast<size_t>(it->second) * block_size_);
-  }
-
-  // A shard can be *transiently* fully pinned when concurrent fetches
-  // collide on it; pins are released without the shard mutex, so they can
-  // drain while we wait. Retry the sweep before declaring exhaustion —
-  // the hard error is reserved for pins that never go away (a caller
-  // holding more handles than the shard has frames).
-  util::StatusOr<uint32_t> victim_or = FindVictim(shard);
-  for (int attempt = 0; !victim_or.ok() && attempt < 256; ++attempt) {
+  uint32_t victim = 0;
+  int exhausted_sweeps = 0;
+  while (true) {
+    auto it = shard.page_table.find(key);
+    if (it != shard.page_table.end()) {
+      st.hits.fetch_add(1, std::memory_order_relaxed);
+      Frame& f = shard.frames[it->second];
+      f.pin_count.fetch_add(1, std::memory_order_relaxed);
+      if (admission == Admission::kNormal) f.referenced = true;
+      return PageHandle(&f.pin_count,
+                        shard.memory +
+                            static_cast<size_t>(it->second) * block_size_);
+    }
+    // Another thread may already be reading this exact block: wait for its
+    // load instead of duplicating the I/O, then re-check the page table. A
+    // successful load resolves as a hit above; a failed one (the frame
+    // reverts to unoccupied, possibly already reused for a different key)
+    // comes back around and retries as a fresh miss.
+    auto inflight = shard.in_flight.find(key);
+    if (inflight != shard.in_flight.end()) {
+      Frame& f = shard.frames[inflight->second];
+      f.ready->wait(lock, [&] {
+        return !(f.loading && f.segment == segment && f.block == block);
+      });
+      continue;
+    }
+    util::StatusOr<uint32_t> victim_or = FindVictim(shard);
+    if (victim_or.ok()) {
+      victim = *victim_or;
+      break;
+    }
+    // A shard can be *transiently* fully pinned when concurrent fetches
+    // collide on it. Drop the mutex while yielding: plain pin holders
+    // release lock-free, but an in-flight loader can only publish (and so
+    // drop its pin) after re-acquiring this lock. Then retry from the top
+    // — while the lock was gone the block may even have been published,
+    // which the page-table re-check must catch before a second load. The
+    // hard error is reserved for pins that never go away (a caller
+    // holding more handles than the shard has frames).
+    if (++exhausted_sweeps > 256) return victim_or.status();
+    lock.unlock();
     std::this_thread::yield();
-    victim_or = FindVictim(shard);
+    lock.lock();
   }
-  OASIS_ASSIGN_OR_RETURN(uint32_t victim, std::move(victim_or));
   Frame& f = shard.frames[victim];
   if (f.occupied) {
     // Drop the victim's old identity *before* the read: if ReadBlock fails
@@ -114,19 +137,33 @@ util::StatusOr<PageHandle> BufferPool::Fetch(SegmentId segment, BlockId block) {
     shard.page_table.erase(Key(f.segment, f.block));
     f.occupied = false;
   }
-  uint8_t* slot = shard.memory + static_cast<size_t>(victim) * block_size_;
-  // The read happens under the shard mutex: simple and provably
-  // duplicate-free, at the cost of serializing this shard during a miss.
-  // Moving it off-lock needs an in-flight table (see ROADMAP "Async
-  // prefetch") — without one, two concurrent misses on the same block
-  // would load two frames with the same identity and corrupt the table.
-  OASIS_RETURN_NOT_OK(files_[segment]->ReadBlock(block, slot));
+  // Claim the frame for this key and drop the lock for the read. The
+  // loader's pin keeps CLOCK off the frame, the in-flight entry routes
+  // concurrent requesters of the same key onto the frame's condvar, and
+  // the key stays out of the page table until the data is actually there —
+  // so hits and unrelated misses proceed while the pread is outstanding.
   f.segment = segment;
   f.block = block;
   f.pin_count.store(1, std::memory_order_relaxed);
-  f.referenced = true;
+  f.loading = true;
+  shard.in_flight.emplace(key, victim);
+  uint8_t* slot = shard.memory + static_cast<size_t>(victim) * block_size_;
+  lock.unlock();
+  util::Status read = files_[segment]->ReadBlock(block, slot);
+  lock.lock();
+  shard.in_flight.erase(key);
+  f.loading = false;
+  if (!read.ok()) {
+    // Release the claim; the frame is free (and possibly garbage-filled),
+    // exactly like a failed under-lock read used to leave it.
+    f.pin_count.store(0, std::memory_order_relaxed);
+    f.ready->notify_all();
+    return read;
+  }
+  f.referenced = admission == Admission::kNormal;
   f.occupied = true;
   shard.page_table[key] = victim;
+  f.ready->notify_all();
   return PageHandle(&f.pin_count, slot);
 }
 
@@ -138,12 +175,15 @@ util::StatusOr<uint32_t> BufferPool::FindVictim(Shard& shard) {
     Frame& f = shard.frames[shard.clock_hand];
     uint32_t candidate = shard.clock_hand;
     shard.clock_hand = (shard.clock_hand + 1) % n;
-    if (!f.occupied) return candidate;
     // Acquire pairs with the release decrement in PageHandle::Release: once
     // we observe pin_count == 0 here, every read the last holder made
     // through the frame happened-before our overwrite. A count can only
-    // rise again under this shard's lock, which we hold.
+    // rise again under this shard's lock, which we hold. The pin check must
+    // precede the occupancy check: a frame with an off-lock read in flight
+    // is unoccupied but carries its loader's pin, and stealing it would put
+    // two reads into one slot.
     if (f.pin_count.load(std::memory_order_acquire) > 0) continue;
+    if (!f.occupied) return candidate;
     if (f.referenced) {
       f.referenced = false;
       continue;
@@ -192,8 +232,10 @@ void BufferPool::Clear() {
       f.pin_count.store(0, std::memory_order_relaxed);
       f.referenced = false;
       f.occupied = false;
+      f.loading = false;
     }
     shard.page_table.clear();
+    shard.in_flight.clear();
     shard.clock_hand = 0;
   }
 }
@@ -203,9 +245,10 @@ uint32_t BufferPool::num_pinned() const {
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (const Frame& f : shard.frames) {
-      if (f.occupied && f.pin_count.load(std::memory_order_acquire) > 0) {
-        ++pinned;
-      }
+      // Any non-zero pin counts — including a loading frame's loader pin
+      // (pinned but not yet occupied) — so the quiescence checks in
+      // Clear() and the destructor stay loud while a read is in flight.
+      if (f.pin_count.load(std::memory_order_acquire) > 0) ++pinned;
     }
   }
   return pinned;

@@ -21,6 +21,16 @@
 // aggregate exactly. Block reads use pread through BlockFile, which is
 // safe for concurrent readers.
 //
+// Miss I/O runs OFF the shard lock: a miss claims a victim frame, registers
+// the (segment, block) key in the shard's in-flight table, and releases the
+// mutex for the duration of the pread — hits and unrelated misses on the
+// same shard proceed while the disk read is outstanding. Concurrent
+// requesters of a block that is already loading find its in-flight entry
+// and block on the loading frame's condition variable instead of issuing a
+// duplicate read; they resolve as hits once the loader publishes the page
+// (or retry as fresh misses if the load failed). The shard mutex is only
+// ever held for table and clock bookkeeping.
+//
 // RegisterSegment is the one exception: segments must all be registered
 // before the first concurrent Fetch (the engine registers them at index
 // open time, before any search runs).
@@ -28,6 +38,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -44,6 +55,15 @@ namespace oasis {
 namespace storage {
 
 using SegmentId = uint32_t;
+
+/// How a fetched page should be treated by the replacement policy.
+///
+/// kNormal sets the CLOCK reference bit, giving the page a second chance.
+/// kScan is the admission hint for sequential scans (e.g. materializing the
+/// resident database streams the whole symbols file through the pool): the
+/// page is cached but its reference bit is left untouched, so a one-pass
+/// scan cannot evict the hot internal blocks that real searches keep warm.
+enum class Admission { kNormal, kScan };
 
 /// Request/hit counters for one segment: a plain-value snapshot of the
 /// pool's internal atomic counters.
@@ -139,9 +159,13 @@ class BufferPool {
   }
 
   /// Fetches block `block` of `segment`, pinning it. Counts one request,
-  /// and one hit when the block was already resident. Safe to call from any
-  /// number of threads concurrently.
-  util::StatusOr<PageHandle> Fetch(SegmentId segment, BlockId block);
+  /// and one hit when the block was already resident (or became resident
+  /// via another thread's in-flight read while this call waited). Safe to
+  /// call from any number of threads concurrently. `admission` is the
+  /// replacement-policy hint; kScan keeps one-pass scans from refreshing
+  /// the reference bit.
+  util::StatusOr<PageHandle> Fetch(SegmentId segment, BlockId block,
+                                   Admission admission = Admission::kNormal);
 
   /// Statistics snapshot for one segment. Exact after quiescence; during
   /// concurrent traffic each counter is individually exact (relaxed loads).
@@ -171,14 +195,23 @@ class BufferPool {
     std::atomic<uint32_t> pin_count{0};
     bool referenced = false;
     bool occupied = false;
+    /// True while a miss read into this frame is outstanding off-lock. A
+    /// loading frame is pinned by its loader (so CLOCK skips it) and its
+    /// key lives in the shard's in-flight table, not the page table.
+    bool loading = false;
+    /// Signalled (under the shard mutex) when a load into this frame
+    /// finishes, success or failure. Heap-allocated so frames stay movable
+    /// during shard construction.
+    std::unique_ptr<std::condition_variable> ready;
 
-    Frame() = default;
+    Frame() : ready(std::make_unique<std::condition_variable>()) {}
     // Move is only used while the shard's frame vector is being built,
     // strictly before any concurrent access.
     Frame(Frame&& other) noexcept
         : segment(other.segment), block(other.block),
           pin_count(other.pin_count.load(std::memory_order_relaxed)),
-          referenced(other.referenced), occupied(other.occupied) {}
+          referenced(other.referenced), occupied(other.occupied),
+          loading(other.loading), ready(std::move(other.ready)) {}
   };
 
   /// One independent CLOCK region: its own lock, frames, table and hand.
@@ -187,6 +220,10 @@ class BufferPool {
     std::vector<Frame> frames;
     /// (segment, block) key -> index into `frames`.
     std::unordered_map<uint64_t, uint32_t> page_table;
+    /// Keys whose miss read is currently outstanding -> loading frame.
+    /// Requesters of an in-flight key wait on that frame's condvar instead
+    /// of duplicating the I/O.
+    std::unordered_map<uint64_t, uint32_t> in_flight;
     uint32_t clock_hand = 0;
     uint8_t* memory = nullptr;  ///< frames.size() * block_size bytes.
   };

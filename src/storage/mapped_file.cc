@@ -1,0 +1,88 @@
+#include "storage/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace oasis {
+namespace storage {
+
+namespace {
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + std::strerror(errno);
+}
+}  // namespace
+
+MappedFile::~MappedFile() { Unmap(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), path_(std::move(other.path_)),
+      block_size_(other.block_size_), opened_(other.opened_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.opened_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    data_ = other.data_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    block_size_ = other.block_size_;
+    opened_ = other.opened_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.opened_ = false;
+  }
+  return *this;
+}
+
+void MappedFile::Unmap() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+util::StatusOr<MappedFile> MappedFile::Open(const std::string& path,
+                                            uint32_t block_size) {
+  if (block_size == 0) {
+    return util::Status::InvalidArgument("block size must be positive");
+  }
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return util::Status::IOError(Errno("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return util::Status::IOError(Errno("stat", path));
+  }
+  if (st.st_size % block_size != 0) {
+    ::close(fd);
+    return util::Status::Corruption(
+        "file '" + path + "' size " + std::to_string(st.st_size) +
+        " is not a multiple of block size " + std::to_string(block_size));
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MappedFile(nullptr, 0, path, block_size);
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is not
+  // needed past this point, success or failure.
+  ::close(fd);
+  if (map == MAP_FAILED) return util::Status::IOError(Errno("mmap", path));
+  // Ask the kernel to fault the range in eagerly: the fast path exists for
+  // indexes that fit in RAM, so cold-start page faults are front-loaded.
+  ::madvise(map, size, MADV_WILLNEED);
+  return MappedFile(static_cast<const uint8_t*>(map), size, path, block_size);
+}
+
+}  // namespace storage
+}  // namespace oasis

@@ -1,0 +1,74 @@
+// Read-only memory mapping over a block file.
+//
+// The mmap fast path of the storage layer: when an index fits in RAM (or
+// the OS page cache is trusted), the three packed files are mapped once and
+// every block access resolves to a pointer into the mapping — no Fetch, no
+// memcpy, no pool bookkeeping, and nothing shared between reader threads.
+// The file descriptor is closed right after mmap; the mapping keeps the
+// pages alive until the MappedFile is destroyed.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/block_file.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace storage {
+
+/// An immutable, page-cache-backed view of a whole block file. All
+/// accessors are const and touch no mutable state, so any number of threads
+/// may read concurrently with no synchronization at all.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  /// Maps an existing block file read-only. Fails if the file size is not a
+  /// multiple of `block_size` (same contract as BlockFile::Open). An empty
+  /// file maps to a valid zero-block view. The kernel is advised to fault
+  /// the whole range in eagerly (MADV_WILLNEED).
+  static util::StatusOr<MappedFile> Open(
+      const std::string& path, uint32_t block_size = kDefaultBlockSize);
+
+  uint32_t block_size() const { return block_size_; }
+  uint64_t num_blocks() const { return size_ / block_size_; }
+  uint64_t size_bytes() const { return size_; }
+  const std::string& path() const { return path_; }
+  /// True for any successfully Open()ed file, including an empty one;
+  /// false for a default-constructed or moved-from instance.
+  bool is_open() const { return opened_; }
+
+  /// Start of the mapping (nullptr for an empty file).
+  const uint8_t* data() const { return data_; }
+
+  /// Pointer to block `id`. Caller must keep id < num_blocks(); the pointer
+  /// stays valid for the lifetime of the MappedFile.
+  const uint8_t* block(BlockId id) const {
+    return data_ + static_cast<size_t>(id) * block_size_;
+  }
+
+ private:
+  MappedFile(const uint8_t* data, uint64_t size, std::string path,
+             uint32_t block_size)
+      : data_(data), size_(size), path_(std::move(path)),
+        block_size_(block_size), opened_(true) {}
+
+  void Unmap();
+
+  const uint8_t* data_ = nullptr;
+  uint64_t size_ = 0;
+  std::string path_;
+  uint32_t block_size_ = kDefaultBlockSize;
+  bool opened_ = false;
+};
+
+}  // namespace storage
+}  // namespace oasis

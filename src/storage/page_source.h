@@ -1,0 +1,139 @@
+// PageSource: the one interface the tree layers read blocks through.
+//
+// Two I/O paths sit behind it:
+//
+//   pooled  Fetch goes to the sharded CLOCK BufferPool — frames, eviction,
+//           per-segment hit statistics (Figures 7/8), the right choice for
+//           disk-resident indexes.
+//
+//   mapped  the segment is a read-only mmap (MappedFile) and Fetch is a
+//           bounds check plus pointer arithmetic — no lock, no page table,
+//           no memcpy, no bookkeeping of any kind. The right choice when
+//           the index fits in RAM; statistics are undefined by design
+//           (every access would be a "hit").
+//
+// PageSource is deliberately non-virtual: the mode test is one predictable
+// branch, so the mapped fast path stays a handful of instructions and the
+// pooled path pays nothing it didn't already pay.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/mapped_file.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace storage {
+
+/// What a reader holds while looking at one block: a pinned pool page or a
+/// raw pointer into a mapping. data() stays valid while the ref is alive
+/// (for mapped refs, while the MappedFile is alive). Move-only, like the
+/// PageHandle it may wrap.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept
+      : handle_(std::move(other.handle_)), data_(other.data_) {
+    other.data_ = nullptr;
+  }
+  PageRef& operator=(PageRef&& other) noexcept {
+    if (this != &other) {
+      handle_ = std::move(other.handle_);
+      data_ = other.data_;
+      other.data_ = nullptr;
+    }
+    return *this;
+  }
+
+  const uint8_t* data() const { return data_; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  friend class PageSource;
+  explicit PageRef(const uint8_t* raw) : data_(raw) {}
+  explicit PageRef(PageHandle handle) : handle_(std::move(handle)) {
+    data_ = handle_.data();
+  }
+
+  PageHandle handle_;  ///< empty for mapped refs
+  const uint8_t* data_ = nullptr;
+};
+
+/// Block access for a set of registered segments, in one of the two modes.
+/// Like the pool, segment registration is single-threaded setup; Fetch is
+/// safe for any number of concurrent readers in both modes afterwards.
+class PageSource {
+ public:
+  /// A source that fetches through `pool` (which must outlive it).
+  static PageSource Pooled(BufferPool* pool) {
+    PageSource source;
+    source.pool_ = pool;
+    return source;
+  }
+
+  /// A source that resolves blocks inside mmapped files.
+  static PageSource Mapped() { return PageSource(); }
+
+  PageSource() = default;
+
+  bool mapped() const { return pool_ == nullptr; }
+  BufferPool* pool() const { return pool_; }
+
+  /// Registers a backing file as the next segment. The BlockFile overload
+  /// is pooled-mode only, the MappedFile overload mapped-mode only; the
+  /// file must outlive the source.
+  util::StatusOr<SegmentId> AddSegment(std::string name,
+                                       const BlockFile* file) {
+    if (mapped()) {
+      return util::Status::InvalidArgument(
+          "BlockFile segment '" + name + "' on a mapped PageSource");
+    }
+    return pool_->RegisterSegment(std::move(name), file);
+  }
+  util::StatusOr<SegmentId> AddSegment(std::string name,
+                                       const MappedFile* file) {
+    if (!mapped()) {
+      return util::Status::InvalidArgument(
+          "MappedFile segment '" + name + "' on a pooled PageSource");
+    }
+    mapped_.push_back(MappedSegment{file, std::move(name)});
+    return static_cast<SegmentId>(mapped_.size() - 1);
+  }
+
+  /// Resolves one block. Mapped mode: a bounds check and a pointer into the
+  /// mapping. Pooled mode: BufferPool::Fetch with `admission` forwarded.
+  util::StatusOr<PageRef> Fetch(SegmentId segment, BlockId block,
+                                Admission admission = Admission::kNormal) const {
+    if (mapped()) {
+      if (segment >= mapped_.size()) {
+        return util::Status::InvalidArgument("unknown segment id " +
+                                             std::to_string(segment));
+      }
+      const MappedFile& file = *mapped_[segment].file;
+      if (block >= file.num_blocks()) {
+        return util::Status::OutOfRange(
+            "block " + std::to_string(block) + " beyond end (" +
+            std::to_string(file.num_blocks()) + " blocks)");
+      }
+      return PageRef(file.block(block));
+    }
+    OASIS_ASSIGN_OR_RETURN(PageHandle handle,
+                           pool_->Fetch(segment, block, admission));
+    return PageRef(std::move(handle));
+  }
+
+ private:
+  struct MappedSegment {
+    const MappedFile* file;
+    std::string name;
+  };
+
+  BufferPool* pool_ = nullptr;  ///< nullptr == mapped mode
+  std::vector<MappedSegment> mapped_;
+};
+
+}  // namespace storage
+}  // namespace oasis

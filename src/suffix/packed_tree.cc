@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "util/logging.h"
@@ -66,20 +67,29 @@ util::StatusOr<uint32_t> PeekIndexBlockSize(const std::string& dir) {
   return meta.block_size;
 }
 
-util::StatusOr<std::unique_ptr<PackedSuffixTree>> PackedSuffixTree::Open(
-    const std::string& dir, storage::BufferPool* pool) {
-  OASIS_CHECK(pool != nullptr);
+util::StatusOr<uint64_t> PackedIndexBytes(const std::string& dir) {
+  uint64_t total = 0;
+  for (const char* name : {PackedTreeFiles::kSymbols,
+                           PackedTreeFiles::kInternal,
+                           PackedTreeFiles::kLeaves}) {
+    std::error_code ec;
+    const uint64_t size =
+        std::filesystem::file_size(dir + "/" + std::string(name), ec);
+    if (ec) {
+      return util::Status::IOError("stat '" + dir + "/" + name +
+                                   "': " + ec.message());
+    }
+    total += size;
+  }
+  return total;
+}
+
+util::StatusOr<std::unique_ptr<PackedSuffixTree>> PackedSuffixTree::OpenCommon(
+    const std::string& dir) {
   OASIS_ASSIGN_OR_RETURN(Meta meta,
                          ReadMeta(dir + "/" + PackedTreeFiles::kMeta));
-  if (meta.block_size != pool->block_size()) {
-    return util::Status::InvalidArgument(
-        "packed tree block size " + std::to_string(meta.block_size) +
-        " != buffer pool block size " + std::to_string(pool->block_size()));
-  }
-
   // Cannot use make_unique: constructor is private.
   std::unique_ptr<PackedSuffixTree> tree(new PackedSuffixTree());
-  tree->pool_ = pool;
   tree->num_internal_ = meta.num_internal;
   tree->total_length_ = meta.total_length;
   tree->sigma_ = meta.sigma;
@@ -87,32 +97,81 @@ util::StatusOr<std::unique_ptr<PackedSuffixTree>> PackedSuffixTree::Open(
                                         : seq::AlphabetKind::kProtein;
   tree->seq_starts_ = std::move(meta.seq_starts);
   tree->block_size_ = meta.block_size;
+  return tree;
+}
+
+util::StatusOr<std::unique_ptr<PackedSuffixTree>> PackedSuffixTree::Open(
+    const std::string& dir, storage::BufferPool* pool) {
+  OASIS_CHECK(pool != nullptr);
+  OASIS_ASSIGN_OR_RETURN(std::unique_ptr<PackedSuffixTree> tree,
+                         OpenCommon(dir));
+  if (tree->block_size_ != pool->block_size()) {
+    return util::Status::InvalidArgument(
+        "packed tree block size " + std::to_string(tree->block_size_) +
+        " != buffer pool block size " + std::to_string(pool->block_size()));
+  }
+  tree->source_ = storage::PageSource::Pooled(pool);
 
   OASIS_ASSIGN_OR_RETURN(
       tree->symbols_file_,
       storage::BlockFile::Open(dir + "/" + PackedTreeFiles::kSymbols,
-                               meta.block_size));
+                               tree->block_size_));
   OASIS_ASSIGN_OR_RETURN(
       tree->internal_file_,
       storage::BlockFile::Open(dir + "/" + PackedTreeFiles::kInternal,
-                               meta.block_size));
+                               tree->block_size_));
   OASIS_ASSIGN_OR_RETURN(
       tree->leaves_file_,
       storage::BlockFile::Open(dir + "/" + PackedTreeFiles::kLeaves,
-                               meta.block_size));
+                               tree->block_size_));
   tree->index_bytes_ =
       (tree->symbols_file_.num_blocks() + tree->internal_file_.num_blocks() +
        tree->leaves_file_.num_blocks()) *
-      static_cast<uint64_t>(meta.block_size);
+      static_cast<uint64_t>(tree->block_size_);
 
   OASIS_ASSIGN_OR_RETURN(
       tree->seg_symbols_,
-      pool->RegisterSegment("symbols", &tree->symbols_file_));
+      tree->source_.AddSegment("symbols", &tree->symbols_file_));
   OASIS_ASSIGN_OR_RETURN(
       tree->seg_internal_,
-      pool->RegisterSegment("internal", &tree->internal_file_));
-  OASIS_ASSIGN_OR_RETURN(tree->seg_leaves_,
-                         pool->RegisterSegment("leaves", &tree->leaves_file_));
+      tree->source_.AddSegment("internal", &tree->internal_file_));
+  OASIS_ASSIGN_OR_RETURN(
+      tree->seg_leaves_,
+      tree->source_.AddSegment("leaves", &tree->leaves_file_));
+  return tree;
+}
+
+util::StatusOr<std::unique_ptr<PackedSuffixTree>> PackedSuffixTree::OpenMapped(
+    const std::string& dir) {
+  OASIS_ASSIGN_OR_RETURN(std::unique_ptr<PackedSuffixTree> tree,
+                         OpenCommon(dir));
+  tree->source_ = storage::PageSource::Mapped();
+
+  OASIS_ASSIGN_OR_RETURN(
+      tree->symbols_map_,
+      storage::MappedFile::Open(dir + "/" + PackedTreeFiles::kSymbols,
+                                tree->block_size_));
+  OASIS_ASSIGN_OR_RETURN(
+      tree->internal_map_,
+      storage::MappedFile::Open(dir + "/" + PackedTreeFiles::kInternal,
+                                tree->block_size_));
+  OASIS_ASSIGN_OR_RETURN(
+      tree->leaves_map_,
+      storage::MappedFile::Open(dir + "/" + PackedTreeFiles::kLeaves,
+                                tree->block_size_));
+  tree->index_bytes_ = tree->symbols_map_.size_bytes() +
+                       tree->internal_map_.size_bytes() +
+                       tree->leaves_map_.size_bytes();
+
+  OASIS_ASSIGN_OR_RETURN(
+      tree->seg_symbols_,
+      tree->source_.AddSegment("symbols", &tree->symbols_map_));
+  OASIS_ASSIGN_OR_RETURN(
+      tree->seg_internal_,
+      tree->source_.AddSegment("internal", &tree->internal_map_));
+  OASIS_ASSIGN_OR_RETURN(
+      tree->seg_leaves_,
+      tree->source_.AddSegment("leaves", &tree->leaves_map_));
   return tree;
 }
 
@@ -129,8 +188,8 @@ util::StatusOr<PackedInternalNode> PackedSuffixTree::ReadInternal(
                                     " out of range");
   }
   const uint32_t per_block = block_size_ / sizeof(PackedInternalNode);
-  OASIS_ASSIGN_OR_RETURN(storage::PageHandle page,
-                         pool_->Fetch(seg_internal_, idx / per_block));
+  OASIS_ASSIGN_OR_RETURN(storage::PageRef page,
+                         source_.Fetch(seg_internal_, idx / per_block));
   PackedInternalNode node;
   std::memcpy(&node,
               page.data() + static_cast<size_t>(idx % per_block) *
@@ -145,8 +204,8 @@ util::StatusOr<uint32_t> PackedSuffixTree::ReadLeafNext(uint32_t idx) const {
                                     " out of range");
   }
   const uint32_t per_block = block_size_ / sizeof(uint32_t);
-  OASIS_ASSIGN_OR_RETURN(storage::PageHandle page,
-                         pool_->Fetch(seg_leaves_, idx / per_block));
+  OASIS_ASSIGN_OR_RETURN(storage::PageRef page,
+                         source_.Fetch(seg_leaves_, idx / per_block));
   uint32_t next;
   std::memcpy(&next,
               page.data() + static_cast<size_t>(idx % per_block) * sizeof(uint32_t),
@@ -155,7 +214,8 @@ util::StatusOr<uint32_t> PackedSuffixTree::ReadLeafNext(uint32_t idx) const {
 }
 
 util::Status PackedSuffixTree::ReadSymbols(uint64_t pos, uint32_t len,
-                                           std::vector<uint8_t>* out) const {
+                                           std::vector<uint8_t>* out,
+                                           storage::Admission admission) const {
   if (pos + len > total_length_) {
     return util::Status::OutOfRange("symbol range [" + std::to_string(pos) +
                                     ", +" + std::to_string(len) +
@@ -168,8 +228,8 @@ util::Status PackedSuffixTree::ReadSymbols(uint64_t pos, uint32_t len,
     storage::BlockId block = p / block_size_;
     uint32_t offset = static_cast<uint32_t>(p % block_size_);
     uint32_t chunk = std::min(len - written, block_size_ - offset);
-    OASIS_ASSIGN_OR_RETURN(storage::PageHandle page,
-                           pool_->Fetch(seg_symbols_, block));
+    OASIS_ASSIGN_OR_RETURN(storage::PageRef page,
+                           source_.Fetch(seg_symbols_, block, admission));
     std::memcpy(out->data() + written, page.data() + offset, chunk);
     written += chunk;
   }

@@ -1,7 +1,9 @@
 // Disk-based suffix-tree representation (paper §3.4).
 //
 // Three block-organized arrays, each in its own file, all read through a
-// shared BufferPool with per-segment hit statistics:
+// storage::PageSource — either a shared BufferPool with per-segment hit
+// statistics (disk-resident indexes) or read-only mmaps (the in-RAM fast
+// path):
 //
 //   symbols   one byte per position of the concatenated database: residue
 //             codes 0..sigma-1, or kTerminatorByte for any terminator
@@ -44,6 +46,8 @@
 
 #include "seq/database.h"
 #include "storage/buffer_pool.h"
+#include "storage/mapped_file.h"
+#include "storage/page_source.h"
 #include "util/status.h"
 
 namespace oasis {
@@ -78,21 +82,38 @@ struct PackedTreeFiles {
 /// size a BufferPool to match before Open (which rejects mismatched pools).
 util::StatusOr<uint32_t> PeekIndexBlockSize(const std::string& dir);
 
+/// Total on-disk size of the three packed files, without opening them —
+/// what EngineOptions::io_mode == kAuto compares against the RAM budget.
+util::StatusOr<uint64_t> PackedIndexBytes(const std::string& dir);
+
 /// Read-only handle over the three packed files. All block reads go through
-/// the BufferPool supplied at open time; the pool's per-segment statistics
-/// therefore directly reproduce the paper's Figure 8 measurements.
+/// a storage::PageSource in one of two modes:
 ///
-/// All read paths are const and thread-safe: the metadata is immutable
-/// after Open, block reads go through the concurrent sharded pool, and the
-/// backing BlockFiles use positional reads. One tree over one pool can
-/// therefore serve any number of concurrent searches — no per-thread
-/// replicas needed (api::Engine::SearchBatch relies on exactly this).
+///   Open(dir, pool)   pooled — the sharded CLOCK BufferPool, whose
+///                     per-segment statistics directly reproduce the
+///                     paper's Figure 8 measurements;
+///   OpenMapped(dir)   mapped — the three files are mmapped and every
+///                     block access is a pointer into the mapping (the
+///                     in-RAM fast path; no pool, no statistics).
+///
+/// All read paths are const and thread-safe in both modes: the metadata is
+/// immutable after Open, pooled reads go through the concurrent sharded
+/// pool (positional preads underneath), and mapped reads touch no mutable
+/// state at all. One tree can therefore serve any number of concurrent
+/// searches — no per-thread replicas needed (api::Engine::SearchBatch
+/// relies on exactly this).
 class PackedSuffixTree {
  public:
   /// Opens a packed tree from `dir`, registering its three segments with
   /// `pool`. The pool must outlive the returned tree.
   static util::StatusOr<std::unique_ptr<PackedSuffixTree>> Open(
       const std::string& dir, storage::BufferPool* pool);
+
+  /// Opens a packed tree from `dir` with all three files memory-mapped:
+  /// the zero-copy fast path for indexes that fit in RAM. pool() is
+  /// nullptr for such a tree and no access statistics are kept.
+  static util::StatusOr<std::unique_ptr<PackedSuffixTree>> OpenMapped(
+      const std::string& dir);
 
   // --- metadata (memory resident) -----------------------------------------
   uint64_t num_internal() const { return num_internal_; }
@@ -126,22 +147,37 @@ class PackedSuffixTree {
   util::StatusOr<uint32_t> ReadLeafNext(uint32_t idx) const;
 
   /// Reads `len` symbol bytes starting at `pos` into `out` (resized).
-  util::Status ReadSymbols(uint64_t pos, uint32_t len,
-                           std::vector<uint8_t>* out) const;
+  /// `admission` is the replacement-policy hint for pooled trees: pass
+  /// storage::Admission::kScan for one-pass sequential scans so they do
+  /// not refresh CLOCK reference bits (ignored by mapped trees).
+  util::Status ReadSymbols(
+      uint64_t pos, uint32_t len, std::vector<uint8_t>* out,
+      storage::Admission admission = storage::Admission::kNormal) const;
 
   /// Segment ids (for stats reporting; order: symbols, internal, leaves).
   storage::SegmentId symbols_segment() const { return seg_symbols_; }
   storage::SegmentId internal_segment() const { return seg_internal_; }
   storage::SegmentId leaves_segment() const { return seg_leaves_; }
-  storage::BufferPool* pool() const { return pool_; }
+  /// The buffer pool behind a pooled tree, nullptr for a mapped one.
+  storage::BufferPool* pool() const { return source_.pool(); }
+  /// True when this tree reads through mmapped files (OpenMapped).
+  bool mapped() const { return source_.mapped(); }
 
  private:
   PackedSuffixTree() = default;
 
-  storage::BufferPool* pool_ = nullptr;
-  storage::BlockFile symbols_file_;
+  /// Reads the metadata and fills the memory-resident fields; the factory
+  /// functions then attach their mode's files and segments.
+  static util::StatusOr<std::unique_ptr<PackedSuffixTree>> OpenCommon(
+      const std::string& dir);
+
+  storage::PageSource source_;
+  storage::BlockFile symbols_file_;    // pooled mode
   storage::BlockFile internal_file_;
   storage::BlockFile leaves_file_;
+  storage::MappedFile symbols_map_;    // mapped mode
+  storage::MappedFile internal_map_;
+  storage::MappedFile leaves_map_;
   storage::SegmentId seg_symbols_ = 0;
   storage::SegmentId seg_internal_ = 0;
   storage::SegmentId seg_leaves_ = 0;

@@ -259,7 +259,12 @@ TEST(SearchBatch, WorkersShareTheEnginePool) {
   // The refactored batch path must read through the engine's own buffer
   // pool (no per-worker replicas): its stats advance during the batch, and
   // a repeat batch benefits from the warmth the first one left behind.
-  EngineFixture fx(20000);
+  // Pool behaviour is the point, so pin the pooled I/O path (kAuto would
+  // mmap an index this small).
+  EngineOptions options;
+  options.io_mode = IoMode::kPooled;
+  EngineFixture fx(20000, options);
+  ASSERT_TRUE(fx.engine->uses_pool());
   std::vector<SearchRequest> requests = MotifRequests(*fx.engine, 4, 1000.0);
   // Start cold: fixture setup (index build, database materialization) has
   // already warmed the pool, and the whole index fits in it.
@@ -379,6 +384,13 @@ TEST(Engine, RejectsZeroPoolBytes) {
   ASSERT_FALSE(opened.ok());
   EXPECT_TRUE(opened.status().IsInvalidArgument())
       << opened.status().ToString();
+
+  // An explicit mmap engine never creates a pool, so pool_bytes == 0 is
+  // fine there (kAuto above still rejects it — it may resolve to pooled).
+  options.io_mode = IoMode::kMmap;
+  auto mapped = Engine::Open(dir.path(), options);
+  EXPECT_TRUE(mapped.ok()) << mapped.status().ToString();
+  options.io_mode = IoMode::kAuto;
 
   seq::SequenceDatabase db2 = MakeDatabase(alphabet, {"AGTACGCCTAG"});
   util::TempDir dir2("engine-validate2");

@@ -302,6 +302,49 @@ TEST_F(BufferPoolTest, PoolRemainsUsableAfterIOError) {
   EXPECT_TRUE(BlockIsCorrect(fresh->data(), 1));
 }
 
+TEST_F(BufferPoolTest, ScanAdmissionDoesNotSetReferenceBit) {
+  // Two frames, one shard (deterministic CLOCK). A page fetched with the
+  // kScan hint must be the eviction victim ahead of a normally-fetched
+  // page, so one-pass scans cannot push the hot working set out.
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 8);
+  storage::BufferPool pool(2 * kBlock, kBlock);
+  ASSERT_EQ(pool.num_shards(), 1u);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  (void)pool.Fetch(*seg, 0);                            // frame 0, referenced
+  (void)pool.Fetch(*seg, 1, storage::Admission::kScan); // frame 1, no-touch
+  (void)pool.Fetch(*seg, 2);  // sweep clears b0's bit, evicts the scan page
+
+  auto resident = pool.Fetch(*seg, 0);
+  ASSERT_TRUE(resident.ok());
+  EXPECT_EQ(pool.stats(*seg).hits, 1u)
+      << "the normally-admitted page must have survived the scan";
+  EXPECT_TRUE(BlockIsCorrect(resident->data(), 0));
+}
+
+TEST_F(BufferPoolTest, ScanHitLeavesReferenceBitAlone) {
+  // Control for the hint on the HIT path: without the hint, re-touching
+  // block 0 would save it from the next sweep; with kScan it must not.
+  storage::BlockFile file = MakeFile(dir_.File("a.blk"), 8);
+  storage::BufferPool pool(2 * kBlock, kBlock);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  (void)pool.Fetch(*seg, 0);
+  (void)pool.Fetch(*seg, 1);
+  (void)pool.Fetch(*seg, 2);  // clears both bits, evicts b0 (frame 0)
+  (void)pool.Fetch(*seg, 1, storage::Admission::kScan);  // hit; bit stays 0
+  (void)pool.Fetch(*seg, 3);  // must evict b1 despite the recent scan touch
+
+  auto b1 = pool.Fetch(*seg, 1);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_TRUE(BlockIsCorrect(b1->data(), 1));
+  // requests: 6 fetches; hits: only the kScan touch of b1.
+  EXPECT_EQ(pool.stats(*seg).requests, 6u);
+  EXPECT_EQ(pool.stats(*seg).hits, 1u);
+}
+
 TEST_F(BufferPoolTest, MismatchedBlockSizeRejected) {
   storage::BlockFile file = MakeFile(dir_.File("a.blk"), 4);
   storage::BufferPool pool(4 * 512, 512);
@@ -425,6 +468,115 @@ TEST(BufferPoolConcurrency, MultiSegmentStatsStayPerSegment) {
             static_cast<uint64_t>(kThreads / 2) * kIters);
   EXPECT_EQ(pool.stats(*sb).requests,
             static_cast<uint64_t>(kThreads / 2) * kIters);
+}
+
+TEST(BufferPoolConcurrency, SameBlockMissStormReadsOnce) {
+  // Many threads request the same cold block at once. The in-flight table
+  // must route all but one of them onto the loading frame's condvar: the
+  // block is read from disk exactly once and everyone else resolves as a
+  // hit on the published page.
+  util::TempDir dir("bp-storm");
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), 64);
+  storage::BufferPool pool(32 * kBlock, kBlock, 4);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  constexpr int kThreads = 8;
+  for (uint32_t round = 0; round < 16; ++round) {
+    const uint32_t target = round;  // cold every round (first touch)
+    std::atomic<int> corrupt{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&]() {
+        auto page = pool.Fetch(*seg, target);
+        if (!page.ok() || !BlockIsCorrect(page->data(), target)) {
+          corrupt.fetch_add(1);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    ASSERT_EQ(corrupt.load(), 0) << "round " << round;
+  }
+  const storage::SegmentStats stats = pool.stats(*seg);
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(16 * kThreads));
+  // One miss per round: whoever wins the shard lock loads; the in-flight
+  // table turns every concurrent duplicate into a waiter, never a reader.
+  EXPECT_EQ(stats.misses(), 16u);
+}
+
+TEST(BufferPoolConcurrency, FailedInFlightLoadWakesWaiters) {
+  // Concurrent fetches of an unreadable block: the loser threads queued on
+  // the in-flight frame must be woken, observe the failure, and either
+  // retry (failing themselves) or proceed — nobody deadlocks and the pool
+  // stays fully usable afterwards.
+  util::TempDir dir("bp-fail");
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), 8);
+  // 8 frames per shard: six threads pin at most six frames at any moment,
+  // so a victim sweep can never fail in this trace.
+  storage::BufferPool pool(16 * kBlock, kBlock, 2);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  constexpr int kThreads = 6;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      util::Random rng(31 + t);
+      for (int i = 0; i < 500; ++i) {
+        if (i % 3 == 0) {
+          // Out of range: the read always fails after a victim is claimed.
+          if (pool.Fetch(*seg, 1000).ok()) wrong.fetch_add(1);
+        } else {
+          uint32_t b = static_cast<uint32_t>(rng.Uniform(8));
+          auto page = pool.Fetch(*seg, b);
+          if (!page.ok() || !BlockIsCorrect(page->data(), b)) {
+            wrong.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(pool.num_pinned(), 0u);
+
+  for (uint32_t b = 0; b < 8; ++b) {
+    auto page = pool.Fetch(*seg, b);
+    ASSERT_TRUE(page.ok());
+    EXPECT_TRUE(BlockIsCorrect(page->data(), b));
+  }
+}
+
+TEST(BufferPoolConcurrency, TinyPoolSameBlockChurn) {
+  // One-frame shards with every thread hammering two hot blocks: constant
+  // eviction with the in-flight hand-off exercised on nearly every fetch.
+  // Transient exhaustion (the single frame pinned by a loader) is allowed;
+  // corruption is not.
+  util::TempDir dir("bp-churn");
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), 4);
+  storage::BufferPool pool(2 * kBlock, kBlock, 2);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  constexpr int kThreads = 4;
+  std::atomic<int> corrupt{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      util::Random rng(7 + t);
+      for (int i = 0; i < 2000; ++i) {
+        uint32_t b = static_cast<uint32_t>(rng.Uniform(4));
+        auto page = pool.Fetch(*seg, b);
+        if (page.ok() && !BlockIsCorrect(page->data(), b)) {
+          corrupt.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(corrupt.load(), 0);
+  EXPECT_EQ(pool.num_pinned(), 0u);
 }
 
 TEST(BlockFileTest, OutOfRangeReadFails) {

@@ -1,0 +1,375 @@
+// The storage layer's two I/O paths: MappedFile / PageSource units, and
+// the parity suite proving that a mapped tree and a pooled tree over the
+// same packed index are indistinguishable to a search (same results, same
+// statistics where statistics are defined — i.e. in pooled mode). The
+// IoModeParity suite also runs under the TSan CI job: mapped reads must be
+// race-free with zero synchronization.
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "storage/mapped_file.h"
+#include "storage/page_source.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+using testing::Encode;
+using testing::MakeDatabase;
+
+constexpr uint32_t kBlock = 256;
+
+storage::BlockFile MakeBlockFile(const std::string& path, uint32_t n) {
+  auto file = storage::BlockFile::Create(path, kBlock);
+  EXPECT_TRUE(file.ok());
+  std::vector<uint8_t> buf(kBlock);
+  for (uint32_t b = 0; b < n; ++b) {
+    for (uint32_t i = 0; i < kBlock; ++i) {
+      buf[i] = static_cast<uint8_t>((b * 37 + i) & 0xFF);
+    }
+    EXPECT_TRUE(file->AppendBlock(buf.data()).ok());
+  }
+  OASIS_EXPECT_OK(file->Flush());
+  file->Close();
+  auto reopened = storage::BlockFile::Open(path, kBlock);
+  EXPECT_TRUE(reopened.ok());
+  return std::move(reopened).value();
+}
+
+// --- MappedFile -------------------------------------------------------------
+
+TEST(MappedFile, ContentsMatchBlockFileReads) {
+  util::TempDir dir("mmap");
+  storage::BlockFile file = MakeBlockFile(dir.File("a.blk"), 8);
+  auto mapped = storage::MappedFile::Open(dir.File("a.blk"), kBlock);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->num_blocks(), 8u);
+  EXPECT_EQ(mapped->size_bytes(), 8u * kBlock);
+
+  std::vector<uint8_t> buf(kBlock);
+  for (uint32_t b = 0; b < 8; ++b) {
+    OASIS_ASSERT_OK(file.ReadBlock(b, buf.data()));
+    EXPECT_EQ(std::memcmp(mapped->block(b), buf.data(), kBlock), 0)
+        << "block " << b;
+  }
+}
+
+TEST(MappedFile, EmptyFileMapsToZeroBlocks) {
+  util::TempDir dir("mmap");
+  MakeBlockFile(dir.File("empty.blk"), 0);
+  auto mapped = storage::MappedFile::Open(dir.File("empty.blk"), kBlock);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->num_blocks(), 0u);
+  EXPECT_TRUE(mapped->is_open());
+  EXPECT_FALSE(storage::MappedFile().is_open())
+      << "a never-opened instance must not claim to be open";
+}
+
+TEST(MappedFile, RejectsPartialBlocksAndMissingFiles) {
+  util::TempDir dir("mmap");
+  {
+    std::FILE* f = std::fopen(dir.File("bad.blk").c_str(), "wb");
+    std::fputs("short", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(storage::MappedFile::Open(dir.File("bad.blk"), kBlock).ok());
+  EXPECT_FALSE(storage::MappedFile::Open(dir.File("absent.blk"), kBlock).ok());
+  EXPECT_FALSE(storage::MappedFile::Open(dir.File("bad.blk"), 0).ok());
+}
+
+TEST(MappedFile, MoveTransfersTheMapping) {
+  util::TempDir dir("mmap");
+  MakeBlockFile(dir.File("a.blk"), 2);
+  auto opened = storage::MappedFile::Open(dir.File("a.blk"), kBlock);
+  ASSERT_TRUE(opened.ok());
+  const uint8_t* data = opened->data();
+  storage::MappedFile moved = std::move(opened).value();
+  EXPECT_EQ(moved.data(), data);
+  EXPECT_EQ(moved.num_blocks(), 2u);
+}
+
+// --- PageSource -------------------------------------------------------------
+
+TEST(PageSource, MappedFetchIsZeroCopyAndBoundsChecked) {
+  util::TempDir dir("psrc");
+  MakeBlockFile(dir.File("a.blk"), 4);
+  auto mapped = storage::MappedFile::Open(dir.File("a.blk"), kBlock);
+  ASSERT_TRUE(mapped.ok());
+
+  storage::PageSource source = storage::PageSource::Mapped();
+  EXPECT_TRUE(source.mapped());
+  EXPECT_EQ(source.pool(), nullptr);
+  auto seg = source.AddSegment("a", &*mapped);
+  ASSERT_TRUE(seg.ok());
+
+  auto page = source.Fetch(*seg, 2);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  // Zero-copy: the ref points straight into the mapping.
+  EXPECT_EQ(page->data(), mapped->block(2));
+
+  EXPECT_FALSE(source.Fetch(*seg, 4).ok()) << "past-the-end block";
+  EXPECT_FALSE(source.Fetch(*seg + 1, 0).ok()) << "unknown segment";
+}
+
+TEST(PageSource, RejectsMismatchedSegmentKinds) {
+  util::TempDir dir("psrc");
+  storage::BlockFile file = MakeBlockFile(dir.File("a.blk"), 2);
+  auto mapped = storage::MappedFile::Open(dir.File("a.blk"), kBlock);
+  ASSERT_TRUE(mapped.ok());
+  storage::BufferPool pool(4 * kBlock, kBlock);
+
+  storage::PageSource pooled = storage::PageSource::Pooled(&pool);
+  EXPECT_FALSE(pooled.mapped());
+  EXPECT_FALSE(pooled.AddSegment("m", &*mapped).ok());
+  ASSERT_TRUE(pooled.AddSegment("a", &file).ok());
+
+  storage::PageSource mapped_source = storage::PageSource::Mapped();
+  EXPECT_FALSE(mapped_source.AddSegment("a", &file).ok());
+}
+
+TEST(PageSource, PooledFetchPinsThroughThePool) {
+  util::TempDir dir("psrc");
+  storage::BlockFile file = MakeBlockFile(dir.File("a.blk"), 4);
+  storage::BufferPool pool(4 * kBlock, kBlock);
+  storage::PageSource source = storage::PageSource::Pooled(&pool);
+  auto seg = source.AddSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  {
+    auto page = source.Fetch(*seg, 1);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(pool.num_pinned(), 1u);
+    std::vector<uint8_t> expect(kBlock);
+    OASIS_ASSERT_OK(file.ReadBlock(1, expect.data()));
+    EXPECT_EQ(std::memcmp(page->data(), expect.data(), kBlock), 0);
+  }
+  EXPECT_EQ(pool.num_pinned(), 0u) << "dropping the ref must unpin";
+  EXPECT_EQ(pool.stats(*seg).requests, 1u);
+}
+
+// --- Mapped vs pooled parity ------------------------------------------------
+
+struct ParityFixture {
+  util::TempDir dir{"parity"};
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<suffix::PackedSuffixTree> pooled;
+  std::unique_ptr<suffix::PackedSuffixTree> mapped;
+
+  explicit ParityFixture(uint64_t residues = 20000) {
+    workload::ProteinDatabaseOptions db_options;
+    db_options.target_residues = residues;
+    db_options.seed = 13;
+    auto db = workload::GenerateProteinDatabase(db_options);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    pool = std::make_unique<storage::BufferPool>(64 << 20);
+    auto built = suffix::BuildAndOpenPacked(*db, dir.path(), pool.get(),
+                                            suffix::PackOptions());
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    pooled = std::move(built).value();
+    auto remapped = suffix::PackedSuffixTree::OpenMapped(dir.path());
+    EXPECT_TRUE(remapped.ok()) << remapped.status().ToString();
+    mapped = std::move(remapped).value();
+  }
+};
+
+TEST(IoModeParity, TreesAgreeOnMetadataAndRawReads) {
+  ParityFixture fx;
+  EXPECT_FALSE(fx.pooled->mapped());
+  EXPECT_TRUE(fx.mapped->mapped());
+  EXPECT_EQ(fx.mapped->pool(), nullptr);
+  EXPECT_EQ(fx.pooled->num_internal(), fx.mapped->num_internal());
+  EXPECT_EQ(fx.pooled->total_length(), fx.mapped->total_length());
+  EXPECT_EQ(fx.pooled->num_sequences(), fx.mapped->num_sequences());
+  EXPECT_EQ(fx.pooled->index_bytes(), fx.mapped->index_bytes());
+
+  for (uint32_t idx = 0; idx < fx.pooled->num_internal(); idx += 7) {
+    auto a = fx.pooled->ReadInternal(idx);
+    auto b = fx.mapped->ReadInternal(idx);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->depth_and_flag, b->depth_and_flag);
+    EXPECT_EQ(a->sym_offset, b->sym_offset);
+    EXPECT_EQ(a->first_internal, b->first_internal);
+    EXPECT_EQ(a->first_leaf, b->first_leaf);
+  }
+  std::vector<uint8_t> a_sym, b_sym;
+  OASIS_ASSERT_OK(fx.pooled->ReadSymbols(0, 512, &a_sym));
+  OASIS_ASSERT_OK(fx.mapped->ReadSymbols(0, 512, &b_sym));
+  EXPECT_EQ(a_sym, b_sym);
+  // Both modes reject out-of-range accesses the same way.
+  EXPECT_FALSE(fx.mapped
+                   ->ReadInternal(static_cast<uint32_t>(
+                       fx.mapped->num_internal()))
+                   .ok());
+  EXPECT_FALSE(fx.mapped->ReadSymbols(fx.mapped->total_length(), 1, &b_sym).ok());
+}
+
+TEST(IoModeParity, SearchResultsIdenticalAcrossModes) {
+  ParityFixture fx;
+  const score::SubstitutionMatrix& matrix = score::SubstitutionMatrix::Pam30();
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries = 8;
+  q_options.seed = 13;
+
+  // Pull a query workload out of the symbols the index itself stores.
+  core::OasisSearch pooled_search(fx.pooled.get(), &matrix);
+  core::OasisSearch mapped_search(fx.mapped.get(), &matrix);
+  std::vector<uint8_t> sym;
+  for (uint32_t q = 0; q < q_options.num_queries; ++q) {
+    OASIS_ASSERT_OK(fx.pooled->ReadSymbols(100 + q * 901, 12, &sym));
+    std::vector<seq::Symbol> query;
+    for (uint8_t s : sym) {
+      if (s != suffix::kTerminatorByte) query.push_back(s);
+    }
+    if (query.empty()) continue;
+    core::OasisOptions options;
+    options.min_score = 30;
+    core::OasisStats pooled_stats, mapped_stats;
+    auto a = pooled_search.SearchAll(query, options, &pooled_stats);
+    auto b = mapped_search.SearchAll(query, options, &mapped_stats);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ASSERT_EQ(a->size(), b->size()) << "query " << q;
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].sequence_id, (*b)[i].sequence_id);
+      EXPECT_EQ((*a)[i].score, (*b)[i].score);
+      EXPECT_EQ((*a)[i].db_end_pos, (*b)[i].db_end_pos);
+      EXPECT_EQ((*a)[i].query_end, (*b)[i].query_end);
+    }
+    // The search visits the same nodes in both modes (the I/O path cannot
+    // change A* order), so the core counters agree exactly.
+    EXPECT_EQ(pooled_stats.nodes_expanded, mapped_stats.nodes_expanded);
+    EXPECT_EQ(pooled_stats.columns_expanded, mapped_stats.columns_expanded);
+  }
+  // "Hit counts where defined": only the pooled tree keeps statistics, and
+  // the mapped run must not have touched them.
+  const storage::SegmentStats stats = fx.pool->TotalStats();
+  EXPECT_GT(stats.requests, 0u);
+}
+
+TEST(IoModeParity, ConcurrentMappedSearchesAreRaceFree) {
+  // Mapped-mode reads share nothing mutable at all; run parallel searches
+  // under TSan to prove it.
+  ParityFixture fx;
+  const score::SubstitutionMatrix& matrix = score::SubstitutionMatrix::Pam30();
+  core::OasisSearch search(fx.mapped.get(), &matrix);
+  std::vector<uint8_t> sym;
+  OASIS_ASSERT_OK(fx.mapped->ReadSymbols(500, 10, &sym));
+  std::vector<seq::Symbol> query;
+  for (uint8_t s : sym) {
+    if (s != suffix::kTerminatorByte) query.push_back(s);
+  }
+  ASSERT_FALSE(query.empty());
+
+  core::OasisOptions options;
+  options.min_score = 25;
+  std::vector<std::vector<core::OasisResult>> outputs(4);
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < outputs.size(); ++t) {
+    workers.emplace_back([&, t]() {
+      auto out = search.SearchAll(query, options);
+      if (out.ok()) outputs[t] = std::move(out).value();
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (size_t t = 1; t < outputs.size(); ++t) {
+    ASSERT_EQ(outputs[t].size(), outputs[0].size());
+    for (size_t i = 0; i < outputs[t].size(); ++i) {
+      EXPECT_EQ(outputs[t][i].sequence_id, outputs[0][i].sequence_id);
+      EXPECT_EQ(outputs[t][i].score, outputs[0][i].score);
+    }
+  }
+}
+
+// --- Engine-level mode selection ---------------------------------------------
+
+struct EngineModeFixture {
+  util::TempDir dir{"iomode"};
+
+  explicit EngineModeFixture() {
+    workload::ProteinDatabaseOptions db_options;
+    db_options.target_residues = 5000;
+    db_options.seed = 29;
+    auto db = workload::GenerateProteinDatabase(db_options);
+    EXPECT_TRUE(db.ok());
+    auto built =
+        Engine::BuildFromDatabase(std::move(db).value(), dir.path(),
+                                  EngineOptions());
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+  }
+};
+
+TEST(IoModeParity, AutoSelectsByRamBudget) {
+  EngineModeFixture fx;
+
+  // A tiny index fits the default budget: kAuto resolves to mmap.
+  auto auto_engine = Engine::Open(fx.dir.path());
+  ASSERT_TRUE(auto_engine.ok()) << auto_engine.status().ToString();
+  EXPECT_EQ((*auto_engine)->io_mode(), IoMode::kMmap);
+  EXPECT_FALSE((*auto_engine)->uses_pool());
+
+  // Budget 0 = never map: kAuto falls back to the pool.
+  EngineOptions no_budget;
+  no_budget.mmap_budget_bytes = 0;
+  auto pooled_engine = Engine::Open(fx.dir.path(), no_budget);
+  ASSERT_TRUE(pooled_engine.ok());
+  EXPECT_EQ((*pooled_engine)->io_mode(), IoMode::kPooled);
+  EXPECT_TRUE((*pooled_engine)->uses_pool());
+
+  // Explicit modes win regardless of budget.
+  EngineOptions forced;
+  forced.io_mode = IoMode::kPooled;
+  auto forced_pooled = Engine::Open(fx.dir.path(), forced);
+  ASSERT_TRUE(forced_pooled.ok());
+  EXPECT_EQ((*forced_pooled)->io_mode(), IoMode::kPooled);
+  forced.io_mode = IoMode::kMmap;
+  forced.mmap_budget_bytes = 0;
+  auto forced_mapped = Engine::Open(fx.dir.path(), forced);
+  ASSERT_TRUE(forced_mapped.ok());
+  EXPECT_EQ((*forced_mapped)->io_mode(), IoMode::kMmap);
+}
+
+TEST(IoModeParity, EngineSearchAgreesAcrossModes) {
+  EngineModeFixture fx;
+  EngineOptions pooled_options;
+  pooled_options.io_mode = IoMode::kPooled;
+  auto pooled = Engine::Open(fx.dir.path(), pooled_options);
+  ASSERT_TRUE(pooled.ok());
+  EngineOptions mapped_options;
+  mapped_options.io_mode = IoMode::kMmap;
+  auto mapped = Engine::Open(fx.dir.path(), mapped_options);
+  ASSERT_TRUE(mapped.ok());
+
+  // The resident database materializes identically through both paths
+  // (ResidentDatabase is also the scan-admission code path).
+  auto pooled_db = (*pooled)->ResidentDatabase();
+  auto mapped_db = (*mapped)->ResidentDatabase();
+  ASSERT_TRUE(pooled_db.ok() && mapped_db.ok());
+  ASSERT_EQ((*pooled_db)->num_sequences(), (*mapped_db)->num_sequences());
+  for (size_t s = 0; s < (*pooled_db)->num_sequences(); ++s) {
+    EXPECT_EQ((*pooled_db)->sequence(s).symbols(),
+              (*mapped_db)->sequence(s).symbols());
+  }
+
+  auto request =
+      SearchRequest::FromText((*pooled)->alphabet(), "DKDGDGCITT");
+  ASSERT_TRUE(request.ok());
+  request->EValue(10000.0);
+  auto a = (*pooled)->SearchAll(*request);
+  auto b = (*mapped)->SearchAll(*request);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a->results.size(), b->results.size());
+  for (size_t i = 0; i < a->results.size(); ++i) {
+    EXPECT_EQ(a->results[i].sequence_id, b->results[i].sequence_id);
+    EXPECT_EQ(a->results[i].score, b->results[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace oasis
