@@ -1,0 +1,234 @@
+// Speculative sibling-run readahead + per-cursor fetch memo on a
+// cold-cache sibling scan (pooled mode).
+//
+// The workload walks every internal-node record in level-first order —
+// exactly the sibling-run access pattern the packed layout was designed
+// for — through a pool holding only a fraction of the internal segment,
+// cleared before every round so each round runs cold. Four configurations
+// replay the identical trace:
+//
+//   baseline     every record read is a full pool Fetch; every block a
+//                demand miss paid inline
+//   memo         a storage::FetchMemo turns the 127 same-block record
+//                reads after the first into pool-free pointer reads
+//   readahead    a storage::Readahead worker prefetches the next K blocks
+//                of the run on every miss, so the demand thread finds
+//                loaded frames instead of paying the pread
+//   memo+ra      both — the shipping configuration of a pooled engine
+//                (EngineOptions::fetch_memo + readahead_blocks)
+//
+// All four must produce the identical checksum (result parity; the
+// byte-for-byte engine-level parity is proven by tests/readahead_test.cc).
+// The shape gates, enforced through the exit code and CI:
+//
+//   memo+ra >= kRequiredCombinedSpeedup x baseline
+//   memo+ra >= kRequiredReadaheadGain x memo alone (the readahead win in
+//              the shipping configuration, isolated from the memo's)
+//   prefetch waste ratio <= kMaxWasteRatio (speculation stays bounded)
+//
+// An end-to-end query table (same A* workload as the figure benches, cold
+// pool per query batch) is printed and recorded in the JSON but not gated:
+// query wall-clock on shared CI runners is too noisy to gate, and the
+// search's access pattern is only partly sequential.
+//
+// Scaling knobs: the usual bench_common environment variables, plus
+// OASIS_READAHEAD_BLOCKS (default 8) for the speculation window.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "storage/readahead.h"
+#include "suffix/packed_tree.h"
+
+namespace oasis {
+namespace bench {
+namespace {
+
+constexpr double kRequiredCombinedSpeedup = 1.25;
+constexpr double kRequiredReadaheadGain = 1.03;
+constexpr double kMaxWasteRatio = 0.25;
+
+struct ScanConfig {
+  const char* name;
+  bool memo;
+  bool readahead;
+};
+
+/// One cold sibling scan: read every internal record in level-first
+/// order. Returns the checksum (parity across configs). The caller clears
+/// the pool *and* the OS page cache between rounds.
+uint64_t ScanOnce(const suffix::PackedSuffixTree& tree,
+                  storage::BufferPool& pool, storage::Readahead* readahead,
+                  storage::FetchMemo* memo) {
+  const uint32_t n = static_cast<uint32_t>(tree.num_internal());
+  uint64_t checksum = 0;
+  for (uint32_t idx = 0; idx < n; ++idx) {
+    auto node = tree.ReadInternal(idx, memo);
+    OASIS_CHECK(node.ok()) << node.status().ToString();
+    checksum += node->depth() + node->sym_offset;
+  }
+  // Release memo pins and let speculation finish before the caller clears
+  // the pool for the next cold round (Clear requires full quiescence).
+  if (memo != nullptr) memo->Clear();
+  if (readahead != nullptr) readahead->Drain();
+  return checksum;
+}
+
+int Run() {
+  BenchEnv env = MakeProteinEnv();
+  PrintHeader("Sibling-run readahead + fetch memo, cold pooled scans", env);
+
+  const uint32_t k = static_cast<uint32_t>(
+      util::EnvInt64("OASIS_READAHEAD_BLOCKS", 8));
+  const int rounds = static_cast<int>(util::EnvInt64("OASIS_SCAN_ROUNDS", 5));
+
+  // Pool sized to an eighth of the internal segment (>= 16 frames): big
+  // enough that prefetched blocks survive until their demand read, small
+  // enough that every round stays miss-dominated — the cold, disk-resident
+  // regime readahead exists for.
+  const uint32_t block_size = storage::kDefaultBlockSize;
+  const uint64_t internal_blocks =
+      (env.tree->num_internal() * sizeof(suffix::PackedInternalNode) +
+       block_size - 1) / block_size;
+  const uint64_t pool_frames = std::max<uint64_t>(16, internal_blocks / 8);
+
+  const ScanConfig configs[] = {
+      {"baseline", false, false},
+      {"memo", true, false},
+      {"readahead", false, true},
+      {"memo+ra", true, true},
+  };
+
+  // A separate handle onto the internal-nodes file, used purely to evict
+  // its OS page-cache pages between rounds (the eviction is per file, not
+  // per descriptor) — without it the "cold" scan would be measuring
+  // page-cache memcpy, not the disk-resident regime readahead targets.
+  auto internal_file = storage::BlockFile::Open(
+      env.dir->path() + "/" + suffix::PackedTreeFiles::kInternal, block_size);
+  OASIS_CHECK(internal_file.ok()) << internal_file.status().ToString();
+
+  std::printf("sibling scan: %llu internal records in %llu blocks, pool %llu "
+              "frames, readahead %u blocks/miss, %d cold rounds each\n\n",
+              static_cast<unsigned long long>(env.tree->num_internal()),
+              static_cast<unsigned long long>(internal_blocks),
+              static_cast<unsigned long long>(pool_frames), k, rounds);
+  std::printf("%-10s %14s %10s %12s %12s %12s\n", "config", "scans/s",
+              "speedup", "ra issued", "ra used", "ra wasted");
+
+  std::vector<std::pair<std::string, double>> metrics;
+  double scans_per_sec[4] = {0, 0, 0, 0};
+  uint64_t checksums[4] = {0, 0, 0, 0};
+  storage::ReadaheadStats final_ra;
+  for (size_t c = 0; c < 4; ++c) {
+    const ScanConfig& config = configs[c];
+    storage::BufferPool pool(pool_frames * block_size, block_size);
+    auto tree = suffix::PackedSuffixTree::Open(env.dir->path(), &pool);
+    OASIS_CHECK(tree.ok()) << tree.status().ToString();
+    // Kernel readahead off for every config: the pool (plus, in the
+    // readahead configs, storage::Readahead) is the only prefetcher, so
+    // "cold" means cold and the comparison isolates *our* speculation.
+    OASIS_CHECK((*tree)->AdviseRandomAccess().ok());
+    std::unique_ptr<storage::Readahead> readahead;
+    if (config.readahead) {
+      storage::Readahead::Options options;
+      options.blocks = k;
+      options.threads = 2;  // keep speculation ahead of the demand scan
+      readahead = std::make_unique<storage::Readahead>(&pool, options);
+    }
+    storage::FetchMemo memo;
+    storage::FetchMemo* memo_ptr = config.memo ? &memo : nullptr;
+
+    // Untimed first round settles the readahead worker and validates the
+    // checksum baseline.
+    checksums[c] = ScanOnce(**tree, pool, readahead.get(), memo_ptr);
+    util::Timer timer;
+    for (int r = 0; r < rounds; ++r) {
+      pool.Clear();
+      OASIS_CHECK(internal_file->DropOsCache().ok());
+      uint64_t check = ScanOnce(**tree, pool, readahead.get(), memo_ptr);
+      OASIS_CHECK_EQ(check, checksums[c]);
+    }
+    scans_per_sec[c] = rounds / timer.ElapsedSeconds();
+
+    const storage::ReadaheadStats ra = pool.readahead_stats();
+    if (config.readahead && config.memo) final_ra = ra;
+    std::printf("%-10s %14.2f %9.2fx %12llu %12llu %12llu\n", config.name,
+                scans_per_sec[c], scans_per_sec[c] / scans_per_sec[0],
+                static_cast<unsigned long long>(ra.issued),
+                static_cast<unsigned long long>(ra.used),
+                static_cast<unsigned long long>(ra.wasted));
+    metrics.emplace_back(std::string("scan.speedup.") + config.name,
+                         scans_per_sec[c] / scans_per_sec[0]);
+  }
+  OASIS_CHECK_EQ(checksums[0], checksums[1]);
+  OASIS_CHECK_EQ(checksums[0], checksums[2]);
+  OASIS_CHECK_EQ(checksums[0], checksums[3]);
+
+  const double combined = scans_per_sec[3] / scans_per_sec[0];
+  const double ra_gain = scans_per_sec[3] / scans_per_sec[1];
+  const double used_ratio =
+      final_ra.issued == 0
+          ? 0.0
+          : static_cast<double>(final_ra.used) / final_ra.issued;
+  metrics.emplace_back("prefetch.used_ratio", used_ratio);
+  metrics.emplace_back("prefetch.waste_ratio", final_ra.waste_ratio());
+
+  // End-to-end queries, cold pool per engine config (recorded, not gated).
+  std::printf("\nqueries end-to-end (pool %llu frames, cold start):\n",
+              static_cast<unsigned long long>(pool_frames));
+  const struct {
+    const char* name;
+    bool memo;
+    uint32_t readahead;
+  } query_configs[] = {
+      {"plain", false, 0}, {"memo", true, 0}, {"memo+ra", true, k}};
+  double qps[3] = {0, 0, 0};
+  uint64_t results[3] = {0, 0, 0};
+  for (int qc = 0; qc < 3; ++qc) {
+    api::EngineOptions options;
+    options.matrix = env.matrix;
+    options.io_mode = api::IoMode::kPooled;
+    options.pool_bytes = pool_frames * block_size;
+    options.fetch_memo = query_configs[qc].memo;
+    options.readahead_blocks = query_configs[qc].readahead;
+    auto engine = api::Engine::Open(env.dir->path(), options);
+    OASIS_CHECK(engine.ok()) << engine.status().ToString();
+    OASIS_CHECK((*engine)->tree().AdviseRandomAccess().ok());
+    OASIS_CHECK(internal_file->DropOsCache().ok());
+    util::Timer timer;
+    for (const workload::MotifQuery& query : env.queries) {
+      auto out = (*engine)->SearchAll(
+          api::SearchRequest(query.symbols).EValue(1000.0));
+      OASIS_CHECK(out.ok()) << out.status().ToString();
+      results[qc] += out->results.size();
+    }
+    qps[qc] = env.queries.size() / timer.ElapsedSeconds();
+    std::printf("  %-8s %8.1f q/s (%.2fx)\n", query_configs[qc].name,
+                qps[qc], qps[qc] / qps[0]);
+  }
+  OASIS_CHECK_EQ(results[0], results[1]);
+  OASIS_CHECK_EQ(results[0], results[2])
+      << "readahead+memo must not change the result set";
+  std::printf("  %llu results in every config\n",
+              static_cast<unsigned long long>(results[0]));
+  metrics.emplace_back("query.speedup.memo", qps[1] / qps[0]);
+  metrics.emplace_back("query.speedup.memo_ra", qps[2] / qps[0]);
+
+  const bool pass = combined >= kRequiredCombinedSpeedup &&
+                    ra_gain >= kRequiredReadaheadGain &&
+                    final_ra.waste_ratio() <= kMaxWasteRatio;
+  std::printf("\nshape check: memo+ra >= %.2fx baseline (%.2fx), "
+              "readahead adds >= %.2fx over memo (%.2fx), waste ratio "
+              "<= %.2f (%.3f): %s\n",
+              kRequiredCombinedSpeedup, combined, kRequiredReadaheadGain,
+              ra_gain, kMaxWasteRatio, final_ra.waste_ratio(),
+              pass ? "PASS" : "FAIL");
+  WriteBenchJson("readahead", metrics);
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oasis
+
+int main() { return oasis::bench::Run(); }

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate intra-repo links in every tracked *.md file.
+
+Checks, for each markdown file in the repository:
+  - relative links ([text](path), [text](path#anchor)) resolve to an
+    existing file or directory;
+  - anchors into markdown targets match a heading in that file (GitHub
+    slug rules: lowercase, spaces to dashes, punctuation dropped);
+  - reference-style definitions ([id]: path) resolve the same way.
+
+External links (http/https/mailto) are deliberately NOT fetched: this
+checker is hermetic so it gives identical answers in CI and on a laptop
+with no network. Run it from anywhere inside the repo:
+
+  python3 ci/check_md_links.py
+
+Exit code 0 when every link resolves, 1 otherwise (one line per broken
+link).
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF_RE = re.compile(r"^\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def repo_root():
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def tracked_markdown(root):
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.md", "**/*.md"],
+        capture_output=True, text=True, check=True, cwd=root)
+    return sorted(set(out.stdout.split()))
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: strip markdown, lowercase, spaces to dashes."""
+    text = re.sub(r"[`*_]|\[|\]|\([^)]*\)", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path):
+    with open(path, encoding="utf-8") as f:
+        content = CODE_FENCE_RE.sub("", f.read())
+    return {github_slug(m.group(1)) for m in HEADING_RE.finditer(content)}
+
+
+def main():
+    root = repo_root()
+    failures = []
+    checked = 0
+    for md in tracked_markdown(root):
+        md_path = os.path.join(root, md)
+        with open(md_path, encoding="utf-8") as f:
+            content = CODE_FENCE_RE.sub("", f.read())
+        targets = [m.group(1) for m in LINK_RE.finditer(content)]
+        targets += [m.group(1) for m in REF_DEF_RE.finditer(content)]
+        for target in targets:
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:...
+                continue
+            checked += 1
+            path_part, _, anchor = target.partition("#")
+            if path_part == "":
+                resolved = md_path  # same-file anchor
+            else:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(md_path), path_part))
+            if not os.path.exists(resolved):
+                failures.append(f"{md}: broken link '{target}'")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if anchor.lower() not in anchors_of(resolved):
+                    failures.append(
+                        f"{md}: anchor '#{anchor}' not found in '{path_part or md}'")
+
+    if failures:
+        print("markdown link check FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        sys.exit(1)
+    print(f"markdown link check passed ({checked} intra-repo links)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Enforce doc-comment coverage on the public storage/suffix/api headers.
+
+Every public declaration — class/struct/enum at namespace scope, and every
+member declared in a `public:` section — in the headers listed below must
+be immediately preceded by a documentation comment (`///` line(s) or a
+`/** ... */` block) or share the line with one. These headers are the
+library's API surface; Doxygen renders exactly these comments, so a gap
+here is a hole in the generated docs.
+
+Hermetic on purpose: the CI docs job runs Doxygen too (malformed-comment
+warnings), but THIS check gives identical answers with no Doxygen
+installed, so it can gate locally. Run from anywhere in the repo:
+
+  python3 ci/check_public_docs.py
+
+Heuristics, to stay simple and zero-dependency:
+  - only lines inside `public:` sections of classes (structs start
+    public) are considered;
+  - a declaration is a line group ending in `;` or `{` that is not a
+    continuation, using-decl, friend-decl, assert, or macro;
+  - access specifiers, blank lines, and comment lines separate groups.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HEADERS = [
+    "src/api/engine.h",
+    "src/storage/buffer_pool.h",
+    "src/storage/page_source.h",
+    "src/storage/readahead.h",
+    "src/storage/block_file.h",
+    "src/suffix/packed_tree.h",
+    "src/suffix/tree_cursor.h",
+]
+
+# Declaration groups whose FIRST line matches one of these never need a
+# doc comment of their own.
+EXEMPT_RE = re.compile(
+    r"^\s*(?:$|//|/\*|\*|#|\}|public:|private:|protected:|using\s|friend\s"
+    r"|static_assert|typedef\s|OASIS_|namespace\s|extern\s"
+    r"|(?:class|struct)\s+\w+;$"           # forward declaration
+    r"|~?\w+\(\)\s*(?:=\s*default;|\{\})"  # trivial default ctor/dtor
+    r"|~?\w+\((?:const\s+)?\w+\s*&&?\s*\w*\)"  # copy/move ctor + dtor
+    r"|\w+&\s+operator=)"                  # copy/move assignment
+)
+
+CLASS_OPEN_RE = re.compile(
+    r"^\s*(?:template\s*<[^>]*>\s*)?(class|struct)\s+(?:alignas\(\d+\)\s*)?"
+    r"\w+(?:\s*:\s*[^{]*)?\{?\s*$|"
+    r"^\s*(?:template\s*<[^>]*>\s*)?(class|struct)\s+"
+    r"(?:alignas\(\d+\)\s*)?\w+\s.*\{$")
+
+
+def repo_root():
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+class Scope:
+    def __init__(self, kind, access):
+        self.kind = kind      # 'class' | 'enum' | 'function' | 'namespace'
+        self.access = access  # 'public' | 'private' (classes only)
+
+
+def check_header(path, rel):
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+
+    failures = []
+    scopes = [Scope("namespace", "public")]
+    doc_pending = False
+    in_block_comment = False
+    group = []        # buffered lines of the current declaration
+    group_doc = False  # was a doc comment pending when the group started
+    group_start = 0
+
+    def body_scope():
+        return any(s.kind in ("function", "enum") for s in scopes)
+
+    def all_public():
+        return all(s.access == "public" for s in scopes)
+
+    for lineno, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+
+        if in_block_comment:
+            doc_pending = True
+            if "*/" in stripped:
+                in_block_comment = False
+            continue
+        if stripped.startswith(("/**", "/*!")):
+            doc_pending = True
+            if "*/" not in stripped:
+                in_block_comment = True
+            continue
+        if stripped.startswith(("///", "//!")):
+            doc_pending = True
+            continue
+        if stripped.startswith("//") or stripped == "" or \
+                stripped.startswith("#"):
+            if not group:
+                doc_pending = False
+            continue
+
+        # Trailing `///<` documents its own line; then drop any trailing
+        # line comment so `}  // namespace foo` parses as `}`.
+        self_documented = "///<" in stripped
+        stripped = re.sub(r"\s*//.*$", "", stripped).strip()
+        if stripped == "":
+            continue
+
+        # Inside a function or enum body: only balance braces.
+        if body_scope():
+            for ch in stripped:
+                if ch == "{":
+                    scopes.append(Scope("function", "public"))
+                elif ch == "}":
+                    scopes.pop()
+            doc_pending = False
+            continue
+
+        if stripped in ("public:", "private:", "protected:"):
+            scopes[-1].access = stripped[:-1]
+            doc_pending = False
+            continue
+        if stripped in ("};", "}"):
+            scopes.pop()
+            doc_pending = False
+            continue
+
+        if not group:
+            group_doc = doc_pending
+            group_start = lineno
+        group_doc = group_doc or self_documented
+        group.append(stripped)
+        doc_pending = False
+        if not (stripped.endswith(";") or stripped.endswith("{") or
+                stripped.endswith("}")):
+            continue  # declaration continues on the next line
+
+        first = group[0]
+        joined = " ".join(group)
+        group = []
+        class_open = CLASS_OPEN_RE.match(joined) and joined.endswith("{")
+        enum_open = re.match(r"^\s*enum\s", joined) and joined.endswith("{")
+
+        if (all_public() and not EXEMPT_RE.match(first)
+                and not group_doc):
+            failures.append((group_start, first))
+
+        # Scope bookkeeping for whatever the group opened.
+        if class_open:
+            default = ("public"
+                       if re.search(r"\bstruct\b", joined) else "private")
+            scopes.append(Scope("class", default))
+        elif enum_open:
+            scopes.append(Scope("enum", "public"))
+        elif joined.endswith("{"):
+            kind = ("namespace"
+                    if re.match(r"^\s*(?:inline\s+)?namespace\b", joined)
+                    else "function")
+            scopes.append(Scope(kind, "public"))
+
+    return [(rel, lineno, text) for lineno, text in failures]
+
+
+def main():
+    root = repo_root()
+    failures = []
+    for rel in HEADERS:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            failures.append((rel, 0, "header listed in check_public_docs.py "
+                                     "does not exist"))
+            continue
+        failures.extend(check_header(path, rel))
+
+    if failures:
+        print("public-header doc coverage FAILED "
+              "(every public declaration needs a /// comment):")
+        for rel, lineno, text in failures:
+            print(f"  {rel}:{lineno}: {text}")
+        sys.exit(1)
+    print(f"public-header doc coverage passed ({len(HEADERS)} headers)")
+
+
+if __name__ == "__main__":
+    main()

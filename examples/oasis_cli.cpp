@@ -3,11 +3,12 @@
 //   oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]
 //   oasis_cli search <index_dir> <QUERYRESIDUES>
 //              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
-//              [--io-mode auto|pooled|mmap]
+//              [--io-mode auto|pooled|mmap] [--readahead K] [--no-memo]
 //              [--alignments] [--by-evalue] [--stats]
 //   oasis_cli batch  <index_dir> <queries.fasta> [--threads N]
 //              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
-//              [--io-mode auto|pooled|mmap] [--stats]
+//              [--io-mode auto|pooled|mmap] [--readahead K] [--no-memo]
+//              [--stats]
 //
 // `index` builds the packed suffix tree AND the sequence catalog from a
 // FASTA file; `search` and `batch` need only the index directory — result
@@ -17,10 +18,15 @@
 // buffer pool, sized by --pool-mb. `--io-mode` picks the storage path:
 // `mmap` maps the index read-only (zero-copy, no pool), `pooled` forces
 // the buffer pool, and `auto` (default) maps the index when it fits the
-// engine's RAM budget. `--stats` prints the per-segment buffer-pool
-// requests / hits / hit ratios after the search — the same numbers
-// Figure 8 of the paper plots (pooled mode only; an mmap engine keeps no
-// such statistics).
+// engine's RAM budget. `--readahead K` turns on speculative sibling-run
+// readahead for pooled engines (K blocks per miss; pays off on cold,
+// disk-resident indexes), and `--no-memo` disables the per-cursor fetch
+// memo so every block access goes through the pool (the paper's raw
+// accounting). `--stats` prints the per-segment buffer-pool requests /
+// hits / hit ratios after the search — the same numbers Figure 8 of the
+// paper plots — plus the readahead issued/used/wasted counters (pooled
+// mode only; an mmap engine keeps no such statistics and reports them as
+// n/a).
 
 #include <algorithm>
 #include <cstdio>
@@ -43,11 +49,12 @@ int Usage() {
       "  oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]\n"
       "  oasis_cli search <index_dir> <QUERY>\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
-      "             [--io-mode auto|pooled|mmap]\n"
+      "             [--io-mode auto|pooled|mmap] [--readahead K] [--no-memo]\n"
       "             [--alignments] [--by-evalue] [--stats]\n"
       "  oasis_cli batch  <index_dir> <queries.fasta> [--threads N]\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
-      "             [--io-mode auto|pooled|mmap] [--stats]\n");
+      "             [--io-mode auto|pooled|mmap] [--readahead K] [--no-memo]\n"
+      "             [--stats]\n");
   return 2;
 }
 
@@ -59,6 +66,8 @@ struct Args {
   uint64_t top = 0;
   uint64_t pool_mb = 64;
   IoMode io_mode = IoMode::kAuto;
+  uint32_t readahead = 0;
+  bool no_memo = false;
   uint32_t threads = 4;
   bool alignments = false;
   bool by_evalue = false;
@@ -118,6 +127,20 @@ bool Parse(int argc, char** argv, Args* args) {
         std::fprintf(stderr, "unknown --io-mode '%s'\n", v);
         return false;
       }
+    } else if (flag == "--readahead") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const long blocks = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || blocks < 0 ||
+          blocks > static_cast<long>(api::kMaxReadaheadBlocks)) {
+        std::fprintf(stderr, "--readahead wants an integer in [0, %u], "
+                     "got '%s'\n", api::kMaxReadaheadBlocks, v);
+        return false;
+      }
+      args->readahead = static_cast<uint32_t>(blocks);
+    } else if (flag == "--no-memo") {
+      args->no_memo = true;
     } else if (flag == "--threads") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -152,6 +175,10 @@ void PrintPoolStats(const Engine& engine) {
   if (!engine.uses_pool()) {
     std::printf("\nio mode mmap: zero-copy block access, no buffer-pool "
                 "statistics (use --io-mode pooled for Figure 8 numbers)\n");
+    // No pool means nothing to prefetch into either: the counters do not
+    // exist in this mode, which is different from "0 prefetches happened".
+    std::printf("readahead: n/a in mmap mode (speculation targets the "
+                "buffer pool; use --io-mode pooled --readahead K)\n");
     return;
   }
   const storage::BufferPool& pool = engine.pool();
@@ -174,6 +201,19 @@ void PrintPoolStats(const Engine& engine) {
               static_cast<unsigned long long>(total.requests),
               static_cast<unsigned long long>(total.hits),
               total.hit_ratio());
+  if (engine.uses_readahead()) {
+    const storage::ReadaheadStats ra = engine.readahead_stats();
+    std::printf("readahead (%u blocks/miss): %llu issued, %llu used, "
+                "%llu wasted (waste ratio %.3f)\n",
+                engine.readahead_blocks(),
+                static_cast<unsigned long long>(ra.issued),
+                static_cast<unsigned long long>(ra.used),
+                static_cast<unsigned long long>(ra.wasted),
+                ra.waste_ratio());
+  } else {
+    std::printf("readahead: disabled (--readahead K to speculate K blocks "
+                "ahead per miss)\n");
+  }
 }
 
 /// Translates the shared selectivity/reporting flags onto a request.
@@ -206,6 +246,8 @@ int RunSearch(const Args& args) {
   EngineOptions options;
   options.pool_bytes = args.pool_mb << 20;
   options.io_mode = args.io_mode;
+  options.readahead_blocks = args.readahead;
+  options.fetch_memo = !args.no_memo;
   auto engine = Engine::Open(args.index_dir, options);
   if (!engine.ok()) return Fail(engine.status());
 
@@ -269,6 +311,8 @@ int RunBatch(const Args& args) {
   EngineOptions options;
   options.pool_bytes = args.pool_mb << 20;
   options.io_mode = args.io_mode;
+  options.readahead_blocks = args.readahead;
+  options.fetch_memo = !args.no_memo;
   auto engine = Engine::Open(args.index_dir, options);
   if (!engine.ok()) return Fail(engine.status());
 

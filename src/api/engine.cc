@@ -128,6 +128,20 @@ util::Status Engine::ValidateOptions(const EngineOptions& options) {
         "EngineOptions::pool_bytes must be positive (the buffer pool is the "
         "one global cache all pooled-mode searches share)");
   }
+  // An absurd speculation window would evict the whole pool per detected
+  // run; 1024 blocks (2 MiB at the default block size) is already far past
+  // any useful setting and keeps each coalesced read one preadv.
+  if (options.readahead_blocks > kMaxReadaheadBlocks) {
+    return util::Status::InvalidArgument(
+        "EngineOptions::readahead_blocks " +
+        std::to_string(options.readahead_blocks) + " exceeds the maximum " +
+        std::to_string(kMaxReadaheadBlocks));
+  }
+  if (options.readahead_blocks > 0 && options.readahead_threads == 0) {
+    return util::Status::InvalidArgument(
+        "EngineOptions::readahead_threads must be positive when readahead "
+        "is enabled (readahead_blocks > 0)");
+  }
   return util::Status::OK();
 }
 
@@ -161,7 +175,15 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::OpenInternal(
     OASIS_ASSIGN_OR_RETURN(
         engine->tree_,
         suffix::PackedSuffixTree::Open(index_dir, engine->pool_.get()));
+    if (options.readahead_blocks > 0) {
+      storage::Readahead::Options readahead;
+      readahead.blocks = options.readahead_blocks;
+      readahead.threads = options.readahead_threads;
+      engine->readahead_ = std::make_unique<storage::Readahead>(
+          engine->pool_.get(), readahead);
+    }
   }
+  engine->fetch_memo_ = options.fetch_memo;
   engine->alphabet_ = &seq::Alphabet::Get(engine->tree_->alphabet_kind());
   engine->matrix_ = options.matrix != nullptr
                         ? options.matrix
@@ -199,6 +221,17 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::OpenInternal(
   return engine;
 }
 
+uint32_t Engine::readahead_blocks() const {
+  return readahead_ != nullptr ? readahead_->blocks() : 0;
+}
+
+storage::ReadaheadStats Engine::readahead_stats() const {
+  OASIS_CHECK(readahead_ != nullptr)
+      << "readahead statistics only exist on a pooled engine with "
+         "readahead_blocks > 0";
+  return readahead_->stats();
+}
+
 // --- Request resolution -----------------------------------------------------
 
 util::StatusOr<score::ScoreT> Engine::ResolveMinScore(
@@ -222,6 +255,10 @@ util::StatusOr<core::OasisOptions> Engine::ResolveOptions(
   options.reconstruct_alignments = request.alignments();
   options.all_alignments = request.all_alignments();
   options.order_by_evalue = request.order_by_evalue();
+  // The memo only matters on the pooled path (a mapped fetch is already a
+  // bounds check); resolving it here gives every entry point — Search,
+  // SearchAll, SearchBatch workers — the same per-cursor cache.
+  options.use_fetch_memo = fetch_memo_ && pool_ != nullptr;
   if (request.order_by_evalue()) {
     if (!has_karlin_) {
       return util::Status::InvalidArgument(

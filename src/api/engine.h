@@ -45,6 +45,7 @@
 #include "score/substitution_matrix.h"
 #include "seq/database.h"
 #include "storage/buffer_pool.h"
+#include "storage/readahead.h"
 #include "suffix/packed_builder.h"
 #include "util/status.h"
 
@@ -66,6 +67,11 @@ enum class IoMode {
   kMmap,
 };
 
+/// Largest accepted EngineOptions::readahead_blocks: 2 MiB of speculation
+/// per detected run at the default block size, far past any useful
+/// window, and small enough that a coalesced run read is one preadv.
+inline constexpr uint32_t kMaxReadaheadBlocks = 1024;
+
 /// Construction-time knobs of an Engine.
 struct EngineOptions {
   /// Buffer pool capacity for this engine's searches — one global knob
@@ -82,6 +88,30 @@ struct EngineOptions {
   /// (0 = never auto-map). The default trusts indexes up to 1 GiB to sit
   /// comfortably in RAM alongside the rest of the process.
   uint64_t mmap_budget_bytes = 1ull << 30;
+
+  /// Speculative sibling-run readahead window for pooled engines: a pool
+  /// miss that *continues a detected sequential run* (the level-first
+  /// layout makes sibling runs exactly that) schedules asynchronous,
+  /// coalesced reads of the next `readahead_blocks` blocks of the segment
+  /// — see storage/readahead.h. Scattered misses never trigger
+  /// speculation, so enabling this is safe for random-access workloads
+  /// too. 0 disables speculation entirely (the default: readahead pays
+  /// off on cold, disk-resident indexes; a warm pool needs none, and
+  /// disabled speculation keeps the paper's Figure 7/8 statistics exactly
+  /// reproducible). Ignored — and readahead_stats() unavailable — when
+  /// the engine resolves to mmap, which has no pool to prefetch into.
+  uint32_t readahead_blocks = 0;
+
+  /// Background prefetch threads when readahead is enabled.
+  uint32_t readahead_threads = 1;
+
+  /// Give each search cursor a per-thread fetch memo so consecutive
+  /// same-block tree reads (sibling runs) skip the buffer pool. On by
+  /// default: results are byte-identical and pooled searches only get
+  /// faster. Turn off to reproduce the paper's raw buffer statistics,
+  /// where every block access counts as a pool request. No effect on
+  /// mmap engines.
+  bool fetch_memo = true;
 
   /// Block size for *newly built* indexes (Build / BuildFromDatabase).
   /// Open() always adopts the block size recorded in the index metadata.
@@ -147,13 +177,13 @@ class SearchRequest {
     return *this;
   }
 
-  const std::vector<seq::Symbol>& query() const { return query_; }
-  score::ScoreT min_score() const { return min_score_; }
-  double evalue() const { return evalue_; }
-  uint64_t top_k() const { return top_k_; }
-  bool alignments() const { return alignments_; }
-  bool all_alignments() const { return all_alignments_; }
-  bool order_by_evalue() const { return order_by_evalue_; }
+  const std::vector<seq::Symbol>& query() const { return query_; }  ///< encoded residues
+  score::ScoreT min_score() const { return min_score_; }  ///< 0 = derive from evalue()
+  double evalue() const { return evalue_; }               ///< E-value cutoff
+  uint64_t top_k() const { return top_k_; }               ///< 0 = unlimited
+  bool alignments() const { return alignments_; }         ///< reconstruct alignments
+  bool all_alignments() const { return all_alignments_; }  ///< all locations per sequence
+  bool order_by_evalue() const { return order_by_evalue_; }  ///< E-value stream order
 
  private:
   std::vector<seq::Symbol> query_;
@@ -184,6 +214,7 @@ class ResultCursor {
   /// exactly equivalent to having requested TopK(k).
   void Close();
 
+  /// True once the stream is exhausted or the cursor was closed.
   bool done() const;
 
   /// Search statistics so far (zero-valued for adapter streams).
@@ -203,10 +234,11 @@ class ResultCursor {
 
 /// One query's outcome within a SearchBatch.
 struct BatchResult {
-  std::vector<core::OasisResult> results;
-  core::OasisStats stats;
+  std::vector<core::OasisResult> results;  ///< the query's full result stream
+  core::OasisStats stats;                  ///< its search counters
 };
 
+/// Knobs of one SearchBatch call.
 struct BatchOptions {
   /// Worker threads (clamped down to the number of requests). Must be
   /// positive; SearchBatch rejects 0.
@@ -293,11 +325,11 @@ class Engine {
   /// Resident database if already materialized, else nullptr (non-forcing).
   const seq::SequenceDatabase* database() const { return db_.get(); }
 
-  const std::string& index_dir() const { return index_dir_; }
-  const seq::Alphabet& alphabet() const { return *alphabet_; }
-  const score::SubstitutionMatrix& matrix() const { return *matrix_; }
-  const suffix::PackedSuffixTree& tree() const { return *tree_; }
-  const SequenceCatalog& catalog() const { return catalog_; }
+  const std::string& index_dir() const { return index_dir_; }  ///< opened index path
+  const seq::Alphabet& alphabet() const { return *alphabet_; }  ///< index alphabet
+  const score::SubstitutionMatrix& matrix() const { return *matrix_; }  ///< scoring matrix
+  const suffix::PackedSuffixTree& tree() const { return *tree_; }  ///< the packed index
+  const SequenceCatalog& catalog() const { return catalog_; }  ///< id/description labels
 
   /// The I/O path this engine resolved to (never kAuto).
   IoMode io_mode() const { return io_mode_; }
@@ -309,18 +341,31 @@ class Engine {
     OASIS_CHECK(pool_ != nullptr) << "mmap engine has no buffer pool";
     return *pool_;
   }
+  /// Const overload of pool(). Precondition: uses_pool().
   const storage::BufferPool& pool() const {
     OASIS_CHECK(pool_ != nullptr) << "mmap engine has no buffer pool";
     return *pool_;
   }
 
+  /// True when this engine runs speculative sibling-run readahead (pooled
+  /// path with EngineOptions::readahead_blocks > 0).
+  bool uses_readahead() const { return readahead_ != nullptr; }
+  /// The readahead window in blocks (0 when disabled or mmap).
+  uint32_t readahead_blocks() const;
+  /// Prefetch outcome counters (issued / used / wasted). Precondition:
+  /// uses_readahead() — an mmap engine has no pool to speculate into, so
+  /// callers must report these as unavailable rather than zero.
+  storage::ReadaheadStats readahead_stats() const;
+
   /// Karlin-Altschul statistics of the scoring system (needed for E-value
   /// cutoffs and E-value-ordered streams). Absent for scoring systems with
   /// no valid local-alignment statistics.
   bool has_karlin() const { return has_karlin_; }
-  const score::KarlinParams& karlin() const { return karlin_; }
+  const score::KarlinParams& karlin() const { return karlin_; }  ///< lambda, K, H
 
+  /// Number of database sequences in the index.
   uint64_t num_sequences() const { return tree_->num_sequences(); }
+  /// Number of database residues (terminators excluded).
   uint64_t num_residues() const {
     return tree_->total_length() - tree_->num_sequences();
   }
@@ -344,6 +389,12 @@ class Engine {
   IoMode io_mode_ = IoMode::kPooled;  ///< resolved; never kAuto
   std::unique_ptr<storage::BufferPool> pool_;  ///< null for mmap engines
   std::unique_ptr<suffix::PackedSuffixTree> tree_;
+  /// Speculative prefetcher; null when disabled or mmap. Declared after
+  /// pool_ AND tree_ so it is destroyed before both: its destructor joins
+  /// the worker threads, which touch the pool's frames and the tree's
+  /// block files until the moment they stop.
+  std::unique_ptr<storage::Readahead> readahead_;
+  bool fetch_memo_ = true;  ///< resolved EngineOptions::fetch_memo
   std::unique_ptr<core::OasisSearch> search_;
   std::unique_ptr<seq::SequenceDatabase> db_;  ///< resident; may be null
   SequenceCatalog catalog_;

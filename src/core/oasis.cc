@@ -70,7 +70,7 @@ class SearchRun {
             const score::SubstitutionMatrix& matrix,
             std::span<const seq::Symbol> query, const OasisOptions& options)
       : tree_(tree),
-        cursor_(&tree),
+        cursor_(&tree, options.use_fetch_memo),
         matrix_(matrix),
         query_storage_(query.begin(), query.end()),
         query_(query_storage_),
@@ -115,7 +115,7 @@ class SearchRun {
     root.depth = 0;
     {
       OASIS_ASSIGN_OR_RETURN(suffix::PackedInternalNode rec,
-                             tree_.ReadInternal(0));
+                             tree_.ReadInternal(0, cursor_.memo()));
       root.first_internal = rec.first_internal;
       root.first_leaf = rec.first_leaf;
     }
@@ -140,7 +140,20 @@ class SearchRun {
 
   /// Advances the main loop (Algorithm 1) until the next proven result is
   /// available, and returns it; std::nullopt once the search is complete.
+  /// Drops the fetch memo's pinned pool pages (no-op without a memo).
+  /// Called whenever control is about to return to the consumer: a
+  /// suspended cursor must hold zero pool frames, or N idle cursors
+  /// could pin a small pool solid. The memo refills on the first read
+  /// after resumption.
+  void ReleaseTransientPins() {
+    if (cursor_.memo() != nullptr) cursor_.memo()->Clear();
+  }
+
   util::StatusOr<std::optional<OasisResult>> Next() {
+    struct PinReleaser {
+      SearchRun* run;
+      ~PinReleaser() { run->ReleaseTransientPins(); }
+    } release_pins{this};
     while (pending_.empty() && !done_) {
       if (queue_.empty()) {
         // Frontier exhausted; in E-value mode the held-back candidates
@@ -223,7 +236,7 @@ class SearchRun {
       uint32_t idx = node.first_internal;
       while (true) {
         OASIS_ASSIGN_OR_RETURN(suffix::PackedInternalNode child,
-                               tree_.ReadInternal(idx));
+                               tree_.ReadInternal(idx, cursor_.memo()));
         arc.node = suffix::PackedNodeRef::Internal(idx);
         arc.depth = child.depth();
         arc.arc_len = child.depth() - node.depth;
@@ -242,7 +255,7 @@ class SearchRun {
       arc.arc_len = static_cast<uint32_t>(term - label_start);
       arc.depth = node.depth + arc.arc_len;
       OASIS_RETURN_NOT_OK(ExpandInto(node, arc, nullptr));
-      OASIS_ASSIGN_OR_RETURN(leaf, tree_.ReadLeafNext(leaf));
+      OASIS_ASSIGN_OR_RETURN(leaf, tree_.ReadLeafNext(leaf, cursor_.memo()));
     }
     return util::Status::OK();
   }
@@ -501,7 +514,9 @@ class SearchRun {
                            OasisResult* result) const {
     // Re-run the pinned DP over the path prefix that carries the best cell.
     std::vector<uint8_t> bytes;
-    OASIS_RETURN_NOT_OK(tree_.ReadSymbols(leaf, node.best_depth, &bytes));
+    OASIS_RETURN_NOT_OK(tree_.ReadSymbols(leaf, node.best_depth, &bytes,
+                                          storage::Admission::kNormal,
+                                          cursor_.memo()));
     std::vector<seq::Symbol> path(bytes.begin(), bytes.end());
     align::Alignment aln =
         align::TracebackPathPinned(query_, path, matrix_);
@@ -598,6 +613,9 @@ util::StatusOr<OasisCursor> OasisSearch::Cursor(
   auto run = std::make_unique<internal::SearchRun>(*tree_, *matrix_, query,
                                                    options);
   OASIS_RETURN_NOT_OK(run->Init());
+  // Same zero-pins-while-suspended rule as Next(): the cursor may sit
+  // unused arbitrarily long between Init and the first pull.
+  run->ReleaseTransientPins();
   return OasisCursor(std::move(run));
 }
 

@@ -72,6 +72,17 @@ struct OasisOptions {
   bool order_by_evalue = false;
   score::KarlinParams karlin;
 
+  /// Route this search's tree reads through a per-search fetch memo
+  /// (suffix::TreeCursor's per-thread (segment, block) → page cache):
+  /// consecutive same-block reads — sibling runs in the level-first
+  /// layout — skip the buffer pool entirely. Results are identical either
+  /// way; only the pool traffic changes, which is why this defaults to
+  /// off at this layer: callers measuring the paper's buffer statistics
+  /// (the Figure 7/8 benches) see unchanged numbers, while api::Engine
+  /// turns it on for pooled engines (EngineOptions::fetch_memo). A no-op
+  /// over mapped trees.
+  bool use_fetch_memo = false;
+
   /// Ablation switches (bench/bench_ablation_pruning.cc): disable pruning
   /// rule 2 ("existing alignment as good", §3.2) or rule 3 ("threshold
   /// failure"). Results are unchanged — only more of the search space is

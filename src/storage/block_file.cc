@@ -2,8 +2,10 @@
 
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -19,6 +21,31 @@ std::string Errno(const std::string& op, const std::string& path) {
 }  // namespace
 
 BlockFile::~BlockFile() { Close(); }
+
+util::Status BlockFile::DropOsCache() const {
+  if (fd_ < 0) return util::Status::InvalidArgument("file is closed");
+  // Dirty pages survive DONTNEED, so flush first; fdatasync is legal on a
+  // read-only descriptor and a no-op when nothing is dirty.
+  if (::fdatasync(fd_) != 0) {
+    return util::Status::IOError(Errno("fdatasync", path_));
+  }
+  const int err = ::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED);
+  if (err != 0) {
+    return util::Status::IOError("posix_fadvise '" + path_ +
+                                 "': " + std::strerror(err));
+  }
+  return util::Status::OK();
+}
+
+util::Status BlockFile::AdviseRandom() const {
+  if (fd_ < 0) return util::Status::InvalidArgument("file is closed");
+  const int err = ::posix_fadvise(fd_, 0, 0, POSIX_FADV_RANDOM);
+  if (err != 0) {
+    return util::Status::IOError("posix_fadvise '" + path_ +
+                                 "': " + std::strerror(err));
+  }
+  return util::Status::OK();
+}
 
 BlockFile::BlockFile(BlockFile&& other) noexcept
     : fd_(other.fd_), path_(std::move(other.path_)),
@@ -91,6 +118,54 @@ util::Status BlockFile::ReadBlock(BlockId id, void* out) const {
   ssize_t got = ::pread(fd_, out, block_size_, offset);
   if (got != static_cast<ssize_t>(block_size_)) {
     return util::Status::IOError(Errno("read", path_));
+  }
+  return util::Status::OK();
+}
+
+util::Status BlockFile::ReadBlocks(BlockId first, uint32_t count,
+                                   uint8_t* const* slots) const {
+  if (fd_ < 0) return util::Status::IOError("block file is closed");
+  if (count == 0) return util::Status::OK();
+  if (first + count > num_blocks_) {
+    return util::Status::OutOfRange(
+        "blocks [" + std::to_string(first) + ", +" + std::to_string(count) +
+        ") beyond end (" + std::to_string(num_blocks_) + " blocks)");
+  }
+  // One preadv accepts at most IOV_MAX (typically 1024) segments; larger
+  // runs go out as a sequence of maximal chunks, still contiguous on disk.
+  const uint32_t max_iov = static_cast<uint32_t>(
+      std::min<long>(::sysconf(_SC_IOV_MAX) > 0 ? ::sysconf(_SC_IOV_MAX)
+                                                : 1024,
+                     1024));
+  std::vector<struct iovec> iov;
+  for (uint32_t begin = 0; begin < count; begin += max_iov) {
+    const uint32_t n = std::min(max_iov, count - begin);
+    iov.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      iov[i].iov_base = slots[begin + i];
+      iov[i].iov_len = block_size_;
+    }
+    off_t offset = static_cast<off_t>(first + begin) * block_size_;
+    size_t remaining = static_cast<size_t>(n) * block_size_;
+    struct iovec* head = iov.data();
+    int iov_count = static_cast<int>(n);
+    // preadv may return short on signal or near resource limits; resume
+    // from where it stopped, trimming consumed iovec entries.
+    while (remaining > 0) {
+      ssize_t got = ::preadv(fd_, head, iov_count, offset);
+      if (got <= 0) return util::Status::IOError(Errno("preadv", path_));
+      remaining -= static_cast<size_t>(got);
+      offset += got;
+      while (got > 0 && static_cast<size_t>(got) >= head->iov_len) {
+        got -= static_cast<ssize_t>(head->iov_len);
+        ++head;
+        --iov_count;
+      }
+      if (got > 0) {
+        head->iov_base = static_cast<uint8_t*>(head->iov_base) + got;
+        head->iov_len -= static_cast<size_t>(got);
+      }
+    }
   }
   return util::Status::OK();
 }

@@ -28,7 +28,7 @@ using BlockId = uint64_t;
 class BlockFile {
  public:
   BlockFile() = default;
-  ~BlockFile();
+  ~BlockFile();  ///< closes the descriptor (Close is idempotent)
 
   BlockFile(const BlockFile&) = delete;
   BlockFile& operator=(const BlockFile&) = delete;
@@ -44,10 +44,10 @@ class BlockFile {
   static util::StatusOr<BlockFile> Open(const std::string& path,
                                         uint32_t block_size = kDefaultBlockSize);
 
-  uint32_t block_size() const { return block_size_; }
+  uint32_t block_size() const { return block_size_; }  ///< bytes per block
   /// Number of whole blocks currently in the file.
   uint64_t num_blocks() const { return num_blocks_; }
-  const std::string& path() const { return path_; }
+  const std::string& path() const { return path_; }  ///< path it was opened from
 
   /// Appends one block (`block_size` bytes). Returns its id.
   util::StatusOr<BlockId> AppendBlock(const void* data);
@@ -55,13 +55,41 @@ class BlockFile {
   /// Reads block `id` into `out` (must hold block_size bytes).
   util::Status ReadBlock(BlockId id, void* out) const;
 
+  /// Reads the `count` consecutive blocks starting at `first` into
+  /// `slots[0..count)` (each holding block_size bytes) with a single
+  /// scatter read (preadv): one syscall — and, cold, one contiguous
+  /// device read — where a loop over ReadBlock would pay `count` of each.
+  /// This is what makes speculative run prefetching cheaper than the
+  /// demand misses it replaces, not just concurrent with them. The slots
+  /// may be scattered (buffer-pool frames land on different shards).
+  util::Status ReadBlocks(BlockId first, uint32_t count,
+                          uint8_t* const* slots) const;
+
+  /// Asks the OS to drop this file's page-cache pages (best-effort:
+  /// flushes dirty pages first, then POSIX_FADV_DONTNEED). Reads stay
+  /// correct either way — the next ReadBlock just pays real I/O latency.
+  /// This is how the cold-cache benches (bench_readahead) measure the
+  /// disk-resident regime without reboot-style cache purges; the eviction
+  /// applies to the file's shared page cache, so it cools every open
+  /// descriptor of the file, not only this one.
+  util::Status DropOsCache() const;
+
+  /// Declares this descriptor's access pattern random
+  /// (POSIX_FADV_RANDOM), disabling the kernel's sequential readahead for
+  /// reads through it. The storage layer caches (BufferPool) and
+  /// speculates (storage::Readahead) on its own terms; stacking the
+  /// kernel's file-level prefetcher underneath makes "cold" measurements
+  /// lie and doubles speculative I/O. Unlike DropOsCache this advice is
+  /// per descriptor, so it does not perturb other readers of the file.
+  util::Status AdviseRandom() const;
+
   /// Flushes buffered writes to the OS.
   util::Status Flush();
 
   /// Closes the file; further operations fail. Idempotent.
   void Close();
 
-  bool is_open() const { return fd_ >= 0; }
+  bool is_open() const { return fd_ >= 0; }  ///< false after Close
 
  private:
   BlockFile(int fd, std::string path, uint32_t block_size, uint64_t num_blocks)
@@ -80,6 +108,8 @@ class BlockFile {
 /// construction (the packed-tree formats are designed so it always divides).
 class RecordBlockWriter {
  public:
+  /// A writer packing `record_size`-byte records into `file` (which must
+  /// outlive it). Fails when record_size does not divide the block size.
   static util::StatusOr<RecordBlockWriter> Create(BlockFile* file,
                                                   uint32_t record_size);
 
@@ -93,7 +123,7 @@ class RecordBlockWriter {
   /// the end; Append after Finish fails.
   util::Status Finish();
 
-  uint64_t num_records() const { return num_records_; }
+  uint64_t num_records() const { return num_records_; }  ///< records appended
 
  private:
   RecordBlockWriter(BlockFile* file, uint32_t record_size,

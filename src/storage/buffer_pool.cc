@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "storage/readahead.h"
 #include "util/logging.h"
 
 namespace oasis {
@@ -69,6 +70,7 @@ util::StatusOr<SegmentId> BufferPool::RegisterSegment(std::string name,
   files_.push_back(file);
   names_.push_back(std::move(name));
   stats_.emplace_back(shards_.size());
+  run_position_.emplace_back(UINT64_MAX);
   return static_cast<SegmentId>(files_.size() - 1);
 }
 
@@ -94,6 +96,19 @@ util::StatusOr<PageHandle> BufferPool::Fetch(SegmentId segment, BlockId block,
       Frame& f = shard.frames[it->second];
       f.pin_count.fetch_add(1, std::memory_order_relaxed);
       if (admission == Admission::kNormal) f.referenced = true;
+      if (f.prefetched) {
+        // First demand touch of a speculatively loaded frame: the
+        // prefetch paid off, and from here on the frame competes in CLOCK
+        // like any other (the reference bit above now gets set normally).
+        // Advancing the run detector here keeps a detected sequential run
+        // alive across its prefetched stretch, so the next miss — one
+        // window ahead — still reads as a continuation.
+        f.prefetched = false;
+        prefetch_used_.fetch_add(1, std::memory_order_relaxed);
+        if (readahead_ != nullptr) {
+          run_position_[segment].store(block, std::memory_order_relaxed);
+        }
+      }
       return PageHandle(&f.pin_count,
                         shard.memory +
                             static_cast<size_t>(it->second) * block_size_);
@@ -130,13 +145,7 @@ util::StatusOr<PageHandle> BufferPool::Fetch(SegmentId segment, BlockId block,
     lock.lock();
   }
   Frame& f = shard.frames[victim];
-  if (f.occupied) {
-    // Drop the victim's old identity *before* the read: if ReadBlock fails
-    // the slot may be partially overwritten, and a frame still carrying the
-    // old (segment, block) would serve that corrupt data on a later fetch.
-    shard.page_table.erase(Key(f.segment, f.block));
-    f.occupied = false;
-  }
+  EvictFrame(shard, f);
   // Claim the frame for this key and drop the lock for the read. The
   // loader's pin keeps CLOCK off the frame, the in-flight entry routes
   // concurrent requesters of the same key onto the frame's condvar, and
@@ -149,6 +158,21 @@ util::StatusOr<PageHandle> BufferPool::Fetch(SegmentId segment, BlockId block,
   shard.in_flight.emplace(key, victim);
   uint8_t* slot = shard.memory + static_cast<size_t>(victim) * block_size_;
   lock.unlock();
+  // The miss commits this thread to a disk read anyway; if it continues
+  // the segment's current sequential run — the signature of a level-first
+  // sibling run — let the readahead worker speculate ahead of it.
+  // Scheduling is a bounded queue push; the speculative reads happen on
+  // the worker's thread, overlapping this demand read and the work after
+  // it. A miss that does not continue the run (the A* frontier hopping
+  // across the tree) only re-arms the detector: scattered traffic must
+  // never amplify its own I/O. Scan traffic is excluded outright — a
+  // one-pass scan announces its own future and must not trigger
+  // speculation that competes with it.
+  if (readahead_ != nullptr && admission == Admission::kNormal) {
+    const uint64_t prev =
+        run_position_[segment].exchange(block, std::memory_order_relaxed);
+    if (block == prev + 1) readahead_->Schedule(segment, block + 1);
+  }
   util::Status read = files_[segment]->ReadBlock(block, slot);
   lock.lock();
   shard.in_flight.erase(key);
@@ -162,9 +186,117 @@ util::StatusOr<PageHandle> BufferPool::Fetch(SegmentId segment, BlockId block,
   }
   f.referenced = admission == Admission::kNormal;
   f.occupied = true;
+  f.prefetched = false;  // a demand load, whatever the frame held before
   shard.page_table[key] = victim;
   f.ready->notify_all();
   return PageHandle(&f.pin_count, slot);
+}
+
+uint32_t BufferPool::PrefetchRun(SegmentId segment, BlockId first,
+                                 uint32_t count) {
+  if (segment >= files_.size()) return 0;
+  const uint64_t num_blocks = files_[segment]->num_blocks();
+  if (first >= num_blocks) return 0;
+  count = static_cast<uint32_t>(
+      std::min<uint64_t>(count, num_blocks - first));
+
+  // Phase 1 — claim. Per block: decline quietly whenever the speculation
+  // is moot or would cost demand traffic anything (already resident,
+  // already loading — demand or a sibling prefetch — or no evictable
+  // frame in the shard right now; no stats bump for any of these:
+  // ReadaheadStats counts reads, not intentions). Otherwise claim exactly
+  // like a demand miss — loader pin, loading mark, in-flight entry — so a
+  // racing demand Fetch of the block waits on the frame's condvar and
+  // shares this read. Only one shard lock is held at a time.
+  struct Claim {
+    Shard* shard;
+    uint32_t frame;
+    uint8_t* slot;
+    BlockId block;
+  };
+  std::vector<Claim> claims;
+  claims.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const BlockId block = first + i;
+    const uint64_t key = Key(segment, block);
+    Shard& shard = shards_[Mix(key) & shard_mask_];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.page_table.count(key) != 0) continue;
+    if (shard.in_flight.count(key) != 0) continue;
+    util::StatusOr<uint32_t> victim_or = FindVictim(shard);
+    if (!victim_or.ok()) continue;
+    Frame& f = shard.frames[*victim_or];
+    EvictFrame(shard, f);
+    f.segment = segment;
+    f.block = block;
+    f.pin_count.store(1, std::memory_order_relaxed);
+    f.loading = true;
+    shard.in_flight.emplace(key, *victim_or);
+    claims.push_back(Claim{
+        &shard, *victim_or,
+        shard.memory + static_cast<size_t>(*victim_or) * block_size_, block});
+  }
+  if (claims.empty()) return 0;
+  prefetch_issued_.fetch_add(claims.size(), std::memory_order_relaxed);
+
+  // Phase 2 + 3 — read then publish, one contiguous stretch of claimed
+  // blocks at a time. The scatter pread turns the whole stretch into one
+  // syscall (and, cold, one sequential device read) landing directly in
+  // the claimed frames; this coalescing is the half of readahead that
+  // pays off even with nothing to overlap. No locks are held during the
+  // read.
+  std::vector<uint8_t*> slots;
+  size_t begin = 0;
+  while (begin < claims.size()) {
+    size_t end = begin + 1;
+    while (end < claims.size() &&
+           claims[end].block == claims[end - 1].block + 1) {
+      ++end;
+    }
+    slots.clear();
+    for (size_t i = begin; i < end; ++i) slots.push_back(claims[i].slot);
+    util::Status read = files_[segment]->ReadBlocks(
+        claims[begin].block, static_cast<uint32_t>(end - begin),
+        slots.data());
+    for (size_t i = begin; i < end; ++i) {
+      const Claim& claim = claims[i];
+      Frame& f = claim.shard->frames[claim.frame];
+      std::lock_guard<std::mutex> lock(claim.shard->mutex);
+      claim.shard->in_flight.erase(Key(segment, claim.block));
+      f.loading = false;
+      f.pin_count.store(0, std::memory_order_relaxed);
+      if (read.ok()) {
+        // Scan admission — reference bit clear — plus the prefetched
+        // mark, so unused speculation is first in line for eviction and
+        // measurable.
+        f.referenced = false;
+        f.occupied = true;
+        f.prefetched = true;
+        claim.shard->page_table[Key(segment, claim.block)] = claim.frame;
+      } else {
+        // A failed speculative read is a non-event for correctness:
+        // release the claim and let any demand requester retry (and
+        // surface the error) itself.
+        prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+      }
+      f.ready->notify_all();
+    }
+    begin = end;
+  }
+  return static_cast<uint32_t>(claims.size());
+}
+
+void BufferPool::EvictFrame(Shard& shard, Frame& frame) {
+  if (!frame.occupied) return;
+  // Drop the victim's old identity *before* the read: if ReadBlock fails
+  // the slot may be partially overwritten, and a frame still carrying the
+  // old (segment, block) would serve that corrupt data on a later fetch.
+  shard.page_table.erase(Key(frame.segment, frame.block));
+  frame.occupied = false;
+  if (frame.prefetched) {
+    frame.prefetched = false;
+    prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 util::StatusOr<uint32_t> BufferPool::FindVictim(Shard& shard) {
@@ -192,6 +324,14 @@ util::StatusOr<uint32_t> BufferPool::FindVictim(Shard& shard) {
   }
   return util::Status::Internal(
       "buffer pool exhausted: all frames of the shard pinned");
+}
+
+ReadaheadStats BufferPool::readahead_stats() const {
+  ReadaheadStats out;
+  out.issued = prefetch_issued_.load(std::memory_order_relaxed);
+  out.used = prefetch_used_.load(std::memory_order_relaxed);
+  out.wasted = prefetch_wasted_.load(std::memory_order_relaxed);
+  return out;
 }
 
 SegmentStats BufferPool::stats(SegmentId segment) const {
@@ -227,12 +367,18 @@ void BufferPool::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (Frame& f : shard.frames) {
+      if (f.occupied && f.prefetched) {
+        // Dropped before any demand fetch saw it — by the accounting's
+        // definition, speculation that missed.
+        prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+      }
       f.segment = 0;
       f.block = 0;
       f.pin_count.store(0, std::memory_order_relaxed);
       f.referenced = false;
       f.occupied = false;
       f.loading = false;
+      f.prefetched = false;
     }
     shard.page_table.clear();
     shard.in_flight.clear();

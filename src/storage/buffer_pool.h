@@ -31,9 +31,23 @@
 // (or retry as fresh misses if the load failed). The shard mutex is only
 // ever held for table and clock bookkeeping.
 //
-// RegisterSegment is the one exception: segments must all be registered
-// before the first concurrent Fetch (the engine registers them at index
-// open time, before any search runs).
+// Speculative readahead (storage/readahead.h) layers on top of the same
+// machinery: PrefetchRun() is a best-effort, self-throttling variant of
+// the miss path that loads a run of blocks without returning handles,
+// coalescing each contiguous stretch into one scatter pread. A prefetched
+// frame is admitted with scan semantics (no CLOCK reference bit) and
+// carries a `prefetched` mark until its first demand Fetch, so unused
+// speculation is first in line for eviction — never ahead of frames
+// demand traffic keeps referenced — and its accuracy is measurable: the
+// pool counts prefetches issued, used (first demand hit) and wasted
+// (evicted unused). Because a prefetch registers in the shard's in-flight
+// table exactly like a demand miss, a demand Fetch racing a prefetch of
+// the same block waits on the loading frame and resolves as a hit: one
+// disk read, never two.
+//
+// RegisterSegment and SetReadahead are the exceptions: both are setup-time
+// calls that must complete before the first concurrent Fetch (the engine
+// makes them at index open time, before any search runs).
 
 #pragma once
 
@@ -65,13 +79,36 @@ using SegmentId = uint32_t;
 /// scan cannot evict the hot internal blocks that real searches keep warm.
 enum class Admission { kNormal, kScan };
 
+class Readahead;
+
+/// Outcome counters of the speculative readahead path: a plain-value
+/// snapshot of the pool's internal atomic counters. Demand traffic is
+/// deliberately excluded — prefetch reads never count as segment requests
+/// or hits, so Figure 7/8 statistics stay exact with readahead enabled.
+struct ReadaheadStats {
+  /// Speculative reads actually started (resident / in-flight / frameless
+  /// prefetch attempts are skipped and counted nowhere).
+  uint64_t issued = 0;
+  /// Prefetched frames that served at least one demand Fetch.
+  uint64_t used = 0;
+  /// Prefetched frames evicted (or dropped by Clear) before any demand
+  /// Fetch touched them — the speculation that missed.
+  uint64_t wasted = 0;
+
+  /// Wasted fraction of issued prefetches (0 when none were issued).
+  double waste_ratio() const {
+    return issued == 0 ? 0.0 : static_cast<double>(wasted) / issued;
+  }
+};
+
 /// Request/hit counters for one segment: a plain-value snapshot of the
 /// pool's internal atomic counters.
 struct SegmentStats {
-  uint64_t requests = 0;
-  uint64_t hits = 0;
+  uint64_t requests = 0;  ///< demand fetches of the segment's blocks
+  uint64_t hits = 0;      ///< requests served without a disk read
 
-  uint64_t misses() const { return requests - hits; }
+  uint64_t misses() const { return requests - hits; }  ///< requests - hits
+  /// hits / requests (1.0 when no requests were made).
   double hit_ratio() const {
     return requests == 0 ? 1.0 : static_cast<double>(hits) / requests;
   }
@@ -84,7 +121,7 @@ struct SegmentStats {
 class PageHandle {
  public:
   PageHandle() = default;
-  ~PageHandle() { Release(); }
+  ~PageHandle() { Release(); }  ///< unpins (lock-free)
   PageHandle(const PageHandle&) = delete;
   PageHandle& operator=(const PageHandle&) = delete;
   PageHandle(PageHandle&& other) noexcept
@@ -103,8 +140,8 @@ class PageHandle {
     return *this;
   }
 
-  const uint8_t* data() const { return data_; }
-  bool valid() const { return pin_ != nullptr; }
+  const uint8_t* data() const { return data_; }  ///< the pinned block's bytes
+  bool valid() const { return pin_ != nullptr; }  ///< false once released/moved-from
 
  private:
   friend class BufferPool;
@@ -141,6 +178,7 @@ class BufferPool {
   /// keeps their eviction order deterministic).
   BufferPool(uint64_t capacity_bytes, uint32_t block_size = kDefaultBlockSize,
              uint32_t num_shards = 0);
+  /// Checks full quiescence (no pinned frames) on the way out.
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -151,9 +189,10 @@ class BufferPool {
   /// must complete before the first concurrent Fetch.
   util::StatusOr<SegmentId> RegisterSegment(std::string name, const BlockFile* file);
 
-  uint32_t block_size() const { return block_size_; }
-  uint32_t num_frames() const { return num_frames_; }
-  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  uint32_t block_size() const { return block_size_; }  ///< bytes per frame
+  uint32_t num_frames() const { return num_frames_; }  ///< total frames, all shards
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }  ///< CLOCK regions
+  /// num_frames() * block_size() — the capacity after rounding.
   uint64_t capacity_bytes() const {
     return static_cast<uint64_t>(num_frames_) * block_size_;
   }
@@ -167,13 +206,55 @@ class BufferPool {
   util::StatusOr<PageHandle> Fetch(SegmentId segment, BlockId block,
                                    Admission admission = Admission::kNormal);
 
+  /// Best-effort speculative load of the run [first, first + count),
+  /// clipped to the segment's end; never returns a handle. Returns the
+  /// number of reads actually issued; blocks that are already resident or
+  /// loading, or whose shard has no evictable frame right now, are
+  /// silently skipped (speculation never yields, retries, or evicts under
+  /// contention — demand traffic always wins). Skips split the run;
+  /// every maximal contiguous stretch of claimed blocks is read with ONE
+  /// scatter pread (BlockFile::ReadBlocks), which is where run prefetching
+  /// beats the per-block demand misses it replaces. Loaded frames are
+  /// admitted with scan semantics plus a `prefetched` mark; see
+  /// ReadaheadStats for the accounting. Each claimed block sits in its
+  /// shard's in-flight table for the duration, so a demand Fetch racing
+  /// the prefetch waits on the loading frame and shares the read. Safe to
+  /// call concurrently with Fetch from any thread (the readahead worker
+  /// does).
+  uint32_t PrefetchRun(SegmentId segment, BlockId first, uint32_t count);
+
+  /// PrefetchRun of a single block; true when the read was issued.
+  bool Prefetch(SegmentId segment, BlockId block) {
+    return PrefetchRun(segment, block, 1) != 0;
+  }
+
+  /// Attaches (or detaches, with nullptr) the readahead unit driven by
+  /// demand traffic. Speculation is gated on *detected sequential runs*,
+  /// not on every miss: a miss on `block` schedules the next
+  /// `readahead->blocks()` blocks of the segment only when `block`
+  /// continues the segment's previous miss (or a prefetched hit) — the
+  /// signature of a sibling run in the level-first layout. Scattered
+  /// misses (the A* frontier hopping around the tree) therefore trigger
+  /// nothing, so enabling readahead cannot amplify random I/O. A demand
+  /// hit on a prefetched frame advances the run position, keeping a
+  /// detected run triggering once per window instead of dying after the
+  /// first one. Setup-time only, like RegisterSegment: must not race any
+  /// Fetch. The readahead unit must outlive every subsequent Fetch
+  /// (storage::Readahead detaches itself on destruction).
+  void SetReadahead(Readahead* readahead) { readahead_ = readahead; }
+
+  /// Prefetch outcome counters (see ReadaheadStats). Exact after
+  /// quiescence, like stats().
+  ReadaheadStats readahead_stats() const;
+
   /// Statistics snapshot for one segment. Exact after quiescence; during
   /// concurrent traffic each counter is individually exact (relaxed loads).
   SegmentStats stats(SegmentId segment) const;
+  /// The name a segment was registered under.
   const std::string& segment_name(SegmentId segment) const {
     return names_[segment];
   }
-  size_t num_segments() const { return files_.size(); }
+  size_t num_segments() const { return files_.size(); }  ///< registered segments
 
   /// Aggregate statistics over all segments.
   SegmentStats TotalStats() const;
@@ -199,6 +280,9 @@ class BufferPool {
     /// loading frame is pinned by its loader (so CLOCK skips it) and its
     /// key lives in the shard's in-flight table, not the page table.
     bool loading = false;
+    /// True from a speculative load until the first demand Fetch of the
+    /// frame (then it counts as `used`) or its eviction (then `wasted`).
+    bool prefetched = false;
     /// Signalled (under the shard mutex) when a load into this frame
     /// finishes, success or failure. Heap-allocated so frames stay movable
     /// during shard construction.
@@ -211,7 +295,8 @@ class BufferPool {
         : segment(other.segment), block(other.block),
           pin_count(other.pin_count.load(std::memory_order_relaxed)),
           referenced(other.referenced), occupied(other.occupied),
-          loading(other.loading), ready(std::move(other.ready)) {}
+          loading(other.loading), prefetched(other.prefetched),
+          ready(std::move(other.ready)) {}
   };
 
   /// One independent CLOCK region: its own lock, frames, table and hand.
@@ -246,6 +331,11 @@ class BufferPool {
   /// index or fails when every frame of the shard is pinned.
   util::StatusOr<uint32_t> FindVictim(Shard& shard);
 
+  /// Strips a victim frame of its old identity (shard mutex held),
+  /// counting a wasted prefetch if speculation loaded it and no demand
+  /// Fetch ever came.
+  void EvictFrame(Shard& shard, Frame& frame);
+
   static uint64_t Key(SegmentId segment, BlockId block) {
     return (static_cast<uint64_t>(segment) << 48) | block;
   }
@@ -266,6 +356,20 @@ class BufferPool {
   std::vector<const BlockFile*> files_;
   std::vector<std::string> names_;
   mutable std::deque<AtomicSegmentStats> stats_;
+
+  /// Attached readahead unit (nullptr = no speculation). Written only at
+  /// setup time (SetReadahead); read without synchronization on the Fetch
+  /// miss path, same contract as the segment tables.
+  Readahead* readahead_ = nullptr;
+  /// Per-segment sequential-run detector: the last block demand-missed
+  /// (or hit prefetched) in each segment. A heuristic, so plain relaxed
+  /// atomics; deque because atomics don't move on growth. UINT64_MAX
+  /// sentinel wraps to 0, so a scan starting at block 0 triggers on its
+  /// very first miss.
+  std::deque<std::atomic<uint64_t>> run_position_;
+  std::atomic<uint64_t> prefetch_issued_{0};
+  std::atomic<uint64_t> prefetch_used_{0};
+  std::atomic<uint64_t> prefetch_wasted_{0};
 };
 
 }  // namespace storage

@@ -18,6 +18,7 @@
 
 #pragma once
 
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -48,8 +49,8 @@ class PageRef {
     return *this;
   }
 
-  const uint8_t* data() const { return data_; }
-  bool valid() const { return data_ != nullptr; }
+  const uint8_t* data() const { return data_; }  ///< the block's bytes
+  bool valid() const { return data_ != nullptr; }  ///< false once moved-from
 
  private:
   friend class PageSource;
@@ -79,8 +80,8 @@ class PageSource {
 
   PageSource() = default;
 
-  bool mapped() const { return pool_ == nullptr; }
-  BufferPool* pool() const { return pool_; }
+  bool mapped() const { return pool_ == nullptr; }  ///< which of the two modes
+  BufferPool* pool() const { return pool_; }  ///< the pool, nullptr when mapped
 
   /// Registers a backing file as the next segment. The BlockFile overload
   /// is pooled-mode only, the MappedFile overload mapped-mode only; the
@@ -93,6 +94,7 @@ class PageSource {
     }
     return pool_->RegisterSegment(std::move(name), file);
   }
+  /// Mapped-mode overload of AddSegment.
   util::StatusOr<SegmentId> AddSegment(std::string name,
                                        const MappedFile* file) {
     if (!mapped()) {
@@ -133,6 +135,93 @@ class PageSource {
 
   BufferPool* pool_ = nullptr;  ///< nullptr == mapped mode
   std::vector<MappedSegment> mapped_;
+};
+
+/// A tiny per-thread fetch cache over one pooled PageSource: the last
+/// PageRef of each segment, keyed by block. Consecutive reads that land on
+/// the same block — the common case on a level-first sibling run, where a
+/// 2K block holds 128 adjacent internal records — skip the pool entirely:
+/// no shard lock, no hash probe, no pin traffic, no stats bump.
+///
+/// The memo *owns* the cached refs, so it holds at most one pinned frame
+/// per segment. Replacing an entry releases the old pin before fetching
+/// the new block, and when the pins themselves exhaust a tiny pool the
+/// memo clears itself and retries once bare — a pool with a single frame
+/// degrades to memo-less behavior instead of deadlocking.
+///
+/// NOT thread-safe, by design: one memo belongs to one search thread
+/// (suffix::TreeCursor embeds one per cursor, and every cursor is
+/// thread-confined). In mapped mode Get() simply forwards to the source —
+/// a mapped fetch is already a bounds check, so memoizing it would only
+/// add work.
+///
+/// Skipped fetches do not count as pool requests or hits: a memo-enabled
+/// search reports *fewer* pool requests, which is the point. The Figure
+/// 7/8 benches therefore run memo-less (they measure the paper's pool).
+class FetchMemo {
+ public:
+  FetchMemo() = default;
+  FetchMemo(const FetchMemo&) = delete;
+  FetchMemo& operator=(const FetchMemo&) = delete;
+
+  /// Resolves one block through the memo. The returned ref is valid until
+  /// the next Get() on the same segment, Clear(), or memo destruction
+  /// (entries live in a deque, so a first Get() on a new segment never
+  /// moves existing entries) — callers copy the bytes out (which is what
+  /// every tree read does) rather than holding the pointer.
+  util::StatusOr<const PageRef*> Get(const PageSource& source,
+                                     SegmentId segment, BlockId block,
+                                     Admission admission = Admission::kNormal) {
+    if (source.mapped()) {
+      OASIS_ASSIGN_OR_RETURN(scratch_, source.Fetch(segment, block, admission));
+      return static_cast<const PageRef*>(&scratch_);
+    }
+    while (entries_.size() <= segment) entries_.emplace_back();
+    Entry& entry = entries_[segment];
+    if (entry.ref.valid() && entry.block == block) {
+      ++hits_;
+      return static_cast<const PageRef*>(&entry.ref);
+    }
+    ++misses_;
+    // Release the old pin *before* fetching: the memo must never hold the
+    // frame its own replacement fetch needs as a victim.
+    entry.ref = PageRef();
+    auto fetched = source.Fetch(segment, block, admission);
+    if (!fetched.ok() && fetched.status().IsInternal()) {
+      // "All frames pinned" — our other segments' memo pins may be the
+      // blockers on a tiny pool. Drop every pin and retry once.
+      Clear();
+      fetched = source.Fetch(segment, block, admission);
+    }
+    OASIS_RETURN_NOT_OK(fetched.status());
+    entry.ref = std::move(fetched).value();
+    entry.block = block;
+    return static_cast<const PageRef*>(&entry.ref);
+  }
+
+  /// Releases every cached pin (the memo stays usable).
+  void Clear() {
+    for (Entry& entry : entries_) entry.ref = PageRef();
+  }
+
+  /// Fetches served from the memo, for tests and stats displays.
+  uint64_t hits() const { return hits_; }
+  /// Fetches that had to go to the underlying source.
+  uint64_t misses() const { return misses_; }
+
+ private:
+  /// The cached (block, ref) of one segment.
+  struct Entry {
+    BlockId block = 0;
+    PageRef ref;
+  };
+
+  /// Indexed by segment id. A deque so growing for a new segment leaves
+  /// references to existing entries (and their returned PageRefs) valid.
+  std::deque<Entry> entries_;
+  PageRef scratch_;             ///< mapped-mode pass-through slot
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
 };
 
 }  // namespace storage

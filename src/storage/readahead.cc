@@ -1,0 +1,85 @@
+#include "storage/readahead.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace storage {
+
+Readahead::Readahead(BufferPool* pool, const Options& options)
+    : pool_(pool),
+      blocks_(options.blocks),
+      queue_capacity_(std::max(1u, options.queue_capacity)) {
+  OASIS_CHECK(pool != nullptr);
+  OASIS_CHECK_GT(options.blocks, 0u);
+  OASIS_CHECK_GT(options.threads, 0u);
+  workers_.reserve(options.threads);
+  for (uint32_t t = 0; t < options.threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  pool_->SetReadahead(this);
+}
+
+Readahead::~Readahead() {
+  // Detach first so no Fetch miss can schedule into a stopping queue.
+  // (Setup/teardown contract: no pool traffic races this destructor.)
+  pool_->SetReadahead(nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    queue_.clear();
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void Readahead::Schedule(SegmentId segment, BlockId first) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    // Adjacent misses schedule overlapping runs; collapsing an exact
+    // duplicate of the newest entry is a cheap dedupe that covers the
+    // common same-block miss storm (Prefetch de-dupes the rest against
+    // the page table and in-flight table).
+    if (!queue_.empty() && queue_.back().segment == segment &&
+        queue_.back().first == first) {
+      return;
+    }
+    queue_.push_back(Run{segment, first});
+    // Bounded queue: drop the oldest run — if the worker is that far
+    // behind, the search has long moved past those blocks.
+    if (queue_.size() > queue_capacity_) queue_.pop_front();
+  }
+  work_available_.notify_one();
+}
+
+void Readahead::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] {
+    return (queue_.empty() && active_workers_ == 0) || stop_;
+  });
+}
+
+void Readahead::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    const Run run = queue_.front();
+    queue_.pop_front();
+    ++active_workers_;
+    lock.unlock();
+    // The reads happen off this object's mutex, so Schedule stays a pure
+    // queue push even while a prefetch read is outstanding. PrefetchRun
+    // clips past-the-end blocks, declines resident/loading ones, and
+    // coalesces each contiguous stretch it claims into one scatter pread.
+    pool_->PrefetchRun(run.segment, run.first, blocks_);
+    lock.lock();
+    --active_workers_;
+    if (queue_.empty() && active_workers_ == 0) idle_.notify_all();
+  }
+}
+
+}  // namespace storage
+}  // namespace oasis

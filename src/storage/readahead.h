@@ -1,0 +1,117 @@
+// Speculative sibling-run readahead over the sharded buffer pool.
+//
+// The packed suffix tree stores internal nodes in *level-first* (BFS)
+// order, so all internal siblings of a node are physically adjacent — and
+// the OASIS A* search expands all children of a node together. When a
+// pooled Fetch misses on block b of a segment, blocks b+1, b+2, ... of the
+// same segment are therefore the statistically likely next demand reads.
+// Readahead turns that prediction into overlap: the pool reports each
+// demand miss here (BufferPool::SetReadahead), Schedule() queues the next
+// K blocks of the run, and a small background I/O worker drains the queue
+// through BufferPool::Prefetch, which loads each block off-lock using the
+// exact in-flight protocol of a demand miss. A demand Fetch that arrives
+// while its block is still prefetch-loading lands on the loading frame's
+// condition variable and resolves as a hit — one disk read, shared.
+//
+// Speculation is strictly best-effort and self-limiting:
+//   - prefetched frames are admitted with scan semantics (no CLOCK
+//     reference bit) and stay marked until their first demand hit, so a
+//     wrong guess is the first thing evicted and can never displace a hot
+//     block that demand traffic keeps referenced;
+//   - Prefetch declines (rather than yields or retries) when the target
+//     shard has no free victim, so a pool smaller than the readahead
+//     window degrades to no-op speculation instead of thrashing;
+//   - the schedule queue is bounded; when the worker falls behind, the
+//     *oldest* runs are dropped first — stale speculation is the least
+//     likely to still be wanted.
+//
+// Thread-safety: Schedule() may be called from any number of threads (the
+// pool calls it on concurrent miss paths); the worker threads run until
+// destruction. Construction and destruction are single-threaded and must
+// bracket all pool traffic that can trigger scheduling. The Readahead must
+// be destroyed before its pool (it detaches itself and joins its workers
+// first, so no prefetch can touch a dying pool).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+
+namespace oasis {
+namespace storage {
+
+/// The background prefetcher. One instance serves one BufferPool.
+class Readahead {
+ public:
+  /// Construction-time knobs.
+  struct Options {
+    /// Speculative reads issued per demand miss: the next `blocks` blocks
+    /// of the missed segment's level-first run. Must be positive (a zero
+    /// window means "no readahead" — simply don't construct one).
+    uint32_t blocks = 8;
+    /// Background I/O worker threads draining the schedule queue.
+    uint32_t threads = 1;
+    /// Maximum queued runs; beyond it the oldest (stalest) run is dropped.
+    uint32_t queue_capacity = 256;
+  };
+
+  /// Attaches to `pool` (which must outlive this object) and starts the
+  /// worker threads. Registers itself via BufferPool::SetReadahead, so
+  /// demand misses start scheduling immediately.
+  Readahead(BufferPool* pool, const Options& options);
+
+  /// Detaches from the pool, then stops and joins the workers (dropping
+  /// whatever was still queued). Any in-flight prefetch completes first.
+  ~Readahead();
+
+  Readahead(const Readahead&) = delete;
+  Readahead& operator=(const Readahead&) = delete;
+
+  /// Queues a speculative run: blocks [first, first + blocks()) of
+  /// `segment` (clipped to the segment's end by Prefetch). Called by the
+  /// pool on every demand miss; callable from any thread. Never blocks on
+  /// I/O — the queue push is the entire cost on the caller.
+  void Schedule(SegmentId segment, BlockId first);
+
+  /// Blocks until the queue is empty and no worker is mid-prefetch. For
+  /// tests and benches that need deterministic "speculation done" points;
+  /// concurrent Schedule() calls can of course re-fill the queue.
+  void Drain();
+
+  /// The per-miss speculation window (Options::blocks).
+  uint32_t blocks() const { return blocks_; }
+
+  /// Prefetch outcome counters, straight from the pool.
+  ReadaheadStats stats() const { return pool_->readahead_stats(); }
+
+ private:
+  /// One queued speculative run.
+  struct Run {
+    SegmentId segment;
+    BlockId first;
+  };
+
+  /// Worker loop: pop a run, Prefetch each of its blocks, repeat.
+  void WorkerLoop();
+
+  BufferPool* pool_;
+  const uint32_t blocks_;
+  const uint32_t queue_capacity_;
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;   ///< signalled on push / stop
+  std::condition_variable idle_;             ///< signalled when drained
+  std::deque<Run> queue_;
+  uint32_t active_workers_ = 0;  ///< workers currently inside a prefetch
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace storage
+}  // namespace oasis

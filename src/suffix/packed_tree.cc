@@ -175,47 +175,89 @@ util::StatusOr<std::unique_ptr<PackedSuffixTree>> PackedSuffixTree::OpenMapped(
   return tree;
 }
 
+util::Status PackedSuffixTree::AdviseRandomAccess() const {
+  if (source_.mapped()) {
+    return util::Status::InvalidArgument(
+        "AdviseRandomAccess is for pooled trees; a mapped tree relies on "
+        "the kernel's readahead");
+  }
+  OASIS_RETURN_NOT_OK(symbols_file_.AdviseRandom());
+  OASIS_RETURN_NOT_OK(internal_file_.AdviseRandom());
+  OASIS_RETURN_NOT_OK(leaves_file_.AdviseRandom());
+  return util::Status::OK();
+}
+
 uint32_t PackedSuffixTree::SequenceOf(uint64_t pos) const {
   OASIS_DCHECK(pos < total_length_);
   auto it = std::upper_bound(seq_starts_.begin(), seq_starts_.end(), pos);
   return static_cast<uint32_t>(it - seq_starts_.begin() - 1);
 }
 
+namespace {
+
+/// Resolves one block through the memo when one is supplied, else straight
+/// through the source. Returns a pointer to the block's bytes, valid until
+/// the next read through the same memo (callers memcpy immediately).
+util::StatusOr<const uint8_t*> BlockData(const storage::PageSource& source,
+                                         storage::FetchMemo* memo,
+                                         storage::SegmentId segment,
+                                         storage::BlockId block,
+                                         storage::Admission admission,
+                                         storage::PageRef* scratch) {
+  if (memo != nullptr) {
+    OASIS_ASSIGN_OR_RETURN(const storage::PageRef* page,
+                           memo->Get(source, segment, block, admission));
+    return page->data();
+  }
+  OASIS_ASSIGN_OR_RETURN(*scratch, source.Fetch(segment, block, admission));
+  return scratch->data();
+}
+
+}  // namespace
+
 util::StatusOr<PackedInternalNode> PackedSuffixTree::ReadInternal(
-    uint32_t idx) const {
+    uint32_t idx, storage::FetchMemo* memo) const {
   if (idx >= num_internal_) {
     return util::Status::OutOfRange("internal node " + std::to_string(idx) +
                                     " out of range");
   }
   const uint32_t per_block = block_size_ / sizeof(PackedInternalNode);
-  OASIS_ASSIGN_OR_RETURN(storage::PageRef page,
-                         source_.Fetch(seg_internal_, idx / per_block));
+  storage::PageRef scratch;
+  OASIS_ASSIGN_OR_RETURN(
+      const uint8_t* data,
+      BlockData(source_, memo, seg_internal_, idx / per_block,
+                storage::Admission::kNormal, &scratch));
   PackedInternalNode node;
   std::memcpy(&node,
-              page.data() + static_cast<size_t>(idx % per_block) *
+              data + static_cast<size_t>(idx % per_block) *
                                 sizeof(PackedInternalNode),
               sizeof(node));
   return node;
 }
 
-util::StatusOr<uint32_t> PackedSuffixTree::ReadLeafNext(uint32_t idx) const {
+util::StatusOr<uint32_t> PackedSuffixTree::ReadLeafNext(
+    uint32_t idx, storage::FetchMemo* memo) const {
   if (idx >= total_length_) {
     return util::Status::OutOfRange("leaf " + std::to_string(idx) +
                                     " out of range");
   }
   const uint32_t per_block = block_size_ / sizeof(uint32_t);
-  OASIS_ASSIGN_OR_RETURN(storage::PageRef page,
-                         source_.Fetch(seg_leaves_, idx / per_block));
+  storage::PageRef scratch;
+  OASIS_ASSIGN_OR_RETURN(
+      const uint8_t* data,
+      BlockData(source_, memo, seg_leaves_, idx / per_block,
+                storage::Admission::kNormal, &scratch));
   uint32_t next;
   std::memcpy(&next,
-              page.data() + static_cast<size_t>(idx % per_block) * sizeof(uint32_t),
+              data + static_cast<size_t>(idx % per_block) * sizeof(uint32_t),
               sizeof(next));
   return next;
 }
 
 util::Status PackedSuffixTree::ReadSymbols(uint64_t pos, uint32_t len,
                                            std::vector<uint8_t>* out,
-                                           storage::Admission admission) const {
+                                           storage::Admission admission,
+                                           storage::FetchMemo* memo) const {
   if (pos + len > total_length_) {
     return util::Status::OutOfRange("symbol range [" + std::to_string(pos) +
                                     ", +" + std::to_string(len) +
@@ -228,9 +270,11 @@ util::Status PackedSuffixTree::ReadSymbols(uint64_t pos, uint32_t len,
     storage::BlockId block = p / block_size_;
     uint32_t offset = static_cast<uint32_t>(p % block_size_);
     uint32_t chunk = std::min(len - written, block_size_ - offset);
-    OASIS_ASSIGN_OR_RETURN(storage::PageRef page,
-                           source_.Fetch(seg_symbols_, block, admission));
-    std::memcpy(out->data() + written, page.data() + offset, chunk);
+    storage::PageRef scratch;
+    OASIS_ASSIGN_OR_RETURN(
+        const uint8_t* data,
+        BlockData(source_, memo, seg_symbols_, block, admission, &scratch));
+    std::memcpy(out->data() + written, data + offset, chunk);
     written += chunk;
   }
   return util::Status::OK();

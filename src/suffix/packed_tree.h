@@ -60,22 +60,22 @@ inline constexpr uint32_t kNone = 0xFFFFFFFFu;
 
 /// On-disk internal-node record. 16 bytes; 128 per 2K block.
 struct PackedInternalNode {
-  uint32_t depth_and_flag;
-  uint32_t sym_offset;
-  uint32_t first_internal;
-  uint32_t first_leaf;
+  uint32_t depth_and_flag;   ///< bit31 last-sibling flag, bits 0..30 depth
+  uint32_t sym_offset;       ///< incoming-arc label start in the symbols array
+  uint32_t first_internal;   ///< first internal child, or kNone
+  uint32_t first_leaf;       ///< head of the leaf-child chain, or kNone
 
-  uint32_t depth() const { return depth_and_flag & 0x7FFFFFFFu; }
-  bool last_sibling() const { return (depth_and_flag & 0x80000000u) != 0; }
+  uint32_t depth() const { return depth_and_flag & 0x7FFFFFFFu; }  ///< path depth in symbols
+  bool last_sibling() const { return (depth_and_flag & 0x80000000u) != 0; }  ///< ends its sibling run
 };
 static_assert(sizeof(PackedInternalNode) == 16);
 
 /// File names inside a packed-tree directory.
 struct PackedTreeFiles {
-  static constexpr const char* kSymbols = "symbols.blk";
-  static constexpr const char* kInternal = "internal.blk";
-  static constexpr const char* kLeaves = "leaves.blk";
-  static constexpr const char* kMeta = "tree.meta";
+  static constexpr const char* kSymbols = "symbols.blk";    ///< concatenated database bytes
+  static constexpr const char* kInternal = "internal.blk";  ///< level-first internal records
+  static constexpr const char* kLeaves = "leaves.blk";      ///< leaf next-sibling array
+  static constexpr const char* kMeta = "tree.meta";         ///< counts + sequence starts
 };
 
 /// Reads just the block size recorded in `dir`'s metadata, so callers can
@@ -116,12 +116,12 @@ class PackedSuffixTree {
       const std::string& dir);
 
   // --- metadata (memory resident) -----------------------------------------
-  uint64_t num_internal() const { return num_internal_; }
-  uint64_t num_leaves() const { return total_length_; }
-  uint64_t total_length() const { return total_length_; }
-  uint32_t alphabet_size() const { return sigma_; }
-  seq::AlphabetKind alphabet_kind() const { return kind_; }
-  uint64_t num_sequences() const { return seq_starts_.size(); }
+  uint64_t num_internal() const { return num_internal_; }  ///< internal-node count
+  uint64_t num_leaves() const { return total_length_; }    ///< one leaf per position
+  uint64_t total_length() const { return total_length_; }  ///< residues + terminators
+  uint32_t alphabet_size() const { return sigma_; }        ///< residue code count
+  seq::AlphabetKind alphabet_kind() const { return kind_; }  ///< DNA or protein
+  uint64_t num_sequences() const { return seq_starts_.size(); }  ///< database sequences
 
   /// Start position of sequence `id` in the concatenation.
   uint64_t SequenceStart(uint32_t id) const { return seq_starts_[id]; }
@@ -139,12 +139,22 @@ class PackedSuffixTree {
   uint64_t index_bytes() const { return index_bytes_; }
 
   // --- block-level access (through the buffer pool) -----------------------
+  //
+  // Each read takes an optional storage::FetchMemo: a per-thread cache of
+  // the last page per segment that lets consecutive same-block reads (the
+  // level-first layout makes sibling runs exactly that) skip the pool.
+  // Pass nullptr (the default) to fetch through the PageSource directly;
+  // a memo is a no-op on mapped trees. A non-null memo makes the call
+  // thread-confined to the memo's owner — see suffix::TreeCursor, which
+  // embeds one per cursor.
 
   /// Reads the internal-node record `idx`.
-  util::StatusOr<PackedInternalNode> ReadInternal(uint32_t idx) const;
+  util::StatusOr<PackedInternalNode> ReadInternal(
+      uint32_t idx, storage::FetchMemo* memo = nullptr) const;
 
   /// Reads the next-sibling pointer of leaf `idx` (== suffix position).
-  util::StatusOr<uint32_t> ReadLeafNext(uint32_t idx) const;
+  util::StatusOr<uint32_t> ReadLeafNext(
+      uint32_t idx, storage::FetchMemo* memo = nullptr) const;
 
   /// Reads `len` symbol bytes starting at `pos` into `out` (resized).
   /// `admission` is the replacement-policy hint for pooled trees: pass
@@ -152,16 +162,25 @@ class PackedSuffixTree {
   /// not refresh CLOCK reference bits (ignored by mapped trees).
   util::Status ReadSymbols(
       uint64_t pos, uint32_t len, std::vector<uint8_t>* out,
-      storage::Admission admission = storage::Admission::kNormal) const;
+      storage::Admission admission = storage::Admission::kNormal,
+      storage::FetchMemo* memo = nullptr) const;
 
   /// Segment ids (for stats reporting; order: symbols, internal, leaves).
   storage::SegmentId symbols_segment() const { return seg_symbols_; }
-  storage::SegmentId internal_segment() const { return seg_internal_; }
-  storage::SegmentId leaves_segment() const { return seg_leaves_; }
+  storage::SegmentId internal_segment() const { return seg_internal_; }  ///< internal records
+  storage::SegmentId leaves_segment() const { return seg_leaves_; }  ///< leaf sibling array
   /// The buffer pool behind a pooled tree, nullptr for a mapped one.
   storage::BufferPool* pool() const { return source_.pool(); }
   /// True when this tree reads through mmapped files (OpenMapped).
   bool mapped() const { return source_.mapped(); }
+
+  /// Disables the kernel's sequential readahead on the three backing
+  /// block files (POSIX_FADV_RANDOM) so the buffer pool — and, when
+  /// enabled, storage::Readahead — is the only prefetcher in the stack.
+  /// The honest configuration for disk-resident measurements (the
+  /// cold-cache benches call it); a semantic no-op either way. Pooled
+  /// trees only: a mapped tree wants the kernel's readahead.
+  util::Status AdviseRandomAccess() const;
 
  private:
   PackedSuffixTree() = default;

@@ -10,15 +10,18 @@ util::Status TreeCursor::ForEachChild(
     const std::function<bool(const ChildArc&)>& fn) const {
   OASIS_CHECK(!parent.is_leaf) << "leaves have no children";
   OASIS_ASSIGN_OR_RETURN(PackedInternalNode rec,
-                         tree_->ReadInternal(parent.index));
+                         tree_->ReadInternal(parent.index, memo_.get()));
   OASIS_DCHECK(rec.depth() == parent_depth);
 
   // Internal children: a contiguous run starting at first_internal, ended
-  // by the last-sibling flag.
+  // by the last-sibling flag. The run is physically contiguous (level-first
+  // layout), so with a memo every sibling after the first in a block is a
+  // pool-free read.
   if (rec.first_internal != kNone) {
     uint32_t idx = rec.first_internal;
     while (true) {
-      OASIS_ASSIGN_OR_RETURN(PackedInternalNode child, tree_->ReadInternal(idx));
+      OASIS_ASSIGN_OR_RETURN(PackedInternalNode child,
+                             tree_->ReadInternal(idx, memo_.get()));
       ChildArc arc;
       arc.node = PackedNodeRef::Internal(idx);
       arc.depth = child.depth();
@@ -44,7 +47,7 @@ util::Status TreeCursor::ForEachChild(
     arc.arc_len = static_cast<uint32_t>(term - label_start);
     arc.depth = parent_depth + arc.arc_len;
     if (!fn(arc)) return util::Status::OK();
-    OASIS_ASSIGN_OR_RETURN(leaf, tree_->ReadLeafNext(leaf));
+    OASIS_ASSIGN_OR_RETURN(leaf, tree_->ReadLeafNext(leaf, memo_.get()));
   }
   return util::Status::OK();
 }
@@ -67,7 +70,8 @@ util::Status TreeCursor::CollectLeafPositions(PackedNodeRef node,
       if (limit != 0 && out->size() >= limit) return util::Status::OK();
       continue;
     }
-    OASIS_ASSIGN_OR_RETURN(PackedInternalNode rec, tree_->ReadInternal(n.index));
+    OASIS_ASSIGN_OR_RETURN(PackedInternalNode rec,
+                           tree_->ReadInternal(n.index, memo_.get()));
     OASIS_RETURN_NOT_OK(ForEachChild(n, rec.depth(),
                                      [&stack](const ChildArc& arc) {
                                        stack.push_back(arc.node);

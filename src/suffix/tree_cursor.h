@@ -1,10 +1,21 @@
 // Traversal layer over PackedSuffixTree: typed node references, child
 // enumeration (internal run + leaf chain), arc-label fetching and leaf-
 // descendant collection. This is the interface the OASIS search consumes.
+//
+// A cursor can carry a per-thread storage::FetchMemo (opt-in at
+// construction): sibling-run traversal reads the same 2K block over and
+// over — 128 internal records per block in level-first order — and the
+// memo lets every read after the first skip the buffer pool entirely (no
+// shard lock, no hash probe, no pin traffic). The memo is a no-op over
+// mapped trees, whose fetch is already a bounds check. A memo-carrying
+// cursor is thread-confined: one cursor per search thread, which is how
+// every caller already uses it (core::internal::SearchRun owns one per
+// search). Memo-less cursors remain stateless and shareable.
 
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "suffix/packed_tree.h"
@@ -15,31 +26,41 @@ namespace suffix {
 /// Reference to a packed node: either an internal record index or a leaf
 /// array index (== suffix start position).
 struct PackedNodeRef {
-  uint32_t index = 0;
-  bool is_leaf = false;
+  uint32_t index = 0;    ///< record index (internal) or suffix start (leaf)
+  bool is_leaf = false;  ///< which array `index` points into
 
-  static PackedNodeRef Internal(uint32_t idx) { return {idx, false}; }
-  static PackedNodeRef Leaf(uint32_t idx) { return {idx, true}; }
-  bool operator==(const PackedNodeRef&) const = default;
+  static PackedNodeRef Internal(uint32_t idx) { return {idx, false}; }  ///< internal-node ref
+  static PackedNodeRef Leaf(uint32_t idx) { return {idx, true}; }  ///< leaf ref
+  bool operator==(const PackedNodeRef&) const = default;  ///< memberwise equality
 };
 
 /// One child produced by TreeCursor::ForEachChild.
 struct ChildArc {
-  PackedNodeRef node;
+  PackedNodeRef node;      ///< the child node itself
   uint64_t arc_start = 0;  ///< first symbol position of the arc label
   uint32_t arc_len = 0;    ///< residue symbols on the arc (terminator excluded)
   uint32_t depth = 0;      ///< child path depth in residues (terminator excluded)
 };
 
-/// Stateless cursor utilities over one packed tree. All operations return
-/// Status because every access may touch disk through the buffer pool.
+/// Cursor utilities over one packed tree. All operations return Status
+/// because every access may touch disk through the buffer pool. Stateless
+/// (and thread-safe) without a memo; thread-confined with one.
 class TreeCursor {
  public:
-  explicit TreeCursor(const PackedSuffixTree* tree) : tree_(tree) {}
+  /// A cursor over `tree` (which must outlive it). `use_memo` enables the
+  /// per-thread fetch memo described in the file comment.
+  explicit TreeCursor(const PackedSuffixTree* tree, bool use_memo = false)
+      : tree_(tree), memo_(use_memo ? std::make_unique<storage::FetchMemo>()
+                                    : nullptr) {}
 
-  const PackedSuffixTree& tree() const { return *tree_; }
+  const PackedSuffixTree& tree() const { return *tree_; }  ///< the traversed tree
 
-  PackedNodeRef Root() const { return PackedNodeRef::Internal(0); }
+  /// The cursor's fetch memo, or nullptr when constructed without one.
+  /// Exposed so the search layer can route its own direct tree reads
+  /// (record re-reads, arc-label fetches) through the same cache.
+  storage::FetchMemo* memo() const { return memo_.get(); }
+
+  PackedNodeRef Root() const { return PackedNodeRef::Internal(0); }  ///< record 0 by construction
 
   /// Invokes `fn` for every child of internal node `parent` (depth
   /// `parent_depth`): first the contiguous internal-sibling run, then the
@@ -61,7 +82,8 @@ class TreeCursor {
   /// Reads `len` residue bytes of an arc label starting at `pos`.
   util::Status ReadArcSymbols(uint64_t pos, uint32_t len,
                               std::vector<uint8_t>* out) const {
-    return tree_->ReadSymbols(pos, len, out);
+    return tree_->ReadSymbols(pos, len, out, storage::Admission::kNormal,
+                              memo_.get());
   }
 
   /// Exact-substring test over the packed tree (paper §2.3.1); used by
@@ -71,6 +93,9 @@ class TreeCursor {
 
  private:
   const PackedSuffixTree* tree_;
+  /// Owned per-cursor fetch memo; unique_ptr keeps memo-less cursors as
+  /// cheap as before and the cursor movable.
+  std::unique_ptr<storage::FetchMemo> memo_;
 };
 
 }  // namespace suffix

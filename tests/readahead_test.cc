@@ -1,0 +1,500 @@
+// Speculative readahead + per-thread fetch memo edge cases: prefetch of a
+// resident block declines, a demand fetch racing a prefetch shares one
+// read through the in-flight table, scan-admission semantics make unused
+// speculation the first eviction victim, readahead disabled is
+// byte-for-byte identical to readahead enabled, pools smaller than the
+// speculation window degrade gracefully, and the memo releases pins
+// before they can wedge a tiny pool. The Readahead* and FetchMemo suites
+// also run under the TSan CI job.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "storage/block_file.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_source.h"
+#include "storage/readahead.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+constexpr uint32_t kBlock = 256;
+
+/// Writes `n` blocks whose bytes are a function of the block id.
+storage::BlockFile MakeFile(const std::string& path, uint32_t n) {
+  auto file = storage::BlockFile::Create(path, kBlock);
+  EXPECT_TRUE(file.ok());
+  std::vector<uint8_t> buf(kBlock);
+  for (uint32_t b = 0; b < n; ++b) {
+    for (uint32_t i = 0; i < kBlock; ++i) {
+      buf[i] = static_cast<uint8_t>((b * 57 + i) & 0xFF);
+    }
+    EXPECT_TRUE(file->AppendBlock(buf.data()).ok());
+  }
+  OASIS_EXPECT_OK(file->Flush());
+  file->Close();
+  auto reopened = storage::BlockFile::Open(path, kBlock);
+  EXPECT_TRUE(reopened.ok());
+  return std::move(reopened).value();
+}
+
+bool BlockIsCorrect(const uint8_t* data, uint32_t b) {
+  for (uint32_t i = 0; i < kBlock; ++i) {
+    if (data[i] != static_cast<uint8_t>((b * 57 + i) & 0xFF)) return false;
+  }
+  return true;
+}
+
+TEST(Readahead, PrefetchedBlockServesDemandFetchAsHit) {
+  util::TempDir dir("ra");
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), 16);
+  storage::BufferPool pool(8 * kBlock, kBlock);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  EXPECT_TRUE(pool.Prefetch(*seg, 3));
+  storage::ReadaheadStats ra = pool.readahead_stats();
+  EXPECT_EQ(ra.issued, 1u);
+  EXPECT_EQ(ra.used, 0u);
+  // Prefetches are not demand traffic: the paper's counters stay silent.
+  EXPECT_EQ(pool.stats(*seg).requests, 0u);
+
+  auto page = pool.Fetch(*seg, 3);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(BlockIsCorrect(page->data(), 3));
+  ra = pool.readahead_stats();
+  EXPECT_EQ(ra.used, 1u);
+  EXPECT_EQ(ra.wasted, 0u);
+  // The demand fetch is a hit — no second disk read happened.
+  EXPECT_EQ(pool.stats(*seg).requests, 1u);
+  EXPECT_EQ(pool.stats(*seg).hits, 1u);
+}
+
+TEST(Readahead, PrefetchOfResidentOrOutOfRangeBlockDeclines) {
+  util::TempDir dir("ra-res");
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), 8);
+  storage::BufferPool pool(8 * kBlock, kBlock);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  ASSERT_TRUE(pool.Fetch(*seg, 2).ok());
+  EXPECT_FALSE(pool.Prefetch(*seg, 2));    // already resident
+  EXPECT_FALSE(pool.Prefetch(*seg, 8));    // beyond the segment's end
+  EXPECT_FALSE(pool.Prefetch(*seg + 1, 0));  // unknown segment
+  EXPECT_EQ(pool.readahead_stats().issued, 0u);
+}
+
+TEST(Readahead, PrefetchRunCoalescesClipsAndSkipsResident) {
+  util::TempDir dir("ra-run");
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), 12);
+  storage::BufferPool pool(16 * kBlock, kBlock);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  ASSERT_TRUE(pool.Fetch(*seg, 10).ok());  // a resident hole in the run
+  // [8, 108) clips to [8, 12) and skips resident block 10: 3 issued.
+  EXPECT_EQ(pool.PrefetchRun(*seg, 8, 100), 3u);
+  EXPECT_EQ(pool.readahead_stats().issued, 3u);
+  for (uint32_t b = 8; b < 12; ++b) {
+    auto page = pool.Fetch(*seg, b);
+    ASSERT_TRUE(page.ok());
+    EXPECT_TRUE(BlockIsCorrect(page->data(), b)) << "block " << b;
+  }
+  // All twelve demand requests so far were served without a demand miss
+  // for the prefetched blocks: 1 initial miss, then hits.
+  EXPECT_EQ(pool.stats(*seg).misses(), 1u);
+  EXPECT_EQ(pool.readahead_stats().used, 3u);
+}
+
+TEST(Readahead, UnusedSpeculationIsFirstEvictionVictim) {
+  util::TempDir dir("ra-evict");
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), 8);
+  storage::BufferPool pool(2 * kBlock, kBlock, 1);  // one 2-frame shard
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  ASSERT_TRUE(pool.Fetch(*seg, 0).ok());  // referenced by demand
+  EXPECT_TRUE(pool.Prefetch(*seg, 1));    // scan admission: unreferenced
+  // The next miss must claim the unreferenced prefetched frame, not the
+  // demand-referenced one.
+  ASSERT_TRUE(pool.Fetch(*seg, 2).ok());
+  storage::ReadaheadStats ra = pool.readahead_stats();
+  EXPECT_EQ(ra.wasted, 1u);
+  EXPECT_EQ(ra.used, 0u);
+  auto hot = pool.Fetch(*seg, 0);
+  ASSERT_TRUE(hot.ok());
+  EXPECT_TRUE(BlockIsCorrect(hot->data(), 0));
+  EXPECT_EQ(pool.stats(*seg).hits, 1u) << "block 0 must still be resident";
+}
+
+TEST(Readahead, DemandFetchRacingPrefetchSharesOneRead) {
+  // A demand Fetch and a Prefetch chase the same cold block from two
+  // threads, one round per block. Whoever claims the block first registers
+  // it in the shard's in-flight table; the other must ride that read
+  // instead of issuing its own. The accounting proves it: each round's
+  // demand fetch either performed the read itself (a miss; the prefetch
+  // declined) or rode the speculative one (a hit counted as `used`), so
+  // after all rounds misses + used must equal the round count exactly —
+  // a duplicated read would break the sum.
+  util::TempDir dir("ra-race");
+  constexpr uint32_t kBlocks = 64;
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), kBlocks);
+  storage::BufferPool pool(kBlocks * kBlock, kBlock, 4);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  std::atomic<int> corrupt{0};
+  for (uint32_t b = 0; b < kBlocks; ++b) {
+    std::thread speculator([&]() { pool.Prefetch(*seg, b); });
+    std::thread demander([&]() {
+      auto page = pool.Fetch(*seg, b);
+      if (!page.ok() || !BlockIsCorrect(page->data(), b)) {
+        corrupt.fetch_add(1);
+      }
+    });
+    speculator.join();
+    demander.join();
+  }
+  EXPECT_EQ(corrupt.load(), 0);
+  EXPECT_EQ(pool.num_pinned(), 0u);
+  const storage::SegmentStats stats = pool.stats(*seg);
+  const storage::ReadaheadStats ra = pool.readahead_stats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kBlocks));
+  // Every demand fetch either performed the read (miss) or used the
+  // prefetched/loading frame (hit + used). Nothing was read twice.
+  EXPECT_EQ(stats.misses() + ra.used, static_cast<uint64_t>(kBlocks));
+  EXPECT_LE(ra.used, ra.issued);
+}
+
+TEST(Readahead, SequentialMissesTriggerWorkerScatteredDoNot) {
+  util::TempDir dir("ra-seq");
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), 64);
+  storage::BufferPool pool(32 * kBlock, kBlock);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+  storage::Readahead::Options options;
+  options.blocks = 4;
+  storage::Readahead readahead(&pool, options);
+
+  // Scattered, non-adjacent misses: the run detector must stay silent.
+  for (uint32_t b : {3u, 9u, 27u, 14u}) {
+    ASSERT_TRUE(pool.Fetch(*seg, b).ok());
+  }
+  readahead.Drain();
+  EXPECT_EQ(readahead.stats().issued, 0u);
+
+  // A sequential pair arms the detector; the worker prefetches the next
+  // window, which the continuing scan then consumes as hits.
+  ASSERT_TRUE(pool.Fetch(*seg, 40).ok());
+  ASSERT_TRUE(pool.Fetch(*seg, 41).ok());  // 40 -> 41: run detected
+  readahead.Drain();
+  const storage::ReadaheadStats ra = readahead.stats();
+  EXPECT_EQ(ra.issued, 4u) << "one window after the sequential miss";
+  for (uint32_t b = 42; b < 46; ++b) {
+    auto page = pool.Fetch(*seg, b);
+    ASSERT_TRUE(page.ok());
+    EXPECT_TRUE(BlockIsCorrect(page->data(), b));
+  }
+  readahead.Drain();
+  EXPECT_EQ(readahead.stats().used, 4u);
+}
+
+TEST(Readahead, PoolSmallerThanWindowDegradesGracefully) {
+  // A 2-frame pool with an 8-block window: speculation finds victims for
+  // at most a frame or two and silently skips the rest — demand traffic
+  // keeps absolute priority and every read stays correct.
+  util::TempDir dir("ra-tiny");
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), 32);
+  storage::BufferPool pool(2 * kBlock, kBlock, 1);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+  storage::Readahead::Options options;
+  options.blocks = 8;
+  storage::Readahead readahead(&pool, options);
+
+  for (int round = 0; round < 3; ++round) {
+    for (uint32_t b = 0; b < 32; ++b) {
+      auto page = pool.Fetch(*seg, b);
+      ASSERT_TRUE(page.ok()) << page.status().ToString();
+      EXPECT_TRUE(BlockIsCorrect(page->data(), b));
+    }
+  }
+  readahead.Drain();
+  EXPECT_EQ(pool.num_pinned(), 0u);
+  const storage::ReadaheadStats ra = pool.readahead_stats();
+  EXPECT_LE(ra.used + ra.wasted, ra.issued);
+}
+
+TEST(Readahead, ConcurrentDemandAndSpeculationStress) {
+  // Demand threads walk sibling runs while the readahead worker
+  // speculates into the same shards; contents must stay correct and the
+  // pool fully unpinned afterwards. (TSan coverage for the whole
+  // schedule/prefetch/fetch surface.)
+  util::TempDir dir("ra-stress");
+  constexpr uint32_t kBlocks = 96;
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), kBlocks);
+  storage::BufferPool pool(32 * kBlock, kBlock, 4);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+  storage::Readahead::Options options;
+  options.blocks = 8;
+  options.threads = 2;
+  storage::Readahead readahead(&pool, options);
+
+  constexpr int kThreads = 4;
+  std::atomic<int> corrupt{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      util::Random rng(91 + t);
+      for (int i = 0; i < 500; ++i) {
+        // Mostly short sequential stretches (sibling runs), sometimes a
+        // random jump — both detector outcomes race real traffic.
+        uint32_t start = static_cast<uint32_t>(rng.Uniform(kBlocks - 8));
+        for (uint32_t b = start; b < start + 6; ++b) {
+          auto page = pool.Fetch(*seg, b);
+          if (!page.ok() || !BlockIsCorrect(page->data(), b)) {
+            corrupt.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  readahead.Drain();
+  EXPECT_EQ(corrupt.load(), 0);
+  EXPECT_EQ(pool.num_pinned(), 0u);
+}
+
+// --- FetchMemo --------------------------------------------------------------
+
+TEST(FetchMemo, SameBlockReadsSkipThePool) {
+  util::TempDir dir("memo");
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), 8);
+  storage::BufferPool pool(8 * kBlock, kBlock);
+  storage::PageSource source = storage::PageSource::Pooled(&pool);
+  auto seg = source.AddSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  storage::FetchMemo memo;
+  for (int i = 0; i < 5; ++i) {
+    auto page = memo.Get(source, *seg, 2);
+    ASSERT_TRUE(page.ok());
+    EXPECT_TRUE(BlockIsCorrect((*page)->data(), 2));
+  }
+  EXPECT_EQ(memo.hits(), 4u);
+  EXPECT_EQ(memo.misses(), 1u);
+  // The pool saw exactly one request — the rest never left the memo.
+  EXPECT_EQ(pool.stats(0).requests, 1u);
+}
+
+TEST(FetchMemo, ReplacementReleasesThePinFirst) {
+  // One frame total: caching block 0 pins the only frame, so fetching
+  // block 1 can only succeed if the memo releases its pin before asking
+  // the pool for the replacement.
+  util::TempDir dir("memo-1f");
+  storage::BlockFile file = MakeFile(dir.File("a.blk"), 4);
+  storage::BufferPool pool(1 * kBlock, kBlock);
+  ASSERT_EQ(pool.num_frames(), 1u);
+  storage::PageSource source = storage::PageSource::Pooled(&pool);
+  auto seg = source.AddSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  storage::FetchMemo memo;
+  for (uint32_t b : {0u, 1u, 2u, 1u, 0u}) {
+    auto page = memo.Get(source, *seg, b);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    EXPECT_TRUE(BlockIsCorrect((*page)->data(), b));
+  }
+  memo.Clear();
+  EXPECT_EQ(pool.num_pinned(), 0u);
+}
+
+TEST(FetchMemo, CrossSegmentPinsClearAndRetryOnTinyPool) {
+  // Two segments but a single frame: the memo's pin on segment a's block
+  // is exactly what exhausts the pool for segment b's fetch. The memo
+  // must drop its pins and retry rather than surface the exhaustion.
+  util::TempDir dir("memo-xseg");
+  storage::BlockFile file_a = MakeFile(dir.File("a.blk"), 2);
+  storage::BlockFile file_b = MakeFile(dir.File("b.blk"), 2);
+  storage::BufferPool pool(1 * kBlock, kBlock);
+  storage::PageSource source = storage::PageSource::Pooled(&pool);
+  auto seg_a = source.AddSegment("a", &file_a);
+  auto seg_b = source.AddSegment("b", &file_b);
+  ASSERT_TRUE(seg_a.ok());
+  ASSERT_TRUE(seg_b.ok());
+
+  storage::FetchMemo memo;
+  for (int round = 0; round < 3; ++round) {
+    auto a = memo.Get(source, *seg_a, 1);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    EXPECT_TRUE(BlockIsCorrect((*a)->data(), 1));
+    auto b = memo.Get(source, *seg_b, 0);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_TRUE(BlockIsCorrect((*b)->data(), 0));
+  }
+  memo.Clear();
+  EXPECT_EQ(pool.num_pinned(), 0u);
+}
+
+TEST(FetchMemo, MappedModeIsAPassThrough) {
+  util::TempDir dir("memo-map");
+  MakeFile(dir.File("a.blk"), 4).Close();
+  auto mapped = storage::MappedFile::Open(dir.File("a.blk"), kBlock);
+  ASSERT_TRUE(mapped.ok());
+  storage::PageSource source = storage::PageSource::Mapped();
+  auto seg = source.AddSegment("a", &*mapped);
+  ASSERT_TRUE(seg.ok());
+
+  storage::FetchMemo memo;
+  for (int i = 0; i < 3; ++i) {
+    auto page = memo.Get(source, *seg, 1);
+    ASSERT_TRUE(page.ok());
+    EXPECT_TRUE(BlockIsCorrect((*page)->data(), 1));
+  }
+  // No memoization happened — mapped fetches are already pointer reads.
+  EXPECT_EQ(memo.hits(), 0u);
+  EXPECT_EQ(memo.misses(), 0u);
+}
+
+// --- Engine-level parity ----------------------------------------------------
+
+/// Builds a small indexed protein workload and returns the flattened
+/// result stream of `options` for a fixed query set.
+struct ParityRun {
+  std::vector<core::OasisResult> results;
+};
+
+ParityRun RunWithOptions(const std::string& index_dir,
+                         const std::vector<std::vector<seq::Symbol>>& queries,
+                         api::EngineOptions options) {
+  options.io_mode = api::IoMode::kPooled;
+  options.pool_bytes = 16 * storage::kDefaultBlockSize;  // miss-heavy
+  auto engine = api::Engine::Open(index_dir, options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  ParityRun run;
+  for (const auto& query : queries) {
+    auto out = (*engine)->SearchAll(
+        api::SearchRequest(query).EValue(1000.0).WithAlignments());
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    for (auto& result : out->results) run.results.push_back(std::move(result));
+  }
+  return run;
+}
+
+TEST(ReadaheadParity, DisabledAndEnabledProduceIdenticalStreams) {
+  util::TempDir dir("ra-parity");
+  workload::ProteinDatabaseOptions db_options;
+  db_options.target_residues = 20000;
+  db_options.seed = 7;
+  auto db = workload::GenerateProteinDatabase(db_options);
+  ASSERT_TRUE(db.ok());
+  auto built = api::Engine::BuildFromDatabase(std::move(db).value(),
+                                              dir.File("idx"), {});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries = 6;
+  q_options.seed = 7;
+  auto resident = (*built)->ResidentDatabase();
+  ASSERT_TRUE(resident.ok());
+  auto motifs = workload::GenerateMotifQueries(
+      **resident, (*built)->matrix(), q_options);
+  ASSERT_TRUE(motifs.ok());
+  std::vector<std::vector<seq::Symbol>> queries;
+  for (const auto& motif : *motifs) queries.push_back(motif.symbols);
+  built->reset();  // reopen below with explicit per-config options
+
+  // The shipping default (memo on, readahead off), everything off, and
+  // everything on must emit byte-for-byte identical result streams.
+  api::EngineOptions plain;
+  plain.fetch_memo = false;
+  api::EngineOptions sped;
+  sped.fetch_memo = true;
+  sped.readahead_blocks = 8;
+  ParityRun base = RunWithOptions(dir.File("idx"), queries, {});
+  ParityRun off = RunWithOptions(dir.File("idx"), queries, plain);
+  ParityRun on = RunWithOptions(dir.File("idx"), queries, sped);
+
+  ASSERT_EQ(base.results.size(), off.results.size());
+  ASSERT_EQ(base.results.size(), on.results.size());
+  for (size_t i = 0; i < base.results.size(); ++i) {
+    for (const ParityRun* other : {&off, &on}) {
+      const core::OasisResult& a = base.results[i];
+      const core::OasisResult& b = other->results[i];
+      EXPECT_EQ(a.sequence_id, b.sequence_id) << "result " << i;
+      EXPECT_EQ(a.score, b.score) << "result " << i;
+      EXPECT_EQ(a.db_end_pos, b.db_end_pos) << "result " << i;
+      EXPECT_EQ(a.target_end, b.target_end) << "result " << i;
+      EXPECT_EQ(a.query_end, b.query_end) << "result " << i;
+      ASSERT_EQ(a.alignment.has_value(), b.alignment.has_value());
+      if (a.alignment.has_value()) {
+        EXPECT_EQ(a.alignment->score, b.alignment->score);
+        EXPECT_EQ(a.alignment->ops, b.alignment->ops);
+        EXPECT_EQ(a.alignment->target_start, b.alignment->target_start);
+      }
+    }
+  }
+}
+
+TEST(ReadaheadParity, EngineExposesReadaheadStatsOnlyWhenEnabled) {
+  util::TempDir dir("ra-eng");
+  workload::ProteinDatabaseOptions db_options;
+  db_options.target_residues = 5000;
+  auto db = workload::GenerateProteinDatabase(db_options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(api::Engine::BuildFromDatabase(std::move(db).value(),
+                                             dir.File("idx"), {})
+                  .ok());
+
+  api::EngineOptions pooled;
+  pooled.io_mode = api::IoMode::kPooled;
+  pooled.readahead_blocks = 4;
+  auto with = api::Engine::Open(dir.File("idx"), pooled);
+  ASSERT_TRUE(with.ok());
+  EXPECT_TRUE((*with)->uses_readahead());
+  EXPECT_EQ((*with)->readahead_blocks(), 4u);
+  (void)(*with)->readahead_stats();  // accessible, initially all zero
+  EXPECT_EQ((*with)->readahead_stats().issued, 0u);
+
+  pooled.readahead_blocks = 0;
+  auto without = api::Engine::Open(dir.File("idx"), pooled);
+  ASSERT_TRUE(without.ok());
+  EXPECT_FALSE((*without)->uses_readahead());
+  EXPECT_EQ((*without)->readahead_blocks(), 0u);
+
+  api::EngineOptions mapped;
+  mapped.io_mode = api::IoMode::kMmap;
+  mapped.readahead_blocks = 8;  // ignored: no pool to speculate into
+  auto mm = api::Engine::Open(dir.File("idx"), mapped);
+  ASSERT_TRUE(mm.ok());
+  EXPECT_FALSE((*mm)->uses_readahead());
+  EXPECT_EQ((*mm)->readahead_blocks(), 0u);
+
+  // Validation: an absurd window and zero worker threads are rejected up
+  // front, not clamped or deferred to a surprise at speculation time.
+  api::EngineOptions absurd;
+  absurd.io_mode = api::IoMode::kPooled;
+  absurd.readahead_blocks = api::kMaxReadaheadBlocks + 1;
+  auto too_big = api::Engine::Open(dir.File("idx"), absurd);
+  EXPECT_FALSE(too_big.ok());
+  EXPECT_TRUE(too_big.status().IsInvalidArgument());
+
+  api::EngineOptions no_workers;
+  no_workers.io_mode = api::IoMode::kPooled;
+  no_workers.readahead_blocks = 4;
+  no_workers.readahead_threads = 0;
+  auto zero_threads = api::Engine::Open(dir.File("idx"), no_workers);
+  EXPECT_FALSE(zero_threads.ok());
+  EXPECT_TRUE(zero_threads.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace oasis
