@@ -110,9 +110,16 @@ inline std::map<uint32_t, std::vector<size_t>> BucketByLength(
 /// an output path (the CI bench-smoke job sets it; see ci/bench_gate.py,
 /// which merges these files into BENCH_ci.json and gates them against the
 /// checked-in baseline). No-op otherwise.
+///
+/// `counts` carries the raw event totals (requests, prefetches issued, ...)
+/// behind the ratio metrics. The gate uses them as vacuous-pass guards: a
+/// gated ratio whose declared denominator count is below the baseline's
+/// sanity floor fails the job — a misconfigured bench that drove zero
+/// traffic would otherwise sail through on a perfect-looking 1.0.
 inline void WriteBenchJson(
     const std::string& bench,
-    const std::vector<std::pair<std::string, double>>& metrics) {
+    const std::vector<std::pair<std::string, double>>& metrics,
+    const std::vector<std::pair<std::string, uint64_t>>& counts = {}) {
   const char* path = std::getenv("OASIS_BENCH_JSON");
   if (path == nullptr || path[0] == '\0') return;
   FILE* out = std::fopen(path, "w");
@@ -125,9 +132,16 @@ inline void WriteBenchJson(
     std::fprintf(out, "%s\n    \"%s\": %.6f", i == 0 ? "" : ",",
                  metrics[i].first.c_str(), metrics[i].second);
   }
+  std::fprintf(out, "\n  },\n  \"counts\": {");
+  for (size_t i = 0; i < counts.size(); ++i) {
+    std::fprintf(out, "%s\n    \"%s\": %llu", i == 0 ? "" : ",",
+                 counts[i].first.c_str(),
+                 static_cast<unsigned long long>(counts[i].second));
+  }
   std::fprintf(out, "\n  }\n}\n");
   std::fclose(out);
-  std::printf("\nwrote %zu metrics to %s\n", metrics.size(), path);
+  std::printf("\nwrote %zu metrics (%zu counts) to %s\n", metrics.size(),
+              counts.size(), path);
 }
 
 inline void PrintHeader(const char* title, const BenchEnv& env) {

@@ -26,6 +26,7 @@ int Run() {
                                 {1.0 / 2, "p50"},
                                 {1.0, "p100"}};
   std::vector<std::pair<std::string, double>> metrics;
+  std::vector<std::pair<std::string, uint64_t>> counts;
 
   std::printf("%-16s %12s %12s %12s %12s\n", "pool (MiB)", "symbols",
               "internal", "leaves", "overall");
@@ -59,10 +60,17 @@ int Run() {
     metrics.emplace_back(prefix + "internal", internal.hit_ratio());
     metrics.emplace_back(prefix + "leaves", leaves.hit_ratio());
     metrics.emplace_back(prefix + "overall", pool.TotalStats().hit_ratio());
+    // Raw request totals: the gate's guard against a vacuous run (zero
+    // requests make hit_ratio() a perfect-looking 1.0).
+    const std::string requests = std::string("requests.") + label + ".";
+    counts.emplace_back(requests + "symbols", sym.requests);
+    counts.emplace_back(requests + "internal", internal.requests);
+    counts.emplace_back(requests + "leaves", leaves.requests);
+    counts.emplace_back(requests + "overall", pool.TotalStats().requests);
   }
   std::printf("\npaper shape check: internal nodes (clustered layout) retain "
               "the best ratio at small pools\n");
-  WriteBenchJson("fig8_hitratio", metrics);
+  WriteBenchJson("fig8_hitratio", metrics, counts);
   return 0;
 }
 

@@ -26,6 +26,23 @@
 //              the shipping configuration, isolated from the memo's)
 //   prefetch waste ratio <= kMaxWasteRatio (speculation stays bounded)
 //
+// A second, mixed-workload section compares the adaptive window
+// controller (storage::AdaptiveReadahead) against the fixed-K window on
+// alternating phases: a sequential phase (full level-first block sweep —
+// the workload fixed-K is tuned for) and a scattered phase (random
+// 2-block mini-runs — the workload where a fixed window wastes a full K
+// blocks per accidental trigger). Its gates, also through the exit code:
+//
+//   adaptive sequential throughput >= kMinAdaptiveSeqRatio x fixed-K
+//   adaptive scattered waste ratio <= kMaxAdaptiveWasteFraction x fixed-K
+//       (waste ratio here = wasted speculative blocks per demand fetch,
+//       the speculation's I/O overhead on the work actually done; the
+//       wasted/issued quotient is printed too, but a controller that
+//       stops speculating drives wasted *volume* to zero while the
+//       quotient of the few remaining probes stays high — volume per
+//       fetch is the number that tracks what the disk feels)
+//   identical checksum across {off, fixed, adaptive} (result parity)
+//
 // An end-to-end query table (same A* workload as the figure benches, cold
 // pool per query batch) is printed and recorded in the JSON but not gated:
 // query wall-clock on shared CI runners is too noisy to gate, and the
@@ -47,6 +64,15 @@ namespace {
 constexpr double kRequiredCombinedSpeedup = 1.25;
 constexpr double kRequiredReadaheadGain = 1.03;
 constexpr double kMaxWasteRatio = 0.25;
+
+// Mixed-phase gates: the controller must approach fixed-K where fixed-K
+// is right (sequential) and shed most of its waste where it is wrong
+// (scattered).
+constexpr double kMinAdaptiveSeqRatio = 0.90;
+constexpr double kMaxAdaptiveWasteFraction = 0.50;
+// The fixed window of the mixed comparison, and the adaptive config's
+// initial window (same starting point; the controller may grow to 2x).
+constexpr uint32_t kMixedWindow = 16;
 
 struct ScanConfig {
   const char* name;
@@ -72,6 +98,123 @@ uint64_t ScanOnce(const suffix::PackedSuffixTree& tree,
   if (memo != nullptr) memo->Clear();
   if (readahead != nullptr) readahead->Drain();
   return checksum;
+}
+
+/// One configuration's pass over the mixed workload.
+struct MixedOutcome {
+  double seq_scans_per_sec = 0;      ///< sequential-phase throughput
+  double waste_per_fetch = 0;        ///< scattered: wasted blocks / fetch
+  double waste_quotient = 0;         ///< scattered: wasted / issued
+  uint64_t scatter_issued = 0;
+  uint64_t scatter_wasted = 0;
+  uint64_t seq_requests = 0;
+  uint64_t scatter_requests = 0;
+  uint64_t checksum = 0;             ///< parity across configurations
+  uint32_t final_window = 0;         ///< adaptive: window after the last
+                                     ///  scattered phase (0 = collapsed)
+};
+
+/// Runs `rounds`+1 alternating sequential/scattered rounds (round 0 is an
+/// untimed warmup) against a fresh pool; every round is cold (pool
+/// cleared, OS cache dropped). The three configurations replay the
+/// identical block trace — same seeds — so their checksums must agree.
+MixedOutcome RunMixedPhases(const BenchEnv& env,
+                            storage::BlockFile& internal_file,
+                            uint64_t pool_frames, uint32_t block_size,
+                            int rounds, bool enable_readahead,
+                            bool adaptive) {
+  MixedOutcome out;
+  storage::BufferPool pool(pool_frames * block_size, block_size);
+  auto tree = suffix::PackedSuffixTree::Open(env.dir->path(), &pool);
+  OASIS_CHECK(tree.ok()) << tree.status().ToString();
+  OASIS_CHECK((*tree)->AdviseRandomAccess().ok());
+  const storage::SegmentId seg = (*tree)->internal_segment();
+  const uint64_t blocks = internal_file.num_blocks();
+  OASIS_CHECK_GT(blocks, 4u);
+
+  std::unique_ptr<storage::Readahead> readahead;
+  if (enable_readahead) {
+    storage::Readahead::Options options;
+    options.blocks = kMixedWindow;
+    options.threads = 2;
+    options.adaptive = adaptive;
+    // Headroom above the fixed comparison point: a sequential phase that
+    // keeps landing may earn a deeper window than K, which funds the
+    // re-ramp after every scattered collapse.
+    options.adaptive_options.max_blocks = 2 * kMixedWindow;
+    readahead = std::make_unique<storage::Readahead>(&pool, options);
+  }
+
+  auto fetch = [&](uint64_t b) {
+    auto page = pool.Fetch(seg, static_cast<storage::BlockId>(b));
+    OASIS_CHECK(page.ok()) << page.status().ToString();
+    out.checksum = out.checksum * 31 + page->data()[0] + b;
+  };
+  auto drain = [&] {
+    if (readahead != nullptr) readahead->Drain();
+  };
+
+  // Identical across configurations: the scattered trace must replay
+  // exactly for checksum parity.
+  util::Random rng(4242);
+  const uint64_t mini_runs = blocks;  // scattered fetches = 2x blocks
+  double seq_seconds = 0;
+  for (int r = 0; r <= rounds; ++r) {
+    drain();
+    pool.Clear();
+    OASIS_CHECK(internal_file.DropOsCache().ok());
+
+    // Sequential phase: the full level-first sweep.
+    const uint64_t seq_requests_before = pool.stats(seg).requests;
+    util::Timer seq_timer;
+    for (uint64_t b = 0; b < blocks; ++b) fetch(b);
+    drain();
+    if (r > 0) {
+      seq_seconds += seq_timer.ElapsedSeconds();
+      out.seq_requests += pool.stats(seg).requests - seq_requests_before;
+    }
+
+    // Scattered phase: random 2-block mini-runs. The second block of
+    // every mini-run continues a detected run, so each one triggers
+    // speculation — fixed-K pays K blocks for it, the controller learns
+    // to stop. The cache drop matters twice over: the sequential sweep
+    // above just heated the OS page cache, and a warm scattered phase
+    // finishes in milliseconds — too fast for the background workers to
+    // run at all, let alone for outcome feedback to mean anything. Cold,
+    // the phase is disk-bound: the regime speculation actually operates
+    // in, where its waste is real I/O.
+    drain();
+    OASIS_CHECK(internal_file.DropOsCache().ok());
+    const storage::ReadaheadStats before = pool.readahead_stats();
+    const uint64_t scatter_requests_before = pool.stats(seg).requests;
+    for (uint64_t i = 0; i < mini_runs; ++i) {
+      const uint64_t start = rng.Uniform(blocks - 1);
+      fetch(start);
+      fetch(start + 1);
+    }
+    drain();
+    if (r > 0) {
+      const storage::ReadaheadStats after = pool.readahead_stats();
+      out.scatter_issued += after.issued - before.issued;
+      out.scatter_wasted += after.wasted - before.wasted;
+      out.scatter_requests +=
+          pool.stats(seg).requests - scatter_requests_before;
+    }
+  }
+  out.seq_scans_per_sec = rounds / seq_seconds;
+  out.waste_per_fetch =
+      out.scatter_requests == 0
+          ? 0.0
+          : static_cast<double>(out.scatter_wasted) / out.scatter_requests;
+  out.waste_quotient =
+      out.scatter_issued == 0
+          ? 0.0
+          : static_cast<double>(out.scatter_wasted) / out.scatter_issued;
+  if (readahead != nullptr && readahead->adaptive()) {
+    out.final_window = readahead->window(seg);
+  }
+  drain();
+  return out;
 }
 
 int Run() {
@@ -191,6 +334,11 @@ int Run() {
     options.pool_bytes = pool_frames * block_size;
     options.fetch_memo = query_configs[qc].memo;
     options.readahead_blocks = query_configs[qc].readahead;
+    // Fixed-K, like every other configuration in this PR-4 section: the
+    // recorded query.speedup metrics keep measuring the same mechanism
+    // across runs. The adaptive controller is measured (and gated) by
+    // the mixed-phase section below.
+    options.readahead_adaptive = false;
     auto engine = api::Engine::Open(env.dir->path(), options);
     OASIS_CHECK(engine.ok()) << engine.status().ToString();
     OASIS_CHECK((*engine)->tree().AdviseRandomAccess().ok());
@@ -214,17 +362,90 @@ int Run() {
   metrics.emplace_back("query.speedup.memo", qps[1] / qps[0]);
   metrics.emplace_back("query.speedup.memo_ra", qps[2] / qps[0]);
 
-  const bool pass = combined >= kRequiredCombinedSpeedup &&
-                    ra_gain >= kRequiredReadaheadGain &&
-                    final_ra.waste_ratio() <= kMaxWasteRatio;
+  // --- Mixed sequential/scattered phases: adaptive vs fixed window ----------
+  const int mixed_rounds =
+      static_cast<int>(util::EnvInt64("OASIS_MIXED_ROUNDS", 3));
+  std::printf("\nmixed phases (seq sweep + scattered 2-block mini-runs, "
+              "%d cold rounds, fixed K=%u vs adaptive [0, %u] from %u):\n",
+              mixed_rounds, kMixedWindow, 2 * kMixedWindow, kMixedWindow);
+  const MixedOutcome off = RunMixedPhases(
+      env, *internal_file, pool_frames, block_size, mixed_rounds,
+      /*enable_readahead=*/false, /*adaptive=*/false);
+  const MixedOutcome fixed = RunMixedPhases(
+      env, *internal_file, pool_frames, block_size, mixed_rounds,
+      /*enable_readahead=*/true, /*adaptive=*/false);
+  const MixedOutcome adaptive = RunMixedPhases(
+      env, *internal_file, pool_frames, block_size, mixed_rounds,
+      /*enable_readahead=*/true, /*adaptive=*/true);
+  OASIS_CHECK_EQ(off.checksum, fixed.checksum);
+  OASIS_CHECK_EQ(off.checksum, adaptive.checksum)
+      << "the adaptive window must not change what gets read";
+
+  std::printf("  %-10s %12s %18s %14s %12s\n", "config", "seq scans/s",
+              "scatter waste/fetch", "wasted/issued", "final window");
+  std::printf("  %-10s %12.2f %18.3f %14.3f %12s\n", "off",
+              off.seq_scans_per_sec, 0.0, 0.0, "-");
+  std::printf("  %-10s %12.2f %18.3f %14.3f %12u\n", "fixed",
+              fixed.seq_scans_per_sec, fixed.waste_per_fetch,
+              fixed.waste_quotient, kMixedWindow);
+  std::printf("  %-10s %12.2f %18.3f %14.3f %12u\n", "adaptive",
+              adaptive.seq_scans_per_sec, adaptive.waste_per_fetch,
+              adaptive.waste_quotient, adaptive.final_window);
+
+  const double seq_ratio =
+      adaptive.seq_scans_per_sec / fixed.seq_scans_per_sec;
+  // Guard the division: a fixed-K run that somehow wasted nothing would
+  // make the fraction meaningless — the gate below fails on the absolute
+  // comparison instead.
+  const double waste_fraction =
+      fixed.waste_per_fetch > 0
+          ? adaptive.waste_per_fetch / fixed.waste_per_fetch
+          : 1.0;
+  // Capped at parity for the baseline gate: the claim worth protecting is
+  // "adaptive approaches fixed-K on sequential work" — beating fixed-K
+  // (the controller may grow past K) is gravy, and leaving it uncapped
+  // would make the recorded baseline a wall-clock lottery ticket that a
+  // noisy runner then regresses against. The exit-code gate above uses
+  // the raw ratio.
+  metrics.emplace_back("mixed.seq_vs_fixed", std::min(seq_ratio, 1.0));
+  metrics.emplace_back("mixed.scatter_waste_cut", 1.0 - waste_fraction);
+  metrics.emplace_back("mixed.waste_per_fetch.fixed", fixed.waste_per_fetch);
+  metrics.emplace_back("mixed.waste_per_fetch.adaptive",
+                       adaptive.waste_per_fetch);
+
+  // Raw event totals behind the gated ratios (the gate's vacuous-pass
+  // guard: ci/bench_gate.py fails a gated ratio whose denominator count
+  // sits below the baseline's sanity floor).
+  std::vector<std::pair<std::string, uint64_t>> json_counts;
+  json_counts.emplace_back("prefetch.issued", final_ra.issued);
+  json_counts.emplace_back("mixed.seq.requests", adaptive.seq_requests);
+  json_counts.emplace_back("mixed.scatter.requests",
+                           adaptive.scatter_requests);
+  json_counts.emplace_back("mixed.scatter.issued.fixed",
+                           fixed.scatter_issued);
+  json_counts.emplace_back("mixed.scatter.issued.adaptive",
+                           adaptive.scatter_issued);
+
+  const bool pass_fixed = combined >= kRequiredCombinedSpeedup &&
+                          ra_gain >= kRequiredReadaheadGain &&
+                          final_ra.waste_ratio() <= kMaxWasteRatio;
+  const bool pass_mixed =
+      seq_ratio >= kMinAdaptiveSeqRatio &&
+      adaptive.waste_per_fetch <=
+          kMaxAdaptiveWasteFraction * fixed.waste_per_fetch;
   std::printf("\nshape check: memo+ra >= %.2fx baseline (%.2fx), "
               "readahead adds >= %.2fx over memo (%.2fx), waste ratio "
               "<= %.2f (%.3f): %s\n",
               kRequiredCombinedSpeedup, combined, kRequiredReadaheadGain,
               ra_gain, kMaxWasteRatio, final_ra.waste_ratio(),
-              pass ? "PASS" : "FAIL");
-  WriteBenchJson("readahead", metrics);
-  return pass ? 0 : 1;
+              pass_fixed ? "PASS" : "FAIL");
+  std::printf("adaptive check: seq >= %.2fx fixed (%.2fx), scattered "
+              "waste/fetch <= %.2fx fixed (%.3f vs %.3f): %s\n",
+              kMinAdaptiveSeqRatio, seq_ratio, kMaxAdaptiveWasteFraction,
+              adaptive.waste_per_fetch, fixed.waste_per_fetch,
+              pass_mixed ? "PASS" : "FAIL");
+  WriteBenchJson("readahead", metrics, json_counts);
+  return pass_fixed && pass_mixed ? 0 : 1;
 }
 
 }  // namespace

@@ -136,6 +136,7 @@ int Run() {
   bool hit_ok = true;
   uint64_t reference_results = 0;
   std::vector<std::pair<std::string, double>> metrics;
+  std::vector<std::pair<std::string, uint64_t>> counts;
   for (uint32_t threads = 1; threads <= max_threads; threads *= 2) {
     ModeOutcome replica = RunReplicaMode(env, resolved, threads, total_bytes);
     ModeOutcome shared = RunSharedMode(env, resolved, threads, total_bytes);
@@ -160,6 +161,9 @@ int Run() {
     metrics.emplace_back("hit.shared." + t, shared.stats.hit_ratio());
     metrics.emplace_back("hit.replica." + t, replica.stats.hit_ratio());
     metrics.emplace_back("qps.shared." + t, n / shared.seconds);
+    // Denominators of the gated hit ratios (vacuous-pass guard).
+    counts.emplace_back("requests.shared." + t, shared.stats.requests);
+    counts.emplace_back("requests.replica." + t, replica.stats.requests);
   }
 
   std::printf("\nshape check: shared hit ratio stays >= the single-thread "
@@ -167,7 +171,7 @@ int Run() {
               hit_ok ? "PASS" : "FAIL");
   std::printf("replica hit ratio decays as the per-worker pool shrinks; "
               "shared wall-clock speedup additionally needs real cores\n");
-  WriteBenchJson("shared_pool", metrics);
+  WriteBenchJson("shared_pool", metrics, counts);
   return hit_ok ? 0 : 1;
 }
 

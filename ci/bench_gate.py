@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
 """Merge bench JSON outputs and gate them against the checked-in baseline.
 
-Each bench binary writes a {"bench": name, "metrics": {...}} file when
-OASIS_BENCH_JSON is set (see bench/bench_common.h). This script merges those
-files into one BENCH_ci.json artifact and compares every metric listed in
-the baseline's "gated" array against the baseline value: all gated metrics
-are higher-is-better, and a value below baseline * (1 - tolerance) fails
-the job. Ungated metrics (wall-clock throughput on shared runners, mostly)
-are recorded in the artifact but never fail CI.
+Each bench binary writes a {"bench": name, "metrics": {...}, "counts":
+{...}} file when OASIS_BENCH_JSON is set (see bench/bench_common.h). This
+script merges those files into one BENCH_ci.json artifact and compares
+every metric listed in the baseline's "gated" array against the baseline
+value: all gated metrics are higher-is-better, and a value below
+baseline * (1 - tolerance) fails the job. Ungated metrics (wall-clock
+throughput on shared runners, mostly) are recorded in the artifact but
+never fail CI.
+
+Vacuous-pass guard: ratio metrics look perfect when nothing happened —
+SegmentStats::hit_ratio() is 1.0 at zero requests — so a bench that
+silently drove no traffic would pass every gate. The baseline's
+"denominators" map therefore names, per gated metric, the raw event count
+behind it; the gate fails any gated metric whose count is missing from
+the run or below "min_count".
 
 Usage:
   bench_gate.py --baseline ci/bench_baseline.json --out BENCH_ci.json \
@@ -17,8 +25,8 @@ Regenerating the baseline after an intentional perf change: run the benches
 with the same OASIS_* settings the CI job uses, then
   bench_gate.py --baseline ci/bench_baseline.json --out BENCH_ci.json \
       --write-baseline ...files
-which rewrites the baseline's metric values, keeping its gated list and
-tolerance.
+which rewrites the baseline's metric values, keeping its gated list,
+denominators, and tolerance.
 """
 
 import argparse
@@ -41,23 +49,35 @@ def main():
 
     baseline = load(args.baseline)
     tolerance = baseline.get("tolerance", 0.25)
+    min_count = baseline.get("min_count", 100)
+    denominators = baseline.get("denominators", {})
 
     merged = {}
+    counts = {}
     for path in args.inputs:
         data = load(path)
         bench = data["bench"]
         for name, value in data["metrics"].items():
             merged[f"{bench}.{name}"] = value
+        for name, value in data.get("counts", {}).items():
+            counts[f"{bench}.{name}"] = value
 
     with open(args.out, "w") as f:
         json.dump(
-            {"tolerance": tolerance, "gated": baseline["gated"], "metrics": merged},
+            {
+                "tolerance": tolerance,
+                "min_count": min_count,
+                "gated": baseline["gated"],
+                "denominators": denominators,
+                "metrics": merged,
+                "counts": counts,
+            },
             f,
             indent=2,
             sort_keys=True,
         )
         f.write("\n")
-    print(f"wrote {len(merged)} metrics to {args.out}")
+    print(f"wrote {len(merged)} metrics ({len(counts)} counts) to {args.out}")
 
     if args.write_baseline:
         baseline["metrics"] = {
@@ -80,6 +100,24 @@ def main():
         if base is None or current is None:
             failures.append(f"{key}: missing ({'baseline' if base is None else 'current run'})")
             continue
+        # Vacuous-pass guard: the metric is only meaningful if the events
+        # behind its denominator actually happened.
+        denominator = denominators.get(key)
+        if denominator is not None:
+            events = counts.get(denominator)
+            if events is None:
+                failures.append(
+                    f"{key}: denominator count '{denominator}' absent from "
+                    f"this run (bench emitted no counts?)"
+                )
+                continue
+            if events < min_count:
+                failures.append(
+                    f"{key}: vacuous — denominator '{denominator}' saw only "
+                    f"{events} events (sanity floor {min_count}); the bench "
+                    f"drove no meaningful traffic"
+                )
+                continue
         floor = base * (1.0 - tolerance)
         status = "ok" if current >= floor else "REGRESSION"
         print(f"{key:48} {base:10.4f} {current:10.4f} {floor:10.4f}  {status}")

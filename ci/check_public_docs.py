@@ -29,6 +29,7 @@ import sys
 
 HEADERS = [
     "src/api/engine.h",
+    "src/storage/adaptive_readahead.h",
     "src/storage/buffer_pool.h",
     "src/storage/page_source.h",
     "src/storage/readahead.h",

@@ -3,12 +3,12 @@
 //   oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]
 //   oasis_cli search <index_dir> <QUERYRESIDUES>
 //              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
-//              [--io-mode auto|pooled|mmap] [--readahead K] [--no-memo]
-//              [--alignments] [--by-evalue] [--stats]
+//              [--io-mode auto|pooled|mmap] [--readahead K|auto]
+//              [--no-memo] [--alignments] [--by-evalue] [--stats]
 //   oasis_cli batch  <index_dir> <queries.fasta> [--threads N]
 //              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
-//              [--io-mode auto|pooled|mmap] [--readahead K] [--no-memo]
-//              [--stats]
+//              [--io-mode auto|pooled|mmap] [--readahead K|auto]
+//              [--no-memo] [--stats]
 //
 // `index` builds the packed suffix tree AND the sequence catalog from a
 // FASTA file; `search` and `batch` need only the index directory — result
@@ -19,23 +19,34 @@
 // `mmap` maps the index read-only (zero-copy, no pool), `pooled` forces
 // the buffer pool, and `auto` (default) maps the index when it fits the
 // engine's RAM budget. `--readahead K` turns on speculative sibling-run
-// readahead for pooled engines (K blocks per miss; pays off on cold,
-// disk-resident indexes), and `--no-memo` disables the per-cursor fetch
-// memo so every block access goes through the pool (the paper's raw
-// accounting). `--stats` prints the per-segment buffer-pool requests /
-// hits / hit ratios after the search — the same numbers Figure 8 of the
-// paper plots — plus the readahead issued/used/wasted counters (pooled
-// mode only; an mmap engine keeps no such statistics and reports them as
-// n/a).
+// readahead for pooled engines with a fixed K-block window (pays off on
+// cold, disk-resident indexes); `--readahead auto` lets the per-segment
+// adaptive controller size the window from observed prefetch accuracy
+// instead (storage::AdaptiveReadahead — grows on hot sequential
+// segments, collapses on scattered ones). `--no-memo` disables the
+// per-cursor fetch memo so every block access goes through the pool (the
+// paper's raw accounting). `--stats` prints the per-segment buffer-pool
+// requests / hits / hit ratios after the search — the same numbers
+// Figure 8 of the paper plots — plus the readahead issued/used/wasted
+// counters and, in auto mode, each segment's live window and its
+// trajectory (EWMA accuracy, grow/shrink/probe counts). Pooled mode
+// only; an mmap engine keeps no such statistics and reports them as n/a.
+//
+// Every numeric flag is parsed strictly (util/flag_parse.h): malformed,
+// negative-where-unsigned, or out-of-range values are rejected with a
+// message instead of silently wrapping ("--threads -1" used to mean
+// 4294967295 worker threads).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "api/engine.h"
 #include "core/report.h"
 #include "seq/fasta.h"
+#include "util/flag_parse.h"
 #include "util/timer.h"
 
 using namespace oasis;
@@ -49,14 +60,24 @@ int Usage() {
       "  oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]\n"
       "  oasis_cli search <index_dir> <QUERY>\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
-      "             [--io-mode auto|pooled|mmap] [--readahead K] [--no-memo]\n"
-      "             [--alignments] [--by-evalue] [--stats]\n"
+      "             [--io-mode auto|pooled|mmap] [--readahead K|auto]\n"
+      "             [--no-memo] [--alignments] [--by-evalue] [--stats]\n"
       "  oasis_cli batch  <index_dir> <queries.fasta> [--threads N]\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
-      "             [--io-mode auto|pooled|mmap] [--readahead K] [--no-memo]\n"
-      "             [--stats]\n");
+      "             [--io-mode auto|pooled|mmap] [--readahead K|auto]\n"
+      "             [--no-memo] [--stats]\n");
   return 2;
 }
+
+// Flag ranges. Wider than any sane use, narrow enough that a typo cannot
+// ask for terabytes of pool or billions of threads.
+constexpr uint64_t kMaxPoolMb = 1ull << 20;   // 1 TiB of pool
+constexpr uint32_t kMaxThreads = 4096;
+constexpr uint64_t kMaxTop = 1ull << 40;
+constexpr double kMaxEValue = 1e12;
+// The default initial window of `--readahead auto` (the controller moves
+// it from there; 8 blocks matches the PR-4 fixed-K sweet spot).
+constexpr uint32_t kAutoReadaheadInitial = 8;
 
 struct Args {
   std::string command, fasta, index_dir, query;
@@ -67,12 +88,19 @@ struct Args {
   uint64_t pool_mb = 64;
   IoMode io_mode = IoMode::kAuto;
   uint32_t readahead = 0;
+  bool readahead_auto = false;  // --readahead auto: adaptive window
   bool no_memo = false;
   uint32_t threads = 4;
   bool alignments = false;
   bool by_evalue = false;
   bool stats = false;
 };
+
+/// Reports a bad flag value and fails the parse.
+bool BadFlag(const char* flag, const util::Status& status) {
+  std::fprintf(stderr, "%s: %s\n", flag, status.ToString().c_str());
+  return false;
+}
 
 bool Parse(int argc, char** argv, Args* args) {
   if (argc < 4) return false;
@@ -101,19 +129,33 @@ bool Parse(int argc, char** argv, Args* args) {
     } else if (flag == "--evalue") {
       const char* v = next();
       if (v == nullptr) return false;
-      args->evalue = std::strtod(v, nullptr);
+      // Zero would reject everything; negative is meaningless.
+      auto parsed = util::ParseDouble(v, 1e-300, kMaxEValue);
+      if (!parsed.ok()) return BadFlag("--evalue", parsed.status());
+      args->evalue = *parsed;
     } else if (flag == "--minscore") {
       const char* v = next();
       if (v == nullptr) return false;
-      args->min_score = static_cast<score::ScoreT>(std::strtol(v, nullptr, 10));
+      // 0 keeps the "derive from --evalue" default; negative thresholds
+      // would accept every alignment and are always a typo.
+      auto parsed = util::ParseInt64(
+          v, 0, std::numeric_limits<score::ScoreT>::max());
+      if (!parsed.ok()) return BadFlag("--minscore", parsed.status());
+      args->min_score = static_cast<score::ScoreT>(*parsed);
     } else if (flag == "--top") {
       const char* v = next();
       if (v == nullptr) return false;
-      args->top = std::strtoull(v, nullptr, 10);
+      auto parsed = util::ParseUint64(v, 0, kMaxTop);  // 0 = unlimited
+      if (!parsed.ok()) return BadFlag("--top", parsed.status());
+      args->top = *parsed;
     } else if (flag == "--pool-mb") {
       const char* v = next();
       if (v == nullptr) return false;
-      args->pool_mb = std::strtoull(v, nullptr, 10);
+      // "abc" used to parse as 0 MiB and then fail engine validation with
+      // a message about pool_bytes; reject it here, by name.
+      auto parsed = util::ParseUint64(v, 1, kMaxPoolMb);
+      if (!parsed.ok()) return BadFlag("--pool-mb", parsed.status());
+      args->pool_mb = *parsed;
     } else if (flag == "--io-mode") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -130,21 +172,24 @@ bool Parse(int argc, char** argv, Args* args) {
     } else if (flag == "--readahead") {
       const char* v = next();
       if (v == nullptr) return false;
-      char* end = nullptr;
-      const long blocks = std::strtol(v, &end, 10);
-      if (end == v || *end != '\0' || blocks < 0 ||
-          blocks > static_cast<long>(api::kMaxReadaheadBlocks)) {
-        std::fprintf(stderr, "--readahead wants an integer in [0, %u], "
-                     "got '%s'\n", api::kMaxReadaheadBlocks, v);
-        return false;
+      if (std::strcmp(v, "auto") == 0) {
+        args->readahead_auto = true;
+        args->readahead = kAutoReadaheadInitial;
+      } else {
+        auto parsed = util::ParseUint32(v, 0, api::kMaxReadaheadBlocks);
+        if (!parsed.ok()) return BadFlag("--readahead", parsed.status());
+        args->readahead_auto = false;
+        args->readahead = *parsed;
       }
-      args->readahead = static_cast<uint32_t>(blocks);
     } else if (flag == "--no-memo") {
       args->no_memo = true;
     } else if (flag == "--threads") {
       const char* v = next();
       if (v == nullptr) return false;
-      args->threads = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      // "-1" used to wrap to 4294967295 via strtoul.
+      auto parsed = util::ParseUint32(v, 1, kMaxThreads);
+      if (!parsed.ok()) return BadFlag("--threads", parsed.status());
+      args->threads = *parsed;
     } else if (flag == "--alignments") {
       args->alignments = true;
     } else if (flag == "--by-evalue") {
@@ -203,16 +248,40 @@ void PrintPoolStats(const Engine& engine) {
               total.hit_ratio());
   if (engine.uses_readahead()) {
     const storage::ReadaheadStats ra = engine.readahead_stats();
-    std::printf("readahead (%u blocks/miss): %llu issued, %llu used, "
-                "%llu wasted (waste ratio %.3f)\n",
-                engine.readahead_blocks(),
-                static_cast<unsigned long long>(ra.issued),
+    const std::string mode =
+        engine.readahead_adaptive()
+            ? "adaptive, initial " + std::to_string(engine.readahead_blocks()) +
+                  " blocks"
+            : std::to_string(engine.readahead_blocks()) + " blocks/miss";
+    std::printf("readahead (%s): %llu issued, %llu used, %llu wasted "
+                "(waste ratio %.3f)\n",
+                mode.c_str(), static_cast<unsigned long long>(ra.issued),
                 static_cast<unsigned long long>(ra.used),
                 static_cast<unsigned long long>(ra.wasted),
                 ra.waste_ratio());
+    if (engine.readahead_adaptive()) {
+      // The live window per segment plus how it got there: the EWMA of
+      // the used-ratio the controller steers by, and its resize/probe
+      // decisions so far.
+      const storage::AdaptiveReadahead& ctl = *engine.readahead().controller();
+      std::printf("%-10s %8s %8s %7s %8s %7s %8s\n", "segment", "window",
+                  "ewma", "samples", "grows", "shrinks", "probes");
+      for (storage::SegmentId seg = 0;
+           seg < static_cast<storage::SegmentId>(pool.num_segments()); ++seg) {
+        const storage::AdaptiveReadahead::SegmentSnapshot s =
+            ctl.snapshot(seg);
+        std::printf("%-10s %8u %8.3f %7llu %8llu %7llu %8llu\n",
+                    pool.segment_name(seg).c_str(), s.window,
+                    s.ewma < 0 ? 0.0 : s.ewma,
+                    static_cast<unsigned long long>(s.samples),
+                    static_cast<unsigned long long>(s.grows),
+                    static_cast<unsigned long long>(s.shrinks),
+                    static_cast<unsigned long long>(s.probes));
+      }
+    }
   } else {
-    std::printf("readahead: disabled (--readahead K to speculate K blocks "
-                "ahead per miss)\n");
+    std::printf("readahead: disabled (--readahead K for a fixed K-block "
+                "window, --readahead auto for the adaptive one)\n");
   }
 }
 
@@ -247,6 +316,9 @@ int RunSearch(const Args& args) {
   options.pool_bytes = args.pool_mb << 20;
   options.io_mode = args.io_mode;
   options.readahead_blocks = args.readahead;
+  // An explicit `--readahead K` is a request for exactly K; only
+  // `--readahead auto` engages the controller.
+  options.readahead_adaptive = args.readahead_auto;
   options.fetch_memo = !args.no_memo;
   auto engine = Engine::Open(args.index_dir, options);
   if (!engine.ok()) return Fail(engine.status());
@@ -312,6 +384,7 @@ int RunBatch(const Args& args) {
   options.pool_bytes = args.pool_mb << 20;
   options.io_mode = args.io_mode;
   options.readahead_blocks = args.readahead;
+  options.readahead_adaptive = args.readahead_auto;
   options.fetch_memo = !args.no_memo;
   auto engine = Engine::Open(args.index_dir, options);
   if (!engine.ok()) return Fail(engine.status());

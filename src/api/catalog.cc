@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 namespace oasis {
 namespace api {
@@ -13,6 +14,22 @@ SequenceCatalog SequenceCatalog::FromDatabase(const seq::SequenceDatabase& db) {
     entries.push_back(CatalogEntry{s.id(), s.description(), s.size()});
   }
   return SequenceCatalog(std::move(entries));
+}
+
+util::Status SequenceCatalog::CheckUniqueIds() const {
+  std::unordered_map<std::string, size_t> first_seen;
+  first_seen.reserve(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    auto [it, inserted] = first_seen.emplace(entries_[i].id, i);
+    if (!inserted) {
+      return util::Status::InvalidArgument(
+          "duplicate sequence id '" + entries_[i].id + "': records " +
+          std::to_string(it->second) + " and " + std::to_string(i) +
+          " share it, which would make name-based lookups ambiguous; "
+          "give every FASTA record a unique id");
+    }
+  }
+  return util::Status::OK();
 }
 
 util::StatusOr<SequenceCatalog> SequenceCatalog::Load(const std::string& dir) {
@@ -62,6 +79,10 @@ util::StatusOr<SequenceCatalog> SequenceCatalog::Load(const std::string& dir) {
 }
 
 util::Status SequenceCatalog::Save(const std::string& dir) const {
+  // Engine::BuildFromDatabase rejects duplicates before the expensive
+  // tree build; re-checking here keeps the persisted-catalog invariant
+  // for any caller that assembles a catalog directly.
+  OASIS_RETURN_NOT_OK(CheckUniqueIds());
   const std::string path = dir + "/" + kFileName;
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
@@ -93,7 +114,11 @@ util::Status SequenceCatalog::Save(const std::string& dir) const {
 
 std::string SequenceCatalog::name(uint32_t id) const {
   if (id < entries_.size()) return entries_[id].id;
-  return "s" + std::to_string(id);
+  // Spelled out instead of `"s" + std::to_string(id)`: GCC 12's
+  // -Wrestrict fires a false positive on that operator+ chain here.
+  std::string out = std::to_string(id);
+  out.insert(out.begin(), 's');
+  return out;
 }
 
 }  // namespace api

@@ -43,6 +43,12 @@ class SequenceCatalog {
   /// Builds the catalog of `db` (in sequence-id order).
   static SequenceCatalog FromDatabase(const seq::SequenceDatabase& db);
 
+  /// Verifies that every entry's id is unique. Two records sharing an id
+  /// would make every name-based lookup against this catalog silently
+  /// ambiguous, so index builds reject the database up front; returns
+  /// InvalidArgument naming the offending id and both record positions.
+  util::Status CheckUniqueIds() const;
+
   /// Reads `dir`/catalog.meta.
   static util::StatusOr<SequenceCatalog> Load(const std::string& dir);
 

@@ -104,12 +104,16 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::BuildFromDatabase(
         std::to_string(sizeof(suffix::PackedInternalNode)) +
         "-byte internal-node record");
   }
+  // Duplicate record ids would persist a catalog whose name-based lookups
+  // are silently ambiguous; reject them before the expensive tree build.
+  SequenceCatalog catalog = SequenceCatalog::FromDatabase(db);
+  OASIS_RETURN_NOT_OK(catalog.CheckUniqueIds());
   OASIS_ASSIGN_OR_RETURN(suffix::SuffixTree tree,
                          suffix::SuffixTree::BuildUkkonen(db));
   suffix::PackOptions pack;
   pack.block_size = options.block_size;
   OASIS_RETURN_NOT_OK(suffix::PackSuffixTree(tree, index_dir, pack));
-  OASIS_RETURN_NOT_OK(SequenceCatalog::FromDatabase(db).Save(index_dir));
+  OASIS_RETURN_NOT_OK(catalog.Save(index_dir));
   return OpenInternal(index_dir, options,
                       std::make_unique<seq::SequenceDatabase>(std::move(db)));
 }
@@ -142,7 +146,41 @@ util::Status Engine::ValidateOptions(const EngineOptions& options) {
         "EngineOptions::readahead_threads must be positive when readahead "
         "is enabled (readahead_blocks > 0)");
   }
+  // Adaptive-window bounds only constrain anything when an adaptive
+  // readahead will actually be constructed.
+  if (options.readahead_blocks > 0 && options.readahead_adaptive) {
+    const uint32_t max_blocks = ResolveReadaheadMax(options);
+    if (max_blocks > kMaxReadaheadBlocks) {
+      return util::Status::InvalidArgument(
+          "EngineOptions::readahead_max_blocks " +
+          std::to_string(options.readahead_max_blocks) +
+          " must be in [1, " + std::to_string(kMaxReadaheadBlocks) + "]");
+    }
+    if (options.readahead_min_blocks > max_blocks) {
+      return util::Status::InvalidArgument(
+          "EngineOptions::readahead_min_blocks " +
+          std::to_string(options.readahead_min_blocks) +
+          " exceeds readahead_max_blocks " + std::to_string(max_blocks));
+    }
+    if (options.readahead_blocks < options.readahead_min_blocks ||
+        options.readahead_blocks > max_blocks) {
+      return util::Status::InvalidArgument(
+          "EngineOptions::readahead_blocks " +
+          std::to_string(options.readahead_blocks) +
+          " (the adaptive initial window) must lie inside [" +
+          std::to_string(options.readahead_min_blocks) + ", " +
+          std::to_string(max_blocks) + "]");
+    }
+  }
   return util::Status::OK();
+}
+
+uint32_t Engine::ResolveReadaheadMax(const EngineOptions& options) {
+  // 0 = auto: 64 blocks of headroom, never less than the configured
+  // initial window — so every readahead_blocks value that is valid for
+  // fixed-K readahead stays valid under the adaptive default.
+  if (options.readahead_max_blocks != 0) return options.readahead_max_blocks;
+  return std::max(64u, options.readahead_blocks);
 }
 
 util::StatusOr<std::unique_ptr<Engine>> Engine::OpenInternal(
@@ -179,6 +217,9 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::OpenInternal(
       storage::Readahead::Options readahead;
       readahead.blocks = options.readahead_blocks;
       readahead.threads = options.readahead_threads;
+      readahead.adaptive = options.readahead_adaptive;
+      readahead.adaptive_options.min_blocks = options.readahead_min_blocks;
+      readahead.adaptive_options.max_blocks = ResolveReadaheadMax(options);
       engine->readahead_ = std::make_unique<storage::Readahead>(
           engine->pool_.get(), readahead);
     }
@@ -223,6 +264,10 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::OpenInternal(
 
 uint32_t Engine::readahead_blocks() const {
   return readahead_ != nullptr ? readahead_->blocks() : 0;
+}
+
+bool Engine::readahead_adaptive() const {
+  return readahead_ != nullptr && readahead_->adaptive();
 }
 
 storage::ReadaheadStats Engine::readahead_stats() const {

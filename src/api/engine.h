@@ -98,12 +98,41 @@ struct EngineOptions {
   /// too. 0 disables speculation entirely (the default: readahead pays
   /// off on cold, disk-resident indexes; a warm pool needs none, and
   /// disabled speculation keeps the paper's Figure 7/8 statistics exactly
-  /// reproducible). Ignored — and readahead_stats() unavailable — when
-  /// the engine resolves to mmap, which has no pool to prefetch into.
+  /// reproducible). With `readahead_adaptive` (the default) this is the
+  /// *initial* window and must lie inside [readahead_min_blocks,
+  /// readahead_max_blocks]. Ignored — and readahead_stats() unavailable —
+  /// when the engine resolves to mmap, which has no pool to prefetch
+  /// into.
   uint32_t readahead_blocks = 0;
 
   /// Background prefetch threads when readahead is enabled.
   uint32_t readahead_threads = 1;
+
+  /// Scale the speculation window from observed prefetch accuracy instead
+  /// of keeping it fixed at `readahead_blocks`: a per-segment feedback
+  /// controller (storage::AdaptiveReadahead — windowed EWMA of the
+  /// used/wasted outcome stream, additive increase, multiplicative
+  /// decrease, hysteresis) grows the window on segments whose speculation
+  /// keeps landing and collapses it — to readahead_min_blocks, possibly
+  /// zero — on segments where it keeps missing. On by default whenever
+  /// readahead is enabled: adaptivity only sheds wasted I/O and results
+  /// are byte-identical either way. Set to false for the PR-4 fixed-K
+  /// behaviour (what bench_readahead's fixed configurations pin).
+  /// Meaningless when readahead_blocks is 0.
+  bool readahead_adaptive = true;
+
+  /// Adaptive window floor (blocks). 0 — the default — lets a segment's
+  /// window collapse to "no speculation", with occasional probes keeping
+  /// recovery possible.
+  uint32_t readahead_min_blocks = 0;
+
+  /// Adaptive window ceiling (blocks); at most kMaxReadaheadBlocks and at
+  /// least max(1, readahead_min_blocks). 0 — the default — resolves to
+  /// max(64, readahead_blocks): 64 blocks (128 KiB at the default block
+  /// size) is as deep as one coalesced run read usefully gets, and the
+  /// floor at readahead_blocks keeps every window that was valid for
+  /// fixed-K readahead valid under the adaptive default too.
+  uint32_t readahead_max_blocks = 0;
 
   /// Give each search cursor a per-thread fetch memo so consecutive
   /// same-block tree reads (sibling runs) skip the buffer pool. On by
@@ -350,8 +379,18 @@ class Engine {
   /// True when this engine runs speculative sibling-run readahead (pooled
   /// path with EngineOptions::readahead_blocks > 0).
   bool uses_readahead() const { return readahead_ != nullptr; }
-  /// The readahead window in blocks (0 when disabled or mmap).
+  /// The configured readahead window in blocks (0 when disabled or mmap;
+  /// the adaptive controller's initial window when adaptive).
   uint32_t readahead_blocks() const;
+  /// True when the readahead window adapts to observed prefetch accuracy
+  /// (uses_readahead() with EngineOptions::readahead_adaptive).
+  bool readahead_adaptive() const;
+  /// The readahead unit, for live-window displays and tests.
+  /// Precondition: uses_readahead().
+  const storage::Readahead& readahead() const {
+    OASIS_CHECK(readahead_ != nullptr) << "engine runs no readahead";
+    return *readahead_;
+  }
   /// Prefetch outcome counters (issued / used / wasted). Precondition:
   /// uses_readahead() — an mmap engine has no pool to speculate into, so
   /// callers must report these as unavailable rather than zero.
@@ -376,6 +415,10 @@ class Engine {
   /// Rejects invalid construction knobs (pool_bytes == 0) with a clear
   /// Status instead of UB or silent clamping downstream.
   static util::Status ValidateOptions(const EngineOptions& options);
+
+  /// The effective adaptive ceiling: readahead_max_blocks, or its
+  /// documented auto default (max(64, readahead_blocks)) when 0.
+  static uint32_t ResolveReadaheadMax(const EngineOptions& options);
 
   /// Shared tail of the factory functions: open the packed tree, pick the
   /// matrix, compute Karlin statistics.

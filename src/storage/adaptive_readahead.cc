@@ -1,0 +1,126 @@
+#include "storage/adaptive_readahead.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace storage {
+
+AdaptiveReadahead::AdaptiveReadahead(size_t num_segments,
+                                     const Options& options)
+    : options_(options) {
+  OASIS_CHECK_GT(options.max_blocks, 0u);
+  OASIS_CHECK(options.min_blocks <= options.max_blocks);
+  OASIS_CHECK(options.initial_blocks >= options.min_blocks &&
+              options.initial_blocks <= options.max_blocks);
+  OASIS_CHECK_GT(options.sample_outcomes, 0u);
+  OASIS_CHECK(options.ewma_alpha > 0.0 && options.ewma_alpha <= 1.0);
+  OASIS_CHECK(options.shrink_threshold >= 0.0 &&
+              options.shrink_threshold < options.grow_threshold &&
+              options.grow_threshold <= 1.0);
+  OASIS_CHECK_GT(options.grow_step, 0u);
+  OASIS_CHECK_GT(options.grow_hysteresis, 0u);
+  OASIS_CHECK_GT(options.shrink_hysteresis, 0u);
+  if (options.probe_interval > 0) OASIS_CHECK_GT(options.probe_blocks, 0u);
+  for (size_t s = 0; s < num_segments; ++s) {
+    states_.emplace_back().window.store(options.initial_blocks,
+                                        std::memory_order_relaxed);
+  }
+}
+
+uint32_t AdaptiveReadahead::WindowForSchedule(SegmentId segment) {
+  if (segment >= states_.size()) return 0;
+  SegmentState& state = states_[segment];
+  const uint32_t window = state.window.load(std::memory_order_relaxed);
+  if (window > 0) return window;
+  if (options_.probe_interval == 0) return 0;
+  // Collapsed: speculation is off, but a regime change back to sequential
+  // would be invisible without fresh outcomes. Issue a small probe every
+  // probe_interval-th trigger; its outcomes re-open the window if they
+  // start landing. fetch_add gives each concurrent caller a distinct tick,
+  // so the probe rate stays one-in-probe_interval under any thread count.
+  const uint32_t tick =
+      state.probe_clock.fetch_add(1, std::memory_order_relaxed);
+  if (tick % options_.probe_interval != 0) return 0;
+  state.probes.fetch_add(1, std::memory_order_relaxed);
+  return std::min(options_.probe_blocks, options_.max_blocks);
+}
+
+void AdaptiveReadahead::RecordOutcome(SegmentId segment, bool used) {
+  if (segment >= states_.size()) return;
+  SegmentState& state = states_[segment];
+  std::lock_guard<std::mutex> lock(state.mutex);
+  ++state.sample_total;
+  if (used) ++state.sample_used;
+  if (state.sample_total >= options_.sample_outcomes) FoldSample(state);
+}
+
+void AdaptiveReadahead::FoldSample(SegmentState& state) {
+  const double ratio =
+      static_cast<double>(state.sample_used) / state.sample_total;
+  state.sample_used = 0;
+  state.sample_total = 0;
+  state.ewma = state.ewma < 0.0
+                   ? ratio
+                   : options_.ewma_alpha * ratio +
+                         (1.0 - options_.ewma_alpha) * state.ewma;
+  state.samples.fetch_add(1, std::memory_order_relaxed);
+
+  const uint32_t window = state.window.load(std::memory_order_relaxed);
+  if (state.ewma >= options_.grow_threshold) {
+    state.shrink_streak = 0;
+    if (++state.grow_streak < options_.grow_hysteresis) return;
+    state.grow_streak = 0;
+    // Additive increase: speculation that keeps landing earns a slightly
+    // deeper window; the clamp keeps one run's coalesced read bounded.
+    const uint32_t grown =
+        std::min(options_.max_blocks, window + options_.grow_step);
+    if (grown != window) {
+      state.window.store(grown, std::memory_order_relaxed);
+      state.grows.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (state.ewma <= options_.shrink_threshold) {
+    state.grow_streak = 0;
+    if (++state.shrink_streak < options_.shrink_hysteresis) return;
+    state.shrink_streak = 0;
+    // Multiplicative decrease: waste compounds with the window, so a
+    // window that misses gets out of the way fast. Halving from 1 hits 0
+    // (speculation off) unless min_blocks keeps a floor.
+    const uint32_t shrunk = std::max(options_.min_blocks, window / 2);
+    if (shrunk != window) {
+      state.window.store(shrunk, std::memory_order_relaxed);
+      state.shrinks.fetch_add(1, std::memory_order_relaxed);
+      // Restart the probe cadence so a fresh collapse probes promptly.
+      state.probe_clock.store(0, std::memory_order_relaxed);
+    }
+  } else {
+    // Neutral band: the hysteresis zone. Streaks reset, so a window only
+    // moves on *consecutive* conviction, never on a split signal.
+    state.grow_streak = 0;
+    state.shrink_streak = 0;
+  }
+}
+
+uint32_t AdaptiveReadahead::window(SegmentId segment) const {
+  if (segment >= states_.size()) return 0;
+  return states_[segment].window.load(std::memory_order_relaxed);
+}
+
+AdaptiveReadahead::SegmentSnapshot AdaptiveReadahead::snapshot(
+    SegmentId segment) const {
+  SegmentSnapshot out;
+  if (segment >= states_.size()) return out;
+  const SegmentState& state = states_[segment];
+  out.window = state.window.load(std::memory_order_relaxed);
+  out.samples = state.samples.load(std::memory_order_relaxed);
+  out.grows = state.grows.load(std::memory_order_relaxed);
+  out.shrinks = state.shrinks.load(std::memory_order_relaxed);
+  out.probes = state.probes.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(state.mutex);
+  out.ewma = state.ewma;
+  return out;
+}
+
+}  // namespace storage
+}  // namespace oasis

@@ -1,0 +1,176 @@
+// AdaptiveReadahead: a per-pool feedback controller that sizes the
+// speculation window from observed prefetch accuracy.
+//
+// PR 4's readahead speculates a *fixed* K blocks per detected sequential
+// run. That knob has no right value: a cold level-first scan wants the
+// largest window the pool can absorb (bigger coalesced reads, more
+// overlap), while a scattered A* frontier that only occasionally stumbles
+// into two adjacent misses wants no speculation at all. The accuracy
+// signal needed to tell the two apart already exists — every speculative
+// block eventually resolves as `used` (a demand Fetch arrived) or `wasted`
+// (evicted or dropped untouched) — this controller closes the loop, in the
+// lineage of hint-driven buffer managers (DBMIN) and modern pools that
+// size speculation from feedback rather than configuration.
+//
+// The control law, per segment (segments have independent access patterns;
+// the level-first internal-node file can be mid-scan while the symbols
+// file hops randomly):
+//
+//   sample   outcomes are accumulated until `sample_outcomes` of them
+//            complete; the sample's used-ratio is one measurement. Folding
+//            whole samples (rather than every outcome) makes the signal a
+//            *windowed* one: a burst of stale wasted notices from a pool
+//            Clear() is one bad sample, not `sample_outcomes` bad signals.
+//   EWMA     measurements feed an exponentially weighted moving average,
+//            so the window tracks the recent regime, not all history.
+//   AIMD     an EWMA at or above `grow_threshold` grows the window
+//            additively (+`grow_step`, clamped to `max_blocks`); at or
+//            below `shrink_threshold` it halves (clamped to `min_blocks`,
+//            which may be 0 = stop speculating entirely). Between the two
+//            thresholds nothing moves.
+//   hysteresis  a resize needs `grow_hysteresis` / `shrink_hysteresis`
+//            *consecutive* same-direction signals, and the neutral band
+//            between the thresholds resets both streaks — one aberrant
+//            sample cannot flap the window.
+//   probe    a collapsed window (0) would never observe another outcome
+//            and so could never recover; instead every `probe_interval`-th
+//            scheduled run issues a `probe_blocks`-block probe. A regime
+//            change back to sequential turns the probes into used outcomes
+//            and the EWMA re-opens the window; sustained scatter keeps the
+//            probe cost at one block per `probe_interval` triggers.
+//
+// Thread-safety: all methods are safe from any number of threads.
+// RecordOutcome is called by the pool with a shard mutex held, so it must
+// stay cheap and must never touch pool state: it bumps per-segment
+// counters and, once per completed sample, folds the EWMA under a small
+// per-segment mutex (never held while taking any other lock).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "storage/buffer_pool.h"
+
+namespace oasis {
+namespace storage {
+
+/// The feedback controller. One instance serves one Readahead (and so one
+/// BufferPool); constructed after all segments are registered.
+class AdaptiveReadahead {
+ public:
+  /// Control-law knobs. The defaults are deliberately quick to grow and
+  /// deliberate to shrink: a mis-sized window costs at most one window of
+  /// wasted reads per sample, while a window stuck at zero costs the whole
+  /// sequential-scan win.
+  struct Options {
+    /// Window floor. 0 lets a segment stop speculating entirely (probes
+    /// keep recovery possible); a positive floor keeps a minimum window
+    /// regardless of observed waste.
+    uint32_t min_blocks = 0;
+    /// Window ceiling. Must be >= max(1, min_blocks).
+    uint32_t max_blocks = 64;
+    /// Starting window of every segment; clamped into [min, max] bounds by
+    /// the constructor's caller (the engine validates, tests may rely on
+    /// the CHECK).
+    uint32_t initial_blocks = 8;
+    /// Completed prefetch outcomes folded into one EWMA measurement.
+    uint32_t sample_outcomes = 8;
+    /// Weight of the newest sample in the EWMA (0 < alpha <= 1).
+    double ewma_alpha = 0.4;
+    /// EWMA used-ratio at or above which the window grows.
+    double grow_threshold = 0.60;
+    /// EWMA used-ratio at or below which the window halves.
+    double shrink_threshold = 0.30;
+    /// Additive increase per grow decision. Sized so recovery from a
+    /// collapsed window back to a deep one takes a handful of accurate
+    /// samples — a window stuck low costs the whole sequential-scan win,
+    /// while one overshooting sample costs at most one window of waste.
+    uint32_t grow_step = 8;
+    /// Consecutive grow signals required before a grow (>= 1).
+    uint32_t grow_hysteresis = 1;
+    /// Consecutive shrink signals required before a shrink (>= 1). The
+    /// default demands two bad samples, so one burst of stale wasted
+    /// outcomes (a pool Clear) cannot halve a productive window.
+    uint32_t shrink_hysteresis = 2;
+    /// With the window collapsed to 0, every `probe_interval`-th scheduled
+    /// run still speculates `probe_blocks` blocks so the accuracy signal
+    /// stays alive. 0 disables probing (a collapsed window is then final).
+    uint32_t probe_interval = 2;
+    /// Blocks per recovery probe (>= 1 when probe_interval > 0).
+    uint32_t probe_blocks = 2;
+  };
+
+  /// Live controller state of one segment, for stats displays and tests.
+  struct SegmentSnapshot {
+    uint32_t window = 0;    ///< current speculation window in blocks
+    double ewma = -1.0;     ///< smoothed used-ratio; -1 before any sample
+    uint64_t samples = 0;   ///< EWMA measurements folded so far
+    uint64_t grows = 0;     ///< additive-increase decisions taken
+    uint64_t shrinks = 0;   ///< multiplicative-decrease decisions taken
+    uint64_t probes = 0;    ///< recovery probes issued from a 0 window
+  };
+
+  /// A controller for `num_segments` independent segments, each starting
+  /// at `options.initial_blocks`. Checks option sanity (bounds ordered,
+  /// thresholds ordered and in [0, 1], positive sample/step/hysteresis).
+  AdaptiveReadahead(size_t num_segments, const Options& options);
+
+  AdaptiveReadahead(const AdaptiveReadahead&) = delete;
+  AdaptiveReadahead& operator=(const AdaptiveReadahead&) = delete;
+
+  /// The window to use for a run being scheduled on `segment` right now.
+  /// Returns 0 when speculation is currently suppressed (the caller drops
+  /// the run); when the window is collapsed this returns `probe_blocks`
+  /// every `probe_interval`-th call — the recovery probe.
+  uint32_t WindowForSchedule(SegmentId segment);
+
+  /// One completed prefetch outcome on `segment`: `used` is true when a
+  /// demand Fetch consumed the speculative block, false when it was
+  /// evicted or dropped untouched. Called by the pool (possibly with a
+  /// shard mutex held); cheap, and never takes any lock besides the
+  /// segment's own controller mutex.
+  void RecordOutcome(SegmentId segment, bool used);
+
+  /// The current window of `segment`, with no probing side effects.
+  uint32_t window(SegmentId segment) const;
+
+  /// Full controller state of `segment`.
+  SegmentSnapshot snapshot(SegmentId segment) const;
+
+  size_t num_segments() const { return states_.size(); }  ///< controlled segments
+  const Options& options() const { return options_; }     ///< construction knobs
+
+ private:
+  /// Per-segment control state, its own cache line so outcome recording on
+  /// one segment never false-shares with another's window reads.
+  struct alignas(64) SegmentState {
+    std::atomic<uint32_t> window{0};
+    std::atomic<uint32_t> probe_clock{0};  ///< schedules seen while collapsed
+    std::atomic<uint64_t> grows{0};
+    std::atomic<uint64_t> shrinks{0};
+    std::atomic<uint64_t> probes{0};
+    std::atomic<uint64_t> samples{0};
+    /// Guards the sample accumulator and EWMA below (cold: taken once per
+    /// outcome, held for a few arithmetic ops).
+    mutable std::mutex mutex;
+    uint32_t sample_used = 0;
+    uint32_t sample_total = 0;
+    double ewma = -1.0;  ///< -1 until the first sample completes
+    uint32_t grow_streak = 0;
+    uint32_t shrink_streak = 0;
+  };
+
+  /// Folds a completed sample into the EWMA and applies the AIMD +
+  /// hysteresis decision. Caller holds `state.mutex`.
+  void FoldSample(SegmentState& state);
+
+  const Options options_;
+  /// deque: SegmentState holds a mutex and atomics (immovable).
+  std::deque<SegmentState> states_;
+};
+
+}  // namespace storage
+}  // namespace oasis

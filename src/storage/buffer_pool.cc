@@ -107,6 +107,7 @@ util::StatusOr<PageHandle> BufferPool::Fetch(SegmentId segment, BlockId block,
         prefetch_used_.fetch_add(1, std::memory_order_relaxed);
         if (readahead_ != nullptr) {
           run_position_[segment].store(block, std::memory_order_relaxed);
+          readahead_->ReportOutcome(segment, /*used=*/true);
         }
       }
       return PageHandle(&f.pin_count,
@@ -278,6 +279,9 @@ uint32_t BufferPool::PrefetchRun(SegmentId segment, BlockId first,
         // release the claim and let any demand requester retry (and
         // surface the error) itself.
         prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+        if (readahead_ != nullptr) {
+          readahead_->ReportOutcome(segment, /*used=*/false);
+        }
       }
       f.ready->notify_all();
     }
@@ -296,6 +300,9 @@ void BufferPool::EvictFrame(Shard& shard, Frame& frame) {
   if (frame.prefetched) {
     frame.prefetched = false;
     prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+    if (readahead_ != nullptr) {
+      readahead_->ReportOutcome(frame.segment, /*used=*/false);
+    }
   }
 }
 
@@ -371,6 +378,9 @@ void BufferPool::Clear() {
         // Dropped before any demand fetch saw it — by the accounting's
         // definition, speculation that missed.
         prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+        if (readahead_ != nullptr) {
+          readahead_->ReportOutcome(f.segment, /*used=*/false);
+        }
       }
       f.segment = 0;
       f.block = 0;

@@ -108,7 +108,10 @@ struct SegmentStats {
   uint64_t hits = 0;      ///< requests served without a disk read
 
   uint64_t misses() const { return requests - hits; }  ///< requests - hits
-  /// hits / requests (1.0 when no requests were made).
+  /// hits / requests. Vacuously 1.0 when no requests were made — consumers
+  /// gating on this ratio must therefore also check `requests` (the CI
+  /// bench gate does: ci/bench_gate.py rejects gated ratios whose
+  /// denominator count is below a sanity floor).
   double hit_ratio() const {
     return requests == 0 ? 1.0 : static_cast<double>(hits) / requests;
   }
@@ -238,8 +241,12 @@ class BufferPool {
   /// nothing, so enabling readahead cannot amplify random I/O. A demand
   /// hit on a prefetched frame advances the run position, keeping a
   /// detected run triggering once per window instead of dying after the
-  /// first one. Setup-time only, like RegisterSegment: must not race any
-  /// Fetch. The readahead unit must outlive every subsequent Fetch
+  /// first one. The pool also reports every resolved prefetch outcome to
+  /// the attached unit (Readahead::ReportOutcome — used on the first
+  /// demand hit, wasted on eviction/drop/failed read), which is the
+  /// feedback an adaptive window controller sizes speculation from.
+  /// Setup-time only, like RegisterSegment: must not race any Fetch. The
+  /// readahead unit must outlive every subsequent Fetch
   /// (storage::Readahead detaches itself on destruction).
   void SetReadahead(Readahead* readahead) { readahead_ = readahead; }
 

@@ -14,6 +14,16 @@ Readahead::Readahead(BufferPool* pool, const Options& options)
   OASIS_CHECK(pool != nullptr);
   OASIS_CHECK_GT(options.blocks, 0u);
   OASIS_CHECK_GT(options.threads, 0u);
+  if (options.adaptive) {
+    // Segment registration is setup-time and precedes Readahead
+    // construction (the engine opens the tree first), so the pool's
+    // segment count is final here and the controller can own one state
+    // slot per segment.
+    AdaptiveReadahead::Options adaptive = options.adaptive_options;
+    adaptive.initial_blocks = options.blocks;
+    adaptive_ = std::make_unique<AdaptiveReadahead>(pool->num_segments(),
+                                                    adaptive);
+  }
   workers_.reserve(options.threads);
   for (uint32_t t = 0; t < options.threads; ++t) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -35,6 +45,13 @@ Readahead::~Readahead() {
 }
 
 void Readahead::Schedule(SegmentId segment, BlockId first) {
+  // Resolve the window before touching the queue: a suppressed segment
+  // (adaptive window 0, no probe due) costs the caller one atomic load.
+  uint32_t count = blocks_;
+  if (adaptive_ != nullptr) {
+    count = adaptive_->WindowForSchedule(segment);
+    if (count == 0) return;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stop_) return;
@@ -46,7 +63,7 @@ void Readahead::Schedule(SegmentId segment, BlockId first) {
         queue_.back().first == first) {
       return;
     }
-    queue_.push_back(Run{segment, first});
+    queue_.push_back(Run{segment, first, count});
     // Bounded queue: drop the oldest run — if the worker is that far
     // behind, the search has long moved past those blocks.
     if (queue_.size() > queue_capacity_) queue_.pop_front();
@@ -74,7 +91,7 @@ void Readahead::WorkerLoop() {
     // queue push even while a prefetch read is outstanding. PrefetchRun
     // clips past-the-end blocks, declines resident/loading ones, and
     // coalesces each contiguous stretch it claims into one scatter pread.
-    pool_->PrefetchRun(run.segment, run.first, blocks_);
+    pool_->PrefetchRun(run.segment, run.first, run.count);
     lock.lock();
     --active_workers_;
     if (queue_.empty() && active_workers_ == 0) idle_.notify_all();

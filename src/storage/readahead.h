@@ -25,6 +25,15 @@
 //     *oldest* runs are dropped first — stale speculation is the least
 //     likely to still be wanted.
 //
+// The window is either fixed (Options::blocks every run, PR-4 behaviour —
+// the paper-accounting configuration the figure benches pin) or adaptive
+// (Options::adaptive): an AdaptiveReadahead controller sizes each
+// scheduled run from the segment's recent prefetch accuracy, growing the
+// window on a hot sequential segment and collapsing it to zero on a
+// scattered one. The pool feeds the controller through ReportOutcome
+// (every speculative block eventually resolves used or wasted) and
+// Schedule() asks it for the window of each run it queues.
+//
 // Thread-safety: Schedule() may be called from any number of threads (the
 // pool calls it on concurrent miss paths); the worker threads run until
 // destruction. Construction and destruction are single-threaded and must
@@ -37,10 +46,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "storage/adaptive_readahead.h"
 #include "storage/buffer_pool.h"
 
 namespace oasis {
@@ -53,12 +64,21 @@ class Readahead {
   struct Options {
     /// Speculative reads issued per demand miss: the next `blocks` blocks
     /// of the missed segment's level-first run. Must be positive (a zero
-    /// window means "no readahead" — simply don't construct one).
+    /// window means "no readahead" — simply don't construct one). With
+    /// `adaptive` set this is the controller's *initial* window and must
+    /// lie inside its [min_blocks, max_blocks] bounds.
     uint32_t blocks = 8;
     /// Background I/O worker threads draining the schedule queue.
     uint32_t threads = 1;
     /// Maximum queued runs; beyond it the oldest (stalest) run is dropped.
     uint32_t queue_capacity = 256;
+    /// Scale the window per segment from observed prefetch accuracy
+    /// instead of using `blocks` verbatim; see AdaptiveReadahead.
+    bool adaptive = false;
+    /// Control-law knobs when `adaptive` is set (initial_blocks is
+    /// overridden by `blocks` above, so there is exactly one knob for the
+    /// starting window).
+    AdaptiveReadahead::Options adaptive_options;
   };
 
   /// Attaches to `pool` (which must outlive this object) and starts the
@@ -73,28 +93,57 @@ class Readahead {
   Readahead(const Readahead&) = delete;
   Readahead& operator=(const Readahead&) = delete;
 
-  /// Queues a speculative run: blocks [first, first + blocks()) of
-  /// `segment` (clipped to the segment's end by Prefetch). Called by the
-  /// pool on every demand miss; callable from any thread. Never blocks on
-  /// I/O — the queue push is the entire cost on the caller.
+  /// Queues a speculative run: blocks [first, first + W) of `segment`
+  /// (clipped to the segment's end by Prefetch), where W is blocks() in
+  /// fixed mode or the controller's current window for the segment in
+  /// adaptive mode (a zero window drops the run; a collapsed window still
+  /// probes occasionally — see AdaptiveReadahead). Called by the pool on
+  /// every demand miss; callable from any thread. Never blocks on I/O —
+  /// the queue push is the entire cost on the caller.
   void Schedule(SegmentId segment, BlockId first);
+
+  /// One resolved prefetch outcome on `segment` (used = a demand Fetch
+  /// consumed the block; wasted otherwise). Called by the pool alongside
+  /// its own ReadaheadStats accounting, possibly with a shard mutex held;
+  /// a no-op in fixed mode, a controller update in adaptive mode. Never
+  /// touches this object's queue mutex.
+  void ReportOutcome(SegmentId segment, bool used) {
+    if (adaptive_ != nullptr) adaptive_->RecordOutcome(segment, used);
+  }
 
   /// Blocks until the queue is empty and no worker is mid-prefetch. For
   /// tests and benches that need deterministic "speculation done" points;
   /// concurrent Schedule() calls can of course re-fill the queue.
   void Drain();
 
-  /// The per-miss speculation window (Options::blocks).
+  /// The configured window (Options::blocks): the per-miss window in
+  /// fixed mode, the initial window in adaptive mode.
   uint32_t blocks() const { return blocks_; }
+
+  /// True when an AdaptiveReadahead controller sizes the window.
+  bool adaptive() const { return adaptive_ != nullptr; }
+
+  /// The live window for `segment`: the controller's current window in
+  /// adaptive mode, blocks() in fixed mode.
+  uint32_t window(SegmentId segment) const {
+    return adaptive_ != nullptr ? adaptive_->window(segment) : blocks_;
+  }
+
+  /// The controller, or nullptr in fixed mode (for stats displays and
+  /// tests; scheduling goes through Schedule, never through this).
+  const AdaptiveReadahead* controller() const { return adaptive_.get(); }
 
   /// Prefetch outcome counters, straight from the pool.
   ReadaheadStats stats() const { return pool_->readahead_stats(); }
 
  private:
-  /// One queued speculative run.
+  /// One queued speculative run. The window is resolved at schedule time
+  /// (the controller's answer for *this* trigger), so a queued run is not
+  /// retroactively resized by later controller decisions.
   struct Run {
     SegmentId segment;
     BlockId first;
+    uint32_t count;
   };
 
   /// Worker loop: pop a run, Prefetch each of its blocks, repeat.
@@ -103,6 +152,8 @@ class Readahead {
   BufferPool* pool_;
   const uint32_t blocks_;
   const uint32_t queue_capacity_;
+  /// Window controller; nullptr in fixed mode.
+  std::unique_ptr<AdaptiveReadahead> adaptive_;
 
   std::mutex mutex_;
   std::condition_variable work_available_;   ///< signalled on push / stop

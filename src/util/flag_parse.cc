@@ -1,0 +1,125 @@
+#include "util/flag_parse.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace oasis {
+namespace util {
+
+namespace {
+
+std::string Quoted(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('\'');
+  out.append(text);
+  out.push_back('\'');
+  return out;
+}
+
+/// %g formatting for range-error messages: std::to_string would render
+/// 1e-300 as "0.000000" and claim the rejected value lies inside the
+/// printed range.
+std::string FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+}  // namespace
+
+StatusOr<int64_t> ParseInt64(std::string_view text, int64_t min,
+                             int64_t max) {
+  // The character-class pre-check keeps this aligned with ParseUint64:
+  // strtoll would silently skip leading whitespace, and the contract is
+  // that the *entire* string is the number.
+  std::string_view digits = text;
+  if (!digits.empty() && (digits.front() == '+' || digits.front() == '-')) {
+    digits.remove_prefix(1);
+  }
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string_view::npos) {
+    return Status::InvalidArgument("expected a base-10 integer, got " +
+                                   Quoted(text));
+  }
+  // strtoll needs a NUL-terminated buffer; flags are short, so the copy
+  // is free compared to one Status allocation.
+  const std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || end == buf.c_str()) {
+    return Status::InvalidArgument("expected a base-10 integer, got " +
+                                   Quoted(text));
+  }
+  if (errno == ERANGE || value < min || value > max) {
+    return Status::OutOfRange("value " + Quoted(text) + " outside [" +
+                              std::to_string(min) + ", " +
+                              std::to_string(max) + "]");
+  }
+  return static_cast<int64_t>(value);
+}
+
+StatusOr<uint64_t> ParseUint64(std::string_view text, uint64_t min,
+                               uint64_t max) {
+  // Reject a sign up front: strtoull would happily wrap "-1" to 2^64-1,
+  // which is exactly the bug class this helper exists to kill.
+  std::string_view digits = text;
+  if (!digits.empty() && digits.front() == '+') digits.remove_prefix(1);
+  if (digits.empty() || digits.front() == '-' ||
+      digits.find_first_not_of("0123456789") != std::string_view::npos) {
+    return Status::InvalidArgument(
+        "expected a non-negative base-10 integer, got " + Quoted(text));
+  }
+  const std::string buf(digits);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument(
+        "expected a non-negative base-10 integer, got " + Quoted(text));
+  }
+  if (errno == ERANGE || value < min || value > max) {
+    return Status::OutOfRange("value " + Quoted(text) + " outside [" +
+                              std::to_string(min) + ", " +
+                              std::to_string(max) + "]");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+StatusOr<uint32_t> ParseUint32(std::string_view text, uint32_t min,
+                               uint32_t max) {
+  OASIS_ASSIGN_OR_RETURN(uint64_t value, ParseUint64(text, min, max));
+  return static_cast<uint32_t>(value);
+}
+
+StatusOr<double> ParseDouble(std::string_view text, double min, double max) {
+  const std::string buf(text);
+  // strtod's extras — hex floats, "inf", "nan" — are never what a flag
+  // means; only plain decimal/scientific notation gets through.
+  if (buf.empty() ||
+      buf.find_first_not_of("0123456789.eE+-") != std::string::npos) {
+    return Status::InvalidArgument("expected a finite decimal number, got " +
+                                   Quoted(text));
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || end == buf.c_str() ||
+      !std::isfinite(value)) {
+    return Status::InvalidArgument("expected a finite decimal number, got " +
+                                   Quoted(text));
+  }
+  if (errno == ERANGE || value < min || value > max) {
+    return Status::OutOfRange("value " + Quoted(text) + " outside [" +
+                              FormatDouble(min) + ", " + FormatDouble(max) +
+                              "]");
+  }
+  return value;
+}
+
+}  // namespace util
+}  // namespace oasis

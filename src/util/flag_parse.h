@@ -1,0 +1,50 @@
+// Strict numeric parsing for command-line flag values.
+//
+// The C strto* family is the wrong tool for flags: it silently accepts
+// trailing garbage ("12abc" -> 12), wraps negative input into huge
+// unsigned values ("-1" -> 4294967295 via strtoul), and signals "no
+// digits at all" only through an easily-missed end-pointer check ("abc"
+// -> 0). A CLI that feeds such values into pool sizes and thread counts
+// turns a typo into a 4-billion-thread request.
+//
+// These helpers parse the *entire* string or fail, reject any sign that
+// the target range cannot represent, and range-check the result, so a
+// caller gets exactly one failure mode: a Status naming what was wrong.
+// They are deliberately library-level (not CLI-local) so they can be unit
+// tested (tests/flag_parse_test.cc) and reused by every binary that
+// parses knobs.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace oasis {
+namespace util {
+
+/// Parses `text` as a base-10 signed integer in [min, max]. The entire
+/// string must be consumed (leading/trailing whitespace included — flags
+/// arrive pre-tokenized); returns InvalidArgument naming the offending
+/// text otherwise, and OutOfRange when the value falls outside [min, max].
+StatusOr<int64_t> ParseInt64(std::string_view text, int64_t min,
+                             int64_t max);
+
+/// ParseInt64 restricted to unsigned targets: additionally rejects any
+/// leading '-' (so "-1" fails instead of wrapping) and checks [min, max]
+/// over the full uint64 range.
+StatusOr<uint64_t> ParseUint64(std::string_view text, uint64_t min,
+                               uint64_t max);
+
+/// ParseUint64 narrowed to uint32 (flag values like thread counts and
+/// block windows).
+StatusOr<uint32_t> ParseUint32(std::string_view text, uint32_t min,
+                               uint32_t max);
+
+/// Parses `text` as a finite decimal double in [min, max] (hex floats,
+/// inf and nan are rejected — no flag of ours means them).
+StatusOr<double> ParseDouble(std::string_view text, double min, double max);
+
+}  // namespace util
+}  // namespace oasis

@@ -1,0 +1,402 @@
+// The adaptive readahead window controller in isolation: deterministic
+// outcome sequences must produce the exact window trajectory the control
+// law promises — additive increase on accurate speculation, multiplicative
+// decrease on waste, hysteresis against flapping, bound clamping, probe
+// recovery from a collapsed window, and fully independent per-segment
+// state. Plus the integration seams: Readahead consulting the controller
+// per scheduled run, the pool feeding outcomes through, and the engine's
+// option surface. The AdaptiveReadahead* suites run under the TSan CI job.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "storage/adaptive_readahead.h"
+#include "storage/block_file.h"
+#include "storage/buffer_pool.h"
+#include "storage/readahead.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+using storage::AdaptiveReadahead;
+
+/// Options with hysteresis and smoothing mostly disabled, so one sample
+/// equals one decision and trajectories are easy to state exactly.
+AdaptiveReadahead::Options PlainOptions() {
+  AdaptiveReadahead::Options options;
+  options.min_blocks = 0;
+  options.max_blocks = 16;
+  options.initial_blocks = 4;
+  options.sample_outcomes = 4;
+  options.ewma_alpha = 1.0;  // EWMA == the latest sample
+  options.grow_threshold = 0.60;
+  options.shrink_threshold = 0.30;
+  options.grow_step = 2;
+  options.grow_hysteresis = 1;
+  options.shrink_hysteresis = 1;
+  options.probe_interval = 4;
+  options.probe_blocks = 1;
+  return options;
+}
+
+/// Feeds `n` complete samples of all-used / all-wasted outcomes.
+void FeedSamples(AdaptiveReadahead& ctl, storage::SegmentId seg, int n,
+                 bool used, uint32_t sample_outcomes = 4) {
+  for (int s = 0; s < n; ++s) {
+    for (uint32_t i = 0; i < sample_outcomes; ++i) ctl.RecordOutcome(seg, used);
+  }
+}
+
+TEST(AdaptiveReadahead, AdditiveIncreaseOnAccurateSpeculation) {
+  AdaptiveReadahead ctl(1, PlainOptions());
+  EXPECT_EQ(ctl.window(0), 4u);
+  FeedSamples(ctl, 0, 1, /*used=*/true);
+  EXPECT_EQ(ctl.window(0), 6u) << "one accurate sample grows by grow_step";
+  FeedSamples(ctl, 0, 2, /*used=*/true);
+  EXPECT_EQ(ctl.window(0), 10u);
+  // Clamped at max_blocks no matter how long the streak runs.
+  FeedSamples(ctl, 0, 10, /*used=*/true);
+  EXPECT_EQ(ctl.window(0), 16u);
+  const AdaptiveReadahead::SegmentSnapshot snap = ctl.snapshot(0);
+  EXPECT_EQ(snap.samples, 13u);
+  EXPECT_DOUBLE_EQ(snap.ewma, 1.0);
+  EXPECT_EQ(snap.shrinks, 0u);
+}
+
+TEST(AdaptiveReadahead, MultiplicativeDecreaseOnWaste) {
+  AdaptiveReadahead ctl(1, PlainOptions());
+  FeedSamples(ctl, 0, 1, /*used=*/false);
+  EXPECT_EQ(ctl.window(0), 2u) << "one wasted sample halves the window";
+  FeedSamples(ctl, 0, 1, /*used=*/false);
+  EXPECT_EQ(ctl.window(0), 1u);
+  FeedSamples(ctl, 0, 1, /*used=*/false);
+  EXPECT_EQ(ctl.window(0), 0u) << "halving from 1 collapses speculation";
+  const AdaptiveReadahead::SegmentSnapshot snap = ctl.snapshot(0);
+  EXPECT_EQ(snap.shrinks, 3u);
+  EXPECT_EQ(snap.grows, 0u);
+}
+
+TEST(AdaptiveReadahead, MinBlocksFloorsTheCollapse) {
+  AdaptiveReadahead::Options options = PlainOptions();
+  options.min_blocks = 2;
+  AdaptiveReadahead ctl(1, options);
+  FeedSamples(ctl, 0, 8, /*used=*/false);
+  EXPECT_EQ(ctl.window(0), 2u) << "window never drops below min_blocks";
+  EXPECT_EQ(ctl.WindowForSchedule(0), 2u) << "and never needs a probe";
+}
+
+TEST(AdaptiveReadahead, NeutralBandHoldsTheWindow) {
+  AdaptiveReadahead ctl(1, PlainOptions());
+  // 2 used / 2 wasted = 0.5, strictly between the thresholds: no move,
+  // however many samples arrive.
+  for (int s = 0; s < 6; ++s) {
+    ctl.RecordOutcome(0, true);
+    ctl.RecordOutcome(0, true);
+    ctl.RecordOutcome(0, false);
+    ctl.RecordOutcome(0, false);
+  }
+  EXPECT_EQ(ctl.window(0), 4u);
+  const AdaptiveReadahead::SegmentSnapshot snap = ctl.snapshot(0);
+  EXPECT_EQ(snap.grows + snap.shrinks, 0u);
+  EXPECT_EQ(snap.samples, 6u);
+}
+
+TEST(AdaptiveReadahead, ShrinkHysteresisAbsorbsOneBadSample) {
+  AdaptiveReadahead::Options options = PlainOptions();
+  options.shrink_hysteresis = 2;
+  AdaptiveReadahead ctl(1, options);
+  FeedSamples(ctl, 0, 1, /*used=*/false);
+  EXPECT_EQ(ctl.window(0), 4u) << "first bad sample only arms the streak";
+  // A good sample in between resets the streak (via the grow branch)...
+  FeedSamples(ctl, 0, 1, /*used=*/true);
+  EXPECT_EQ(ctl.window(0), 6u);
+  FeedSamples(ctl, 0, 1, /*used=*/false);
+  EXPECT_EQ(ctl.window(0), 6u) << "streak restarted, still absorbed";
+  // ...and only two *consecutive* bad samples shrink.
+  FeedSamples(ctl, 0, 1, /*used=*/false);
+  EXPECT_EQ(ctl.window(0), 3u);
+}
+
+TEST(AdaptiveReadahead, NeutralSampleResetsBothStreaks) {
+  AdaptiveReadahead::Options options = PlainOptions();
+  options.shrink_hysteresis = 2;
+  options.grow_hysteresis = 2;
+  AdaptiveReadahead ctl(1, options);
+  auto neutral = [&] {
+    ctl.RecordOutcome(0, true);
+    ctl.RecordOutcome(0, true);
+    ctl.RecordOutcome(0, false);
+    ctl.RecordOutcome(0, false);
+  };
+  // bad, neutral, bad, neutral, ... never two consecutive: no shrink.
+  for (int i = 0; i < 4; ++i) {
+    FeedSamples(ctl, 0, 1, /*used=*/false);
+    neutral();
+  }
+  EXPECT_EQ(ctl.window(0), 4u);
+  // Same for grows.
+  for (int i = 0; i < 4; ++i) {
+    FeedSamples(ctl, 0, 1, /*used=*/true);
+    neutral();
+  }
+  EXPECT_EQ(ctl.window(0), 4u);
+}
+
+TEST(AdaptiveReadahead, EwmaSmoothsRegimeChanges) {
+  AdaptiveReadahead::Options options = PlainOptions();
+  options.ewma_alpha = 0.4;
+  AdaptiveReadahead ctl(1, options);
+  // A long accurate phase pins the EWMA at 1.0 and the window at max.
+  FeedSamples(ctl, 0, 10, /*used=*/true);
+  EXPECT_EQ(ctl.window(0), 16u);
+  // One wasted sample moves the EWMA to 0.6 — with alpha 0.4 that is
+  // still at the grow threshold, not below the shrink one: no shrink yet.
+  FeedSamples(ctl, 0, 1, /*used=*/false);
+  EXPECT_EQ(ctl.window(0), 16u);
+  EXPECT_NEAR(ctl.snapshot(0).ewma, 0.6, 1e-9);
+  // Sustained waste works the EWMA down through the band and shrinks.
+  FeedSamples(ctl, 0, 4, /*used=*/false);
+  EXPECT_LT(ctl.window(0), 16u);
+}
+
+TEST(AdaptiveReadahead, CollapsedWindowProbesAndRecovers) {
+  AdaptiveReadahead ctl(1, PlainOptions());
+  FeedSamples(ctl, 0, 3, /*used=*/false);
+  ASSERT_EQ(ctl.window(0), 0u);
+
+  // Every probe_interval-th schedule issues a probe_blocks probe; the
+  // rest are suppressed.
+  int probes = 0;
+  for (int i = 0; i < 12; ++i) {
+    const uint32_t w = ctl.WindowForSchedule(0);
+    EXPECT_TRUE(w == 0 || w == 1) << w;
+    probes += w != 0;
+  }
+  EXPECT_EQ(probes, 3) << "one probe per probe_interval=4 schedules";
+  EXPECT_EQ(ctl.snapshot(0).probes, 3u);
+
+  // The regime turns sequential: probe outcomes land, the EWMA recovers,
+  // and the window re-opens from zero.
+  FeedSamples(ctl, 0, 2, /*used=*/true);
+  EXPECT_EQ(ctl.window(0), 4u) << "0 -> 2 -> 4 by additive increase";
+  EXPECT_EQ(ctl.WindowForSchedule(0), 4u);
+}
+
+TEST(AdaptiveReadahead, ProbingDisabledMakesCollapseFinal) {
+  AdaptiveReadahead::Options options = PlainOptions();
+  options.probe_interval = 0;
+  AdaptiveReadahead ctl(1, options);
+  FeedSamples(ctl, 0, 3, /*used=*/false);
+  ASSERT_EQ(ctl.window(0), 0u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(ctl.WindowForSchedule(0), 0u);
+  EXPECT_EQ(ctl.snapshot(0).probes, 0u);
+}
+
+TEST(AdaptiveReadahead, SegmentsAdaptIndependently) {
+  AdaptiveReadahead ctl(3, PlainOptions());
+  FeedSamples(ctl, 0, 5, /*used=*/true);   // hot sequential segment
+  FeedSamples(ctl, 2, 5, /*used=*/false);  // scattered segment
+  EXPECT_EQ(ctl.window(0), 14u);
+  EXPECT_EQ(ctl.window(1), 4u) << "untouched segment keeps its initial";
+  EXPECT_EQ(ctl.window(2), 0u);
+}
+
+TEST(AdaptiveReadahead, OutOfRangeSegmentIsInert) {
+  AdaptiveReadahead ctl(1, PlainOptions());
+  EXPECT_EQ(ctl.window(7), 0u);
+  EXPECT_EQ(ctl.WindowForSchedule(7), 0u);
+  ctl.RecordOutcome(7, true);  // must not crash or touch segment 0
+  EXPECT_EQ(ctl.window(0), 4u);
+  EXPECT_EQ(ctl.snapshot(7).samples, 0u);
+}
+
+TEST(AdaptiveReadahead, ConcurrentOutcomesAndSchedulesStaySane) {
+  // Hammer one controller from several threads; the window must stay
+  // inside its bounds and the counters coherent. (TSan coverage for the
+  // controller surface.)
+  AdaptiveReadahead::Options options = PlainOptions();
+  options.max_blocks = 8;
+  AdaptiveReadahead ctl(2, options);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&ctl, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const storage::SegmentId seg = (t + i) % 2;
+        ctl.RecordOutcome(seg, (i & 3) != 0);
+        const uint32_t w = ctl.WindowForSchedule(seg);
+        EXPECT_LE(w, 8u);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_LE(ctl.window(0), 8u);
+  EXPECT_LE(ctl.window(1), 8u);
+  EXPECT_GE(ctl.snapshot(0).samples + ctl.snapshot(1).samples, 1u);
+}
+
+// --- Through the Readahead + pool -------------------------------------------
+
+constexpr uint32_t kBlock = 256;
+
+storage::BlockFile MakeBlockFile(const std::string& path, uint32_t n) {
+  auto file = storage::BlockFile::Create(path, kBlock);
+  EXPECT_TRUE(file.ok());
+  std::vector<uint8_t> buf(kBlock);
+  for (uint32_t b = 0; b < n; ++b) {
+    for (uint32_t i = 0; i < kBlock; ++i) {
+      buf[i] = static_cast<uint8_t>((b * 31 + i) & 0xFF);
+    }
+    EXPECT_TRUE(file->AppendBlock(buf.data()).ok());
+  }
+  OASIS_EXPECT_OK(file->Flush());
+  file->Close();
+  auto reopened = storage::BlockFile::Open(path, kBlock);
+  EXPECT_TRUE(reopened.ok());
+  return std::move(reopened).value();
+}
+
+TEST(AdaptiveReadaheadPool, SequentialScanGrowsScatterCollapses) {
+  util::TempDir dir("ada-pool");
+  constexpr uint32_t kBlocks = 512;
+  storage::BlockFile file = MakeBlockFile(dir.File("a.blk"), kBlocks);
+  storage::BufferPool pool(64 * kBlock, kBlock, 1);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+
+  storage::Readahead::Options options;
+  options.blocks = 4;
+  options.adaptive = true;
+  options.adaptive_options.max_blocks = 16;
+  options.adaptive_options.sample_outcomes = 8;
+  storage::Readahead readahead(&pool, options);
+  ASSERT_TRUE(readahead.adaptive());
+  EXPECT_EQ(readahead.window(*seg), 4u);
+
+  // A full sequential sweep: speculation keeps landing, the window must
+  // have grown past its initial by the end. Draining after every fetch
+  // removes the race between the demand thread and the background worker
+  // (on a warm OS cache demand misses are near-free, so an undrained
+  // sweep can outrun its own speculation) — the controller sees the
+  // outcome stream a disk-bound scan would produce.
+  for (uint32_t b = 0; b < kBlocks; ++b) {
+    ASSERT_TRUE(pool.Fetch(*seg, b).ok());
+    readahead.Drain();
+  }
+  EXPECT_GT(readahead.window(*seg), 4u);
+  const storage::ReadaheadStats seq_stats = readahead.stats();
+  EXPECT_GT(seq_stats.used, 0u);
+
+  // Scattered traffic in short 2-block hops: almost everything the
+  // (initially wide) window speculates is wasted, so the controller must
+  // walk the window down to zero.
+  util::Random rng(17);
+  for (int i = 0; i < 4000; ++i) {
+    const uint32_t start = static_cast<uint32_t>(rng.Uniform(kBlocks - 2));
+    ASSERT_TRUE(pool.Fetch(*seg, start).ok());
+    ASSERT_TRUE(pool.Fetch(*seg, start + 1).ok());
+    readahead.Drain();
+  }
+  EXPECT_EQ(readahead.window(*seg), 0u)
+      << "scattered phase must collapse the window";
+  EXPECT_GT(readahead.controller()->snapshot(*seg).shrinks, 0u);
+}
+
+TEST(AdaptiveReadaheadPool, FixedModeKeepsPr4Behaviour) {
+  util::TempDir dir("ada-fixed");
+  storage::BlockFile file = MakeBlockFile(dir.File("a.blk"), 64);
+  storage::BufferPool pool(32 * kBlock, kBlock);
+  auto seg = pool.RegisterSegment("a", &file);
+  ASSERT_TRUE(seg.ok());
+  storage::Readahead::Options options;
+  options.blocks = 4;  // adaptive stays false
+  storage::Readahead readahead(&pool, options);
+  EXPECT_FALSE(readahead.adaptive());
+  EXPECT_EQ(readahead.controller(), nullptr);
+  EXPECT_EQ(readahead.window(*seg), 4u);
+  ASSERT_TRUE(pool.Fetch(*seg, 10).ok());
+  ASSERT_TRUE(pool.Fetch(*seg, 11).ok());
+  readahead.Drain();
+  EXPECT_EQ(readahead.stats().issued, 4u) << "exactly the fixed window";
+  EXPECT_EQ(readahead.window(*seg), 4u);
+}
+
+// --- Engine option surface --------------------------------------------------
+
+TEST(AdaptiveReadaheadEngine, OptionValidationAndExposure) {
+  util::TempDir dir("ada-engine");
+  workload::ProteinDatabaseOptions db_options;
+  db_options.target_residues = 5000;
+  auto db = workload::GenerateProteinDatabase(db_options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(api::Engine::BuildFromDatabase(std::move(db).value(),
+                                             dir.File("idx"), {})
+                  .ok());
+
+  // Adaptive is the default for an enabled readahead.
+  api::EngineOptions adaptive;
+  adaptive.io_mode = api::IoMode::kPooled;
+  adaptive.readahead_blocks = 8;
+  auto engine = api::Engine::Open(dir.File("idx"), adaptive);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_TRUE((*engine)->readahead_adaptive());
+  EXPECT_EQ((*engine)->readahead_blocks(), 8u);
+  ASSERT_NE((*engine)->readahead().controller(), nullptr);
+  EXPECT_EQ((*engine)->readahead().controller()->options().max_blocks, 64u);
+  for (storage::SegmentId seg = 0; seg < 3; ++seg) {
+    EXPECT_EQ((*engine)->readahead().window(seg), 8u);
+  }
+
+  // Fixed mode on request.
+  api::EngineOptions fixed;
+  fixed.io_mode = api::IoMode::kPooled;
+  fixed.readahead_blocks = 8;
+  fixed.readahead_adaptive = false;
+  auto fixed_engine = api::Engine::Open(dir.File("idx"), fixed);
+  ASSERT_TRUE(fixed_engine.ok());
+  EXPECT_FALSE((*fixed_engine)->readahead_adaptive());
+
+  // Disabled readahead never reports adaptive.
+  api::EngineOptions off;
+  off.io_mode = api::IoMode::kPooled;
+  auto off_engine = api::Engine::Open(dir.File("idx"), off);
+  ASSERT_TRUE(off_engine.ok());
+  EXPECT_FALSE((*off_engine)->readahead_adaptive());
+
+  // The default max (0 = auto) floors at the configured initial window,
+  // so a deep fixed-style window stays valid under the adaptive default.
+  api::EngineOptions deep = adaptive;
+  deep.readahead_blocks = 128;
+  auto deep_engine = api::Engine::Open(dir.File("idx"), deep);
+  ASSERT_TRUE(deep_engine.ok()) << deep_engine.status().ToString();
+  EXPECT_EQ((*deep_engine)->readahead().controller()->options().max_blocks,
+            128u);
+
+  // Bound validation: max out of range, min > max, initial outside.
+  api::EngineOptions bad = adaptive;
+  bad.readahead_max_blocks = api::kMaxReadaheadBlocks + 1;
+  EXPECT_TRUE(api::Engine::Open(dir.File("idx"), bad)
+                  .status().IsInvalidArgument());
+  bad = adaptive;
+  bad.readahead_min_blocks = 65;
+  bad.readahead_max_blocks = 64;
+  EXPECT_TRUE(api::Engine::Open(dir.File("idx"), bad)
+                  .status().IsInvalidArgument());
+  bad = adaptive;
+  bad.readahead_blocks = 100;
+  bad.readahead_max_blocks = 64;
+  EXPECT_TRUE(api::Engine::Open(dir.File("idx"), bad)
+                  .status().IsInvalidArgument());
+  // The same out-of-bounds initial is fine when adaptivity is off (it is
+  // the plain fixed window then).
+  bad.readahead_adaptive = false;
+  EXPECT_TRUE(api::Engine::Open(dir.File("idx"), bad).ok());
+}
+
+}  // namespace
+}  // namespace oasis

@@ -418,6 +418,41 @@ TEST(Engine, RejectsBadBlockSize) {
   EXPECT_TRUE(odd.status().IsInvalidArgument()) << odd.status().ToString();
 }
 
+TEST(Engine, RejectsDuplicateSequenceIdsAtBuildTime) {
+  // Two FASTA records with the same id would persist a catalog whose
+  // name-based lookups are silently ambiguous; the build must refuse and
+  // name the offending id.
+  const seq::Alphabet& alphabet = seq::Alphabet::Dna();
+  std::vector<seq::Sequence> sequences;
+  for (const char* text : {"AGTACGCCTAG", "CCGTAGAGATTA"}) {
+    auto s = seq::Sequence::FromString(alphabet, "dup1", text);
+    ASSERT_TRUE(s.ok());
+    sequences.push_back(std::move(s).value());
+  }
+  auto db = seq::SequenceDatabase::Build(alphabet, std::move(sequences));
+  ASSERT_TRUE(db.ok());
+
+  util::TempDir dir("engine-dup-id");
+  EngineOptions options;
+  options.matrix = &score::SubstitutionMatrix::UnitDna();
+  auto built =
+      Engine::BuildFromDatabase(std::move(db).value(), dir.path(), options);
+  ASSERT_FALSE(built.ok());
+  EXPECT_TRUE(built.status().IsInvalidArgument())
+      << built.status().ToString();
+  EXPECT_NE(built.status().ToString().find("dup1"), std::string::npos)
+      << "error must name the duplicated id: " << built.status().ToString();
+  // Nothing half-built: the refusal happens before the index is packed.
+  EXPECT_FALSE(std::ifstream(dir.path() + "/catalog.meta").good());
+
+  // The same ids must also be rejected by a direct catalog save.
+  api::SequenceCatalog catalog(
+      {api::CatalogEntry{"x", "", 4}, api::CatalogEntry{"x", "", 6}});
+  auto saved = catalog.Save(dir.path());
+  ASSERT_FALSE(saved.ok());
+  EXPECT_TRUE(saved.IsInvalidArgument());
+}
+
 TEST(Engine, RejectsInvalidQuery) {
   EngineFixture fx(2000);
   auto empty = fx.engine->Search(SearchRequest(std::vector<seq::Symbol>{}));

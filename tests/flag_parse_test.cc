@@ -1,0 +1,110 @@
+// util/flag_parse.h: the strict numeric parsing behind oasis_cli's flags.
+// The bug class under test: strtoul-family parsing that silently wrapped
+// "--threads -1" to 4294967295 and read "--pool-mb abc" as 0.
+
+#include "util/flag_parse.h"
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace util {
+namespace {
+
+TEST(FlagParse, Uint32AcceptsPlainIntegers) {
+  auto v = ParseUint32("42", 1, 100);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42u);
+  EXPECT_EQ(*ParseUint32("1", 1, 100), 1u);
+  EXPECT_EQ(*ParseUint32("100", 1, 100), 100u);
+  EXPECT_EQ(*ParseUint32("+7", 1, 100), 7u);  // explicit plus is fine
+}
+
+TEST(FlagParse, Uint32RejectsNegativeInsteadOfWrapping) {
+  // The regression: strtoul("-1") wraps to 4294967295.
+  auto v = ParseUint32("-1", 1, std::numeric_limits<uint32_t>::max());
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsInvalidArgument());
+  EXPECT_FALSE(ParseUint32("-42", 0, 100).ok());
+}
+
+TEST(FlagParse, Uint32RejectsMalformedInput) {
+  for (const char* bad : {"", "abc", "12abc", "abc12", "1.5", "0x10", " 7",
+                          "7 ", "1e3", "--3", "++1"}) {
+    auto v = ParseUint32(bad, 0, 1000000);
+    EXPECT_FALSE(v.ok()) << "'" << bad << "' must not parse";
+    EXPECT_TRUE(v.status().IsInvalidArgument()) << bad;
+  }
+}
+
+TEST(FlagParse, Uint32EnforcesRange) {
+  EXPECT_TRUE(ParseUint32("0", 1, 8).status().IsOutOfRange());
+  EXPECT_TRUE(ParseUint32("9", 1, 8).status().IsOutOfRange());
+  // Values past uint64 range are out of range, not wrapped.
+  EXPECT_TRUE(
+      ParseUint32("99999999999999999999999", 0, 100).status().IsOutOfRange());
+}
+
+TEST(FlagParse, Uint64HandlesLargeValues) {
+  auto v = ParseUint64("1099511627776", 0, 1ull << 41);  // 1 TiB
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 1ull << 40);
+  EXPECT_TRUE(ParseUint64("18446744073709551616", 0,
+                          std::numeric_limits<uint64_t>::max())
+                  .status().IsOutOfRange());  // 2^64
+}
+
+TEST(FlagParse, Int64AcceptsSignsAndEnforcesRange) {
+  EXPECT_EQ(*ParseInt64("-5", -10, 10), -5);
+  EXPECT_EQ(*ParseInt64("5", -10, 10), 5);
+  EXPECT_TRUE(ParseInt64("-11", -10, 10).status().IsOutOfRange());
+  EXPECT_TRUE(ParseInt64("11", -10, 10).status().IsOutOfRange());
+  EXPECT_FALSE(ParseInt64("1x", -10, 10).ok());
+  EXPECT_FALSE(ParseInt64("", -10, 10).ok());
+  // Whole-string contract, same as the unsigned parsers: strtoll's
+  // leading-whitespace skipping must not leak through.
+  EXPECT_FALSE(ParseInt64(" 5", -10, 10).ok());
+  EXPECT_FALSE(ParseInt64("5 ", -10, 10).ok());
+  EXPECT_FALSE(ParseInt64("+-5", -10, 10).ok());
+}
+
+TEST(FlagParse, DoubleAcceptsDecimalAndScientific) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.5", 0.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e-3", 0.0, 10.0), 1e-3);
+  EXPECT_DOUBLE_EQ(*ParseDouble("10", 0.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2.5", -10.0, 10.0), -2.5);
+}
+
+TEST(FlagParse, DoubleRejectsMalformedAndNonFinite) {
+  for (const char* bad : {"", "abc", "1.5x", "nan", "inf", "-inf", "0x1p3",
+                          "1.2.3", "1e", " 1"}) {
+    auto v = ParseDouble(bad, -1e30, 1e30);
+    EXPECT_FALSE(v.ok()) << "'" << bad << "' must not parse";
+  }
+  // The regression: "--evalue abc" used to strtod to 0.0 and silently
+  // search with an E-value cutoff of zero.
+  EXPECT_TRUE(ParseDouble("abc", 0.0, 1e12).status().IsInvalidArgument());
+}
+
+TEST(FlagParse, DoubleEnforcesRange) {
+  EXPECT_TRUE(ParseDouble("-0.1", 0.0, 1.0).status().IsOutOfRange());
+  EXPECT_TRUE(ParseDouble("1.1", 0.0, 1.0).status().IsOutOfRange());
+  EXPECT_TRUE(ParseDouble("1e400", 0.0, 1e308).status().IsOutOfRange() ||
+              ParseDouble("1e400", 0.0, 1e308).status().IsInvalidArgument());
+}
+
+TEST(FlagParse, DoubleRangeMessageShowsRealBounds) {
+  // A tiny positive minimum must not print as "0.000000" — the message
+  // would then claim the rejected value sits inside the printed range.
+  auto v = ParseDouble("0", 1e-300, 1e12);
+  ASSERT_TRUE(v.status().IsOutOfRange());
+  const std::string message = v.status().ToString();
+  EXPECT_EQ(message.find("0.000000"), std::string::npos) << message;
+  EXPECT_NE(message.find("1e-300"), std::string::npos) << message;
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace oasis

@@ -412,21 +412,29 @@ TEST(ReadaheadParity, DisabledAndEnabledProduceIdenticalStreams) {
   for (const auto& motif : *motifs) queries.push_back(motif.symbols);
   built->reset();  // reopen below with explicit per-config options
 
-  // The shipping default (memo on, readahead off), everything off, and
-  // everything on must emit byte-for-byte identical result streams.
+  // The shipping default (memo on, readahead off), everything off,
+  // fixed-window readahead, and adaptive-window readahead must emit
+  // byte-for-byte identical result streams.
   api::EngineOptions plain;
   plain.fetch_memo = false;
-  api::EngineOptions sped;
-  sped.fetch_memo = true;
-  sped.readahead_blocks = 8;
+  api::EngineOptions fixed;
+  fixed.fetch_memo = true;
+  fixed.readahead_blocks = 8;
+  fixed.readahead_adaptive = false;
+  api::EngineOptions adaptive;
+  adaptive.fetch_memo = true;
+  adaptive.readahead_blocks = 8;
+  adaptive.readahead_adaptive = true;  // the default, spelled out
   ParityRun base = RunWithOptions(dir.File("idx"), queries, {});
   ParityRun off = RunWithOptions(dir.File("idx"), queries, plain);
-  ParityRun on = RunWithOptions(dir.File("idx"), queries, sped);
+  ParityRun on = RunWithOptions(dir.File("idx"), queries, fixed);
+  ParityRun ada = RunWithOptions(dir.File("idx"), queries, adaptive);
 
   ASSERT_EQ(base.results.size(), off.results.size());
   ASSERT_EQ(base.results.size(), on.results.size());
+  ASSERT_EQ(base.results.size(), ada.results.size());
   for (size_t i = 0; i < base.results.size(); ++i) {
-    for (const ParityRun* other : {&off, &on}) {
+    for (const ParityRun* other : {&off, &on, &ada}) {
       const core::OasisResult& a = base.results[i];
       const core::OasisResult& b = other->results[i];
       EXPECT_EQ(a.sequence_id, b.sequence_id) << "result " << i;
