@@ -1,0 +1,214 @@
+// Warm daemon vs cold per-query engine open — the case for oasisd.
+//
+// The daemon's pitch is that the per-query fixed costs of the CLI loop —
+// reopen the index, reallocate the pool, rewarm it from a cold start —
+// are paid once instead of per query. This bench measures exactly that
+// gap on the standard bench workload and enforces the acceptance floor
+// through its exit code:
+//
+//   phase 1  cold loop: every query pays Engine::Open + search, the
+//            "for q in queries; do oasis_cli search; done" shape;
+//   phase 2  warm daemon: one in-process Server over the already-open
+//            engine, the same queries over real sockets with the result
+//            cache bypassed (nc=1) so every request runs the search.
+//            Floor: warm QPS >= 2x cold QPS.
+//   phase 3  result cache: the same queries, cache enabled, kRounds
+//            rounds. Every round after the first must be served from the
+//            cache, so hits/lookups = (kRounds-1)/kRounds exactly —
+//            deterministic, gated in ci/bench_baseline.json
+//            (daemon.cache.hit_ratio over daemon.cache.lookups);
+//   phase 4  deadline overhead: the undeadlined local search loop vs the
+//            same loop under a far-future deadline. The poll is one
+//            predictable branch per queue pop, so the ratio is recorded
+//            (daemon.deadline_overhead) but not gated — wall-clock noise
+//            on shared runners dwarfs it.
+//
+// Scaling knobs: the usual bench_common environment variables.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace oasis {
+namespace bench {
+namespace {
+
+/// Acceptance floor: the warm daemon must answer at least this many times
+/// the cold-loop QPS.
+constexpr double kRequiredSpeedup = 2.0;
+
+/// Cache-phase rounds; round 1 populates, rounds 2..k replay.
+constexpr int kRounds = 11;
+
+/// One full pass over the queries against a live daemon. Returns the
+/// total hit count (sanity: every pass must see the same stream).
+uint64_t RunPass(server::DaemonClient& client,
+                 const std::vector<std::string>& queries, bool no_cache) {
+  uint64_t hits = 0;
+  for (const std::string& text : queries) {
+    server::WireRequest wire;
+    wire.query = text;
+    wire.no_cache = no_cache;
+    auto outcome =
+        client.Query(wire, [&hits](std::string_view) {
+          ++hits;
+          return true;
+        });
+    OASIS_CHECK(outcome.ok()) << outcome.status().ToString();
+  }
+  return hits;
+}
+
+/// The cold-CLI shape: open the index, run one query, drop the engine.
+double MeasureColdLoop(const BenchEnv& env,
+                       const std::vector<std::string>& queries) {
+  api::EngineOptions options;
+  options.matrix = env.matrix;
+  options.io_mode = api::IoMode::kPooled;
+  util::Timer timer;
+  uint64_t hits = 0;
+  for (const std::string& text : queries) {
+    auto engine = api::Engine::Open(env.dir->path(), options);
+    OASIS_CHECK(engine.ok()) << engine.status().ToString();
+    auto request = api::SearchRequest::FromText((*engine)->alphabet(), text);
+    OASIS_CHECK(request.ok()) << request.status().ToString();
+    auto batch = (*engine)->SearchAll(*request);
+    OASIS_CHECK(batch.ok()) << batch.status().ToString();
+    hits += batch->results.size();
+  }
+  const double seconds = timer.ElapsedSeconds();
+  OASIS_CHECK_GT(hits, 0u);
+  return static_cast<double>(queries.size()) / seconds;
+}
+
+/// Local search loop over the resident engine, optionally deadlined far
+/// in the future (the poll runs, the abort never fires).
+double MeasureLocalLoop(const BenchEnv& env,
+                        const std::vector<std::string>& queries,
+                        bool with_deadline) {
+  util::Timer timer;
+  uint64_t hits = 0;
+  for (const std::string& text : queries) {
+    auto request = api::SearchRequest::FromText(env.engine->alphabet(), text);
+    OASIS_CHECK(request.ok()) << request.status().ToString();
+    if (with_deadline) {
+      request->Deadline(std::chrono::steady_clock::now() +
+                        std::chrono::hours(1));
+    }
+    auto batch = env.engine->SearchAll(*request);
+    OASIS_CHECK(batch.ok()) << batch.status().ToString();
+    hits += batch->results.size();
+  }
+  const double seconds = timer.ElapsedSeconds();
+  OASIS_CHECK_GT(hits, 0u);
+  return static_cast<double>(queries.size()) / seconds;
+}
+
+int Run() {
+  BenchEnv env = MakeProteinEnv();
+  PrintHeader("oasisd: warm daemon vs cold per-query open", env);
+
+  std::vector<std::string> queries;
+  for (const workload::MotifQuery& q : env.queries) {
+    queries.push_back(env.engine->alphabet().Decode(q.symbols));
+  }
+
+  // Phase 1: the cold loop.
+  const double cold_qps = MeasureColdLoop(env, queries);
+
+  // Phase 2: the warm daemon, cache bypassed.
+  server::ServerOptions server_options;
+  auto server = server::Server::Start({{"bench", env.engine.get()}},
+                                      server_options);
+  OASIS_CHECK(server.ok()) << server.status().ToString();
+  auto client = server::DaemonClient::Connect("127.0.0.1", (*server)->port());
+  OASIS_CHECK(client.ok()) << client.status().ToString();
+
+  const uint64_t warmup_hits = RunPass(*client, queries, /*no_cache=*/true);
+  util::Timer warm_timer;
+  constexpr int kWarmPasses = 3;
+  for (int pass = 0; pass < kWarmPasses; ++pass) {
+    const uint64_t hits = RunPass(*client, queries, /*no_cache=*/true);
+    OASIS_CHECK_EQ(hits, warmup_hits);
+  }
+  const double warm_qps = static_cast<double>(queries.size()) * kWarmPasses /
+                          warm_timer.ElapsedSeconds();
+  const double speedup = warm_qps / cold_qps;
+
+  // Phase 3: the result cache. Round 1 populates, the rest replay.
+  uint64_t round_hits = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const uint64_t hits = RunPass(*client, queries, /*no_cache=*/false);
+    if (round == 0) {
+      round_hits = hits;
+    } else {
+      OASIS_CHECK_EQ(hits, round_hits);  // cached replays are identical
+    }
+  }
+  const server::ResultCache::Stats cache = (*server)->cache_stats();
+  const double hit_ratio =
+      cache.lookups == 0
+          ? 0.0
+          : static_cast<double>(cache.hits) / static_cast<double>(cache.lookups);
+
+  // Phase 4: deadline overhead on the always-completing path.
+  const double undeadlined_qps =
+      MeasureLocalLoop(env, queries, /*with_deadline=*/false);
+  const double deadlined_qps =
+      MeasureLocalLoop(env, queries, /*with_deadline=*/true);
+  const double deadline_overhead = undeadlined_qps / deadlined_qps;
+
+  (*server)->Shutdown();
+
+  std::printf("\n%-28s %12s\n", "phase", "QPS");
+  std::printf("%-28s %12.1f\n", "cold open-per-query", cold_qps);
+  std::printf("%-28s %12.1f   (%.2fx cold, floor %.1fx)\n", "warm daemon",
+              warm_qps, speedup, kRequiredSpeedup);
+  std::printf("%-28s %12.1f\n", "local undeadlined", undeadlined_qps);
+  std::printf("%-28s %12.1f   (overhead %.3fx)\n", "local far deadline",
+              deadlined_qps, deadline_overhead);
+  std::printf("\nresult cache: %llu lookups, %llu hits (ratio %.6f, expect "
+              "%.6f), %llu insertions\n",
+              static_cast<unsigned long long>(cache.lookups),
+              static_cast<unsigned long long>(cache.hits), hit_ratio,
+              static_cast<double>(kRounds - 1) / kRounds,
+              static_cast<unsigned long long>(cache.insertions));
+
+  // The gate prefixes every key with the bench name, so these publish as
+  // daemon.cache.hit_ratio etc. (ci/bench_baseline.json).
+  WriteBenchJson("daemon",
+                 {{"cache.hit_ratio", hit_ratio},
+                  {"warm_qps", warm_qps},
+                  {"cold_qps", cold_qps},
+                  {"warm_vs_cold", speedup},
+                  {"deadline_overhead", deadline_overhead}},
+                 {{"cache.lookups", cache.lookups}});
+
+  // The floors this binary itself enforces.
+  bool ok = true;
+  if (speedup < kRequiredSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: warm daemon %.2fx cold, below the %.1fx floor\n",
+                 speedup, kRequiredSpeedup);
+    ok = false;
+  }
+  const uint64_t expected_hits =
+      static_cast<uint64_t>(kRounds - 1) * queries.size();
+  if (cache.hits != expected_hits) {
+    std::fprintf(stderr,
+                 "FAIL: cache served %llu of %llu expected replays\n",
+                 static_cast<unsigned long long>(cache.hits),
+                 static_cast<unsigned long long>(expected_hits));
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oasis
+
+int main() { return oasis::bench::Run(); }

@@ -29,6 +29,12 @@ import sys
 
 HEADERS = [
     "src/api/engine.h",
+    "src/server/client.h",
+    "src/server/flags.h",
+    "src/server/result_cache.h",
+    "src/server/server.h",
+    "src/server/session.h",
+    "src/server/wire.h",
     "src/storage/adaptive_readahead.h",
     "src/storage/buffer_pool.h",
     "src/storage/page_source.h",
@@ -36,6 +42,7 @@ HEADERS = [
     "src/storage/block_file.h",
     "src/suffix/packed_tree.h",
     "src/suffix/tree_cursor.h",
+    "src/util/stats_json.h",
 ]
 
 # Declaration groups whose FIRST line matches one of these never need a

@@ -1,0 +1,179 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for oasisd using the shipped binaries only.
+#
+# Exercises the full daemon lifecycle over real loopback sockets:
+#
+#   1. build a synthetic protein FASTA and index it with oasis_cli;
+#   2. boot oasisd on an ephemeral port and scrape the port from its
+#      one-line startup banner;
+#   3. parity: `oasis_cli query --connect` must print byte-identical hit
+#      lines to a local `oasis_cli search` over the same index;
+#   4. cached replay: the second identical query is served from the
+#      daemon's result cache and still prints the same hit lines;
+#   5. deadline: a 1 ms per-request deadline on a broad query must cut
+#      the stream short — exit code 3, kDeadlineExceeded;
+#   6. cancel: --cancel-after sends a mid-stream cancel — exit code 4
+#      (or 0 when the stream finished before the cancel landed);
+#   7. concurrency: several clients in parallel against one daemon, all
+#      streams identical to the local baseline;
+#   8. /stats: the daemon's stats document parses as JSON and names the
+#      served index;
+#   9. SIGTERM: graceful drain, daemon exits 0.
+#
+# CI runs this against an ASan+UBSan build (.github/workflows/ci.yml,
+# daemon-integration job) so the whole daemon process is under the
+# sanitizer across startup, concurrent serving, and drain. Run locally:
+#
+#   cmake -B build -S . && cmake --build build -j --target oasisd oasis_cli
+#   bash ci/daemon_smoke.sh
+#
+# BUILD_DIR overrides the build tree (default: ./build).
+set -euo pipefail
+
+BUILD_DIR=${BUILD_DIR:-build}
+CLI=$BUILD_DIR/oasis_cli
+DAEMON=$BUILD_DIR/oasisd
+for bin in "$CLI" "$DAEMON"; do
+  if [ ! -x "$bin" ]; then
+    echo "missing binary: $bin (build the oasisd and oasis_cli targets)" >&2
+    exit 1
+  fi
+done
+
+WORK=$(mktemp -d)
+DAEMON_PID=
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Strip a query/search transcript down to its hit lines ("NAME score=S
+# query_end=Q target_end=T"): `search` wraps them in a banner and a
+# timing summary, `query` in a hit-count summary — the hit lines are the
+# parity surface.
+hits_only() { grep ' score=' "$1" || true; }
+
+echo "== 1. synthesize and index a protein database"
+python3 - "$WORK/db.fasta" <<'EOF'
+import random, sys
+random.seed(11)
+alphabet = "ACDEFGHIKLMNPQRSTVWY"
+with open(sys.argv[1], "w") as f:
+    for i in range(120):
+        n = random.randint(120, 400)
+        residues = "".join(random.choice(alphabet) for _ in range(n))
+        f.write(f">seq{i}\n{residues}\n")
+EOF
+"$CLI" index "$WORK/db.fasta" "$WORK/ix" --protein > /dev/null
+# The query is a real 13-residue prefix of one database sequence, so a
+# moderate min-score threshold is guaranteed to produce hits.
+QUERY=$(sed -n '8p' "$WORK/db.fasta" | cut -c1-13)
+
+echo "== 2. boot oasisd on an ephemeral port"
+"$DAEMON" --index db="$WORK/ix" --port 0 --result-cache-mb 4 \
+  > "$WORK/daemon.out" 2> "$WORK/daemon.err" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "oasisd listening on" "$WORK/daemon.out" 2>/dev/null && break
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    echo "oasisd died during startup:" >&2
+    cat "$WORK/daemon.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT=$(sed -n 's/^oasisd listening on .*:\([0-9][0-9]*\)$/\1/p' "$WORK/daemon.out")
+if [ -z "$PORT" ]; then
+  echo "could not scrape the port from the startup banner:" >&2
+  cat "$WORK/daemon.out" >&2
+  exit 1
+fi
+echo "   oasisd pid $DAEMON_PID on port $PORT"
+
+echo "== 3. daemon-vs-local streaming parity"
+"$CLI" search "$WORK/ix" "$QUERY" --minscore 15 > "$WORK/local.out"
+"$CLI" query "$QUERY" --connect 127.0.0.1:"$PORT" --ix db --minscore 15 \
+  > "$WORK/daemon1.out"
+hits_only "$WORK/local.out" > "$WORK/local.hits"
+hits_only "$WORK/daemon1.out" > "$WORK/daemon1.hits"
+if [ ! -s "$WORK/local.hits" ]; then
+  echo "local search produced no hits; the smoke query is broken" >&2
+  exit 1
+fi
+diff -u "$WORK/local.hits" "$WORK/daemon1.hits"
+echo "   $(wc -l < "$WORK/local.hits") hit lines, byte-identical"
+
+echo "== 4. cached replay"
+"$CLI" query "$QUERY" --connect 127.0.0.1:"$PORT" --ix db --minscore 15 \
+  > "$WORK/daemon2.out"
+grep -q "served from daemon result cache" "$WORK/daemon2.out" || {
+  echo "second identical query was not served from the result cache" >&2
+  exit 1
+}
+hits_only "$WORK/daemon2.out" > "$WORK/daemon2.hits"
+diff -u "$WORK/local.hits" "$WORK/daemon2.hits"
+
+echo "== 5. per-request deadline cuts the stream short (exit 3)"
+rc=0
+"$CLI" query "$QUERY" --connect 127.0.0.1:"$PORT" --ix db --minscore 8 \
+  --deadline-ms 1 --no-cache > "$WORK/deadline.out" 2> "$WORK/deadline.err" \
+  || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "expected exit 3 (deadline exceeded), got $rc" >&2
+  cat "$WORK/deadline.err" >&2
+  exit 1
+fi
+
+echo "== 6. mid-stream cancel (exit 4, or 0 if the stream won the race)"
+rc=0
+"$CLI" query "$QUERY" --connect 127.0.0.1:"$PORT" --ix db --minscore 8 \
+  --cancel-after 1 --no-cache > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 4 ] && [ "$rc" -ne 0 ]; then
+  echo "expected exit 4 (cancelled) or 0, got $rc" >&2
+  exit 1
+fi
+
+echo "== 7. concurrent clients share the daemon and agree"
+pids=()
+for i in 1 2 3 4 5; do
+  "$CLI" query "$QUERY" --connect 127.0.0.1:"$PORT" --ix db --minscore 15 \
+    --no-cache > "$WORK/conc$i.out" &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do wait "$pid"; done
+for i in 1 2 3 4 5; do
+  hits_only "$WORK/conc$i.out" > "$WORK/conc$i.hits"
+  diff -u "$WORK/local.hits" "$WORK/conc$i.hits"
+done
+
+echo "== 8. /stats parses as JSON and names the index"
+"$CLI" stats --connect 127.0.0.1:"$PORT" > "$WORK/stats.json"
+python3 - "$WORK/stats.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert "server" in doc, "stats document lacks a 'server' section"
+assert doc["server"]["cache"]["hits"] >= 1, "cached replay left no cache hit"
+names = sorted(doc["indexes"])
+assert names == ["db"], f"expected served index ['db'], got {names}"
+assert "epoch" in doc["indexes"]["db"], "per-index stats lack the epoch"
+EOF
+
+echo "== 9. SIGTERM drains and exits 0"
+kill -TERM "$DAEMON_PID"
+rc=0
+wait "$DAEMON_PID" || rc=$?
+DAEMON_PID=
+if [ "$rc" -ne 0 ]; then
+  echo "oasisd exited $rc after SIGTERM; stderr:" >&2
+  cat "$WORK/daemon.err" >&2
+  exit 1
+fi
+grep -q "draining" "$WORK/daemon.err" || {
+  echo "oasisd did not report a graceful drain" >&2
+  exit 1
+}
+
+echo "daemon smoke: all checks passed"

@@ -9,6 +9,19 @@
 //              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
 //              [--io-mode auto|pooled|mmap] [--readahead K|auto]
 //              [--no-memo] [--stats]
+//   oasis_cli query  <QUERYRESIDUES> --connect HOST:PORT [--ix NAME]
+//              [--evalue E | --minscore S] [--top K] [--by-evalue]
+//              [--deadline-ms MS] [--cancel-after N] [--no-cache]
+//   oasis_cli stats  --connect HOST:PORT
+//
+// `query` and `stats` are client modes against a running oasisd: `query`
+// streams hits as the daemon proves them (same line format as `search`,
+// byte-identical results for the same request), exits 0 on a complete
+// stream, 3 when the per-request --deadline-ms cut it short, 4 when the
+// stream was cancelled (--cancel-after N sends a mid-stream cancel after
+// N hits); `stats` prints the daemon's /stats JSON document — the same
+// encoding --stats-json emits locally. `--no-cache` bypasses the daemon's
+// result cache for measurement runs.
 //
 // `index` builds the packed suffix tree AND the sequence catalog from a
 // FASTA file; `search` and `batch` need only the index directory — result
@@ -46,6 +59,8 @@
 #include "api/engine.h"
 #include "core/report.h"
 #include "seq/fasta.h"
+#include "server/client.h"
+#include "server/flags.h"
 #include "util/flag_parse.h"
 #include "util/timer.h"
 
@@ -61,11 +76,20 @@ int Usage() {
       "  oasis_cli search <index_dir> <QUERY>\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
       "             [--io-mode auto|pooled|mmap] [--readahead K|auto]\n"
-      "             [--no-memo] [--alignments] [--by-evalue] [--stats]\n"
+      "             [--no-memo] [--alignments] [--by-evalue]\n"
+      "             [--stats] [--stats-json]\n"
       "  oasis_cli batch  <index_dir> <queries.fasta> [--threads N]\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
       "             [--io-mode auto|pooled|mmap] [--readahead K|auto]\n"
-      "             [--no-memo] [--stats]\n");
+      "             [--no-memo] [--stats] [--stats-json]\n"
+      "  oasis_cli query  <QUERY> --connect HOST:PORT [--ix NAME]\n"
+      "             [--evalue E | --minscore S] [--top K] [--by-evalue]\n"
+      "             [--deadline-ms MS] [--cancel-after N] [--no-cache]\n"
+      "  oasis_cli stats  --connect HOST:PORT\n"
+      "\n"
+      "query/stats talk to a running oasisd; query exits 0 on a complete\n"
+      "stream, 3 when the deadline cut it short, 4 when it was cancelled\n"
+      "(hits streamed before the abort are printed either way).\n");
   return 2;
 }
 
@@ -94,6 +118,16 @@ struct Args {
   bool alignments = false;
   bool by_evalue = false;
   bool stats = false;
+  bool stats_json = false;
+
+  // Daemon-client mode (query / stats commands).
+  std::string connect_host;
+  uint16_t connect_port = 0;
+  bool has_connect = false;
+  std::string wire_index;     // --ix: which served index answers
+  uint64_t deadline_ms = 0;   // 0 = none (or the server's cap)
+  uint64_t cancel_after = 0;  // send a cancel after this many hits; 0 = off
+  bool no_cache = false;      // bypass the daemon's result cache
 };
 
 /// Reports a bad flag value and fails the parse.
@@ -103,21 +137,31 @@ bool BadFlag(const char* flag, const util::Status& status) {
 }
 
 bool Parse(int argc, char** argv, Args* args) {
-  if (argc < 4) return false;
+  if (argc < 2) return false;
   args->command = argv[1];
+  int flag_start = 4;
   if (args->command == "index") {
+    if (argc < 4) return false;
     args->fasta = argv[2];
     args->index_dir = argv[3];
   } else if (args->command == "search") {
+    if (argc < 4) return false;
     args->index_dir = argv[2];
     args->query = argv[3];
   } else if (args->command == "batch") {
+    if (argc < 4) return false;
     args->index_dir = argv[2];
     args->fasta = argv[3];
+  } else if (args->command == "query") {
+    if (argc < 3) return false;
+    args->query = argv[2];
+    flag_start = 3;
+  } else if (args->command == "stats") {
+    flag_start = 2;
   } else {
     return false;
   }
-  for (int i = 4; i < argc; ++i) {
+  for (int i = flag_start; i < argc; ++i) {
     std::string flag = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -196,6 +240,40 @@ bool Parse(int argc, char** argv, Args* args) {
       args->by_evalue = true;
     } else if (flag == "--stats") {
       args->stats = true;
+    } else if (flag == "--stats-json") {
+      args->stats_json = true;
+    } else if (flag == "--connect") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const std::string spec = v;
+      const size_t colon = spec.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        std::fprintf(stderr, "--connect expects HOST:PORT, got '%s'\n", v);
+        return false;
+      }
+      auto port = util::ParseUint32(spec.substr(colon + 1), 1, 65535);
+      if (!port.ok()) return BadFlag("--connect", port.status());
+      args->connect_host = spec.substr(0, colon);
+      args->connect_port = static_cast<uint16_t>(*port);
+      args->has_connect = true;
+    } else if (flag == "--ix") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->wire_index = v;
+    } else if (flag == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto parsed = util::ParseUint64(v, 1, server::kMaxDeadlineMs);
+      if (!parsed.ok()) return BadFlag("--deadline-ms", parsed.status());
+      args->deadline_ms = *parsed;
+    } else if (flag == "--cancel-after") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto parsed = util::ParseUint64(v, 1, kMaxTop);
+      if (!parsed.ok()) return BadFlag("--cancel-after", parsed.status());
+      args->cancel_after = *parsed;
+    } else if (flag == "--no-cache") {
+      args->no_cache = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return false;
@@ -214,74 +292,16 @@ const char* IoModeName(IoMode mode) {
 }
 
 /// Per-segment buffer-pool requests / hits / hit ratio — the Figure 8
-/// numbers, straight from the CLI. An mmap engine never fetches through a
-/// pool, so there is nothing to print.
-void PrintPoolStats(const Engine& engine) {
-  if (!engine.uses_pool()) {
-    std::printf("\nio mode mmap: zero-copy block access, no buffer-pool "
-                "statistics (use --io-mode pooled for Figure 8 numbers)\n");
-    // No pool means nothing to prefetch into either: the counters do not
-    // exist in this mode, which is different from "0 prefetches happened".
-    std::printf("readahead: n/a in mmap mode (speculation targets the "
-                "buffer pool; use --io-mode pooled --readahead K)\n");
-    return;
-  }
-  const storage::BufferPool& pool = engine.pool();
-  std::printf("\nbuffer pool: %u frames x %u B in %u shard%s\n",
-              pool.num_frames(), pool.block_size(), pool.num_shards(),
-              pool.num_shards() == 1 ? "" : "s");
-  std::printf("%-10s %12s %12s %10s\n", "segment", "requests", "hits",
-              "hit ratio");
-  for (storage::SegmentId seg = 0;
-       seg < static_cast<storage::SegmentId>(pool.num_segments()); ++seg) {
-    const storage::SegmentStats stats = pool.stats(seg);
-    std::printf("%-10s %12llu %12llu %10.3f\n",
-                pool.segment_name(seg).c_str(),
-                static_cast<unsigned long long>(stats.requests),
-                static_cast<unsigned long long>(stats.hits),
-                stats.hit_ratio());
-  }
-  const storage::SegmentStats total = pool.TotalStats();
-  std::printf("%-10s %12llu %12llu %10.3f\n", "total",
-              static_cast<unsigned long long>(total.requests),
-              static_cast<unsigned long long>(total.hits),
-              total.hit_ratio());
-  if (engine.uses_readahead()) {
-    const storage::ReadaheadStats ra = engine.readahead_stats();
-    const std::string mode =
-        engine.readahead_adaptive()
-            ? "adaptive, initial " + std::to_string(engine.readahead_blocks()) +
-                  " blocks"
-            : std::to_string(engine.readahead_blocks()) + " blocks/miss";
-    std::printf("readahead (%s): %llu issued, %llu used, %llu wasted "
-                "(waste ratio %.3f)\n",
-                mode.c_str(), static_cast<unsigned long long>(ra.issued),
-                static_cast<unsigned long long>(ra.used),
-                static_cast<unsigned long long>(ra.wasted),
-                ra.waste_ratio());
-    if (engine.readahead_adaptive()) {
-      // The live window per segment plus how it got there: the EWMA of
-      // the used-ratio the controller steers by, and its resize/probe
-      // decisions so far.
-      const storage::AdaptiveReadahead& ctl = *engine.readahead().controller();
-      std::printf("%-10s %8s %8s %7s %8s %7s %8s\n", "segment", "window",
-                  "ewma", "samples", "grows", "shrinks", "probes");
-      for (storage::SegmentId seg = 0;
-           seg < static_cast<storage::SegmentId>(pool.num_segments()); ++seg) {
-        const storage::AdaptiveReadahead::SegmentSnapshot s =
-            ctl.snapshot(seg);
-        std::printf("%-10s %8u %8.3f %7llu %8llu %7llu %8llu\n",
-                    pool.segment_name(seg).c_str(), s.window,
-                    s.ewma < 0 ? 0.0 : s.ewma,
-                    static_cast<unsigned long long>(s.samples),
-                    static_cast<unsigned long long>(s.grows),
-                    static_cast<unsigned long long>(s.shrinks),
-                    static_cast<unsigned long long>(s.probes));
-      }
-    }
+/// numbers, straight from the CLI. Rendered from the same
+/// EngineStatsSnapshot the daemon's /stats endpoint serves
+/// (util/stats_json.h), so the two surfaces cannot drift: --stats is the
+/// historical text block, --stats-json the daemon's JSON encoding.
+void PrintPoolStats(const Engine& engine, bool json) {
+  const util::EngineStatsSnapshot snapshot = engine.CollectStats();
+  if (json) {
+    std::printf("%s\n", util::StatsJson(snapshot).c_str());
   } else {
-    std::printf("readahead: disabled (--readahead K for a fixed K-block "
-                "window, --readahead auto for the adaptive one)\n");
+    std::fputs(util::StatsText(snapshot).c_str(), stdout);
   }
 }
 
@@ -345,7 +365,9 @@ int RunSearch(const Args& args) {
 
   // Database materialization above reads through the pool too; reset so
   // --stats reports the search traffic alone.
-  if (args.stats && (*engine)->uses_pool()) (*engine)->pool().ResetStats();
+  if ((args.stats || args.stats_json) && (*engine)->uses_pool()) {
+    (*engine)->pool().ResetStats();
+  }
 
   auto cursor = (*engine)->Search(*request);
   if (!cursor.ok()) return Fail(cursor.status());
@@ -375,7 +397,9 @@ int RunSearch(const Args& args) {
               static_cast<unsigned long long>(count), timer.ElapsedSeconds(),
               static_cast<unsigned long long>(
                   cursor->stats().columns_expanded));
-  if (args.stats) PrintPoolStats(**engine);
+  if (args.stats || args.stats_json) {
+    PrintPoolStats(**engine, args.stats_json);
+  }
   return 0;
 }
 
@@ -403,7 +427,9 @@ int RunBatch(const Args& args) {
   BatchOptions batch;
   batch.threads = args.threads;
   // --pool-mb sized the engine's pool above; all batch workers share it.
-  if (args.stats && (*engine)->uses_pool()) (*engine)->pool().ResetStats();
+  if ((args.stats || args.stats_json) && (*engine)->uses_pool()) {
+    (*engine)->pool().ResetStats();
+  }
   if ((*engine)->uses_pool()) {
     std::printf("batch: %zu queries, up to %u worker threads over a shared "
                 "%llu MiB pool\n\n",
@@ -433,7 +459,76 @@ int RunBatch(const Args& args) {
     }
   }
   std::printf("\n%zu queries in %.4fs\n", results->size(), elapsed);
-  if (args.stats) PrintPoolStats(**engine);
+  if (args.stats || args.stats_json) {
+    PrintPoolStats(**engine, args.stats_json);
+  }
+  return 0;
+}
+
+/// Exit code for a daemon-query terminator: the two expected abort modes
+/// get their own codes so scripts can assert on them.
+int ExitCodeFor(const util::Status& status) {
+  if (status.IsDeadlineExceeded()) return 3;
+  if (status.IsCancelled()) return 4;
+  return 1;
+}
+
+int RunQuery(const Args& args) {
+  if (!args.has_connect) {
+    std::fprintf(stderr, "query mode needs --connect HOST:PORT\n");
+    return 2;
+  }
+  server::WireRequest request;
+  request.index = args.wire_index;
+  request.query = args.query;
+  if (args.min_score > 0) {
+    request.min_score = args.min_score;
+  } else {
+    request.evalue = args.evalue;
+  }
+  request.top_k = args.top;
+  request.by_evalue = args.by_evalue;
+  request.deadline_ms = args.deadline_ms;
+  request.no_cache = args.no_cache;
+
+  auto client =
+      server::DaemonClient::Connect(args.connect_host, args.connect_port);
+  if (!client.ok()) return Fail(client.status());
+
+  // Hits print as the frames arrive — the daemon's streaming mirrors the
+  // local cursor, so this loop renders results exactly like `search`.
+  uint64_t printed = 0;
+  auto outcome = client->Query(
+      request, [&printed, &args](std::string_view line) {
+        std::printf("%.*s\n", static_cast<int>(line.size()), line.data());
+        ++printed;
+        return args.cancel_after == 0 || printed < args.cancel_after;
+      });
+  if (!outcome.ok()) {
+    // Deadline / cancellation terminators still delivered every hit
+    // proven before the abort; report the cause and the partial count.
+    std::fprintf(stderr, "stream ended: %s (%llu hits received)\n",
+                 outcome.status().ToString().c_str(),
+                 static_cast<unsigned long long>(printed));
+    return ExitCodeFor(outcome.status());
+  }
+  std::printf("\n%llu hits%s\n",
+              static_cast<unsigned long long>(outcome->hits),
+              outcome->cached ? " (served from daemon result cache)" : "");
+  return 0;
+}
+
+int RunRemoteStats(const Args& args) {
+  if (!args.has_connect) {
+    std::fprintf(stderr, "stats mode needs --connect HOST:PORT\n");
+    return 2;
+  }
+  auto client =
+      server::DaemonClient::Connect(args.connect_host, args.connect_port);
+  if (!client.ok()) return Fail(client.status());
+  auto stats = client->Stats();
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("%s\n", stats->c_str());
   return 0;
 }
 
@@ -444,5 +539,7 @@ int main(int argc, char** argv) {
   if (!Parse(argc, argv, &args)) return Usage();
   if (args.command == "index") return RunIndex(args);
   if (args.command == "batch") return RunBatch(args);
+  if (args.command == "query") return RunQuery(args);
+  if (args.command == "stats") return RunRemoteStats(args);
   return RunSearch(args);
 }

@@ -1,0 +1,107 @@
+// oasisd: the long-running OASIS search daemon.
+//
+//   oasisd --index [NAME=]DIR [--index [NAME=]DIR ...]
+//          [--host HOST] [--port PORT]
+//          [--max-inflight N] [--result-cache-mb MB] [--deadline-ms MS]
+//          [--max-pinned-fraction F] [--drain-timeout-ms MS]
+//          [--pool-mb MB] [--io-mode auto|pooled|mmap] [--readahead K|auto]
+//
+// Opens every --index directory once and serves concurrent clients over
+// the wire protocol in src/server/wire.h (oasis_cli query --connect is
+// the stock client). Startup prints exactly one line to stdout —
+// "oasisd listening on HOST:PORT" — so scripts can scrape the ephemeral
+// port when --port 0 was used.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, refuse new
+// queries, drain in-flight cursors (cancelling stragglers after the drain
+// timeout), join every thread, exit 0. The handler only writes one byte
+// to a self-pipe — all real work happens on the main thread, so the
+// shutdown path is async-signal-safe by construction.
+
+#include <errno.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "server/flags.h"
+#include "server/server.h"
+
+using namespace oasis;
+
+namespace {
+
+// Self-pipe carrying shutdown signals from the handler to the main
+// thread's blocking read.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnShutdownSignal(int) {
+  const char byte = 1;
+  // A full pipe just means a shutdown is already pending.
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "oasisd: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config =
+      server::ParseDaemonArgs(std::vector<std::string>(argv + 1, argv + argc));
+  if (!config.ok()) {
+    std::fprintf(stderr, "oasisd: %s\n%s",
+                 config.status().ToString().c_str(),
+                 server::DaemonUsage().c_str());
+    return 2;
+  }
+
+  // Open every index up front — this is the whole point of the daemon:
+  // the open cost (pool allocation, metadata reads) is paid once, not per
+  // query.
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::vector<server::ServedIndex> served;
+  for (const auto& [name, dir] : config->indexes) {
+    auto engine = Engine::Open(dir, config->engine);
+    if (!engine.ok()) {
+      return Fail(util::Status::IOError("open index '" + dir + "': " +
+                                        engine.status().ToString()));
+    }
+    served.push_back({name, engine->get()});
+    engines.push_back(std::move(engine).value());
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    return Fail(util::Status::IOError("cannot create signal pipe"));
+  }
+  struct sigaction action{};
+  action.sa_handler = OnShutdownSignal;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  // A client disconnecting mid-stream must surface as a write error, not
+  // kill the process.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  auto server = server::Server::Start(std::move(served), config->server);
+  if (!server.ok()) return Fail(server.status());
+
+  std::printf("oasisd listening on %s:%u\n", (*server)->host().c_str(),
+              (*server)->port());
+  std::fflush(stdout);
+
+  // Block until a shutdown signal arrives.
+  char byte;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::fprintf(stderr, "oasisd: draining and shutting down\n");
+  (*server)->Shutdown();
+  return 0;
+}

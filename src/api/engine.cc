@@ -42,11 +42,21 @@ ResultCursor::ResultCursor(std::vector<core::OasisResult> replay)
     : replay_(std::move(replay)) {}
 
 util::StatusOr<std::optional<core::OasisResult>> ResultCursor::Next() {
+  if (!abort_status_.ok()) return abort_status_;
   if (closed_) return std::optional<core::OasisResult>();
   if (stream_.has_value()) {
-    OASIS_ASSIGN_OR_RETURN(std::optional<core::OasisResult> next,
-                           stream_->Next());
+    auto next_or = stream_->Next();
     stats_ = stream_->stats();
+    if (!next_or.ok()) {
+      // Sticky terminal (deadline, cancellation, I/O failure): the partial
+      // stream already delivered stands, the search state is released now,
+      // and every later Next() re-reports this status.
+      abort_status_ = next_or.status();
+      stream_.reset();
+      closed_ = true;
+      return abort_status_;
+    }
+    std::optional<core::OasisResult> next = std::move(next_or).value();
     if (!next.has_value()) {
       // Exhausted: release the search state (arena, frontier queue) now
       // rather than at cursor destruction; stats_ stays readable.
@@ -70,6 +80,7 @@ void ResultCursor::Close() {
 }
 
 bool ResultCursor::done() const {
+  if (!abort_status_.ok()) return true;
   if (closed_) return true;
   if (stream_.has_value()) return stream_->done();
   return replay_pos_ >= replay_.size();
@@ -204,6 +215,10 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::OpenInternal(
   std::unique_ptr<Engine> engine(new Engine());
   engine->index_dir_ = index_dir;
   engine->io_mode_ = io_mode;
+  // Monotone process-global counter, starting at 1 so 0 reads as "no
+  // engine" in cache keys and diagnostics.
+  static std::atomic<uint64_t> next_epoch{1};
+  engine->epoch_ = next_epoch.fetch_add(1, std::memory_order_relaxed);
   if (io_mode == IoMode::kMmap) {
     OASIS_ASSIGN_OR_RETURN(engine->tree_,
                            suffix::PackedSuffixTree::OpenMapped(index_dir));
@@ -277,6 +292,59 @@ storage::ReadaheadStats Engine::readahead_stats() const {
   return readahead_->stats();
 }
 
+util::EngineStatsSnapshot Engine::CollectStats() const {
+  util::EngineStatsSnapshot snapshot;
+  if (pool_ == nullptr) return snapshot;  // mmap: pooled stays false
+  snapshot.pooled = true;
+  snapshot.frames = pool_->num_frames();
+  snapshot.block_size = pool_->block_size();
+  snapshot.shards = pool_->num_shards();
+  for (storage::SegmentId seg = 0;
+       seg < static_cast<storage::SegmentId>(pool_->num_segments()); ++seg) {
+    const storage::SegmentStats stats = pool_->stats(seg);
+    util::SegmentStatsRow row;
+    row.name = pool_->segment_name(seg);
+    row.requests = stats.requests;
+    row.hits = stats.hits;
+    row.hit_ratio = stats.hit_ratio();
+    snapshot.segments.push_back(std::move(row));
+  }
+  const storage::SegmentStats total = pool_->TotalStats();
+  snapshot.total.name = "total";
+  snapshot.total.requests = total.requests;
+  snapshot.total.hits = total.hits;
+  snapshot.total.hit_ratio = total.hit_ratio();
+  if (readahead_ != nullptr) {
+    snapshot.readahead_enabled = true;
+    snapshot.readahead_adaptive = readahead_->adaptive();
+    snapshot.readahead_blocks = readahead_->blocks();
+    const storage::ReadaheadStats ra = readahead_->stats();
+    snapshot.readahead_issued = ra.issued;
+    snapshot.readahead_used = ra.used;
+    snapshot.readahead_wasted = ra.wasted;
+    snapshot.readahead_waste_ratio = ra.waste_ratio();
+    if (readahead_->adaptive()) {
+      const storage::AdaptiveReadahead& ctl = *readahead_->controller();
+      for (storage::SegmentId seg = 0;
+           seg < static_cast<storage::SegmentId>(pool_->num_segments());
+           ++seg) {
+        const storage::AdaptiveReadahead::SegmentSnapshot s =
+            ctl.snapshot(seg);
+        util::AdaptiveWindowRow row;
+        row.name = pool_->segment_name(seg);
+        row.window = s.window;
+        row.ewma = s.ewma;
+        row.samples = s.samples;
+        row.grows = s.grows;
+        row.shrinks = s.shrinks;
+        row.probes = s.probes;
+        snapshot.windows.push_back(std::move(row));
+      }
+    }
+  }
+  return snapshot;
+}
+
 // --- Request resolution -----------------------------------------------------
 
 util::StatusOr<score::ScoreT> Engine::ResolveMinScore(
@@ -311,6 +379,30 @@ util::StatusOr<core::OasisOptions> Engine::ResolveOptions(
           matrix_->name() + "' does not admit");
     }
     options.karlin = karlin_;
+  }
+  // Compose the suspension-point poll: cancellation first (a cancelled
+  // client should see kCancelled even if its deadline also lapsed while it
+  // waited), then the deadline, then the caller's custom hook. The common
+  // case — none of the three set — leaves options.poll null, so the
+  // undeadlined search path keeps its zero-overhead loop.
+  const std::atomic<bool>* cancel_flag = request.cancel_flag();
+  std::optional<std::chrono::steady_clock::time_point> deadline =
+      request.deadline();
+  std::function<util::Status()> custom_poll = request.poll();
+  if (cancel_flag != nullptr || deadline.has_value() || custom_poll) {
+    options.poll = [cancel_flag, deadline,
+                    custom_poll = std::move(custom_poll)]() -> util::Status {
+      if (cancel_flag != nullptr &&
+          cancel_flag->load(std::memory_order_relaxed)) {
+        return util::Status::Cancelled("search cancelled");
+      }
+      if (deadline.has_value() &&
+          std::chrono::steady_clock::now() >= *deadline) {
+        return util::Status::DeadlineExceeded("search deadline exceeded");
+      }
+      if (custom_poll) return custom_poll();
+      return util::Status::OK();
+    };
   }
   return options;
 }

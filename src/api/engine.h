@@ -32,6 +32,9 @@
 
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -47,6 +50,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/readahead.h"
 #include "suffix/packed_builder.h"
+#include "util/stats_json.h"
 #include "util/status.h"
 
 namespace oasis {
@@ -205,6 +209,30 @@ class SearchRequest {
     order_by_evalue_ = on;
     return *this;
   }
+  /// Abort the search once `deadline` passes. Checked at every cursor
+  /// suspension point (each queue pop of the A* loop): results already
+  /// proven stand as a partial stream, then Next() reports
+  /// kDeadlineExceeded — and keeps reporting it. Unset = no deadline.
+  SearchRequest& Deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    return *this;
+  }
+  /// Cooperative cancellation: the search polls `flag` at every suspension
+  /// point and aborts with kCancelled once it reads true. The flag must
+  /// outlive every cursor created from this request; any thread may set it
+  /// (the daemon's client-disconnect path does). nullptr = not cancellable.
+  SearchRequest& CancelWith(const std::atomic<bool>* flag) {
+    cancel_flag_ = flag;
+    return *this;
+  }
+  /// Custom per-suspension-point poll, composed *after* the deadline and
+  /// cancellation checks. Returning a non-OK status aborts the search with
+  /// that status (the daemon uses this to watch its client socket for
+  /// mid-stream CANCEL frames or disconnects). Null = no extra poll.
+  SearchRequest& PollWith(std::function<util::Status()> poll) {
+    poll_ = std::move(poll);
+    return *this;
+  }
 
   const std::vector<seq::Symbol>& query() const { return query_; }  ///< encoded residues
   score::ScoreT min_score() const { return min_score_; }  ///< 0 = derive from evalue()
@@ -213,6 +241,14 @@ class SearchRequest {
   bool alignments() const { return alignments_; }         ///< reconstruct alignments
   bool all_alignments() const { return all_alignments_; }  ///< all locations per sequence
   bool order_by_evalue() const { return order_by_evalue_; }  ///< E-value stream order
+  /// Abort deadline; std::nullopt when none was set.
+  const std::optional<std::chrono::steady_clock::time_point>& deadline() const {
+    return deadline_;
+  }
+  /// Cancellation flag; nullptr when the request is not cancellable.
+  const std::atomic<bool>* cancel_flag() const { return cancel_flag_; }
+  /// Custom suspension-point poll; null when none was set.
+  const std::function<util::Status()>& poll() const { return poll_; }
 
  private:
   std::vector<seq::Symbol> query_;
@@ -222,6 +258,9 @@ class SearchRequest {
   bool alignments_ = false;
   bool all_alignments_ = false;
   bool order_by_evalue_ = false;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  const std::atomic<bool>* cancel_flag_ = nullptr;
+  std::function<util::Status()> poll_;
 };
 
 /// The pull stream of one search. Streaming searches (Engine::Search) wrap
@@ -234,7 +273,11 @@ class ResultCursor {
   ResultCursor& operator=(ResultCursor&&) noexcept = default;
 
   /// The next proven result, std::nullopt when the stream is exhausted or
-  /// the cursor was closed.
+  /// the cursor was closed. A non-OK status (an I/O error, or a deadline /
+  /// cancellation abort from the request's suspension-point hooks) is a
+  /// sticky terminal: the search state is released immediately and every
+  /// later Next() reports the same status; stats() stays readable with the
+  /// counters at the moment of the abort.
   util::StatusOr<std::optional<core::OasisResult>> Next();
 
   /// Abandons the remaining stream and releases the search state (arena,
@@ -259,6 +302,8 @@ class ResultCursor {
   size_t replay_pos_ = 0;
   core::OasisStats stats_;
   bool closed_ = false;
+  /// Non-OK once the stream aborted; re-reported by every later Next().
+  util::Status abort_status_ = util::Status::OK();
 };
 
 /// One query's outcome within a SearchBatch.
@@ -396,11 +441,26 @@ class Engine {
   /// callers must report these as unavailable rather than zero.
   storage::ReadaheadStats readahead_stats() const;
 
+  /// Captures the storage-layer statistics (pool geometry, per-segment
+  /// counters, readahead outcomes, adaptive windows) as the plain-data
+  /// snapshot both stats surfaces render — oasis_cli --stats via
+  /// util::StatsText, the daemon's /stats endpoint via util::StatsJson.
+  /// For an mmap engine the snapshot's `pooled` flag is false and the
+  /// counter fields are meaningless (the renderers emit the n/a notices).
+  util::EngineStatsSnapshot CollectStats() const;
+
   /// Karlin-Altschul statistics of the scoring system (needed for E-value
   /// cutoffs and E-value-ordered streams). Absent for scoring systems with
   /// no valid local-alignment statistics.
   bool has_karlin() const { return has_karlin_; }
   const score::KarlinParams& karlin() const { return karlin_; }  ///< lambda, K, H
+
+  /// Process-unique identifier of this engine instance, assigned at
+  /// open/build time from a monotone counter. Two Engine objects never
+  /// share an epoch, so anything keyed by it — the daemon's result cache —
+  /// is implicitly invalidated when an index is reopened (rebuilt, swapped
+  /// on disk, or just closed and opened again).
+  uint64_t epoch() const { return epoch_; }
 
   /// Number of database sequences in the index.
   uint64_t num_sequences() const { return tree_->num_sequences(); }
@@ -443,6 +503,7 @@ class Engine {
   SequenceCatalog catalog_;
   score::KarlinParams karlin_;
   bool has_karlin_ = false;
+  uint64_t epoch_ = 0;  ///< process-unique; see epoch()
 };
 
 }  // namespace api

@@ -154,7 +154,21 @@ class SearchRun {
       SearchRun* run;
       ~PinReleaser() { run->ReleaseTransientPins(); }
     } release_pins{this};
+    // A poll abort is a sticky terminal: every later Next() reports the
+    // same status, so a consumer that sees DeadlineExceeded once cannot
+    // accidentally resume the search by calling again.
+    if (!abort_status_.ok()) return abort_status_;
     while (pending_.empty() && !done_) {
+      // Suspension-point check (deadline / cancellation): only consulted
+      // while the search must advance — already-proven pending results
+      // drain before an abort is ever seen.
+      if (options_.poll) {
+        util::Status poll_status = options_.poll();
+        if (!poll_status.ok()) {
+          AbortWith(poll_status);
+          return poll_status;
+        }
+      }
       if (queue_.empty()) {
         // Frontier exhausted; in E-value mode the held-back candidates
         // drain unconditionally now.
@@ -510,6 +524,22 @@ class SearchRun {
     }
   }
 
+  /// Terminates the search in response to a poll abort: the frontier, the
+  /// held-back candidates, and any not-yet-pulled pending results are all
+  /// dropped (partial results already delivered stand), and the status is
+  /// latched so every later Next() re-reports it.
+  void AbortWith(util::Status status) {
+    abort_status_ = std::move(status);
+    done_ = true;
+    // Free the search state eagerly; an aborted cursor may be held a while
+    // before destruction (e.g. a server draining a session registry).
+    queue_ = {};
+    arena_.clear();
+    free_slots_.clear();
+    pending_.clear();
+    candidates_ = {};
+  }
+
   util::Status Reconstruct(uint64_t leaf, const SearchNode& node,
                            OasisResult* result) const {
     // Re-run the pinned DP over the path prefix that carries the best cell.
@@ -546,6 +576,8 @@ class SearchRun {
   uint64_t num_produced_ = 0;  ///< results proven (pending_ + delivered)
   OasisStats stats_;
   bool done_ = false;
+  /// Non-OK once a poll abort fired; sticky (see Next()).
+  util::Status abort_status_ = util::Status::OK();
 
   /// Results proven next-best but not yet pulled through Next().
   std::deque<OasisResult> pending_;

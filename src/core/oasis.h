@@ -83,6 +83,19 @@ struct OasisOptions {
   /// over mapped trees.
   bool use_fetch_memo = false;
 
+  /// Polled once per queue pop of the resumable stepper — i.e. at every
+  /// suspension point of the A* loop, the same granularity OasisCursor
+  /// resumes at. Returning a non-OK status (typically DeadlineExceeded or
+  /// Cancelled) aborts the search: results already proven and handed out
+  /// stand as the partial stream, every pinned pool frame is released
+  /// before control returns, and the cursor's Next() reports the status —
+  /// then keeps reporting it (a sticky terminal). The check is only
+  /// reached while the cursor must advance, so a stream whose remaining
+  /// results are already proven drains them before the abort is seen.
+  /// Null (the default) costs one branch per pop — the undeadlined path
+  /// stays the paper's loop.
+  std::function<util::Status()> poll;
+
   /// Ablation switches (bench/bench_ablation_pruning.cc): disable pruning
   /// rule 2 ("existing alignment as good", §3.2) or rule 3 ("threshold
   /// failure"). Results are unchanged — only more of the search space is

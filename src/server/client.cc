@@ -1,0 +1,117 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace oasis {
+namespace server {
+
+util::StatusOr<DaemonClient> DaemonClient::Connect(const std::string& host,
+                                                   uint16_t port) {
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::InvalidArgument("cannot parse host '" + host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::IOError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::IOError("connect " + host + ":" +
+                                 std::to_string(port) + ": " + err);
+  }
+  // The protocol is many small frames with strict request/response turns:
+  // Nagle + delayed ACK would stall every turn ~40ms, so disable batching.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return DaemonClient(fd);
+}
+
+void DaemonClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+util::StatusOr<DaemonClient::QueryOutcome> DaemonClient::Query(
+    const WireRequest& request, const HitCallback& on_hit) {
+  if (fd_ < 0) return util::Status::IOError("client is closed");
+  OASIS_RETURN_NOT_OK(SendFrame(fd_, FrameType::kQuery, request.Encode()));
+  QueryOutcome outcome;
+  bool cancel_sent = false;
+  while (true) {
+    Frame frame;
+    OASIS_RETURN_NOT_OK(RecvFrame(fd_, &buf_, &frame));
+    switch (frame.type) {
+      case FrameType::kHit: {
+        ++outcome.hits;
+        // After a cancel the remaining in-flight hits still arrive (they
+        // were proven before the daemon saw the cancel); keep counting
+        // but stop delivering.
+        const bool keep_going =
+            cancel_sent || (on_hit ? on_hit(frame.payload) : true);
+        if (!keep_going && !cancel_sent) {
+          OASIS_RETURN_NOT_OK(SendFrame(fd_, FrameType::kCancel, ""));
+          cancel_sent = true;
+        }
+        break;
+      }
+      case FrameType::kDone: {
+        OASIS_ASSIGN_OR_RETURN(DoneInfo done, ParseDone(frame.payload));
+        outcome.cached = done.cached;
+        return outcome;
+      }
+      case FrameType::kError:
+        return DecodeError(frame.payload);
+      default:
+        return util::Status::Corruption(
+            "unexpected frame type " +
+            std::to_string(static_cast<int>(frame.type)) +
+            " inside a result stream");
+    }
+  }
+}
+
+util::StatusOr<std::string> DaemonClient::Stats() {
+  if (fd_ < 0) return util::Status::IOError("client is closed");
+  OASIS_RETURN_NOT_OK(SendFrame(fd_, FrameType::kStats, ""));
+  Frame frame;
+  OASIS_RETURN_NOT_OK(RecvFrame(fd_, &buf_, &frame));
+  if (frame.type == FrameType::kError) return DecodeError(frame.payload);
+  if (frame.type != FrameType::kStatsJson) {
+    return util::Status::Corruption("expected a stats frame, got type " +
+                                    std::to_string(
+                                        static_cast<int>(frame.type)));
+  }
+  return std::move(frame.payload);
+}
+
+util::Status DaemonClient::Ping() {
+  if (fd_ < 0) return util::Status::IOError("client is closed");
+  OASIS_RETURN_NOT_OK(SendFrame(fd_, FrameType::kPing, ""));
+  Frame frame;
+  OASIS_RETURN_NOT_OK(RecvFrame(fd_, &buf_, &frame));
+  if (frame.type != FrameType::kPong) {
+    return util::Status::Corruption("expected a pong, got frame type " +
+                                    std::to_string(
+                                        static_cast<int>(frame.type)));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace server
+}  // namespace oasis

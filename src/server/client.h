@@ -1,0 +1,79 @@
+// Client side of the oasisd wire protocol.
+//
+// A thin blocking client over one TCP connection: Query() streams hits to
+// a callback as the kHit frames arrive (the daemon's online property ends
+// at the consumer, not at a buffering proxy), Stats() fetches the /stats
+// JSON document, Ping() probes liveness. oasis_cli's --connect mode is a
+// direct wrapper; tests drive it against an in-process Server.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace server {
+
+/// One blocking connection to an oasisd. Move-only; Close() (or
+/// destruction) closes the socket.
+class DaemonClient {
+ public:
+  /// Invoked once per streamed hit line, in arrival (= proof) order.
+  /// Return false to cancel: the client sends a kCancel frame and drains
+  /// the stream to its terminator.
+  using HitCallback = std::function<bool(std::string_view line)>;
+
+  /// How a completed Query() ended.
+  struct QueryOutcome {
+    uint64_t hits = 0;    ///< hit lines delivered to the callback
+    bool cached = false;  ///< served from the daemon's result cache
+  };
+
+  /// Connects to `host`:`port` (IPv4 dotted-quad or "localhost").
+  static util::StatusOr<DaemonClient> Connect(const std::string& host,
+                                              uint16_t port);
+
+  DaemonClient(DaemonClient&& other) noexcept { *this = std::move(other); }
+  DaemonClient& operator=(DaemonClient&& other) noexcept {
+    Close();
+    fd_ = other.fd_;
+    buf_ = std::move(other.buf_);
+    other.fd_ = -1;
+    return *this;
+  }
+  /// Closes the connection if still open.
+  ~DaemonClient() { Close(); }
+
+  /// Runs one query, streaming each hit line to `on_hit` as it arrives.
+  /// Returns the outcome on a completed stream; a kError terminator comes
+  /// back as the decoded Status (kDeadlineExceeded / kCancelled /
+  /// kUnavailable / ...), with every hit line streamed before the abort
+  /// already delivered. A callback-initiated cancel that races stream
+  /// completion may legitimately end in kDone — callers treat both as
+  /// success.
+  util::StatusOr<QueryOutcome> Query(const WireRequest& request,
+                                     const HitCallback& on_hit);
+
+  /// Fetches the daemon's /stats JSON document.
+  util::StatusOr<std::string> Stats();
+
+  /// Round-trips a ping.
+  util::Status Ping();
+
+  /// Closes the connection. Idempotent.
+  void Close();
+
+ private:
+  explicit DaemonClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buf_;  ///< partial-frame receive buffer
+};
+
+}  // namespace server
+}  // namespace oasis

@@ -1,0 +1,161 @@
+#include "server/flags.h"
+
+#include "util/flag_parse.h"
+
+namespace oasis {
+namespace server {
+
+namespace {
+
+/// The default initial window of `--readahead auto`, matching oasis_cli.
+constexpr uint32_t kAutoReadaheadInitial = 8;
+
+/// NAME from a "[NAME=]DIR" index spec: explicit, else DIR's basename.
+std::pair<std::string, std::string> SplitIndexSpec(const std::string& spec) {
+  const size_t eq = spec.find('=');
+  if (eq != std::string::npos) {
+    return {spec.substr(0, eq), spec.substr(eq + 1)};
+  }
+  std::string dir = spec;
+  while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+  const size_t slash = dir.find_last_of('/');
+  return {slash == std::string::npos ? dir : dir.substr(slash + 1), spec};
+}
+
+util::Status MissingValue(const std::string& flag) {
+  return util::Status::InvalidArgument(flag + " needs a value");
+}
+
+util::Status BadFlag(const std::string& flag, const util::Status& status) {
+  return util::Status::InvalidArgument(flag + ": " + status.ToString());
+}
+
+}  // namespace
+
+std::string DaemonUsage() {
+  return
+      "usage: oasisd --index [NAME=]DIR [--index [NAME=]DIR ...]\n"
+      "              [--host HOST] [--port PORT]\n"
+      "              [--max-inflight N] [--result-cache-mb MB]\n"
+      "              [--deadline-ms MS] [--max-pinned-fraction F]\n"
+      "              [--drain-timeout-ms MS] [--pool-mb MB]\n"
+      "              [--io-mode auto|pooled|mmap] [--readahead K|auto]\n";
+}
+
+util::StatusOr<DaemonConfig> ParseDaemonArgs(
+    const std::vector<std::string>& args) {
+  DaemonConfig config;
+  // The daemon's defaults diverge from the CLI where long-running service
+  // behaviour differs from one-shot behaviour: pooled I/O (admission and
+  // /stats need the pool's counters), and the pool sized by --pool-mb.
+  config.engine.io_mode = api::IoMode::kPooled;
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto next = [&]() -> const std::string* {
+      return i + 1 < args.size() ? &args[++i] : nullptr;
+    };
+    if (flag == "--index") {
+      const std::string* v = next();
+      if (v == nullptr) return MissingValue(flag);
+      auto [name, dir] = SplitIndexSpec(*v);
+      if (name.empty() || dir.empty()) {
+        return util::Status::InvalidArgument(
+            "--index expects [NAME=]DIR, got '" + *v + "'");
+      }
+      config.indexes.emplace_back(std::move(name), std::move(dir));
+    } else if (flag == "--host") {
+      const std::string* v = next();
+      if (v == nullptr) return MissingValue(flag);
+      config.server.host = *v;
+    } else if (flag == "--port") {
+      const std::string* v = next();
+      if (v == nullptr) return MissingValue(flag);
+      auto parsed = util::ParseUint32(*v, 0, 65535);  // 0 = ephemeral
+      if (!parsed.ok()) return BadFlag(flag, parsed.status());
+      config.server.port = static_cast<uint16_t>(*parsed);
+    } else if (flag == "--max-inflight") {
+      const std::string* v = next();
+      if (v == nullptr) return MissingValue(flag);
+      auto parsed = util::ParseUint32(*v, 1, kMaxInflightLimit);
+      if (!parsed.ok()) return BadFlag(flag, parsed.status());
+      config.server.max_inflight = *parsed;
+    } else if (flag == "--result-cache-mb") {
+      const std::string* v = next();
+      if (v == nullptr) return MissingValue(flag);
+      auto parsed = util::ParseUint64(*v, 0, kMaxResultCacheMb);  // 0 = off
+      if (!parsed.ok()) return BadFlag(flag, parsed.status());
+      config.server.result_cache_bytes = *parsed << 20;
+    } else if (flag == "--deadline-ms") {
+      const std::string* v = next();
+      if (v == nullptr) return MissingValue(flag);
+      auto parsed = util::ParseUint64(*v, 1, kMaxDeadlineMs);
+      if (!parsed.ok()) return BadFlag(flag, parsed.status());
+      config.server.max_deadline_ms = *parsed;
+    } else if (flag == "--max-pinned-fraction") {
+      const std::string* v = next();
+      if (v == nullptr) return MissingValue(flag);
+      // Below 0.1 the server would reject nearly everything; 1.0 disables
+      // the gate.
+      auto parsed = util::ParseDouble(*v, 0.1, 1.0);
+      if (!parsed.ok()) return BadFlag(flag, parsed.status());
+      config.server.max_pinned_fraction = *parsed;
+    } else if (flag == "--drain-timeout-ms") {
+      const std::string* v = next();
+      if (v == nullptr) return MissingValue(flag);
+      auto parsed = util::ParseUint64(*v, 0, kMaxDrainTimeoutMs);
+      if (!parsed.ok()) return BadFlag(flag, parsed.status());
+      config.server.drain_timeout = std::chrono::milliseconds(*parsed);
+    } else if (flag == "--pool-mb") {
+      const std::string* v = next();
+      if (v == nullptr) return MissingValue(flag);
+      auto parsed = util::ParseUint64(*v, 1, kMaxPoolMb);
+      if (!parsed.ok()) return BadFlag(flag, parsed.status());
+      config.engine.pool_bytes = *parsed << 20;
+    } else if (flag == "--io-mode") {
+      const std::string* v = next();
+      if (v == nullptr) return MissingValue(flag);
+      if (*v == "auto") {
+        config.engine.io_mode = api::IoMode::kAuto;
+      } else if (*v == "pooled") {
+        config.engine.io_mode = api::IoMode::kPooled;
+      } else if (*v == "mmap") {
+        config.engine.io_mode = api::IoMode::kMmap;
+      } else {
+        return util::Status::InvalidArgument("unknown --io-mode '" + *v +
+                                             "'");
+      }
+    } else if (flag == "--readahead") {
+      const std::string* v = next();
+      if (v == nullptr) return MissingValue(flag);
+      if (*v == "auto") {
+        config.engine.readahead_adaptive = true;
+        config.engine.readahead_blocks = kAutoReadaheadInitial;
+      } else {
+        auto parsed = util::ParseUint32(*v, 0, api::kMaxReadaheadBlocks);
+        if (!parsed.ok()) return BadFlag(flag, parsed.status());
+        config.engine.readahead_adaptive = false;
+        config.engine.readahead_blocks = *parsed;
+      }
+    } else {
+      return util::Status::InvalidArgument("unknown flag '" + flag + "'");
+    }
+  }
+  if (config.indexes.empty()) {
+    return util::Status::InvalidArgument(
+        "oasisd needs at least one --index [NAME=]DIR");
+  }
+  for (size_t i = 0; i < config.indexes.size(); ++i) {
+    for (size_t j = i + 1; j < config.indexes.size(); ++j) {
+      if (config.indexes[i].first == config.indexes[j].first) {
+        return util::Status::InvalidArgument(
+            "two indexes share the name '" + config.indexes[i].first +
+            "'; disambiguate with --index NAME=DIR");
+      }
+    }
+  }
+  return config;
+}
+
+}  // namespace server
+}  // namespace oasis

@@ -1,0 +1,67 @@
+// oasisd's command-line surface, parsed apart from main() so every range
+// check is unit-testable (tests/server_test.cc) — the same discipline
+// util/flag_parse.h brought to oasis_cli: a typo'd flag fails loudly by
+// name, it never wraps into a 4-billion-thread request.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/engine.h"
+#include "server/server.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace server {
+
+// Flag ranges. Wide enough for any sane deployment, narrow enough that a
+// typo cannot ask for terabytes of cache or a year-long deadline.
+inline constexpr uint32_t kMaxInflightLimit = 4096;     ///< --max-inflight cap
+inline constexpr uint64_t kMaxResultCacheMb = 4096;     ///< 4 GiB of cache
+inline constexpr uint64_t kMaxDeadlineMs = 1ull << 31;  ///< ~24.8 days
+inline constexpr uint64_t kMaxPoolMb = 1ull << 20;      ///< 1 TiB of pool
+inline constexpr uint64_t kMaxDrainTimeoutMs = 600000;  ///< 10 minutes
+
+/// Everything main() needs to boot a daemon: which indexes to open, how
+/// to open them, and the server knobs.
+struct DaemonConfig {
+  /// (name, index directory) pairs, in flag order; the first is the
+  /// default index.
+  std::vector<std::pair<std::string, std::string>> indexes;
+  /// Engine construction knobs shared by every opened index.
+  api::EngineOptions engine;
+  /// Listener / admission / cache / deadline knobs.
+  ServerOptions server;
+};
+
+/// Parses oasisd's arguments (argv[1..]):
+///
+///   --index [NAME=]DIR     serve this index (repeatable; required at
+///                          least once; NAME defaults to DIR's basename)
+///   --host HOST            listen address          (default 127.0.0.1)
+///   --port PORT            listen port, 0=ephemeral (default 0)
+///   --max-inflight N       admission cap            (default 64)
+///   --result-cache-mb MB   result cache, 0=off      (default 16)
+///   --deadline-ms MS       server-side deadline cap (default none)
+///   --max-pinned-fraction F reject above this pool pressure (default 0.95)
+///   --drain-timeout-ms MS  shutdown grace window    (default 5000)
+///   --pool-mb MB           shared buffer pool size  (default 64)
+///   --io-mode auto|pooled|mmap                      (default pooled)
+///   --readahead K|auto     speculative readahead    (default off)
+///
+/// Every numeric value is range-checked via util/flag_parse; the returned
+/// status names the offending flag. The daemon defaults to the pooled
+/// I/O path (not auto): admission control and /stats are built on the
+/// pool's live counters, so silently resolving to mmap would disable
+/// both.
+util::StatusOr<DaemonConfig> ParseDaemonArgs(
+    const std::vector<std::string>& args);
+
+/// One usage string for main() and the tests that pin it.
+std::string DaemonUsage();
+
+}  // namespace server
+}  // namespace oasis

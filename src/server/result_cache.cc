@@ -1,0 +1,66 @@
+#include "server/result_cache.h"
+
+namespace oasis {
+namespace server {
+
+uint64_t ResultCache::EntryBytes(const std::string& key,
+                                 const CachedResult& lines) {
+  uint64_t bytes = key.size();
+  if (lines != nullptr) {
+    for (const std::string& line : *lines) bytes += line.size();
+  }
+  return bytes;
+}
+
+CachedResult ResultCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lookups_;
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  ++hits_;
+  // Refresh recency: splice the entry to the front of the LRU list.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->lines;
+}
+
+void ResultCache::Insert(const std::string& key, CachedResult lines) {
+  if (capacity_bytes_ == 0 || lines == nullptr) return;
+  const uint64_t entry_bytes = EntryBytes(key, lines);
+  if (entry_bytes > capacity_bytes_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    it->second->lines = std::move(lines);
+    it->second->bytes = entry_bytes;
+    bytes_ += entry_bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(lines), entry_bytes});
+    index_.emplace(key, lru_.begin());
+    bytes_ += entry_bytes;
+    ++insertions_;
+  }
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.lookups = lookups_;
+  stats.hits = hits_;
+  stats.insertions = insertions_;
+  stats.evictions = evictions_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  return stats;
+}
+
+}  // namespace server
+}  // namespace oasis

@@ -1,0 +1,95 @@
+// Hot-query result cache for oasisd.
+//
+// The daemon's whole point is that repeat traffic is cheap: the pool keeps
+// hot index blocks resident, and this cache goes one step further for
+// *identical* queries — the formatted hit lines of a completed stream are
+// kept and replayed without touching the search at all. Keys are
+// (engine epoch | canonical request), so reopening an index — a new
+// Engine, hence a new epoch — implicitly invalidates every entry for it;
+// no explicit flush protocol is needed. Values are the exact bytes the
+// live stream produced, which makes cached replays trivially
+// byte-identical to uncached ones.
+//
+// Only streams that ran to completion are inserted: a deadline- or
+// cancel-aborted stream is a prefix, and serving a prefix as the full
+// answer would be silent corruption.
+//
+// Bounded by total byte size with LRU eviction under one mutex — lookups
+// copy a shared_ptr out, so streaming a cached result never holds the
+// lock.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace oasis {
+namespace server {
+
+/// The cached value: a completed stream's formatted hit lines, in emission
+/// order. Shared so eviction can race a replay harmlessly.
+using CachedResult = std::shared_ptr<const std::vector<std::string>>;
+
+/// Thread-safe LRU cache of completed result streams, bounded by bytes.
+class ResultCache {
+ public:
+  /// Monotone counters plus the live footprint.
+  struct Stats {
+    uint64_t lookups = 0;     ///< Lookup() calls
+    uint64_t hits = 0;        ///< lookups that returned an entry
+    uint64_t insertions = 0;  ///< completed streams stored
+    uint64_t evictions = 0;   ///< entries dropped to fit the budget
+    uint64_t entries = 0;     ///< live entries
+    uint64_t bytes = 0;       ///< live footprint (keys + lines)
+  };
+
+  /// A cache that never holds more than `capacity_bytes` of entries.
+  /// 0 disables caching entirely (every Lookup misses, Insert is a no-op).
+  explicit ResultCache(uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The entry for `key`, nullptr on miss. A hit refreshes LRU recency.
+  CachedResult Lookup(const std::string& key);
+
+  /// Stores a completed stream under `key`, evicting least-recently-used
+  /// entries until it fits. An entry larger than the whole capacity is
+  /// not stored. Re-inserting an existing key replaces its value.
+  void Insert(const std::string& key, CachedResult lines);
+
+  /// Point-in-time counters (for /stats).
+  Stats stats() const;
+  /// The configured byte budget; 0 means caching is disabled.
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  /// Footprint of one entry: its key plus every cached line.
+  static uint64_t EntryBytes(const std::string& key,
+                             const CachedResult& lines);
+
+  struct Entry {
+    std::string key;
+    CachedResult lines;
+    uint64_t bytes = 0;
+  };
+
+  const uint64_t capacity_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t bytes_ = 0;
+  uint64_t lookups_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace server
+}  // namespace oasis

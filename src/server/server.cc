@@ -1,0 +1,457 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "core/report.h"
+#include "util/logging.h"
+
+namespace oasis {
+namespace server {
+
+namespace {
+
+/// How often a connection's idle loop and the accept loop wake up to
+/// recheck the stop flag.
+constexpr int kPollIntervalMs = 100;
+
+/// The streaming poll hook checks the client socket for mid-stream
+/// frames (cancel, disconnect) once every this many cursor suspension
+/// points. Suspension points are queue pops — microseconds apart — so
+/// this keeps the syscall rate negligible while still reacting to a
+/// cancel within a fraction of a millisecond of search time.
+constexpr uint64_t kSocketCheckInterval = 128;
+
+SessionRegistry::Options MakeRegistryOptions(
+    const std::vector<ServedIndex>& indexes, const ServerOptions& options) {
+  SessionRegistry::Options out;
+  out.max_inflight = options.max_inflight;
+  out.max_pinned_fraction = options.max_pinned_fraction;
+  // The pressure probe reads the first pooled engine's live pin count:
+  // a multi-index server shares one admission gate, and the first pooled
+  // pool is where concurrent cursors contend.
+  for (const ServedIndex& index : indexes) {
+    if (index.engine->uses_pool()) {
+      const api::Engine* engine = index.engine;
+      out.pinned_fraction = [engine]() {
+        const storage::BufferPool& pool = engine->pool();
+        const uint32_t frames = pool.num_frames();
+        if (frames == 0) return 0.0;
+        return static_cast<double>(pool.num_pinned()) / frames;
+      };
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+/// Per-connection state: the socket, the partial-frame receive buffer,
+/// and the handler thread that owns both.
+struct Server::Connection {
+  int fd = -1;
+  std::string buf;              ///< bytes received but not yet framed
+  std::thread thread;
+  std::atomic<bool> finished{false};
+};
+
+util::StatusOr<std::unique_ptr<Server>> Server::Start(
+    std::vector<ServedIndex> indexes, const ServerOptions& options) {
+  if (indexes.empty()) {
+    return util::Status::InvalidArgument("server needs at least one index");
+  }
+  for (size_t i = 0; i < indexes.size(); ++i) {
+    if (indexes[i].engine == nullptr) {
+      return util::Status::InvalidArgument("served index '" +
+                                           indexes[i].name +
+                                           "' has no engine");
+    }
+    for (size_t j = i + 1; j < indexes.size(); ++j) {
+      if (indexes[i].name == indexes[j].name) {
+        return util::Status::InvalidArgument("duplicate served index name '" +
+                                             indexes[i].name + "'");
+      }
+    }
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::IOError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Status::InvalidArgument("cannot parse listen host '" +
+                                         options.host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::IOError("bind " + options.host + ":" +
+                                 std::to_string(options.port) + ": " + err);
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::IOError("listen: " + err);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::IOError("getsockname: " + err);
+  }
+
+  std::unique_ptr<Server> server(
+      new Server(std::move(indexes), options, fd, ntohs(addr.sin_port)));
+  server->accept_thread_ = std::thread([s = server.get()]() {
+    s->AcceptLoop();
+  });
+  return server;
+}
+
+Server::Server(std::vector<ServedIndex> indexes, const ServerOptions& options,
+               int listen_fd, uint16_t port)
+    : indexes_(std::move(indexes)),
+      options_(options),
+      registry_(MakeRegistryOptions(indexes_, options)),
+      cache_(options.result_cache_bytes),
+      listen_fd_(listen_fd),
+      port_(port) {}
+
+Server::~Server() { Shutdown(); }
+
+void Server::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready <= 0) {
+      // Timeout (recheck stop) or a transient poll error; either way,
+      // reap finished handlers so their threads do not pile up.
+      ReapConnections(/*all=*/false);
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Hit frames are tiny and latency-sensitive: without TCP_NODELAY,
+    // Nagle batches them against the client's delayed ACKs and every
+    // request/response turn stalls for tens of milliseconds.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw]() {
+      HandleConnection(raw);
+      raw->finished.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void Server::ReapConnections(bool all) {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (all || (*it)->finished.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+const api::Engine* Server::FindEngine(const std::string& name) const {
+  if (name.empty()) return indexes_.front().engine;
+  for (const ServedIndex& index : indexes_) {
+    if (index.name == name) return index.engine;
+  }
+  return nullptr;
+}
+
+void Server::HandleConnection(Connection* conn) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Drain complete frames already buffered before touching the socket.
+    Frame frame;
+    auto consumed = DecodeFrame(conn->buf, &frame);
+    if (!consumed.ok()) break;  // corrupt peer: drop the connection
+    if (*consumed > 0) {
+      conn->buf.erase(0, *consumed);
+      switch (frame.type) {
+        case FrameType::kPing:
+          if (!SendFrame(conn->fd, FrameType::kPong, "").ok()) goto done;
+          break;
+        case FrameType::kStats:
+          if (!SendFrame(conn->fd, FrameType::kStatsJson, StatsJson()).ok()) {
+            goto done;
+          }
+          break;
+        case FrameType::kCancel:
+          // No query in flight; nothing to cancel. Harmless (the client
+          // raced its cancel against our kDone).
+          break;
+        case FrameType::kQuery:
+          if (!HandleQuery(conn, frame.payload)) goto done;
+          break;
+        default:
+          // A response-typed frame from a client is protocol corruption.
+          SendFrame(conn->fd, FrameType::kError,
+                    util::Status::InvalidArgument(
+                        "unexpected frame type from client")
+                        .ToString());
+          goto done;
+      }
+      continue;
+    }
+    // Need more bytes; wait with a bounded poll so shutdown is noticed.
+    pollfd pfd{conn->fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    char chunk[4096];
+    const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // client closed (or hard error)
+    conn->buf.append(chunk, static_cast<size_t>(n));
+  }
+done:
+  ::close(conn->fd);
+  conn->fd = -1;
+}
+
+bool Server::HandleQuery(Connection* conn, const std::string& payload) {
+  auto request_or = WireRequest::Parse(payload);
+  if (!request_or.ok()) {
+    return SendFrame(conn->fd, FrameType::kError,
+                     request_or.status().ToString())
+        .ok();
+  }
+  const WireRequest& wire = *request_or;
+
+  const api::Engine* engine = FindEngine(wire.index);
+  if (engine == nullptr) {
+    return SendFrame(conn->fd, FrameType::kError,
+                     util::Status::NotFound("no index named '" + wire.index +
+                                            "'")
+                         .ToString())
+        .ok();
+  }
+
+  auto ticket_or = registry_.Admit();
+  if (!ticket_or.ok()) {
+    return SendFrame(conn->fd, FrameType::kError,
+                     ticket_or.status().ToString())
+        .ok();
+  }
+  // The ticket lives in an optional so every terminator path can release
+  // the admission slot *before* the final frame goes out: a client that
+  // has seen kDone/kError may immediately issue its next query without
+  // racing a still-occupied server slot.
+  std::optional<SessionRegistry::Ticket> ticket(std::move(ticket_or).value());
+
+  // Cache: a completed stream for the same (epoch, canonical request) is
+  // replayed verbatim — byte-identical by construction.
+  const std::string cache_key =
+      std::to_string(engine->epoch()) + "|" + wire.CacheKey();
+  if (!wire.no_cache) {
+    if (CachedResult cached = cache_.Lookup(cache_key)) {
+      for (const std::string& line : *cached) {
+        if (!SendFrame(conn->fd, FrameType::kHit, line).ok()) return false;
+      }
+      ticket.reset();
+      return SendFrame(conn->fd, FrameType::kDone,
+                       EncodeDone({cached->size(), /*cached=*/true}))
+          .ok();
+    }
+  }
+
+  auto parsed = SearchRequest::FromText(engine->alphabet(), wire.query);
+  if (!parsed.ok()) {
+    ticket.reset();
+    return SendFrame(conn->fd, FrameType::kError, parsed.status().ToString())
+        .ok();
+  }
+  SearchRequest request = std::move(parsed).value();
+  if (wire.min_score > 0) {
+    request.MinScore(wire.min_score);
+  } else {
+    request.EValue(wire.evalue);
+  }
+  request.TopK(wire.top_k).OrderByEValue(wire.by_evalue);
+
+  // Deadline: the request's ask, capped by the server's max (which also
+  // applies when the request asked for none).
+  uint64_t deadline_ms = wire.deadline_ms;
+  if (options_.max_deadline_ms > 0 &&
+      (deadline_ms == 0 || deadline_ms > options_.max_deadline_ms)) {
+    deadline_ms = options_.max_deadline_ms;
+  }
+  if (deadline_ms > 0) {
+    request.Deadline(std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(deadline_ms));
+  }
+  request.CancelWith(ticket->cancel_flag());
+
+  // Mid-stream client watch: every kSocketCheckInterval suspension
+  // points, peek the socket without blocking — a kCancel frame or a
+  // disconnect aborts the search at this very suspension point.
+  uint64_t polls = 0;
+  request.PollWith([this, conn, &polls]() -> util::Status {
+    if (stop_.load(std::memory_order_relaxed)) {
+      return util::Status::Cancelled("server shutting down");
+    }
+    if (++polls % kSocketCheckInterval != 0) return util::Status::OK();
+    while (true) {
+      char chunk[1024];
+      const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n == 0) return util::Status::Cancelled("client disconnected");
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+        return util::Status::IOError(std::string("recv: ") +
+                                     std::strerror(errno));
+      }
+      conn->buf.append(chunk, static_cast<size_t>(n));
+    }
+    while (true) {
+      Frame frame;
+      OASIS_ASSIGN_OR_RETURN(size_t consumed, DecodeFrame(conn->buf, &frame));
+      if (consumed == 0) break;
+      conn->buf.erase(0, consumed);
+      if (frame.type == FrameType::kCancel) {
+        return util::Status::Cancelled("cancelled by client");
+      }
+      return util::Status::InvalidArgument(
+          "unexpected frame mid-stream (only cancel is legal)");
+    }
+    return util::Status::OK();
+  });
+
+  auto cursor_or = engine->Search(request);
+  if (!cursor_or.ok()) {
+    ticket.reset();
+    return SendFrame(conn->fd, FrameType::kError,
+                     cursor_or.status().ToString())
+        .ok();
+  }
+
+  auto lines = std::make_shared<std::vector<std::string>>();
+  util::Status terminal = util::Status::OK();
+  {
+    // The cursor borrows the ticket's cancel flag, so it must die (and
+    // drop its pins) before the ticket can be released below.
+    ResultCursor cursor = std::move(cursor_or).value();
+    while (true) {
+      auto next = cursor.Next();
+      if (!next.ok()) {
+        terminal = next.status();
+        break;
+      }
+      if (!next->has_value()) break;
+      const core::OasisResult& result = **next;
+      std::string line = core::FormatResult(
+          result, engine->catalog().name(result.sequence_id), result.evalue);
+      if (!SendFrame(conn->fd, FrameType::kHit, line).ok()) return false;
+      lines->push_back(std::move(line));
+    }
+  }
+  ticket.reset();
+  if (!terminal.ok()) {
+    // Deadline / cancellation / IO abort: the hits already streamed
+    // stand as the partial result, the error frame is the terminator.
+    // Never cache a prefix.
+    return SendFrame(conn->fd, FrameType::kError, terminal.ToString()).ok();
+  }
+  const uint64_t hits = lines->size();
+  if (!wire.no_cache) {
+    cache_.Insert(cache_key,
+                  CachedResult(std::move(lines)));
+  }
+  return SendFrame(conn->fd, FrameType::kDone,
+                   EncodeDone({hits, /*cached=*/false}))
+      .ok();
+}
+
+void Server::Shutdown() {
+  if (shut_down_.exchange(true)) return;
+
+  // 1. Refuse new queries immediately: connections still get answers
+  //    (kUnavailable) while the drain runs.
+  registry_.BeginDrain();
+
+  // 2. Give in-flight cursors the grace window, then escalate: set every
+  //    live ticket's cancel flag, and each search aborts at its next
+  //    suspension point, releasing its pins on the way out.
+  if (!registry_.WaitIdle(options_.drain_timeout)) {
+    registry_.CancelAll();
+    registry_.WaitIdle(options_.drain_timeout);
+  }
+
+  // 3. Stop the accept loop and every connection handler (their idle
+  //    loops poll the stop flag at kPollIntervalMs).
+  stop_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ReapConnections(/*all=*/true);
+}
+
+std::string Server::StatsJson() const {
+  const SessionRegistry::Stats session = registry_.stats();
+  const ResultCache::Stats cache = cache_.stats();
+  std::string out = "{\"server\":{";
+  out += "\"draining\":" +
+         std::string(registry_.draining() ? "true" : "false");
+  out += ",\"sessions\":{\"active\":" + std::to_string(session.active) +
+         ",\"admitted\":" + std::to_string(session.admitted) +
+         ",\"rejected_inflight\":" + std::to_string(session.rejected_inflight) +
+         ",\"rejected_pressure\":" + std::to_string(session.rejected_pressure) +
+         ",\"rejected_draining\":" + std::to_string(session.rejected_draining) +
+         "}";
+  out += ",\"cache\":{\"capacity_bytes\":" +
+         std::to_string(cache_.capacity_bytes()) +
+         ",\"lookups\":" + std::to_string(cache.lookups) +
+         ",\"hits\":" + std::to_string(cache.hits) +
+         ",\"insertions\":" + std::to_string(cache.insertions) +
+         ",\"evictions\":" + std::to_string(cache.evictions) +
+         ",\"entries\":" + std::to_string(cache.entries) +
+         ",\"bytes\":" + std::to_string(cache.bytes) + "}";
+  out += "},\"indexes\":{";
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    const ServedIndex& index = indexes_[i];
+    if (i > 0) out += ',';
+    out += "\"" + util::JsonEscape(index.name) + "\":{";
+    out += "\"epoch\":" + std::to_string(index.engine->epoch());
+    out += ",\"engine\":" + util::StatsJson(index.engine->CollectStats());
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace server
+}  // namespace oasis

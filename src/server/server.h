@@ -1,0 +1,143 @@
+// oasisd's core: a TCP listener streaming search results off pull cursors.
+//
+// One Server owns one listening socket, a SessionRegistry (admission),
+// a ResultCache (hot queries), and a view of one or more already-open
+// engines. Every accepted connection gets a handler thread that speaks
+// the wire protocol (server/wire.h): queries stream one kHit frame per
+// result, pulled straight off Engine::Search's ResultCursor — the client
+// receives each hit when it is proven, exactly like a local search, and
+// every cursor suspension point doubles as the deadline / cancellation /
+// client-disconnect poll.
+//
+// All connections share the engines as-is: one packed tree, one sharded
+// buffer pool, one readahead unit per engine — concurrency comes from the
+// storage layer's existing thread-safety (the same property SearchBatch
+// exploits in-process), not from per-connection replicas. The
+// SessionRegistry's pressure probe reads the first pooled engine's live
+// pinned-frame fraction, tying admission to actual pool load.
+//
+// Shutdown() is graceful by construction: stop accepting, flip the
+// registry to draining (new queries get kUnavailable), wait for in-flight
+// cursors to finish, escalate to CancelAll() if they outlive the drain
+// timeout (each search aborts at its next suspension point, releasing its
+// pins), then join every handler. A suspended cursor holds zero pool
+// frames, so a drained server provably leaks no pins — tests assert
+// num_pinned() == 0 after shutdown under load.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "server/result_cache.h"
+#include "server/session.h"
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace server {
+
+/// Construction-time knobs of a Server.
+struct ServerOptions {
+  /// Listen address. The default binds loopback only: oasisd has no
+  /// authentication, so exposing it wider must be an explicit choice.
+  std::string host = "127.0.0.1";
+  /// Listen port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Admission cap on concurrently running queries.
+  uint32_t max_inflight = 64;
+  /// Admission cap on the shared pool's pinned-frame fraction; 1.0
+  /// disables the pressure gate.
+  double max_pinned_fraction = 0.95;
+  /// Result-cache budget in bytes; 0 disables caching.
+  uint64_t result_cache_bytes = 16ull << 20;
+  /// Server-side deadline cap in milliseconds, applied to every query: a
+  /// request asking for more (or for none) runs under this cap. 0 = no
+  /// server-imposed deadline.
+  uint64_t max_deadline_ms = 0;
+  /// How long Shutdown() waits for in-flight queries before escalating to
+  /// cancellation.
+  std::chrono::milliseconds drain_timeout{5000};
+};
+
+/// One served index: a name (the wire request's `ix=` selector) and the
+/// engine that answers for it.
+struct ServedIndex {
+  std::string name;                    ///< wire selector; must be unique
+  const api::Engine* engine = nullptr; ///< non-owned, must outlive the server
+};
+
+/// The daemon core. Start() binds + listens + spawns the accept loop;
+/// Shutdown() (or destruction) drains and joins everything. All public
+/// members are thread-safe.
+class Server {
+ public:
+  /// Binds and starts serving. `indexes` must be non-empty with unique
+  /// names; the first entry answers requests that name no index. The
+  /// engines must outlive the server.
+  static util::StatusOr<std::unique_ptr<Server>> Start(
+      std::vector<ServedIndex> indexes, const ServerOptions& options);
+
+  /// Runs Shutdown() if it has not been called yet.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound listen port (the ephemeral one when options.port was 0).
+  uint16_t port() const { return port_; }
+  /// The bound listen host.
+  const std::string& host() const { return options_.host; }
+
+  /// Graceful shutdown: refuse new connections and queries, drain
+  /// in-flight cursors (escalating to cancellation after
+  /// options.drain_timeout), then join every thread. Idempotent; also run
+  /// by the destructor.
+  void Shutdown();
+
+  /// The /stats document: admission + cache counters under "server",
+  /// each index's epoch and engine storage snapshot (util::StatsJson)
+  /// under "indexes".
+  std::string StatsJson() const;
+
+  /// Admission counters (also embedded in StatsJson).
+  SessionRegistry::Stats session_stats() const { return registry_.stats(); }
+  /// Result-cache counters (also embedded in StatsJson).
+  ResultCache::Stats cache_stats() const { return cache_.stats(); }
+
+ private:
+  struct Connection;
+
+  Server(std::vector<ServedIndex> indexes, const ServerOptions& options,
+         int listen_fd, uint16_t port);
+
+  void AcceptLoop();
+  void HandleConnection(Connection* conn);
+  /// Runs one query end to end: parse, admit, cache-check, stream.
+  /// Returns false when the connection is unusable afterwards.
+  bool HandleQuery(Connection* conn, const std::string& payload);
+  /// Joins finished connection threads; with `all`, joins every one.
+  void ReapConnections(bool all);
+  const api::Engine* FindEngine(const std::string& name) const;
+
+  const std::vector<ServedIndex> indexes_;
+  const ServerOptions options_;
+  SessionRegistry registry_;
+  ResultCache cache_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> shut_down_{false};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace server
+}  // namespace oasis

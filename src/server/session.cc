@@ -1,0 +1,86 @@
+#include "server/session.h"
+
+#include <string>
+
+namespace oasis {
+namespace server {
+
+void SessionRegistry::Ticket::Release() {
+  if (registry_ != nullptr) {
+    registry_->Release(id_);
+    registry_ = nullptr;
+  }
+}
+
+util::StatusOr<SessionRegistry::Ticket> SessionRegistry::Admit() {
+  // The pressure probe reads pool atomics; keep it outside the lock.
+  double pinned = 0.0;
+  if (options_.pinned_fraction && options_.max_pinned_fraction < 1.0) {
+    pinned = options_.pinned_fraction();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    ++rejected_draining_;
+    return util::Status::Unavailable("server is shutting down");
+  }
+  if (active_.size() >= options_.max_inflight) {
+    ++rejected_inflight_;
+    return util::Status::Unavailable(
+        "server at max in-flight queries (" +
+        std::to_string(options_.max_inflight) + "); retry later");
+  }
+  if (pinned > options_.max_pinned_fraction) {
+    ++rejected_pressure_;
+    return util::Status::Unavailable(
+        "buffer pool under pressure (" + std::to_string(pinned) +
+        " of frames pinned); retry later");
+  }
+  const uint64_t id = next_id_++;
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  active_.emplace(id, cancel);
+  ++admitted_;
+  return Ticket(this, id, std::move(cancel));
+}
+
+void SessionRegistry::Release(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.erase(id);
+  if (active_.empty()) idle_cv_.notify_all();
+}
+
+void SessionRegistry::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+bool SessionRegistry::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+bool SessionRegistry::WaitIdle(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_for(lock, timeout,
+                           [this]() { return active_.empty(); });
+}
+
+void SessionRegistry::CancelAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, cancel] : active_) {
+    cancel->store(true, std::memory_order_relaxed);
+  }
+}
+
+SessionRegistry::Stats SessionRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.admitted = admitted_;
+  stats.rejected_inflight = rejected_inflight_;
+  stats.rejected_pressure = rejected_pressure_;
+  stats.rejected_draining = rejected_draining_;
+  stats.active = static_cast<uint32_t>(active_.size());
+  return stats;
+}
+
+}  // namespace server
+}  // namespace oasis

@@ -1,0 +1,140 @@
+// Admission control and lifecycle tracking for oasisd's in-flight queries.
+//
+// Every query the daemon runs holds a Ticket from the SessionRegistry for
+// its whole lifetime. Admission is where overload policy lives — a query
+// is *rejected up front* (kUnavailable, cheap for the client to retry)
+// rather than admitted into a thrashing pool, on any of:
+//
+//   - the registry is draining (shutdown began),
+//   - max_inflight tickets are already live,
+//   - the buffer pool's pinned-frame fraction is above the pressure
+//     threshold (each live cursor pins frames only while advancing, but
+//     enough concurrent cursors can still pin a small pool solid — the
+//     pressure probe is the live num_pinned()/num_frames() reading).
+//
+// Each ticket carries the query's cancellation flag: the connection
+// handler hands it to SearchRequest::CancelWith, so CancelAll() — the
+// drain-timeout escalation — aborts every live search at its next
+// suspension point. WaitIdle() is the graceful half of shutdown: block
+// until the live count reaches zero or the timeout lapses.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace oasis {
+namespace server {
+
+/// Thread-safe admission gate + live-query registry. One per server.
+class SessionRegistry {
+ public:
+  /// Admission policy knobs.
+  struct Options {
+    /// Hard cap on concurrently admitted queries.
+    uint32_t max_inflight = 64;
+    /// Reject when `pinned_fraction()` exceeds this. 1.0 disables the
+    /// pressure check (and is the only sane setting when no probe is
+    /// configured).
+    double max_pinned_fraction = 0.95;
+    /// Live pool-pressure probe: pinned frames / total frames, in [0, 1].
+    /// Null = no pressure check (mmap engines have no pool to pressure).
+    std::function<double()> pinned_fraction;
+  };
+
+  /// Admission counters; every rejection path is separately visible in
+  /// /stats so an operator can tell "too many clients" from "pool too
+  /// small" at a glance.
+  struct Stats {
+    uint64_t admitted = 0;           ///< queries admitted since start
+    uint64_t rejected_inflight = 0;  ///< max_inflight reached
+    uint64_t rejected_pressure = 0;  ///< pinned fraction over threshold
+    uint64_t rejected_draining = 0;  ///< shutdown in progress
+    uint32_t active = 0;             ///< live tickets right now
+  };
+
+  /// RAII admission: constructed only by Admit(), releases its slot on
+  /// destruction. Move-only.
+  class Ticket {
+   public:
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      Release();
+      registry_ = other.registry_;
+      id_ = other.id_;
+      cancel_ = std::move(other.cancel_);
+      other.registry_ = nullptr;
+      return *this;
+    }
+    /// Releases the admission slot (and wakes WaitIdle() when last out).
+    ~Ticket() { Release(); }
+
+    /// This query's cancellation flag (stable address for the ticket's
+    /// lifetime): pass to SearchRequest::CancelWith. Set by CancelAll()
+    /// or by the connection handler on client cancel/disconnect.
+    const std::atomic<bool>* cancel_flag() const { return cancel_.get(); }
+    /// Requests cancellation of this query (any thread).
+    void Cancel() { cancel_->store(true, std::memory_order_relaxed); }
+
+   private:
+    friend class SessionRegistry;
+    Ticket(SessionRegistry* registry, uint64_t id,
+           std::shared_ptr<std::atomic<bool>> cancel)
+        : registry_(registry), id_(id), cancel_(std::move(cancel)) {}
+    void Release();
+
+    SessionRegistry* registry_ = nullptr;
+    uint64_t id_ = 0;
+    std::shared_ptr<std::atomic<bool>> cancel_;
+  };
+
+  /// A registry starts accepting; BeginDrain() is the only off switch.
+  explicit SessionRegistry(const Options& options) : options_(options) {}
+
+  /// Admits one query or explains the rejection (always kUnavailable, with
+  /// a message naming the specific gate that fired).
+  util::StatusOr<Ticket> Admit();
+
+  /// Flips the registry into draining mode: every later Admit() is
+  /// rejected. Idempotent.
+  void BeginDrain();
+
+  /// True once BeginDrain() has run.
+  bool draining() const;
+
+  /// Blocks until no tickets are live or `timeout` lapses; true on idle.
+  bool WaitIdle(std::chrono::milliseconds timeout);
+
+  /// Sets every live ticket's cancellation flag (the drain-timeout
+  /// escalation: each search aborts at its next suspension point).
+  void CancelAll();
+
+  /// Point-in-time admission counters (for /stats).
+  Stats stats() const;
+
+ private:
+  friend class Ticket;
+  void Release(uint64_t id);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  bool draining_ = false;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<std::atomic<bool>>> active_;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_inflight_ = 0;
+  uint64_t rejected_pressure_ = 0;
+  uint64_t rejected_draining_ = 0;
+};
+
+}  // namespace server
+}  // namespace oasis

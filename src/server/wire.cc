@@ -1,0 +1,254 @@
+#include "server/wire.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "util/flag_parse.h"
+#include "util/logging.h"
+
+namespace oasis {
+namespace server {
+
+namespace {
+
+bool KnownFrameType(uint8_t tag) {
+  switch (static_cast<FrameType>(tag)) {
+    case FrameType::kQuery:
+    case FrameType::kCancel:
+    case FrameType::kStats:
+    case FrameType::kPing:
+    case FrameType::kHit:
+    case FrameType::kDone:
+    case FrameType::kError:
+    case FrameType::kStatsJson:
+    case FrameType::kPong:
+      return true;
+  }
+  return false;
+}
+
+/// Formats a double with enough digits to round-trip (the canonical
+/// request encoding must be stable, not pretty).
+std::string EncodeDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  OASIS_CHECK(payload.size() <= kMaxFramePayload)
+      << "frame payload exceeds kMaxFramePayload";
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>(len & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.push_back(static_cast<char>(type));
+  out.append(payload);
+  return out;
+}
+
+util::StatusOr<size_t> DecodeFrame(std::string_view buf, Frame* out) {
+  if (buf.size() < kFrameHeaderBytes) return size_t{0};
+  const auto* b = reinterpret_cast<const unsigned char*>(buf.data());
+  const uint32_t len = static_cast<uint32_t>(b[0]) |
+                       (static_cast<uint32_t>(b[1]) << 8) |
+                       (static_cast<uint32_t>(b[2]) << 16) |
+                       (static_cast<uint32_t>(b[3]) << 24);
+  if (len > kMaxFramePayload) {
+    return util::Status::Corruption(
+        "frame announces " + std::to_string(len) +
+        "-byte payload, over the " + std::to_string(kMaxFramePayload) +
+        " limit");
+  }
+  if (!KnownFrameType(b[4])) {
+    return util::Status::Corruption("unknown frame type tag " +
+                                    std::to_string(b[4]));
+  }
+  if (buf.size() < kFrameHeaderBytes + len) return size_t{0};
+  out->type = static_cast<FrameType>(b[4]);
+  out->payload.assign(buf.substr(kFrameHeaderBytes, len));
+  return kFrameHeaderBytes + len;
+}
+
+// --- WireRequest ------------------------------------------------------------
+
+std::string WireRequest::Encode() const {
+  // Fixed key order, defaults omitted: the canonical form CacheKey()
+  // relies on.
+  std::string out;
+  if (!index.empty()) out += "ix=" + index + "\n";
+  out += "q=" + query + "\n";
+  if (min_score > 0) {
+    out += "ms=" + std::to_string(min_score) + "\n";
+  } else if (evalue != 10.0) {
+    out += "ev=" + EncodeDouble(evalue) + "\n";
+  }
+  if (top_k > 0) out += "top=" + std::to_string(top_k) + "\n";
+  if (by_evalue) out += "bye=1\n";
+  if (deadline_ms > 0) out += "dl=" + std::to_string(deadline_ms) + "\n";
+  if (no_cache) out += "nc=1\n";
+  return out;
+}
+
+util::StatusOr<WireRequest> WireRequest::Parse(std::string_view payload) {
+  WireRequest req;
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    size_t eol = payload.find('\n', pos);
+    if (eol == std::string_view::npos) eol = payload.size();
+    const std::string_view line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return util::Status::InvalidArgument("malformed request line '" +
+                                           std::string(line) + "'");
+    }
+    const std::string_view key = line.substr(0, eq);
+    const std::string_view value = line.substr(eq + 1);
+    if (key == "ix") {
+      req.index.assign(value);
+    } else if (key == "q") {
+      req.query.assign(value);
+    } else if (key == "ev") {
+      OASIS_ASSIGN_OR_RETURN(req.evalue,
+                             util::ParseDouble(value, 1e-300, 1e12));
+    } else if (key == "ms") {
+      OASIS_ASSIGN_OR_RETURN(
+          int64_t ms,
+          util::ParseInt64(value, 1,
+                           std::numeric_limits<score::ScoreT>::max()));
+      req.min_score = static_cast<score::ScoreT>(ms);
+    } else if (key == "top") {
+      OASIS_ASSIGN_OR_RETURN(req.top_k,
+                             util::ParseUint64(value, 1, 1ull << 40));
+    } else if (key == "bye") {
+      if (value != "1") {
+        return util::Status::InvalidArgument("bye must be 1 when present");
+      }
+      req.by_evalue = true;
+    } else if (key == "dl") {
+      OASIS_ASSIGN_OR_RETURN(req.deadline_ms,
+                             util::ParseUint64(value, 1, 1ull << 31));
+    } else if (key == "nc") {
+      if (value != "1") {
+        return util::Status::InvalidArgument("nc must be 1 when present");
+      }
+      req.no_cache = true;
+    } else {
+      // A version-skewed peer's new knob must not be silently ignored:
+      // the search it gets would not be the search it asked for.
+      return util::Status::InvalidArgument("unknown request key '" +
+                                           std::string(key) + "'");
+    }
+  }
+  if (req.query.empty()) {
+    return util::Status::InvalidArgument("request carries no query (q=)");
+  }
+  return req;
+}
+
+std::string WireRequest::CacheKey() const {
+  // Canonical encoding minus the fields that do not change the result
+  // stream. Round-tripping through a copy keeps this exhaustive by
+  // construction: any new field added to Encode() is in the key unless
+  // explicitly reset here.
+  WireRequest canonical = *this;
+  canonical.deadline_ms = 0;
+  canonical.no_cache = false;
+  return canonical.Encode();
+}
+
+// --- kDone / kError payloads ------------------------------------------------
+
+std::string EncodeDone(const DoneInfo& info) {
+  return "hits=" + std::to_string(info.hits) +
+         " cached=" + (info.cached ? std::string("1") : std::string("0"));
+}
+
+util::StatusOr<DoneInfo> ParseDone(std::string_view payload) {
+  DoneInfo info;
+  unsigned long long hits = 0;
+  int cached = 0;
+  if (std::sscanf(std::string(payload).c_str(), "hits=%llu cached=%d", &hits,
+                  &cached) != 2 ||
+      (cached != 0 && cached != 1)) {
+    return util::Status::Corruption("malformed done payload '" +
+                                    std::string(payload) + "'");
+  }
+  info.hits = hits;
+  info.cached = cached == 1;
+  return info;
+}
+
+util::Status DecodeError(std::string_view payload) {
+  const size_t colon = payload.find(": ");
+  if (colon != std::string_view::npos) {
+    const std::string_view code = payload.substr(0, colon);
+    std::string message(payload.substr(colon + 2));
+    if (code == "DeadlineExceeded") {
+      return util::Status::DeadlineExceeded(std::move(message));
+    }
+    if (code == "Cancelled") return util::Status::Cancelled(std::move(message));
+    if (code == "Unavailable") {
+      return util::Status::Unavailable(std::move(message));
+    }
+    if (code == "InvalidArgument") {
+      return util::Status::InvalidArgument(std::move(message));
+    }
+    if (code == "NotFound") return util::Status::NotFound(std::move(message));
+    if (code == "IOError") return util::Status::IOError(std::move(message));
+    if (code == "Corruption") {
+      return util::Status::Corruption(std::move(message));
+    }
+  }
+  return util::Status::Internal(std::string(payload));
+}
+
+// --- Blocking socket helpers ------------------------------------------------
+
+util::Status SendFrame(int fd, FrameType type, std::string_view payload) {
+  const std::string frame = EncodeFrame(type, payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IOError(std::string("write: ") +
+                                   std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+util::Status RecvFrame(int fd, std::string* buf, Frame* out) {
+  while (true) {
+    OASIS_ASSIGN_OR_RETURN(size_t consumed, DecodeFrame(*buf, out));
+    if (consumed > 0) {
+      buf->erase(0, consumed);
+      return util::Status::OK();
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IOError(std::string("read: ") +
+                                   std::strerror(errno));
+    }
+    if (n == 0) return util::Status::IOError("peer closed connection");
+    buf->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace server
+}  // namespace oasis

@@ -1,0 +1,133 @@
+// oasisd's wire protocol: length-prefixed frames over a byte stream.
+//
+// Hand-rolled on purpose (no new dependencies): every message is one
+// frame — a 4-byte little-endian payload length, a 1-byte type, then the
+// payload. Requests are flat "key=value\n" text (trivially greppable in a
+// packet capture); responses stream one kHit frame per result line so a
+// client renders hits as they are proven, exactly like the local CLI.
+//
+//   client -> server        server -> client
+//   kQuery   run a search   kHit       one formatted result line
+//   kCancel  abort stream   kDone      stream complete (hits=N cached=0|1)
+//   kStats   stats request  kError     terminal failure ("Code: message")
+//   kPing    liveness       kStatsJson /stats payload
+//                           kPong      liveness reply
+//
+// A query is exactly one kQuery frame answered by zero or more kHit
+// frames terminated by kDone or kError; kCancel may be sent at any point
+// mid-stream and is acknowledged with kError(Cancelled). Everything here
+// is socket-free (encode/parse on byte buffers) except the two blocking
+// helpers at the bottom, so the protocol is unit-testable without a
+// listener.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "score/substitution_matrix.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace server {
+
+/// Frame type tags. Client-to-server types are low, server-to-client
+/// high, so a stray response frame can never parse as a request.
+enum class FrameType : uint8_t {
+  kQuery = 1,      ///< payload: WireRequest::Encode()
+  kCancel = 2,     ///< abort the in-flight stream; empty payload
+  kStats = 3,      ///< request the /stats document; empty payload
+  kPing = 4,       ///< liveness probe; empty payload
+  kHit = 17,       ///< payload: one formatted result line
+  kDone = 18,      ///< payload: "hits=N cached=0|1"
+  kError = 19,     ///< payload: Status::ToString() ("Code: message")
+  kStatsJson = 20, ///< payload: the stats JSON document
+  kPong = 21,      ///< liveness reply; empty payload
+};
+
+/// Frame header size: u32 LE payload length + u8 type.
+inline constexpr size_t kFrameHeaderBytes = 5;
+
+/// Upper bound on one frame's payload; a peer announcing more is corrupt
+/// or hostile and the connection is dropped. 1 MiB comfortably holds the
+/// longest query or stats document anyone has produced.
+inline constexpr uint32_t kMaxFramePayload = 1u << 20;
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kPing;  ///< the tag byte
+  std::string payload;                ///< payload bytes (may be empty)
+};
+
+/// Encodes a frame as header + payload bytes. Precondition: payload.size()
+/// <= kMaxFramePayload.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Attempts to decode one frame from the head of `buf`. Returns the bytes
+/// consumed, 0 when `buf` does not yet hold a complete frame (read more
+/// and retry), or Corruption when the header announces an oversized
+/// payload or an unknown type tag.
+util::StatusOr<size_t> DecodeFrame(std::string_view buf, Frame* out);
+
+/// A search request in wire form. The canonical encoding is sorted
+/// "key=value\n" lines; unknown keys are rejected (a version-skewed peer
+/// should fail loudly, not silently drop its knob).
+struct WireRequest {
+  std::string index;        ///< index name; "" = the server's default
+  std::string query;        ///< residue text (required, non-empty)
+  double evalue = 10.0;     ///< E-value cutoff (ignored when min_score > 0)
+  score::ScoreT min_score = 0;  ///< explicit threshold; 0 = derive from evalue
+  uint64_t top_k = 0;       ///< 0 = unlimited
+  bool by_evalue = false;   ///< E-value-ordered stream
+  uint64_t deadline_ms = 0; ///< per-request deadline; 0 = server default
+  bool no_cache = false;    ///< bypass the result cache (measurement runs)
+
+  /// Canonical "key=value\n" payload for a kQuery frame. Defaults are
+  /// omitted, keys are emitted in a fixed order — two requests that would
+  /// run the same search encode to the same bytes.
+  std::string Encode() const;
+
+  /// Parses a kQuery payload. InvalidArgument on unknown keys, malformed
+  /// or out-of-range values, or a missing query.
+  static util::StatusOr<WireRequest> Parse(std::string_view payload);
+
+  /// The result-cache key: the canonical encoding of every field that
+  /// changes the result stream. deadline_ms and no_cache are excluded —
+  /// a deadline changes when a search is cut off, never what its results
+  /// are, so a request with a deadline may still be served from (and,
+  /// when it completes, populate) the cache.
+  std::string CacheKey() const;
+};
+
+/// The kDone terminator's payload ("hits=N cached=0|1").
+struct DoneInfo {
+  uint64_t hits = 0;     ///< result lines streamed before the terminator
+  bool cached = false;   ///< true when the stream replayed a cache entry
+};
+
+/// Renders a DoneInfo as the canonical kDone payload.
+std::string EncodeDone(const DoneInfo& info);
+
+/// Parses a kDone payload; InvalidArgument on anything malformed.
+util::StatusOr<DoneInfo> ParseDone(std::string_view payload);
+
+/// Reconstructs a Status from a kError payload ("Code: message") — the
+/// inverse of Status::ToString() for the codes that cross the wire.
+/// Unrecognized code names map to Internal with the full payload as the
+/// message, so nothing is silently swallowed.
+util::Status DecodeError(std::string_view payload);
+
+// --- Blocking socket helpers (the only socket-aware part) -------------------
+
+/// Writes one complete frame to `fd`, retrying on EINTR / partial writes.
+util::Status SendFrame(int fd, FrameType type, std::string_view payload);
+
+/// Reads from `fd` into `buf` until it holds one complete frame, decodes
+/// it into `out`, and removes it from `buf`. `buf` carries partial bytes
+/// across calls (callers keep one per connection). IOError("peer closed
+/// connection") on EOF.
+util::Status RecvFrame(int fd, std::string* buf, Frame* out);
+
+}  // namespace server
+}  // namespace oasis

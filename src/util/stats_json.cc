@@ -1,0 +1,170 @@
+#include "util/stats_json.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace oasis {
+namespace util {
+
+namespace {
+
+/// printf-append onto a std::string (the renderers are format-heavy and
+/// the historical output was built with printf formatting, so keeping the
+/// exact format strings is the simplest byte-for-byte guarantee).
+void Appendf(std::string* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n > 0) {
+    const size_t old = out->size();
+    out->resize(old + static_cast<size_t>(n) + 1);
+    std::vsnprintf(out->data() + old, static_cast<size_t>(n) + 1, fmt,
+                   args_copy);
+    out->resize(old + static_cast<size_t>(n));
+  }
+  va_end(args_copy);
+}
+
+}  // namespace
+
+std::string StatsText(const EngineStatsSnapshot& s) {
+  std::string out;
+  if (!s.pooled) {
+    Appendf(&out,
+            "\nio mode mmap: zero-copy block access, no buffer-pool "
+            "statistics (use --io-mode pooled for Figure 8 numbers)\n");
+    Appendf(&out,
+            "readahead: n/a in mmap mode (speculation targets the "
+            "buffer pool; use --io-mode pooled --readahead K)\n");
+    return out;
+  }
+  Appendf(&out, "\nbuffer pool: %u frames x %u B in %u shard%s\n", s.frames,
+          s.block_size, s.shards, s.shards == 1 ? "" : "s");
+  Appendf(&out, "%-10s %12s %12s %10s\n", "segment", "requests", "hits",
+          "hit ratio");
+  for (const SegmentStatsRow& seg : s.segments) {
+    Appendf(&out, "%-10s %12llu %12llu %10.3f\n", seg.name.c_str(),
+            static_cast<unsigned long long>(seg.requests),
+            static_cast<unsigned long long>(seg.hits), seg.hit_ratio);
+  }
+  Appendf(&out, "%-10s %12llu %12llu %10.3f\n", "total",
+          static_cast<unsigned long long>(s.total.requests),
+          static_cast<unsigned long long>(s.total.hits), s.total.hit_ratio);
+  if (s.readahead_enabled) {
+    const std::string mode =
+        s.readahead_adaptive
+            ? "adaptive, initial " + std::to_string(s.readahead_blocks) +
+                  " blocks"
+            : std::to_string(s.readahead_blocks) + " blocks/miss";
+    Appendf(&out,
+            "readahead (%s): %llu issued, %llu used, %llu wasted "
+            "(waste ratio %.3f)\n",
+            mode.c_str(), static_cast<unsigned long long>(s.readahead_issued),
+            static_cast<unsigned long long>(s.readahead_used),
+            static_cast<unsigned long long>(s.readahead_wasted),
+            s.readahead_waste_ratio);
+    if (s.readahead_adaptive) {
+      Appendf(&out, "%-10s %8s %8s %7s %8s %7s %8s\n", "segment", "window",
+              "ewma", "samples", "grows", "shrinks", "probes");
+      for (const AdaptiveWindowRow& w : s.windows) {
+        Appendf(&out, "%-10s %8u %8.3f %7llu %8llu %7llu %8llu\n",
+                w.name.c_str(), w.window, w.ewma < 0 ? 0.0 : w.ewma,
+                static_cast<unsigned long long>(w.samples),
+                static_cast<unsigned long long>(w.grows),
+                static_cast<unsigned long long>(w.shrinks),
+                static_cast<unsigned long long>(w.probes));
+      }
+    }
+  } else {
+    Appendf(&out,
+            "readahead: disabled (--readahead K for a fixed K-block "
+            "window, --readahead auto for the adaptive one)\n");
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          Appendf(&out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendSegmentJson(std::string* out, const SegmentStatsRow& seg) {
+  Appendf(out, "{\"name\":\"%s\",\"requests\":%llu,\"hits\":%llu,"
+               "\"hit_ratio\":%.6f}",
+          JsonEscape(seg.name).c_str(),
+          static_cast<unsigned long long>(seg.requests),
+          static_cast<unsigned long long>(seg.hits), seg.hit_ratio);
+}
+
+}  // namespace
+
+std::string StatsJson(const EngineStatsSnapshot& s) {
+  std::string out;
+  if (!s.pooled) {
+    return "{\"io_mode\":\"mmap\",\"pool\":null,\"readahead\":null}";
+  }
+  out += "{\"io_mode\":\"pooled\",\"pool\":{";
+  Appendf(&out, "\"frames\":%u,\"block_size\":%u,\"shards\":%u,\"segments\":[",
+          s.frames, s.block_size, s.shards);
+  for (size_t i = 0; i < s.segments.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendSegmentJson(&out, s.segments[i]);
+  }
+  out += "],\"total\":";
+  AppendSegmentJson(&out, s.total);
+  out += "},\"readahead\":";
+  if (!s.readahead_enabled) {
+    out += "{\"enabled\":false}}";
+    return out;
+  }
+  Appendf(&out,
+          "{\"enabled\":true,\"adaptive\":%s,\"blocks\":%u,\"issued\":%llu,"
+          "\"used\":%llu,\"wasted\":%llu,\"waste_ratio\":%.6f",
+          s.readahead_adaptive ? "true" : "false", s.readahead_blocks,
+          static_cast<unsigned long long>(s.readahead_issued),
+          static_cast<unsigned long long>(s.readahead_used),
+          static_cast<unsigned long long>(s.readahead_wasted),
+          s.readahead_waste_ratio);
+  if (s.readahead_adaptive) {
+    out += ",\"windows\":[";
+    for (size_t i = 0; i < s.windows.size(); ++i) {
+      const AdaptiveWindowRow& w = s.windows[i];
+      if (i > 0) out += ',';
+      Appendf(&out,
+              "{\"name\":\"%s\",\"window\":%u,\"ewma\":%.6f,\"samples\":%llu,"
+              "\"grows\":%llu,\"shrinks\":%llu,\"probes\":%llu}",
+              JsonEscape(w.name).c_str(), w.window, w.ewma < 0 ? 0.0 : w.ewma,
+              static_cast<unsigned long long>(w.samples),
+              static_cast<unsigned long long>(w.grows),
+              static_cast<unsigned long long>(w.shrinks),
+              static_cast<unsigned long long>(w.probes));
+    }
+    out += ']';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace util
+}  // namespace oasis

@@ -1,0 +1,96 @@
+// Shared emission of engine storage statistics — one snapshot struct, two
+// renderers.
+//
+// The per-segment pool counters, readahead outcomes, and adaptive-window
+// trajectories used to be formatted inline by oasis_cli's --stats printer;
+// the daemon's /stats endpoint needs the same numbers as JSON. Formatting
+// them twice guarantees drift, so both surfaces render from one
+// EngineStatsSnapshot (filled by api::Engine::CollectStats):
+//
+//   StatsText  the CLI's historical human-readable block, byte-for-byte —
+//              the Figure 8 table plus readahead/adaptive lines;
+//   StatsJson  a canonical machine-readable encoding (stable key order,
+//              fixed float precision) of exactly the same snapshot.
+//
+// This lives in util/ below the storage layer, so the snapshot is plain
+// data: no storage types leak into consumers that only want to render.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oasis {
+namespace util {
+
+/// One buffer-pool segment's counters (or the all-segments total).
+struct SegmentStatsRow {
+  std::string name;       ///< segment name ("internal", "leaves", ...)
+  uint64_t requests = 0;  ///< block fetches routed at the pool
+  uint64_t hits = 0;      ///< fetches served without touching disk
+  double hit_ratio = 0;   ///< hits / requests (0 when no requests)
+};
+
+/// One segment's live adaptive-readahead window and its trajectory.
+struct AdaptiveWindowRow {
+  std::string name;      ///< segment name
+  uint32_t window = 0;   ///< current speculation window in blocks
+  double ewma = 0;       ///< smoothed used-ratio the controller steers by
+  uint64_t samples = 0;  ///< outcome windows observed
+  uint64_t grows = 0;    ///< additive-increase decisions
+  uint64_t shrinks = 0;  ///< multiplicative-decrease decisions
+  uint64_t probes = 0;   ///< speculative re-opens from a collapsed window
+};
+
+/// Everything the stats surfaces render, captured at one instant. Plain
+/// data: fill it from an engine (api::Engine::CollectStats) or by hand in
+/// tests.
+struct EngineStatsSnapshot {
+  /// False for an mmap engine: no pool, no counters — the renderers emit
+  /// the explicit "n/a in mmap mode" notices instead of zeros.
+  bool pooled = false;
+
+  // Pool geometry (valid when pooled).
+  uint32_t frames = 0;      ///< total pool frames
+  uint32_t block_size = 0;  ///< bytes per frame
+  uint32_t shards = 0;      ///< lock shards
+
+  std::vector<SegmentStatsRow> segments;  ///< per-segment counters, in id order
+  SegmentStatsRow total;                  ///< all-segments sum
+
+  /// True when the engine runs speculative sibling-run readahead.
+  bool readahead_enabled = false;
+  /// True when the window adapts to observed prefetch accuracy.
+  bool readahead_adaptive = false;
+  /// Configured window (fixed mode) or initial window (adaptive mode).
+  uint32_t readahead_blocks = 0;
+  uint64_t readahead_issued = 0;  ///< blocks speculatively fetched
+  uint64_t readahead_used = 0;    ///< speculative blocks later requested
+  uint64_t readahead_wasted = 0;  ///< evicted or dropped unused
+  double readahead_waste_ratio = 0;  ///< wasted / issued (0 when none issued)
+
+  /// Per-segment adaptive windows; filled only in adaptive mode.
+  std::vector<AdaptiveWindowRow> windows;
+};
+
+/// Renders the snapshot as the CLI's historical --stats block, including
+/// its leading newline — byte-identical to what oasis_cli printed before
+/// this formatter existed (tests pin that equivalence).
+std::string StatsText(const EngineStatsSnapshot& snapshot);
+
+/// Renders the snapshot as canonical JSON: fixed key order, ratios with
+/// exactly six fractional digits, no whitespace. Identical snapshots
+/// produce identical bytes, so the daemon's /stats responses are
+/// comparable across calls. An mmap snapshot renders the pool and
+/// readahead objects as null rather than omitting them.
+std::string StatsJson(const EngineStatsSnapshot& snapshot);
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters; everything else passes through).
+/// Exposed for the daemon's hand-rolled JSON responses.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace util
+}  // namespace oasis

@@ -14,6 +14,9 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kOutOfRange: return "OutOfRange";
     case StatusCode::kNotSupported: return "NotSupported";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

@@ -1,0 +1,289 @@
+// Deadline / cancellation semantics at cursor suspension points.
+//
+// The contract under test (core/oasis.h OasisOptions::poll,
+// api/engine.h SearchRequest::{Deadline,CancelWith,PollWith}):
+//
+//   - the poll runs at every queue pop, so an abort lands mid-search with
+//     the results proven so far standing as a partial stream;
+//   - the abort status is a sticky terminal — every later Next() repeats it;
+//   - an aborted cursor holds zero buffer-pool pins (the daemon's graceful
+//     shutdown leans on this: CancelAll + one suspension point = all pins
+//     released);
+//   - a search with no deadline/cancel hook streams exactly the same
+//     results as one with hooks that never fire.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "api/engine.h"
+#include "core/oasis.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+using testing::PackedFixture;
+
+// --- Core layer: OasisOptions::poll ------------------------------------------
+
+class CursorDeadlineCoreTest : public ::testing::Test {
+ protected:
+  CursorDeadlineCoreTest() {
+    workload::ProteinDatabaseOptions options;
+    options.target_residues = 6000;
+    options.log_mean = 4.0;
+    options.seed = 77;
+    auto db = workload::GenerateProteinDatabase(options);
+    EXPECT_TRUE(db.ok());
+    db_ = std::make_unique<seq::SequenceDatabase>(std::move(db).value());
+    fixture_ = std::make_unique<PackedFixture>(*db_);
+
+    const seq::Sequence& src = db_->sequence(3);
+    query_.assign(src.symbols().begin(), src.symbols().begin() +
+                                             std::min<size_t>(13, src.size()));
+  }
+
+  core::OasisOptions BaseOptions() const {
+    core::OasisOptions options;
+    options.min_score = 15;
+    return options;
+  }
+
+  std::unique_ptr<seq::SequenceDatabase> db_;
+  std::unique_ptr<PackedFixture> fixture_;
+  std::vector<seq::Symbol> query_;
+};
+
+TEST_F(CursorDeadlineCoreTest, PollAbortMidSearchYieldsPartialPrefix) {
+  const auto all = testing::RunOasis(
+      *fixture_->tree, score::SubstitutionMatrix::Pam30(), query_,
+      BaseOptions());
+  ASSERT_GT(all.size(), 3u);
+
+  // Inject a failure after a fixed number of suspension points: the abort
+  // lands somewhere mid-search, after some (possibly zero) results.
+  core::OasisOptions options = BaseOptions();
+  uint64_t polls = 0;
+  options.poll = [&polls]() -> util::Status {
+    if (++polls > 40) return util::Status::Unavailable("injected poll failure");
+    return util::Status::OK();
+  };
+  core::OasisSearch search(fixture_->tree.get(),
+                           &score::SubstitutionMatrix::Pam30());
+  auto cursor = search.Cursor(query_, options);
+  OASIS_ASSERT_OK(cursor.status());
+
+  std::vector<core::OasisResult> partial;
+  util::Status abort = util::Status::OK();
+  while (true) {
+    auto next = cursor->Next();
+    if (!next.ok()) {
+      abort = next.status();
+      break;
+    }
+    ASSERT_TRUE(next->has_value()) << "stream completed before the poll "
+                                      "fired; raise the search size";
+    partial.push_back(std::move(**next));
+  }
+  EXPECT_TRUE(abort.IsUnavailable()) << abort.ToString();
+  EXPECT_LT(partial.size(), all.size());
+
+  // The partial stream is a prefix of the full one — aborting never
+  // reorders or invents results.
+  for (size_t i = 0; i < partial.size(); ++i) {
+    EXPECT_EQ(partial[i].sequence_id, all[i].sequence_id);
+    EXPECT_EQ(partial[i].score, all[i].score);
+  }
+
+  // Sticky terminal: the same status, every time.
+  for (int i = 0; i < 3; ++i) {
+    auto again = cursor->Next();
+    ASSERT_FALSE(again.ok());
+    EXPECT_TRUE(again.status().IsUnavailable()) << again.status().ToString();
+  }
+  EXPECT_TRUE(cursor->done());
+  // Stats survive the abort.
+  EXPECT_GT(cursor->stats().nodes_expanded, 0u);
+
+  // Nothing stays pinned after an abort.
+  EXPECT_EQ(fixture_->pool->num_pinned(), 0u);
+}
+
+TEST_F(CursorDeadlineCoreTest, PollFailingImmediatelyYieldsEmptyStream) {
+  core::OasisOptions options = BaseOptions();
+  options.poll = []() { return util::Status::Cancelled("cancelled up front"); };
+  core::OasisSearch search(fixture_->tree.get(),
+                           &score::SubstitutionMatrix::Pam30());
+  auto cursor = search.Cursor(query_, options);
+  OASIS_ASSERT_OK(cursor.status());
+  auto next = cursor->Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_TRUE(next.status().IsCancelled()) << next.status().ToString();
+  EXPECT_EQ(fixture_->pool->num_pinned(), 0u);
+}
+
+TEST_F(CursorDeadlineCoreTest, NeverFiringPollLeavesStreamIdentical) {
+  const auto all = testing::RunOasis(
+      *fixture_->tree, score::SubstitutionMatrix::Pam30(), query_,
+      BaseOptions());
+
+  core::OasisOptions options = BaseOptions();
+  options.poll = []() { return util::Status::OK(); };
+  core::OasisSearch search(fixture_->tree.get(),
+                           &score::SubstitutionMatrix::Pam30());
+  auto cursor = search.Cursor(query_, options);
+  OASIS_ASSERT_OK(cursor.status());
+  std::vector<core::OasisResult> polled;
+  while (true) {
+    auto next = cursor->Next();
+    OASIS_ASSERT_OK(next.status());
+    if (!next->has_value()) break;
+    polled.push_back(std::move(**next));
+  }
+  ASSERT_EQ(polled.size(), all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(polled[i].sequence_id, all[i].sequence_id);
+    EXPECT_EQ(polled[i].score, all[i].score);
+    EXPECT_EQ(polled[i].db_end_pos, all[i].db_end_pos);
+  }
+}
+
+// --- API layer: SearchRequest::{Deadline,CancelWith} -------------------------
+
+class CursorDeadlineApiTest : public ::testing::Test {
+ protected:
+  CursorDeadlineApiTest() : dir_("deadline-api") {
+    workload::ProteinDatabaseOptions db_options;
+    db_options.target_residues = 20000;
+    db_options.seed = 7;
+    auto db = workload::GenerateProteinDatabase(db_options);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+
+    api::EngineOptions options;
+    options.io_mode = api::IoMode::kPooled;
+    auto built = api::Engine::BuildFromDatabase(std::move(db).value(),
+                                                dir_.path(), options);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    engine_ = std::move(built).value();
+
+    auto resident = engine_->ResidentDatabase();
+    EXPECT_TRUE(resident.ok());
+    const seq::Sequence& src = (*resident)->sequence(3);
+    query_.assign(src.symbols().begin(), src.symbols().begin() +
+                                             std::min<size_t>(13, src.size()));
+  }
+
+  api::SearchRequest Request() const {
+    return api::SearchRequest(query_).MinScore(15);
+  }
+
+  util::TempDir dir_;
+  std::unique_ptr<api::Engine> engine_;
+  std::vector<seq::Symbol> query_;
+};
+
+TEST_F(CursorDeadlineApiTest, PastDeadlineAbortsBeforeFirstResult) {
+  api::SearchRequest request = Request();
+  request.Deadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  auto cursor = engine_->Search(request);
+  OASIS_ASSERT_OK(cursor.status());
+  auto next = cursor->Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_TRUE(next.status().IsDeadlineExceeded()) << next.status().ToString();
+  // Sticky, and done() reflects the terminal state.
+  auto again = cursor->Next();
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsDeadlineExceeded());
+  EXPECT_TRUE(cursor->done());
+  EXPECT_EQ(engine_->pool().num_pinned(), 0u);
+}
+
+TEST_F(CursorDeadlineApiTest, FarDeadlineLeavesStreamIdentical) {
+  auto baseline = engine_->SearchAll(Request());
+  OASIS_ASSERT_OK(baseline.status());
+  ASSERT_FALSE(baseline->results.empty());
+
+  api::SearchRequest request = Request();
+  request.Deadline(std::chrono::steady_clock::now() + std::chrono::hours(1));
+  auto deadlined = engine_->SearchAll(request);
+  OASIS_ASSERT_OK(deadlined.status());
+
+  ASSERT_EQ(deadlined->results.size(), baseline->results.size());
+  for (size_t i = 0; i < baseline->results.size(); ++i) {
+    EXPECT_EQ(deadlined->results[i].sequence_id,
+              baseline->results[i].sequence_id);
+    EXPECT_EQ(deadlined->results[i].score, baseline->results[i].score);
+    EXPECT_EQ(deadlined->results[i].db_end_pos,
+              baseline->results[i].db_end_pos);
+  }
+}
+
+TEST_F(CursorDeadlineApiTest, CancelFlagAbortsAtNextSuspensionPoint) {
+  std::atomic<bool> cancel{false};
+  api::SearchRequest request = Request();
+  request.CancelWith(&cancel);
+  auto cursor = engine_->Search(request);
+  OASIS_ASSERT_OK(cursor.status());
+
+  // Pull one real result, then cancel: the next pull must abort.
+  auto first = cursor->Next();
+  OASIS_ASSERT_OK(first.status());
+  ASSERT_TRUE(first->has_value());
+
+  cancel.store(true);
+  auto next = cursor->Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_TRUE(next.status().IsCancelled()) << next.status().ToString();
+  auto again = cursor->Next();
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsCancelled());
+  EXPECT_EQ(engine_->pool().num_pinned(), 0u);
+}
+
+TEST_F(CursorDeadlineApiTest, CancellationWinsOverExpiredDeadline) {
+  // Both hooks fire on the same suspension point; the composed poll checks
+  // cancellation first, so a disconnecting client reads kCancelled even
+  // when its deadline also lapsed.
+  std::atomic<bool> cancel{true};
+  api::SearchRequest request = Request();
+  request.CancelWith(&cancel);
+  request.Deadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  auto cursor = engine_->Search(request);
+  OASIS_ASSERT_OK(cursor.status());
+  auto next = cursor->Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_TRUE(next.status().IsCancelled()) << next.status().ToString();
+}
+
+TEST_F(CursorDeadlineApiTest, CustomPollComposesAfterBuiltinChecks) {
+  uint64_t polls = 0;
+  api::SearchRequest request = Request();
+  request.PollWith([&polls]() -> util::Status {
+    if (++polls > 20) return util::Status::IOError("socket gone");
+    return util::Status::OK();
+  });
+  auto cursor = engine_->Search(request);
+  OASIS_ASSERT_OK(cursor.status());
+  util::Status abort = util::Status::OK();
+  size_t hits = 0;
+  while (true) {
+    auto next = cursor->Next();
+    if (!next.ok()) {
+      abort = next.status();
+      break;
+    }
+    if (!next->has_value()) break;
+    ++hits;
+  }
+  EXPECT_TRUE(abort.IsIOError()) << abort.ToString();
+  EXPECT_GT(polls, 20u);
+  EXPECT_EQ(engine_->pool().num_pinned(), 0u);
+}
+
+}  // namespace
+}  // namespace oasis

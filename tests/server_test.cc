@@ -1,0 +1,927 @@
+// The oasisd subsystem: wire protocol codecs, the result cache, admission
+// control, daemon flag parsing, and the Server itself driven end-to-end
+// over real sockets by DaemonClient.
+//
+// The integration tests pin the PR's acceptance criteria:
+//   - streaming parity: a daemon query's hit lines are byte-identical to
+//     the same request run locally against the same engine;
+//   - N concurrent clients share one engine (one tree, one pool) and all
+//     see the identical stream;
+//   - shutdown under load leaks nothing: after Shutdown() returns, the
+//     shared pool has zero pinned frames and no session is live.
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "core/report.h"
+#include "server/client.h"
+#include "server/flags.h"
+#include "server/result_cache.h"
+#include "server/session.h"
+#include "server/wire.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace server {
+namespace {
+
+// --- Wire: frames ------------------------------------------------------------
+
+TEST(Wire, FrameRoundTrip) {
+  const std::string encoded = EncodeFrame(FrameType::kQuery, "q=PEPTIDE\n");
+  Frame frame;
+  auto consumed = DecodeFrame(encoded, &frame);
+  OASIS_ASSERT_OK(consumed.status());
+  EXPECT_EQ(*consumed, encoded.size());
+  EXPECT_EQ(frame.type, FrameType::kQuery);
+  EXPECT_EQ(frame.payload, "q=PEPTIDE\n");
+}
+
+TEST(Wire, FrameEmptyPayload) {
+  const std::string encoded = EncodeFrame(FrameType::kPing, "");
+  EXPECT_EQ(encoded.size(), kFrameHeaderBytes);
+  Frame frame;
+  auto consumed = DecodeFrame(encoded, &frame);
+  OASIS_ASSERT_OK(consumed.status());
+  EXPECT_EQ(*consumed, kFrameHeaderBytes);
+  EXPECT_EQ(frame.type, FrameType::kPing);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(Wire, FrameNeedsMoreBytes) {
+  const std::string encoded = EncodeFrame(FrameType::kHit, "hello");
+  Frame frame;
+  // Every strict prefix decodes to "0 consumed, read more".
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    auto consumed = DecodeFrame(std::string_view(encoded).substr(0, len),
+                                &frame);
+    OASIS_ASSERT_OK(consumed.status());
+    EXPECT_EQ(*consumed, 0u) << "prefix length " << len;
+  }
+}
+
+TEST(Wire, FrameDecodesSequentiallyFromOneBuffer) {
+  std::string buf = EncodeFrame(FrameType::kHit, "first") +
+                    EncodeFrame(FrameType::kDone, "hits=1 cached=0");
+  Frame frame;
+  auto consumed = DecodeFrame(buf, &frame);
+  OASIS_ASSERT_OK(consumed.status());
+  EXPECT_EQ(frame.type, FrameType::kHit);
+  EXPECT_EQ(frame.payload, "first");
+  buf.erase(0, *consumed);
+  consumed = DecodeFrame(buf, &frame);
+  OASIS_ASSERT_OK(consumed.status());
+  EXPECT_EQ(frame.type, FrameType::kDone);
+  EXPECT_EQ(frame.payload, "hits=1 cached=0");
+  buf.erase(0, *consumed);
+  consumed = DecodeFrame(buf, &frame);
+  OASIS_ASSERT_OK(consumed.status());
+  EXPECT_EQ(*consumed, 0u);
+}
+
+TEST(Wire, FrameOversizedPayloadIsCorruption) {
+  // Hand-craft a header announcing kMaxFramePayload + 1 bytes.
+  const uint32_t len = kMaxFramePayload + 1;
+  std::string buf;
+  buf.push_back(static_cast<char>(len & 0xff));
+  buf.push_back(static_cast<char>((len >> 8) & 0xff));
+  buf.push_back(static_cast<char>((len >> 16) & 0xff));
+  buf.push_back(static_cast<char>((len >> 24) & 0xff));
+  buf.push_back(static_cast<char>(FrameType::kHit));
+  Frame frame;
+  auto consumed = DecodeFrame(buf, &frame);
+  ASSERT_FALSE(consumed.ok());
+  EXPECT_TRUE(consumed.status().IsCorruption()) << consumed.status().ToString();
+}
+
+TEST(Wire, FrameUnknownTypeTagIsCorruption) {
+  std::string buf(4, '\0');  // zero-length payload
+  buf.push_back(static_cast<char>(99));
+  Frame frame;
+  auto consumed = DecodeFrame(buf, &frame);
+  ASSERT_FALSE(consumed.ok());
+  EXPECT_TRUE(consumed.status().IsCorruption()) << consumed.status().ToString();
+}
+
+// --- Wire: request payloads --------------------------------------------------
+
+TEST(Wire, RequestRoundTripAllFields) {
+  WireRequest req;
+  req.index = "swissprot";
+  req.query = "MKVLAT";
+  req.min_score = 25;
+  req.top_k = 10;
+  req.by_evalue = true;
+  req.deadline_ms = 1500;
+  req.no_cache = true;
+  auto parsed = WireRequest::Parse(req.Encode());
+  OASIS_ASSERT_OK(parsed.status());
+  EXPECT_EQ(parsed->index, "swissprot");
+  EXPECT_EQ(parsed->query, "MKVLAT");
+  EXPECT_EQ(parsed->min_score, 25);
+  EXPECT_EQ(parsed->top_k, 10u);
+  EXPECT_TRUE(parsed->by_evalue);
+  EXPECT_EQ(parsed->deadline_ms, 1500u);
+  EXPECT_TRUE(parsed->no_cache);
+}
+
+TEST(Wire, RequestEvalueRoundTripsExactly) {
+  WireRequest req;
+  req.query = "MKVLAT";
+  req.evalue = 0.001;
+  auto parsed = WireRequest::Parse(req.Encode());
+  OASIS_ASSERT_OK(parsed.status());
+  EXPECT_EQ(parsed->evalue, 0.001);  // %.17g round-trips doubles exactly
+}
+
+TEST(Wire, RequestDefaultsAreOmitted) {
+  WireRequest req;
+  req.query = "PEPTIDE";
+  EXPECT_EQ(req.Encode(), "q=PEPTIDE\n");
+}
+
+TEST(Wire, RequestRejectsUnknownKey) {
+  auto parsed = WireRequest::Parse("q=PEPTIDE\nshiny_new_knob=1\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  EXPECT_NE(parsed.status().ToString().find("shiny_new_knob"),
+            std::string::npos);
+}
+
+TEST(Wire, RequestRejectsMissingQuery) {
+  auto parsed = WireRequest::Parse("ix=main\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+}
+
+TEST(Wire, RequestRejectsMalformedLine) {
+  auto parsed = WireRequest::Parse("q=PEPTIDE\nnot a key value line\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+}
+
+TEST(Wire, RequestRangeChecks) {
+  EXPECT_FALSE(WireRequest::Parse("q=A\ntop=0\n").ok());
+  EXPECT_FALSE(WireRequest::Parse("q=A\ndl=0\n").ok());
+  EXPECT_FALSE(WireRequest::Parse("q=A\nms=0\n").ok());
+  EXPECT_FALSE(WireRequest::Parse("q=A\nbye=2\n").ok());
+  EXPECT_FALSE(WireRequest::Parse("q=A\nnc=yes\n").ok());
+  EXPECT_FALSE(WireRequest::Parse("q=A\nev=0\n").ok());
+}
+
+TEST(Wire, CacheKeyIgnoresDeadlineAndNoCache) {
+  WireRequest plain;
+  plain.query = "MKVLAT";
+  plain.top_k = 5;
+  WireRequest deadlined = plain;
+  deadlined.deadline_ms = 250;
+  deadlined.no_cache = true;
+  // Different wire bytes, same cache identity: a deadline changes when a
+  // search gets cut off, never what its results are.
+  EXPECT_NE(plain.Encode(), deadlined.Encode());
+  EXPECT_EQ(plain.CacheKey(), deadlined.CacheKey());
+}
+
+TEST(Wire, CacheKeyDistinguishesSearchKnobs) {
+  WireRequest a;
+  a.query = "MKVLAT";
+  WireRequest b = a;
+  b.top_k = 3;
+  WireRequest c = a;
+  c.by_evalue = true;
+  WireRequest d = a;
+  d.index = "other";
+  EXPECT_NE(a.CacheKey(), b.CacheKey());
+  EXPECT_NE(a.CacheKey(), c.CacheKey());
+  EXPECT_NE(a.CacheKey(), d.CacheKey());
+}
+
+TEST(Wire, DoneRoundTrip) {
+  auto done = ParseDone(EncodeDone({42, true}));
+  OASIS_ASSERT_OK(done.status());
+  EXPECT_EQ(done->hits, 42u);
+  EXPECT_TRUE(done->cached);
+  EXPECT_FALSE(ParseDone("hits=x cached=0").ok());
+  EXPECT_FALSE(ParseDone("").ok());
+}
+
+TEST(Wire, DecodeErrorMapsStatusCodes) {
+  EXPECT_TRUE(DecodeError(util::Status::DeadlineExceeded("late").ToString())
+                  .IsDeadlineExceeded());
+  EXPECT_TRUE(
+      DecodeError(util::Status::Cancelled("bye").ToString()).IsCancelled());
+  EXPECT_TRUE(DecodeError(util::Status::Unavailable("full").ToString())
+                  .IsUnavailable());
+  EXPECT_TRUE(DecodeError(util::Status::NotFound("nope").ToString())
+                  .IsNotFound());
+  EXPECT_TRUE(DecodeError(util::Status::InvalidArgument("bad").ToString())
+                  .IsInvalidArgument());
+  // The message survives the round trip.
+  EXPECT_EQ(DecodeError("Cancelled: cancelled by client").message(),
+            "cancelled by client");
+  // An unknown code is preserved verbatim under Internal, never dropped.
+  const util::Status unknown = DecodeError("SomeFutureCode: details");
+  EXPECT_TRUE(unknown.IsInternal());
+  EXPECT_NE(unknown.ToString().find("SomeFutureCode: details"),
+            std::string::npos);
+}
+
+// --- ResultCache -------------------------------------------------------------
+
+CachedResult Lines(std::vector<std::string> lines) {
+  return std::make_shared<const std::vector<std::string>>(std::move(lines));
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(1 << 20);
+  EXPECT_EQ(cache.Lookup("k"), nullptr);
+  cache.Insert("k", Lines({"line one", "line two"}));
+  CachedResult hit = cache.Lookup("k");
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->size(), 2u);
+  EXPECT_EQ((*hit)[0], "line one");
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 1 + 8 + 8);  // key + both lines
+}
+
+TEST(ResultCacheTest, LruEvictionDropsLeastRecentlyUsed) {
+  // Each entry is 1-byte key + 100-byte line = 101 bytes; capacity holds
+  // two.
+  ResultCache cache(250);
+  cache.Insert("a", Lines({std::string(100, 'a')}));
+  cache.Insert("b", Lines({std::string(100, 'b')}));
+  ASSERT_NE(cache.Lookup("a"), nullptr);  // refresh: b is now LRU
+  cache.Insert("c", Lines({std::string(100, 'c')}));
+  EXPECT_EQ(cache.Lookup("b"), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, 250u);
+}
+
+TEST(ResultCacheTest, EntryLargerThanCapacityIsNotStored) {
+  ResultCache cache(50);
+  cache.Insert("k", Lines({std::string(100, 'x')}));
+  EXPECT_EQ(cache.Lookup("k"), nullptr);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.Insert("k", Lines({"line"}));
+  EXPECT_EQ(cache.Lookup("k"), nullptr);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(ResultCacheTest, ReinsertReplacesValue) {
+  ResultCache cache(1 << 20);
+  cache.Insert("k", Lines({"old"}));
+  cache.Insert("k", Lines({"new", "newer"}));
+  CachedResult hit = cache.Lookup("k");
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->size(), 2u);
+  EXPECT_EQ((*hit)[0], "new");
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+// --- SessionRegistry ---------------------------------------------------------
+
+TEST(SessionRegistryTest, AdmitsUpToMaxInflight) {
+  SessionRegistry::Options options;
+  options.max_inflight = 2;
+  SessionRegistry registry(options);
+
+  auto a = registry.Admit();
+  auto b = registry.Admit();
+  OASIS_ASSERT_OK(a.status());
+  OASIS_ASSERT_OK(b.status());
+  auto c = registry.Admit();
+  ASSERT_FALSE(c.ok());
+  EXPECT_TRUE(c.status().IsUnavailable()) << c.status().ToString();
+  EXPECT_NE(c.status().ToString().find("in-flight"), std::string::npos);
+  EXPECT_EQ(registry.stats().active, 2u);
+}
+
+TEST(SessionRegistryTest, ReleaseFreesSlot) {
+  SessionRegistry::Options options;
+  options.max_inflight = 1;
+  SessionRegistry registry(options);
+  {
+    auto ticket = registry.Admit();
+    OASIS_ASSERT_OK(ticket.status());
+    EXPECT_FALSE(registry.Admit().ok());
+    EXPECT_EQ(registry.stats().active, 1u);
+  }
+  EXPECT_EQ(registry.stats().active, 0u);
+  OASIS_EXPECT_OK(registry.Admit().status());
+  const SessionRegistry::Stats stats = registry.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected_inflight, 1u);
+}
+
+TEST(SessionRegistryTest, DrainingRejectsEverything) {
+  SessionRegistry registry(SessionRegistry::Options{});
+  EXPECT_FALSE(registry.draining());
+  registry.BeginDrain();
+  EXPECT_TRUE(registry.draining());
+  auto ticket = registry.Admit();
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_TRUE(ticket.status().IsUnavailable());
+  EXPECT_NE(ticket.status().ToString().find("shutting down"),
+            std::string::npos);
+  EXPECT_EQ(registry.stats().rejected_draining, 1u);
+}
+
+TEST(SessionRegistryTest, PoolPressureRejects) {
+  double pressure = 1.0;
+  SessionRegistry::Options options;
+  options.max_pinned_fraction = 0.95;
+  options.pinned_fraction = [&pressure]() { return pressure; };
+  SessionRegistry registry(options);
+
+  auto rejected = registry.Admit();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsUnavailable());
+  EXPECT_NE(rejected.status().ToString().find("pressure"), std::string::npos);
+  EXPECT_EQ(registry.stats().rejected_pressure, 1u);
+
+  pressure = 0.5;
+  OASIS_EXPECT_OK(registry.Admit().status());
+}
+
+TEST(SessionRegistryTest, WaitIdleBlocksUntilLastRelease) {
+  SessionRegistry registry(SessionRegistry::Options{});
+  auto admitted = registry.Admit();
+  OASIS_ASSERT_OK(admitted.status());
+  std::optional<SessionRegistry::Ticket> ticket(std::move(admitted).value());
+
+  // Live ticket: a short wait times out.
+  EXPECT_FALSE(registry.WaitIdle(std::chrono::milliseconds(10)));
+
+  std::thread releaser([&ticket]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ticket.reset();  // releases the slot
+  });
+  EXPECT_TRUE(registry.WaitIdle(std::chrono::milliseconds(2000)));
+  releaser.join();
+  EXPECT_EQ(registry.stats().active, 0u);
+}
+
+TEST(SessionRegistryTest, CancelAllFlagsEveryLiveTicket) {
+  SessionRegistry registry(SessionRegistry::Options{});
+  auto a = registry.Admit();
+  auto b = registry.Admit();
+  OASIS_ASSERT_OK(a.status());
+  OASIS_ASSERT_OK(b.status());
+  EXPECT_FALSE(a->cancel_flag()->load());
+  EXPECT_FALSE(b->cancel_flag()->load());
+  registry.CancelAll();
+  EXPECT_TRUE(a->cancel_flag()->load());
+  EXPECT_TRUE(b->cancel_flag()->load());
+}
+
+// --- Daemon flags ------------------------------------------------------------
+
+TEST(DaemonFlags, ParsesFullCommandLine) {
+  auto config = ParseDaemonArgs(
+      {"--index", "prot=/data/prot", "--index", "dna=/data/dna",
+       "--host", "0.0.0.0", "--port", "7711", "--max-inflight", "8",
+       "--result-cache-mb", "32", "--deadline-ms", "2500",
+       "--max-pinned-fraction", "0.8", "--drain-timeout-ms", "1000",
+       "--pool-mb", "128", "--io-mode", "pooled", "--readahead", "auto"});
+  OASIS_ASSERT_OK(config.status());
+  ASSERT_EQ(config->indexes.size(), 2u);
+  EXPECT_EQ(config->indexes[0].first, "prot");
+  EXPECT_EQ(config->indexes[0].second, "/data/prot");
+  EXPECT_EQ(config->server.host, "0.0.0.0");
+  EXPECT_EQ(config->server.port, 7711);
+  EXPECT_EQ(config->server.max_inflight, 8u);
+  EXPECT_EQ(config->server.result_cache_bytes, 32ull << 20);
+  EXPECT_EQ(config->server.max_deadline_ms, 2500u);
+  EXPECT_DOUBLE_EQ(config->server.max_pinned_fraction, 0.8);
+  EXPECT_EQ(config->server.drain_timeout, std::chrono::milliseconds(1000));
+  EXPECT_EQ(config->engine.pool_bytes, 128ull << 20);
+  EXPECT_EQ(config->engine.io_mode, api::IoMode::kPooled);
+  EXPECT_TRUE(config->engine.readahead_adaptive);
+  EXPECT_GT(config->engine.readahead_blocks, 0u);
+}
+
+TEST(DaemonFlags, IndexNameDefaultsToBasename) {
+  auto config = ParseDaemonArgs({"--index", "/data/indexes/swissprot"});
+  OASIS_ASSERT_OK(config.status());
+  EXPECT_EQ(config->indexes[0].first, "swissprot");
+  EXPECT_EQ(config->indexes[0].second, "/data/indexes/swissprot");
+
+  config = ParseDaemonArgs({"--index", "/data/indexes/swissprot/"});
+  OASIS_ASSERT_OK(config.status());
+  EXPECT_EQ(config->indexes[0].first, "swissprot");
+}
+
+TEST(DaemonFlags, DefaultsToPooledIo) {
+  auto config = ParseDaemonArgs({"--index", "idx"});
+  OASIS_ASSERT_OK(config.status());
+  EXPECT_EQ(config->engine.io_mode, api::IoMode::kPooled);
+}
+
+TEST(DaemonFlags, RejectsDuplicateIndexNames) {
+  auto config =
+      ParseDaemonArgs({"--index", "a=/x", "--index", "a=/y"});
+  ASSERT_FALSE(config.ok());
+  EXPECT_TRUE(config.status().IsInvalidArgument());
+  // Same basename through different paths collides too.
+  config = ParseDaemonArgs({"--index", "/x/idx", "--index", "/y/idx"});
+  EXPECT_FALSE(config.ok());
+}
+
+TEST(DaemonFlags, RejectsEmptyAndUnknown) {
+  EXPECT_FALSE(ParseDaemonArgs({}).ok());
+  EXPECT_FALSE(ParseDaemonArgs({"--index"}).ok());
+  EXPECT_FALSE(ParseDaemonArgs({"--index", "idx", "--frobnicate", "1"}).ok());
+  EXPECT_FALSE(ParseDaemonArgs({"--index", "idx", "--port"}).ok());
+}
+
+TEST(DaemonFlags, RangeChecksNameTheFlag) {
+  const std::vector<std::pair<std::string, std::string>> bad = {
+      {"--port", "65536"},
+      {"--max-inflight", "0"},
+      {"--max-inflight", "4097"},
+      {"--result-cache-mb", "4097"},
+      {"--deadline-ms", "0"},
+      {"--max-pinned-fraction", "0.05"},
+      {"--max-pinned-fraction", "1.5"},
+      {"--drain-timeout-ms", "600001"},
+      {"--pool-mb", "0"},
+      {"--io-mode", "warp"},
+      {"--readahead", "boundless"},
+  };
+  for (const auto& [flag, value] : bad) {
+    auto config = ParseDaemonArgs({"--index", "idx", flag, value});
+    ASSERT_FALSE(config.ok()) << flag << " " << value;
+    EXPECT_TRUE(config.status().IsInvalidArgument());
+    EXPECT_NE(config.status().ToString().find(flag), std::string::npos)
+        << "rejection must name the flag: " << config.status().ToString();
+  }
+}
+
+// --- Server integration ------------------------------------------------------
+
+// Two engines over small generated databases, shared by every Server test.
+// Building them once keeps the suite fast; the servers themselves are
+// cheap to start per-test.
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    main_dir_ = new util::TempDir("server-main");
+    alt_dir_ = new util::TempDir("server-alt");
+
+    api::EngineOptions options;
+    options.io_mode = api::IoMode::kPooled;
+
+    workload::ProteinDatabaseOptions db_options;
+    db_options.target_residues = 20000;
+    db_options.seed = 7;
+    auto db = workload::GenerateProteinDatabase(db_options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto built = api::Engine::BuildFromDatabase(std::move(db).value(),
+                                                main_dir_->path(), options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    main_engine_ = built->release();
+
+    db_options.target_residues = 6000;
+    db_options.seed = 99;
+    db = workload::GenerateProteinDatabase(db_options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    built = api::Engine::BuildFromDatabase(std::move(db).value(),
+                                           alt_dir_->path(), options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    alt_engine_ = built->release();
+
+    // A query planted from the main database so strong hits exist.
+    auto resident = main_engine_->ResidentDatabase();
+    ASSERT_TRUE(resident.ok());
+    const seq::Sequence& src = (*resident)->sequence(3);
+    std::vector<seq::Symbol> symbols(
+        src.symbols().begin(),
+        src.symbols().begin() + std::min<size_t>(13, src.size()));
+    query_text_ = new std::string(main_engine_->alphabet().Decode(symbols));
+  }
+
+  static void TearDownTestSuite() {
+    delete main_engine_;
+    main_engine_ = nullptr;
+    delete alt_engine_;
+    alt_engine_ = nullptr;
+    delete query_text_;
+    query_text_ = nullptr;
+    delete main_dir_;
+    main_dir_ = nullptr;
+    delete alt_dir_;
+    alt_dir_ = nullptr;
+  }
+
+  // Starts a two-index server ("main" is the default) on an ephemeral port.
+  std::unique_ptr<Server> StartServer(ServerOptions options = ServerOptions()) {
+    auto server = Server::Start(
+        {{"main", main_engine_}, {"alt", alt_engine_}}, options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return server.ok() ? std::move(server).value() : nullptr;
+  }
+
+  DaemonClient ConnectTo(const Server& server) {
+    auto client = DaemonClient::Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  // A moderate request: enough hits to stream, small enough to be quick.
+  static WireRequest ModerateRequest() {
+    WireRequest req;
+    req.query = *query_text_;
+    req.min_score = 15;
+    return req;
+  }
+
+  // The exact lines the daemon streams for `wire`, computed locally
+  // against the same engine — the parity oracle.
+  static std::vector<std::string> LocalLines(const api::Engine& engine,
+                                             const WireRequest& wire) {
+    auto parsed = api::SearchRequest::FromText(engine.alphabet(), wire.query);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    api::SearchRequest request = std::move(parsed).value();
+    if (wire.min_score > 0) {
+      request.MinScore(wire.min_score);
+    } else {
+      request.EValue(wire.evalue);
+    }
+    request.TopK(wire.top_k).OrderByEValue(wire.by_evalue);
+    auto batch = engine.SearchAll(request);
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+    std::vector<std::string> lines;
+    for (const core::OasisResult& result : batch->results) {
+      lines.push_back(core::FormatResult(
+          result, engine.catalog().name(result.sequence_id), result.evalue));
+    }
+    return lines;
+  }
+
+  // Streams `wire` through `client`, collecting hit lines.
+  static util::StatusOr<DaemonClient::QueryOutcome> Stream(
+      DaemonClient& client, const WireRequest& wire,
+      std::vector<std::string>* lines) {
+    return client.Query(wire, [lines](std::string_view line) {
+      lines->push_back(std::string(line));
+      return true;
+    });
+  }
+
+  static util::TempDir* main_dir_;
+  static util::TempDir* alt_dir_;
+  static api::Engine* main_engine_;
+  static api::Engine* alt_engine_;
+  static std::string* query_text_;
+};
+
+util::TempDir* ServerTest::main_dir_ = nullptr;
+util::TempDir* ServerTest::alt_dir_ = nullptr;
+api::Engine* ServerTest::main_engine_ = nullptr;
+api::Engine* ServerTest::alt_engine_ = nullptr;
+std::string* ServerTest::query_text_ = nullptr;
+
+TEST_F(ServerTest, PingPong) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  DaemonClient client = ConnectTo(*server);
+  OASIS_EXPECT_OK(client.Ping());
+  OASIS_EXPECT_OK(client.Ping());  // the connection stays usable
+}
+
+TEST_F(ServerTest, StreamingParityIsByteIdentical) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  const WireRequest wire = ModerateRequest();
+  const std::vector<std::string> expected = LocalLines(*main_engine_, wire);
+  ASSERT_FALSE(expected.empty()) << "parity test needs a non-empty stream";
+
+  DaemonClient client = ConnectTo(*server);
+  std::vector<std::string> got;
+  auto outcome = Stream(client, wire, &got);
+  OASIS_ASSERT_OK(outcome.status());
+  EXPECT_FALSE(outcome->cached);
+  EXPECT_EQ(outcome->hits, expected.size());
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "hit #" << i;
+  }
+}
+
+TEST_F(ServerTest, CachedReplayIsByteIdenticalAndFlagged) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  const WireRequest wire = ModerateRequest();
+
+  DaemonClient client = ConnectTo(*server);
+  std::vector<std::string> first;
+  auto outcome = Stream(client, wire, &first);
+  OASIS_ASSERT_OK(outcome.status());
+  EXPECT_FALSE(outcome->cached);
+
+  std::vector<std::string> second;
+  outcome = Stream(client, wire, &second);
+  OASIS_ASSERT_OK(outcome.status());
+  EXPECT_TRUE(outcome->cached);
+  EXPECT_EQ(second, first);
+
+  const ResultCache::Stats stats = server->cache_stats();
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.lookups, 2u);
+}
+
+TEST_F(ServerTest, NoCacheBypassesTheCache) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  WireRequest wire = ModerateRequest();
+  wire.no_cache = true;
+
+  DaemonClient client = ConnectTo(*server);
+  std::vector<std::string> lines;
+  for (int round = 0; round < 2; ++round) {
+    lines.clear();
+    auto outcome = Stream(client, wire, &lines);
+    OASIS_ASSERT_OK(outcome.status());
+    EXPECT_FALSE(outcome->cached) << "round " << round;
+  }
+  const ResultCache::Stats stats = server->cache_stats();
+  EXPECT_EQ(stats.lookups, 0u);
+  EXPECT_EQ(stats.insertions, 0u);
+}
+
+TEST_F(ServerTest, CacheDisabledServerStillStreams) {
+  ServerOptions options;
+  options.result_cache_bytes = 0;
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+  const WireRequest wire = ModerateRequest();
+
+  DaemonClient client = ConnectTo(*server);
+  std::vector<std::string> first, second;
+  auto outcome = Stream(client, wire, &first);
+  OASIS_ASSERT_OK(outcome.status());
+  EXPECT_FALSE(outcome->cached);
+  outcome = Stream(client, wire, &second);
+  OASIS_ASSERT_OK(outcome.status());
+  EXPECT_FALSE(outcome->cached);  // never served from cache
+  EXPECT_EQ(second, first);
+}
+
+TEST_F(ServerTest, UnknownIndexIsNotFound) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  WireRequest wire = ModerateRequest();
+  wire.index = "nosuch";
+  DaemonClient client = ConnectTo(*server);
+  std::vector<std::string> lines;
+  auto outcome = Stream(client, wire, &lines);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status().IsNotFound()) << outcome.status().ToString();
+  EXPECT_TRUE(lines.empty());
+  // The error terminated one query, not the connection.
+  OASIS_EXPECT_OK(client.Ping());
+}
+
+TEST_F(ServerTest, MultiIndexRoutingAndDefault) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  DaemonClient client = ConnectTo(*server);
+
+  // ix=alt answers from the alt engine.
+  WireRequest wire = ModerateRequest();
+  wire.index = "alt";
+  const std::vector<std::string> alt_expected = LocalLines(*alt_engine_, wire);
+  std::vector<std::string> alt_got;
+  auto outcome = Stream(client, wire, &alt_got);
+  OASIS_ASSERT_OK(outcome.status());
+  EXPECT_EQ(alt_got, alt_expected);
+
+  // No ix routes to the first served index ("main").
+  wire.index.clear();
+  std::vector<std::string> default_got;
+  outcome = Stream(client, wire, &default_got);
+  OASIS_ASSERT_OK(outcome.status());
+  EXPECT_EQ(default_got, LocalLines(*main_engine_, wire));
+}
+
+TEST_F(ServerTest, InvalidQueryTextIsRejectedPerQuery) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  WireRequest wire;
+  wire.query = "123!!";
+  DaemonClient client = ConnectTo(*server);
+  std::vector<std::string> lines;
+  auto outcome = Stream(client, wire, &lines);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status().IsInvalidArgument())
+      << outcome.status().ToString();
+  OASIS_EXPECT_OK(client.Ping());
+}
+
+TEST_F(ServerTest, ClientCancelMidStreamKeepsConnectionUsable) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  // A heavier request so the stream is long enough to cancel into.
+  WireRequest wire = ModerateRequest();
+  wire.min_score = 12;
+  wire.no_cache = true;
+
+  DaemonClient client = ConnectTo(*server);
+  size_t delivered = 0;
+  auto outcome = client.Query(wire, [&delivered](std::string_view) {
+    ++delivered;
+    return delivered < 2;  // cancel after the second hit
+  });
+  // Either the cancel landed mid-search (kCancelled) or it raced stream
+  // completion (kDone); both are legal per the protocol.
+  if (!outcome.ok()) {
+    EXPECT_TRUE(outcome.status().IsCancelled()) << outcome.status().ToString();
+  }
+  EXPECT_GE(delivered, 1u);
+  // The connection survives a cancelled query.
+  OASIS_EXPECT_OK(client.Ping());
+  std::vector<std::string> lines;
+  auto after = Stream(client, ModerateRequest(), &lines);
+  OASIS_EXPECT_OK(after.status());
+}
+
+TEST_F(ServerTest, WireDeadlineYieldsPartialStreamAndDeadlineExceeded) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  // A low threshold makes the search orders of magnitude longer than the
+  // 1 ms deadline, so the abort lands mid-search deterministically.
+  WireRequest wire = ModerateRequest();
+  wire.min_score = 8;
+  wire.deadline_ms = 1;
+  wire.no_cache = true;
+
+  DaemonClient client = ConnectTo(*server);
+  std::vector<std::string> lines;
+  auto outcome = Stream(client, wire, &lines);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status().IsDeadlineExceeded())
+      << outcome.status().ToString();
+  // Hits streamed before the deadline stand as the partial result; the
+  // aborted prefix must never enter the cache.
+  EXPECT_EQ(server->cache_stats().insertions, 0u);
+  EXPECT_EQ(main_engine_->pool().num_pinned(), 0u);
+  OASIS_EXPECT_OK(client.Ping());
+}
+
+TEST_F(ServerTest, ServerSideDeadlineCapAppliesToUncappedRequests) {
+  ServerOptions options;
+  options.max_deadline_ms = 1;
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+  WireRequest wire = ModerateRequest();
+  wire.min_score = 8;  // long search; the server's 1 ms cap cuts it off
+
+  DaemonClient client = ConnectTo(*server);
+  std::vector<std::string> lines;
+  auto outcome = Stream(client, wire, &lines);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status().IsDeadlineExceeded())
+      << outcome.status().ToString();
+}
+
+TEST_F(ServerTest, StatsDocumentCoversServerAndIndexes) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  DaemonClient client = ConnectTo(*server);
+  std::vector<std::string> lines;
+  OASIS_ASSERT_OK(Stream(client, ModerateRequest(), &lines).status());
+
+  auto stats = client.Stats();
+  OASIS_ASSERT_OK(stats.status());
+  EXPECT_NE(stats->find("\"server\":{\"draining\":false"), std::string::npos)
+      << *stats;
+  EXPECT_NE(stats->find("\"admitted\":1"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"main\":{\"epoch\":"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"alt\":{\"epoch\":"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"io_mode\":\"pooled\""), std::string::npos) << *stats;
+  // The document matches the direct accessor.
+  EXPECT_EQ(*stats, server->StatsJson());
+}
+
+TEST_F(ServerTest, ConcurrentClientsShareOneEngineAndAgree) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  const WireRequest wire = ModerateRequest();
+  const std::vector<std::string> expected = LocalLines(*main_engine_, wire);
+  ASSERT_FALSE(expected.empty());
+
+  constexpr int kClients = 4;
+  std::vector<std::vector<std::string>> got(kClients);
+  std::vector<util::Status> statuses(kClients, util::Status::OK());
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i]() {
+      auto client = DaemonClient::Connect("127.0.0.1", server->port());
+      if (!client.ok()) {
+        statuses[i] = client.status();
+        return;
+      }
+      auto outcome = client->Query(wire, [&got, i](std::string_view line) {
+        got[i].push_back(std::string(line));
+        return true;
+      });
+      statuses[i] = outcome.status();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    OASIS_EXPECT_OK(statuses[i]);
+    EXPECT_EQ(got[i], expected) << "client #" << i;
+  }
+  EXPECT_GE(server->session_stats().admitted, 1u);
+  EXPECT_EQ(server->session_stats().active, 0u);
+  EXPECT_EQ(main_engine_->pool().num_pinned(), 0u);
+}
+
+TEST_F(ServerTest, ShutdownUnderLoadLeaksNoPins) {
+  ServerOptions options;
+  options.drain_timeout = std::chrono::milliseconds(100);
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+
+  // Long-running queries (low threshold, cache bypassed) across several
+  // clients, then shut down while they stream.
+  WireRequest wire = ModerateRequest();
+  wire.min_score = 8;
+  wire.no_cache = true;
+
+  constexpr int kClients = 3;
+  std::vector<std::thread> threads;
+  std::vector<util::Status> statuses(kClients, util::Status::OK());
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i]() {
+      auto client = DaemonClient::Connect("127.0.0.1", server->port());
+      if (!client.ok()) {
+        statuses[i] = client.status();
+        return;
+      }
+      auto outcome = client->Query(wire, [](std::string_view) { return true; });
+      statuses[i] = outcome.status();
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server->Shutdown();
+  for (std::thread& t : threads) t.join();
+
+  // Whatever each client saw (a completed stream, a cancellation, an
+  // unavailable rejection, or a closed connection), the server side must
+  // end clean: no live sessions, no pinned frames.
+  EXPECT_EQ(server->session_stats().active, 0u);
+  EXPECT_EQ(main_engine_->pool().num_pinned(), 0u);
+  EXPECT_EQ(alt_engine_->pool().num_pinned(), 0u);
+}
+
+TEST_F(ServerTest, ShutdownClosesTheListener) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  const uint16_t port = server->port();
+  server->Shutdown();
+  auto client = DaemonClient::Connect("127.0.0.1", port);
+  EXPECT_FALSE(client.ok());
+  // Shutdown is idempotent.
+  server->Shutdown();
+}
+
+TEST_F(ServerTest, StartRejectsBadConfigurations) {
+  EXPECT_FALSE(Server::Start({}, ServerOptions()).ok());
+  EXPECT_FALSE(
+      Server::Start({{"a", main_engine_}, {"a", alt_engine_}}, ServerOptions())
+          .ok());
+  EXPECT_FALSE(Server::Start({{"a", nullptr}}, ServerOptions()).ok());
+  ServerOptions options;
+  options.host = "not-an-address";
+  EXPECT_FALSE(Server::Start({{"a", main_engine_}}, options).ok());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace oasis

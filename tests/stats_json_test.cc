@@ -1,0 +1,224 @@
+// util/stats_json: the one snapshot both stats surfaces render from.
+// StatsText is pinned byte-for-byte to the CLI's historical --stats block
+// (the formatter replaced inline printf code in oasis_cli; these literals
+// are that contract), StatsJson is pinned as a canonical encoding —
+// identical snapshots must produce identical bytes, because the daemon's
+// /stats responses are diffed across calls.
+
+#include "util/stats_json.h"
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+// A fully-populated pooled snapshot with easy-to-eyeball numbers.
+util::EngineStatsSnapshot PooledSnapshot() {
+  util::EngineStatsSnapshot s;
+  s.pooled = true;
+  s.frames = 1024;
+  s.block_size = 2048;
+  s.shards = 8;
+  s.segments = {{"internal", 1000, 900, 0.9}, {"leaves", 50, 25, 0.5}};
+  s.total = {"total", 1050, 925, 0.880952};
+  return s;
+}
+
+TEST(StatsJson, TextPooledNoReadahead) {
+  const util::EngineStatsSnapshot s = PooledSnapshot();
+  EXPECT_EQ(util::StatsText(s),
+            "\nbuffer pool: 1024 frames x 2048 B in 8 shards\n"
+            "segment        requests         hits  hit ratio\n"
+            "internal           1000          900      0.900\n"
+            "leaves               50           25      0.500\n"
+            "total              1050          925      0.881\n"
+            "readahead: disabled (--readahead K for a fixed K-block window, "
+            "--readahead auto for the adaptive one)\n");
+}
+
+TEST(StatsJson, TextSingleShardDropsPlural) {
+  util::EngineStatsSnapshot s = PooledSnapshot();
+  s.shards = 1;
+  const std::string text = util::StatsText(s);
+  EXPECT_NE(text.find("in 1 shard\n"), std::string::npos) << text;
+}
+
+TEST(StatsJson, TextFixedReadahead) {
+  util::EngineStatsSnapshot s = PooledSnapshot();
+  s.readahead_enabled = true;
+  s.readahead_adaptive = false;
+  s.readahead_blocks = 4;
+  s.readahead_issued = 200;
+  s.readahead_used = 150;
+  s.readahead_wasted = 50;
+  s.readahead_waste_ratio = 0.25;
+  const std::string text = util::StatsText(s);
+  EXPECT_NE(text.find("readahead (4 blocks/miss): 200 issued, 150 used, "
+                      "50 wasted (waste ratio 0.250)\n"),
+            std::string::npos)
+      << text;
+  // Fixed mode has no per-segment window table.
+  EXPECT_EQ(text.find("ewma"), std::string::npos) << text;
+}
+
+TEST(StatsJson, TextAdaptiveReadaheadWindowTable) {
+  util::EngineStatsSnapshot s = PooledSnapshot();
+  s.readahead_enabled = true;
+  s.readahead_adaptive = true;
+  s.readahead_blocks = 8;
+  s.readahead_issued = 200;
+  s.readahead_used = 150;
+  s.readahead_wasted = 50;
+  s.readahead_waste_ratio = 0.25;
+  s.windows = {{"internal", 12, 0.875, 40, 9, 2, 1}};
+  const std::string text = util::StatsText(s);
+  EXPECT_NE(text.find("readahead (adaptive, initial 8 blocks): 200 issued, "
+                      "150 used, 50 wasted (waste ratio 0.250)\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find(
+          "segment      window     ewma samples    grows shrinks   probes\n"
+          "internal         12    0.875      40        9       2        1\n"),
+      std::string::npos)
+      << text;
+}
+
+TEST(StatsJson, TextAdaptiveClampsNegativeEwma) {
+  // A window with no samples yet reports ewma < 0 (the controller's "no
+  // estimate" sentinel); the renderer shows 0.000, not a negative number.
+  util::EngineStatsSnapshot s = PooledSnapshot();
+  s.readahead_enabled = true;
+  s.readahead_adaptive = true;
+  s.readahead_blocks = 8;
+  s.windows = {{"leaves", 8, -1.0, 0, 0, 0, 0}};
+  const std::string text = util::StatsText(s);
+  EXPECT_NE(text.find("leaves            8    0.000"), std::string::npos)
+      << text;
+}
+
+TEST(StatsJson, TextMmapNotices) {
+  util::EngineStatsSnapshot s;  // pooled = false
+  EXPECT_EQ(util::StatsText(s),
+            "\nio mode mmap: zero-copy block access, no buffer-pool "
+            "statistics (use --io-mode pooled for Figure 8 numbers)\n"
+            "readahead: n/a in mmap mode (speculation targets the "
+            "buffer pool; use --io-mode pooled --readahead K)\n");
+}
+
+TEST(StatsJson, JsonPooledCanonical) {
+  util::EngineStatsSnapshot s = PooledSnapshot();
+  EXPECT_EQ(
+      util::StatsJson(s),
+      "{\"io_mode\":\"pooled\",\"pool\":{\"frames\":1024,"
+      "\"block_size\":2048,\"shards\":8,\"segments\":["
+      "{\"name\":\"internal\",\"requests\":1000,\"hits\":900,"
+      "\"hit_ratio\":0.900000},"
+      "{\"name\":\"leaves\",\"requests\":50,\"hits\":25,"
+      "\"hit_ratio\":0.500000}],"
+      "\"total\":{\"name\":\"total\",\"requests\":1050,\"hits\":925,"
+      "\"hit_ratio\":0.880952}},"
+      "\"readahead\":{\"enabled\":false}}");
+}
+
+TEST(StatsJson, JsonMmapIsExplicitNulls) {
+  util::EngineStatsSnapshot s;
+  EXPECT_EQ(util::StatsJson(s),
+            "{\"io_mode\":\"mmap\",\"pool\":null,\"readahead\":null}");
+}
+
+TEST(StatsJson, JsonAdaptiveReadahead) {
+  util::EngineStatsSnapshot s = PooledSnapshot();
+  s.readahead_enabled = true;
+  s.readahead_adaptive = true;
+  s.readahead_blocks = 8;
+  s.readahead_issued = 200;
+  s.readahead_used = 150;
+  s.readahead_wasted = 50;
+  s.readahead_waste_ratio = 0.25;
+  s.windows = {{"internal", 12, 0.875, 40, 9, 2, 1}};
+  const std::string json = util::StatsJson(s);
+  EXPECT_NE(json.find("\"readahead\":{\"enabled\":true,\"adaptive\":true,"
+                      "\"blocks\":8,\"issued\":200,\"used\":150,"
+                      "\"wasted\":50,\"waste_ratio\":0.250000,"
+                      "\"windows\":[{\"name\":\"internal\",\"window\":12,"
+                      "\"ewma\":0.875000,\"samples\":40,\"grows\":9,"
+                      "\"shrinks\":2,\"probes\":1}]}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(StatsJson, JsonDeterministicForIdenticalSnapshots) {
+  const util::EngineStatsSnapshot s = PooledSnapshot();
+  EXPECT_EQ(util::StatsJson(s), util::StatsJson(s));
+  EXPECT_EQ(util::StatsText(s), util::StatsText(s));
+}
+
+TEST(StatsJson, JsonEscape) {
+  EXPECT_EQ(util::JsonEscape("plain"), "plain");
+  EXPECT_EQ(util::JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(util::JsonEscape("x\n\r\t"), "x\\n\\r\\t");
+  EXPECT_EQ(util::JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+// --- Engine::CollectStats feeds the renderers --------------------------------
+
+TEST(StatsJson, CollectStatsFromPooledEngine) {
+  workload::ProteinDatabaseOptions db_options;
+  db_options.target_residues = 5000;
+  db_options.seed = 7;
+  auto db = workload::GenerateProteinDatabase(db_options);
+  OASIS_ASSERT_OK(db.status());
+
+  util::TempDir dir("stats-json");
+  api::EngineOptions options;
+  options.io_mode = api::IoMode::kPooled;
+  auto engine =
+      api::Engine::BuildFromDatabase(std::move(db).value(), dir.path(), options);
+  OASIS_ASSERT_OK(engine.status());
+
+  // Run one search so the counters are non-trivial.
+  auto resident = (*engine)->ResidentDatabase();
+  OASIS_ASSERT_OK(resident.status());
+  const seq::Sequence& seq0 = (*resident)->sequence(0);
+  std::vector<seq::Symbol> query(
+      seq0.symbols().begin(),
+      seq0.symbols().begin() + std::min<size_t>(10, seq0.size()));
+  auto results = (*engine)->SearchAll(api::SearchRequest(query).EValue(10.0));
+  OASIS_ASSERT_OK(results.status());
+
+  const util::EngineStatsSnapshot snapshot = (*engine)->CollectStats();
+  EXPECT_TRUE(snapshot.pooled);
+  EXPECT_GT(snapshot.frames, 0u);
+  EXPECT_GT(snapshot.total.requests, 0u);
+  // Both renderers accept a live snapshot, and the JSON one is canonical.
+  EXPECT_FALSE(util::StatsText(snapshot).empty());
+  EXPECT_EQ(util::StatsJson(snapshot), util::StatsJson(snapshot));
+}
+
+TEST(StatsJson, CollectStatsFromMmapEngine) {
+  workload::ProteinDatabaseOptions db_options;
+  db_options.target_residues = 5000;
+  db_options.seed = 7;
+  auto db = workload::GenerateProteinDatabase(db_options);
+  OASIS_ASSERT_OK(db.status());
+
+  util::TempDir dir("stats-json-mmap");
+  api::EngineOptions options;
+  options.io_mode = api::IoMode::kMmap;
+  auto engine =
+      api::Engine::BuildFromDatabase(std::move(db).value(), dir.path(), options);
+  OASIS_ASSERT_OK(engine.status());
+
+  const util::EngineStatsSnapshot snapshot = (*engine)->CollectStats();
+  EXPECT_FALSE(snapshot.pooled);
+  EXPECT_EQ(util::StatsJson(snapshot),
+            "{\"io_mode\":\"mmap\",\"pool\":null,\"readahead\":null}");
+}
+
+}  // namespace
+}  // namespace oasis
