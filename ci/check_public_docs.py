@@ -28,6 +28,12 @@ import subprocess
 import sys
 
 HEADERS = [
+    "src/align/pair_aligner.h",
+    "src/align/simd/dispatch.h",
+    "src/align/simd/query_profile.h",
+    "src/align/simd/sw_kernels.h",
+    "src/align/simd/ungapped.h",
+    "src/align/smith_waterman.h",
     "src/api/engine.h",
     "src/server/client.h",
     "src/server/flags.h",

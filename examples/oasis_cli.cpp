@@ -9,6 +9,9 @@
 //              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
 //              [--io-mode auto|pooled|mmap] [--readahead K|auto]
 //              [--no-memo] [--stats]
+//   oasis_cli scan   <index_dir> <QUERYRESIDUES>
+//              [--evalue E | --minscore S] [--simd auto|avx2|sse4|off]
+//              [--stats]
 //   oasis_cli query  <QUERYRESIDUES> --connect HOST:PORT [--ix NAME]
 //              [--evalue E | --minscore S] [--top K] [--by-evalue]
 //              [--deadline-ms MS] [--cancel-after N] [--no-cache]
@@ -26,6 +29,15 @@
 // `index` builds the packed suffix tree AND the sequence catalog from a
 // FASTA file; `search` and `batch` need only the index directory — result
 // labels come from the catalog, so the database FASTA is never reloaded.
+// `scan` runs the paper's "accurate but expensive" Smith-Waterman
+// baseline (align::ScanDatabase) over every database sequence — no
+// suffix-tree search involved — with `--simd` selecting the alignment
+// kernel (auto/avx2/sse4/off; strict: a forced ISA this machine cannot
+// run is an error). All modes print byte-identical hits; `--stats` adds
+// DP cells and cells/second, the numbers bench_align gates in CI.
+// `--simd` also applies to `search` and `batch`, where it steers the
+// engine's alignment kernels (e.g. the BLAST extension stage).
+//
 // `batch` reads one query per FASTA record and fans them across a thread
 // pool via Engine::SearchBatch; all workers share the engine's one sharded
 // buffer pool, sized by --pool-mb. `--io-mode` picks the storage path:
@@ -76,12 +88,16 @@ int Usage() {
       "  oasis_cli search <index_dir> <QUERY>\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
       "             [--io-mode auto|pooled|mmap] [--readahead K|auto]\n"
-      "             [--no-memo] [--alignments] [--by-evalue]\n"
-      "             [--stats] [--stats-json]\n"
+      "             [--simd auto|avx2|sse4|off] [--no-memo]\n"
+      "             [--alignments] [--by-evalue] [--stats] [--stats-json]\n"
       "  oasis_cli batch  <index_dir> <queries.fasta> [--threads N]\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
       "             [--io-mode auto|pooled|mmap] [--readahead K|auto]\n"
-      "             [--no-memo] [--stats] [--stats-json]\n"
+      "             [--simd auto|avx2|sse4|off] [--no-memo]\n"
+      "             [--stats] [--stats-json]\n"
+      "  oasis_cli scan   <index_dir> <QUERY>\n"
+      "             [--evalue E | --minscore S]\n"
+      "             [--simd auto|avx2|sse4|off] [--stats]\n"
       "  oasis_cli query  <QUERY> --connect HOST:PORT [--ix NAME]\n"
       "             [--evalue E | --minscore S] [--top K] [--by-evalue]\n"
       "             [--deadline-ms MS] [--cancel-after N] [--no-cache]\n"
@@ -115,6 +131,7 @@ struct Args {
   bool readahead_auto = false;  // --readahead auto: adaptive window
   bool no_memo = false;
   uint32_t threads = 4;
+  align::simd::SimdMode simd = align::simd::SimdMode::kAuto;
   bool alignments = false;
   bool by_evalue = false;
   bool stats = false;
@@ -152,6 +169,10 @@ bool Parse(int argc, char** argv, Args* args) {
     if (argc < 4) return false;
     args->index_dir = argv[2];
     args->fasta = argv[3];
+  } else if (args->command == "scan") {
+    if (argc < 4) return false;
+    args->index_dir = argv[2];
+    args->query = argv[3];
   } else if (args->command == "query") {
     if (argc < 3) return false;
     args->query = argv[2];
@@ -225,6 +246,12 @@ bool Parse(int argc, char** argv, Args* args) {
         args->readahead_auto = false;
         args->readahead = *parsed;
       }
+    } else if (flag == "--simd") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto parsed = align::simd::ParseSimdMode(v);
+      if (!parsed.ok()) return BadFlag("--simd", parsed.status());
+      args->simd = *parsed;
     } else if (flag == "--no-memo") {
       args->no_memo = true;
     } else if (flag == "--threads") {
@@ -340,6 +367,7 @@ int RunSearch(const Args& args) {
   // `--readahead auto` engages the controller.
   options.readahead_adaptive = args.readahead_auto;
   options.fetch_memo = !args.no_memo;
+  options.simd_mode = args.simd;
   auto engine = Engine::Open(args.index_dir, options);
   if (!engine.ok()) return Fail(engine.status());
 
@@ -410,6 +438,7 @@ int RunBatch(const Args& args) {
   options.readahead_blocks = args.readahead;
   options.readahead_adaptive = args.readahead_auto;
   options.fetch_memo = !args.no_memo;
+  options.simd_mode = args.simd;
   auto engine = Engine::Open(args.index_dir, options);
   if (!engine.ok()) return Fail(engine.status());
 
@@ -461,6 +490,59 @@ int RunBatch(const Args& args) {
   std::printf("\n%zu queries in %.4fs\n", results->size(), elapsed);
   if (args.stats || args.stats_json) {
     PrintPoolStats(**engine, args.stats_json);
+  }
+  return 0;
+}
+
+int RunScan(const Args& args) {
+  EngineOptions options;
+  options.simd_mode = args.simd;
+  auto engine = Engine::Open(args.index_dir, options);
+  if (!engine.ok()) return Fail(engine.status());
+
+  auto request = SearchRequest::FromText((*engine)->alphabet(), args.query);
+  if (!request.ok()) return Fail(request.status());
+  ApplyFlags(&*request, args);
+  auto min_score = (*engine)->ResolveMinScore(*request);
+  if (!min_score.ok()) return Fail(min_score.status());
+  // ScanDatabase scores full local alignments, whose scores are positive.
+  const score::ScoreT threshold = std::max<score::ScoreT>(1, *min_score);
+
+  auto db = (*engine)->ResidentDatabase();
+  if (!db.ok()) return Fail(db.status());
+
+  std::printf("scanning %llu sequences with the S-W baseline: "
+              "%zu-residue query, matrix %s, minScore %d, simd %s\n\n",
+              static_cast<unsigned long long>((*db)->num_sequences()),
+              request->query().size(), (*engine)->matrix().name().c_str(),
+              threshold,
+              align::simd::SimdLevelName((*engine)->simd_level()));
+
+  align::AlignStats stats;
+  util::Timer timer;
+  const std::vector<align::SequenceHit> hits =
+      align::ScanDatabase(request->query(), **db, (*engine)->matrix(),
+                          threshold, &stats, args.simd);
+  const double elapsed = timer.ElapsedSeconds();
+
+  uint64_t printed = 0;
+  for (const align::SequenceHit& hit : hits) {
+    if (args.top > 0 && printed == args.top) break;
+    ++printed;
+    std::printf("%-24s score=%-6d qEnd=%-8llu tEnd=%llu\n",
+                (*engine)->catalog().name(hit.sequence_id).c_str(), hit.score,
+                static_cast<unsigned long long>(hit.query_end),
+                static_cast<unsigned long long>(hit.target_end));
+  }
+  std::printf("\n%zu hits in %.4fs\n", hits.size(), elapsed);
+  if (args.stats) {
+    const double cps =
+        elapsed > 0 ? static_cast<double>(stats.cells_computed) / elapsed : 0;
+    std::printf("%llu DP cells over %llu columns (%.1f Mcells/s, simd %s)\n",
+                static_cast<unsigned long long>(stats.cells_computed),
+                static_cast<unsigned long long>(stats.columns_expanded),
+                cps / 1e6,
+                align::simd::SimdLevelName((*engine)->simd_level()));
   }
   return 0;
 }
@@ -539,6 +621,7 @@ int main(int argc, char** argv) {
   if (!Parse(argc, argv, &args)) return Usage();
   if (args.command == "index") return RunIndex(args);
   if (args.command == "batch") return RunBatch(args);
+  if (args.command == "scan") return RunScan(args);
   if (args.command == "query") return RunQuery(args);
   if (args.command == "stats") return RunRemoteStats(args);
   return RunSearch(args);

@@ -1,0 +1,30 @@
+#include "align/pair_aligner.h"
+
+namespace oasis {
+namespace align {
+
+PairAligner::PairAligner(std::span<const seq::Symbol> query,
+                         const score::SubstitutionMatrix& matrix,
+                         simd::SimdMode mode)
+    : query_(query), matrix_(&matrix), level_(simd::ResolveLevel(mode)) {
+  if (level_ != simd::SimdLevel::kScalar) {
+    profile_.emplace(query_, *matrix_, level_);
+    // A matrix whose scores fit no lane width (or an empty query) makes
+    // every target take the scalar rung; skip the profile entirely.
+    if (!profile_->u8().viable && !profile_->u16().viable) {
+      profile_.reset();
+      level_ = simd::SimdLevel::kScalar;
+    }
+  }
+}
+
+SequenceHit PairAligner::Align(std::span<const seq::Symbol> target,
+                               AlignStats* stats) {
+  if (!profile_.has_value()) {
+    return AlignPair(query_, target, *matrix_, stats, &workspace_);
+  }
+  return simd::AlignStriped(*profile_, target, stats, &scratch_, &workspace_);
+}
+
+}  // namespace align
+}  // namespace oasis

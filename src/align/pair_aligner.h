@@ -1,0 +1,54 @@
+// Query-bound alignment context: the one-query-many-targets form of
+// AlignPair that database scans actually want.
+//
+// Construction resolves the SIMD dispatch level once and (for vector
+// levels) builds the striped QueryProfile once; Align() then reuses one
+// set of DP scratch buffers across every target, so a whole-database
+// scan performs no per-pair allocation on either the vector or the
+// scalar path. Results are byte-identical to AlignPair for every mode —
+// the profile/kernels only change the wall clock (the invariant
+// tests/simd_parity_test.cc fuzzes).
+
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "align/simd/dispatch.h"
+#include "align/simd/query_profile.h"
+#include "align/simd/sw_kernels.h"
+#include "align/smith_waterman.h"
+
+namespace oasis {
+namespace align {
+
+/// Reusable one-query aligner. Not thread-safe (the scratch is mutable);
+/// create one per worker. The query span and matrix must outlive it.
+class PairAligner {
+ public:
+  /// Resolves `mode` (see simd::ResolveLevel) and, for vector levels,
+  /// builds the query profile.
+  PairAligner(std::span<const seq::Symbol> query,
+              const score::SubstitutionMatrix& matrix,
+              simd::SimdMode mode = simd::SimdMode::kAuto);
+
+  /// The dispatch level Align() runs at.
+  simd::SimdLevel level() const { return level_; }
+
+  /// Best local alignment against one target — same contract and same
+  /// result, byte for byte, as AlignPair(query, target, matrix, stats).
+  SequenceHit Align(std::span<const seq::Symbol> target,
+                    AlignStats* stats = nullptr);
+
+ private:
+  std::span<const seq::Symbol> query_;
+  const score::SubstitutionMatrix* matrix_;
+  simd::SimdLevel level_;
+  /// Present only at vector levels with at least one viable lane width.
+  std::optional<simd::QueryProfile> profile_;
+  simd::StripedScratch scratch_;
+  AlignWorkspace workspace_;
+};
+
+}  // namespace align
+}  // namespace oasis

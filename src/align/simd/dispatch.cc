@@ -1,0 +1,118 @@
+#include "align/simd/dispatch.h"
+
+#include <string>
+
+namespace oasis {
+namespace align {
+namespace simd {
+
+namespace {
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasSse41() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("sse4.1");
+#else
+  return false;
+#endif
+}
+
+SimdLevel DetectUncached() {
+  if (internal::Avx2Compiled() && CpuHasAvx2()) return SimdLevel::kAvx2;
+  if (internal::Sse4Compiled() && CpuHasSse41()) return SimdLevel::kSse4;
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+const char* SimdModeName(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAuto:
+      return "auto";
+    case SimdMode::kAvx2:
+      return "avx2";
+    case SimdMode::kSse4:
+      return "sse4";
+    case SimdMode::kOff:
+      return "off";
+  }
+  return "auto";
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse4:
+      return "sse4";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+SimdLevel DetectLevel() {
+  static const SimdLevel level = DetectUncached();
+  return level;
+}
+
+bool LevelSupported(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSse4:
+      return internal::Sse4Compiled() && CpuHasSse41();
+    case SimdLevel::kAvx2:
+      return internal::Avx2Compiled() && CpuHasAvx2();
+  }
+  return false;
+}
+
+SimdLevel ResolveLevel(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAuto:
+      return DetectLevel();
+    case SimdMode::kAvx2:
+      return LevelSupported(SimdLevel::kAvx2) ? SimdLevel::kAvx2
+                                              : SimdLevel::kScalar;
+    case SimdMode::kSse4:
+      return LevelSupported(SimdLevel::kSse4) ? SimdLevel::kSse4
+                                              : SimdLevel::kScalar;
+    case SimdMode::kOff:
+      return SimdLevel::kScalar;
+  }
+  return SimdLevel::kScalar;
+}
+
+util::Status CheckSupported(SimdMode mode) {
+  if (mode == SimdMode::kAvx2 && !LevelSupported(SimdLevel::kAvx2)) {
+    return util::Status::InvalidArgument(
+        "simd mode 'avx2' is not available on this build/CPU");
+  }
+  if (mode == SimdMode::kSse4 && !LevelSupported(SimdLevel::kSse4)) {
+    return util::Status::InvalidArgument(
+        "simd mode 'sse4' is not available on this build/CPU");
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<SimdMode> ParseSimdMode(std::string_view text) {
+  if (text == "auto") return SimdMode::kAuto;
+  if (text == "avx2") return SimdMode::kAvx2;
+  if (text == "sse4") return SimdMode::kSse4;
+  if (text == "off") return SimdMode::kOff;
+  return util::Status::InvalidArgument(
+      "invalid simd mode '" + std::string(text) +
+      "' (expected auto|avx2|sse4|off)");
+}
+
+}  // namespace simd
+}  // namespace align
+}  // namespace oasis

@@ -1,0 +1,88 @@
+// Runtime CPU dispatch for the SIMD alignment kernels.
+//
+// Two separate notions, deliberately kept apart:
+//
+//   SimdMode  — what the caller *asked for* (EngineOptions::simd_mode,
+//               the --simd flag). kAuto means "best available".
+//   SimdLevel — what the kernels *actually run as*, resolved once from a
+//               mode plus the CPU + build capabilities.
+//
+// Resolution rules (ResolveLevel):
+//   kAuto → best level both compiled in and supported by this CPU
+//   kAvx2 / kSse4 → that level if runnable here, else scalar
+//   kOff  → scalar, always
+//
+// CheckSupported() is the strict variant for option validation: a forced
+// ISA the machine cannot run is an error there, not a silent fallback —
+// a deployment that pins --simd avx2 wants to know when it degrades.
+//
+// Builds with OASIS_DISABLE_SIMD (cmake -DOASIS_DISABLE_SIMD=ON), non-x86
+// targets, and compilers without -mavx2/-msse4.1 all resolve to scalar;
+// the kernels compile out and every caller takes the scalar path.
+
+#pragma once
+
+#include <string_view>
+
+#include "util/status.h"
+
+namespace oasis {
+namespace align {
+namespace simd {
+
+/// Requested dispatch mode: what the user asked for on the CLI or in
+/// EngineOptions. Resolved to a SimdLevel once at startup.
+enum class SimdMode {
+  kAuto,  ///< pick the best level this build + CPU supports
+  kAvx2,  ///< force AVX2 (error under CheckSupported if unavailable)
+  kSse4,  ///< force SSE4.1 (error under CheckSupported if unavailable)
+  kOff,   ///< scalar kernels only
+};
+
+/// Resolved dispatch level: what the kernels actually run as.
+enum class SimdLevel {
+  kScalar,  ///< portable scalar code
+  kSse4,    ///< 128-bit kernels (SSE4.1)
+  kAvx2,    ///< 256-bit kernels (AVX2)
+};
+
+/// Flag spelling of `mode` ("auto", "avx2", "sse4", "off").
+const char* SimdModeName(SimdMode mode);
+
+/// Human-readable name of `level` ("scalar", "sse4", "avx2").
+const char* SimdLevelName(SimdLevel level);
+
+/// Best level this build + CPU supports. Probed once (thread-safe) and
+/// cached; returns kScalar under OASIS_DISABLE_SIMD or off x86.
+SimdLevel DetectLevel();
+
+/// True when `level`'s kernels are compiled in and runnable on this CPU.
+/// kScalar is always supported.
+bool LevelSupported(SimdLevel level);
+
+/// Resolves a requested mode to a runnable level (see file comment for
+/// the rules). Never fails: unsupported forced ISAs degrade to kScalar.
+SimdLevel ResolveLevel(SimdMode mode);
+
+/// Strict validation for option surfaces: InvalidArgument when `mode`
+/// forces an ISA this build + CPU cannot run; OK otherwise (kAuto and
+/// kOff always pass).
+util::Status CheckSupported(SimdMode mode);
+
+/// Parses "auto" | "avx2" | "sse4" | "off" (exact, case-sensitive — the
+/// flag discipline of util/flag_parse). InvalidArgument on anything else.
+util::StatusOr<SimdMode> ParseSimdMode(std::string_view text);
+
+namespace internal {
+/// Defined in sw_avx2.cc / sw_sse4.cc: true when that translation unit
+/// was compiled with real vector kernels (x86 + ISA flag + SIMD enabled),
+/// false when it holds only stubs. DetectLevel() consults these so a
+/// build without -mavx2 never dispatches to a stub.
+bool Avx2Compiled();
+/// SSE4.1 counterpart of Avx2Compiled().
+bool Sse4Compiled();
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace align
+}  // namespace oasis

@@ -1,0 +1,105 @@
+#include "align/simd/query_profile.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace align {
+namespace simd {
+
+namespace {
+
+// Vector width in bytes per resolved level (0 = no vector kernels).
+uint32_t VectorBytes(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return 0;
+    case SimdLevel::kSse4:
+      return 16;
+    case SimdLevel::kAvx2:
+      return 32;
+  }
+  return 0;
+}
+
+// A width is viable when every quantity the kernel keeps in a lane —
+// biased profile entries, the gap magnitude, and any H value below the
+// overflow threshold — fits the word. The kernel separately re-runs
+// wider when a *particular pair* saturates; non-viability here means the
+// width cannot represent even a single recurrence step exactly.
+WidthLayout MakeLayout(uint32_t vector_bytes, uint32_t word_bytes,
+                       uint32_t query_len,
+                       const score::SubstitutionMatrix& matrix) {
+  WidthLayout layout;
+  if (vector_bytes == 0 || query_len == 0) return layout;
+  const uint64_t max_word = (word_bytes == 1) ? 255u : 65535u;
+  const int64_t bias =
+      matrix.min_score() < 0 ? -static_cast<int64_t>(matrix.min_score()) : 0;
+  const int64_t gap_mag = -static_cast<int64_t>(matrix.gap_penalty());
+  if (bias > static_cast<int64_t>(max_word)) return layout;
+  if (static_cast<int64_t>(matrix.max_score()) + bias >
+      static_cast<int64_t>(max_word)) {
+    return layout;
+  }
+  if (gap_mag > static_cast<int64_t>(max_word)) return layout;
+  layout.lanes = vector_bytes / word_bytes;
+  layout.seg_len = (query_len + layout.lanes - 1) / layout.lanes;
+  layout.stride = layout.seg_len * layout.lanes;
+  layout.bias = static_cast<uint32_t>(bias);
+  layout.viable = true;
+  return layout;
+}
+
+template <typename Word>
+void FillLanes(const WidthLayout& layout, std::span<const seq::Symbol> query,
+               const score::SubstitutionMatrix& matrix,
+               std::vector<Word>* lanes, std::vector<Word>* mask) {
+  const uint32_t m = static_cast<uint32_t>(query.size());
+  const uint32_t sigma = matrix.size();
+  lanes->assign(static_cast<size_t>(sigma) * layout.stride, 0);
+  mask->assign(layout.stride, 0);
+  for (uint32_t s = 0; s < layout.seg_len; ++s) {
+    for (uint32_t l = 0; l < layout.lanes; ++l) {
+      const uint32_t p = l * layout.seg_len + s;
+      if (p < m) (*mask)[s * layout.lanes + l] = std::numeric_limits<Word>::max();
+    }
+  }
+  for (uint32_t r = 0; r < sigma; ++r) {
+    Word* column = lanes->data() + static_cast<size_t>(r) * layout.stride;
+    for (uint32_t s = 0; s < layout.seg_len; ++s) {
+      for (uint32_t l = 0; l < layout.lanes; ++l) {
+        const uint32_t p = l * layout.seg_len + s;
+        if (p >= m) continue;
+        const score::ScoreT score = matrix.Score(query[p], r);
+        column[s * layout.lanes + l] =
+            static_cast<Word>(score + static_cast<score::ScoreT>(layout.bias));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+QueryProfile::QueryProfile(std::span<const seq::Symbol> query,
+                           const score::SubstitutionMatrix& matrix,
+                           SimdLevel level)
+    : query_(query.begin(), query.end()),
+      matrix_(&matrix),
+      level_(level),
+      query_len_(static_cast<uint32_t>(query.size())) {
+  for (seq::Symbol sym : query_) {
+    OASIS_DCHECK(sym < matrix.size()) << "query symbol out of alphabet";
+  }
+  const uint32_t vec = VectorBytes(level);
+  u8_ = MakeLayout(vec, 1, query_len_, matrix);
+  u16_ = MakeLayout(vec, 2, query_len_, matrix);
+  if (u8_.viable) FillLanes<uint8_t>(u8_, query_, matrix, &lanes8_, &mask8_);
+  if (u16_.viable) {
+    FillLanes<uint16_t>(u16_, query_, matrix, &lanes16_, &mask16_);
+  }
+}
+
+}  // namespace simd
+}  // namespace align
+}  // namespace oasis

@@ -1,0 +1,95 @@
+// Striped query profile for the SIMD Smith-Waterman kernels.
+//
+// The striped layout (Farrar 2007): with V vector lanes and a query of
+// length m, the query is split into V interleaved stripes of
+// seg_len = ceil(m / V) positions. Query position p lives in lane
+// p / seg_len at segment index p % seg_len; the word at memory index
+// s * V + l therefore holds position l * seg_len + s. One vector load at
+// segment s fetches V positions spaced seg_len apart — which is what
+// makes the vertical (in-query) DP dependency mostly disappear.
+//
+// For each residue r of the alphabet the profile precomputes
+// Score(query[p], r) + bias for every p, laid out in that striped order,
+// so the kernel's inner loop is a single aligned-ish load per segment
+// instead of m scattered matrix lookups. Positions past m (padding in the
+// last stripe) score 0 and are forced back to 0 through per-segment masks
+// (mask8/mask16) so they never contaminate the column maximum.
+//
+// Scores are biased by -min_score so the whole DP runs in *unsigned*
+// saturating arithmetic: H is stored unbiased, the kernel adds the biased
+// profile word and subtracts the bias again, and unsigned underflow
+// clamps at 0 — exactly the max(0, ...) of local alignment, for free.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/simd/dispatch.h"
+#include "score/substitution_matrix.h"
+#include "seq/alphabet.h"
+
+namespace oasis {
+namespace align {
+namespace simd {
+
+/// Layout constants for one word width (u8 or u16) of a profile.
+struct WidthLayout {
+  uint32_t lanes = 0;    ///< vector lanes V (0 when !viable)
+  uint32_t seg_len = 0;  ///< segments per stripe, ceil(m / lanes)
+  uint32_t stride = 0;   ///< words per striped column, seg_len * lanes
+  uint32_t bias = 0;     ///< -min_score, added to every profile entry
+  bool viable = false;   ///< scores + gap fit this width (see Build rules)
+};
+
+/// Per-query, per-matrix score lanes, built once and reused across every
+/// target in a scan. Immutable after construction; safe to share across
+/// threads. The query span is copied — the profile does not alias it.
+class QueryProfile {
+ public:
+  /// Builds the profile for `level`'s lane widths. A kScalar level (or an
+  /// empty query) yields a profile with no viable widths; callers then
+  /// use the scalar kernel. Precondition: every query symbol < alphabet
+  /// size (terminators are never aligned).
+  QueryProfile(std::span<const seq::Symbol> query,
+               const score::SubstitutionMatrix& matrix, SimdLevel level);
+
+  /// Level the lanes were laid out for.
+  SimdLevel level() const { return level_; }
+  /// Scoring matrix the profile was built from (must outlive it).
+  const score::SubstitutionMatrix& matrix() const { return *matrix_; }
+  /// Query length m.
+  uint32_t query_len() const { return query_len_; }
+  /// The copied query symbols.
+  std::span<const seq::Symbol> query() const { return query_; }
+
+  /// 8-bit layout; check .viable before touching lanes8()/mask8().
+  const WidthLayout& u8() const { return u8_; }
+  /// 16-bit layout; check .viable before touching lanes16()/mask16().
+  const WidthLayout& u16() const { return u16_; }
+
+  /// Biased 8-bit lanes: residue r's striped column starts at
+  /// r * u8().stride.
+  const uint8_t* lanes8() const { return lanes8_.data(); }
+  /// Biased 16-bit lanes, same layout with u16()'s constants.
+  const uint16_t* lanes16() const { return lanes16_.data(); }
+  /// 8-bit padding masks: one striped column; 0xFF for real query
+  /// positions, 0x00 for padding.
+  const uint8_t* mask8() const { return mask8_.data(); }
+  /// 16-bit padding masks (0xFFFF / 0x0000).
+  const uint16_t* mask16() const { return mask16_.data(); }
+
+ private:
+  std::vector<seq::Symbol> query_;
+  const score::SubstitutionMatrix* matrix_;
+  SimdLevel level_;
+  uint32_t query_len_;
+  WidthLayout u8_, u16_;
+  std::vector<uint8_t> lanes8_, mask8_;
+  std::vector<uint16_t> lanes16_, mask16_;
+};
+
+}  // namespace simd
+}  // namespace align
+}  // namespace oasis

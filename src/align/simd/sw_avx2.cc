@@ -1,0 +1,239 @@
+// AVX2 bodies of the SIMD alignment kernels. This translation unit is
+// compiled with -mavx2 (CMake adds the flag per-file when the compiler
+// supports it); everything here is reached only after runtime dispatch
+// proved the CPU runs AVX2. Keep ALL AVX2 code in this file — nothing
+// else in the library is built with the flag.
+//
+// Without __AVX2__ (non-x86, old compiler) or with OASIS_DISABLE_SIMD the
+// file degrades to stubs: Avx2Compiled() returns false, dispatch never
+// selects the level, and the entry points abort if called anyway.
+
+#include "align/simd/dispatch.h"
+#include "align/simd/sw_kernels.h"
+#include "align/simd/ungapped.h"
+#include "util/logging.h"
+
+#if defined(__AVX2__) && !defined(OASIS_DISABLE_SIMD)
+
+#include <immintrin.h>
+
+#include "align/simd/sw_striped_impl.h"
+
+namespace oasis {
+namespace align {
+namespace simd {
+namespace internal {
+
+namespace {
+
+struct Avx2U8 {
+  using Vec = __m256i;
+  using Word = uint8_t;
+  static constexpr uint32_t kLanes = 32;
+  static Vec Zero() { return _mm256_setzero_si256(); }
+  static Vec Set1(Word w) {
+    return _mm256_set1_epi8(static_cast<char>(w));
+  }
+  static Vec Load(const Word* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void Store(Word* p, Vec v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static Vec AddSat(Vec a, Vec b) { return _mm256_adds_epu8(a, b); }
+  static Vec SubSat(Vec a, Vec b) { return _mm256_subs_epu8(a, b); }
+  static Vec Max(Vec a, Vec b) { return _mm256_max_epu8(a, b); }
+  static Vec And(Vec a, Vec b) { return _mm256_and_si256(a, b); }
+  static Vec ShiftLanesUp(Vec a) {
+    // One byte toward higher lanes across the 128-bit boundary: lane 16
+    // must receive lane 15, so feed alignr the low half as carry.
+    return _mm256_alignr_epi8(a, _mm256_permute2x128_si256(a, a, 0x08), 15);
+  }
+  static bool AnyGreater(Vec a, Vec b) {
+    // Unsigned a > b in some lane <=> saturating a - b is nonzero there.
+    return _mm256_movemask_epi8(_mm256_cmpeq_epi8(
+               _mm256_subs_epu8(a, b), _mm256_setzero_si256())) != -1;
+  }
+};
+
+struct Avx2U16 {
+  using Vec = __m256i;
+  using Word = uint16_t;
+  static constexpr uint32_t kLanes = 16;
+  static Vec Zero() { return _mm256_setzero_si256(); }
+  static Vec Set1(Word w) {
+    return _mm256_set1_epi16(static_cast<short>(w));
+  }
+  static Vec Load(const Word* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void Store(Word* p, Vec v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static Vec AddSat(Vec a, Vec b) { return _mm256_adds_epu16(a, b); }
+  static Vec SubSat(Vec a, Vec b) { return _mm256_subs_epu16(a, b); }
+  static Vec Max(Vec a, Vec b) { return _mm256_max_epu16(a, b); }
+  static Vec And(Vec a, Vec b) { return _mm256_and_si256(a, b); }
+  static Vec ShiftLanesUp(Vec a) {
+    return _mm256_alignr_epi8(a, _mm256_permute2x128_si256(a, a, 0x08), 14);
+  }
+  static bool AnyGreater(Vec a, Vec b) {
+    return _mm256_movemask_epi8(_mm256_cmpeq_epi16(
+               _mm256_subs_epu16(a, b), _mm256_setzero_si256())) != -1;
+  }
+};
+
+// 32-bit-lane shifts toward higher lanes (zero fill), for the in-register
+// prefix sum of the ungapped scorer.
+inline __m256i ShiftDwordsUp1(__m256i x) {
+  return _mm256_alignr_epi8(x, _mm256_permute2x128_si256(x, x, 0x08), 12);
+}
+inline __m256i ShiftDwordsUp2(__m256i x) {
+  return _mm256_alignr_epi8(x, _mm256_permute2x128_si256(x, x, 0x08), 8);
+}
+inline __m256i ShiftDwordsUp4(__m256i x) {
+  return _mm256_permute2x128_si256(x, x, 0x08);
+}
+
+}  // namespace
+
+bool Avx2Compiled() { return true; }
+
+StripedResult StripedU8Avx2(const QueryProfile& profile,
+                            std::span<const seq::Symbol> target,
+                            StripedScratch* scratch) {
+  return RunStriped<Avx2U8>(profile, profile.lanes8(), profile.mask8(),
+                            profile.u8(), 255, target, scratch);
+}
+
+StripedResult StripedU16Avx2(const QueryProfile& profile,
+                             std::span<const seq::Symbol> target,
+                             StripedScratch* scratch) {
+  return RunStriped<Avx2U16>(profile, profile.lanes16(), profile.mask16(),
+                             profile.u16(), 65535, target, scratch);
+}
+
+DiagExtension ExtendDiagonalAvx2(std::span<const seq::Symbol> query,
+                                 std::span<const seq::Symbol> target,
+                                 uint64_t q0, uint64_t t0, int dir,
+                                 uint64_t max_steps,
+                                 const score::SubstitutionMatrix& matrix,
+                                 score::ScoreT xdrop) {
+  static_assert(sizeof(seq::Symbol) == 4, "gather indexes 32-bit symbols");
+  const int* table = reinterpret_cast<const int*>(matrix.table_data());
+  const __m256i vN = _mm256_set1_epi32(static_cast<int>(matrix.size()));
+  const __m256i vXdrop = _mm256_set1_epi32(xdrop);
+  const __m256i rev = _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+
+  DiagExtension out;
+  score::ScoreT run = 0;
+  uint64_t k = 0;
+  while (k + 8 <= max_steps) {
+    __m256i vq, vt;
+    if (dir > 0) {
+      vq = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(query.data() + q0 + k));
+      vt = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(target.data() + t0 + k));
+    } else {
+      // Leftward: memory ascends but the walk descends; reverse so lane i
+      // is step k+i.
+      vq = _mm256_permutevar8x32_epi32(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(query.data() + q0 - k - 7)),
+          rev);
+      vt = _mm256_permutevar8x32_epi32(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(target.data() + t0 - k - 7)),
+          rev);
+    }
+    const __m256i idx = _mm256_add_epi32(_mm256_mullo_epi32(vq, vN), vt);
+    const __m256i s = _mm256_i32gather_epi32(table, idx, 4);
+    // Running scores for all 8 steps: prefix sum + the carried-in run.
+    __m256i x = _mm256_add_epi32(s, ShiftDwordsUp1(s));
+    x = _mm256_add_epi32(x, ShiftDwordsUp2(x));
+    x = _mm256_add_epi32(x, ShiftDwordsUp4(x));
+    const __m256i v_run = _mm256_add_epi32(x, _mm256_set1_epi32(run));
+
+    const __m256i v_best = _mm256_set1_epi32(out.best);
+    const int improved = _mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(v_run, v_best)));
+    const int alive = _mm256_movemask_ps(_mm256_castsi256_ps(
+        _mm256_cmpgt_epi32(v_run, _mm256_sub_epi32(v_best, vXdrop))));
+    if (improved == 0 && alive == 0xFF) {
+      // No lane beats the best and none trips the X-drop (best is
+      // constant across the block, so the check is exact): consume the
+      // whole block.
+      run = _mm256_extract_epi32(v_run, 7);
+      k += 8;
+      continue;
+    }
+    // Interesting block: replay its ≤ 8 steps with the scalar rule.
+    alignas(32) int32_t runs[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(runs), v_run);
+    for (int i = 0; i < 8; ++i) {
+      const score::ScoreT r = runs[i];
+      if (r > out.best) {
+        out.best = r;
+        out.steps = k + static_cast<uint64_t>(i) + 1;
+      }
+      if (r <= out.best - xdrop) return out;
+    }
+    run = runs[7];
+    k += 8;
+  }
+  // Scalar tail for the last partial block (avoids out-of-range loads).
+  for (; k < max_steps; ++k) {
+    const seq::Symbol q = dir > 0 ? query[q0 + k] : query[q0 - k];
+    const seq::Symbol t = dir > 0 ? target[t0 + k] : target[t0 - k];
+    run += matrix.Score(q, t);
+    if (run > out.best) {
+      out.best = run;
+      out.steps = k + 1;
+    }
+    if (run <= out.best - xdrop) break;
+  }
+  return out;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace align
+}  // namespace oasis
+
+#else  // !__AVX2__ || OASIS_DISABLE_SIMD
+
+namespace oasis {
+namespace align {
+namespace simd {
+namespace internal {
+
+bool Avx2Compiled() { return false; }
+
+StripedResult StripedU8Avx2(const QueryProfile&, std::span<const seq::Symbol>,
+                            StripedScratch*) {
+  OASIS_CHECK(false) << "AVX2 kernel called in a build without AVX2";
+  return {};
+}
+
+StripedResult StripedU16Avx2(const QueryProfile&, std::span<const seq::Symbol>,
+                             StripedScratch*) {
+  OASIS_CHECK(false) << "AVX2 kernel called in a build without AVX2";
+  return {};
+}
+
+DiagExtension ExtendDiagonalAvx2(std::span<const seq::Symbol>,
+                                 std::span<const seq::Symbol>, uint64_t,
+                                 uint64_t, int, uint64_t,
+                                 const score::SubstitutionMatrix&,
+                                 score::ScoreT) {
+  OASIS_CHECK(false) << "AVX2 kernel called in a build without AVX2";
+  return {};
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace align
+}  // namespace oasis
+
+#endif  // __AVX2__

@@ -1,0 +1,62 @@
+#include "align/simd/sw_kernels.h"
+
+namespace oasis {
+namespace align {
+namespace simd {
+
+SequenceHit AlignStriped(const QueryProfile& profile,
+                         std::span<const seq::Symbol> target,
+                         AlignStats* stats, StripedScratch* scratch,
+                         AlignWorkspace* scalar_ws) {
+  const SimdLevel level = profile.level();
+  SequenceHit hit;
+  bool done = false;
+
+  if (level != SimdLevel::kScalar) {
+    // Rung 1: unsigned saturating 8-bit lanes.
+    if (profile.u8().viable) {
+      const StripedResult r =
+          level == SimdLevel::kAvx2
+              ? internal::StripedU8Avx2(profile, target, scratch)
+              : internal::StripedU8Sse4(profile, target, scratch);
+      if (!r.overflow) {
+        hit.score = r.score;
+        hit.query_end = r.query_end;
+        hit.target_end = r.target_end;
+        done = true;
+      }
+    }
+    // Rung 2: 16-bit lanes, on 8-bit overflow or when 8-bit was never
+    // viable for this matrix.
+    if (!done && profile.u16().viable) {
+      const StripedResult r =
+          level == SimdLevel::kAvx2
+              ? internal::StripedU16Avx2(profile, target, scratch)
+              : internal::StripedU16Sse4(profile, target, scratch);
+      if (!r.overflow) {
+        hit.score = r.score;
+        hit.query_end = r.query_end;
+        hit.target_end = r.target_end;
+        done = true;
+      }
+    }
+  }
+
+  // Rung 3: the scalar kernel — also the path for kScalar profiles and
+  // scores beyond 16 bits. Stats stay out of AlignPair here; the unified
+  // accounting below matches its per-column sums exactly.
+  if (!done) {
+    hit = AlignPair(profile.query(), target, profile.matrix(),
+                    /*stats=*/nullptr, scalar_ws);
+  }
+
+  if (stats != nullptr) {
+    stats->columns_expanded += target.size();
+    stats->cells_computed += target.size() * profile.query_len();
+  }
+  return hit;
+}
+
+}  // namespace simd
+}  // namespace align
+}  // namespace oasis

@@ -1,0 +1,83 @@
+// Striped Smith-Waterman kernel entry points (linear / fixed gap model).
+//
+// AlignStriped() is the vector counterpart of align::AlignPair: same
+// score, same tie-broken end coordinates, same AlignStats accounting —
+// byte-identical by contract (tests/simd_parity_test.cc fuzzes this).
+//
+// Overflow ladder: the kernel first runs in unsigned saturating 8-bit
+// lanes. Saturating arithmetic can only *under*-estimate a cell, and any
+// saturated cell reads back exactly MaxWord - bias, so "best reached
+// MaxWord - bias" is a sound overflow detector: when it fires the pair is
+// re-run in 16-bit lanes, and past 16 bits (scores above 65535 - bias) it
+// falls back to the scalar kernel. Widths whose layout is not viable at
+// all (profile entries or the gap magnitude do not fit the word — see
+// QueryProfile) are skipped up front.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/simd/query_profile.h"
+#include "align/smith_waterman.h"
+
+namespace oasis {
+namespace align {
+namespace simd {
+
+/// Reusable DP scratch for the striped kernels: two striped H columns,
+/// stored as raw bytes so one buffer serves both word widths. Grown on
+/// demand; reuse across targets is what keeps the kernel allocation-free
+/// per pair. Not thread-safe (one per worker).
+struct StripedScratch {
+  std::vector<uint8_t> h_store;  ///< striped column being written
+  std::vector<uint8_t> h_load;   ///< striped column of the previous target symbol
+};
+
+/// Outcome of one width's striped run (internal to the ladder, exposed
+/// for the parity tests).
+struct StripedResult {
+  bool overflow = false;     ///< lane width saturated; re-run wider
+  score::ScoreT score = 0;   ///< best local score (valid when !overflow)
+  uint64_t query_end = 0;    ///< 0-based inclusive query end of the best cell
+  uint64_t target_end = 0;   ///< 0-based inclusive target end of the best cell
+};
+
+/// Runs the striped kernel for `profile`'s level against one target,
+/// walking the 8 → 16 → scalar overflow ladder. Byte-identical to
+/// AlignPair(profile.query(), target, profile.matrix(), stats): same
+/// score, same tie-broken ends, same stats accounting. `scratch` and
+/// `scalar_ws` may be null (local buffers are used); pass both when
+/// scanning many targets. A profile with no viable width (kScalar level,
+/// empty query, oversized scores) degrades to the scalar kernel.
+SequenceHit AlignStriped(const QueryProfile& profile,
+                         std::span<const seq::Symbol> target,
+                         AlignStats* stats, StripedScratch* scratch,
+                         AlignWorkspace* scalar_ws);
+
+namespace internal {
+/// Per-ISA, per-width kernel bodies, defined in sw_avx2.cc / sw_sse4.cc.
+/// Only called when dispatch proved the ISA runnable (never from the
+/// stub builds). Each runs one width and reports overflow instead of
+/// walking the ladder itself.
+StripedResult StripedU8Avx2(const QueryProfile& profile,
+                            std::span<const seq::Symbol> target,
+                            StripedScratch* scratch);
+/// 16-bit AVX2 body (see StripedU8Avx2).
+StripedResult StripedU16Avx2(const QueryProfile& profile,
+                             std::span<const seq::Symbol> target,
+                             StripedScratch* scratch);
+/// 8-bit SSE4.1 body (see StripedU8Avx2).
+StripedResult StripedU8Sse4(const QueryProfile& profile,
+                            std::span<const seq::Symbol> target,
+                            StripedScratch* scratch);
+/// 16-bit SSE4.1 body (see StripedU8Avx2).
+StripedResult StripedU16Sse4(const QueryProfile& profile,
+                             std::span<const seq::Symbol> target,
+                             StripedScratch* scratch);
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace align
+}  // namespace oasis

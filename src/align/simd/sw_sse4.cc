@@ -1,0 +1,120 @@
+// SSE4.1 bodies of the striped Smith-Waterman kernel (128-bit lanes).
+// Compiled with -msse4.1 when available; same stub discipline as
+// sw_avx2.cc. SSE4.1 (not SSE2) because the 16-bit ladder rung needs
+// _mm_max_epu16. The ungapped diagonal scorer has no SSE4 body — its
+// vector path is built on AVX2 gathers, so the SSE4 level scores
+// diagonals with the scalar loop.
+
+#include "align/simd/dispatch.h"
+#include "align/simd/sw_kernels.h"
+#include "util/logging.h"
+
+#if defined(__SSE4_1__) && !defined(OASIS_DISABLE_SIMD)
+
+#include <smmintrin.h>
+
+#include "align/simd/sw_striped_impl.h"
+
+namespace oasis {
+namespace align {
+namespace simd {
+namespace internal {
+
+namespace {
+
+struct Sse4U8 {
+  using Vec = __m128i;
+  using Word = uint8_t;
+  static constexpr uint32_t kLanes = 16;
+  static Vec Zero() { return _mm_setzero_si128(); }
+  static Vec Set1(Word w) { return _mm_set1_epi8(static_cast<char>(w)); }
+  static Vec Load(const Word* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void Store(Word* p, Vec v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static Vec AddSat(Vec a, Vec b) { return _mm_adds_epu8(a, b); }
+  static Vec SubSat(Vec a, Vec b) { return _mm_subs_epu8(a, b); }
+  static Vec Max(Vec a, Vec b) { return _mm_max_epu8(a, b); }
+  static Vec And(Vec a, Vec b) { return _mm_and_si128(a, b); }
+  static Vec ShiftLanesUp(Vec a) { return _mm_slli_si128(a, 1); }
+  static bool AnyGreater(Vec a, Vec b) {
+    return _mm_movemask_epi8(_mm_cmpeq_epi8(_mm_subs_epu8(a, b),
+                                            _mm_setzero_si128())) != 0xFFFF;
+  }
+};
+
+struct Sse4U16 {
+  using Vec = __m128i;
+  using Word = uint16_t;
+  static constexpr uint32_t kLanes = 8;
+  static Vec Zero() { return _mm_setzero_si128(); }
+  static Vec Set1(Word w) { return _mm_set1_epi16(static_cast<short>(w)); }
+  static Vec Load(const Word* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void Store(Word* p, Vec v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static Vec AddSat(Vec a, Vec b) { return _mm_adds_epu16(a, b); }
+  static Vec SubSat(Vec a, Vec b) { return _mm_subs_epu16(a, b); }
+  static Vec Max(Vec a, Vec b) { return _mm_max_epu16(a, b); }
+  static Vec And(Vec a, Vec b) { return _mm_and_si128(a, b); }
+  static Vec ShiftLanesUp(Vec a) { return _mm_slli_si128(a, 2); }
+  static bool AnyGreater(Vec a, Vec b) {
+    return _mm_movemask_epi8(_mm_cmpeq_epi16(_mm_subs_epu16(a, b),
+                                             _mm_setzero_si128())) != 0xFFFF;
+  }
+};
+
+}  // namespace
+
+bool Sse4Compiled() { return true; }
+
+StripedResult StripedU8Sse4(const QueryProfile& profile,
+                            std::span<const seq::Symbol> target,
+                            StripedScratch* scratch) {
+  return RunStriped<Sse4U8>(profile, profile.lanes8(), profile.mask8(),
+                            profile.u8(), 255, target, scratch);
+}
+
+StripedResult StripedU16Sse4(const QueryProfile& profile,
+                             std::span<const seq::Symbol> target,
+                             StripedScratch* scratch) {
+  return RunStriped<Sse4U16>(profile, profile.lanes16(), profile.mask16(),
+                             profile.u16(), 65535, target, scratch);
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace align
+}  // namespace oasis
+
+#else  // !__SSE4_1__ || OASIS_DISABLE_SIMD
+
+namespace oasis {
+namespace align {
+namespace simd {
+namespace internal {
+
+bool Sse4Compiled() { return false; }
+
+StripedResult StripedU8Sse4(const QueryProfile&, std::span<const seq::Symbol>,
+                            StripedScratch*) {
+  OASIS_CHECK(false) << "SSE4 kernel called in a build without SSE4.1";
+  return {};
+}
+
+StripedResult StripedU16Sse4(const QueryProfile&, std::span<const seq::Symbol>,
+                             StripedScratch*) {
+  OASIS_CHECK(false) << "SSE4 kernel called in a build without SSE4.1";
+  return {};
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace align
+}  // namespace oasis
+
+#endif  // __SSE4_1__

@@ -1,0 +1,153 @@
+// Shared body of the striped Smith-Waterman kernel, templated over an
+// ISA-traits struct. Included ONLY by sw_avx2.cc and sw_sse4.cc — each of
+// those translation units is compiled with its own -m flag, so this
+// header must never be included from generic code.
+//
+// A traits struct T provides:
+//   T::Vec            vector register type
+//   T::Word           lane word (uint8_t or uint16_t)
+//   T::kLanes         lane count V
+//   Zero/Set1/Load/Store, AddSat/SubSat (unsigned saturating), Max
+//   (unsigned), And, ShiftLanesUp (one lane toward higher lanes, zero
+//   fill), AnyGreater (unsigned a > b in any lane).
+//
+// The recurrence (linear gap, biased unsigned arithmetic):
+//   H[p][j] = max(0, H[p-1][j-1] + S(p, t_j), H[p][j-1] - G, H[p-1][j] - G)
+// The first three terms vectorize directly in the striped layout; the
+// last (query-gap chain, F) is resolved Farrar-style: one in-stripe pass,
+// then a lazy correction loop that re-walks the column while any lane's
+// F can still improve a stored cell.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "align/simd/sw_kernels.h"
+
+namespace oasis {
+namespace align {
+namespace simd {
+namespace internal {
+
+template <typename T>
+StripedResult RunStriped(const QueryProfile& profile,
+                         const typename T::Word* lanes,
+                         const typename T::Word* masks,
+                         const WidthLayout& layout, uint32_t max_word,
+                         std::span<const seq::Symbol> target,
+                         StripedScratch* scratch) {
+  using Vec = typename T::Vec;
+  using Word = typename T::Word;
+  const uint32_t V = T::kLanes;
+  const uint32_t seg_len = layout.seg_len;
+  const uint32_t stride = layout.stride;
+  const uint32_t query_len = profile.query_len();
+  const Word gap_mag =
+      static_cast<Word>(-profile.matrix().gap_penalty());
+
+  StripedScratch local;
+  if (scratch == nullptr) scratch = &local;
+  scratch->h_store.assign(static_cast<size_t>(stride) * sizeof(Word), 0);
+  scratch->h_load.assign(static_cast<size_t>(stride) * sizeof(Word), 0);
+  Word* store = reinterpret_cast<Word*>(scratch->h_store.data());
+  Word* load = reinterpret_cast<Word*>(scratch->h_load.data());
+
+  const Vec vGap = T::Set1(gap_mag);
+  const Vec vBias = T::Set1(static_cast<Word>(layout.bias));
+
+  StripedResult out;
+  score::ScoreT best = 0;
+  Vec vBest = T::Zero();
+  // Any cell that saturated reads back exactly max_word - bias, and
+  // saturation only ever lowers values, so reaching this threshold is a
+  // sound (if slightly conservative) overflow signal.
+  const uint32_t overflow_at = max_word - layout.bias;
+
+  for (uint64_t j = 0; j < target.size(); ++j) {
+    const Word* column = lanes + static_cast<size_t>(target[j]) * stride;
+    std::swap(store, load);
+    // Diagonal input of segment 0: the previous column's last segment,
+    // shifted one lane up so lane l sees position l*seg_len - 1 (lane 0
+    // gets the zero boundary).
+    Vec vH = T::ShiftLanesUp(T::Load(load + (seg_len - 1) * V));
+    Vec vF = T::Zero();
+    Vec vColMax = T::Zero();
+    for (uint32_t s = 0; s < seg_len; ++s) {
+      // Biased diagonal step; unsigned saturation at zero is exactly the
+      // max(0, .) of local alignment.
+      vH = T::SubSat(T::AddSat(vH, T::Load(column + s * V)), vBias);
+      vH = T::Max(vH, T::SubSat(T::Load(load + s * V), vGap));  // target gap
+      vH = T::Max(vH, vF);                                      // query gap
+      vH = T::And(vH, T::Load(masks + s * V));  // padding stays zero
+      vColMax = T::Max(vColMax, vH);
+      T::Store(store + s * V, vH);
+      // Linear gap: F_next = max(F, H) - G, and H >= F after the max
+      // above, so H - G alone carries the chain.
+      vF = T::SubSat(vH, vGap);
+      vH = T::Load(load + s * V);  // next segment's diagonal source
+    }
+    // Lazy-F correction (Farrar): chains that cross stripe boundaries.
+    // Continue while any lane's F could still beat a stored cell's own
+    // outgoing F (the canonical, slightly conservative check).
+    vF = T::ShiftLanesUp(vF);
+    uint32_t s = 0;
+    Vec stored = T::Load(store);
+    while (T::AnyGreater(vF, T::SubSat(stored, vGap))) {
+      stored = T::Max(stored, vF);
+      stored = T::And(stored, T::Load(masks + s * V));
+      vColMax = T::Max(vColMax, stored);
+      T::Store(store + s * V, stored);
+      vF = T::SubSat(vF, vGap);
+      ++s;
+      if (s == seg_len) {
+        s = 0;
+        vF = T::ShiftLanesUp(vF);
+      }
+      stored = T::Load(store + s * V);
+    }
+
+    if (T::AnyGreater(vColMax, vBest)) {
+      // This column may beat the running best. Rescan it in ascending
+      // query order with a strict compare — exactly the scalar update
+      // rule, so ties break to the smallest query_end and the earliest
+      // column keeps priority.
+      score::ScoreT col_best = best;
+      uint64_t col_pos = 0;
+      bool improved = false;
+      for (uint32_t l = 0; l < V; ++l) {
+        const uint32_t lane_base = l * seg_len;
+        if (lane_base >= query_len) break;
+        for (uint32_t s2 = 0; s2 < seg_len; ++s2) {
+          const uint32_t p = lane_base + s2;
+          if (p >= query_len) break;
+          const score::ScoreT v =
+              static_cast<score::ScoreT>(store[s2 * V + l]);
+          if (v > col_best) {
+            col_best = v;
+            col_pos = p;
+            improved = true;
+          }
+        }
+      }
+      if (improved) {
+        best = col_best;
+        out.score = best;
+        out.query_end = col_pos;
+        out.target_end = j;
+        if (static_cast<uint32_t>(best) >= overflow_at) {
+          out.overflow = true;
+          return out;
+        }
+        vBest = T::Set1(static_cast<Word>(best));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace align
+}  // namespace oasis

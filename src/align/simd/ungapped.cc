@@ -1,0 +1,48 @@
+#include "align/simd/ungapped.h"
+
+namespace oasis {
+namespace align {
+namespace simd {
+
+namespace internal {
+
+DiagExtension ExtendDiagonalScalar(std::span<const seq::Symbol> query,
+                                   std::span<const seq::Symbol> target,
+                                   uint64_t q0, uint64_t t0, int dir,
+                                   uint64_t max_steps,
+                                   const score::SubstitutionMatrix& matrix,
+                                   score::ScoreT xdrop) {
+  DiagExtension out;
+  score::ScoreT run = 0;
+  for (uint64_t k = 0; k < max_steps; ++k) {
+    const seq::Symbol q = dir > 0 ? query[q0 + k] : query[q0 - k];
+    const seq::Symbol t = dir > 0 ? target[t0 + k] : target[t0 - k];
+    run += matrix.Score(q, t);
+    if (run > out.best) {
+      out.best = run;
+      out.steps = k + 1;
+    }
+    if (run <= out.best - xdrop) break;
+  }
+  return out;
+}
+
+}  // namespace internal
+
+DiagExtension ExtendDiagonal(std::span<const seq::Symbol> query,
+                             std::span<const seq::Symbol> target, uint64_t q0,
+                             uint64_t t0, int dir, uint64_t max_steps,
+                             const score::SubstitutionMatrix& matrix,
+                             score::ScoreT xdrop, SimdLevel level) {
+  if (level == SimdLevel::kAvx2) {
+    return internal::ExtendDiagonalAvx2(query, target, q0, t0, dir, max_steps,
+                                        matrix, xdrop);
+  }
+  // SSE4 level: no 128-bit body (the vector path needs AVX2 gathers).
+  return internal::ExtendDiagonalScalar(query, target, q0, t0, dir, max_steps,
+                                        matrix, xdrop);
+}
+
+}  // namespace simd
+}  // namespace align
+}  // namespace oasis

@@ -1,0 +1,71 @@
+// Vectorized ungapped X-drop diagonal scorer — the inner loop of
+// blast::ExtendUngapped.
+//
+// The scalar loop walks one diagonal accumulating a running score,
+// remembering the best prefix and stopping once the running score drops
+// `xdrop` below it. The vector path scores the diagonal in blocks of 8
+// symbol pairs (AVX2 gather over the raw substitution table + in-register
+// prefix sum / prefix max): a block where no lane improves the best and
+// no lane trips the X-drop is consumed in O(1), otherwise the block's ≤ 8
+// lanes are replayed with the exact scalar bookkeeping. Either way the
+// result — best score AND the step count that tie-breaks coordinates —
+// is byte-identical to the scalar loop.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "align/simd/dispatch.h"
+#include "score/substitution_matrix.h"
+#include "seq/alphabet.h"
+
+namespace oasis {
+namespace align {
+namespace simd {
+
+/// One direction of an ungapped X-drop extension.
+struct DiagExtension {
+  /// Best running score seen (0 when no prefix ever scored positive —
+  /// the scalar loop's "never improved" case).
+  score::ScoreT best = 0;
+  /// Symbol pairs consumed through the best prefix (0 = none); the
+  /// caller maps this back to end coordinates.
+  uint64_t steps = 0;
+};
+
+/// Scores the diagonal (query[q0 + k*dir], target[t0 + k*dir]) for
+/// k = 0 .. max_steps-1, with the scalar loop's exact semantics: the
+/// running score accumulates Score(q, t); a strictly better running
+/// score updates best/steps; the walk stops when the running score falls
+/// to best - xdrop or below. `dir` is +1 (rightward) or -1 (leftward);
+/// max_steps must keep every index in range. Identical results at every
+/// level — kAvx2 merely takes the blockwise path.
+DiagExtension ExtendDiagonal(std::span<const seq::Symbol> query,
+                             std::span<const seq::Symbol> target, uint64_t q0,
+                             uint64_t t0, int dir, uint64_t max_steps,
+                             const score::SubstitutionMatrix& matrix,
+                             score::ScoreT xdrop, SimdLevel level);
+
+namespace internal {
+/// AVX2 body (defined in sw_avx2.cc); only called when dispatch proved
+/// AVX2 runnable.
+DiagExtension ExtendDiagonalAvx2(std::span<const seq::Symbol> query,
+                                 std::span<const seq::Symbol> target,
+                                 uint64_t q0, uint64_t t0, int dir,
+                                 uint64_t max_steps,
+                                 const score::SubstitutionMatrix& matrix,
+                                 score::ScoreT xdrop);
+/// Portable body, shared by the scalar level and the ≤ 8-step tails of
+/// the vector path.
+DiagExtension ExtendDiagonalScalar(std::span<const seq::Symbol> query,
+                                   std::span<const seq::Symbol> target,
+                                   uint64_t q0, uint64_t t0, int dir,
+                                   uint64_t max_steps,
+                                   const score::SubstitutionMatrix& matrix,
+                                   score::ScoreT xdrop);
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace align
+}  // namespace oasis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "align/pair_aligner.h"
 #include "util/logging.h"
 
 namespace oasis {
@@ -12,7 +13,7 @@ using score::ScoreT;
 SequenceHit AlignPair(std::span<const seq::Symbol> query,
                       std::span<const seq::Symbol> target,
                       const score::SubstitutionMatrix& matrix,
-                      AlignStats* stats) {
+                      AlignStats* stats, AlignWorkspace* workspace) {
   const size_t m = query.size();
   const ScoreT gap = matrix.gap_penalty();
 
@@ -20,15 +21,19 @@ SequenceHit AlignPair(std::span<const seq::Symbol> query,
   best.score = 0;
 
   // Column-major: prev/cur hold column j over query positions 0..m.
-  std::vector<ScoreT> prev(m + 1, 0);
-  std::vector<ScoreT> cur(m + 1, 0);
+  AlignWorkspace local;
+  AlignWorkspace& ws = workspace != nullptr ? *workspace : local;
+  ws.prev.assign(m + 1, 0);
+  ws.cur.assign(m + 1, 0);
+  ScoreT* prev = ws.prev.data();
+  ScoreT* cur = ws.cur.data();
 
   for (size_t j = 1; j <= target.size(); ++j) {
     const seq::Symbol t = target[j - 1];
     cur[0] = 0;
     for (size_t i = 1; i <= m; ++i) {
       ScoreT rep = prev[i - 1] + matrix.Score(query[i - 1], t);
-      ScoreT ins = prev[i] + gap;   // skip target symbol
+      ScoreT ins = prev[i] + gap;     // skip target symbol
       ScoreT del = cur[i - 1] + gap;  // skip query symbol
       ScoreT v = std::max({ScoreT{0}, rep, ins, del});
       cur[i] = v;
@@ -68,13 +73,16 @@ std::vector<std::vector<ScoreT>> FullMatrix(
 std::vector<SequenceHit> ScanDatabase(std::span<const seq::Symbol> query,
                                       const seq::SequenceDatabase& db,
                                       const score::SubstitutionMatrix& matrix,
-                                      ScoreT min_score,
-                                      AlignStats* stats) {
+                                      ScoreT min_score, AlignStats* stats,
+                                      simd::SimdMode simd) {
   OASIS_CHECK_GE(min_score, 1) << "local alignment scores are positive";
+  // One aligner for the whole scan: the query profile is built once and
+  // the DP scratch is reused across targets (no per-pair allocation).
+  PairAligner aligner(query, matrix, simd);
   std::vector<SequenceHit> hits;
   for (seq::SequenceId s = 0; s < db.num_sequences(); ++s) {
     const seq::Sequence& target = db.sequence(s);
-    SequenceHit hit = AlignPair(query, target.symbols(), matrix, stats);
+    SequenceHit hit = aligner.Align(target.symbols(), stats);
     if (hit.score >= min_score) {
       hit.sequence_id = s;
       hits.push_back(hit);

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "align/simd/dispatch.h"
 #include "score/substitution_matrix.h"
 #include "seq/database.h"
 
@@ -20,11 +21,11 @@ namespace align {
 
 /// Best-alignment summary for one target sequence.
 struct SequenceHit {
-  seq::SequenceId sequence_id = 0;
-  score::ScoreT score = 0;
+  seq::SequenceId sequence_id = 0;  ///< database sequence this hit is in
+  score::ScoreT score = 0;          ///< best local alignment score
   /// 0-based inclusive end coordinates of the best cell.
   uint64_t query_end = 0;
-  uint64_t target_end = 0;
+  uint64_t target_end = 0;  ///< see query_end
 };
 
 /// Counters shared by the S-W scan and the OASIS search (Figure 4 compares
@@ -34,13 +35,25 @@ struct AlignStats {
   uint64_t cells_computed = 0;    ///< individual DP cells
 };
 
+/// Reusable DP column buffers for AlignPair. Database scans align
+/// thousands of targets with the same query; passing one workspace lets
+/// them allocate the two O(m) columns once instead of twice per target.
+/// Grown on demand, never shrunk; not thread-safe (one per worker).
+struct AlignWorkspace {
+  std::vector<score::ScoreT> prev;  ///< column j-1, indices 0..m
+  std::vector<score::ScoreT> cur;   ///< column j, indices 0..m
+};
+
 /// Smith-Waterman between one query and one target. O(m) memory (two
 /// columns). Returns the single best-scoring cell (ties: smallest target
 /// end, then smallest query end — the first one reached in column order).
+/// `workspace` (optional) supplies reusable column buffers; when null the
+/// columns are allocated per call.
 SequenceHit AlignPair(std::span<const seq::Symbol> query,
                       std::span<const seq::Symbol> target,
                       const score::SubstitutionMatrix& matrix,
-                      AlignStats* stats = nullptr);
+                      AlignStats* stats = nullptr,
+                      AlignWorkspace* workspace = nullptr);
 
 /// Full S-W DP matrix for small inputs (tests and the paper's Table 2
 /// example). Row 0 / column 0 are the zero boundary; entry (i, j) scores
@@ -52,11 +65,16 @@ std::vector<std::vector<score::ScoreT>> FullMatrix(
 /// Scans the whole database; returns one hit per sequence whose best score
 /// is >= min_score, sorted by descending score (ties: ascending sequence
 /// id). This is the paper's "accurate but expensive" baseline.
+///
+/// `simd` selects the kernel (default: best available — see
+/// align/simd/dispatch.h). Every mode produces byte-identical hits and
+/// identical AlignStats; SIMD only changes the wall clock.
 std::vector<SequenceHit> ScanDatabase(std::span<const seq::Symbol> query,
                                       const seq::SequenceDatabase& db,
                                       const score::SubstitutionMatrix& matrix,
                                       score::ScoreT min_score,
-                                      AlignStats* stats = nullptr);
+                                      AlignStats* stats = nullptr,
+                                      simd::SimdMode simd = simd::SimdMode::kAuto);
 
 }  // namespace align
 }  // namespace oasis

@@ -152,6 +152,9 @@ util::Status Engine::ValidateOptions(const EngineOptions& options) {
         std::to_string(options.readahead_blocks) + " exceeds the maximum " +
         std::to_string(kMaxReadaheadBlocks));
   }
+  // A forced SIMD ISA the build/CPU cannot run is a configuration error,
+  // not a silent scalar fallback (kAuto and kOff always pass).
+  OASIS_RETURN_NOT_OK(align::simd::CheckSupported(options.simd_mode));
   if (options.readahead_blocks > 0 && options.readahead_threads == 0) {
     return util::Status::InvalidArgument(
         "EngineOptions::readahead_threads must be positive when readahead "
@@ -215,6 +218,8 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::OpenInternal(
   std::unique_ptr<Engine> engine(new Engine());
   engine->index_dir_ = index_dir;
   engine->io_mode_ = io_mode;
+  engine->simd_mode_ = options.simd_mode;
+  engine->simd_level_ = align::simd::ResolveLevel(options.simd_mode);
   // Monotone process-global counter, starting at 1 so 0 reads as "no
   // engine" in cache keys and diagnostics.
   static std::atomic<uint64_t> next_epoch{1};
@@ -509,6 +514,11 @@ util::StatusOr<ResultCursor> Engine::BlastSearch(
   resolved.evalue_cutoff = request.min_score() > 0
                                ? std::numeric_limits<double>::infinity()
                                : request.evalue();
+  // A caller-pinned SIMD mode in blast_options wins; kAuto inherits the
+  // engine's configured mode so --simd reaches the extension stage.
+  if (resolved.simd == align::simd::SimdMode::kAuto) {
+    resolved.simd = simd_mode_;
+  }
   OASIS_ASSIGN_OR_RETURN(
       blast::BlastQuery prepared,
       blast::BlastQuery::Prepare(request.query(), *matrix_, resolved));

@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "align/simd/dispatch.h"
 #include "api/catalog.h"
 #include "blast/blast.h"
 #include "core/oasis.h"
@@ -149,6 +150,13 @@ struct EngineOptions {
   /// Block size for *newly built* indexes (Build / BuildFromDatabase).
   /// Open() always adopts the block size recorded in the index metadata.
   uint32_t block_size = storage::kDefaultBlockSize;
+
+  /// SIMD dispatch for the alignment kernels (striped Smith-Waterman and
+  /// the BLAST extension stage). kAuto picks the best level the build +
+  /// CPU supports; a forced ISA the machine cannot run is rejected by
+  /// option validation (strict — a pinned deployment should fail loudly,
+  /// not silently degrade). Every mode produces byte-identical results.
+  align::simd::SimdMode simd_mode = align::simd::SimdMode::kAuto;
 
   /// Scoring matrix. nullptr picks the default for the database alphabet:
   /// Blastn for DNA, Pam30 for protein (the paper's matrix for short
@@ -407,6 +415,10 @@ class Engine {
 
   /// The I/O path this engine resolved to (never kAuto).
   IoMode io_mode() const { return io_mode_; }
+  /// The requested SIMD mode (as configured, possibly kAuto).
+  align::simd::SimdMode simd_mode() const { return simd_mode_; }
+  /// The SIMD level the alignment kernels run at (resolved at open).
+  align::simd::SimdLevel simd_level() const { return simd_level_; }
   /// True when index blocks go through a buffer pool (io_mode kPooled);
   /// mmap engines have no pool and keep no access statistics.
   bool uses_pool() const { return pool_ != nullptr; }
@@ -490,6 +502,8 @@ class Engine {
   const seq::Alphabet* alphabet_ = nullptr;
   const score::SubstitutionMatrix* matrix_ = nullptr;
   IoMode io_mode_ = IoMode::kPooled;  ///< resolved; never kAuto
+  align::simd::SimdMode simd_mode_ = align::simd::SimdMode::kAuto;
+  align::simd::SimdLevel simd_level_ = align::simd::SimdLevel::kScalar;
   std::unique_ptr<storage::BufferPool> pool_;  ///< null for mmap engines
   std::unique_ptr<suffix::PackedSuffixTree> tree_;
   /// Speculative prefetcher; null when disabled or mmap. Declared after

@@ -61,6 +61,8 @@ util::StatusOr<std::vector<BlastHit>> Search(const BlastQuery& query,
   const BlastOptions& opt = query.options();
   const std::vector<seq::Symbol>& q = query.query();
   const uint32_t w = opt.word_size;
+  // Resolve SIMD dispatch once for the whole search, not per seed.
+  const align::simd::SimdLevel simd_level = align::simd::ResolveLevel(opt.simd);
   BlastStats local_stats;
 
   std::vector<BlastHit> hits;
@@ -98,8 +100,8 @@ util::StatusOr<std::vector<BlastHit>> Search(const BlastQuery& query,
         if (redundant) continue;
 
         ++local_stats.seeds_extended;
-        Extension ungapped =
-            ExtendUngapped(q, t, qp, tp, w, matrix, opt.ungapped_xdrop);
+        Extension ungapped = ExtendUngapped(q, t, qp, tp, w, matrix,
+                                            opt.ungapped_xdrop, simd_level);
         // Each ungapped extension processes ~(segment length) target
         // symbols; count it in column-equivalents.
         local_stats.columns_expanded +=

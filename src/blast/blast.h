@@ -51,6 +51,10 @@ struct BlastOptions {
   score::ScoreT gapped_xdrop = 25;
   /// E-value cutoff: hits with E > evalue_cutoff are dropped.
   double evalue_cutoff = 10.0;
+  /// SIMD dispatch for the extension stage (resolved once per Search;
+  /// every mode produces identical hits). Engine::BlastSearch overrides
+  /// kAuto with its configured EngineOptions::simd_mode.
+  align::simd::SimdMode simd = align::simd::SimdMode::kAuto;
 };
 
 /// One reported database hit.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "align/simd/ungapped.h"
 #include "util/logging.h"
 
 namespace oasis {
@@ -14,8 +15,8 @@ using score::ScoreT;
 Extension ExtendUngapped(std::span<const seq::Symbol> query,
                          std::span<const seq::Symbol> target, uint64_t q_pos,
                          uint64_t t_pos, uint32_t word,
-                         const score::SubstitutionMatrix& matrix,
-                         ScoreT xdrop) {
+                         const score::SubstitutionMatrix& matrix, ScoreT xdrop,
+                         align::simd::SimdLevel level) {
   // Score of the seed word itself.
   ScoreT seed_score = 0;
   for (uint32_t k = 0; k < word; ++k) {
@@ -28,49 +29,39 @@ Extension ExtendUngapped(std::span<const seq::Symbol> query,
   ext.query_end = q_pos + word - 1;
   ext.target_end = t_pos + word - 1;
 
-  // Extend right.
-  ScoreT right_best = 0;
-  {
-    ScoreT run = 0;
-    uint64_t qi = q_pos + word, tj = t_pos + word;
-    uint64_t best_q = ext.query_end, best_t = ext.target_end;
-    while (qi < query.size() && tj < target.size()) {
-      run += matrix.Score(query[qi], target[tj]);
-      if (run > right_best) {
-        right_best = run;
-        best_q = qi;
-        best_t = tj;
-      }
-      if (run <= right_best - xdrop) break;
-      ++qi;
-      ++tj;
-    }
-    ext.query_end = best_q;
-    ext.target_end = best_t;
+  // Both directions walk one diagonal with the X-drop rule; the kernel
+  // (align/simd/ungapped.h) returns best score + step count with the
+  // scalar loop's exact semantics, and the step count maps back to the
+  // inclusive end coordinates ("best never improved" keeps the seed
+  // bounds, exactly as the old in-place loops did).
+
+  // Extend right, starting just past the word.
+  const uint64_t r_q0 = q_pos + word, r_t0 = t_pos + word;
+  const uint64_t right_steps =
+      std::min(query.size() > r_q0 ? query.size() - r_q0 : 0,
+               target.size() > r_t0 ? target.size() - r_t0 : 0);
+  const align::simd::DiagExtension right = align::simd::ExtendDiagonal(
+      query, target, r_q0, r_t0, /*dir=*/+1, right_steps, matrix, xdrop,
+      level);
+  if (right.steps > 0) {
+    ext.query_end = r_q0 + right.steps - 1;
+    ext.target_end = r_t0 + right.steps - 1;
   }
 
-  // Extend left.
-  ScoreT left_best = 0;
-  {
-    ScoreT run = 0;
-    uint64_t qi = q_pos, tj = t_pos;
-    uint64_t best_q = ext.query_start, best_t = ext.target_start;
-    while (qi > 0 && tj > 0) {
-      --qi;
-      --tj;
-      run += matrix.Score(query[qi], target[tj]);
-      if (run > left_best) {
-        left_best = run;
-        best_q = qi;
-        best_t = tj;
-      }
-      if (run <= left_best - xdrop) break;
+  // Extend left, starting just before the word.
+  const uint64_t left_steps = std::min(q_pos, t_pos);
+  align::simd::DiagExtension left;
+  if (left_steps > 0) {
+    left = align::simd::ExtendDiagonal(query, target, q_pos - 1, t_pos - 1,
+                                       /*dir=*/-1, left_steps, matrix, xdrop,
+                                       level);
+    if (left.steps > 0) {
+      ext.query_start = q_pos - left.steps;
+      ext.target_start = t_pos - left.steps;
     }
-    ext.query_start = best_q;
-    ext.target_start = best_t;
   }
 
-  ext.score = seed_score + right_best + left_best;
+  ext.score = seed_score + right.best + left.best;
   return ext;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <span>
 
+#include "align/simd/dispatch.h"
 #include "score/substitution_matrix.h"
 #include "seq/alphabet.h"
 
@@ -22,12 +23,14 @@ struct Extension {
 /// Ungapped X-drop extension of the word match
 /// query[q_pos, q_pos+word) == target[t_pos, t_pos+word) in both directions:
 /// each direction advances while the running score stays within `xdrop` of
-/// the best seen. Returns the maximal segment pair.
-Extension ExtendUngapped(std::span<const seq::Symbol> query,
-                         std::span<const seq::Symbol> target, uint64_t q_pos,
-                         uint64_t t_pos, uint32_t word,
-                         const score::SubstitutionMatrix& matrix,
-                         score::ScoreT xdrop);
+/// the best seen. Returns the maximal segment pair. `level` selects the
+/// diagonal-scoring kernel (pass a level resolved once per search, not
+/// per seed); every level returns the identical extension.
+Extension ExtendUngapped(
+    std::span<const seq::Symbol> query, std::span<const seq::Symbol> target,
+    uint64_t q_pos, uint64_t t_pos, uint32_t word,
+    const score::SubstitutionMatrix& matrix, score::ScoreT xdrop,
+    align::simd::SimdLevel level = align::simd::SimdLevel::kScalar);
 
 /// Gapped X-drop extension from the anchor cell (q_anchor, t_anchor)
 /// (0-based, inclusive: the anchor pair is scored once). Runs a banded-ish

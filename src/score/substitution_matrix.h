@@ -78,6 +78,11 @@ class SubstitutionMatrix {
   /// Smallest entry in the matrix.
   ScoreT min_score() const { return min_score_; }
 
+  /// Raw n*n row-major score table: Score(a, b) == table_data()[a * size() + b].
+  /// The SIMD alignment kernels gather from it directly; stable for the
+  /// matrix's lifetime.
+  const ScoreT* table_data() const { return table_.data(); }
+
   /// True when the matrix is symmetric (all built-ins are).
   bool IsSymmetric() const;
 

@@ -39,7 +39,8 @@ std::string DaemonUsage() {
       "              [--max-inflight N] [--result-cache-mb MB]\n"
       "              [--deadline-ms MS] [--max-pinned-fraction F]\n"
       "              [--drain-timeout-ms MS] [--pool-mb MB]\n"
-      "              [--io-mode auto|pooled|mmap] [--readahead K|auto]\n";
+      "              [--io-mode auto|pooled|mmap] [--readahead K|auto]\n"
+      "              [--simd auto|avx2|sse4|off]\n";
 }
 
 util::StatusOr<DaemonConfig> ParseDaemonArgs(
@@ -137,6 +138,12 @@ util::StatusOr<DaemonConfig> ParseDaemonArgs(
         config.engine.readahead_adaptive = false;
         config.engine.readahead_blocks = *parsed;
       }
+    } else if (flag == "--simd") {
+      const std::string* v = next();
+      if (v == nullptr) return MissingValue(flag);
+      auto parsed = align::simd::ParseSimdMode(*v);
+      if (!parsed.ok()) return BadFlag(flag, parsed.status());
+      config.engine.simd_mode = *parsed;
     } else {
       return util::Status::InvalidArgument("unknown flag '" + flag + "'");
     }

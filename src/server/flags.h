@@ -51,6 +51,7 @@ struct DaemonConfig {
 ///   --pool-mb MB           shared buffer pool size  (default 64)
 ///   --io-mode auto|pooled|mmap                      (default pooled)
 ///   --readahead K|auto     speculative readahead    (default off)
+///   --simd auto|avx2|sse4|off  alignment kernels    (default auto)
 ///
 /// Every numeric value is range-checked via util/flag_parse; the returned
 /// status names the offending flag. The daemon defaults to the pooled

@@ -1,0 +1,507 @@
+// The SIMD alignment layer's one invariant, fuzzed from every angle:
+// vector kernels are *byte-identical* to the scalar baseline — same
+// SequenceHit (score AND tie-broken end coordinates), same AlignStats,
+// same ungapped extensions — at every dispatch level this machine can
+// run, across all four built-in matrices, both alphabets, and the
+// stripe-boundary / overflow-ladder edge cases (see
+// src/align/README.md for why each case is sharp).
+//
+// Suites are named Simd* so the sanitizer CI legs can select them all
+// with one filter.
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "align/pair_aligner.h"
+#include "align/simd/dispatch.h"
+#include "align/simd/ungapped.h"
+#include "align/smith_waterman.h"
+#include "blast/extend.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace oasis {
+namespace {
+
+using testing::Encode;
+using testing::MakeDatabase;
+namespace simd = align::simd;
+
+std::vector<seq::Symbol> RandomSeq(util::Random& rng, uint32_t sigma,
+                                   size_t len) {
+  std::vector<seq::Symbol> out(len);
+  for (auto& s : out) s = static_cast<seq::Symbol>(rng.Uniform(sigma));
+  return out;
+}
+
+/// Every dispatch level this build + CPU can actually run (kScalar first).
+std::vector<simd::SimdLevel> SupportedLevels() {
+  std::vector<simd::SimdLevel> levels = {simd::SimdLevel::kScalar};
+  if (simd::LevelSupported(simd::SimdLevel::kSse4)) {
+    levels.push_back(simd::SimdLevel::kSse4);
+  }
+  if (simd::LevelSupported(simd::SimdLevel::kAvx2)) {
+    levels.push_back(simd::SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+/// Mode that forces exactly `level` (ResolveLevel is the identity on
+/// supported levels).
+simd::SimdMode ForceMode(simd::SimdLevel level) {
+  switch (level) {
+    case simd::SimdLevel::kScalar: return simd::SimdMode::kOff;
+    case simd::SimdLevel::kSse4: return simd::SimdMode::kSse4;
+    case simd::SimdLevel::kAvx2: return simd::SimdMode::kAvx2;
+  }
+  return simd::SimdMode::kOff;
+}
+
+/// Asserts one query/target pair aligns identically through PairAligner
+/// at `level` and through the scalar AlignPair — hit and stats both.
+void ExpectPairParity(std::span<const seq::Symbol> q,
+                      std::span<const seq::Symbol> t,
+                      const score::SubstitutionMatrix& matrix,
+                      simd::SimdLevel level) {
+  align::AlignStats scalar_stats, simd_stats;
+  align::SequenceHit expect = align::AlignPair(q, t, matrix, &scalar_stats);
+  align::PairAligner aligner(q, matrix, ForceMode(level));
+  align::SequenceHit got = aligner.Align(t, &simd_stats);
+  ASSERT_EQ(got.score, expect.score)
+      << matrix.name() << " level=" << simd::SimdLevelName(level)
+      << " m=" << q.size() << " n=" << t.size();
+  ASSERT_EQ(got.query_end, expect.query_end)
+      << matrix.name() << " level=" << simd::SimdLevelName(level);
+  ASSERT_EQ(got.target_end, expect.target_end)
+      << matrix.name() << " level=" << simd::SimdLevelName(level);
+  ASSERT_EQ(simd_stats.columns_expanded, scalar_stats.columns_expanded);
+  ASSERT_EQ(simd_stats.cells_computed, scalar_stats.cells_computed);
+}
+
+// ---------------------------------------------------------------------------
+// SimdDispatch: mode parsing and resolution rules.
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, ParseAcceptsTheFourSpellings) {
+  auto a = simd::ParseSimdMode("auto");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), simd::SimdMode::kAuto);
+  auto v = simd::ParseSimdMode("avx2");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), simd::SimdMode::kAvx2);
+  auto s = simd::ParseSimdMode("sse4");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), simd::SimdMode::kSse4);
+  auto o = simd::ParseSimdMode("off");
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ(o.value(), simd::SimdMode::kOff);
+}
+
+TEST(SimdDispatch, ParseRejectsEverythingElse) {
+  // Exact, case-sensitive: the flag discipline of util/flag_parse.
+  for (const char* bad : {"", "AVX2", "Auto", "sse", "sse4.1", "avx512",
+                          "scalar", "on", " auto", "auto "}) {
+    auto parsed = simd::ParseSimdMode(bad);
+    EXPECT_FALSE(parsed.ok()) << "'" << bad << "' should not parse";
+  }
+}
+
+TEST(SimdDispatch, NamesRoundTrip) {
+  for (simd::SimdMode mode :
+       {simd::SimdMode::kAuto, simd::SimdMode::kAvx2, simd::SimdMode::kSse4,
+        simd::SimdMode::kOff}) {
+    auto parsed = simd::ParseSimdMode(simd::SimdModeName(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), mode);
+  }
+}
+
+TEST(SimdDispatch, OffAlwaysResolvesScalar) {
+  EXPECT_EQ(simd::ResolveLevel(simd::SimdMode::kOff),
+            simd::SimdLevel::kScalar);
+  EXPECT_TRUE(simd::LevelSupported(simd::SimdLevel::kScalar));
+}
+
+TEST(SimdDispatch, AutoResolvesToDetectedLevel) {
+  EXPECT_EQ(simd::ResolveLevel(simd::SimdMode::kAuto), simd::DetectLevel());
+}
+
+TEST(SimdDispatch, ForcedModesResolveToThemselvesWhenSupported) {
+  for (simd::SimdLevel level : SupportedLevels()) {
+    EXPECT_EQ(simd::ResolveLevel(ForceMode(level)), level);
+  }
+}
+
+TEST(SimdDispatch, CheckSupportedMatchesLevelSupport) {
+  // kAuto and kOff always pass; a forced ISA passes iff runnable here.
+  OASIS_EXPECT_OK(simd::CheckSupported(simd::SimdMode::kAuto));
+  OASIS_EXPECT_OK(simd::CheckSupported(simd::SimdMode::kOff));
+  EXPECT_EQ(simd::CheckSupported(simd::SimdMode::kAvx2).ok(),
+            simd::LevelSupported(simd::SimdLevel::kAvx2));
+  EXPECT_EQ(simd::CheckSupported(simd::SimdMode::kSse4).ok(),
+            simd::LevelSupported(simd::SimdLevel::kSse4));
+}
+
+// ---------------------------------------------------------------------------
+// SimdParity: the striped kernel vs the scalar DP.
+// ---------------------------------------------------------------------------
+
+const score::SubstitutionMatrix& MatrixByIndex(size_t i) {
+  switch (i % 4) {
+    case 0: return score::SubstitutionMatrix::UnitDna();
+    case 1: return score::SubstitutionMatrix::Blastn();
+    case 2: return score::SubstitutionMatrix::Pam30();
+    default: return score::SubstitutionMatrix::Blosum62();
+  }
+}
+
+TEST(SimdParity, StripeBoundaryLengthsAllMatricesAllLevels) {
+  // Query lengths straddling every u8/u16 lane-count boundary of both
+  // ISAs (SSE u16 = 8 lanes ... AVX2 u8 = 32 lanes), plus 0/1/odd.
+  const size_t kLengths[] = {0,  1,  2,  3,  7,  8,  9,  15, 16, 17,
+                             31, 32, 33, 63, 64, 65, 100};
+  util::Random rng(71);
+  for (size_t mi = 0; mi < 4; ++mi) {
+    const auto& matrix = MatrixByIndex(mi);
+    const uint32_t sigma = matrix.alphabet().size();
+    for (size_t m : kLengths) {
+      auto q = RandomSeq(rng, sigma, m);
+      for (size_t n : {size_t{0}, size_t{1}, size_t{17}, size_t{64}}) {
+        auto t = RandomSeq(rng, sigma, n);
+        for (simd::SimdLevel level : SupportedLevels()) {
+          ExpectPairParity(q, t, matrix, level);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdParity, RandomizedFuzzAllMatrices) {
+  util::Random rng(72);
+  for (int iter = 0; iter < 120; ++iter) {
+    const auto& matrix = MatrixByIndex(iter);
+    const uint32_t sigma = matrix.alphabet().size();
+    auto q = RandomSeq(rng, sigma, rng.Uniform(90));
+    auto t = RandomSeq(rng, sigma, rng.Uniform(140));
+    for (simd::SimdLevel level : SupportedLevels()) {
+      ExpectPairParity(q, t, matrix, level);
+    }
+  }
+}
+
+TEST(SimdParity, TieBreakMatchesScalarFirstColumnOrder) {
+  // A periodic target reaches the same best score in many cells; the
+  // scalar rule keeps the first one in column order (smallest target
+  // end, then smallest query end). Planted repeats make any vector
+  // tie-break slip visible deterministically.
+  const auto& matrix = score::SubstitutionMatrix::UnitDna();
+  auto q = Encode(seq::Alphabet::Dna(), "ACGTACGT");
+  auto t = Encode(seq::Alphabet::Dna(), "ACGTACGTACGTACGTACGT");
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ExpectPairParity(q, t, matrix, level);
+  }
+  // And fuzz low-entropy pairs, where ties are everywhere.
+  util::Random rng(73);
+  for (int iter = 0; iter < 60; ++iter) {
+    auto q2 = RandomSeq(rng, 2, 1 + rng.Uniform(40));
+    auto t2 = RandomSeq(rng, 2, 1 + rng.Uniform(60));
+    for (simd::SimdLevel level : SupportedLevels()) {
+      ExpectPairParity(q2, t2, matrix, level);
+    }
+  }
+}
+
+TEST(SimdParity, PairAlignerReusesAcrossVaryingTargetLengths) {
+  // One aligner, many targets of jumping lengths: the reused scratch must
+  // resize/clear correctly between pairs (stale H from a longer target
+  // must never leak into a shorter one).
+  util::Random rng(74);
+  const auto& matrix = score::SubstitutionMatrix::Blosum62();
+  auto q = RandomSeq(rng, matrix.alphabet().size(), 37);
+  for (simd::SimdLevel level : SupportedLevels()) {
+    align::PairAligner aligner(q, matrix, ForceMode(level));
+    for (size_t n : {size_t{120}, size_t{3}, size_t{77}, size_t{0},
+                     size_t{55}, size_t{1}, size_t{200}}) {
+      auto t = RandomSeq(rng, matrix.alphabet().size(), n);
+      align::SequenceHit expect = align::AlignPair(q, t, matrix);
+      align::SequenceHit got = aligner.Align(t);
+      ASSERT_EQ(got.score, expect.score) << "n=" << n;
+      ASSERT_EQ(got.query_end, expect.query_end) << "n=" << n;
+      ASSERT_EQ(got.target_end, expect.target_end) << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdParity, ScanDatabaseIdenticalAcrossModes) {
+  util::Random rng(75);
+  std::vector<std::string> texts;
+  const char* residues = "ACGT";
+  for (int i = 0; i < 40; ++i) {
+    std::string s;
+    for (size_t j = 0; j < 5 + rng.Uniform(60); ++j) {
+      s.push_back(residues[rng.Uniform(4)]);
+    }
+    texts.push_back(s);
+  }
+  auto db = MakeDatabase(seq::Alphabet::Dna(), texts);
+  auto q = Encode(seq::Alphabet::Dna(), "ACGTTGCAACGT");
+  const auto& matrix = score::SubstitutionMatrix::Blastn();
+
+  align::AlignStats off_stats;
+  auto off_hits = align::ScanDatabase(q, db, matrix, 10, &off_stats,
+                                      simd::SimdMode::kOff);
+  for (simd::SimdLevel level : SupportedLevels()) {
+    align::AlignStats stats;
+    auto hits =
+        align::ScanDatabase(q, db, matrix, 10, &stats, ForceMode(level));
+    ASSERT_EQ(hits.size(), off_hits.size());
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].sequence_id, off_hits[i].sequence_id) << i;
+      EXPECT_EQ(hits[i].score, off_hits[i].score) << i;
+      EXPECT_EQ(hits[i].query_end, off_hits[i].query_end) << i;
+      EXPECT_EQ(hits[i].target_end, off_hits[i].target_end) << i;
+    }
+    EXPECT_EQ(stats.columns_expanded, off_stats.columns_expanded);
+    EXPECT_EQ(stats.cells_computed, off_stats.cells_computed);
+  }
+  // kAuto is one of the above levels, so it too must agree.
+  auto auto_hits = align::ScanDatabase(q, db, matrix, 10, nullptr,
+                                       simd::SimdMode::kAuto);
+  ASSERT_EQ(auto_hits.size(), off_hits.size());
+  for (size_t i = 0; i < auto_hits.size(); ++i) {
+    EXPECT_EQ(auto_hits[i].score, off_hits[i].score) << i;
+  }
+}
+
+TEST(SimdParity, ConcurrentScansAreRaceFreeAndIdentical) {
+  // Each worker owns its PairAligner (via ScanDatabase); the shared
+  // inputs (db, matrix, query) are read-only. Run under TSan in CI.
+  util::Random rng(76);
+  std::vector<std::string> texts;
+  const char* residues = "ACGT";
+  for (int i = 0; i < 24; ++i) {
+    std::string s;
+    for (size_t j = 0; j < 10 + rng.Uniform(40); ++j) {
+      s.push_back(residues[rng.Uniform(4)]);
+    }
+    texts.push_back(s);
+  }
+  auto db = MakeDatabase(seq::Alphabet::Dna(), texts);
+  auto q = Encode(seq::Alphabet::Dna(), "ACGTACGTAC");
+  const auto& matrix = score::SubstitutionMatrix::UnitDna();
+  auto expect = align::ScanDatabase(q, db, matrix, 5, nullptr,
+                                    simd::SimdMode::kOff);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      for (int rep = 0; rep < 8; ++rep) {
+        auto hits = align::ScanDatabase(q, db, matrix, 5, nullptr,
+                                        simd::SimdMode::kAuto);
+        if (hits.size() != expect.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < hits.size(); ++i) {
+          if (hits[i].score != expect[i].score ||
+              hits[i].sequence_id != expect[i].sequence_id) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// SimdOverflow: the u8 -> u16 -> scalar saturation ladder.
+// ---------------------------------------------------------------------------
+
+TEST(SimdOverflow, U8SaturationRerunsInU16) {
+  // Blastn: bias 6, so the u8 rung saturates at best >= 255 - 6 = 249.
+  // A 60-residue identical pair scores 300 — past the detector — and the
+  // u16 re-run must still report the exact score.
+  const auto& matrix = score::SubstitutionMatrix::Blastn();
+  util::Random rng(77);
+  auto q = RandomSeq(rng, 4, 60);
+  for (simd::SimdLevel level : SupportedLevels()) {
+    align::PairAligner aligner(q, matrix, ForceMode(level));
+    align::SequenceHit hit = aligner.Align(q);
+    EXPECT_EQ(hit.score, 300);
+    EXPECT_EQ(hit.query_end, 59u);
+    EXPECT_EQ(hit.target_end, 59u);
+  }
+  // And a near-threshold sweep: lengths whose self-score brackets 249.
+  for (size_t m : {size_t{48}, size_t{49}, size_t{50}, size_t{51},
+                   size_t{52}}) {
+    auto s = RandomSeq(rng, 4, m);
+    for (simd::SimdLevel level : SupportedLevels()) {
+      ExpectPairParity(s, s, matrix, level);
+    }
+  }
+}
+
+TEST(SimdOverflow, U16SaturationFallsBackToScalar) {
+  // Scores of +-3000 make the u8 width non-viable (bias 3000 > 255) and
+  // push a 30-residue identical pair to 90000 > 65535 - 3000: the u16
+  // rung saturates too, and AlignStriped must re-run the scalar DP.
+  const auto& alphabet = seq::Alphabet::Dna();
+  const uint32_t n = alphabet.size();
+  std::vector<score::ScoreT> table(n * n, -3000);
+  for (uint32_t i = 0; i < n; ++i) table[i * n + i] = 3000;
+  auto big = score::SubstitutionMatrix::Create(alphabet, "big", table, -3000);
+  ASSERT_TRUE(big.ok()) << big.status().ToString();
+
+  util::Random rng(78);
+  auto q = RandomSeq(rng, n, 30);
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ExpectPairParity(q, q, big.value(), level);
+    align::PairAligner aligner(q, big.value(), ForceMode(level));
+    EXPECT_EQ(aligner.Align(q).score, 90000);
+  }
+}
+
+TEST(SimdOverflow, U8NonViableMatrixUsesU16Directly) {
+  // +-300 fits u16 (bias 300) but not u8: the ladder starts at the u16
+  // rung and, absent saturation, never touches the scalar fallback.
+  const auto& alphabet = seq::Alphabet::Dna();
+  const uint32_t n = alphabet.size();
+  std::vector<score::ScoreT> table(n * n, -300);
+  for (uint32_t i = 0; i < n; ++i) table[i * n + i] = 300;
+  auto mid = score::SubstitutionMatrix::Create(alphabet, "mid", table, -300);
+  ASSERT_TRUE(mid.ok()) << mid.status().ToString();
+
+  util::Random rng(79);
+  for (int iter = 0; iter < 30; ++iter) {
+    auto q = RandomSeq(rng, n, 1 + rng.Uniform(50));
+    auto t = RandomSeq(rng, n, 1 + rng.Uniform(70));
+    for (simd::SimdLevel level : SupportedLevels()) {
+      ExpectPairParity(q, t, mid.value(), level);
+    }
+  }
+}
+
+TEST(SimdOverflow, StatsIdenticalThroughEveryRung) {
+  // Whether a pair resolves on the u8 rung, the u16 re-run, or the scalar
+  // fallback, the accounting is one column per target symbol and m cells
+  // per column — exactly the scalar counters.
+  const auto& matrix = score::SubstitutionMatrix::Blastn();
+  util::Random rng(80);
+  auto q = RandomSeq(rng, 4, 60);
+  auto t = RandomSeq(rng, 4, 90);
+  for (simd::SimdLevel level : SupportedLevels()) {
+    align::AlignStats stats;
+    align::PairAligner aligner(q, matrix, ForceMode(level));
+    aligner.Align(q, &stats);   // overflows u8 (score 300)
+    aligner.Align(t, &stats);   // random pair, typically u8-resolved
+    EXPECT_EQ(stats.columns_expanded, q.size() + t.size());
+    EXPECT_EQ(stats.cells_computed, (q.size() + t.size()) * q.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimdUngapped: the vectorized X-drop diagonal scorer.
+// ---------------------------------------------------------------------------
+
+TEST(SimdUngapped, DiagonalFuzzMatchesScalar) {
+  util::Random rng(81);
+  const score::SubstitutionMatrix* matrices[] = {
+      &score::SubstitutionMatrix::Blastn(),
+      &score::SubstitutionMatrix::Blosum62()};
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto& matrix = *matrices[iter % 2];
+    const uint32_t sigma = matrix.alphabet().size();
+    auto q = RandomSeq(rng, sigma, 1 + rng.Uniform(120));
+    auto t = RandomSeq(rng, sigma, 1 + rng.Uniform(120));
+    // Half the iterations plant a shared run so the walk goes deep
+    // instead of X-dropping immediately.
+    if (iter % 2 == 0) {
+      size_t run = std::min({q.size(), t.size(), size_t(40)});
+      for (size_t k = 0; k < run; ++k) t[k] = q[k];
+    }
+    const int dir = (iter % 4 < 2) ? 1 : -1;
+    uint64_t q0, t0, max_steps;
+    if (dir > 0) {
+      q0 = rng.Uniform(q.size());
+      t0 = rng.Uniform(t.size());
+      max_steps = rng.Uniform(std::min(q.size() - q0, t.size() - t0) + 1);
+    } else {
+      q0 = rng.Uniform(q.size());
+      t0 = rng.Uniform(t.size());
+      max_steps = rng.Uniform(std::min(q0, t0) + 2);
+      if (max_steps > std::min(q0, t0) + 1) max_steps = std::min(q0, t0) + 1;
+    }
+    const score::ScoreT xdrop = 1 + static_cast<score::ScoreT>(rng.Uniform(30));
+    simd::DiagExtension expect = simd::ExtendDiagonal(
+        q, t, q0, t0, dir, max_steps, matrix, xdrop, simd::SimdLevel::kScalar);
+    for (simd::SimdLevel level : SupportedLevels()) {
+      simd::DiagExtension got = simd::ExtendDiagonal(q, t, q0, t0, dir,
+                                                     max_steps, matrix, xdrop,
+                                                     level);
+      ASSERT_EQ(got.best, expect.best)
+          << "iter=" << iter << " level=" << simd::SimdLevelName(level)
+          << " dir=" << dir << " steps=" << max_steps;
+      ASSERT_EQ(got.steps, expect.steps)
+          << "iter=" << iter << " level=" << simd::SimdLevelName(level)
+          << " dir=" << dir << " steps=" << max_steps;
+    }
+  }
+}
+
+TEST(SimdUngapped, ZeroAndTinyStepCounts) {
+  auto q = Encode(seq::Alphabet::Dna(), "ACGTACGT");
+  auto t = Encode(seq::Alphabet::Dna(), "ACGTACGT");
+  const auto& matrix = score::SubstitutionMatrix::Blastn();
+  for (simd::SimdLevel level : SupportedLevels()) {
+    for (uint64_t steps : {uint64_t{0}, uint64_t{1}, uint64_t{7},
+                           uint64_t{8}}) {
+      simd::DiagExtension expect = simd::ExtendDiagonal(
+          q, t, 0, 0, 1, steps, matrix, 20, simd::SimdLevel::kScalar);
+      simd::DiagExtension got =
+          simd::ExtendDiagonal(q, t, 0, 0, 1, steps, matrix, 20, level);
+      EXPECT_EQ(got.best, expect.best) << "steps=" << steps;
+      EXPECT_EQ(got.steps, expect.steps) << "steps=" << steps;
+    }
+  }
+}
+
+TEST(SimdUngapped, ExtendUngappedLevelParity) {
+  // Full blast::ExtendUngapped with a planted word match: every level
+  // must return the identical Extension (score and all four bounds).
+  util::Random rng(82);
+  const uint32_t w = 4;
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto& matrix = (iter % 2 == 0)
+                             ? score::SubstitutionMatrix::Blastn()
+                             : score::SubstitutionMatrix::Blosum62();
+    const uint32_t sigma = matrix.alphabet().size();
+    auto q = RandomSeq(rng, sigma, w + rng.Uniform(80));
+    auto t = RandomSeq(rng, sigma, w + rng.Uniform(80));
+    const uint64_t q_pos = rng.Uniform(q.size() - w + 1);
+    const uint64_t t_pos = rng.Uniform(t.size() - w + 1);
+    for (uint32_t k = 0; k < w; ++k) t[t_pos + k] = q[q_pos + k];
+    const score::ScoreT xdrop = 1 + static_cast<score::ScoreT>(rng.Uniform(25));
+    blast::Extension expect =
+        blast::ExtendUngapped(q, t, q_pos, t_pos, w, matrix, xdrop,
+                              simd::SimdLevel::kScalar);
+    for (simd::SimdLevel level : SupportedLevels()) {
+      blast::Extension got =
+          blast::ExtendUngapped(q, t, q_pos, t_pos, w, matrix, xdrop, level);
+      ASSERT_EQ(got.score, expect.score) << "iter=" << iter;
+      ASSERT_EQ(got.query_start, expect.query_start) << "iter=" << iter;
+      ASSERT_EQ(got.query_end, expect.query_end) << "iter=" << iter;
+      ASSERT_EQ(got.target_start, expect.target_start) << "iter=" << iter;
+      ASSERT_EQ(got.target_end, expect.target_end) << "iter=" << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oasis
