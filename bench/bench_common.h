@@ -75,8 +75,8 @@ inline BenchEnv MakeProteinEnv(uint64_t pool_bytes_override = 0) {
       pool_bytes_override != 0
           ? pool_bytes_override
           : static_cast<uint64_t>(util::EnvInt64("OASIS_POOL_MB", 64)) << 20;
-  auto engine = api::Engine::BuildFromDatabase(std::move(db).value(),
-                                               env.dir->path(), options);
+  auto engine = api::Engine::CreateFromDatabase(std::move(db).value(),
+                                                env.dir->path(), options);
   OASIS_CHECK(engine.ok()) << engine.status().ToString();
   env.engine = std::move(engine).value();
   env.db = env.engine->database();

@@ -1,0 +1,215 @@
+// Multi-volume builds and fan-out search vs the monolithic baseline.
+//
+// Two acceptance bars for the volume-set layer:
+//
+//   1. Build parallelism (exit-code floor): slicing the database into 4
+//      volumes and building them on 4 worker threads must finish in at
+//      most half the wall-clock of the single-thread monolithic build
+//      (speedup >= 2.0) on a machine with >= 4 hardware threads. The
+//      partitioned builder does the same total work either way, so the
+//      speedup is pure parallelism; machines with fewer threads get a
+//      proportionally relaxed floor (>= 1.0 at 2-3 threads) and a
+//      single-core machine only has to avoid a catastrophic slowdown —
+//      there is nothing to parallelize over.
+//
+//   2. Fan-out search throughput (gated ratio): draining the same query
+//      workload through the 4-volume engine vs the monolithic one. The
+//      k-way merge and per-volume cursor bookkeeping must stay cheap:
+//      the ratio (fanout QPS / monolithic QPS) is a same-machine ratio,
+//      so runner speed cancels out, and it is gated against
+//      ci/bench_baseline.json with the query count as its vacuous-pass
+//      denominator (>= 100 queries, regardless of OASIS_NUM_QUERIES).
+//
+// The bench also asserts result parity outright: every query must return
+// the same number of hits with the same score sequence from both
+// engines — a fan-out that got faster by dropping hits is a failure, not
+// a speedup.
+//
+// Scaling knobs: the usual bench_common environment variables.
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace oasis {
+namespace bench {
+namespace {
+
+constexpr uint32_t kVolumes = 4;
+constexpr uint32_t kBuildRounds = 3;   // best-of to absorb fs jitter
+constexpr uint32_t kMinQueries = 100;  // the gate's denominator floor
+
+/// The build-speedup floor for this machine; 0 disables the check.
+double RequiredBuildSpeedup(uint32_t hw_threads) {
+  if (hw_threads >= kVolumes) return 2.0;
+  if (hw_threads >= 2) return 1.0;
+  return 0.0;
+}
+
+seq::SequenceDatabase MakeDb() {
+  workload::ProteinDatabaseOptions options;
+  options.target_residues =
+      static_cast<uint64_t>(util::EnvInt64("OASIS_DB_RESIDUES", 1000000));
+  options.seed = static_cast<uint64_t>(util::EnvInt64("OASIS_SEED", 42));
+  auto db = workload::GenerateProteinDatabase(options);
+  OASIS_CHECK(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+/// Best-of-kBuildRounds wall-clock of CreateFromDatabase under `options`.
+double TimeBuild(const api::EngineOptions& options) {
+  double best = 0;
+  for (uint32_t round = 0; round < kBuildRounds; ++round) {
+    util::TempDir dir("bench_mv_build");
+    seq::SequenceDatabase db = MakeDb();
+    util::Timer timer;
+    auto engine =
+        api::Engine::CreateFromDatabase(std::move(db), dir.path(), options);
+    const double elapsed = timer.ElapsedSeconds();
+    OASIS_CHECK(engine.ok()) << engine.status().ToString();
+    if (round == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+/// Drains every request sequentially; returns (total hits, score checksum,
+/// QPS).
+struct DrainOutcome {
+  uint64_t hits = 0;
+  uint64_t score_sum = 0;
+  double qps = 0;
+};
+
+DrainOutcome DrainAll(const api::Engine& engine,
+                      const std::vector<api::SearchRequest>& requests) {
+  DrainOutcome out;
+  util::Timer timer;
+  for (const api::SearchRequest& request : requests) {
+    auto batch = engine.SearchAll(request);
+    OASIS_CHECK(batch.ok()) << batch.status().ToString();
+    out.hits += batch->results.size();
+    for (const core::OasisResult& r : batch->results) {
+      out.score_sum += static_cast<uint64_t>(r.score);
+    }
+  }
+  out.qps = static_cast<double>(requests.size()) / timer.ElapsedSeconds();
+  return out;
+}
+
+int Run() {
+  const uint32_t hw_threads = std::thread::hardware_concurrency();
+  const uint64_t db_residues =
+      static_cast<uint64_t>(util::EnvInt64("OASIS_DB_RESIDUES", 1000000));
+
+  api::EngineOptions mono_options;
+  mono_options.matrix = &score::SubstitutionMatrix::Pam30();
+  mono_options.io_mode = api::IoMode::kPooled;
+  mono_options.pool_bytes =
+      static_cast<uint64_t>(util::EnvInt64("OASIS_POOL_MB", 64)) << 20;
+
+  api::EngineOptions multi_options = mono_options;
+  // Slice so the database lands in kVolumes roughly equal volumes.
+  multi_options.volume_size_bytes =
+      std::max<uint64_t>(1, (db_residues + kVolumes - 1) / kVolumes);
+  multi_options.build_threads = kVolumes;
+
+  std::printf("==================================================================\n");
+  std::printf("multi-volume: %u-way parallel build + fan-out search vs "
+              "monolithic\n", kVolumes);
+  std::printf("database: %llu residues; hardware threads: %u\n",
+              static_cast<unsigned long long>(db_residues), hw_threads);
+  std::printf("==================================================================\n\n");
+
+  // --- 1. Build parallelism ------------------------------------------------
+  const double mono_build = TimeBuild(mono_options);
+  const double multi_build = TimeBuild(multi_options);
+  const double build_speedup = multi_build > 0 ? mono_build / multi_build : 0;
+  std::printf("build        monolithic %.3fs   %u volumes / %u threads %.3fs"
+              "   speedup %.2fx\n\n",
+              mono_build, kVolumes, kVolumes, multi_build, build_speedup);
+
+  // --- 2. Fan-out search ----------------------------------------------------
+  util::TempDir mono_dir("bench_mv_mono");
+  util::TempDir multi_dir("bench_mv_multi");
+  auto mono = api::Engine::CreateFromDatabase(MakeDb(), mono_dir.path(),
+                                              mono_options);
+  OASIS_CHECK(mono.ok()) << mono.status().ToString();
+  auto multi = api::Engine::CreateFromDatabase(MakeDb(), multi_dir.path(),
+                                               multi_options);
+  OASIS_CHECK(multi.ok()) << multi.status().ToString();
+  const size_t num_volumes = (*multi)->num_volumes();
+  OASIS_CHECK_GT(num_volumes, 1u) << "fan-out bench needs multiple volumes";
+
+  workload::MotifQueryOptions q_options;
+  // The gated ratio needs a non-vacuous denominator: at least kMinQueries
+  // queries no matter how small the smoke configuration runs.
+  q_options.num_queries = std::max<uint32_t>(
+      kMinQueries,
+      static_cast<uint32_t>(util::EnvInt64("OASIS_NUM_QUERIES", 50)));
+  q_options.seed = static_cast<uint64_t>(util::EnvInt64("OASIS_SEED", 42));
+  auto queries = workload::GenerateMotifQueries(
+      *(*mono)->database(), (*mono)->matrix(), q_options);
+  OASIS_CHECK(queries.ok()) << queries.status().ToString();
+  std::vector<api::SearchRequest> requests;
+  for (workload::MotifQuery& q : *queries) {
+    requests.push_back(
+        api::SearchRequest(std::move(q.symbols)).EValue(10.0));
+  }
+
+  // Warm both engines once (cold-pool noise is not what this measures).
+  DrainAll(**mono, requests);
+  DrainAll(**multi, requests);
+  const DrainOutcome mono_out = DrainAll(**mono, requests);
+  const DrainOutcome multi_out = DrainAll(**multi, requests);
+  const double fanout_ratio =
+      mono_out.qps > 0 ? multi_out.qps / mono_out.qps : 0;
+
+  std::printf("search       queries %zu\n", requests.size());
+  std::printf("             monolithic %8.1f q/s   %llu hits\n", mono_out.qps,
+              static_cast<unsigned long long>(mono_out.hits));
+  std::printf("             %zu volumes  %8.1f q/s   %llu hits\n", num_volumes,
+              multi_out.qps, static_cast<unsigned long long>(multi_out.hits));
+  std::printf("             fan-out ratio %.2fx\n\n", fanout_ratio);
+
+  // Parity: the fan-out must return exactly the monolithic hit set.
+  OASIS_CHECK_EQ(mono_out.hits, multi_out.hits)
+      << "fan-out dropped or invented hits";
+  OASIS_CHECK_EQ(mono_out.score_sum, multi_out.score_sum)
+      << "fan-out changed hit scores";
+
+  // ci/bench_gate.py prefixes every key with the bench name, so these
+  // surface as multivolume.search.fanout_ratio etc. in BENCH_ci.json.
+  WriteBenchJson("multivolume",
+                 {{"build.speedup", build_speedup},
+                  {"search.fanout_ratio", fanout_ratio},
+                  {"search.qps.mono", mono_out.qps},
+                  {"search.qps.fanout", multi_out.qps}},
+                 {{"search.queries", requests.size()},
+                  {"search.hits", mono_out.hits},
+                  {"build.volumes", num_volumes}});
+
+  const double floor = RequiredBuildSpeedup(hw_threads);
+  if (floor == 0.0) {
+    std::printf("build-speedup floor skipped: %u hardware thread(s) — "
+                "nothing to parallelize over\n", hw_threads);
+  } else if (build_speedup < floor) {
+    std::fprintf(stderr,
+                 "FAIL: parallel volume build speedup %.2fx is below the "
+                 "%.1fx floor for %u hardware threads\n",
+                 build_speedup, floor, hw_threads);
+    return 1;
+  } else {
+    std::printf("build-speedup floor met: %.2fx >= %.1fx\n", build_speedup,
+                floor);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oasis
+
+int main() { return oasis::bench::Run(); }

@@ -35,6 +35,8 @@ HEADERS = [
     "src/align/simd/ungapped.h",
     "src/align/smith_waterman.h",
     "src/api/engine.h",
+    "src/api/volume_set.h",
+    "src/core/merge.h",
     "src/server/client.h",
     "src/server/flags.h",
     "src/server/result_cache.h",

@@ -18,7 +18,15 @@
 #      streams identical to the local baseline;
 #   8. /stats: the daemon's stats document parses as JSON and names the
 #      served index;
-#   9. SIGTERM: graceful drain, daemon exits 0.
+#   9. multi-volume parity: the same FASTA grown with `build` + three
+#      `append`s (a four-volume set) must produce the same
+#      (sequence, score) hit set as the monolithic index, both through a
+#      local search and through a second oasisd serving the volume set;
+#  10. volume scoping: --volumes / --max-volumes narrow the same daemon
+#      query, and an unknown volume name is rejected;
+#  11. compact: `oasis_cli compact` merges the four volumes into one and
+#      the hit set survives unchanged;
+#  12. SIGTERM: graceful drain, daemon exits 0.
 #
 # CI runs this against an ASan+UBSan build (.github/workflows/ci.yml,
 # daemon-integration job) so the whole daemon process is under the
@@ -42,10 +50,13 @@ done
 
 WORK=$(mktemp -d)
 DAEMON_PID=
+MV_PID=
 cleanup() {
-  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
-    kill -KILL "$DAEMON_PID" 2>/dev/null || true
-  fi
+  for pid in "$DAEMON_PID" "$MV_PID"; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill -KILL "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -161,7 +172,100 @@ assert names == ["db"], f"expected served index ['db'], got {names}"
 assert "epoch" in doc["indexes"]["db"], "per-index stats lack the epoch"
 EOF
 
-echo "== 9. SIGTERM drains and exits 0"
+# The multi-volume parity surface is (sequence, score) rather than byte
+# identity: when a sequence reaches its best score at several equally
+# good locations, which one the best-per-sequence stream reports depends
+# on tree exploration order, which legitimately differs between one
+# monolithic tree and per-volume trees. Scores and E-values are exact
+# either way (unit tests pin the stronger all-alignments parity).
+name_scores() { grep ' score=' "$1" | awk '{print $1, $2}' | sort; }
+
+echo "== 9. multi-volume: build + three appends, same hit set"
+python3 - "$WORK/db.fasta" "$WORK/chunk" <<'EOF'
+import sys
+lines = open(sys.argv[1]).read().splitlines()
+records = [lines[i:i + 2] for i in range(0, len(lines), 2)]
+per = (len(records) + 3) // 4
+for c in range(4):
+    with open(f"{sys.argv[2]}{c}.fasta", "w") as f:
+        for rec in records[c * per:(c + 1) * per]:
+            f.write("\n".join(rec) + "\n")
+EOF
+"$CLI" build "$WORK/chunk0.fasta" "$WORK/ix4" --protein > /dev/null
+for c in 1 2 3; do
+  "$CLI" append "$WORK/ix4" "$WORK/chunk$c.fasta" > /dev/null
+done
+"$CLI" search "$WORK/ix4" "$QUERY" --minscore 15 > "$WORK/mv_local.out"
+name_scores "$WORK/local.out" > "$WORK/mono.ns"
+name_scores "$WORK/mv_local.out" > "$WORK/mv_local.ns"
+diff -u "$WORK/mono.ns" "$WORK/mv_local.ns"
+
+echo "   boot a second oasisd serving the four-volume set"
+"$DAEMON" --index mv="$WORK/ix4" --port 0 --result-cache-mb 4 \
+  > "$WORK/daemon_mv.out" 2> "$WORK/daemon_mv.err" &
+MV_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "oasisd listening on" "$WORK/daemon_mv.out" 2>/dev/null && break
+  if ! kill -0 "$MV_PID" 2>/dev/null; then
+    echo "multi-volume oasisd died during startup:" >&2
+    cat "$WORK/daemon_mv.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+MV_PORT=$(sed -n 's/^oasisd listening on .*:\([0-9][0-9]*\)$/\1/p' "$WORK/daemon_mv.out")
+"$CLI" query "$QUERY" --connect 127.0.0.1:"$MV_PORT" --ix mv --minscore 15 \
+  > "$WORK/mv_daemon.out"
+name_scores "$WORK/mv_daemon.out" > "$WORK/mv_daemon.ns"
+diff -u "$WORK/mono.ns" "$WORK/mv_daemon.ns"
+echo "   $(wc -l < "$WORK/mono.ns") (sequence, score) hits, identical in all three"
+
+echo "== 10. volume scoping through the daemon"
+"$CLI" query "$QUERY" --connect 127.0.0.1:"$MV_PORT" --ix mv --minscore 15 \
+  --volumes vol_0000 --no-cache > "$WORK/mv_scoped.out"
+scoped=$(name_scores "$WORK/mv_scoped.out" | wc -l)
+full=$(wc -l < "$WORK/mono.ns")
+if [ "$scoped" -gt "$full" ]; then
+  echo "scoped query found more hits ($scoped) than the full set ($full)" >&2
+  exit 1
+fi
+# The scoped hit set must be a subset of the full one (comm -23 prints
+# lines only in the first, already-sorted, input).
+if [ -n "$(comm -23 <(name_scores "$WORK/mv_scoped.out") "$WORK/mono.ns")" ]; then
+  echo "scoped query produced hits outside the full set" >&2
+  exit 1
+fi
+"$CLI" query "$QUERY" --connect 127.0.0.1:"$MV_PORT" --ix mv --minscore 15 \
+  --max-volumes 2 --no-cache > /dev/null
+rc=0
+"$CLI" query "$QUERY" --connect 127.0.0.1:"$MV_PORT" --ix mv --minscore 15 \
+  --volumes vol_9999 --no-cache > /dev/null 2>&1 || rc=$?
+if [ "$rc" -eq 0 ]; then
+  echo "unknown volume name was not rejected" >&2
+  exit 1
+fi
+kill -TERM "$MV_PID"
+rc=0
+wait "$MV_PID" || rc=$?
+MV_PID=
+if [ "$rc" -ne 0 ]; then
+  echo "multi-volume oasisd exited $rc after SIGTERM; stderr:" >&2
+  cat "$WORK/daemon_mv.err" >&2
+  exit 1
+fi
+
+echo "== 11. compact merges the volumes, hit set unchanged"
+"$CLI" compact "$WORK/ix4" > "$WORK/compact.out"
+grep -q "compacted" "$WORK/compact.out" || {
+  echo "compact printed no summary:" >&2
+  cat "$WORK/compact.out" >&2
+  exit 1
+}
+"$CLI" search "$WORK/ix4" "$QUERY" --minscore 15 > "$WORK/mv_compacted.out"
+name_scores "$WORK/mv_compacted.out" > "$WORK/mv_compacted.ns"
+diff -u "$WORK/mono.ns" "$WORK/mv_compacted.ns"
+
+echo "== 12. SIGTERM drains and exits 0"
 kill -TERM "$DAEMON_PID"
 rc=0
 wait "$DAEMON_PID" || rc=$?

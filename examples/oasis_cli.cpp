@@ -1,10 +1,15 @@
 // oasis_cli: a small command-line front end over the oasis::Engine facade.
 //
+//   oasis_cli build  <db.fasta> <index_dir> [--dna|--protein]
+//              [--volume-mb MB] [--build-threads N]
 //   oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]
+//   oasis_cli append <index_dir> <more.fasta> [--volume-mb MB]
+//   oasis_cli compact <index_dir> [--volume-mb MB]
 //   oasis_cli search <index_dir> <QUERYRESIDUES>
 //              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
 //              [--io-mode auto|pooled|mmap] [--readahead K|auto]
 //              [--no-memo] [--alignments] [--by-evalue] [--stats]
+//              [--max-volumes N] [--volumes NAME[,NAME...]]
 //   oasis_cli batch  <index_dir> <queries.fasta> [--threads N]
 //              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
 //              [--io-mode auto|pooled|mmap] [--readahead K|auto]
@@ -14,8 +19,23 @@
 //              [--stats]
 //   oasis_cli query  <QUERYRESIDUES> --connect HOST:PORT [--ix NAME]
 //              [--evalue E | --minscore S] [--top K] [--by-evalue]
+//              [--max-volumes N] [--volumes NAME[,NAME...]]
 //              [--deadline-ms MS] [--cancel-after N] [--no-cache]
 //   oasis_cli stats  --connect HOST:PORT
+//
+// `build` creates the index. With `--volume-mb M` the database is sliced
+// into ~M-MiB volumes, each packed by its own worker thread (up to
+// `--build-threads N` of them), and the directory becomes a volume set —
+// searchable exactly like a monolithic index, appendable and compactable
+// without a rebuild. Without `--volume-mb` the layout is the legacy
+// single-volume one; `index` is the deprecated spelling of that mode and
+// keeps working unchanged. `append` adds a FASTA's sequences as a fresh
+// volume (triggering background compaction when small volumes pile up);
+// `compact` forces a merge of adjacent small volumes in the foreground.
+// `--max-volumes` / `--volumes` restrict which volumes a search fans out
+// over — for everything else results are merged across all volumes with
+// E-values computed against the whole set, so hits are byte-identical to
+// a single-volume build of the same FASTA.
 //
 // `query` and `stats` are client modes against a running oasisd: `query`
 // streams hits as the daemon proves them (same line format as `search`,
@@ -67,6 +87,7 @@
 #include <cstring>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "api/engine.h"
 #include "core/report.h"
@@ -84,11 +105,17 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
+      "  oasis_cli build  <db.fasta> <index_dir> [--dna|--protein]\n"
+      "             [--volume-mb MB] [--build-threads N]\n"
       "  oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]\n"
+      "             (legacy alias of build; single-volume layout)\n"
+      "  oasis_cli append <index_dir> <more.fasta> [--volume-mb MB]\n"
+      "  oasis_cli compact <index_dir> [--volume-mb MB]\n"
       "  oasis_cli search <index_dir> <QUERY>\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
       "             [--io-mode auto|pooled|mmap] [--readahead K|auto]\n"
       "             [--simd auto|avx2|sse4|off] [--no-memo]\n"
+      "             [--max-volumes N] [--volumes NAME[,NAME...]]\n"
       "             [--alignments] [--by-evalue] [--stats] [--stats-json]\n"
       "  oasis_cli batch  <index_dir> <queries.fasta> [--threads N]\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
@@ -100,9 +127,14 @@ int Usage() {
       "             [--simd auto|avx2|sse4|off] [--stats]\n"
       "  oasis_cli query  <QUERY> --connect HOST:PORT [--ix NAME]\n"
       "             [--evalue E | --minscore S] [--top K] [--by-evalue]\n"
+      "             [--max-volumes N] [--volumes NAME[,NAME...]]\n"
       "             [--deadline-ms MS] [--cancel-after N] [--no-cache]\n"
       "  oasis_cli stats  --connect HOST:PORT\n"
       "\n"
+      "build with --volume-mb M slices the database into parallel-built\n"
+      "volumes of ~M MiB each (a volume set); without it the index is the\n"
+      "legacy single-volume layout. append adds sequences as a fresh\n"
+      "volume (no rebuild); compact merges adjacent small volumes.\n"
       "query/stats talk to a running oasisd; query exits 0 on a complete\n"
       "stream, 3 when the deadline cut it short, 4 when it was cancelled\n"
       "(hits streamed before the abort are printed either way).\n");
@@ -137,6 +169,12 @@ struct Args {
   bool stats = false;
   bool stats_json = false;
 
+  // Volume-set knobs (build/append/compact + search-side fan-out limits).
+  uint64_t volume_mb = 0;               // 0 = legacy single-volume layout
+  uint32_t build_threads = 0;           // 0 = hardware concurrency
+  uint32_t max_volumes = 0;             // 0 = search all volumes
+  std::vector<std::string> volume_filter;  // empty = all volumes
+
   // Daemon-client mode (query / stats commands).
   std::string connect_host;
   uint16_t connect_port = 0;
@@ -157,10 +195,18 @@ bool Parse(int argc, char** argv, Args* args) {
   if (argc < 2) return false;
   args->command = argv[1];
   int flag_start = 4;
-  if (args->command == "index") {
+  if (args->command == "index" || args->command == "build") {
     if (argc < 4) return false;
     args->fasta = argv[2];
     args->index_dir = argv[3];
+  } else if (args->command == "append") {
+    if (argc < 4) return false;
+    args->index_dir = argv[2];
+    args->fasta = argv[3];
+  } else if (args->command == "compact") {
+    if (argc < 3) return false;
+    args->index_dir = argv[2];
+    flag_start = 3;
   } else if (args->command == "search") {
     if (argc < 4) return false;
     args->index_dir = argv[2];
@@ -301,6 +347,40 @@ bool Parse(int argc, char** argv, Args* args) {
       args->cancel_after = *parsed;
     } else if (flag == "--no-cache") {
       args->no_cache = true;
+    } else if (flag == "--volume-mb") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto parsed = util::ParseUint64(v, 1, kMaxPoolMb);
+      if (!parsed.ok()) return BadFlag("--volume-mb", parsed.status());
+      args->volume_mb = *parsed;
+    } else if (flag == "--build-threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto parsed = util::ParseUint32(v, 1, kMaxThreads);
+      if (!parsed.ok()) return BadFlag("--build-threads", parsed.status());
+      args->build_threads = *parsed;
+    } else if (flag == "--max-volumes") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto parsed = util::ParseUint32(v, 1, kMaxThreads);
+      if (!parsed.ok()) return BadFlag("--max-volumes", parsed.status());
+      args->max_volumes = *parsed;
+    } else if (flag == "--volumes") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const std::string spec = v;
+      size_t item = 0;
+      while (item <= spec.size()) {
+        size_t comma = spec.find(',', item);
+        if (comma == std::string::npos) comma = spec.size();
+        const std::string name = spec.substr(item, comma - item);
+        if (name.empty()) {
+          std::fprintf(stderr, "--volumes holds an empty volume name\n");
+          return false;
+        }
+        args->volume_filter.push_back(name);
+        item = comma + 1;
+      }
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return false;
@@ -341,20 +421,65 @@ void ApplyFlags(SearchRequest* request, const Args& args) {
   }
   request->TopK(args.top)
       .WithAlignments(args.alignments)
-      .OrderByEValue(args.by_evalue);
+      .OrderByEValue(args.by_evalue)
+      .MaxVolumes(args.max_volumes);
+  if (!args.volume_filter.empty()) request->VolumeFilter(args.volume_filter);
 }
 
-int RunIndex(const Args& args) {
+int RunBuild(const Args& args) {
   EngineOptions options;
   options.alphabet =
       args.dna ? seq::AlphabetKind::kDna : seq::AlphabetKind::kProtein;
+  options.volume_size_bytes = args.volume_mb << 20;
+  options.build_threads = args.build_threads;
   util::Timer timer;
-  auto engine = Engine::Build(args.fasta, args.index_dir, options);
+  auto engine = Engine::Create(args.fasta, args.index_dir, options);
   if (!engine.ok()) return Fail(engine.status());
-  std::printf("indexed %llu residues (%llu sequences) into %s in %.2fs\n",
+  std::printf("indexed %llu residues (%llu sequences) into %s "
+              "(%zu volume%s) in %.2fs\n",
               static_cast<unsigned long long>((*engine)->num_residues()),
               static_cast<unsigned long long>((*engine)->num_sequences()),
-              args.index_dir.c_str(), timer.ElapsedSeconds());
+              args.index_dir.c_str(), (*engine)->num_volumes(),
+              (*engine)->num_volumes() == 1 ? "" : "s",
+              timer.ElapsedSeconds());
+  return 0;
+}
+
+int RunAppend(const Args& args) {
+  EngineOptions options;
+  // --volume-mb sets the compaction target: volumes smaller than this are
+  // candidates for the background merge the append may trigger.
+  options.volume_size_bytes = args.volume_mb << 20;
+  auto engine = Engine::Open(args.index_dir, options);
+  if (!engine.ok()) return Fail(engine.status());
+  util::Timer timer;
+  auto status = (*engine)->Append(args.fasta);
+  if (!status.ok()) return Fail(status);
+  (*engine)->WaitForCompaction();
+  std::printf("appended %s: now %llu residues (%llu sequences) across "
+              "%zu volume%s in %.2fs\n",
+              args.fasta.c_str(),
+              static_cast<unsigned long long>((*engine)->num_residues()),
+              static_cast<unsigned long long>((*engine)->num_sequences()),
+              (*engine)->num_volumes(),
+              (*engine)->num_volumes() == 1 ? "" : "s",
+              timer.ElapsedSeconds());
+  return 0;
+}
+
+int RunCompact(const Args& args) {
+  EngineOptions options;
+  options.volume_size_bytes = args.volume_mb << 20;
+  auto engine = Engine::Open(args.index_dir, options);
+  if (!engine.ok()) return Fail(engine.status());
+  const size_t before = (*engine)->num_volumes();
+  util::Timer timer;
+  auto status = (*engine)->Compact();
+  if (!status.ok()) return Fail(status);
+  std::printf("compacted %s: %zu -> %zu volume%s in %.2fs\n",
+              args.index_dir.c_str(), before, (*engine)->num_volumes(),
+              (*engine)->num_volumes() == 1 ? "" : "s",
+              timer.ElapsedSeconds());
   return 0;
 }
 
@@ -415,7 +540,7 @@ int RunSearch(const Args& args) {
     } else {
       std::printf("%s\n",
                   core::FormatResult(result,
-                                     (*engine)->catalog().name(
+                                     (*engine)->SequenceName(
                                          result.sequence_id),
                                      result.evalue)
                       .c_str());
@@ -481,7 +606,7 @@ int RunBatch(const Args& args) {
     for (const core::OasisResult& result : item.results) {
       std::printf("  %s\n",
                   core::FormatResult(result,
-                                     (*engine)->catalog().name(
+                                     (*engine)->SequenceName(
                                          result.sequence_id),
                                      result.evalue)
                       .c_str());
@@ -530,7 +655,7 @@ int RunScan(const Args& args) {
     if (args.top > 0 && printed == args.top) break;
     ++printed;
     std::printf("%-24s score=%-6d qEnd=%-8llu tEnd=%llu\n",
-                (*engine)->catalog().name(hit.sequence_id).c_str(), hit.score,
+                (*engine)->SequenceName(hit.sequence_id).c_str(), hit.score,
                 static_cast<unsigned long long>(hit.query_end),
                 static_cast<unsigned long long>(hit.target_end));
   }
@@ -570,6 +695,8 @@ int RunQuery(const Args& args) {
   }
   request.top_k = args.top;
   request.by_evalue = args.by_evalue;
+  request.max_volumes = args.max_volumes;
+  request.volume_filter = args.volume_filter;
   request.deadline_ms = args.deadline_ms;
   request.no_cache = args.no_cache;
 
@@ -619,7 +746,11 @@ int RunRemoteStats(const Args& args) {
 int main(int argc, char** argv) {
   Args args;
   if (!Parse(argc, argv, &args)) return Usage();
-  if (args.command == "index") return RunIndex(args);
+  if (args.command == "index" || args.command == "build") {
+    return RunBuild(args);
+  }
+  if (args.command == "append") return RunAppend(args);
+  if (args.command == "compact") return RunCompact(args);
   if (args.command == "batch") return RunBatch(args);
   if (args.command == "scan") return RunScan(args);
   if (args.command == "query") return RunQuery(args);

@@ -3,8 +3,8 @@
 //
 // The minimal end-to-end flow of the public API:
 //   1. build a SequenceDatabase from residue strings;
-//   2. Engine::BuildFromDatabase — suffix tree, packed index, buffer pool
-//      and sequence catalog in one call;
+//   2. Engine::CreateFromDatabase — suffix tree, packed index, buffer
+//      pool and sequence catalog in one call;
 //   3. describe the search with a fluent SearchRequest;
 //   4. pull results from the ResultCursor — each arrives as soon as it is
 //      *proven* next-best (the paper's online guarantee).
@@ -45,8 +45,8 @@ int main() {
   util::TempDir dir("quickstart");
   EngineOptions options;
   options.matrix = &score::SubstitutionMatrix::UnitDna();
-  auto engine = Engine::BuildFromDatabase(std::move(db).value(), dir.path(),
-                                          options);
+  auto engine = Engine::CreateFromDatabase(std::move(db).value(), dir.path(),
+                                           options);
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;

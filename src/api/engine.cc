@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <unordered_set>
+#include <utility>
 
 #include "seq/fasta.h"
-#include "suffix/suffix_tree.h"
+#include "suffix/partitioned_builder.h"
 #include "util/logging.h"
 
 namespace oasis {
@@ -20,6 +23,47 @@ namespace {
 const score::SubstitutionMatrix& DefaultMatrix(seq::AlphabetKind kind) {
   return kind == seq::AlphabetKind::kDna ? score::SubstitutionMatrix::Blastn()
                                          : score::SubstitutionMatrix::Pam30();
+}
+
+/// Process-global epoch counter, starting at 1 so 0 reads as "no engine"
+/// in cache keys and diagnostics. Every open *and every mutation* draws a
+/// fresh value, so an epoch never aliases across engines or index states.
+uint64_t NextEpoch() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Buffer-pool segment-name prefix of a volume: the legacy root volume
+/// keeps the historical unqualified names ("internal"), every real volume
+/// qualifies them ("vol_0003/internal") so one pool serves the whole set
+/// with per-volume statistics.
+std::string SegmentPrefixFor(const std::string& volume_name) {
+  if (volume_name == VolumeSetManifest::kLegacyVolumeName) return "";
+  return volume_name + "/";
+}
+
+/// Slices `sequences`, in order, into volume payloads of roughly
+/// `volume_size_bytes` residue bytes each. A sequence is never split; a
+/// slice always holds at least one sequence (so an oversized sequence
+/// becomes a volume of its own). volume_size_bytes == 0 means one slice.
+std::vector<std::vector<seq::Sequence>> SliceByBytes(
+    std::vector<seq::Sequence> sequences, uint64_t volume_size_bytes) {
+  std::vector<std::vector<seq::Sequence>> slices;
+  std::vector<seq::Sequence> current;
+  uint64_t current_bytes = 0;
+  for (seq::Sequence& sequence : sequences) {
+    const uint64_t bytes = sequence.size();
+    if (volume_size_bytes > 0 && !current.empty() &&
+        current_bytes + bytes > volume_size_bytes) {
+      slices.push_back(std::move(current));
+      current.clear();
+      current_bytes = 0;
+    }
+    current_bytes += bytes;
+    current.push_back(std::move(sequence));
+  }
+  if (!current.empty()) slices.push_back(std::move(current));
+  return slices;
 }
 
 }  // namespace
@@ -38,21 +82,26 @@ util::StatusOr<SearchRequest> SearchRequest::FromText(
 ResultCursor::ResultCursor(core::OasisCursor stream)
     : stream_(std::move(stream)) {}
 
+ResultCursor::ResultCursor(core::MergedOasisCursor merged)
+    : merged_(std::move(merged)) {}
+
 ResultCursor::ResultCursor(std::vector<core::OasisResult> replay)
     : replay_(std::move(replay)) {}
 
 util::StatusOr<std::optional<core::OasisResult>> ResultCursor::Next() {
   if (!abort_status_.ok()) return abort_status_;
   if (closed_) return std::optional<core::OasisResult>();
-  if (stream_.has_value()) {
-    auto next_or = stream_->Next();
-    stats_ = stream_->stats();
+  if (stream_.has_value() || merged_.has_value()) {
+    auto next_or =
+        stream_.has_value() ? stream_->Next() : merged_->Next();
+    stats_ = stream_.has_value() ? stream_->stats() : merged_->stats();
     if (!next_or.ok()) {
       // Sticky terminal (deadline, cancellation, I/O failure): the partial
       // stream already delivered stands, the search state is released now,
       // and every later Next() re-reports this status.
       abort_status_ = next_or.status();
       stream_.reset();
+      merged_.reset();
       closed_ = true;
       return abort_status_;
     }
@@ -61,6 +110,7 @@ util::StatusOr<std::optional<core::OasisResult>> ResultCursor::Next() {
       // Exhausted: release the search state (arena, frontier queue) now
       // rather than at cursor destruction; stats_ stays readable.
       stream_.reset();
+      merged_.reset();
       closed_ = true;
     }
     return next;
@@ -74,6 +124,10 @@ void ResultCursor::Close() {
     stats_ = stream_->stats();
     stream_.reset();
   }
+  if (merged_.has_value()) {
+    stats_ = merged_->stats();
+    merged_.reset();
+  }
   replay_.clear();
   replay_.shrink_to_fit();
   closed_ = true;
@@ -83,12 +137,13 @@ bool ResultCursor::done() const {
   if (!abort_status_.ok()) return true;
   if (closed_) return true;
   if (stream_.has_value()) return stream_->done();
+  if (merged_.has_value()) return merged_->done();
   return replay_pos_ >= replay_.size();
 }
 
 // --- Engine factories -------------------------------------------------------
 
-util::StatusOr<std::unique_ptr<Engine>> Engine::Build(
+util::StatusOr<std::unique_ptr<Engine>> Engine::Create(
     const std::string& fasta_path, const std::string& index_dir,
     const EngineOptions& options) {
   const seq::Alphabet& alphabet = seq::Alphabet::Get(options.alphabet);
@@ -97,10 +152,10 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::Build(
   OASIS_ASSIGN_OR_RETURN(
       seq::SequenceDatabase db,
       seq::SequenceDatabase::Build(alphabet, std::move(records)));
-  return BuildFromDatabase(std::move(db), index_dir, options);
+  return CreateFromDatabase(std::move(db), index_dir, options);
 }
 
-util::StatusOr<std::unique_ptr<Engine>> Engine::BuildFromDatabase(
+util::StatusOr<std::unique_ptr<Engine>> Engine::CreateFromDatabase(
     seq::SequenceDatabase db, const std::string& index_dir,
     const EngineOptions& options) {
   OASIS_RETURN_NOT_OK(ValidateOptions(options));
@@ -117,14 +172,26 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::BuildFromDatabase(
   }
   // Duplicate record ids would persist a catalog whose name-based lookups
   // are silently ambiguous; reject them before the expensive tree build.
-  SequenceCatalog catalog = SequenceCatalog::FromDatabase(db);
-  OASIS_RETURN_NOT_OK(catalog.CheckUniqueIds());
-  OASIS_ASSIGN_OR_RETURN(suffix::SuffixTree tree,
-                         suffix::SuffixTree::BuildUkkonen(db));
-  suffix::PackOptions pack;
-  pack.block_size = options.block_size;
-  OASIS_RETURN_NOT_OK(suffix::PackSuffixTree(tree, index_dir, pack));
-  OASIS_RETURN_NOT_OK(catalog.Save(index_dir));
+  OASIS_RETURN_NOT_OK(SequenceCatalog::FromDatabase(db).CheckUniqueIds());
+
+  if (options.volume_size_bytes == 0) {
+    // Legacy single-directory layout: one volume at the index root, no
+    // manifest — byte-compatible with every pre-volume reader.
+    suffix::PartitionedBuildStats build_stats;
+    OASIS_ASSIGN_OR_RETURN(
+        suffix::SuffixTree tree,
+        suffix::BuildPartitioned(db, suffix::PartitionedBuildOptions(),
+                                 &build_stats));
+    suffix::PackOptions pack;
+    pack.block_size = options.block_size;
+    OASIS_RETURN_NOT_OK(suffix::PackSuffixTree(tree, index_dir, pack));
+    OASIS_RETURN_NOT_OK(SequenceCatalog::FromDatabase(db).Save(index_dir));
+  } else {
+    VolumeSetManifest manifest;
+    OASIS_RETURN_NOT_OK(BuildVolumesParallel(db.alphabet(), db.sequences(),
+                                             index_dir, options, &manifest));
+    OASIS_RETURN_NOT_OK(manifest.Save(index_dir));
+  }
   return OpenInternal(index_dir, options,
                       std::make_unique<seq::SequenceDatabase>(std::move(db)));
 }
@@ -133,6 +200,8 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::Open(
     const std::string& index_dir, const EngineOptions& options) {
   return OpenInternal(index_dir, options, nullptr);
 }
+
+Engine::~Engine() { WaitForCompaction(); }
 
 util::Status Engine::ValidateOptions(const EngineOptions& options) {
   // An explicit kMmap engine never creates a pool, so pool_bytes is
@@ -159,6 +228,12 @@ util::Status Engine::ValidateOptions(const EngineOptions& options) {
     return util::Status::InvalidArgument(
         "EngineOptions::readahead_threads must be positive when readahead "
         "is enabled (readahead_blocks > 0)");
+  }
+  if (options.build_threads > kMaxBuildThreads) {
+    return util::Status::InvalidArgument(
+        "EngineOptions::build_threads " +
+        std::to_string(options.build_threads) + " exceeds the maximum " +
+        std::to_string(kMaxBuildThreads));
   }
   // Adaptive-window bounds only constrain anything when an adaptive
   // readahead will actually be constructed.
@@ -197,146 +272,442 @@ uint32_t Engine::ResolveReadaheadMax(const EngineOptions& options) {
   return std::max(64u, options.readahead_blocks);
 }
 
+// --- Volume building --------------------------------------------------------
+
+util::StatusOr<VolumeInfo> Engine::BuildVolume(const seq::SequenceDatabase& db,
+                                               const std::string& volume_dir,
+                                               const std::string& volume_name,
+                                               const EngineOptions& options) {
+  // The partitioned builder produces a bit-identical tree to Ukkonen's
+  // (property-tested) within a bounded per-pass memory budget — exactly
+  // what parallel volume builds need — and reports the build statistics
+  // the manifest persists.
+  suffix::PartitionedBuildStats build_stats;
+  OASIS_ASSIGN_OR_RETURN(
+      suffix::SuffixTree tree,
+      suffix::BuildPartitioned(db, suffix::PartitionedBuildOptions(),
+                               &build_stats));
+  suffix::PackOptions pack;
+  pack.block_size = options.block_size;
+  OASIS_RETURN_NOT_OK(suffix::PackSuffixTree(tree, volume_dir, pack));
+  OASIS_RETURN_NOT_OK(SequenceCatalog::FromDatabase(db).Save(volume_dir));
+  VolumeInfo info;
+  info.name = volume_name;
+  info.num_sequences = db.num_sequences();
+  info.num_residues = db.num_residues();
+  info.build_stats = build_stats;
+  return info;
+}
+
+util::Status Engine::BuildVolumesParallel(const seq::Alphabet& alphabet,
+                                          std::vector<seq::Sequence> sequences,
+                                          const std::string& index_dir,
+                                          const EngineOptions& options,
+                                          VolumeSetManifest* manifest) {
+  std::vector<std::vector<seq::Sequence>> slices =
+      SliceByBytes(std::move(sequences), options.volume_size_bytes);
+  const size_t n = slices.size();
+  // Volume names are minted serially (the counter is not thread-safe and
+  // the manifest order must match the slice order), builds run in parallel.
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) names.push_back(manifest->NextVolumeName());
+  std::vector<VolumeInfo> entries(n);
+
+  uint32_t threads = options.build_threads != 0
+                         ? options.build_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<uint32_t>(threads, static_cast<uint32_t>(n));
+
+  // Work-stealing over the slice list: one volume per worker at a time,
+  // each build bounded by the partitioned builder's per-pass budget, so
+  // peak memory scales with the thread count, not the database size.
+  std::atomic<size_t> next_slice{0};
+  std::mutex error_mutex;
+  util::Status first_error = util::Status::OK();
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next_slice.fetch_add(1);
+      if (i >= n) break;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error.ok()) break;
+      }
+      auto build = [&]() -> util::Status {
+        OASIS_ASSIGN_OR_RETURN(
+            seq::SequenceDatabase db,
+            seq::SequenceDatabase::Build(alphabet, std::move(slices[i])));
+        OASIS_ASSIGN_OR_RETURN(
+            entries[i],
+            BuildVolume(db, VolumeSetManifest::VolumeDir(index_dir, names[i]),
+                        names[i], options));
+        return util::Status::OK();
+      };
+      const util::Status status = build();
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = status;
+        break;
+      }
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) workers.emplace_back(worker);
+    for (std::thread& t : workers) t.join();
+  }
+  OASIS_RETURN_NOT_OK(first_error);
+  for (VolumeInfo& entry : entries) manifest->AddVolume(std::move(entry));
+  return util::Status::OK();
+}
+
+// --- Volume-set opening -----------------------------------------------------
+
+util::StatusOr<std::shared_ptr<Engine::VolumeSetState>> Engine::OpenVolumeSet(
+    const std::string& index_dir, const EngineOptions& options,
+    VolumeSetManifest manifest) {
+  auto state = std::make_shared<VolumeSetState>();
+  state->manifest = std::move(manifest);
+  const std::vector<VolumeInfo>& volumes = state->manifest.volumes();
+
+  // Every volume of one set must share a block size (the shared pool
+  // requires it) — validated across all volumes, adopted from the first.
+  uint32_t block_size = 0;
+  uint64_t index_bytes = 0;
+  for (const VolumeInfo& volume : volumes) {
+    const std::string dir = VolumeSetManifest::VolumeDir(index_dir, volume.name);
+    OASIS_ASSIGN_OR_RETURN(uint32_t vol_block, suffix::PeekIndexBlockSize(dir));
+    if (block_size == 0) {
+      block_size = vol_block;
+    } else if (vol_block != block_size) {
+      return util::Status::Corruption(
+          "volume '" + volume.name + "' uses block size " +
+          std::to_string(vol_block) + " but the set uses " +
+          std::to_string(block_size));
+    }
+    OASIS_ASSIGN_OR_RETURN(uint64_t bytes, suffix::PackedIndexBytes(dir));
+    index_bytes += bytes;
+  }
+
+  // Resolve the I/O path: kAuto maps the set when its packed files —
+  // *all volumes together* — fit the RAM budget, pools otherwise.
+  IoMode io_mode = options.io_mode;
+  if (io_mode == IoMode::kAuto) {
+    io_mode = index_bytes <= options.mmap_budget_bytes ? IoMode::kMmap
+                                                       : IoMode::kPooled;
+  }
+  state->io_mode = io_mode;
+  if (io_mode == IoMode::kPooled) {
+    state->pool =
+        std::make_unique<storage::BufferPool>(options.pool_bytes, block_size);
+  }
+
+  std::vector<CatalogEntry> merged_entries;
+  std::vector<VolumeInfo> patched = volumes;
+  uint32_t id_base = 0;
+  uint64_t pos_base = 0;
+  bool missing_catalog = false;
+  for (size_t i = 0; i < patched.size(); ++i) {
+    VolumeInfo& volume = patched[i];
+    const std::string dir = VolumeSetManifest::VolumeDir(index_dir, volume.name);
+    VolumeHandle handle;
+    handle.name = volume.name;
+    if (io_mode == IoMode::kMmap) {
+      OASIS_ASSIGN_OR_RETURN(handle.tree,
+                             suffix::PackedSuffixTree::OpenMapped(dir));
+    } else {
+      OASIS_ASSIGN_OR_RETURN(
+          handle.tree,
+          suffix::PackedSuffixTree::Open(dir, state->pool.get(),
+                                         SegmentPrefixFor(volume.name)));
+    }
+    if (i > 0) {
+      const VolumeHandle& first = state->volumes.front();
+      if (handle.tree->alphabet_kind() != first.tree->alphabet_kind()) {
+        return util::Status::Corruption("volume '" + volume.name +
+                                        "' uses a different alphabet than "
+                                        "the rest of the set");
+      }
+    }
+    const uint64_t tree_sequences = handle.tree->num_sequences();
+    const uint64_t tree_residues =
+        handle.tree->total_length() - tree_sequences;
+    if (volume.num_sequences != 0 && volume.num_sequences != tree_sequences) {
+      return util::Status::Corruption(
+          "manifest lists " + std::to_string(volume.num_sequences) +
+          " sequences for volume '" + volume.name + "' but its tree holds " +
+          std::to_string(tree_sequences));
+    }
+    if (volume.num_residues != 0 && volume.num_residues != tree_residues) {
+      return util::Status::Corruption(
+          "manifest lists " + std::to_string(volume.num_residues) +
+          " residues for volume '" + volume.name + "' but its tree holds " +
+          std::to_string(tree_residues));
+    }
+    // A legacy-synthesized entry carries zero counts; patch in the real
+    // ones so stats reporting — and the manifest a later Append persists —
+    // describe the volume truthfully.
+    volume.num_sequences = tree_sequences;
+    volume.num_residues = tree_residues;
+    handle.build_stats = volume.build_stats;
+    handle.id_base = id_base;
+    handle.pos_base = pos_base;
+
+    auto catalog = SequenceCatalog::Load(dir);
+    if (catalog.ok()) {
+      if (catalog->size() != tree_sequences) {
+        return util::Status::Corruption(
+            "catalog of volume '" + volume.name + "' lists " +
+            std::to_string(catalog->size()) +
+            " sequences but its tree holds " +
+            std::to_string(tree_sequences));
+      }
+      for (const CatalogEntry& entry : catalog->entries()) {
+        merged_entries.push_back(entry);
+      }
+    } else if (catalog.status().IsNotFound()) {
+      // Tolerated only for a lone legacy volume (pre-catalog index):
+      // labels degrade to synthetic "s<i>". In a multi-volume set a
+      // missing catalog would silently shift every later volume's labels.
+      missing_catalog = true;
+    } else {
+      return catalog.status();
+    }
+
+    id_base += static_cast<uint32_t>(tree_sequences);
+    pos_base += handle.tree->total_length();
+    state->total_sequences += tree_sequences;
+    state->total_length += handle.tree->total_length();
+    state->volumes.push_back(std::move(handle));
+  }
+  if (missing_catalog) {
+    if (patched.size() > 1) {
+      return util::Status::Corruption(
+          "a volume of a multi-volume set is missing its catalog");
+    }
+    merged_entries.clear();  // lone legacy volume: synthetic labels
+  }
+  state->manifest.ReplaceVolumes(std::move(patched));
+  state->catalog = SequenceCatalog(std::move(merged_entries));
+
+  if (io_mode == IoMode::kPooled && options.readahead_blocks > 0) {
+    storage::Readahead::Options readahead;
+    readahead.blocks = options.readahead_blocks;
+    readahead.threads = options.readahead_threads;
+    readahead.adaptive = options.readahead_adaptive;
+    readahead.adaptive_options.min_blocks = options.readahead_min_blocks;
+    readahead.adaptive_options.max_blocks = ResolveReadaheadMax(options);
+    state->readahead =
+        std::make_unique<storage::Readahead>(state->pool.get(), readahead);
+  }
+  return state;
+}
+
+util::Status Engine::AttachSearches(VolumeSetState* state) const {
+  for (VolumeHandle& volume : state->volumes) {
+    if (matrix_->size() != volume.tree->alphabet_size()) {
+      return util::Status::InvalidArgument(
+          "matrix alphabet (" + std::to_string(matrix_->size()) +
+          " symbols) does not match the indexed database (" +
+          std::to_string(volume.tree->alphabet_size()) + ")");
+    }
+    volume.search =
+        std::make_unique<core::OasisSearch>(volume.tree.get(), matrix_);
+  }
+  return util::Status::OK();
+}
+
 util::StatusOr<std::unique_ptr<Engine>> Engine::OpenInternal(
     const std::string& index_dir, const EngineOptions& options,
     std::unique_ptr<seq::SequenceDatabase> resident_db) {
   OASIS_RETURN_NOT_OK(ValidateOptions(options));
-  OASIS_ASSIGN_OR_RETURN(uint32_t block_size,
-                         suffix::PeekIndexBlockSize(index_dir));
-
-  // Resolve the I/O path: kAuto maps the index when its packed files fit
-  // the RAM budget and falls back to the bounded pool otherwise.
-  IoMode io_mode = options.io_mode;
-  if (io_mode == IoMode::kAuto) {
-    OASIS_ASSIGN_OR_RETURN(uint64_t index_bytes,
-                           suffix::PackedIndexBytes(index_dir));
-    io_mode = index_bytes <= options.mmap_budget_bytes ? IoMode::kMmap
-                                                       : IoMode::kPooled;
-  }
+  OASIS_ASSIGN_OR_RETURN(VolumeSetManifest manifest,
+                         VolumeSetManifest::Load(index_dir));
+  OASIS_ASSIGN_OR_RETURN(std::shared_ptr<VolumeSetState> state,
+                         OpenVolumeSet(index_dir, options, std::move(manifest)));
 
   // Cannot use make_unique: constructor is private.
   std::unique_ptr<Engine> engine(new Engine());
   engine->index_dir_ = index_dir;
-  engine->io_mode_ = io_mode;
+  engine->options_ = options;
   engine->simd_mode_ = options.simd_mode;
   engine->simd_level_ = align::simd::ResolveLevel(options.simd_mode);
-  // Monotone process-global counter, starting at 1 so 0 reads as "no
-  // engine" in cache keys and diagnostics.
-  static std::atomic<uint64_t> next_epoch{1};
-  engine->epoch_ = next_epoch.fetch_add(1, std::memory_order_relaxed);
-  if (io_mode == IoMode::kMmap) {
-    OASIS_ASSIGN_OR_RETURN(engine->tree_,
-                           suffix::PackedSuffixTree::OpenMapped(index_dir));
-  } else {
-    engine->pool_ =
-        std::make_unique<storage::BufferPool>(options.pool_bytes, block_size);
-    OASIS_ASSIGN_OR_RETURN(
-        engine->tree_,
-        suffix::PackedSuffixTree::Open(index_dir, engine->pool_.get()));
-    if (options.readahead_blocks > 0) {
-      storage::Readahead::Options readahead;
-      readahead.blocks = options.readahead_blocks;
-      readahead.threads = options.readahead_threads;
-      readahead.adaptive = options.readahead_adaptive;
-      readahead.adaptive_options.min_blocks = options.readahead_min_blocks;
-      readahead.adaptive_options.max_blocks = ResolveReadaheadMax(options);
-      engine->readahead_ = std::make_unique<storage::Readahead>(
-          engine->pool_.get(), readahead);
-    }
-  }
+  engine->epoch_.store(NextEpoch(), std::memory_order_release);
   engine->fetch_memo_ = options.fetch_memo;
-  engine->alphabet_ = &seq::Alphabet::Get(engine->tree_->alphabet_kind());
-  engine->matrix_ = options.matrix != nullptr
-                        ? options.matrix
-                        : &DefaultMatrix(engine->tree_->alphabet_kind());
-  if (engine->matrix_->size() != engine->tree_->alphabet_size()) {
-    return util::Status::InvalidArgument(
-        "matrix alphabet (" + std::to_string(engine->matrix_->size()) +
-        " symbols) does not match the indexed database (" +
-        std::to_string(engine->tree_->alphabet_size()) + ")");
-  }
-  engine->search_ = std::make_unique<core::OasisSearch>(engine->tree_.get(),
-                                                        engine->matrix_);
+  const seq::AlphabetKind kind = state->volumes.front().tree->alphabet_kind();
+  engine->alphabet_ = &seq::Alphabet::Get(kind);
+  engine->matrix_ =
+      options.matrix != nullptr ? options.matrix : &DefaultMatrix(kind);
+  OASIS_RETURN_NOT_OK(engine->AttachSearches(state.get()));
   engine->db_ = std::move(resident_db);
-
-  auto catalog = SequenceCatalog::Load(index_dir);
-  if (catalog.ok()) {
-    if (catalog->size() != engine->tree_->num_sequences()) {
-      return util::Status::Corruption(
-          "catalog lists " + std::to_string(catalog->size()) +
-          " sequences but the index holds " +
-          std::to_string(engine->tree_->num_sequences()));
-    }
-    engine->catalog_ = std::move(catalog).value();
-  } else if (!catalog.status().IsNotFound()) {
-    return catalog.status();
-  }
-  // A missing catalog (pre-catalog index) degrades to synthetic "s<i>"
-  // labels via SequenceCatalog::name; lengths stay available from the tree.
 
   auto karlin = score::ComputeKarlinParams(*engine->matrix_);
   if (karlin.ok()) {
     engine->karlin_ = *karlin;
     engine->has_karlin_ = true;
   }
+  engine->state_ = std::move(state);
   return engine;
 }
 
+// --- Snapshot plumbing ------------------------------------------------------
+
+std::shared_ptr<const Engine::VolumeSetState> Engine::snapshot() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+void Engine::SwapState(std::shared_ptr<const VolumeSetState> next) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state_ = std::move(next);
+  }
+  // New epoch after the new state is visible: a cache entry written under
+  // the fresh epoch always describes the fresh state.
+  epoch_.store(NextEpoch(), std::memory_order_release);
+}
+
+// --- Accessors --------------------------------------------------------------
+
+const suffix::PackedSuffixTree& Engine::tree() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  OASIS_CHECK(state_->volumes.size() == 1)
+      << "Engine::tree() is single-volume only (this set holds "
+      << state_->volumes.size()
+      << " volumes); search through the engine instead";
+  return *state_->volumes.front().tree;
+}
+
+const SequenceCatalog& Engine::catalog() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_->catalog;
+}
+
+std::string Engine::SequenceName(uint32_t sequence_id) const {
+  return snapshot()->catalog.name(sequence_id);
+}
+
+size_t Engine::num_volumes() const { return snapshot()->volumes.size(); }
+
+std::vector<std::string> Engine::volume_names() const {
+  auto state = snapshot();
+  std::vector<std::string> names;
+  names.reserve(state->volumes.size());
+  for (const VolumeHandle& volume : state->volumes) {
+    names.push_back(volume.name);
+  }
+  return names;
+}
+
+uint64_t Engine::generation() const { return snapshot()->manifest.generation(); }
+
+IoMode Engine::io_mode() const { return snapshot()->io_mode; }
+
+bool Engine::uses_pool() const { return snapshot()->pool != nullptr; }
+
+storage::BufferPool& Engine::pool() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  OASIS_CHECK(state_->pool != nullptr)
+      << "pool() requires a pooled engine (io_mode kPooled)";
+  return *state_->pool;
+}
+
+bool Engine::uses_readahead() const { return snapshot()->readahead != nullptr; }
+
 uint32_t Engine::readahead_blocks() const {
-  return readahead_ != nullptr ? readahead_->blocks() : 0;
+  auto state = snapshot();
+  return state->readahead != nullptr ? state->readahead->blocks() : 0;
 }
 
 bool Engine::readahead_adaptive() const {
-  return readahead_ != nullptr && readahead_->adaptive();
+  auto state = snapshot();
+  return state->readahead != nullptr && state->readahead->adaptive();
+}
+
+const storage::Readahead& Engine::readahead() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  OASIS_CHECK(state_->readahead != nullptr)
+      << "readahead() requires a pooled engine with readahead_blocks > 0";
+  return *state_->readahead;
 }
 
 storage::ReadaheadStats Engine::readahead_stats() const {
-  OASIS_CHECK(readahead_ != nullptr)
+  auto state = snapshot();
+  OASIS_CHECK(state->readahead != nullptr)
       << "readahead statistics only exist on a pooled engine with "
          "readahead_blocks > 0";
-  return readahead_->stats();
+  return state->readahead->stats();
+}
+
+uint64_t Engine::num_sequences() const { return snapshot()->total_sequences; }
+
+uint64_t Engine::num_residues() const {
+  auto state = snapshot();
+  return state->total_length - state->total_sequences;
 }
 
 util::EngineStatsSnapshot Engine::CollectStats() const {
+  auto state = snapshot();
   util::EngineStatsSnapshot snapshot;
-  if (pool_ == nullptr) return snapshot;  // mmap: pooled stays false
+  // Per-volume rows are filled for pooled and mapped engines alike: the
+  // sequence/residue counts come from the trees, the build statistics from
+  // the manifest (all-zero for legacy volumes built before it existed).
+  // The legacy single-volume root set renders no section — see
+  // util::StatsText — so historical stats output is byte-identical.
+  if (!state->manifest.legacy()) {
+    for (size_t i = 0; i < state->volumes.size(); ++i) {
+      const VolumeHandle& volume = state->volumes[i];
+      util::VolumeStatsRow row;
+      row.name = volume.name;
+      row.sequences = volume.tree->num_sequences();
+      row.residues = volume.tree->total_length() - row.sequences;
+      row.partitions = volume.build_stats.num_partitions;
+      row.passes = volume.build_stats.num_passes;
+      row.max_partition_suffixes = volume.build_stats.max_partition_suffixes;
+      snapshot.volumes.push_back(std::move(row));
+    }
+  }
+  if (state->pool == nullptr) return snapshot;  // mmap: pooled stays false
+  const storage::BufferPool& pool = *state->pool;
   snapshot.pooled = true;
-  snapshot.frames = pool_->num_frames();
-  snapshot.block_size = pool_->block_size();
-  snapshot.shards = pool_->num_shards();
+  snapshot.frames = pool.num_frames();
+  snapshot.block_size = pool.block_size();
+  snapshot.shards = pool.num_shards();
   for (storage::SegmentId seg = 0;
-       seg < static_cast<storage::SegmentId>(pool_->num_segments()); ++seg) {
-    const storage::SegmentStats stats = pool_->stats(seg);
+       seg < static_cast<storage::SegmentId>(pool.num_segments()); ++seg) {
+    const storage::SegmentStats stats = pool.stats(seg);
     util::SegmentStatsRow row;
-    row.name = pool_->segment_name(seg);
+    row.name = pool.segment_name(seg);
     row.requests = stats.requests;
     row.hits = stats.hits;
     row.hit_ratio = stats.hit_ratio();
     snapshot.segments.push_back(std::move(row));
   }
-  const storage::SegmentStats total = pool_->TotalStats();
+  const storage::SegmentStats total = pool.TotalStats();
   snapshot.total.name = "total";
   snapshot.total.requests = total.requests;
   snapshot.total.hits = total.hits;
   snapshot.total.hit_ratio = total.hit_ratio();
-  if (readahead_ != nullptr) {
+  if (state->readahead != nullptr) {
+    const storage::Readahead& readahead = *state->readahead;
     snapshot.readahead_enabled = true;
-    snapshot.readahead_adaptive = readahead_->adaptive();
-    snapshot.readahead_blocks = readahead_->blocks();
-    const storage::ReadaheadStats ra = readahead_->stats();
+    snapshot.readahead_adaptive = readahead.adaptive();
+    snapshot.readahead_blocks = readahead.blocks();
+    const storage::ReadaheadStats ra = readahead.stats();
     snapshot.readahead_issued = ra.issued;
     snapshot.readahead_used = ra.used;
     snapshot.readahead_wasted = ra.wasted;
     snapshot.readahead_waste_ratio = ra.waste_ratio();
-    if (readahead_->adaptive()) {
-      const storage::AdaptiveReadahead& ctl = *readahead_->controller();
+    if (readahead.adaptive()) {
+      const storage::AdaptiveReadahead& ctl = *readahead.controller();
       for (storage::SegmentId seg = 0;
-           seg < static_cast<storage::SegmentId>(pool_->num_segments());
-           ++seg) {
-        const storage::AdaptiveReadahead::SegmentSnapshot s =
-            ctl.snapshot(seg);
+           seg < static_cast<storage::SegmentId>(pool.num_segments()); ++seg) {
+        const storage::AdaptiveReadahead::SegmentSnapshot s = ctl.snapshot(seg);
         util::AdaptiveWindowRow row;
-        row.name = pool_->segment_name(seg);
+        row.name = pool.segment_name(seg);
         row.window = s.window;
         row.ewma = s.ewma;
         row.samples = s.samples;
@@ -352,8 +723,8 @@ util::EngineStatsSnapshot Engine::CollectStats() const {
 
 // --- Request resolution -----------------------------------------------------
 
-util::StatusOr<score::ScoreT> Engine::ResolveMinScore(
-    const SearchRequest& request) const {
+util::StatusOr<score::ScoreT> Engine::ResolveMinScoreOnState(
+    const VolumeSetState& state, const SearchRequest& request) const {
   if (request.min_score() > 0) return request.min_score();
   if (!has_karlin_) {
     return util::Status::InvalidArgument(
@@ -361,14 +732,25 @@ util::StatusOr<score::ScoreT> Engine::ResolveMinScore(
         matrix_->name() +
         "' does not admit; set SearchRequest::MinScore explicitly");
   }
-  return search_->MinScoreForEValue(karlin_, request.evalue(),
-                                    request.query().size());
+  // Paper Eq. 3 against the *composed* set length: E-value selectivity is
+  // a property of the whole database, so an N-volume search applies the
+  // exact threshold the monolithic build would — the keystone of
+  // volume-count-independent results.
+  return score::MinScoreForEValue(karlin_, request.evalue(),
+                                  request.query().size(),
+                                  state.total_length - state.total_sequences);
 }
 
-util::StatusOr<core::OasisOptions> Engine::ResolveOptions(
+util::StatusOr<score::ScoreT> Engine::ResolveMinScore(
     const SearchRequest& request) const {
+  return ResolveMinScoreOnState(*snapshot(), request);
+}
+
+util::StatusOr<core::OasisOptions> Engine::ResolveOptionsOnState(
+    const VolumeSetState& state, const SearchRequest& request) const {
   core::OasisOptions options;
-  OASIS_ASSIGN_OR_RETURN(options.min_score, ResolveMinScore(request));
+  OASIS_ASSIGN_OR_RETURN(options.min_score,
+                         ResolveMinScoreOnState(state, request));
   options.max_results = request.top_k();
   options.reconstruct_alignments = request.alignments();
   options.all_alignments = request.all_alignments();
@@ -376,7 +758,7 @@ util::StatusOr<core::OasisOptions> Engine::ResolveOptions(
   // The memo only matters on the pooled path (a mapped fetch is already a
   // bounds check); resolving it here gives every entry point — Search,
   // SearchAll, SearchBatch workers — the same per-cursor cache.
-  options.use_fetch_memo = fetch_memo_ && pool_ != nullptr;
+  options.use_fetch_memo = fetch_memo_ && state.pool != nullptr;
   if (request.order_by_evalue()) {
     if (!has_karlin_) {
       return util::Status::InvalidArgument(
@@ -412,14 +794,93 @@ util::StatusOr<core::OasisOptions> Engine::ResolveOptions(
   return options;
 }
 
+util::StatusOr<core::OasisOptions> Engine::ResolveOptions(
+    const SearchRequest& request) const {
+  return ResolveOptionsOnState(*snapshot(), request);
+}
+
+util::StatusOr<std::vector<size_t>> Engine::SelectVolumes(
+    const VolumeSetState& state, const SearchRequest& request) {
+  std::vector<size_t> selected;
+  if (request.volume_filter().empty()) {
+    selected.resize(state.volumes.size());
+    for (size_t i = 0; i < selected.size(); ++i) selected[i] = i;
+  } else {
+    for (const std::string& name : request.volume_filter()) {
+      size_t found = state.volumes.size();
+      for (size_t i = 0; i < state.volumes.size(); ++i) {
+        if (state.volumes[i].name == name) {
+          found = i;
+          break;
+        }
+      }
+      if (found == state.volumes.size()) {
+        // Failing loudly beats silently searching less than asked for.
+        return util::Status::InvalidArgument(
+            "VolumeFilter names unknown volume '" + name + "'");
+      }
+      selected.push_back(found);
+    }
+    // Global (manifest) order with duplicates collapsed, so the merge's
+    // tie-break and the id_base accumulation see volumes exactly once.
+    std::sort(selected.begin(), selected.end());
+    selected.erase(std::unique(selected.begin(), selected.end()),
+                   selected.end());
+  }
+  if (request.max_volumes() != 0 && selected.size() > request.max_volumes()) {
+    selected.resize(request.max_volumes());
+  }
+  return selected;
+}
+
 // --- Queries ----------------------------------------------------------------
 
-util::StatusOr<ResultCursor> Engine::Search(const SearchRequest& request) const {
+util::StatusOr<ResultCursor> Engine::SearchOnState(
+    std::shared_ptr<const VolumeSetState> state,
+    const SearchRequest& request) const {
+  OASIS_ASSIGN_OR_RETURN(std::vector<size_t> selected,
+                         SelectVolumes(*state, request));
   OASIS_ASSIGN_OR_RETURN(core::OasisOptions options,
-                         ResolveOptions(request));
-  OASIS_ASSIGN_OR_RETURN(core::OasisCursor cursor,
-                         search_->Cursor(request.query(), options));
-  return ResultCursor(std::move(cursor));
+                         ResolveOptionsOnState(*state, request));
+  if (selected.size() == 1 && state->volumes[selected[0]].id_base == 0 &&
+      state->volumes[selected[0]].pos_base == 0) {
+    // Single volume at the origin (the whole single-volume engine fast
+    // path): no translation, no merge layer — identical to the
+    // pre-volume-set search path.
+    OASIS_ASSIGN_OR_RETURN(
+        core::OasisCursor cursor,
+        state->volumes[selected[0]].search->Cursor(request.query(), options));
+    ResultCursor result(std::move(cursor));
+    result.retain_ = std::move(state);
+    return result;
+  }
+  // Fan out one cursor per volume and k-way merge. The shard cursors run
+  // uncapped — the top-k cap belongs to the *merged* stream, or a strong
+  // volume could exhaust its quota while a weaker volume pads the tail —
+  // and laziness keeps that free: a shard only does work when the merge
+  // pulls on it, so a merged top-k still expands only what the proof of
+  // the first k global results requires.
+  core::OasisOptions shard_options = options;
+  shard_options.max_results = 0;
+  std::vector<core::MergeShard> shards;
+  shards.reserve(selected.size());
+  for (const size_t index : selected) {
+    const VolumeHandle& volume = state->volumes[index];
+    OASIS_ASSIGN_OR_RETURN(
+        core::OasisCursor cursor,
+        volume.search->Cursor(request.query(), shard_options));
+    shards.push_back(
+        core::MergeShard{std::move(cursor), volume.id_base, volume.pos_base});
+  }
+  core::MergedOasisCursor merged(std::move(shards), options.order_by_evalue,
+                                 request.top_k());
+  ResultCursor result(std::move(merged));
+  result.retain_ = std::move(state);
+  return result;
+}
+
+util::StatusOr<ResultCursor> Engine::Search(const SearchRequest& request) const {
+  return SearchOnState(snapshot(), request);
 }
 
 util::StatusOr<BatchResult> Engine::SearchAll(
@@ -447,22 +908,26 @@ util::StatusOr<std::vector<BatchResult>> Engine::SearchBatch(
   std::vector<BatchResult> out(n);
   if (n == 0) return out;
 
-  // Resolve every request up front on the calling thread: resolution reads
-  // shared engine state, and failing fast beats failing mid-fan-out.
-  std::vector<core::OasisOptions> resolved(n);
+  // One snapshot for the whole batch: every worker searches the same
+  // volume-set state even if Append/Compact swaps it mid-flight, so a
+  // batch is internally consistent. Resolution runs up front on the
+  // calling thread — it reads shared engine state, and failing fast beats
+  // failing mid-fan-out.
+  std::shared_ptr<const VolumeSetState> state = snapshot();
   for (size_t i = 0; i < n; ++i) {
-    OASIS_ASSIGN_OR_RETURN(resolved[i], ResolveOptions(requests[i]));
+    OASIS_RETURN_NOT_OK(ResolveOptionsOnState(*state, requests[i]).status());
+    OASIS_RETURN_NOT_OK(SelectVolumes(*state, requests[i]).status());
   }
 
   const uint32_t threads =
       std::min<uint32_t>(options.threads, static_cast<uint32_t>(n));
 
-  // Work-stealing over the shared index: every worker drives the engine's
-  // one OasisSearch over the one packed tree and one sharded buffer pool.
-  // OasisSearch is stateless/const, the tree's read paths are thread-safe,
-  // the pool synchronizes per shard, and the matrix and request vectors are
-  // only read — so the workers share cache warmth and write only to
-  // distinct output slots.
+  // Work-stealing over the shared index: every worker drives per-volume
+  // OasisSearch instances over the shared packed trees and the one sharded
+  // buffer pool. OasisSearch is stateless/const, the trees' read paths are
+  // thread-safe, the pool synchronizes per shard, and the matrix and
+  // request vectors are only read — so the workers share cache warmth and
+  // write only to distinct output slots.
   std::atomic<size_t> next_request{0};
   std::mutex error_mutex;
   util::Status first_error = util::Status::OK();
@@ -475,16 +940,24 @@ util::StatusOr<std::vector<BatchResult>> Engine::SearchBatch(
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error.ok()) break;
       }
-      core::OasisStats stats;
-      auto results =
-          search_->SearchAll(requests[i].query(), resolved[i], &stats);
-      if (!results.ok()) {
+      auto run = [&]() -> util::Status {
+        OASIS_ASSIGN_OR_RETURN(ResultCursor cursor,
+                               SearchOnState(state, requests[i]));
+        while (true) {
+          OASIS_ASSIGN_OR_RETURN(std::optional<core::OasisResult> next,
+                                 cursor.Next());
+          if (!next.has_value()) break;
+          out[i].results.push_back(std::move(*next));
+        }
+        out[i].stats = cursor.stats();
+        return util::Status::OK();
+      };
+      const util::Status status = run();
+      if (!status.ok()) {
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error.ok()) first_error = results.status();
+        if (first_error.ok()) first_error = status;
         break;
       }
-      out[i].results = std::move(results).value();
-      out[i].stats = stats;
     }
   };
 
@@ -527,7 +1000,9 @@ util::StatusOr<ResultCursor> Engine::BlastSearch(
 
   // Same shape as the OASIS stream: one best hit per sequence, descending
   // score. (Alignment reconstruction is not available for the heuristic
-  // baseline; WithAlignments is ignored.)
+  // baseline; WithAlignments is ignored.) The resident database holds the
+  // volumes concatenated in global order, so sequence ids and positions
+  // are already global.
   std::vector<core::OasisResult> results;
   results.reserve(hits.size());
   for (const blast::BlastHit& hit : hits) {
@@ -547,49 +1022,255 @@ util::StatusOr<ResultCursor> Engine::BlastSearch(
 
 // --- Resident database ------------------------------------------------------
 
-util::StatusOr<const seq::SequenceDatabase*> Engine::ResidentDatabase() {
-  if (db_ != nullptr) return static_cast<const seq::SequenceDatabase*>(db_.get());
-
-  // Materialize from the packed symbols file: residue bytes decode 1:1 to
-  // symbol codes, and sequence boundaries come from the tree metadata.
+util::StatusOr<std::vector<seq::Sequence>> Engine::MaterializeSequences(
+    const VolumeSetState& state, size_t first_volume, size_t num_volumes,
+    const seq::Alphabet& alphabet) {
   std::vector<seq::Sequence> sequences;
-  sequences.reserve(tree_->num_sequences());
   std::vector<uint8_t> bytes;
-  for (uint32_t id = 0; id < tree_->num_sequences(); ++id) {
-    const uint64_t start = tree_->SequenceStart(id);
-    const uint64_t len = tree_->TerminatorPos(id) - start;
-    // ReadSymbols takes a 32-bit length; read in chunks so sequences are
-    // not silently truncated (positions are 64-bit).
-    std::vector<seq::Symbol> symbols;
-    symbols.reserve(len);
-    constexpr uint64_t kChunk = 1u << 20;
-    for (uint64_t off = 0; off < len; off += kChunk) {
-      const uint32_t n = static_cast<uint32_t>(std::min(kChunk, len - off));
-      // One-pass scan of the whole symbols file: the kScan admission hint
-      // keeps it from refreshing CLOCK reference bits, so materializing
-      // the database cannot evict the hot internal blocks searches use.
-      OASIS_RETURN_NOT_OK(tree_->ReadSymbols(start + off, n, &bytes,
+  for (size_t v = first_volume; v < first_volume + num_volumes; ++v) {
+    const VolumeHandle& volume = state.volumes[v];
+    const suffix::PackedSuffixTree& tree = *volume.tree;
+    for (uint32_t id = 0; id < tree.num_sequences(); ++id) {
+      const uint32_t gid = volume.id_base + id;
+      const uint64_t start = tree.SequenceStart(id);
+      const uint64_t len = tree.TerminatorPos(id) - start;
+      // ReadSymbols takes a 32-bit length; read in chunks so sequences are
+      // not silently truncated (positions are 64-bit).
+      std::vector<seq::Symbol> symbols;
+      symbols.reserve(len);
+      constexpr uint64_t kChunk = 1u << 20;
+      for (uint64_t off = 0; off < len; off += kChunk) {
+        const uint32_t n = static_cast<uint32_t>(std::min(kChunk, len - off));
+        // One-pass scan of the whole symbols file: the kScan admission hint
+        // keeps it from refreshing CLOCK reference bits, so materializing
+        // the database cannot evict the hot internal blocks searches use.
+        OASIS_RETURN_NOT_OK(tree.ReadSymbols(start + off, n, &bytes,
                                              storage::Admission::kScan));
-      symbols.insert(symbols.end(), bytes.begin(), bytes.end());
-    }
-    for (seq::Symbol s : symbols) {
-      if (s >= alphabet_->size()) {
-        return util::Status::Corruption(
-            "index symbols contain a non-residue byte inside sequence " +
-            std::to_string(id));
+        symbols.insert(symbols.end(), bytes.begin(), bytes.end());
       }
+      for (seq::Symbol s : symbols) {
+        if (s >= alphabet.size()) {
+          return util::Status::Corruption(
+              "index symbols contain a non-residue byte inside sequence " +
+              std::to_string(gid) + " of volume '" + volume.name + "'");
+        }
+      }
+      std::string cat_id = state.catalog.name(gid);
+      std::string description = gid < state.catalog.size()
+                                    ? state.catalog.entry(gid).description
+                                    : "";
+      sequences.emplace_back(std::move(cat_id), std::move(description),
+                             std::move(symbols));
     }
-    std::string cat_id = catalog_.name(id);
-    std::string description =
-        id < catalog_.size() ? catalog_.entry(id).description : "";
-    sequences.emplace_back(std::move(cat_id), std::move(description),
-                           std::move(symbols));
   }
+  return sequences;
+}
+
+util::StatusOr<const seq::SequenceDatabase*> Engine::ResidentDatabase() {
+  if (db_ != nullptr) {
+    return static_cast<const seq::SequenceDatabase*>(db_.get());
+  }
+  // Materialize from the packed symbols files — all volumes, in global
+  // order, so the rebuilt concatenation (with its regenerated per-sequence
+  // terminators) is exactly what a monolithic build would hold.
+  auto state = snapshot();
+  OASIS_ASSIGN_OR_RETURN(
+      std::vector<seq::Sequence> sequences,
+      MaterializeSequences(*state, 0, state->volumes.size(), *alphabet_));
   OASIS_ASSIGN_OR_RETURN(
       seq::SequenceDatabase db,
       seq::SequenceDatabase::Build(*alphabet_, std::move(sequences)));
   db_ = std::make_unique<seq::SequenceDatabase>(std::move(db));
   return static_cast<const seq::SequenceDatabase*>(db_.get());
+}
+
+// --- Append / Compact -------------------------------------------------------
+
+util::Status Engine::Append(const std::string& fasta_path) {
+  OASIS_ASSIGN_OR_RETURN(std::vector<seq::Sequence> records,
+                         seq::ReadFastaFile(fasta_path, *alphabet_));
+  return AppendSequences(std::move(records));
+}
+
+util::Status Engine::AppendSequences(std::vector<seq::Sequence> sequences) {
+  if (sequences.empty()) {
+    return util::Status::InvalidArgument("Append needs at least one sequence");
+  }
+  WaitForCompaction();
+  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  auto state = snapshot();
+
+  // Reject id collisions — against the existing catalog and within the
+  // batch — before anything touches disk.
+  std::unordered_set<std::string> seen;
+  seen.reserve(state->catalog.size() + sequences.size());
+  for (const CatalogEntry& entry : state->catalog.entries()) {
+    seen.insert(entry.id);
+  }
+  for (const seq::Sequence& sequence : sequences) {
+    if (!seen.insert(sequence.id()).second) {
+      return util::Status::InvalidArgument(
+          "appending sequence id '" + sequence.id() +
+          "' would collide with an existing sequence");
+    }
+  }
+
+  VolumeSetManifest manifest = state->manifest;
+  const std::string name = manifest.NextVolumeName();
+  OASIS_ASSIGN_OR_RETURN(
+      seq::SequenceDatabase db,
+      seq::SequenceDatabase::Build(*alphabet_, std::move(sequences)));
+  OASIS_ASSIGN_OR_RETURN(
+      VolumeInfo info,
+      BuildVolume(db, VolumeSetManifest::VolumeDir(index_dir_, name), name,
+                  options_));
+  manifest.AddVolume(std::move(info));
+  manifest.BumpGeneration();
+  // Atomic publish: a crash between here and the swap below leaves a fully
+  // valid on-disk set (the new manifest names only complete volumes).
+  OASIS_RETURN_NOT_OK(manifest.Save(index_dir_));
+
+  // The live pool cannot grow segments mid-flight (registration is
+  // setup-time-only), so the successor state re-opens *everything* —
+  // fresh pool, all volumes — and swaps in atomically. In-flight cursors
+  // hold the old state alive until they drain.
+  OASIS_ASSIGN_OR_RETURN(std::shared_ptr<VolumeSetState> next,
+                         OpenVolumeSet(index_dir_, options_, std::move(manifest)));
+  OASIS_RETURN_NOT_OK(AttachSearches(next.get()));
+  SwapState(std::move(next));
+  db_.reset();  // resident database is stale; re-materialized on demand
+  MaybeScheduleCompaction();
+  return util::Status::OK();
+}
+
+util::Status Engine::Compact() {
+  WaitForCompaction();
+  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  return CompactLocked();
+}
+
+util::Status Engine::CompactLocked() {
+  auto state = snapshot();
+  const std::vector<VolumeInfo>& volumes = state->manifest.volumes();
+  if (volumes.size() < 2) return util::Status::OK();
+
+  // A volume is "small" when its payload is below the target size (every
+  // volume is, when no target is configured); only *adjacent* runs of at
+  // least two small volumes merge, preserving the global sequence order
+  // without rewriting untouched neighbours.
+  auto is_small = [&](const VolumeInfo& volume) {
+    return options_.volume_size_bytes == 0 ||
+           volume.num_residues < options_.volume_size_bytes;
+  };
+  struct Run {
+    size_t first;
+    size_t count;
+  };
+  std::vector<Run> runs;
+  for (size_t i = 0; i < volumes.size();) {
+    if (!is_small(volumes[i])) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < volumes.size() && is_small(volumes[j])) ++j;
+    if (j - i >= 2) runs.push_back({i, j - i});
+    i = j;
+  }
+  if (runs.empty()) return util::Status::OK();
+
+  VolumeSetManifest manifest = state->manifest;
+  std::vector<VolumeInfo> rebuilt;
+  std::vector<std::string> replaced;
+  size_t next_run = 0;
+  for (size_t i = 0; i < volumes.size();) {
+    if (next_run < runs.size() && runs[next_run].first == i) {
+      const Run run = runs[next_run++];
+      OASIS_ASSIGN_OR_RETURN(
+          std::vector<seq::Sequence> sequences,
+          MaterializeSequences(*state, run.first, run.count, *alphabet_));
+      std::vector<std::vector<seq::Sequence>> slices =
+          SliceByBytes(std::move(sequences), options_.volume_size_bytes);
+      for (std::vector<seq::Sequence>& slice : slices) {
+        const std::string name = manifest.NextVolumeName();
+        OASIS_ASSIGN_OR_RETURN(
+            seq::SequenceDatabase db,
+            seq::SequenceDatabase::Build(*alphabet_, std::move(slice)));
+        OASIS_ASSIGN_OR_RETURN(
+            VolumeInfo info,
+            BuildVolume(db, VolumeSetManifest::VolumeDir(index_dir_, name),
+                        name, options_));
+        rebuilt.push_back(std::move(info));
+      }
+      for (size_t k = run.first; k < run.first + run.count; ++k) {
+        replaced.push_back(volumes[k].name);
+      }
+      i += run.count;
+    } else {
+      rebuilt.push_back(volumes[i]);
+      ++i;
+    }
+  }
+  manifest.ReplaceVolumes(std::move(rebuilt));
+  manifest.BumpGeneration();
+  OASIS_RETURN_NOT_OK(manifest.Save(index_dir_));
+
+  OASIS_ASSIGN_OR_RETURN(std::shared_ptr<VolumeSetState> next,
+                         OpenVolumeSet(index_dir_, options_, std::move(manifest)));
+  OASIS_RETURN_NOT_OK(AttachSearches(next.get()));
+  SwapState(std::move(next));
+  db_.reset();
+
+  // Delete the replaced volumes' files last: cursors on the old snapshot
+  // keep their (now-unlinked) files open and finish unharmed — POSIX
+  // reclaims the bytes when the last descriptor drops.
+  for (const std::string& name : replaced) {
+    std::error_code ec;
+    if (name == VolumeSetManifest::kLegacyVolumeName) {
+      // The legacy root volume's files live next to the manifest; remove
+      // them individually rather than the directory.
+      for (const char* file :
+           {suffix::PackedTreeFiles::kSymbols, suffix::PackedTreeFiles::kInternal,
+            suffix::PackedTreeFiles::kLeaves, suffix::PackedTreeFiles::kMeta,
+            SequenceCatalog::kFileName}) {
+        std::filesystem::remove(index_dir_ + "/" + file, ec);
+      }
+    } else {
+      std::filesystem::remove_all(
+          VolumeSetManifest::VolumeDir(index_dir_, name), ec);
+    }
+  }
+  return util::Status::OK();
+}
+
+void Engine::MaybeScheduleCompaction() {
+  if (options_.compact_trigger_volumes == 0) return;
+  if (snapshot()->volumes.size() <= options_.compact_trigger_volumes) return;
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (compact_thread_.joinable()) return;  // one in flight is enough
+  // The thread blocks on maintenance_mu_ until the scheduling mutation
+  // releases it, then compacts in the background; mutators and the
+  // destructor join it via WaitForCompaction() before proceeding.
+  compact_thread_ = std::thread([this]() {
+    std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+    const util::Status status = CompactLocked();
+    if (!status.ok()) {
+      // Background compaction is an optimization: a failure leaves the
+      // (fully valid) uncompacted set serving and is worth a log line,
+      // not a crash.
+      OASIS_LOG(Warning) << "background compaction failed: "
+                         << status.ToString();
+    }
+  });
+}
+
+void Engine::WaitForCompaction() {
+  std::thread thread;
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    thread = std::move(compact_thread_);
+  }
+  if (thread.joinable()) thread.join();
 }
 
 }  // namespace api

@@ -5,11 +5,25 @@
 // wired together by every consumer separately. The Engine owns that whole
 // index lifecycle:
 //
-//   auto engine = oasis::Engine::Build("db.fasta", "index_dir", options);
+//   auto engine = oasis::Engine::Create("db.fasta", "index_dir", options);
 //   // ...or, later / in another process, without the FASTA:
 //   auto engine = oasis::Engine::Open("index_dir", options);
+//   // ...and the index can grow while it serves:
+//   (*engine)->Append("more.fasta");   // new sequences, no rebuild
 //
-// and exposes the paper's headline property — results streaming out in
+// An index directory is a *volume set* (api/volume_set.h): a manifest plus
+// N self-contained volumes, each its own packed tree + catalog. Create()
+// slices the database into volumes (EngineOptions::volume_size_bytes) and
+// builds them in parallel (build_threads), each within the partitioned
+// builder's memory budget; Append() adds new sequences as a fresh volume
+// and swaps the manifest atomically — searches running meanwhile keep
+// their snapshot, new searches see the grown set, and the engine's epoch
+// bumps so anything keyed by it (the daemon's result cache) invalidates.
+// Compact() merges adjacent small volumes back into full-size ones (also
+// run in the background after appends pile volumes up). A legacy
+// single-directory index opens unchanged as a one-volume set.
+//
+// Searches expose the paper's headline property — results streaming out in
 // provably non-increasing score order — as a first-class *pull* cursor:
 //
 //   auto cursor = (*engine)->Search(
@@ -22,13 +36,16 @@
 //   }
 //
 // The consumer sets the pace: each Next() advances the A* search only far
-// enough to prove the next result, so stopping after the top few matches
-// costs a few node expansions, not a database scan. SearchBatch() fans N
-// requests across a thread pool; every worker reads the engine's one
-// packed tree through its one sharded buffer pool, so cache warmth is
-// shared across all of them and pool_bytes is a single global knob.
-// BlastSearch() runs the BLAST-style baseline behind the same
-// request/cursor interface so OASIS-vs-BLAST comparisons share one API.
+// enough to prove the next result. A multi-volume search fans out one
+// cursor per volume and k-way-merges them (core/merge.h) — each volume's
+// stream is non-increasing, so the merged stream is too, and E-value
+// selectivity is resolved against the *total* set length (Karlin
+// statistics compose over database length), making an N-volume search
+// return exactly what the monolithic build would. SearchBatch() fans N
+// requests across a thread pool over one shared buffer pool; all volumes
+// of a pooled set read through that one pool under volume-qualified
+// segment names. BlastSearch() runs the BLAST-style baseline behind the
+// same request/cursor interface.
 
 #pragma once
 
@@ -36,14 +53,18 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "align/simd/dispatch.h"
 #include "api/catalog.h"
+#include "api/volume_set.h"
 #include "blast/blast.h"
+#include "core/merge.h"
 #include "core/oasis.h"
 #include "score/karlin.h"
 #include "score/substitution_matrix.h"
@@ -66,7 +87,7 @@ enum class IoMode {
   /// (EngineOptions::pool_bytes) and per-segment hit statistics — the
   /// disk-resident configuration the paper measures (Figures 7/8).
   kPooled,
-  /// Always mmap the three packed files: zero-copy block access with no
+  /// Always mmap the packed files: zero-copy block access with no
   /// locking and no pool bookkeeping, at the cost of statistics and of
   /// trusting the OS page cache to hold the index.
   kMmap,
@@ -77,21 +98,26 @@ enum class IoMode {
 /// window, and small enough that a coalesced run read is one preadv.
 inline constexpr uint32_t kMaxReadaheadBlocks = 1024;
 
+/// Largest accepted EngineOptions::build_threads.
+inline constexpr uint32_t kMaxBuildThreads = 4096;
+
 /// Construction-time knobs of an Engine.
 struct EngineOptions {
   /// Buffer pool capacity for this engine's searches — one global knob
-  /// shared by every concurrent search (including SearchBatch workers).
-  /// Must be positive unless io_mode is explicitly kMmap (no pool exists
-  /// then and the field is ignored; the factories reject 0 otherwise,
-  /// kAuto included since it may resolve to the pooled path).
+  /// shared by every concurrent search (including SearchBatch workers)
+  /// across every volume of the set. Must be positive unless io_mode is
+  /// explicitly kMmap (no pool exists then and the field is ignored; the
+  /// factories reject 0 otherwise, kAuto included since it may resolve to
+  /// the pooled path).
   uint64_t pool_bytes = 64ull << 20;
 
   /// I/O path selection; see IoMode.
   IoMode io_mode = IoMode::kAuto;
 
-  /// kAuto picks mmap when the packed index is at most this many bytes
-  /// (0 = never auto-map). The default trusts indexes up to 1 GiB to sit
-  /// comfortably in RAM alongside the rest of the process.
+  /// kAuto picks mmap when the packed index — all volumes together — is
+  /// at most this many bytes (0 = never auto-map). The default trusts
+  /// indexes up to 1 GiB to sit comfortably in RAM alongside the rest of
+  /// the process.
   uint64_t mmap_budget_bytes = 1ull << 30;
 
   /// Speculative sibling-run readahead window for pooled engines: a pool
@@ -147,9 +173,32 @@ struct EngineOptions {
   /// mmap engines.
   bool fetch_memo = true;
 
-  /// Block size for *newly built* indexes (Build / BuildFromDatabase).
-  /// Open() always adopts the block size recorded in the index metadata.
+  /// Block size for *newly built* indexes (Create / Build). Open() always
+  /// adopts the block size recorded in the index metadata; every volume
+  /// of one set shares it (the shared pool requires that).
   uint32_t block_size = storage::kDefaultBlockSize;
+
+  /// Target volume payload for Create(): sequences are sliced, in order,
+  /// into volumes of roughly this many residue bytes each (a sequence is
+  /// never split across volumes). 0 — the default — builds everything
+  /// into one volume using the *legacy single-directory layout* (packed
+  /// files at the index root, no manifest), byte-compatible with every
+  /// pre-volume reader; any positive value produces a manifest + vol_NNNN
+  /// subdirectories, even when only one volume results. Compact() reuses
+  /// this as its merge target size.
+  uint64_t volume_size_bytes = 0;
+
+  /// Worker threads for Create()'s parallel volume builds (one volume per
+  /// worker; each build runs within the partitioned builder's per-pass
+  /// memory budget). 0 — the default — uses the hardware concurrency,
+  /// clamped to the volume count.
+  uint32_t build_threads = 0;
+
+  /// Append() schedules a background Compact() once the set holds more
+  /// than this many volumes, merging adjacent small volumes back into
+  /// full-size ones. 0 disables automatic compaction (explicit Compact()
+  /// always works).
+  uint32_t compact_trigger_volumes = 8;
 
   /// SIMD dispatch for the alignment kernels (striped Smith-Waterman and
   /// the BLAST extension stage). kAuto picks the best level the build +
@@ -163,8 +212,9 @@ struct EngineOptions {
   /// queries). The matrix must outlive the engine.
   const score::SubstitutionMatrix* matrix = nullptr;
 
-  /// Alphabet used by Build() to parse the FASTA file. Ignored by Open()
-  /// (recorded in the index) and BuildFromDatabase() (taken from the db).
+  /// Alphabet used by Create()/Build() to parse the FASTA file. Ignored
+  /// by Open() (recorded in the index) and CreateFromDatabase() (taken
+  /// from the db).
   seq::AlphabetKind alphabet = seq::AlphabetKind::kProtein;
 };
 
@@ -188,13 +238,15 @@ class SearchRequest {
     return *this;
   }
   /// E-value cutoff, translated to minScore per paper Eq. 3 (the default
-  /// selectivity knob; ignored when MinScore() was set).
+  /// selectivity knob; ignored when MinScore() was set). Resolved against
+  /// the volume set's *total* length, so selectivity is a property of the
+  /// whole database even when MaxVolumes/VolumeFilter scope the search.
   SearchRequest& EValue(double evalue) {
     evalue_ = evalue;
     return *this;
   }
   /// Stop after the top `k` results (0 = unlimited). The online ordering
-  /// guarantees these are the true top-k.
+  /// guarantees these are the true top-k (of the searched volumes).
   SearchRequest& TopK(uint64_t k) {
     top_k_ = k;
     return *this;
@@ -215,6 +267,23 @@ class SearchRequest {
   /// (paper §4.3). Requires the engine to have Karlin statistics.
   SearchRequest& OrderByEValue(bool on = true) {
     order_by_evalue_ = on;
+    return *this;
+  }
+  /// Search only the first `n` volumes of the set, in global order (0 —
+  /// the default — searches them all). Composes with VolumeFilter: the
+  /// filter selects, then the cap truncates. A partial search is a
+  /// deliberate scope, not an approximation — results are exact for the
+  /// searched volumes.
+  SearchRequest& MaxVolumes(uint32_t n) {
+    max_volumes_ = n;
+    return *this;
+  }
+  /// Search only the named volumes (manifest names, e.g. "vol_0002"; "."
+  /// is the legacy root volume). Empty — the default — means all volumes;
+  /// naming a volume the set does not hold fails the search with
+  /// InvalidArgument rather than silently searching less.
+  SearchRequest& VolumeFilter(std::vector<std::string> names) {
+    volume_filter_ = std::move(names);
     return *this;
   }
   /// Abort the search once `deadline` passes. Checked at every cursor
@@ -249,6 +318,11 @@ class SearchRequest {
   bool alignments() const { return alignments_; }         ///< reconstruct alignments
   bool all_alignments() const { return all_alignments_; }  ///< all locations per sequence
   bool order_by_evalue() const { return order_by_evalue_; }  ///< E-value stream order
+  uint32_t max_volumes() const { return max_volumes_; }   ///< 0 = all volumes
+  /// Volume-name filter; empty = all volumes.
+  const std::vector<std::string>& volume_filter() const {
+    return volume_filter_;
+  }
   /// Abort deadline; std::nullopt when none was set.
   const std::optional<std::chrono::steady_clock::time_point>& deadline() const {
     return deadline_;
@@ -266,15 +340,20 @@ class SearchRequest {
   bool alignments_ = false;
   bool all_alignments_ = false;
   bool order_by_evalue_ = false;
+  uint32_t max_volumes_ = 0;
+  std::vector<std::string> volume_filter_;
   std::optional<std::chrono::steady_clock::time_point> deadline_;
   const std::atomic<bool>* cancel_flag_ = nullptr;
   std::function<util::Status()> poll_;
 };
 
 /// The pull stream of one search. Streaming searches (Engine::Search) wrap
-/// a live core::OasisCursor — each Next() resumes the A* loop; adapter
-/// searches (Engine::BlastSearch) replay a precomputed result list behind
-/// the same interface. Move-only.
+/// a live core::OasisCursor (one volume) or core::MergedOasisCursor (the
+/// k-way fan-out) — each Next() resumes the A* machinery; adapter searches
+/// (Engine::BlastSearch) replay a precomputed result list behind the same
+/// interface. A cursor pins the volume-set snapshot it was created from,
+/// so it keeps streaming correct results even while Append()/Compact()
+/// swap the live set underneath it. Move-only.
 class ResultCursor {
  public:
   ResultCursor(ResultCursor&&) noexcept = default;
@@ -297,21 +376,27 @@ class ResultCursor {
   /// True once the stream is exhausted or the cursor was closed.
   bool done() const;
 
-  /// Search statistics so far (zero-valued for adapter streams).
+  /// Search statistics so far (summed across volumes for a fan-out
+  /// stream; zero-valued for adapter streams).
   const core::OasisStats& stats() const { return stats_; }
 
  private:
   friend class Engine;
   explicit ResultCursor(core::OasisCursor stream);
+  explicit ResultCursor(core::MergedOasisCursor merged);
   explicit ResultCursor(std::vector<core::OasisResult> replay);
 
   std::optional<core::OasisCursor> stream_;
+  std::optional<core::MergedOasisCursor> merged_;
   std::vector<core::OasisResult> replay_;
   size_t replay_pos_ = 0;
   core::OasisStats stats_;
   bool closed_ = false;
   /// Non-OK once the stream aborted; re-reported by every later Next().
   util::Status abort_status_ = util::Status::OK();
+  /// Keeps the volume-set snapshot (trees, pool, readahead) alive for as
+  /// long as this cursor may touch it.
+  std::shared_ptr<const void> retain_;
 };
 
 /// One query's outcome within a SearchBatch.
@@ -327,52 +412,118 @@ struct BatchOptions {
   uint32_t threads = 4;
 };
 
-/// The engine facade. Owns database metadata + packed suffix tree +
-/// storage layer + scoring for one index directory. All search entry
-/// points are const and safe to call from any number of threads
-/// concurrently: they share the engine's one packed tree, read through
-/// one of the two storage paths — the sharded buffer pool, or mmapped
-/// index files when io_mode resolves to kMmap (then uses_pool() is false
-/// and pool() must not be called) — and SearchBatch is just a convenience
-/// fan-out over the same machinery. The non-const members (BlastSearch
-/// via ResidentDatabase, pool() mutation) are single-threaded.
+/// The engine facade. Owns the volume set (manifest + per-volume packed
+/// trees + catalogs), the storage layer and the scoring system of one
+/// index directory.
+///
+/// Concurrency contract: all search entry points are const and safe from
+/// any number of threads; they snapshot the immutable volume-set state
+/// and share one storage layer. The lifecycle mutators — Append() and
+/// Compact() — may run concurrently with searches (that is the point:
+/// live growth under traffic); they build the new volume on the side,
+/// publish the manifest atomically, swap the snapshot, and bump epoch().
+/// In-flight cursors keep their snapshot and finish on the old set.
+/// Mutators serialize among themselves. The remaining non-const members
+/// (BlastSearch / ResidentDatabase, pool() mutation) are single-threaded
+/// with respect to each other and to the mutators.
 class Engine {
  public:
-  /// Builds an index: parse `fasta_path` under options.alphabet, build the
-  /// generalized suffix tree, pack it into `index_dir` (created if
-  /// missing), write the sequence catalog, and open the result. The source
-  /// database stays resident (database() != nullptr).
-  static util::StatusOr<std::unique_ptr<Engine>> Build(
+  // --- Lifecycle ------------------------------------------------------------
+
+  /// Builds an index from `fasta_path` (parsed under options.alphabet)
+  /// into `index_dir` (created if missing) and opens it. With
+  /// options.volume_size_bytes > 0 the database is sliced into volumes
+  /// built in parallel (options.build_threads) and written as a volume
+  /// set; with 0 (the default) the index is one volume in the legacy
+  /// single-directory layout. The source database stays resident
+  /// (database() != nullptr).
+  static util::StatusOr<std::unique_ptr<Engine>> Create(
       const std::string& fasta_path, const std::string& index_dir,
       const EngineOptions& options = EngineOptions());
 
-  /// Build() for an already-constructed database (workload generators,
+  /// Create() for an already-constructed database (workload generators,
   /// tests).
-  static util::StatusOr<std::unique_ptr<Engine>> BuildFromDatabase(
+  static util::StatusOr<std::unique_ptr<Engine>> CreateFromDatabase(
       seq::SequenceDatabase db, const std::string& index_dir,
       const EngineOptions& options = EngineOptions());
 
-  /// Opens an existing index directory; no FASTA needed. Labels come from
-  /// the persisted catalog (synthesized as "s<i>" for pre-catalog indexes).
+  /// Opens an existing index directory; no FASTA needed. Accepts both
+  /// layouts: a volume set (manifest + vol_NNNN subdirectories) and a
+  /// legacy single directory, which reads as a one-volume set. Labels
+  /// come from the persisted catalogs (synthesized as "s<i>" for
+  /// pre-catalog indexes).
   static util::StatusOr<std::unique_ptr<Engine>> Open(
       const std::string& index_dir,
       const EngineOptions& options = EngineOptions());
+
+  /// DEPRECATED: use Create(). Thin wrapper kept for source
+  /// compatibility; identical behaviour (with the default
+  /// volume_size_bytes = 0 it produces the legacy one-volume layout,
+  /// exactly as it always did). See src/api/README.md for the migration
+  /// note.
+  static util::StatusOr<std::unique_ptr<Engine>> Build(
+      const std::string& fasta_path, const std::string& index_dir,
+      const EngineOptions& options = EngineOptions()) {
+    return Create(fasta_path, index_dir, options);
+  }
+
+  /// DEPRECATED: use CreateFromDatabase(). Thin wrapper, identical
+  /// behaviour; see src/api/README.md.
+  static util::StatusOr<std::unique_ptr<Engine>> BuildFromDatabase(
+      seq::SequenceDatabase db, const std::string& index_dir,
+      const EngineOptions& options = EngineOptions()) {
+    return CreateFromDatabase(std::move(db), index_dir, options);
+  }
+
+  /// Joins the background compaction thread (if any) before tearing the
+  /// engine down.
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Appends `fasta_path`'s sequences (parsed under the index alphabet)
+  /// as a fresh volume at the end of the set: no rebuild of existing
+  /// volumes, no downtime — searches running concurrently finish on
+  /// their snapshot, searches started after see the grown set, and
+  /// epoch() bumps so epoch-keyed caches invalidate. Appending to a
+  /// legacy single-directory index upgrades it in place to a volume set
+  /// (the original index becomes volume "."). Duplicate sequence ids
+  /// against the existing catalog are rejected before anything is
+  /// written. May schedule a background compaction (see
+  /// EngineOptions::compact_trigger_volumes).
+  util::Status Append(const std::string& fasta_path);
+
+  /// Append() for already-parsed sequences.
+  util::Status AppendSequences(std::vector<seq::Sequence> sequences);
+
+  /// Merges adjacent runs of small volumes (payload below
+  /// EngineOptions::volume_size_bytes; every volume counts as small when
+  /// that is 0) into full-size volumes, preserving global sequence
+  /// order, then publishes the new manifest atomically, swaps the
+  /// snapshot, bumps epoch() and deletes the replaced volumes' files.
+  /// Searches holding the old snapshot keep streaming from the deleted
+  /// (still-open) files. No-op when nothing qualifies.
+  util::Status Compact();
+
+  /// Blocks until a scheduled background compaction (if any) has
+  /// finished. Tests and orderly shutdowns use this; the destructor
+  /// calls it implicitly.
+  void WaitForCompaction();
 
   // --- Queries --------------------------------------------------------------
 
   /// Starts an online OASIS search; results stream through the returned
   /// cursor in non-increasing score order (or E-value order when
-  /// requested).
+  /// requested), fanned out across the set's volumes and k-way merged.
   util::StatusOr<ResultCursor> Search(const SearchRequest& request) const;
 
   /// Convenience: drains Search() into a vector.
   util::StatusOr<BatchResult> SearchAll(const SearchRequest& request) const;
 
-  /// Fans `requests` across a thread pool. Every worker searches the
-  /// engine's shared packed tree through the shared sharded buffer pool —
-  /// OasisSearch is stateless/const and the storage layer is concurrent,
-  /// so the workers share cache warmth and nothing mutable beyond the pool
-  /// internals (which synchronize per shard). Results arrive in request
+  /// Fans `requests` across a thread pool. Every worker searches the same
+  /// volume-set snapshot through the shared sharded buffer pool — the
+  /// storage layer is concurrent, so the workers share cache warmth and
+  /// write only to distinct output slots. Results arrive in request
   /// order, identical to running each request sequentially.
   util::StatusOr<std::vector<BatchResult>> SearchBatch(
       std::span<const SearchRequest> requests,
@@ -382,13 +533,14 @@ class Engine {
   /// behind the same request/cursor interface, for OASIS-vs-BLAST
   /// comparisons. Not online: the scan completes up front and the cursor
   /// replays its hits in descending score order. Requires the resident
-  /// database (materialized from the index on first use).
+  /// database (materialized from the index — all volumes, in global
+  /// order — on first use).
   util::StatusOr<ResultCursor> BlastSearch(
       const SearchRequest& request,
       const blast::BlastOptions& blast_options = blast::BlastOptions());
 
   /// Resolves the effective minScore of `request` (explicit MinScore, or
-  /// E-value translated via paper Eq. 3).
+  /// E-value translated via paper Eq. 3 against the total set length).
   util::StatusOr<score::ScoreT> ResolveMinScore(
       const SearchRequest& request) const;
 
@@ -399,9 +551,11 @@ class Engine {
 
   // --- Components -----------------------------------------------------------
 
-  /// The in-memory sequence database. Resident after Build /
-  /// BuildFromDatabase; for Open()ed engines the first call materializes it
-  /// from the packed symbols file + catalog.
+  /// The in-memory sequence database (all volumes concatenated in global
+  /// order). Resident after Create / CreateFromDatabase; for Open()ed
+  /// engines the first call materializes it from the packed symbols
+  /// files + catalogs. Invalidated (and re-materialized on demand) by
+  /// Append/Compact.
   util::StatusOr<const seq::SequenceDatabase*> ResidentDatabase();
 
   /// Resident database if already materialized, else nullptr (non-forcing).
@@ -410,32 +564,46 @@ class Engine {
   const std::string& index_dir() const { return index_dir_; }  ///< opened index path
   const seq::Alphabet& alphabet() const { return *alphabet_; }  ///< index alphabet
   const score::SubstitutionMatrix& matrix() const { return *matrix_; }  ///< scoring matrix
-  const suffix::PackedSuffixTree& tree() const { return *tree_; }  ///< the packed index
-  const SequenceCatalog& catalog() const { return catalog_; }  ///< id/description labels
+
+  /// The packed index of a single-volume engine (the common case for
+  /// benches and tests that measure one tree directly). CHECK-fails on a
+  /// multi-volume set — per-volume trees are an implementation detail
+  /// there; search through the engine instead.
+  const suffix::PackedSuffixTree& tree() const;
+
+  /// The merged id/description labels of the current snapshot, in global
+  /// sequence-id order. The reference is invalidated by Append/Compact;
+  /// concurrent readers (the daemon) should use SequenceName() instead.
+  const SequenceCatalog& catalog() const;
+
+  /// Sequence `id`'s label, resolved against the current snapshot —
+  /// safe to call concurrently with Append/Compact.
+  std::string SequenceName(uint32_t sequence_id) const;
+
+  /// Number of volumes in the current snapshot.
+  size_t num_volumes() const;
+  /// Manifest names of the current snapshot's volumes, in global order.
+  std::vector<std::string> volume_names() const;
+  /// The manifest generation of the current snapshot (1 for a fresh
+  /// build; bumped by every Append/Compact).
+  uint64_t generation() const;
 
   /// The I/O path this engine resolved to (never kAuto).
-  IoMode io_mode() const { return io_mode_; }
+  IoMode io_mode() const;
   /// The requested SIMD mode (as configured, possibly kAuto).
   align::simd::SimdMode simd_mode() const { return simd_mode_; }
   /// The SIMD level the alignment kernels run at (resolved at open).
   align::simd::SimdLevel simd_level() const { return simd_level_; }
   /// True when index blocks go through a buffer pool (io_mode kPooled);
   /// mmap engines have no pool and keep no access statistics.
-  bool uses_pool() const { return pool_ != nullptr; }
-  /// The buffer pool. Precondition: uses_pool().
-  storage::BufferPool& pool() {
-    OASIS_CHECK(pool_ != nullptr) << "mmap engine has no buffer pool";
-    return *pool_;
-  }
-  /// Const overload of pool(). Precondition: uses_pool().
-  const storage::BufferPool& pool() const {
-    OASIS_CHECK(pool_ != nullptr) << "mmap engine has no buffer pool";
-    return *pool_;
-  }
+  bool uses_pool() const;
+  /// The buffer pool shared by every volume of the current snapshot.
+  /// Precondition: uses_pool().
+  storage::BufferPool& pool() const;
 
   /// True when this engine runs speculative sibling-run readahead (pooled
   /// path with EngineOptions::readahead_blocks > 0).
-  bool uses_readahead() const { return readahead_ != nullptr; }
+  bool uses_readahead() const;
   /// The configured readahead window in blocks (0 when disabled or mmap;
   /// the adaptive controller's initial window when adaptive).
   uint32_t readahead_blocks() const;
@@ -444,21 +612,22 @@ class Engine {
   bool readahead_adaptive() const;
   /// The readahead unit, for live-window displays and tests.
   /// Precondition: uses_readahead().
-  const storage::Readahead& readahead() const {
-    OASIS_CHECK(readahead_ != nullptr) << "engine runs no readahead";
-    return *readahead_;
-  }
+  const storage::Readahead& readahead() const;
   /// Prefetch outcome counters (issued / used / wasted). Precondition:
   /// uses_readahead() — an mmap engine has no pool to speculate into, so
   /// callers must report these as unavailable rather than zero.
   storage::ReadaheadStats readahead_stats() const;
 
   /// Captures the storage-layer statistics (pool geometry, per-segment
-  /// counters, readahead outcomes, adaptive windows) as the plain-data
-  /// snapshot both stats surfaces render — oasis_cli --stats via
-  /// util::StatsText, the daemon's /stats endpoint via util::StatsJson.
-  /// For an mmap engine the snapshot's `pooled` flag is false and the
-  /// counter fields are meaningless (the renderers emit the n/a notices).
+  /// counters — volume-qualified on a multi-volume set — readahead
+  /// outcomes, adaptive windows) plus the per-volume rows (sequence /
+  /// residue counts and the partitioned-build statistics recorded at
+  /// build time) as the plain-data snapshot both stats surfaces render —
+  /// oasis_cli --stats via util::StatsText, the daemon's /stats endpoint
+  /// via util::StatsJson. For an mmap engine the snapshot's `pooled`
+  /// flag is false and the pool counter fields are meaningless (the
+  /// renderers emit the n/a notices); the volume rows are filled either
+  /// way.
   util::EngineStatsSnapshot CollectStats() const;
 
   /// Karlin-Altschul statistics of the scoring system (needed for E-value
@@ -467,21 +636,48 @@ class Engine {
   bool has_karlin() const { return has_karlin_; }
   const score::KarlinParams& karlin() const { return karlin_; }  ///< lambda, K, H
 
-  /// Process-unique identifier of this engine instance, assigned at
-  /// open/build time from a monotone counter. Two Engine objects never
-  /// share an epoch, so anything keyed by it — the daemon's result cache —
-  /// is implicitly invalidated when an index is reopened (rebuilt, swapped
-  /// on disk, or just closed and opened again).
-  uint64_t epoch() const { return epoch_; }
+  /// Process-unique identifier of this engine's *current index state*,
+  /// assigned from a monotone counter at open time and re-assigned by
+  /// every Append/Compact. Two Engine objects never share an epoch, and
+  /// one engine never reuses an epoch across mutations, so anything
+  /// keyed by it — the daemon's result cache — is implicitly invalidated
+  /// when an index is reopened or grows.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
-  /// Number of database sequences in the index.
-  uint64_t num_sequences() const { return tree_->num_sequences(); }
-  /// Number of database residues (terminators excluded).
-  uint64_t num_residues() const {
-    return tree_->total_length() - tree_->num_sequences();
-  }
+  /// Number of database sequences across all volumes.
+  uint64_t num_sequences() const;
+  /// Number of database residues (terminators excluded) across all
+  /// volumes.
+  uint64_t num_residues() const;
 
  private:
+  /// One opened volume: its packed tree, searcher and the offsets lifting
+  /// its local ids/positions into set-wide coordinates.
+  struct VolumeHandle {
+    std::string name;
+    std::unique_ptr<suffix::PackedSuffixTree> tree;
+    std::unique_ptr<core::OasisSearch> search;
+    uint32_t id_base = 0;
+    uint64_t pos_base = 0;
+    suffix::PartitionedBuildStats build_stats;
+  };
+
+  /// The immutable state one manifest generation opens to. Searches
+  /// snapshot it (shared_ptr) and cursors retain it; Append/Compact build
+  /// a successor and swap the pointer. `readahead` is declared last so it
+  /// is destroyed first — its worker threads touch the pool's frames and
+  /// the trees' block files until the moment they stop.
+  struct VolumeSetState {
+    VolumeSetManifest manifest;
+    IoMode io_mode = IoMode::kPooled;
+    std::unique_ptr<storage::BufferPool> pool;  ///< null for mmap
+    std::vector<VolumeHandle> volumes;
+    SequenceCatalog catalog;  ///< merged, global id order
+    uint64_t total_length = 0;     ///< residues + terminators, all volumes
+    uint64_t total_sequences = 0;  ///< sequences, all volumes
+    std::unique_ptr<storage::Readahead> readahead;  ///< keep last
+  };
+
   Engine() = default;
 
   /// Rejects invalid construction knobs (pool_bytes == 0) with a clear
@@ -492,32 +688,84 @@ class Engine {
   /// documented auto default (max(64, readahead_blocks)) when 0.
   static uint32_t ResolveReadaheadMax(const EngineOptions& options);
 
-  /// Shared tail of the factory functions: open the packed tree, pick the
+  /// Builds one volume's packed tree + catalog into `volume_dir` with the
+  /// partitioned builder and returns its manifest entry.
+  static util::StatusOr<VolumeInfo> BuildVolume(
+      const seq::SequenceDatabase& db, const std::string& volume_dir,
+      const std::string& volume_name, const EngineOptions& options);
+
+  /// Slices `sequences` into volume-sized databases and builds them in
+  /// parallel, appending the new entries to `manifest`.
+  static util::Status BuildVolumesParallel(
+      const seq::Alphabet& alphabet, std::vector<seq::Sequence> sequences,
+      const std::string& index_dir, const EngineOptions& options,
+      VolumeSetManifest* manifest);
+
+  /// Opens every volume `manifest` lists under the resolved I/O mode and
+  /// assembles the state — everything except the per-volume searchers,
+  /// which AttachSearches() adds once the matrix is resolved (the state is
+  /// immutable from the moment it is published, not before).
+  static util::StatusOr<std::shared_ptr<VolumeSetState>> OpenVolumeSet(
+      const std::string& index_dir, const EngineOptions& options,
+      VolumeSetManifest manifest);
+
+  /// Creates each volume's core::OasisSearch against the resolved matrix
+  /// (validating matrix/alphabet agreement per volume).
+  util::Status AttachSearches(VolumeSetState* state) const;
+
+  /// Shared tail of the factory functions: open the volume set, pick the
   /// matrix, compute Karlin statistics.
   static util::StatusOr<std::unique_ptr<Engine>> OpenInternal(
       const std::string& index_dir, const EngineOptions& options,
       std::unique_ptr<seq::SequenceDatabase> resident_db);
 
+  /// The current immutable state (thread-safe shared_ptr copy).
+  std::shared_ptr<const VolumeSetState> snapshot() const;
+  /// Publishes `next` as the current state and bumps the epoch.
+  void SwapState(std::shared_ptr<const VolumeSetState> next);
+
+  /// Search/resolve against one pinned snapshot (the fan-out core).
+  util::StatusOr<ResultCursor> SearchOnState(
+      std::shared_ptr<const VolumeSetState> state,
+      const SearchRequest& request) const;
+  util::StatusOr<core::OasisOptions> ResolveOptionsOnState(
+      const VolumeSetState& state, const SearchRequest& request) const;
+  util::StatusOr<score::ScoreT> ResolveMinScoreOnState(
+      const VolumeSetState& state, const SearchRequest& request) const;
+  /// Volume indices `request` selects (VolumeFilter then MaxVolumes).
+  static util::StatusOr<std::vector<size_t>> SelectVolumes(
+      const VolumeSetState& state, const SearchRequest& request);
+
+  /// Reads every sequence of `volumes` back out of their packed symbol
+  /// files, in order (the compaction / resident-database source).
+  static util::StatusOr<std::vector<seq::Sequence>> MaterializeSequences(
+      const VolumeSetState& state, size_t first_volume, size_t num_volumes,
+      const seq::Alphabet& alphabet);
+
+  /// Compact() body; caller holds maintenance_mu_.
+  util::Status CompactLocked();
+  /// Schedules a background compaction when the volume count crossed the
+  /// trigger; caller holds maintenance_mu_.
+  void MaybeScheduleCompaction();
+
   std::string index_dir_;
+  EngineOptions options_;  ///< as configured (reused by Append/Compact)
   const seq::Alphabet* alphabet_ = nullptr;
   const score::SubstitutionMatrix* matrix_ = nullptr;
-  IoMode io_mode_ = IoMode::kPooled;  ///< resolved; never kAuto
   align::simd::SimdMode simd_mode_ = align::simd::SimdMode::kAuto;
   align::simd::SimdLevel simd_level_ = align::simd::SimdLevel::kScalar;
-  std::unique_ptr<storage::BufferPool> pool_;  ///< null for mmap engines
-  std::unique_ptr<suffix::PackedSuffixTree> tree_;
-  /// Speculative prefetcher; null when disabled or mmap. Declared after
-  /// pool_ AND tree_ so it is destroyed before both: its destructor joins
-  /// the worker threads, which touch the pool's frames and the tree's
-  /// block files until the moment they stop.
-  std::unique_ptr<storage::Readahead> readahead_;
   bool fetch_memo_ = true;  ///< resolved EngineOptions::fetch_memo
-  std::unique_ptr<core::OasisSearch> search_;
   std::unique_ptr<seq::SequenceDatabase> db_;  ///< resident; may be null
-  SequenceCatalog catalog_;
   score::KarlinParams karlin_;
   bool has_karlin_ = false;
-  uint64_t epoch_ = 0;  ///< process-unique; see epoch()
+  std::atomic<uint64_t> epoch_{0};  ///< process-unique; see epoch()
+
+  mutable std::mutex state_mu_;  ///< guards state_ (pointer swap only)
+  std::shared_ptr<const VolumeSetState> state_;
+
+  std::mutex maintenance_mu_;  ///< serializes Append/Compact bodies
+  std::mutex thread_mu_;       ///< guards compact_thread_
+  std::thread compact_thread_;
 };
 
 }  // namespace api
@@ -531,5 +779,7 @@ using api::EngineOptions;
 using api::IoMode;
 using api::ResultCursor;
 using api::SearchRequest;
+using api::VolumeInfo;
+using api::VolumeSetManifest;
 
 }  // namespace oasis

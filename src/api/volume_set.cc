@@ -1,0 +1,188 @@
+#include "api/volume_set.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "suffix/packed_tree.h"
+
+namespace oasis {
+namespace api {
+
+namespace {
+
+/// Current (and only) manifest format version.
+constexpr uint64_t kFormatVersion = 1;
+
+}  // namespace
+
+bool VolumeSetManifest::Exists(const std::string& dir) {
+  std::error_code ec;
+  return std::filesystem::exists(dir + "/" + kFileName, ec);
+}
+
+util::StatusOr<VolumeSetManifest> VolumeSetManifest::Load(
+    const std::string& dir) {
+  const std::string path = dir + "/" + kFileName;
+  std::ifstream in(path);
+  if (!in) {
+    // Legacy fallback: a packed tree at the root is a one-volume set.
+    std::error_code ec;
+    if (std::filesystem::exists(
+            dir + "/" + suffix::PackedTreeFiles::kMeta, ec)) {
+      VolumeSetManifest manifest;
+      manifest.legacy_ = true;
+      VolumeInfo volume;
+      volume.name = kLegacyVolumeName;
+      manifest.volumes_.push_back(std::move(volume));
+      return manifest;
+    }
+    return util::Status::NotFound("'" + dir +
+                                  "' holds neither a volume-set manifest "
+                                  "nor a legacy packed tree");
+  }
+
+  VolumeSetManifest manifest;
+  std::string line;
+  size_t line_no = 0;
+  uint64_t declared_volumes = 0;
+  bool saw_header = false;
+  auto corrupt = [&](const std::string& what) {
+    return util::Status::Corruption("manifest '" + path + "' line " +
+                                    std::to_string(line_no) + ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "oasis_volume_set") {
+      uint64_t version = 0;
+      fields >> version;
+      if (!fields || version != kFormatVersion) {
+        return corrupt("unsupported format version");
+      }
+      saw_header = true;
+    } else if (key == "generation") {
+      fields >> manifest.generation_;
+      if (!fields) return corrupt("malformed generation");
+    } else if (key == "next_volume") {
+      fields >> manifest.next_volume_;
+      if (!fields) return corrupt("malformed next_volume");
+    } else if (key == "num_volumes") {
+      fields >> declared_volumes;
+      if (!fields) return corrupt("malformed num_volumes");
+    } else if (key == "volume") {
+      VolumeInfo volume;
+      fields >> volume.name >> volume.num_sequences >> volume.num_residues >>
+          volume.build_stats.num_partitions >> volume.build_stats.num_passes >>
+          volume.build_stats.max_partition_suffixes;
+      if (!fields) return corrupt("malformed volume record");
+      if (volume.name != kLegacyVolumeName &&
+          (volume.name.find('/') != std::string::npos ||
+           volume.name.find("..") != std::string::npos)) {
+        // A manifest must not direct readers outside its own directory.
+        return corrupt("volume name '" + volume.name +
+                       "' escapes the index directory");
+      }
+      manifest.volumes_.push_back(std::move(volume));
+    } else {
+      return corrupt("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_header) {
+    return util::Status::Corruption("manifest '" + path +
+                                    "' is missing its format header");
+  }
+  if (declared_volumes != manifest.volumes_.size()) {
+    return util::Status::Corruption(
+        "manifest '" + path + "' declares " +
+        std::to_string(declared_volumes) + " volumes but lists " +
+        std::to_string(manifest.volumes_.size()));
+  }
+  if (manifest.volumes_.empty()) {
+    return util::Status::Corruption("manifest '" + path +
+                                    "' lists no volumes");
+  }
+  return manifest;
+}
+
+util::Status VolumeSetManifest::Save(const std::string& dir) const {
+  if (volumes_.empty()) {
+    return util::Status::InvalidArgument(
+        "refusing to save a manifest with no volumes");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::IOError("create '" + dir + "': " + ec.message());
+  }
+  const std::string path = dir + "/" + kFileName;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return util::Status::IOError("cannot write manifest temp '" + tmp +
+                                   "'");
+    }
+    out << "oasis_volume_set " << kFormatVersion << "\n";
+    out << "generation " << generation_ << "\n";
+    out << "next_volume " << next_volume_ << "\n";
+    out << "num_volumes " << volumes_.size() << "\n";
+    for (const VolumeInfo& volume : volumes_) {
+      out << "volume " << volume.name << " " << volume.num_sequences << " "
+          << volume.num_residues << " " << volume.build_stats.num_partitions
+          << " " << volume.build_stats.num_passes << " "
+          << volume.build_stats.max_partition_suffixes << "\n";
+    }
+    out.flush();
+    if (!out) return util::Status::IOError("manifest write failed");
+  }
+  // Atomic publish: rename is atomic within a filesystem, so a racing
+  // reader opens the old manifest or the new one, never a prefix.
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return util::Status::IOError("rename '" + tmp + "' -> '" + path +
+                                 "': " + ec.message());
+  }
+  return util::Status::OK();
+}
+
+std::string VolumeSetManifest::VolumeDir(const std::string& index_dir,
+                                         const std::string& volume_name) {
+  if (volume_name == kLegacyVolumeName) return index_dir;
+  return index_dir + "/" + volume_name;
+}
+
+std::string VolumeSetManifest::NextVolumeName() {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%04llu", kVolumePrefix,
+                static_cast<unsigned long long>(next_volume_));
+  ++next_volume_;
+  return buf;
+}
+
+uint64_t VolumeSetManifest::num_sequences() const {
+  uint64_t total = 0;
+  for (const VolumeInfo& volume : volumes_) total += volume.num_sequences;
+  return total;
+}
+
+uint64_t VolumeSetManifest::num_residues() const {
+  uint64_t total = 0;
+  for (const VolumeInfo& volume : volumes_) total += volume.num_residues;
+  return total;
+}
+
+int VolumeSetManifest::FindVolume(const std::string& name) const {
+  for (size_t i = 0; i < volumes_.size(); ++i) {
+    if (volumes_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace api
+}  // namespace oasis

@@ -1,0 +1,141 @@
+// VolumeSetManifest: the on-disk description of a multi-volume index.
+//
+// An index directory is a *volume set*: a manifest file (`volumeset.meta`)
+// naming N self-contained volumes, each a subdirectory holding its own
+// packed suffix tree and sequence catalog. The concatenation of the
+// volumes, in manifest order, IS the database — global sequence ids and
+// global positions are assigned by walking the volumes in that order — so
+// the manifest's volume order is load-bearing, not cosmetic.
+//
+// Two layouts open as volume sets:
+//
+//   volume set   <dir>/volumeset.meta + <dir>/vol_0000/{tree.meta,...}
+//   legacy       <dir>/tree.meta at the root, no manifest — synthesized
+//                as a one-volume set whose single volume is named "."
+//                (the directory itself), so every pre-volume index keeps
+//                opening unchanged.
+//
+// Saves are atomic: the manifest is written to a temp file and renamed
+// over the old one, so a reader (or a crash) sees either the old
+// generation or the new one, never a torn file. Mutations bump
+// `generation`; volume names come from a monotone `next_volume` counter
+// that never reuses a name, even after compaction deletes volumes.
+//
+// This header is the single home of index-dir layout knowledge: the
+// Engine asks the manifest where volumes live instead of assembling paths
+// itself.
+//
+// Format (line-oriented text, like tree.meta / catalog.meta):
+//   oasis_volume_set 1
+//   generation G
+//   next_volume K
+//   num_volumes N
+//   volume <name> <num_sequences> <num_residues> <partitions> <passes> <max_pass_suffixes>
+// one `volume` line per volume, in global (concatenation) order. The
+// three trailing fields persist the volume's PartitionedBuildStats so
+// Engine::CollectStats can report them long after the build.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "suffix/partitioned_builder.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace api {
+
+/// One volume of a set: its subdirectory name plus the per-volume counts
+/// and build statistics persisted in the manifest.
+struct VolumeInfo {
+  /// Subdirectory under the index dir ("vol_0003"), or "." for the legacy
+  /// root layout (the index directory itself is the volume).
+  std::string name;
+  uint64_t num_sequences = 0;  ///< database sequences in this volume
+  uint64_t num_residues = 0;   ///< residues, terminators excluded
+  /// Partitioned-build statistics recorded at build time; all-zero for
+  /// legacy volumes (built before the manifest existed).
+  suffix::PartitionedBuildStats build_stats;
+};
+
+/// The parsed (or synthesized) manifest of one index directory.
+class VolumeSetManifest {
+ public:
+  /// Manifest file name inside an index directory.
+  static constexpr const char* kFileName = "volumeset.meta";
+  /// Volume-subdirectory name prefix ("vol_0000", "vol_0001", ...).
+  static constexpr const char* kVolumePrefix = "vol_";
+  /// The reserved volume name of the legacy root layout.
+  static constexpr const char* kLegacyVolumeName = ".";
+
+  VolumeSetManifest() = default;
+
+  /// True when `dir` holds a manifest file (an explicit volume set).
+  static bool Exists(const std::string& dir);
+
+  /// Loads `dir`'s manifest. A directory without one but with a packed
+  /// tree at its root (the legacy layout) synthesizes a one-volume
+  /// manifest — volume "." with zero counts (the engine reads the real
+  /// counts from the tree) and legacy() == true. NotFound when the
+  /// directory holds neither.
+  static util::StatusOr<VolumeSetManifest> Load(const std::string& dir);
+
+  /// Writes `dir`/volumeset.meta atomically (temp file + rename): readers
+  /// racing the save see the old manifest or the new one, never a torn
+  /// file. Refuses to save a legacy-synthesized manifest that still has
+  /// no real volume entries.
+  util::Status Save(const std::string& dir) const;
+
+  /// The directory a volume's packed files live in: `<index_dir>/<name>`,
+  /// or `index_dir` itself for the legacy volume ".".
+  static std::string VolumeDir(const std::string& index_dir,
+                               const std::string& volume_name);
+
+  /// Mints the next volume subdirectory name ("vol_<next_volume>") and
+  /// advances the counter. Names are never reused: compaction may delete
+  /// vol_0001 while vol_0002 lives on, and a fresh append must not
+  /// resurrect the dead name under a reader still holding the old set.
+  std::string NextVolumeName();
+
+  /// Appends a volume at the end of the global order.
+  void AddVolume(VolumeInfo info) { volumes_.push_back(std::move(info)); }
+
+  /// Replaces the volume list wholesale (compaction rewrites the set).
+  void ReplaceVolumes(std::vector<VolumeInfo> volumes) {
+    volumes_ = std::move(volumes);
+  }
+
+  /// Advances the generation counter (every Append/Compact mutation).
+  void BumpGeneration() { ++generation_; }
+
+  /// The volumes in global (concatenation) order.
+  const std::vector<VolumeInfo>& volumes() const { return volumes_; }
+  /// Number of volumes in the set.
+  size_t num_volumes() const { return volumes_.size(); }
+  /// Mutation counter; starts at 1 for a freshly built set.
+  uint64_t generation() const { return generation_; }
+  /// The monotone name counter (== the numeric suffix of the next name).
+  uint64_t next_volume() const { return next_volume_; }
+  /// True when this manifest was synthesized from a legacy single-volume
+  /// directory rather than read from a manifest file.
+  bool legacy() const { return legacy_; }
+
+  /// Sum of the per-volume sequence counts.
+  uint64_t num_sequences() const;
+  /// Sum of the per-volume residue counts.
+  uint64_t num_residues() const;
+
+  /// Index of the volume named `name`, or -1.
+  int FindVolume(const std::string& name) const;
+
+ private:
+  std::vector<VolumeInfo> volumes_;
+  uint64_t generation_ = 1;
+  uint64_t next_volume_ = 0;
+  bool legacy_ = false;
+};
+
+}  // namespace api
+}  // namespace oasis

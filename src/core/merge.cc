@@ -1,0 +1,117 @@
+#include "core/merge.h"
+
+#include <utility>
+
+namespace oasis {
+namespace core {
+
+MergedOasisCursor::MergedOasisCursor(std::vector<MergeShard> shards,
+                                     bool by_evalue, uint64_t max_results)
+    : shards_(std::move(shards)),
+      heads_(shards_.size()),
+      by_evalue_(by_evalue),
+      max_results_(max_results) {}
+
+util::Status MergedOasisCursor::Refill(size_t i) {
+  auto next_or = shards_[i].cursor.Next();
+  if (!next_or.ok()) return next_or.status();
+  heads_[i] = std::move(next_or).value();
+  if (heads_[i].has_value()) {
+    // Lift the volume-local result into set-wide coordinates. Scores,
+    // per-sequence E-values, query/target ends and the reconstructed
+    // alignment are all volume-independent and pass through.
+    heads_[i]->sequence_id += shards_[i].id_base;
+    heads_[i]->db_end_pos += shards_[i].pos_base;
+  }
+  return util::Status::OK();
+}
+
+void MergedOasisCursor::AggregateStats() {
+  OasisStats total;
+  for (const MergeShard& shard : shards_) {
+    const OasisStats& s = shard.cursor.stats();
+    total.columns_expanded += s.columns_expanded;
+    total.cells_computed += s.cells_computed;
+    total.nodes_expanded += s.nodes_expanded;
+    total.nodes_viable += s.nodes_viable;
+    total.nodes_accepted += s.nodes_accepted;
+    total.nodes_unviable += s.nodes_unviable;
+    total.results_emitted += s.results_emitted;
+    total.max_queue_size += s.max_queue_size;
+  }
+  stats_ = total;
+}
+
+int MergedOasisCursor::BestHead() const {
+  int best = -1;
+  for (size_t i = 0; i < heads_.size(); ++i) {
+    if (!heads_[i].has_value()) continue;
+    if (best < 0) {
+      best = static_cast<int>(i);
+      continue;
+    }
+    const OasisResult& a = *heads_[i];
+    const OasisResult& b = *heads_[best];
+    bool wins;
+    if (by_evalue_) {
+      // Mirror the single-volume emission order: E-value ascending,
+      // sequence id ascending among ties.
+      wins = a.evalue < b.evalue ||
+             (a.evalue == b.evalue && a.sequence_id < b.sequence_id);
+    } else {
+      wins = a.score > b.score ||
+             (a.score == b.score && a.sequence_id < b.sequence_id);
+    }
+    if (wins) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+util::StatusOr<std::optional<OasisResult>> MergedOasisCursor::Next() {
+  if (!abort_status_.ok()) return abort_status_;
+  if (done_) return std::optional<OasisResult>();
+  if (!primed_) {
+    // Lazy priming: the first Next() pays for one head per volume, so
+    // merely constructing a merged cursor (and dropping it) costs no
+    // search work — matching OasisCursor's contract.
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const util::Status status = Refill(i);
+      if (!status.ok()) {
+        AggregateStats();
+        abort_status_ = status;
+        done_ = true;
+        return abort_status_;
+      }
+    }
+    primed_ = true;
+  }
+  const int best = BestHead();
+  if (best < 0) {
+    AggregateStats();
+    done_ = true;
+    return std::optional<OasisResult>();
+  }
+  std::optional<OasisResult> out = std::move(heads_[best]);
+  heads_[best].reset();
+  const util::Status status = Refill(static_cast<size_t>(best));
+  ++emitted_;
+  AggregateStats();
+  if (!status.ok()) {
+    // The popped head is already proven and stands as part of the partial
+    // stream; the shard's terminal status (deadline, cancellation, I/O)
+    // becomes sticky and is reported from the next call on — the same
+    // "results handed out stand" contract a single cursor keeps.
+    abort_status_ = status;
+    done_ = true;
+    return out;
+  }
+  if (max_results_ != 0 && emitted_ >= max_results_) {
+    // The cap applies to the merged stream; the shard cursors are simply
+    // dropped (dropping an OasisCursor aborts its remaining search).
+    done_ = true;
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace oasis

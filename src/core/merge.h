@@ -1,0 +1,91 @@
+// K-way merge of per-volume OASIS cursors into one globally ordered
+// stream.
+//
+// Every volume's cursor emits its results in non-increasing score order
+// (or non-decreasing E-value order in order_by_evalue mode) — the paper's
+// online property, per volume. Merging streams with that invariant is a
+// classic k-way merge: hold one head result per volume, emit the best
+// head, refill from the volume it came from. The emitted stream carries
+// the same invariant over the whole set, so a multi-volume search is
+// exactly as online as a single-volume one: each Next() advances only the
+// volume that must prove its next result.
+//
+// The merge also performs the local->global coordinate translation: a
+// volume's results are in its own id/position space, and the shard's
+// bases (first global sequence id, global offset of the volume's
+// concatenation) lift them into set-wide coordinates on the way out.
+// Per-sequence E-values depend only on the sequence's own length, so they
+// need no adjustment; alignments carry sequence-local coordinates and
+// pass through untouched.
+//
+// Ties across volumes break toward the smaller global sequence id, the
+// same tie-break E-value-ordered emission uses within one volume.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/oasis.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace core {
+
+/// One volume's contribution to a merged search: its live cursor plus the
+/// offsets that lift its local ids/positions into set-wide coordinates.
+struct MergeShard {
+  OasisCursor cursor;     ///< the volume's in-progress search
+  uint32_t id_base = 0;   ///< global id of the volume's first sequence
+  uint64_t pos_base = 0;  ///< global position of its concatenation start
+};
+
+/// The merged pull stream. Move-only, single-threaded, same contract as
+/// OasisCursor: Next() until std::nullopt, errors are terminal, dropping
+/// the cursor aborts every underlying volume search.
+class MergedOasisCursor {
+ public:
+  /// Merges `shards` (one per searched volume, in global order).
+  /// `by_evalue` must match the OasisOptions the shard cursors run with;
+  /// `max_results` caps the *merged* stream (the shard cursors themselves
+  /// must run uncapped, or a volume could starve the global top-k).
+  MergedOasisCursor(std::vector<MergeShard> shards, bool by_evalue,
+                    uint64_t max_results);
+  MergedOasisCursor(MergedOasisCursor&&) noexcept = default;
+  MergedOasisCursor& operator=(MergedOasisCursor&&) noexcept = default;
+
+  /// The next globally best result, std::nullopt on exhaustion. A non-OK
+  /// status (I/O error, deadline, cancellation — surfaced from whichever
+  /// volume cursor hit it) is terminal: the merge stops and every later
+  /// Next() returns the same status.
+  util::StatusOr<std::optional<OasisResult>> Next();
+
+  /// True once the merged stream is exhausted or aborted.
+  bool done() const { return done_; }
+
+  /// Aggregated statistics: the field-wise sum of every shard's counters
+  /// (a set-wide search did all that work, whichever volume it landed in).
+  const OasisStats& stats() const { return stats_; }
+
+ private:
+  /// Pulls shard `i`'s next head, translating it to global coordinates.
+  util::Status Refill(size_t i);
+  /// Re-sums stats_ from the shard cursors.
+  void AggregateStats();
+  /// Index of the best head, or -1 when all shards are exhausted.
+  int BestHead() const;
+
+  std::vector<MergeShard> shards_;
+  std::vector<std::optional<OasisResult>> heads_;
+  bool primed_ = false;
+  bool by_evalue_ = false;
+  uint64_t max_results_ = 0;
+  uint64_t emitted_ = 0;
+  bool done_ = false;
+  util::Status abort_status_ = util::Status::OK();
+  OasisStats stats_;
+};
+
+}  // namespace core
+}  // namespace oasis

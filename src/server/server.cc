@@ -303,6 +303,8 @@ bool Server::HandleQuery(Connection* conn, const std::string& payload) {
     request.EValue(wire.evalue);
   }
   request.TopK(wire.top_k).OrderByEValue(wire.by_evalue);
+  request.MaxVolumes(wire.max_volumes);
+  if (!wire.volume_filter.empty()) request.VolumeFilter(wire.volume_filter);
 
   // Deadline: the request's ask, capped by the server's max (which also
   // applies when the request asked for none).
@@ -373,8 +375,11 @@ bool Server::HandleQuery(Connection* conn, const std::string& payload) {
       }
       if (!next->has_value()) break;
       const core::OasisResult& result = **next;
+      // SequenceName resolves against the engine's current snapshot, so
+      // hit labelling stays safe while Append/Compact swap the set under
+      // live traffic (catalog() references would be invalidated).
       std::string line = core::FormatResult(
-          result, engine->catalog().name(result.sequence_id), result.evalue);
+          result, engine->SequenceName(result.sequence_id), result.evalue);
       if (!SendFrame(conn->fd, FrameType::kHit, line).ok()) return false;
       lines->push_back(std::move(line));
     }

@@ -94,6 +94,15 @@ std::string WireRequest::Encode() const {
   }
   if (top_k > 0) out += "top=" + std::to_string(top_k) + "\n";
   if (by_evalue) out += "bye=1\n";
+  if (max_volumes > 0) out += "mv=" + std::to_string(max_volumes) + "\n";
+  if (!volume_filter.empty()) {
+    out += "vf=";
+    for (size_t i = 0; i < volume_filter.size(); ++i) {
+      if (i > 0) out += ',';
+      out += volume_filter[i];
+    }
+    out += "\n";
+  }
   if (deadline_ms > 0) out += "dl=" + std::to_string(deadline_ms) + "\n";
   if (no_cache) out += "nc=1\n";
   return out;
@@ -136,6 +145,24 @@ util::StatusOr<WireRequest> WireRequest::Parse(std::string_view payload) {
         return util::Status::InvalidArgument("bye must be 1 when present");
       }
       req.by_evalue = true;
+    } else if (key == "mv") {
+      OASIS_ASSIGN_OR_RETURN(uint64_t mv, util::ParseUint64(value, 1, 4096));
+      req.max_volumes = static_cast<uint32_t>(mv);
+    } else if (key == "vf") {
+      // Comma-separated volume names; empty items are malformed (they
+      // would silently select nothing).
+      size_t item = 0;
+      while (item <= value.size()) {
+        size_t comma = value.find(',', item);
+        if (comma == std::string_view::npos) comma = value.size();
+        const std::string_view name = value.substr(item, comma - item);
+        if (name.empty()) {
+          return util::Status::InvalidArgument(
+              "vf holds an empty volume name");
+        }
+        req.volume_filter.emplace_back(name);
+        item = comma + 1;
+      }
     } else if (key == "dl") {
       OASIS_ASSIGN_OR_RETURN(req.deadline_ms,
                              util::ParseUint64(value, 1, 1ull << 31));

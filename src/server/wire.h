@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "score/substitution_matrix.h"
 #include "util/status.h"
@@ -80,6 +81,11 @@ struct WireRequest {
   score::ScoreT min_score = 0;  ///< explicit threshold; 0 = derive from evalue
   uint64_t top_k = 0;       ///< 0 = unlimited
   bool by_evalue = false;   ///< E-value-ordered stream
+  uint32_t max_volumes = 0; ///< search only the first N volumes; 0 = all
+  /// Search only these manifest volume names; empty = all. Names cannot
+  /// contain commas (the wire encoding is comma-separated), which the
+  /// vol_NNNN scheme and the legacy "." satisfy by construction.
+  std::vector<std::string> volume_filter;
   uint64_t deadline_ms = 0; ///< per-request deadline; 0 = server default
   bool no_cache = false;    ///< bypass the result cache (measurement runs)
 

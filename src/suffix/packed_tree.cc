@@ -101,7 +101,8 @@ util::StatusOr<std::unique_ptr<PackedSuffixTree>> PackedSuffixTree::OpenCommon(
 }
 
 util::StatusOr<std::unique_ptr<PackedSuffixTree>> PackedSuffixTree::Open(
-    const std::string& dir, storage::BufferPool* pool) {
+    const std::string& dir, storage::BufferPool* pool,
+    const std::string& segment_prefix) {
   OASIS_CHECK(pool != nullptr);
   OASIS_ASSIGN_OR_RETURN(std::unique_ptr<PackedSuffixTree> tree,
                          OpenCommon(dir));
@@ -131,13 +132,14 @@ util::StatusOr<std::unique_ptr<PackedSuffixTree>> PackedSuffixTree::Open(
 
   OASIS_ASSIGN_OR_RETURN(
       tree->seg_symbols_,
-      tree->source_.AddSegment("symbols", &tree->symbols_file_));
+      tree->source_.AddSegment(segment_prefix + "symbols", &tree->symbols_file_));
   OASIS_ASSIGN_OR_RETURN(
       tree->seg_internal_,
-      tree->source_.AddSegment("internal", &tree->internal_file_));
+      tree->source_.AddSegment(segment_prefix + "internal",
+                               &tree->internal_file_));
   OASIS_ASSIGN_OR_RETURN(
       tree->seg_leaves_,
-      tree->source_.AddSegment("leaves", &tree->leaves_file_));
+      tree->source_.AddSegment(segment_prefix + "leaves", &tree->leaves_file_));
   return tree;
 }
 

@@ -105,9 +105,14 @@ util::StatusOr<uint64_t> PackedIndexBytes(const std::string& dir);
 class PackedSuffixTree {
  public:
   /// Opens a packed tree from `dir`, registering its three segments with
-  /// `pool`. The pool must outlive the returned tree.
+  /// `pool`. The pool must outlive the returned tree. `segment_prefix`
+  /// qualifies the segment names ("vol_0000/internal" instead of
+  /// "internal") so several trees — the volumes of one index set — can
+  /// share a single pool with per-volume statistics; the default empty
+  /// prefix keeps the historical names for single-tree pools.
   static util::StatusOr<std::unique_ptr<PackedSuffixTree>> Open(
-      const std::string& dir, storage::BufferPool* pool);
+      const std::string& dir, storage::BufferPool* pool,
+      const std::string& segment_prefix = "");
 
   /// Opens a packed tree from `dir` with all three files memory-mapped:
   /// the zero-copy fast path for indexes that fit in RAM. pool() is

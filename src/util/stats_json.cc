@@ -28,6 +28,24 @@ void Appendf(std::string* out, const char* fmt, ...) {
   va_end(args_copy);
 }
 
+/// The per-volume table of a multi-volume set. Appended by both render
+/// modes, but only when rows exist, so legacy single-volume output stays
+/// byte-identical to the pinned historical format.
+void AppendVolumesText(std::string* out, const EngineStatsSnapshot& s) {
+  if (s.volumes.empty()) return;
+  Appendf(out, "volumes: %zu\n", s.volumes.size());
+  Appendf(out, "%-10s %12s %14s %10s %7s %14s\n", "volume", "sequences",
+          "residues", "partitions", "passes", "max suffixes");
+  for (const VolumeStatsRow& v : s.volumes) {
+    Appendf(out, "%-10s %12llu %14llu %10llu %7llu %14llu\n", v.name.c_str(),
+            static_cast<unsigned long long>(v.sequences),
+            static_cast<unsigned long long>(v.residues),
+            static_cast<unsigned long long>(v.partitions),
+            static_cast<unsigned long long>(v.passes),
+            static_cast<unsigned long long>(v.max_partition_suffixes));
+  }
+}
+
 }  // namespace
 
 std::string StatsText(const EngineStatsSnapshot& s) {
@@ -39,6 +57,7 @@ std::string StatsText(const EngineStatsSnapshot& s) {
     Appendf(&out,
             "readahead: n/a in mmap mode (speculation targets the "
             "buffer pool; use --io-mode pooled --readahead K)\n");
+    AppendVolumesText(&out, s);
     return out;
   }
   Appendf(&out, "\nbuffer pool: %u frames x %u B in %u shard%s\n", s.frames,
@@ -83,6 +102,7 @@ std::string StatsText(const EngineStatsSnapshot& s) {
             "readahead: disabled (--readahead K for a fixed K-block "
             "window, --readahead auto for the adaptive one)\n");
   }
+  AppendVolumesText(&out, s);
   return out;
 }
 
@@ -117,12 +137,37 @@ void AppendSegmentJson(std::string* out, const SegmentStatsRow& seg) {
           static_cast<unsigned long long>(seg.hits), seg.hit_ratio);
 }
 
+/// `,"volumes":[...]` for a multi-volume snapshot, empty string otherwise
+/// (key omitted entirely, keeping single-volume JSON byte-identical).
+void AppendVolumesJson(std::string* out, const EngineStatsSnapshot& s) {
+  if (s.volumes.empty()) return;
+  *out += ",\"volumes\":[";
+  for (size_t i = 0; i < s.volumes.size(); ++i) {
+    const VolumeStatsRow& v = s.volumes[i];
+    if (i > 0) *out += ',';
+    Appendf(out,
+            "{\"name\":\"%s\",\"sequences\":%llu,\"residues\":%llu,"
+            "\"partitions\":%llu,\"passes\":%llu,"
+            "\"max_partition_suffixes\":%llu}",
+            JsonEscape(v.name).c_str(),
+            static_cast<unsigned long long>(v.sequences),
+            static_cast<unsigned long long>(v.residues),
+            static_cast<unsigned long long>(v.partitions),
+            static_cast<unsigned long long>(v.passes),
+            static_cast<unsigned long long>(v.max_partition_suffixes));
+  }
+  *out += ']';
+}
+
 }  // namespace
 
 std::string StatsJson(const EngineStatsSnapshot& s) {
   std::string out;
   if (!s.pooled) {
-    return "{\"io_mode\":\"mmap\",\"pool\":null,\"readahead\":null}";
+    out = "{\"io_mode\":\"mmap\",\"pool\":null,\"readahead\":null";
+    AppendVolumesJson(&out, s);
+    out += '}';
+    return out;
   }
   out += "{\"io_mode\":\"pooled\",\"pool\":{";
   Appendf(&out, "\"frames\":%u,\"block_size\":%u,\"shards\":%u,\"segments\":[",
@@ -135,7 +180,9 @@ std::string StatsJson(const EngineStatsSnapshot& s) {
   AppendSegmentJson(&out, s.total);
   out += "},\"readahead\":";
   if (!s.readahead_enabled) {
-    out += "{\"enabled\":false}}";
+    out += "{\"enabled\":false}";
+    AppendVolumesJson(&out, s);
+    out += '}';
     return out;
   }
   Appendf(&out,
@@ -162,7 +209,9 @@ std::string StatsJson(const EngineStatsSnapshot& s) {
     }
     out += ']';
   }
-  out += "}}";
+  out += '}';
+  AppendVolumesJson(&out, s);
+  out += '}';
   return out;
 }
 

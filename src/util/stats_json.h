@@ -44,6 +44,17 @@ struct AdaptiveWindowRow {
   uint64_t probes = 0;   ///< speculative re-opens from a collapsed window
 };
 
+/// One volume of a multi-volume index set: its counts plus the
+/// partitioned-build statistics recorded in the manifest at build time.
+struct VolumeStatsRow {
+  std::string name;        ///< manifest volume name ("vol_0003", or ".")
+  uint64_t sequences = 0;  ///< database sequences in the volume
+  uint64_t residues = 0;   ///< residues, terminators excluded
+  uint64_t partitions = 0;  ///< prefix partitions of the volume's build
+  uint64_t passes = 0;      ///< builder passes over the partitions
+  uint64_t max_partition_suffixes = 0;  ///< largest single-pass suffix load
+};
+
 /// Everything the stats surfaces render, captured at one instant. Plain
 /// data: fill it from an engine (api::Engine::CollectStats) or by hand in
 /// tests.
@@ -73,6 +84,12 @@ struct EngineStatsSnapshot {
 
   /// Per-segment adaptive windows; filled only in adaptive mode.
   std::vector<AdaptiveWindowRow> windows;
+
+  /// Per-volume rows of a multi-volume index set, in global order. Empty
+  /// for a legacy single-directory index — both renderers emit the volume
+  /// section only when rows exist, which keeps the historical
+  /// single-volume output byte-identical.
+  std::vector<VolumeStatsRow> volumes;
 };
 
 /// Renders the snapshot as the CLI's historical --stats block, including

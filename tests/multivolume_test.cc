@@ -1,0 +1,772 @@
+// Multi-volume indexes end to end: the volume-set build must be an
+// implementation detail of the SAME search. A database built as one
+// monolithic volume and as N parallel-built volumes must return identical
+// hits, scores, E-values and alignments — for streaming search, batch,
+// and the BLAST adapter — because E-values are resolved against the
+// *total* set length and the k-way merge preserves each volume's proven
+// order. On top of parity: append-then-search equals rebuild, compaction
+// preserves results while epoch/generation advance, in-flight cursors
+// survive mutations on their pinned snapshot, and the daemon's
+// epoch-keyed result cache invalidates when the index grows under
+// traffic. The MultiVolume* and MultiVolumeDaemon* suites run under the
+// TSan/ASan CI legs.
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "test_util.h"
+#include "util/stats_json.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+/// Deterministic protein database used throughout: ~40k residues, enough
+/// sequences that a ~10k-residue volume target yields 4 volumes.
+seq::SequenceDatabase TestDatabase(uint64_t target_residues = 40000,
+                                   uint64_t seed = 7) {
+  workload::ProteinDatabaseOptions options;
+  options.target_residues = target_residues;
+  options.seed = seed;
+  auto db = workload::GenerateProteinDatabase(options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+/// Options for a 4-ish-volume build of TestDatabase().
+EngineOptions MultiVolumeOptions() {
+  EngineOptions options;
+  options.volume_size_bytes = 10000;
+  options.build_threads = 4;
+  return options;
+}
+
+/// Motif queries sampled from `engine`'s resident database.
+std::vector<SearchRequest> MotifRequests(Engine& engine, uint32_t count,
+                                         double evalue) {
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries = count;
+  q_options.seed = 11;
+  auto db = engine.ResidentDatabase();
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  auto queries =
+      workload::GenerateMotifQueries(**db, engine.matrix(), q_options);
+  EXPECT_TRUE(queries.ok()) << queries.status().ToString();
+  std::vector<SearchRequest> requests;
+  for (auto& q : *queries) {
+    requests.push_back(SearchRequest(std::move(q.symbols)).EValue(evalue));
+  }
+  return requests;
+}
+
+std::vector<core::OasisResult> Drain(ResultCursor& cursor) {
+  std::vector<core::OasisResult> out;
+  while (true) {
+    auto next = cursor.Next();
+    EXPECT_TRUE(next.ok()) << next.status().ToString();
+    if (!next.ok() || !next->has_value()) break;
+    out.push_back(std::move(**next));
+  }
+  return out;
+}
+
+std::vector<core::OasisResult> DrainSearch(const Engine& engine,
+                                           const SearchRequest& request) {
+  auto cursor = engine.Search(request);
+  EXPECT_TRUE(cursor.ok()) << cursor.status().ToString();
+  if (!cursor.ok()) return {};
+  return Drain(*cursor);
+}
+
+/// Field equality. `positions = false` compares only the result identity
+/// (sequence, score, E-value): a sequence can reach its best score at
+/// several locations, and which one a best-per-sequence stream reports
+/// depends on tree exploration order, which legitimately differs between
+/// a monolithic tree and a per-volume tree. The AllAlignments parity test
+/// covers locations exhaustively instead.
+void ExpectResultEq(const core::OasisResult& a, const core::OasisResult& b,
+                    size_t index, bool positions = true) {
+  SCOPED_TRACE("result #" + std::to_string(index));
+  EXPECT_EQ(a.sequence_id, b.sequence_id);
+  EXPECT_EQ(a.score, b.score);
+  EXPECT_DOUBLE_EQ(a.evalue, b.evalue);
+  if (!positions) return;
+  EXPECT_EQ(a.db_end_pos, b.db_end_pos);
+  EXPECT_EQ(a.target_end, b.target_end);
+  EXPECT_EQ(a.query_end, b.query_end);
+  ASSERT_EQ(a.alignment.has_value(), b.alignment.has_value());
+  if (a.alignment.has_value()) {
+    EXPECT_EQ(a.alignment->score, b.alignment->score);
+    EXPECT_EQ(a.alignment->query_start, b.alignment->query_start);
+    EXPECT_EQ(a.alignment->query_end, b.alignment->query_end);
+    EXPECT_EQ(a.alignment->target_start, b.alignment->target_start);
+    EXPECT_EQ(a.alignment->target_end, b.alignment->target_end);
+    EXPECT_EQ(a.alignment->ops, b.alignment->ops);
+  }
+}
+
+/// Canonical form for comparing two streams that may order equal-keyed
+/// results differently: a single volume emits score ties in tree order,
+/// the k-way merge orders them by (key, global id). Sorting tie groups by
+/// (sequence id, end position) on BOTH sides makes the comparison exact
+/// without weakening it — the sort key sequence itself is also asserted
+/// equal, so ordering parity modulo ties is still proven.
+std::vector<core::OasisResult> Canonicalize(std::vector<core::OasisResult> v,
+                                            bool by_evalue) {
+  std::stable_sort(v.begin(), v.end(),
+                   [by_evalue](const core::OasisResult& a,
+                               const core::OasisResult& b) {
+                     if (by_evalue) {
+                       if (a.evalue != b.evalue) return a.evalue < b.evalue;
+                     } else {
+                       if (a.score != b.score) return a.score > b.score;
+                     }
+                     if (a.sequence_id != b.sequence_id) {
+                       return a.sequence_id < b.sequence_id;
+                     }
+                     if (a.db_end_pos != b.db_end_pos) {
+                       return a.db_end_pos < b.db_end_pos;
+                     }
+                     return a.query_end < b.query_end;
+                   });
+  return v;
+}
+
+void ExpectStreamParity(std::vector<core::OasisResult> mono,
+                        std::vector<core::OasisResult> multi,
+                        bool by_evalue, bool positions = false) {
+  ASSERT_EQ(mono.size(), multi.size());
+  // The emission-order key sequences must match exactly: both streams are
+  // non-increasing in score (non-decreasing in E-value) and rank every
+  // distinct key identically.
+  for (size_t i = 0; i < mono.size(); ++i) {
+    if (by_evalue) {
+      EXPECT_DOUBLE_EQ(mono[i].evalue, multi[i].evalue) << "rank " << i;
+    } else {
+      EXPECT_EQ(mono[i].score, multi[i].score) << "rank " << i;
+    }
+  }
+  mono = Canonicalize(std::move(mono), by_evalue);
+  multi = Canonicalize(std::move(multi), by_evalue);
+  for (size_t i = 0; i < mono.size(); ++i) {
+    ExpectResultEq(mono[i], multi[i], i, positions);
+  }
+}
+
+/// A monolithic and a 4-volume engine over the same database.
+struct ParityFixture {
+  util::TempDir mono_dir{"mv_mono"};
+  util::TempDir multi_dir{"mv_multi"};
+  std::unique_ptr<Engine> mono;
+  std::unique_ptr<Engine> multi;
+
+  ParityFixture() {
+    auto mono_built = Engine::CreateFromDatabase(TestDatabase(), mono_dir.path(),
+                                                 EngineOptions());
+    EXPECT_TRUE(mono_built.ok()) << mono_built.status().ToString();
+    mono = std::move(mono_built).value();
+    auto multi_built = Engine::CreateFromDatabase(
+        TestDatabase(), multi_dir.path(), MultiVolumeOptions());
+    EXPECT_TRUE(multi_built.ok()) << multi_built.status().ToString();
+    multi = std::move(multi_built).value();
+    EXPECT_GE(multi->num_volumes(), 3u)
+        << "fixture must actually exercise the fan-out";
+  }
+};
+
+// --- Layout and accessors ---------------------------------------------------
+
+TEST(MultiVolume, CreateSlicesIntoParallelBuiltVolumes) {
+  ParityFixture fx;
+  EXPECT_EQ(fx.mono->num_volumes(), 1u);
+  EXPECT_EQ(fx.mono->volume_names(),
+            std::vector<std::string>{VolumeSetManifest::kLegacyVolumeName});
+  EXPECT_FALSE(VolumeSetManifest::Exists(fx.mono_dir.path()));
+
+  EXPECT_TRUE(VolumeSetManifest::Exists(fx.multi_dir.path()));
+  EXPECT_EQ(fx.multi->generation(), 1u);
+  const std::vector<std::string> names = fx.multi->volume_names();
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i].rfind(VolumeSetManifest::kVolumePrefix, 0), 0u)
+        << names[i];
+    ASSERT_TRUE(
+        std::filesystem::is_directory(fx.multi_dir.path() + "/" + names[i]));
+  }
+  // Same database, same global totals.
+  EXPECT_EQ(fx.mono->num_sequences(), fx.multi->num_sequences());
+  EXPECT_EQ(fx.mono->num_residues(), fx.multi->num_residues());
+}
+
+TEST(MultiVolume, ReopenedSetMatchesFreshBuild) {
+  ParityFixture fx;
+  auto reopened = Engine::Open(fx.multi_dir.path());
+  OASIS_ASSERT_OK(reopened.status());
+  EXPECT_EQ((*reopened)->num_volumes(), fx.multi->num_volumes());
+  EXPECT_EQ((*reopened)->num_sequences(), fx.multi->num_sequences());
+  EXPECT_EQ((*reopened)->num_residues(), fx.multi->num_residues());
+  for (SearchRequest& request : MotifRequests(*fx.multi, 2, 100.0)) {
+    request.OrderByEValue(true);
+    ExpectStreamParity(DrainSearch(*fx.multi, request),
+                       DrainSearch(**reopened, request), /*by_evalue=*/true);
+  }
+}
+
+TEST(MultiVolume, ResidentDatabaseRoundTripsThroughVolumes) {
+  ParityFixture fx;
+  auto mono_db = fx.mono->ResidentDatabase();
+  auto multi_db = fx.multi->ResidentDatabase();
+  OASIS_ASSERT_OK(mono_db.status());
+  OASIS_ASSERT_OK(multi_db.status());
+  ASSERT_EQ((*mono_db)->num_sequences(), (*multi_db)->num_sequences());
+  for (uint32_t i = 0; i < (*mono_db)->num_sequences(); ++i) {
+    const seq::Sequence& a = (*mono_db)->sequence(i);
+    const seq::Sequence& b = (*multi_db)->sequence(i);
+    EXPECT_EQ(a.id(), b.id()) << "sequence " << i;
+    ASSERT_TRUE(std::equal(a.symbols().begin(), a.symbols().end(),
+                           b.symbols().begin(), b.symbols().end()))
+        << "sequence " << i;
+    EXPECT_EQ(fx.mono->SequenceName(i), fx.multi->SequenceName(i));
+  }
+}
+
+// --- Search parity ----------------------------------------------------------
+
+TEST(MultiVolume, StreamingSearchParity) {
+  ParityFixture fx;
+  for (SearchRequest& base : MotifRequests(*fx.multi, 6, 1000.0)) {
+    for (bool by_evalue : {false, true}) {
+      for (bool alignments : {false, true}) {
+        SCOPED_TRACE("by_evalue=" + std::to_string(by_evalue) +
+                     " alignments=" + std::to_string(alignments));
+        SearchRequest request = base;
+        request.OrderByEValue(by_evalue).WithAlignments(alignments);
+        ExpectStreamParity(DrainSearch(*fx.mono, request),
+                           DrainSearch(*fx.multi, request), by_evalue);
+      }
+    }
+  }
+}
+
+TEST(MultiVolume, AllAlignmentsLocationParity) {
+  // With AllAlignments every accepted location is reported, so discovery
+  // order cannot hide behind best-per-sequence selection: the full
+  // location sets — coordinates, reconstructed operations and all — must
+  // be identical between the layouts.
+  ParityFixture fx;
+  for (SearchRequest& base : MotifRequests(*fx.multi, 4, 100.0)) {
+    SearchRequest request = base;
+    request.AllAlignments(true).WithAlignments(true);
+    auto mono = Canonicalize(DrainSearch(*fx.mono, request), false);
+    auto multi = Canonicalize(DrainSearch(*fx.multi, request), false);
+    ASSERT_EQ(mono.size(), multi.size());
+    for (size_t i = 0; i < mono.size(); ++i) {
+      ExpectResultEq(mono[i], multi[i], i, /*positions=*/true);
+    }
+  }
+}
+
+TEST(MultiVolume, TopKReturnsTheTrueTopK) {
+  ParityFixture fx;
+  for (SearchRequest& base : MotifRequests(*fx.multi, 3, 1000.0)) {
+    SearchRequest full = base;
+    full.OrderByEValue(true);
+    const auto all = DrainSearch(*fx.mono, full);
+    SearchRequest capped = base;
+    capped.OrderByEValue(true).TopK(5);
+    const auto top = DrainSearch(*fx.multi, capped);
+    ASSERT_EQ(top.size(), std::min<size_t>(5, all.size()));
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_DOUBLE_EQ(top[i].evalue, all[i].evalue) << "rank " << i;
+    }
+  }
+}
+
+TEST(MultiVolume, BatchSearchParity) {
+  ParityFixture fx;
+  std::vector<SearchRequest> requests = MotifRequests(*fx.multi, 8, 100.0);
+  for (SearchRequest& request : requests) request.OrderByEValue(true);
+  BatchOptions batch;
+  batch.threads = 4;
+  auto mono_results = fx.mono->SearchBatch(requests, batch);
+  auto multi_results = fx.multi->SearchBatch(requests, batch);
+  OASIS_ASSERT_OK(mono_results.status());
+  OASIS_ASSERT_OK(multi_results.status());
+  ASSERT_EQ(mono_results->size(), multi_results->size());
+  for (size_t i = 0; i < mono_results->size(); ++i) {
+    SCOPED_TRACE("query #" + std::to_string(i));
+    ExpectStreamParity((*mono_results)[i].results,
+                       (*multi_results)[i].results, /*by_evalue=*/true);
+  }
+}
+
+TEST(MultiVolume, BlastSearchParity) {
+  ParityFixture fx;
+  for (SearchRequest& request : MotifRequests(*fx.multi, 3, 100.0)) {
+    auto mono_cursor = fx.mono->BlastSearch(request);
+    auto multi_cursor = fx.multi->BlastSearch(request);
+    OASIS_ASSERT_OK(mono_cursor.status());
+    OASIS_ASSERT_OK(multi_cursor.status());
+    // BLAST scans the resident database, which materializes identically
+    // from either layout — the replayed streams are byte-identical.
+    auto mono_hits = Drain(*mono_cursor);
+    auto multi_hits = Drain(*multi_cursor);
+    ASSERT_EQ(mono_hits.size(), multi_hits.size());
+    for (size_t i = 0; i < mono_hits.size(); ++i) {
+      ExpectResultEq(mono_hits[i], multi_hits[i], i);
+    }
+  }
+}
+
+TEST(MultiVolume, ResolveMinScoreComposesOverTotalLength) {
+  ParityFixture fx;
+  for (SearchRequest& request : MotifRequests(*fx.multi, 4, 5.0)) {
+    auto mono_score = fx.mono->ResolveMinScore(request);
+    auto multi_score = fx.multi->ResolveMinScore(request);
+    OASIS_ASSERT_OK(mono_score.status());
+    OASIS_ASSERT_OK(multi_score.status());
+    EXPECT_EQ(*mono_score, *multi_score)
+        << "E-value selectivity must be a property of the whole set";
+  }
+}
+
+// --- Volume scoping ---------------------------------------------------------
+
+TEST(MultiVolume, VolumeFilterScopesTheSearch) {
+  ParityFixture fx;
+  const std::vector<std::string> names = fx.multi->volume_names();
+  ASSERT_GE(names.size(), 2u);
+  SearchRequest base = std::move(MotifRequests(*fx.multi, 1, 1000.0)[0]);
+
+  SearchRequest first_only = base;
+  first_only.VolumeFilter({names[0]});
+  SearchRequest capped = base;
+  capped.MaxVolumes(1);
+  const auto filtered = DrainSearch(*fx.multi, first_only);
+  const auto truncated = DrainSearch(*fx.multi, capped);
+  // MaxVolumes(1) == VolumeFilter({first volume}).
+  ASSERT_EQ(filtered.size(), truncated.size());
+  for (size_t i = 0; i < filtered.size(); ++i) {
+    ExpectResultEq(filtered[i], truncated[i], i);
+  }
+  // A scoped search returns a subset of the full search's hits.
+  const auto all = DrainSearch(*fx.multi, base);
+  EXPECT_LE(filtered.size(), all.size());
+
+  SearchRequest unknown = base;
+  unknown.VolumeFilter({"vol_9999"});
+  auto cursor = fx.multi->Search(unknown);
+  ASSERT_FALSE(cursor.ok());
+  EXPECT_TRUE(cursor.status().IsInvalidArgument())
+      << cursor.status().ToString();
+}
+
+// --- Append / compact lifecycle ---------------------------------------------
+
+/// Splits the test database into a base and a tail for append tests.
+void SplitDatabase(std::vector<seq::Sequence>* base,
+                   std::vector<seq::Sequence>* tail) {
+  seq::SequenceDatabase db = TestDatabase();
+  const size_t cut = db.num_sequences() - db.num_sequences() / 4;
+  for (uint32_t i = 0; i < db.num_sequences(); ++i) {
+    const seq::Sequence& s = db.sequence(i);
+    std::vector<seq::Symbol> symbols(s.symbols().begin(), s.symbols().end());
+    seq::Sequence copy(s.id(), s.description(), std::move(symbols));
+    (i < cut ? base : tail)->push_back(std::move(copy));
+  }
+}
+
+TEST(MultiVolume, AppendThenSearchEqualsRebuild) {
+  std::vector<seq::Sequence> base, tail;
+  SplitDatabase(&base, &tail);
+
+  util::TempDir grown_dir("mv_grown");
+  auto base_db = seq::SequenceDatabase::Build(
+      seq::Alphabet::Protein(), std::vector<seq::Sequence>(base));
+  OASIS_ASSERT_OK(base_db.status());
+  auto grown = Engine::CreateFromDatabase(std::move(base_db).value(),
+                                          grown_dir.path(),
+                                          MultiVolumeOptions());
+  OASIS_ASSERT_OK(grown.status());
+  const uint64_t epoch_before = (*grown)->epoch();
+  const uint64_t generation_before = (*grown)->generation();
+  const size_t volumes_before = (*grown)->num_volumes();
+  OASIS_ASSERT_OK((*grown)->AppendSequences(std::move(tail)));
+  (*grown)->WaitForCompaction();
+
+  EXPECT_NE((*grown)->epoch(), epoch_before)
+      << "Append must bump the epoch so caches invalidate";
+  EXPECT_GT((*grown)->generation(), generation_before);
+  EXPECT_GT((*grown)->num_volumes(), volumes_before);
+
+  util::TempDir rebuilt_dir("mv_rebuilt");
+  auto rebuilt = Engine::CreateFromDatabase(TestDatabase(), rebuilt_dir.path(),
+                                            MultiVolumeOptions());
+  OASIS_ASSERT_OK(rebuilt.status());
+
+  EXPECT_EQ((*grown)->num_sequences(), (*rebuilt)->num_sequences());
+  EXPECT_EQ((*grown)->num_residues(), (*rebuilt)->num_residues());
+  for (SearchRequest& request : MotifRequests(**rebuilt, 4, 100.0)) {
+    request.OrderByEValue(true);
+    ExpectStreamParity(DrainSearch(**rebuilt, request),
+                       DrainSearch(**grown, request), /*by_evalue=*/true);
+  }
+}
+
+TEST(MultiVolume, AppendRejectsDuplicateSequenceIds) {
+  ParityFixture fx;
+  auto db = fx.multi->ResidentDatabase();
+  OASIS_ASSERT_OK(db.status());
+  const seq::Sequence& existing = (*db)->sequence(0);
+  std::vector<seq::Symbol> symbols(existing.symbols().begin(),
+                                   existing.symbols().end());
+  std::vector<seq::Sequence> dupes;
+  dupes.emplace_back(existing.id(), std::move(symbols));
+  const uint64_t epoch_before = fx.multi->epoch();
+  const util::Status status = fx.multi->AppendSequences(std::move(dupes));
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_EQ(fx.multi->epoch(), epoch_before) << "failed append must not swap";
+}
+
+TEST(MultiVolume, AppendToLegacyIndexUpgradesItInPlace) {
+  std::vector<seq::Sequence> base, tail;
+  SplitDatabase(&base, &tail);
+
+  util::TempDir dir("mv_legacy");
+  auto base_db = seq::SequenceDatabase::Build(
+      seq::Alphabet::Protein(), std::vector<seq::Sequence>(base));
+  OASIS_ASSERT_OK(base_db.status());
+  // volume_size_bytes = 0: the legacy single-directory layout.
+  auto engine = Engine::CreateFromDatabase(std::move(base_db).value(),
+                                           dir.path(), EngineOptions());
+  OASIS_ASSERT_OK(engine.status());
+  EXPECT_FALSE(VolumeSetManifest::Exists(dir.path()));
+
+  OASIS_ASSERT_OK((*engine)->AppendSequences(std::move(tail)));
+  (*engine)->WaitForCompaction();
+  EXPECT_TRUE(VolumeSetManifest::Exists(dir.path()))
+      << "append upgrades a legacy directory to a volume set";
+  EXPECT_GE((*engine)->num_volumes(), 2u);
+  EXPECT_EQ((*engine)->volume_names()[0],
+            std::string(VolumeSetManifest::kLegacyVolumeName));
+
+  // The upgraded set must search exactly like a rebuild — and reopen.
+  util::TempDir rebuilt_dir("mv_legacy_rebuilt");
+  auto rebuilt = Engine::CreateFromDatabase(TestDatabase(), rebuilt_dir.path(),
+                                            EngineOptions());
+  OASIS_ASSERT_OK(rebuilt.status());
+  auto reopened = Engine::Open(dir.path());
+  OASIS_ASSERT_OK(reopened.status());
+  for (SearchRequest& request : MotifRequests(**rebuilt, 3, 100.0)) {
+    request.OrderByEValue(true);
+    const auto expected = DrainSearch(**rebuilt, request);
+    ExpectStreamParity(expected, DrainSearch(**engine, request),
+                       /*by_evalue=*/true);
+    ExpectStreamParity(expected, DrainSearch(**reopened, request),
+                       /*by_evalue=*/true);
+  }
+}
+
+TEST(MultiVolume, CompactMergesSmallVolumesAndPreservesResults) {
+  std::vector<seq::Sequence> base, tail;
+  SplitDatabase(&base, &tail);
+
+  util::TempDir dir("mv_compact");
+  EngineOptions options = MultiVolumeOptions();
+  options.compact_trigger_volumes = 0;  // explicit Compact() only
+  auto base_db = seq::SequenceDatabase::Build(
+      seq::Alphabet::Protein(), std::vector<seq::Sequence>(base));
+  OASIS_ASSERT_OK(base_db.status());
+  auto engine = Engine::CreateFromDatabase(std::move(base_db).value(),
+                                           dir.path(), options);
+  OASIS_ASSERT_OK(engine.status());
+
+  // Append the tail one sequence at a time: a pile of tiny volumes.
+  for (seq::Sequence& s : tail) {
+    std::vector<seq::Sequence> one;
+    one.push_back(std::move(s));
+    OASIS_ASSERT_OK((*engine)->AppendSequences(std::move(one)));
+  }
+  const size_t volumes_before = (*engine)->num_volumes();
+  ASSERT_GT(volumes_before, 4u);
+
+  std::vector<SearchRequest> requests = MotifRequests(**engine, 3, 100.0);
+  for (SearchRequest& request : requests) request.OrderByEValue(true);
+  std::vector<std::vector<core::OasisResult>> before;
+  for (const SearchRequest& request : requests) {
+    before.push_back(DrainSearch(**engine, request));
+  }
+
+  const uint64_t epoch_before = (*engine)->epoch();
+  OASIS_ASSERT_OK((*engine)->Compact());
+  EXPECT_LT((*engine)->num_volumes(), volumes_before);
+  EXPECT_NE((*engine)->epoch(), epoch_before);
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SCOPED_TRACE("query #" + std::to_string(i));
+    ExpectStreamParity(before[i], DrainSearch(**engine, requests[i]),
+                       /*by_evalue=*/true);
+  }
+
+  // The replaced volumes' subdirectories are gone from disk; the ones the
+  // manifest still names are present.
+  size_t live_dirs = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir.path())) {
+    if (entry.is_directory()) ++live_dirs;
+  }
+  EXPECT_EQ(live_dirs, (*engine)->num_volumes());
+}
+
+TEST(MultiVolume, InFlightCursorSurvivesAppendAndCompact) {
+  std::vector<seq::Sequence> base, tail;
+  SplitDatabase(&base, &tail);
+
+  util::TempDir dir("mv_snapshot");
+  EngineOptions options = MultiVolumeOptions();
+  options.compact_trigger_volumes = 0;
+  auto base_db = seq::SequenceDatabase::Build(
+      seq::Alphabet::Protein(), std::vector<seq::Sequence>(base));
+  OASIS_ASSERT_OK(base_db.status());
+  auto engine = Engine::CreateFromDatabase(std::move(base_db).value(),
+                                           dir.path(), options);
+  OASIS_ASSERT_OK(engine.status());
+
+  SearchRequest request = std::move(MotifRequests(**engine, 1, 1000.0)[0]);
+  request.OrderByEValue(true);
+  const auto expected = DrainSearch(**engine, request);
+  ASSERT_GT(expected.size(), 1u) << "needs a stream to interrupt";
+
+  auto cursor = (*engine)->Search(request);
+  OASIS_ASSERT_OK(cursor.status());
+  auto first = cursor->Next();
+  OASIS_ASSERT_OK(first.status());
+  ASSERT_TRUE(first->has_value());
+  ExpectResultEq(**first, expected[0], 0);
+
+  // Mutate the live set under the open cursor: append, then compact —
+  // compaction DELETES the files the cursor is still streaming from
+  // (unlink-while-open), so the pinned snapshot must keep them readable.
+  OASIS_ASSERT_OK((*engine)->AppendSequences(std::move(tail)));
+  OASIS_ASSERT_OK((*engine)->Compact());
+
+  std::vector<core::OasisResult> rest = Drain(*cursor);
+  ASSERT_EQ(rest.size(), expected.size() - 1);
+  for (size_t i = 0; i < rest.size(); ++i) {
+    ExpectResultEq(rest[i], expected[i + 1], i + 1);
+  }
+}
+
+TEST(MultiVolume, ConcurrentSearchesDuringAppendAndCompact) {
+  std::vector<seq::Sequence> base, tail;
+  SplitDatabase(&base, &tail);
+
+  util::TempDir dir("mv_traffic");
+  EngineOptions options = MultiVolumeOptions();
+  options.compact_trigger_volumes = 3;  // appends schedule background work
+  auto base_db = seq::SequenceDatabase::Build(
+      seq::Alphabet::Protein(), std::vector<seq::Sequence>(base));
+  OASIS_ASSERT_OK(base_db.status());
+  auto engine = Engine::CreateFromDatabase(std::move(base_db).value(),
+                                           dir.path(), options);
+  OASIS_ASSERT_OK(engine.status());
+
+  std::vector<SearchRequest> requests = MotifRequests(**engine, 4, 100.0);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> searches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto cursor = (*engine)->Search(requests[t % requests.size()]);
+        ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+        Drain(*cursor);
+        searches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Grow the set sequence by sequence while the readers hammer it; the
+  // trigger fires background compactions along the way.
+  for (seq::Sequence& s : tail) {
+    std::vector<seq::Sequence> one;
+    one.push_back(std::move(s));
+    OASIS_ASSERT_OK((*engine)->AppendSequences(std::move(one)));
+  }
+  (*engine)->WaitForCompaction();
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(searches.load(), 0u);
+}
+
+// --- Stats plumbing (PartitionedBuildStats through CollectStats) ------------
+
+TEST(MultiVolume, CollectStatsSurfacesPartitionedBuildStats) {
+  ParityFixture fx;
+  const util::EngineStatsSnapshot snapshot = fx.multi->CollectStats();
+  ASSERT_EQ(snapshot.volumes.size(), fx.multi->num_volumes());
+  uint64_t total_sequences = 0;
+  for (const util::VolumeStatsRow& row : snapshot.volumes) {
+    SCOPED_TRACE(row.name);
+    EXPECT_GT(row.sequences, 0u);
+    EXPECT_GT(row.residues, 0u);
+    EXPECT_GT(row.partitions, 0u);
+    EXPECT_GT(row.passes, 0u);
+    // Every partition holds at least one suffix; none holds more than the
+    // volume's whole suffix population (residues + terminators).
+    EXPECT_GT(row.max_partition_suffixes, 0u);
+    EXPECT_LE(row.max_partition_suffixes, row.residues + row.sequences);
+    total_sequences += row.sequences;
+  }
+  EXPECT_EQ(total_sequences, fx.multi->num_sequences());
+
+  // Both rendered surfaces carry the rows.
+  const std::string text = util::StatsText(snapshot);
+  EXPECT_NE(text.find("volumes:"), std::string::npos) << text;
+  EXPECT_NE(text.find("max suffixes"), std::string::npos) << text;
+  const std::string json = util::StatsJson(snapshot);
+  EXPECT_NE(json.find("\"max_partition_suffixes\""), std::string::npos)
+      << json;
+
+  // A legacy single-volume engine predates the persisted stats: no rows,
+  // and the rendered output keeps its historical shape.
+  const util::EngineStatsSnapshot legacy = fx.mono->CollectStats();
+  EXPECT_TRUE(legacy.volumes.empty());
+  EXPECT_EQ(util::StatsText(legacy).find("volumes:"), std::string::npos);
+}
+
+// --- The daemon over a growing volume set -----------------------------------
+
+TEST(MultiVolumeDaemon, AppendInvalidatesResultCacheViaEpoch) {
+  util::TempDir dir("mvd_cache");
+  auto engine = Engine::CreateFromDatabase(TestDatabase(), dir.path(),
+                                           MultiVolumeOptions());
+  OASIS_ASSERT_OK(engine.status());
+
+  auto server = server::Server::Start(
+      std::vector<server::ServedIndex>{{"main", engine->get()}},
+      server::ServerOptions());
+  OASIS_ASSERT_OK(server.status());
+  auto client =
+      server::DaemonClient::Connect("127.0.0.1", (*server)->port());
+  OASIS_ASSERT_OK(client.status());
+
+  // A query with a planted perfect-match target we append later.
+  auto db = (*engine)->ResidentDatabase();
+  OASIS_ASSERT_OK(db.status());
+  const seq::Sequence& src = (*db)->sequence(1);
+  const size_t qlen = std::min<size_t>(24, src.size());
+  std::vector<seq::Symbol> qsyms(src.symbols().begin(),
+                                 src.symbols().begin() + qlen);
+  server::WireRequest wire;
+  wire.query = (*engine)->alphabet().Decode(qsyms);
+  wire.min_score = 20;
+
+  auto stream = [&](std::vector<std::string>* lines) {
+    return (*client).Query(wire, [lines](std::string_view line) {
+      lines->push_back(std::string(line));
+      return true;
+    });
+  };
+
+  std::vector<std::string> first, second, after;
+  auto outcome = stream(&first);
+  OASIS_ASSERT_OK(outcome.status());
+  EXPECT_FALSE(outcome->cached);
+  outcome = stream(&second);
+  OASIS_ASSERT_OK(outcome.status());
+  EXPECT_TRUE(outcome->cached) << "same epoch, same request: a cache hit";
+  EXPECT_EQ(first, second);
+
+  // Append a sequence the query matches perfectly; the epoch bump must
+  // force a fresh search that finds it.
+  std::vector<seq::Sequence> extra;
+  extra.emplace_back("APPENDED", std::vector<seq::Symbol>(qsyms));
+  OASIS_ASSERT_OK((*engine)->AppendSequences(std::move(extra)));
+  (*engine)->WaitForCompaction();
+
+  outcome = stream(&after);
+  OASIS_ASSERT_OK(outcome.status());
+  EXPECT_FALSE(outcome->cached)
+      << "the epoch bump must invalidate the cached stream";
+  EXPECT_GT(after.size(), first.size());
+  bool found = false;
+  for (const std::string& line : after) {
+    if (line.find("APPENDED") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << "the appended sequence must be searchable";
+  (*server)->Shutdown();
+}
+
+TEST(MultiVolumeDaemon, ServesQueriesWhileTheIndexGrows) {
+  std::vector<seq::Sequence> base, tail;
+  SplitDatabase(&base, &tail);
+
+  util::TempDir dir("mvd_traffic");
+  EngineOptions options = MultiVolumeOptions();
+  options.compact_trigger_volumes = 3;
+  auto base_db = seq::SequenceDatabase::Build(
+      seq::Alphabet::Protein(), std::vector<seq::Sequence>(base));
+  OASIS_ASSERT_OK(base_db.status());
+  auto engine = Engine::CreateFromDatabase(std::move(base_db).value(),
+                                           dir.path(), options);
+  OASIS_ASSERT_OK(engine.status());
+
+  auto server = server::Server::Start(
+      std::vector<server::ServedIndex>{{"main", engine->get()}},
+      server::ServerOptions());
+  OASIS_ASSERT_OK(server.status());
+
+  auto db = (*engine)->ResidentDatabase();
+  OASIS_ASSERT_OK(db.status());
+  const seq::Sequence& src = (*db)->sequence(2);
+  std::vector<seq::Symbol> qsyms(
+      src.symbols().begin(),
+      src.symbols().begin() + std::min<size_t>(16, src.size()));
+  server::WireRequest wire;
+  wire.query = (*engine)->alphabet().Decode(qsyms);
+  wire.min_score = 15;
+  wire.no_cache = true;  // every query runs a real search
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&] {
+      auto client =
+          server::DaemonClient::Connect("127.0.0.1", (*server)->port());
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<std::string> lines;
+        auto outcome = client->Query(wire, [&lines](std::string_view line) {
+          lines.push_back(std::string(line));
+          return true;
+        });
+        ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+        ASSERT_EQ(outcome->hits, lines.size());
+      }
+    });
+  }
+
+  for (seq::Sequence& s : tail) {
+    std::vector<seq::Sequence> one;
+    one.push_back(std::move(s));
+    OASIS_ASSERT_OK((*engine)->AppendSequences(std::move(one)));
+  }
+  (*engine)->WaitForCompaction();
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  (*server)->Shutdown();
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,227 @@
+// VolumeSetManifest in isolation: the single home of index-dir layout
+// knowledge. Round-trips must be lossless, the legacy fallback must
+// synthesize a one-volume set, and every corruption a hostile or torn
+// manifest could exhibit — missing header, count mismatch, path-escaping
+// names, unknown keys — must be rejected loudly, never half-loaded.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/volume_set.h"
+#include "suffix/packed_tree.h"
+#include "test_util.h"
+#include "util/env.h"
+
+namespace oasis {
+namespace {
+
+using api::VolumeInfo;
+using api::VolumeSetManifest;
+
+/// Writes raw bytes to `dir/name` (for hand-crafted manifest corpses).
+void WriteFile(const std::string& dir, const std::string& name,
+               const std::string& contents) {
+  std::ofstream out(dir + "/" + name, std::ios::trunc | std::ios::binary);
+  ASSERT_TRUE(out) << "cannot write " << dir << "/" << name;
+  out << contents;
+}
+
+VolumeInfo MakeVolume(const std::string& name, uint64_t sequences,
+                      uint64_t residues, uint32_t partitions, uint32_t passes,
+                      uint64_t max_suffixes) {
+  VolumeInfo volume;
+  volume.name = name;
+  volume.num_sequences = sequences;
+  volume.num_residues = residues;
+  volume.build_stats.num_partitions = partitions;
+  volume.build_stats.num_passes = passes;
+  volume.build_stats.max_partition_suffixes = max_suffixes;
+  return volume;
+}
+
+TEST(VolumeSetManifest, NextVolumeNameIsMonotoneAndNeverReused) {
+  VolumeSetManifest manifest;
+  EXPECT_EQ(manifest.NextVolumeName(), "vol_0000");
+  EXPECT_EQ(manifest.NextVolumeName(), "vol_0001");
+  EXPECT_EQ(manifest.next_volume(), 2u);
+
+  // Compaction replaces every volume; the counter must not rewind — a
+  // reader holding the old set may still have vol_0001 open.
+  manifest.ReplaceVolumes({MakeVolume("vol_0002", 1, 10, 1, 1, 10)});
+  EXPECT_EQ(manifest.NextVolumeName(), "vol_0002");
+  EXPECT_EQ(manifest.NextVolumeName(), "vol_0003");
+}
+
+TEST(VolumeSetManifest, SaveLoadRoundTripIsLossless) {
+  util::TempDir dir("volset");
+  VolumeSetManifest manifest;
+  manifest.AddVolume(MakeVolume(manifest.NextVolumeName(), 12, 4096, 3, 2,
+                                1777));
+  manifest.AddVolume(MakeVolume(manifest.NextVolumeName(), 5, 512, 1, 1, 513));
+  manifest.BumpGeneration();
+  manifest.BumpGeneration();
+  OASIS_ASSERT_OK(manifest.Save(dir.path()));
+
+  EXPECT_TRUE(VolumeSetManifest::Exists(dir.path()));
+  auto loaded = VolumeSetManifest::Load(dir.path());
+  OASIS_ASSERT_OK(loaded.status());
+  EXPECT_FALSE(loaded->legacy());
+  EXPECT_EQ(loaded->generation(), 3u);
+  EXPECT_EQ(loaded->next_volume(), 2u);
+  ASSERT_EQ(loaded->num_volumes(), 2u);
+  EXPECT_EQ(loaded->volumes()[0].name, "vol_0000");
+  EXPECT_EQ(loaded->volumes()[0].num_sequences, 12u);
+  EXPECT_EQ(loaded->volumes()[0].num_residues, 4096u);
+  EXPECT_EQ(loaded->volumes()[0].build_stats.num_partitions, 3u);
+  EXPECT_EQ(loaded->volumes()[0].build_stats.num_passes, 2u);
+  EXPECT_EQ(loaded->volumes()[0].build_stats.max_partition_suffixes, 1777u);
+  EXPECT_EQ(loaded->volumes()[1].name, "vol_0001");
+  EXPECT_EQ(loaded->num_sequences(), 17u);
+  EXPECT_EQ(loaded->num_residues(), 4608u);
+
+  // The atomic publish must not leave its temp file behind.
+  EXPECT_FALSE(std::filesystem::exists(
+      dir.path() + "/" + std::string(VolumeSetManifest::kFileName) + ".tmp"));
+}
+
+TEST(VolumeSetManifest, SaveOverwritesAtomically) {
+  util::TempDir dir("volset");
+  VolumeSetManifest manifest;
+  manifest.AddVolume(MakeVolume(manifest.NextVolumeName(), 1, 10, 1, 1, 11));
+  OASIS_ASSERT_OK(manifest.Save(dir.path()));
+
+  manifest.AddVolume(MakeVolume(manifest.NextVolumeName(), 2, 20, 1, 1, 21));
+  manifest.BumpGeneration();
+  OASIS_ASSERT_OK(manifest.Save(dir.path()));
+
+  auto loaded = VolumeSetManifest::Load(dir.path());
+  OASIS_ASSERT_OK(loaded.status());
+  EXPECT_EQ(loaded->generation(), 2u);
+  EXPECT_EQ(loaded->num_volumes(), 2u);
+}
+
+TEST(VolumeSetManifest, SaveRefusesEmptyVolumeList) {
+  util::TempDir dir("volset");
+  VolumeSetManifest manifest;
+  const util::Status status = manifest.Save(dir.path());
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(VolumeSetManifest, LegacyDirectorySynthesizesOneVolumeSet) {
+  util::TempDir dir("volset");
+  // A packed tree at the root, no manifest file: the pre-volume layout.
+  WriteFile(dir.path(), suffix::PackedTreeFiles::kMeta, "placeholder\n");
+
+  EXPECT_FALSE(VolumeSetManifest::Exists(dir.path()));
+  auto loaded = VolumeSetManifest::Load(dir.path());
+  OASIS_ASSERT_OK(loaded.status());
+  EXPECT_TRUE(loaded->legacy());
+  ASSERT_EQ(loaded->num_volumes(), 1u);
+  EXPECT_EQ(loaded->volumes()[0].name, VolumeSetManifest::kLegacyVolumeName);
+  // Counts are zero: the engine reads the real numbers from the tree.
+  EXPECT_EQ(loaded->volumes()[0].num_sequences, 0u);
+  EXPECT_EQ(loaded->volumes()[0].num_residues, 0u);
+}
+
+TEST(VolumeSetManifest, EmptyDirectoryIsNotFound) {
+  util::TempDir dir("volset");
+  const auto loaded = VolumeSetManifest::Load(dir.path());
+  EXPECT_TRUE(loaded.status().IsNotFound()) << loaded.status().ToString();
+}
+
+TEST(VolumeSetManifest, VolumeDirJoinsNamesAndKeepsLegacyRoot) {
+  EXPECT_EQ(VolumeSetManifest::VolumeDir("/idx", "vol_0003"), "/idx/vol_0003");
+  EXPECT_EQ(VolumeSetManifest::VolumeDir(
+                "/idx", VolumeSetManifest::kLegacyVolumeName),
+            "/idx");
+}
+
+TEST(VolumeSetManifest, FindVolumeByName) {
+  VolumeSetManifest manifest;
+  manifest.AddVolume(MakeVolume("vol_0000", 1, 10, 1, 1, 11));
+  manifest.AddVolume(MakeVolume("vol_0002", 1, 10, 1, 1, 11));
+  EXPECT_EQ(manifest.FindVolume("vol_0000"), 0);
+  EXPECT_EQ(manifest.FindVolume("vol_0002"), 1);
+  EXPECT_EQ(manifest.FindVolume("vol_0001"), -1);
+}
+
+// --- Corruption rejection ---------------------------------------------------
+
+/// Loads a hand-written manifest and expects Corruption mentioning `what`.
+void ExpectCorrupt(const std::string& contents, const std::string& what) {
+  util::TempDir dir("volset");
+  WriteFile(dir.path(), VolumeSetManifest::kFileName, contents);
+  const auto loaded = VolumeSetManifest::Load(dir.path());
+  ASSERT_TRUE(loaded.status().IsCorruption())
+      << "contents:\n" << contents << "\ngot: " << loaded.status().ToString();
+  EXPECT_NE(loaded.status().ToString().find(what), std::string::npos)
+      << "expected '" << what << "' in: " << loaded.status().ToString();
+}
+
+TEST(VolumeSetManifest, RejectsMissingHeader) {
+  ExpectCorrupt(
+      "generation 1\nnext_volume 1\nnum_volumes 1\n"
+      "volume vol_0000 1 10 1 1 11\n",
+      "missing its format header");
+}
+
+TEST(VolumeSetManifest, RejectsUnsupportedVersion) {
+  ExpectCorrupt("oasis_volume_set 2\nnum_volumes 0\n",
+                "unsupported format version");
+}
+
+TEST(VolumeSetManifest, RejectsVolumeCountMismatch) {
+  ExpectCorrupt(
+      "oasis_volume_set 1\ngeneration 1\nnext_volume 2\nnum_volumes 2\n"
+      "volume vol_0000 1 10 1 1 11\n",
+      "declares 2 volumes but lists 1");
+}
+
+TEST(VolumeSetManifest, RejectsEmptyVolumeList) {
+  ExpectCorrupt(
+      "oasis_volume_set 1\ngeneration 1\nnext_volume 0\nnum_volumes 0\n",
+      "lists no volumes");
+}
+
+TEST(VolumeSetManifest, RejectsPathEscapingVolumeNames) {
+  // A manifest must never direct its reader outside the index directory.
+  ExpectCorrupt(
+      "oasis_volume_set 1\ngeneration 1\nnext_volume 1\nnum_volumes 1\n"
+      "volume ../evil 1 10 1 1 11\n",
+      "escapes the index directory");
+  ExpectCorrupt(
+      "oasis_volume_set 1\ngeneration 1\nnext_volume 1\nnum_volumes 1\n"
+      "volume a/b 1 10 1 1 11\n",
+      "escapes the index directory");
+}
+
+TEST(VolumeSetManifest, RejectsUnknownKeys) {
+  ExpectCorrupt(
+      "oasis_volume_set 1\nshiny_new_knob 7\nnum_volumes 0\n",
+      "unknown key");
+}
+
+TEST(VolumeSetManifest, RejectsTruncatedVolumeRecord) {
+  ExpectCorrupt(
+      "oasis_volume_set 1\ngeneration 1\nnext_volume 1\nnum_volumes 1\n"
+      "volume vol_0000 1 10\n",
+      "malformed volume record");
+}
+
+TEST(VolumeSetManifest, ToleratesCrlfAndBlankLines) {
+  util::TempDir dir("volset");
+  WriteFile(dir.path(), VolumeSetManifest::kFileName,
+            "oasis_volume_set 1\r\n\r\ngeneration 4\r\nnext_volume 1\r\n"
+            "num_volumes 1\r\nvolume vol_0000 2 64 1 1 65\r\n");
+  auto loaded = VolumeSetManifest::Load(dir.path());
+  OASIS_ASSERT_OK(loaded.status());
+  EXPECT_EQ(loaded->generation(), 4u);
+  EXPECT_EQ(loaded->volumes()[0].num_residues, 64u);
+}
+
+}  // namespace
+}  // namespace oasis
