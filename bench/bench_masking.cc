@@ -1,0 +1,272 @@
+// Adversarial masking bench: proves soft masking defuses the repeat bomb
+// and costs nothing on clean input.
+//
+// Leg 1 (adversarial): a repeat-dense DNA database (workload repeat bomb —
+// tandem low-complexity runs covering ~80% of the residues) is indexed
+// twice, mask=off and mask=soft, and the same motif workload is searched
+// against both. The bomb's runs give an unmasked index a seed hit at
+// nearly every repeat position; the soft index excludes them from seeding
+// while keeping every residue in the arc labels, so the measured speedup
+// is pure pruned work, not lost sequence. The bench FAILS (exit 1) when
+// the speedup falls below the floor (OASIS_MASK_MIN_SPEEDUP, default 3).
+//
+// Leg 2 (parity): a *verified* repeat-free protein database — sequences
+// the repeat detector flags are redrawn until nothing masks — is indexed
+// the same two ways. With nothing masked the soft build excludes nothing,
+// and the two indexes must return byte-identical result streams. Any
+// divergence FAILS the bench: masking must be free when there is nothing
+// to mask.
+//
+// The speedup gate measures *work* (cells_computed, the paper's DP-cell
+// currency), not wall time: the ratio is deterministic for a fixed seed,
+// so the CI gate cannot flake on a noisy machine. Wall times are printed
+// alongside for the humans.
+//
+// Knobs: OASIS_MASK_DB_RESIDUES (default 200000), OASIS_NUM_QUERIES
+// (default 100), OASIS_MASK_MIN_SPEEDUP (default 3.0), OASIS_SEED.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+#include "mask/tantan.h"
+
+namespace oasis {
+namespace bench {
+namespace {
+
+struct LegResult {
+  double seconds = 0;
+  uint64_t results = 0;
+  uint64_t cells = 0;  ///< DP cells computed — the deterministic work measure
+  std::vector<BatchResult> batches;
+};
+
+/// Drains every query through `engine` and returns wall time + work.
+LegResult RunQueries(const api::Engine& engine,
+                     const std::vector<workload::MotifQuery>& queries) {
+  LegResult out;
+  util::Timer timer;
+  for (const workload::MotifQuery& query : queries) {
+    auto batch = engine.SearchAll(SearchRequest(query.symbols).EValue(10.0));
+    OASIS_CHECK(batch.ok()) << batch.status().ToString();
+    out.results += batch->results.size();
+    out.cells += batch->stats.cells_computed;
+    out.batches.push_back(std::move(batch).value());
+  }
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+/// A protein database the repeat detector certifies clean: any sequence
+/// with a flagged position is redrawn (same id, same length) until nothing
+/// masks. Deterministic given the seed, so the parity leg can demand exact
+/// equality without flaking.
+seq::SequenceDatabase MakeRepeatFreeProteinDb(uint64_t target_residues,
+                                              uint64_t seed) {
+  workload::ProteinDatabaseOptions options;
+  options.target_residues = target_residues;
+  options.seed = seed;
+  auto db = workload::GenerateProteinDatabase(options);
+  OASIS_CHECK(db.ok()) << db.status().ToString();
+  const seq::Alphabet& alphabet = db->alphabet();
+  std::vector<seq::Sequence> sequences = db->sequences();
+  util::Random rng(seed ^ 0x5eedf00dull);
+  bool clean = false;
+  for (int round = 0; round < 200 && !clean; ++round) {
+    clean = true;
+    for (seq::Sequence& sequence : sequences) {
+      std::vector<uint8_t> repeats =
+          mask::FindRepeats(sequence.symbols(), alphabet.size());
+      if (std::find(repeats.begin(), repeats.end(), uint8_t{1}) !=
+          repeats.end()) {
+        sequence = seq::Sequence(
+            sequence.id(),
+            workload::RandomProteinResidues(rng, sequence.size()));
+        clean = false;
+      }
+    }
+  }
+  OASIS_CHECK(clean) << "could not draw a repeat-free protein database";
+  auto rebuilt =
+      seq::SequenceDatabase::Build(alphabet, std::move(sequences));
+  OASIS_CHECK(rebuilt.ok()) << rebuilt.status().ToString();
+  return std::move(rebuilt).value();
+}
+
+/// Builds one engine over a copy of `db` with the given mask mode. The
+/// volume layout is forced (volume_size_bytes) so CollectStats reports the
+/// per-volume indexed/masked suffix counts.
+std::unique_ptr<api::Engine> BuildEngine(const seq::SequenceDatabase& db,
+                                         const util::TempDir& dir,
+                                         const std::string& name,
+                                         api::MaskMode mode) {
+  api::EngineOptions options;
+  options.mask_mode = mode;
+  options.volume_size_bytes = 1ull << 40;  // one real volume, stats rows on
+  seq::SequenceDatabase copy = db;
+  auto engine = api::Engine::CreateFromDatabase(std::move(copy),
+                                                dir.path() + "/" + name,
+                                                options);
+  OASIS_CHECK(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+/// Sums the indexed / masked suffix counts across the engine's volumes.
+std::pair<uint64_t, uint64_t> SuffixCounts(const api::Engine& engine) {
+  uint64_t indexed = 0;
+  uint64_t masked = 0;
+  for (const util::VolumeStatsRow& row : engine.CollectStats().volumes) {
+    indexed += row.indexed_suffixes;
+    masked += row.masked_suffixes;
+  }
+  return {indexed, masked};
+}
+
+bool SameResults(const std::vector<BatchResult>& a,
+                 const std::vector<BatchResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t q = 0; q < a.size(); ++q) {
+    if (a[q].results.size() != b[q].results.size()) return false;
+    for (size_t i = 0; i < a[q].results.size(); ++i) {
+      const core::OasisResult& x = a[q].results[i];
+      const core::OasisResult& y = b[q].results[i];
+      if (x.sequence_id != y.sequence_id || x.score != y.score ||
+          x.db_end_pos != y.db_end_pos || x.query_end != y.query_end) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int Run() {
+  const uint64_t residues =
+      static_cast<uint64_t>(util::EnvInt64("OASIS_MASK_DB_RESIDUES", 200000));
+  const uint32_t num_queries =
+      static_cast<uint32_t>(util::EnvInt64("OASIS_NUM_QUERIES", 100));
+  const uint64_t seed = static_cast<uint64_t>(util::EnvInt64("OASIS_SEED", 42));
+  const char* floor_env = std::getenv("OASIS_MASK_MIN_SPEEDUP");
+  const double min_speedup =
+      floor_env != nullptr && floor_env[0] != '\0' ? std::atof(floor_env) : 3.0;
+
+  std::printf("==================================================================\n");
+  std::printf("masking bench: repeat-bomb speedup + clean-input parity\n");
+  std::printf("==================================================================\n");
+
+  // --- Leg 1: the repeat bomb -----------------------------------------------
+  workload::RepeatBombOptions bomb_options;
+  bomb_options.target_residues = residues;
+  bomb_options.repeat_fraction = 0.9;
+  bomb_options.seed = seed;
+  auto bomb = workload::GenerateRepeatBombDatabase(bomb_options);
+  OASIS_CHECK(bomb.ok()) << bomb.status().ToString();
+
+  // Longer queries than the protein motif default: a long low-complexity
+  // query matches a repeat-rich tree at thousands of loci (deep, expensive
+  // expansions) and a masked tree at almost none — exactly the asymmetry
+  // the adversarial leg exists to measure.
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries = num_queries;
+  q_options.min_length = 20;
+  q_options.max_length = 56;
+  q_options.log_mean = 3.5;
+  q_options.seed = seed;
+  auto queries = workload::GenerateMotifQueries(
+      *bomb, score::SubstitutionMatrix::Blastn(), q_options);
+  OASIS_CHECK(queries.ok()) << queries.status().ToString();
+
+  util::TempDir dir("mask");
+  auto unmasked = BuildEngine(*bomb, dir, "bomb_off", api::MaskMode::kOff);
+  auto masked = BuildEngine(*bomb, dir, "bomb_soft", api::MaskMode::kSoft);
+  const auto [off_indexed, off_masked] = SuffixCounts(*unmasked);
+  const auto [soft_indexed, soft_masked] = SuffixCounts(*masked);
+  std::printf("bomb db: %llu residues; suffixes indexed off=%llu "
+              "soft=%llu (masked %llu)\n",
+              static_cast<unsigned long long>(bomb->num_residues()),
+              static_cast<unsigned long long>(off_indexed),
+              static_cast<unsigned long long>(soft_indexed),
+              static_cast<unsigned long long>(soft_masked));
+  OASIS_CHECK(soft_masked > 0)
+      << "repeat bomb masked nothing: the adversarial leg is vacuous";
+
+  const LegResult off_leg = RunQueries(*unmasked, *queries);
+  const LegResult soft_leg = RunQueries(*masked, *queries);
+  const double speedup =
+      soft_leg.cells > 0
+          ? static_cast<double>(off_leg.cells) / static_cast<double>(soft_leg.cells)
+          : 0.0;
+  std::printf("%-10s %14s %10s %12s\n", "mode", "cells", "time (s)",
+              "results");
+  std::printf("%-10s %14llu %10.3f %12llu\n", "off",
+              static_cast<unsigned long long>(off_leg.cells), off_leg.seconds,
+              static_cast<unsigned long long>(off_leg.results));
+  std::printf("%-10s %14llu %10.3f %12llu\n", "soft",
+              static_cast<unsigned long long>(soft_leg.cells), soft_leg.seconds,
+              static_cast<unsigned long long>(soft_leg.results));
+  std::printf("adversarial work speedup: %.2fx (floor %.2fx)\n", speedup,
+              min_speedup);
+
+  // --- Leg 2: clean-input parity --------------------------------------------
+  seq::SequenceDatabase clean = MakeRepeatFreeProteinDb(residues / 4, seed);
+
+  workload::MotifQueryOptions pq_options;
+  pq_options.num_queries = std::max<uint32_t>(20, num_queries / 5);
+  pq_options.seed = seed;
+  auto clean_queries = workload::GenerateMotifQueries(
+      clean, score::SubstitutionMatrix::Pam30(), pq_options);
+  OASIS_CHECK(clean_queries.ok()) << clean_queries.status().ToString();
+
+  auto clean_off = BuildEngine(clean, dir, "clean_off", api::MaskMode::kOff);
+  auto clean_soft = BuildEngine(clean, dir, "clean_soft", api::MaskMode::kSoft);
+  const auto [clean_indexed, clean_masked] = SuffixCounts(*clean_soft);
+  OASIS_CHECK(clean_masked == 0)
+      << "the certified-clean database still masked " << clean_masked
+      << " suffixes";
+  const LegResult clean_off_leg = RunQueries(*clean_off, *clean_queries);
+  const LegResult clean_soft_leg = RunQueries(*clean_soft, *clean_queries);
+  // Identical results AND identical work: the soft build of a clean input
+  // must be the same index, not merely an equivalent one.
+  const bool parity =
+      SameResults(clean_off_leg.batches, clean_soft_leg.batches) &&
+      clean_off_leg.cells == clean_soft_leg.cells &&
+      clean_indexed == SuffixCounts(*clean_off).first;
+  std::printf("clean protein db: %llu residues, %llu suffixes masked; "
+              "parity %s (%llu vs %llu results, %llu vs %llu cells)\n",
+              static_cast<unsigned long long>(clean.num_residues()),
+              static_cast<unsigned long long>(clean_masked),
+              parity ? "OK" : "BROKEN",
+              static_cast<unsigned long long>(clean_off_leg.results),
+              static_cast<unsigned long long>(clean_soft_leg.results),
+              static_cast<unsigned long long>(clean_off_leg.cells),
+              static_cast<unsigned long long>(clean_soft_leg.cells));
+
+  // bench_gate.py prefixes every key with the bench name, so these merge
+  // into the artifact as masking.adversarial.speedup etc.
+  WriteBenchJson("masking",
+                 {{"adversarial.speedup", speedup},
+                  {"clean.parity", parity ? 1.0 : 0.0}},
+                 {{"adversarial.queries", queries->size()},
+                  {"adversarial.masked_suffixes", soft_masked}});
+
+  if (!parity) {
+    std::fprintf(stderr,
+                 "FAIL: soft masking changed results on repeat-free input\n");
+    return 1;
+  }
+  if (speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: adversarial speedup %.2fx below floor %.2fx\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oasis
+
+int main() { return oasis::bench::Run(); }

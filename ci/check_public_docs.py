@@ -37,6 +37,9 @@ HEADERS = [
     "src/api/engine.h",
     "src/api/volume_set.h",
     "src/core/merge.h",
+    "src/mask/tantan.h",
+    "src/score/quality.h",
+    "src/seq/fastq.h",
     "src/server/client.h",
     "src/server/flags.h",
     "src/server/result_cache.h",

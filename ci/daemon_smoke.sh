@@ -26,7 +26,11 @@
 #      query, and an unknown volume name is rejected;
 #  11. compact: `oasis_cli compact` merges the four volumes into one and
 #      the hit set survives unchanged;
-#  12. SIGTERM: graceful drain, daemon exits 0.
+#  12. masking: an index built with `--mask soft` over a repeat-heavy
+#      FASTA still finds queries drawn from the unique regions, locally
+#      and through a third oasisd — gentle masking prunes repeat seeds
+#      without losing real sequence;
+#  13. SIGTERM: graceful drain, daemon exits 0.
 #
 # CI runs this against an ASan+UBSan build (.github/workflows/ci.yml,
 # daemon-integration job) so the whole daemon process is under the
@@ -51,8 +55,9 @@ done
 WORK=$(mktemp -d)
 DAEMON_PID=
 MV_PID=
+MASK_PID=
 cleanup() {
-  for pid in "$DAEMON_PID" "$MV_PID"; do
+  for pid in "$DAEMON_PID" "$MV_PID" "$MASK_PID"; do
     if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
       kill -KILL "$pid" 2>/dev/null || true
     fi
@@ -265,7 +270,62 @@ grep -q "compacted" "$WORK/compact.out" || {
 name_scores "$WORK/mv_compacted.out" > "$WORK/mv_compacted.ns"
 diff -u "$WORK/mono.ns" "$WORK/mv_compacted.ns"
 
-echo "== 12. SIGTERM drains and exits 0"
+echo "== 12. masked index: unique regions survive --mask soft"
+# Each record is a unique 80-residue head followed by a 200-residue
+# low-complexity tail (short-period repeat): the bomb the masker exists
+# to defuse. The query is a 13-mer from one unique head, so it must
+# still hit its source sequence in the masked index.
+python3 - "$WORK/repeats.fasta" <<'EOF'
+import random, sys
+random.seed(17)
+alphabet = "ACDEFGHIKLMNPQRSTVWY"
+with open(sys.argv[1], "w") as f:
+    for i in range(40):
+        head = "".join(random.choice(alphabet) for _ in range(80))
+        unit = "".join(random.choice(alphabet) for _ in range(3))
+        f.write(f">rep{i}\n{head}{unit * 67}\n")
+EOF
+"$CLI" build "$WORK/repeats.fasta" "$WORK/ixmask" --protein --mask soft \
+  > /dev/null
+MASK_QUERY=$(sed -n '10p' "$WORK/repeats.fasta" | cut -c20-32)
+"$CLI" search "$WORK/ixmask" "$MASK_QUERY" --minscore 15 > "$WORK/mask_local.out"
+hits_only "$WORK/mask_local.out" > "$WORK/mask_local.hits"
+if ! grep -q '^rep4 ' "$WORK/mask_local.hits"; then
+  echo "masked index lost the query's source sequence rep4:" >&2
+  cat "$WORK/mask_local.out" >&2
+  exit 1
+fi
+
+echo "   boot a third oasisd serving the masked index"
+"$DAEMON" --index masked="$WORK/ixmask" --port 0 --result-cache-mb 4 \
+  > "$WORK/daemon_mask.out" 2> "$WORK/daemon_mask.err" &
+MASK_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "oasisd listening on" "$WORK/daemon_mask.out" 2>/dev/null && break
+  if ! kill -0 "$MASK_PID" 2>/dev/null; then
+    echo "masked-index oasisd died during startup:" >&2
+    cat "$WORK/daemon_mask.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+MASK_PORT=$(sed -n 's/^oasisd listening on .*:\([0-9][0-9]*\)$/\1/p' "$WORK/daemon_mask.out")
+"$CLI" query "$MASK_QUERY" --connect 127.0.0.1:"$MASK_PORT" --ix masked \
+  --minscore 15 > "$WORK/mask_daemon.out"
+hits_only "$WORK/mask_daemon.out" > "$WORK/mask_daemon.hits"
+diff -u "$WORK/mask_local.hits" "$WORK/mask_daemon.hits"
+echo "   $(wc -l < "$WORK/mask_local.hits") hit lines through the masked index"
+kill -TERM "$MASK_PID"
+rc=0
+wait "$MASK_PID" || rc=$?
+MASK_PID=
+if [ "$rc" -ne 0 ]; then
+  echo "masked-index oasisd exited $rc after SIGTERM; stderr:" >&2
+  cat "$WORK/daemon_mask.err" >&2
+  exit 1
+fi
+
+echo "== 13. SIGTERM drains and exits 0"
 kill -TERM "$DAEMON_PID"
 rc=0
 wait "$DAEMON_PID" || rc=$?

@@ -1,9 +1,11 @@
 // oasis_cli: a small command-line front end over the oasis::Engine facade.
 //
 //   oasis_cli build  <db.fasta> <index_dir> [--dna|--protein]
-//              [--volume-mb MB] [--build-threads N]
+//              [--volume-mb MB] [--build-threads N] [--mask off|soft]
+//              [--fastq] [--fastq-offset sanger|illumina]
 //   oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]
 //   oasis_cli append <index_dir> <more.fasta> [--volume-mb MB]
+//              [--mask off|soft] [--fastq] [--fastq-offset sanger|illumina]
 //   oasis_cli compact <index_dir> [--volume-mb MB]
 //   oasis_cli search <index_dir> <QUERYRESIDUES>
 //              [--evalue E | --minscore S] [--top K] [--pool-mb MB]
@@ -36,6 +38,17 @@
 // over — for everything else results are merged across all volumes with
 // E-values computed against the whole set, so hits are byte-identical to
 // a single-volume build of the same FASTA.
+//
+// `--mask soft` turns on gentle repeat masking at build/append time:
+// tantan-style detection marks low-complexity runs, masked positions are
+// excluded from suffix-tree seeding (and BLAST seeds) but stay in the
+// stored sequences at full alignment score, and render lowercase in
+// output. An index built soft stays soft: appends and compactions
+// re-apply the mode whatever flag the later invocation passes. `--fastq`
+// reads the input as four-line FASTQ instead of FASTA; per-base phred
+// qualities are stored alongside the index and picked up by the
+// quality-weighted `scan` path. `--fastq-offset` selects the quality
+// encoding (sanger = phred+33, the default; illumina = legacy phred+64).
 //
 // `query` and `stats` are client modes against a running oasisd: `query`
 // streams hits as the daemon proves them (same line format as `search`,
@@ -86,12 +99,15 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "api/engine.h"
 #include "core/report.h"
+#include "score/quality.h"
 #include "seq/fasta.h"
+#include "seq/fastq.h"
 #include "server/client.h"
 #include "server/flags.h"
 #include "util/flag_parse.h"
@@ -106,10 +122,13 @@ int Usage() {
       stderr,
       "usage:\n"
       "  oasis_cli build  <db.fasta> <index_dir> [--dna|--protein]\n"
-      "             [--volume-mb MB] [--build-threads N]\n"
+      "             [--volume-mb MB] [--build-threads N] [--mask off|soft]\n"
+      "             [--fastq] [--fastq-offset sanger|illumina]\n"
       "  oasis_cli index  <db.fasta> <index_dir> [--dna|--protein]\n"
       "             (legacy alias of build; single-volume layout)\n"
       "  oasis_cli append <index_dir> <more.fasta> [--volume-mb MB]\n"
+      "             [--mask off|soft] [--fastq]\n"
+      "             [--fastq-offset sanger|illumina]\n"
       "  oasis_cli compact <index_dir> [--volume-mb MB]\n"
       "  oasis_cli search <index_dir> <QUERY>\n"
       "             [--evalue E | --minscore S] [--top K] [--pool-mb MB]\n"
@@ -135,6 +154,11 @@ int Usage() {
       "volumes of ~M MiB each (a volume set); without it the index is the\n"
       "legacy single-volume layout. append adds sequences as a fresh\n"
       "volume (no rebuild); compact merges adjacent small volumes.\n"
+      "--mask soft detects low-complexity repeats at build/append time and\n"
+      "excludes them from seeding (gentle masking: alignments still pass\n"
+      "through them at full score); an index built soft stays soft.\n"
+      "--fastq reads the input as FASTQ; the per-base qualities persist\n"
+      "with the index and engage quality-weighted scoring in scan.\n"
       "query/stats talk to a running oasisd; query exits 0 on a complete\n"
       "stream, 3 when the deadline cut it short, 4 when it was cancelled\n"
       "(hits streamed before the abort are printed either way).\n");
@@ -174,6 +198,11 @@ struct Args {
   uint32_t build_threads = 0;           // 0 = hardware concurrency
   uint32_t max_volumes = 0;             // 0 = search all volumes
   std::vector<std::string> volume_filter;  // empty = all volumes
+
+  // Input handling (build/append).
+  api::MaskMode mask = api::MaskMode::kOff;  // --mask soft = repeat masking
+  bool fastq = false;                        // input is FASTQ, not FASTA
+  seq::FastqOffset fastq_offset = seq::FastqOffset::kSanger;
 
   // Daemon-client mode (query / stats commands).
   std::string connect_host;
@@ -353,6 +382,20 @@ bool Parse(int argc, char** argv, Args* args) {
       auto parsed = util::ParseUint64(v, 1, kMaxPoolMb);
       if (!parsed.ok()) return BadFlag("--volume-mb", parsed.status());
       args->volume_mb = *parsed;
+    } else if (flag == "--mask") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto parsed = api::ParseMaskMode(v);
+      if (!parsed.ok()) return BadFlag("--mask", parsed.status());
+      args->mask = *parsed;
+    } else if (flag == "--fastq") {
+      args->fastq = true;
+    } else if (flag == "--fastq-offset") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto parsed = seq::ParseFastqOffset(v);
+      if (!parsed.ok()) return BadFlag("--fastq-offset", parsed.status());
+      args->fastq_offset = *parsed;
     } else if (flag == "--build-threads") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -432,8 +475,25 @@ int RunBuild(const Args& args) {
       args.dna ? seq::AlphabetKind::kDna : seq::AlphabetKind::kProtein;
   options.volume_size_bytes = args.volume_mb << 20;
   options.build_threads = args.build_threads;
+  options.mask_mode = args.mask;
   util::Timer timer;
-  auto engine = Engine::Create(args.fasta, args.index_dir, options);
+  util::StatusOr<std::unique_ptr<Engine>> engine = [&] {
+    if (!args.fastq) return Engine::Create(args.fasta, args.index_dir, options);
+    // FASTQ input: parse the records (qualities included) ourselves, then
+    // hand the finished database to the engine.
+    const seq::Alphabet alphabet =
+        args.dna ? seq::Alphabet::Dna() : seq::Alphabet::Protein();
+    auto records =
+        seq::ReadFastqFile(args.fasta, alphabet, args.fastq_offset);
+    if (!records.ok()) {
+      return util::StatusOr<std::unique_ptr<Engine>>(records.status());
+    }
+    auto db = seq::SequenceDatabase::Build(alphabet, std::move(*records));
+    if (!db.ok()) {
+      return util::StatusOr<std::unique_ptr<Engine>>(db.status());
+    }
+    return Engine::CreateFromDatabase(std::move(*db), args.index_dir, options);
+  }();
   if (!engine.ok()) return Fail(engine.status());
   std::printf("indexed %llu residues (%llu sequences) into %s "
               "(%zu volume%s) in %.2fs\n",
@@ -450,10 +510,19 @@ int RunAppend(const Args& args) {
   // --volume-mb sets the compaction target: volumes smaller than this are
   // candidates for the background merge the append may trigger.
   options.volume_size_bytes = args.volume_mb << 20;
+  options.mask_mode = args.mask;
   auto engine = Engine::Open(args.index_dir, options);
   if (!engine.ok()) return Fail(engine.status());
   util::Timer timer;
-  auto status = (*engine)->Append(args.fasta);
+  util::Status status;
+  if (args.fastq) {
+    auto records = seq::ReadFastqFile(args.fasta, (*engine)->alphabet(),
+                                      args.fastq_offset);
+    if (!records.ok()) return Fail(records.status());
+    status = (*engine)->AppendSequences(std::move(*records));
+  } else {
+    status = (*engine)->Append(args.fasta);
+  }
   if (!status.ok()) return Fail(status);
   (*engine)->WaitForCompaction();
   std::printf("appended %s: now %llu residues (%llu sequences) across "
@@ -636,18 +705,33 @@ int RunScan(const Args& args) {
   auto db = (*engine)->ResidentDatabase();
   if (!db.ok()) return Fail(db.status());
 
+  // Quality-weighted scoring engages automatically when any database
+  // sequence carries phred qualities (FASTQ input, persisted with the
+  // index). Databases without qualities take the exact plain path —
+  // byte-identical to the pre-quality scan.
+  bool any_quals = false;
+  for (uint64_t i = 0; i < (*db)->num_sequences(); ++i) {
+    if ((*db)->sequence(static_cast<seq::SequenceId>(i)).has_quals()) {
+      any_quals = true;
+      break;
+    }
+  }
+  std::optional<score::QualityAdjust> quality;
+  if (any_quals) quality.emplace((*engine)->matrix());
+
   std::printf("scanning %llu sequences with the S-W baseline: "
-              "%zu-residue query, matrix %s, minScore %d, simd %s\n\n",
+              "%zu-residue query, matrix %s%s, minScore %d, simd %s\n\n",
               static_cast<unsigned long long>((*db)->num_sequences()),
               request->query().size(), (*engine)->matrix().name().c_str(),
-              threshold,
+              quality ? " (quality-weighted)" : "", threshold,
               align::simd::SimdLevelName((*engine)->simd_level()));
 
   align::AlignStats stats;
   util::Timer timer;
   const std::vector<align::SequenceHit> hits =
       align::ScanDatabase(request->query(), **db, (*engine)->matrix(),
-                          threshold, &stats, args.simd);
+                          threshold, &stats, args.simd,
+                          quality ? &*quality : nullptr);
   const double elapsed = timer.ElapsedSeconds();
 
   uint64_t printed = 0;

@@ -1,12 +1,22 @@
 #include "align/pair_aligner.h"
 
+#include "util/logging.h"
+
 namespace oasis {
 namespace align {
 
 PairAligner::PairAligner(std::span<const seq::Symbol> query,
                          const score::SubstitutionMatrix& matrix,
-                         simd::SimdMode mode)
-    : query_(query), matrix_(&matrix), level_(simd::ResolveLevel(mode)) {
+                         simd::SimdMode mode,
+                         const score::QualityAdjust* quality)
+    : query_(query),
+      matrix_(&matrix),
+      quality_(quality),
+      level_(simd::ResolveLevel(mode)) {
+  if (quality_ != nullptr) {
+    OASIS_CHECK(&quality_->matrix() == matrix_)
+        << "quality tables must be built from the aligner's matrix";
+  }
   if (level_ != simd::SimdLevel::kScalar) {
     profile_.emplace(query_, *matrix_, level_);
     // A matrix whose scores fit no lane width (or an empty query) makes
@@ -14,6 +24,10 @@ PairAligner::PairAligner(std::span<const seq::Symbol> query,
     if (!profile_->u8().viable && !profile_->u16().viable) {
       profile_.reset();
       level_ = simd::SimdLevel::kScalar;
+    } else if (quality_ != nullptr) {
+      // Same layouts as the plain profile (both derive from the raw
+      // matrix), so viability never diverges between the two.
+      quality_profile_.emplace(query_, *quality_, level_);
     }
   }
 }
@@ -24,6 +38,20 @@ SequenceHit PairAligner::Align(std::span<const seq::Symbol> target,
     return AlignPair(query_, target, *matrix_, stats, &workspace_);
   }
   return simd::AlignStriped(*profile_, target, stats, &scratch_, &workspace_);
+}
+
+SequenceHit PairAligner::Align(std::span<const seq::Symbol> target,
+                               std::span<const uint8_t> target_quals,
+                               AlignStats* stats) {
+  if (quality_ == nullptr || target_quals.empty()) {
+    return Align(target, stats);
+  }
+  if (!quality_profile_.has_value()) {
+    return AlignPairQuality(query_, target, *quality_, target_quals, stats,
+                            &workspace_);
+  }
+  return simd::AlignStripedQuality(*quality_profile_, target, target_quals,
+                                   stats, &scratch_, &workspace_);
 }
 
 }  // namespace align

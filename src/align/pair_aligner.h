@@ -27,10 +27,15 @@ namespace align {
 class PairAligner {
  public:
   /// Resolves `mode` (see simd::ResolveLevel) and, for vector levels,
-  /// builds the query profile.
+  /// builds the query profile. A non-null `quality` (its matrix must be
+  /// `matrix`, and it must outlive the aligner) arms the quality path:
+  /// the three-argument Align() then scores targets that carry phred
+  /// qualities with the binned tables. Targets without qualities — and
+  /// every call when `quality` is null — take the exact plain path.
   PairAligner(std::span<const seq::Symbol> query,
               const score::SubstitutionMatrix& matrix,
-              simd::SimdMode mode = simd::SimdMode::kAuto);
+              simd::SimdMode mode = simd::SimdMode::kAuto,
+              const score::QualityAdjust* quality = nullptr);
 
   /// The dispatch level Align() runs at.
   simd::SimdLevel level() const { return level_; }
@@ -40,12 +45,24 @@ class PairAligner {
   SequenceHit Align(std::span<const seq::Symbol> target,
                     AlignStats* stats = nullptr);
 
+  /// Quality-aware variant: when the aligner was armed with quality
+  /// tables AND `target_quals` is non-empty (one phred value per target
+  /// symbol), scores with AlignPairQuality / AlignStripedQuality;
+  /// otherwise defers to the plain Align() byte for byte.
+  SequenceHit Align(std::span<const seq::Symbol> target,
+                    std::span<const uint8_t> target_quals,
+                    AlignStats* stats = nullptr);
+
  private:
   std::span<const seq::Symbol> query_;
   const score::SubstitutionMatrix* matrix_;
+  const score::QualityAdjust* quality_;
   simd::SimdLevel level_;
   /// Present only at vector levels with at least one viable lane width.
   std::optional<simd::QueryProfile> profile_;
+  /// Quality-expanded twin of profile_, built only when `quality` was
+  /// supplied (same viability: both derive layouts from the raw matrix).
+  std::optional<simd::QueryProfile> quality_profile_;
   simd::StripedScratch scratch_;
   AlignWorkspace workspace_;
 };

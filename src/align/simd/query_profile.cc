@@ -51,13 +51,16 @@ WidthLayout MakeLayout(uint32_t vector_bytes, uint32_t word_bytes,
   return layout;
 }
 
-template <typename Word>
+// Fills one word width's striped lanes for `num_columns` target codes,
+// scoring query position p against column code r with `score_of(p, r)`.
+// Plain profiles pass sigma columns scored from the matrix; quality
+// profiles pass effective_sigma columns scored from the binned tables.
+template <typename Word, typename ScoreFn>
 void FillLanes(const WidthLayout& layout, std::span<const seq::Symbol> query,
-               const score::SubstitutionMatrix& matrix,
+               uint32_t num_columns, ScoreFn score_of,
                std::vector<Word>* lanes, std::vector<Word>* mask) {
   const uint32_t m = static_cast<uint32_t>(query.size());
-  const uint32_t sigma = matrix.size();
-  lanes->assign(static_cast<size_t>(sigma) * layout.stride, 0);
+  lanes->assign(static_cast<size_t>(num_columns) * layout.stride, 0);
   mask->assign(layout.stride, 0);
   for (uint32_t s = 0; s < layout.seg_len; ++s) {
     for (uint32_t l = 0; l < layout.lanes; ++l) {
@@ -65,13 +68,13 @@ void FillLanes(const WidthLayout& layout, std::span<const seq::Symbol> query,
       if (p < m) (*mask)[s * layout.lanes + l] = std::numeric_limits<Word>::max();
     }
   }
-  for (uint32_t r = 0; r < sigma; ++r) {
+  for (uint32_t r = 0; r < num_columns; ++r) {
     Word* column = lanes->data() + static_cast<size_t>(r) * layout.stride;
     for (uint32_t s = 0; s < layout.seg_len; ++s) {
       for (uint32_t l = 0; l < layout.lanes; ++l) {
         const uint32_t p = l * layout.seg_len + s;
         if (p >= m) continue;
-        const score::ScoreT score = matrix.Score(query[p], r);
+        const score::ScoreT score = score_of(p, r);
         column[s * layout.lanes + l] =
             static_cast<Word>(score + static_cast<score::ScoreT>(layout.bias));
       }
@@ -94,9 +97,43 @@ QueryProfile::QueryProfile(std::span<const seq::Symbol> query,
   const uint32_t vec = VectorBytes(level);
   u8_ = MakeLayout(vec, 1, query_len_, matrix);
   u16_ = MakeLayout(vec, 2, query_len_, matrix);
-  if (u8_.viable) FillLanes<uint8_t>(u8_, query_, matrix, &lanes8_, &mask8_);
+  const auto score_of = [&](uint32_t p, uint32_t r) {
+    return matrix.Score(query_[p], static_cast<seq::Symbol>(r));
+  };
+  if (u8_.viable) {
+    FillLanes<uint8_t>(u8_, query_, matrix.size(), score_of, &lanes8_, &mask8_);
+  }
   if (u16_.viable) {
-    FillLanes<uint16_t>(u16_, query_, matrix, &lanes16_, &mask16_);
+    FillLanes<uint16_t>(u16_, query_, matrix.size(), score_of, &lanes16_,
+                        &mask16_);
+  }
+}
+
+QueryProfile::QueryProfile(std::span<const seq::Symbol> query,
+                           const score::QualityAdjust& quality, SimdLevel level)
+    : query_(query.begin(), query.end()),
+      matrix_(&quality.matrix()),
+      quality_(&quality),
+      level_(level),
+      query_len_(static_cast<uint32_t>(query.size())) {
+  for (seq::Symbol sym : query_) {
+    OASIS_DCHECK(sym < matrix_->size()) << "query symbol out of alphabet";
+  }
+  // Layouts derive from the raw matrix: every adjusted score is clamped
+  // into [min_score, max_score], so the raw bias/viability rules cover
+  // the quality tables too (and match the plain profile bit for bit).
+  const uint32_t vec = VectorBytes(level);
+  u8_ = MakeLayout(vec, 1, query_len_, *matrix_);
+  u16_ = MakeLayout(vec, 2, query_len_, *matrix_);
+  const auto score_of = [&](uint32_t p, uint32_t r) {
+    return quality_->ScoreEffective(query_[p], static_cast<seq::Symbol>(r));
+  };
+  const uint32_t columns = quality.effective_sigma();
+  if (u8_.viable) {
+    FillLanes<uint8_t>(u8_, query_, columns, score_of, &lanes8_, &mask8_);
+  }
+  if (u16_.viable) {
+    FillLanes<uint16_t>(u16_, query_, columns, score_of, &lanes16_, &mask16_);
   }
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "align/simd/dispatch.h"
+#include "score/quality.h"
 #include "score/substitution_matrix.h"
 #include "seq/alphabet.h"
 
@@ -55,10 +56,27 @@ class QueryProfile {
   QueryProfile(std::span<const seq::Symbol> query,
                const score::SubstitutionMatrix& matrix, SimdLevel level);
 
+  /// Quality-expanded profile: the striped columns cover the
+  /// quality.effective_sigma() *effective* target symbols
+  /// (bin * sigma + residue) instead of the sigma residues, scored with
+  /// quality.ScoreEffective. The kernels are oblivious — they index
+  /// columns by whatever codes the target span carries — so a target
+  /// re-coded with score::QualityAdjust::EffectiveTarget runs through
+  /// them unchanged. Layout constants (bias, viability) come from the raw
+  /// matrix, which stays sound because every adjusted score is clamped
+  /// into [matrix.min_score(), matrix.max_score()]. `quality` must
+  /// outlive the profile.
+  QueryProfile(std::span<const seq::Symbol> query,
+               const score::QualityAdjust& quality, SimdLevel level);
+
   /// Level the lanes were laid out for.
   SimdLevel level() const { return level_; }
   /// Scoring matrix the profile was built from (must outlive it).
   const score::SubstitutionMatrix& matrix() const { return *matrix_; }
+  /// Quality tables the lanes were scored with, or null for a plain
+  /// (residue-column) profile. Non-null means targets MUST be re-coded to
+  /// effective symbols before hitting the kernels.
+  const score::QualityAdjust* quality() const { return quality_; }
   /// Query length m.
   uint32_t query_len() const { return query_len_; }
   /// The copied query symbols.
@@ -69,8 +87,8 @@ class QueryProfile {
   /// 16-bit layout; check .viable before touching lanes16()/mask16().
   const WidthLayout& u16() const { return u16_; }
 
-  /// Biased 8-bit lanes: residue r's striped column starts at
-  /// r * u8().stride.
+  /// Biased 8-bit lanes: column code r (a residue, or an effective
+  /// symbol for quality profiles) starts at r * u8().stride.
   const uint8_t* lanes8() const { return lanes8_.data(); }
   /// Biased 16-bit lanes, same layout with u16()'s constants.
   const uint16_t* lanes16() const { return lanes16_.data(); }
@@ -83,6 +101,7 @@ class QueryProfile {
  private:
   std::vector<seq::Symbol> query_;
   const score::SubstitutionMatrix* matrix_;
+  const score::QualityAdjust* quality_ = nullptr;
   SimdLevel level_;
   uint32_t query_len_;
   WidthLayout u8_, u16_;

@@ -1,46 +1,64 @@
 #include "align/simd/sw_kernels.h"
 
+#include "util/logging.h"
+
 namespace oasis {
 namespace align {
 namespace simd {
+
+namespace {
+
+// The vector rungs of the overflow ladder, shared by the plain and the
+// quality entry points. `kernel_target` carries whatever codes the
+// profile's columns were built for (raw residues, or effective symbols
+// for a quality profile) — the kernel bodies only ever use it as a
+// column index. Returns true when some width produced the exact result.
+bool RunVectorLadder(const QueryProfile& profile,
+                     std::span<const seq::Symbol> kernel_target,
+                     StripedScratch* scratch, SequenceHit* hit) {
+  const SimdLevel level = profile.level();
+  if (level == SimdLevel::kScalar) return false;
+
+  // Rung 1: unsigned saturating 8-bit lanes.
+  if (profile.u8().viable) {
+    const StripedResult r =
+        level == SimdLevel::kAvx2
+            ? internal::StripedU8Avx2(profile, kernel_target, scratch)
+            : internal::StripedU8Sse4(profile, kernel_target, scratch);
+    if (!r.overflow) {
+      hit->score = r.score;
+      hit->query_end = r.query_end;
+      hit->target_end = r.target_end;
+      return true;
+    }
+  }
+  // Rung 2: 16-bit lanes, on 8-bit overflow or when 8-bit was never
+  // viable for this matrix.
+  if (profile.u16().viable) {
+    const StripedResult r =
+        level == SimdLevel::kAvx2
+            ? internal::StripedU16Avx2(profile, kernel_target, scratch)
+            : internal::StripedU16Sse4(profile, kernel_target, scratch);
+    if (!r.overflow) {
+      hit->score = r.score;
+      hit->query_end = r.query_end;
+      hit->target_end = r.target_end;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 SequenceHit AlignStriped(const QueryProfile& profile,
                          std::span<const seq::Symbol> target,
                          AlignStats* stats, StripedScratch* scratch,
                          AlignWorkspace* scalar_ws) {
-  const SimdLevel level = profile.level();
+  OASIS_DCHECK(profile.quality() == nullptr)
+      << "quality profiles need AlignStripedQuality (re-coded targets)";
   SequenceHit hit;
-  bool done = false;
-
-  if (level != SimdLevel::kScalar) {
-    // Rung 1: unsigned saturating 8-bit lanes.
-    if (profile.u8().viable) {
-      const StripedResult r =
-          level == SimdLevel::kAvx2
-              ? internal::StripedU8Avx2(profile, target, scratch)
-              : internal::StripedU8Sse4(profile, target, scratch);
-      if (!r.overflow) {
-        hit.score = r.score;
-        hit.query_end = r.query_end;
-        hit.target_end = r.target_end;
-        done = true;
-      }
-    }
-    // Rung 2: 16-bit lanes, on 8-bit overflow or when 8-bit was never
-    // viable for this matrix.
-    if (!done && profile.u16().viable) {
-      const StripedResult r =
-          level == SimdLevel::kAvx2
-              ? internal::StripedU16Avx2(profile, target, scratch)
-              : internal::StripedU16Sse4(profile, target, scratch);
-      if (!r.overflow) {
-        hit.score = r.score;
-        hit.query_end = r.query_end;
-        hit.target_end = r.target_end;
-        done = true;
-      }
-    }
-  }
+  bool done = RunVectorLadder(profile, target, scratch, &hit);
 
   // Rung 3: the scalar kernel — also the path for kScalar profiles and
   // scores beyond 16 bits. Stats stay out of AlignPair here; the unified
@@ -48,6 +66,40 @@ SequenceHit AlignStriped(const QueryProfile& profile,
   if (!done) {
     hit = AlignPair(profile.query(), target, profile.matrix(),
                     /*stats=*/nullptr, scalar_ws);
+  }
+
+  if (stats != nullptr) {
+    stats->columns_expanded += target.size();
+    stats->cells_computed += target.size() * profile.query_len();
+  }
+  return hit;
+}
+
+SequenceHit AlignStripedQuality(const QueryProfile& profile,
+                                std::span<const seq::Symbol> target,
+                                std::span<const uint8_t> target_quals,
+                                AlignStats* stats, StripedScratch* scratch,
+                                AlignWorkspace* scalar_ws) {
+  const score::QualityAdjust* quality = profile.quality();
+  OASIS_CHECK(quality != nullptr)
+      << "AlignStripedQuality needs a quality-expanded profile";
+
+  SequenceHit hit;
+  bool done = false;
+  if (profile.level() != SimdLevel::kScalar &&
+      (profile.u8().viable || profile.u16().viable)) {
+    std::vector<seq::Symbol> local_codes;
+    std::vector<seq::Symbol>* codes =
+        scratch != nullptr ? &scratch->effective_target : &local_codes;
+    quality->EffectiveTarget(target, target_quals, codes);
+    done = RunVectorLadder(profile, *codes, scratch, &hit);
+  }
+
+  // Scalar rung: the quality-aware scalar kernel keeps the vector and
+  // scalar paths bit-identical, exactly like the plain ladder.
+  if (!done) {
+    hit = AlignPairQuality(profile.query(), target, *quality, target_quals,
+                           /*stats=*/nullptr, scalar_ws);
   }
 
   if (stats != nullptr) {

@@ -33,6 +33,9 @@ namespace simd {
 struct StripedScratch {
   std::vector<uint8_t> h_store;  ///< striped column being written
   std::vector<uint8_t> h_load;   ///< striped column of the previous target symbol
+  /// Effective-symbol re-coding of the current target (quality path only;
+  /// see AlignStripedQuality). Reused across targets like the H columns.
+  std::vector<seq::Symbol> effective_target;
 };
 
 /// Outcome of one width's striped run (internal to the ladder, exposed
@@ -55,6 +58,21 @@ SequenceHit AlignStriped(const QueryProfile& profile,
                          std::span<const seq::Symbol> target,
                          AlignStats* stats, StripedScratch* scratch,
                          AlignWorkspace* scalar_ws);
+
+/// Quality-weighted AlignStriped. `profile` must have been built with the
+/// quality constructor (profile.quality() != nullptr); the target is
+/// re-coded to effective symbols (bin * sigma + residue) in
+/// scratch->effective_target and pushed through the same 8 → 16 → scalar
+/// ladder — the vector kernel bodies run unchanged, only the column codes
+/// and lane contents differ. Byte-identical to AlignPairQuality(
+/// profile.query(), target, *profile.quality(), target_quals, stats):
+/// same score, same tie-broken ends, same stats accounting.
+/// `target_quals` holds one phred value per target symbol.
+SequenceHit AlignStripedQuality(const QueryProfile& profile,
+                                std::span<const seq::Symbol> target,
+                                std::span<const uint8_t> target_quals,
+                                AlignStats* stats, StripedScratch* scratch,
+                                AlignWorkspace* scalar_ws);
 
 namespace internal {
 /// Per-ISA, per-width kernel bodies, defined in sw_avx2.cc / sw_sse4.cc.

@@ -52,6 +52,51 @@ SequenceHit AlignPair(std::span<const seq::Symbol> query,
   return best;
 }
 
+SequenceHit AlignPairQuality(std::span<const seq::Symbol> query,
+                             std::span<const seq::Symbol> target,
+                             const score::QualityAdjust& quality,
+                             std::span<const uint8_t> target_quals,
+                             AlignStats* stats, AlignWorkspace* workspace) {
+  OASIS_CHECK_EQ(target.size(), target_quals.size())
+      << "one phred value per target symbol";
+  const size_t m = query.size();
+  const ScoreT gap = quality.matrix().gap_penalty();
+
+  SequenceHit best;
+  best.score = 0;
+
+  AlignWorkspace local;
+  AlignWorkspace& ws = workspace != nullptr ? *workspace : local;
+  ws.prev.assign(m + 1, 0);
+  ws.cur.assign(m + 1, 0);
+  ScoreT* prev = ws.prev.data();
+  ScoreT* cur = ws.cur.data();
+
+  for (size_t j = 1; j <= target.size(); ++j) {
+    const seq::Symbol t = target[j - 1];
+    const uint32_t bin = score::QualityAdjust::BinOf(target_quals[j - 1]);
+    cur[0] = 0;
+    for (size_t i = 1; i <= m; ++i) {
+      ScoreT rep = prev[i - 1] + quality.Score(query[i - 1], t, bin);
+      ScoreT ins = prev[i] + gap;     // skip target symbol
+      ScoreT del = cur[i - 1] + gap;  // skip query symbol
+      ScoreT v = std::max({ScoreT{0}, rep, ins, del});
+      cur[i] = v;
+      if (v > best.score) {
+        best.score = v;
+        best.query_end = i - 1;
+        best.target_end = j - 1;
+      }
+    }
+    if (stats != nullptr) {
+      ++stats->columns_expanded;
+      stats->cells_computed += m;
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
 std::vector<std::vector<ScoreT>> FullMatrix(
     std::span<const seq::Symbol> query, std::span<const seq::Symbol> target,
     const score::SubstitutionMatrix& matrix) {
@@ -74,15 +119,20 @@ std::vector<SequenceHit> ScanDatabase(std::span<const seq::Symbol> query,
                                       const seq::SequenceDatabase& db,
                                       const score::SubstitutionMatrix& matrix,
                                       ScoreT min_score, AlignStats* stats,
-                                      simd::SimdMode simd) {
+                                      simd::SimdMode simd,
+                                      const score::QualityAdjust* quality) {
   OASIS_CHECK_GE(min_score, 1) << "local alignment scores are positive";
+  if (quality != nullptr) {
+    OASIS_CHECK(&quality->matrix() == &matrix)
+        << "quality tables must be built from the scan matrix";
+  }
   // One aligner for the whole scan: the query profile is built once and
   // the DP scratch is reused across targets (no per-pair allocation).
-  PairAligner aligner(query, matrix, simd);
+  PairAligner aligner(query, matrix, simd, quality);
   std::vector<SequenceHit> hits;
   for (seq::SequenceId s = 0; s < db.num_sequences(); ++s) {
     const seq::Sequence& target = db.sequence(s);
-    SequenceHit hit = aligner.Align(target.symbols(), stats);
+    SequenceHit hit = aligner.Align(target.symbols(), target.quals(), stats);
     if (hit.score >= min_score) {
       hit.sequence_id = s;
       hits.push_back(hit);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "align/simd/dispatch.h"
+#include "score/quality.h"
 #include "score/substitution_matrix.h"
 #include "seq/database.h"
 
@@ -55,6 +56,22 @@ SequenceHit AlignPair(std::span<const seq::Symbol> query,
                       AlignStats* stats = nullptr,
                       AlignWorkspace* workspace = nullptr);
 
+/// Quality-weighted AlignPair: identical recurrence, tie-breaking and
+/// workspace contract, but target column j is scored with
+/// quality.Score(query[i-1], target[j-1], BinOf(target_quals[j-1])) —
+/// uncertain base calls contribute proportionally less evidence (see
+/// score/quality.h). `target_quals` holds one phred value per target
+/// symbol (sizes must match). With all qualities in the identity bin
+/// (phred >= 20) the result is byte-identical to AlignPair. Stats are
+/// intentionally NOT adjusted: a quality-weighted column costs the same
+/// work as a plain one.
+SequenceHit AlignPairQuality(std::span<const seq::Symbol> query,
+                             std::span<const seq::Symbol> target,
+                             const score::QualityAdjust& quality,
+                             std::span<const uint8_t> target_quals,
+                             AlignStats* stats = nullptr,
+                             AlignWorkspace* workspace = nullptr);
+
 /// Full S-W DP matrix for small inputs (tests and the paper's Table 2
 /// example). Row 0 / column 0 are the zero boundary; entry (i, j) scores
 /// alignments ending at query i / target j (1-based).
@@ -69,12 +86,19 @@ std::vector<std::vector<score::ScoreT>> FullMatrix(
 /// `simd` selects the kernel (default: best available — see
 /// align/simd/dispatch.h). Every mode produces byte-identical hits and
 /// identical AlignStats; SIMD only changes the wall clock.
+///
+/// `quality` (optional) engages quality-weighted scoring: sequences that
+/// carry phred qualities are scored with the binned tables, sequences
+/// without qualities take the exact plain path. It must wrap the same
+/// `matrix`. When null (or when no sequence has qualities) results are
+/// byte-identical to the pre-quality scan.
 std::vector<SequenceHit> ScanDatabase(std::span<const seq::Symbol> query,
                                       const seq::SequenceDatabase& db,
                                       const score::SubstitutionMatrix& matrix,
                                       score::ScoreT min_score,
                                       AlignStats* stats = nullptr,
-                                      simd::SimdMode simd = simd::SimdMode::kAuto);
+                                      simd::SimdMode simd = simd::SimdMode::kAuto,
+                                      const score::QualityAdjust* quality = nullptr);
 
 }  // namespace align
 }  // namespace oasis

@@ -8,9 +8,11 @@
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "mask/tantan.h"
 #include "seq/fasta.h"
 #include "suffix/partitioned_builder.h"
 #include "util/logging.h"
@@ -66,7 +68,162 @@ std::vector<std::vector<seq::Sequence>> SliceByBytes(
   return slices;
 }
 
+// --- Annotation sidecars ----------------------------------------------------
+//
+// The packed symbols file stores residue codes only, so a volume's
+// soft-masks and base qualities persist next to it in two optional
+// sidecars — one byte per residue of the volume, in sequence order,
+// terminators excluded. A volume without annotations writes neither file,
+// and pre-masking indexes open unchanged.
+
+constexpr char kMaskSidecarFile[] = "mask.side";
+constexpr char kQualsSidecarFile[] = "quals.side";
+/// quals.side filler for sequences that carry no qualities (real phred
+/// values top out far below 0xFF).
+constexpr uint8_t kNoQual = 0xFF;
+
+/// Writes the sidecars of a freshly built volume. The mask sidecar is
+/// written whenever the build ran soft — its mode field is what makes soft
+/// mode sticky across Open/Append even when nothing was masked — or when
+/// any sequence carries a mask (lowercase input under mask_mode=off
+/// records mode "case"). The quals sidecar is written only when some
+/// sequence carries qualities.
+util::Status WriteSidecars(const seq::SequenceDatabase& db,
+                           const std::string& volume_dir, bool soft) {
+  bool any_mask = false;
+  bool any_quals = false;
+  for (const seq::Sequence& s : db.sequences()) {
+    any_mask = any_mask || s.has_mask();
+    any_quals = any_quals || s.has_quals();
+  }
+  const uint64_t num_residues = db.num_residues();
+  if (soft || any_mask) {
+    const std::string path = volume_dir + "/" + kMaskSidecarFile;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return util::Status::IOError("cannot write " + path);
+    out << "oasis-mask 1 " << num_residues << " " << (soft ? "soft" : "case")
+        << "\n";
+    for (const seq::Sequence& s : db.sequences()) {
+      if (s.has_mask()) {
+        out.write(reinterpret_cast<const char*>(s.mask().data()),
+                  static_cast<std::streamsize>(s.mask().size()));
+      } else {
+        const std::string zeros(s.size(), '\0');
+        out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+      }
+    }
+    out.flush();
+    if (!out) return util::Status::IOError("short write to " + path);
+  }
+  if (any_quals) {
+    const std::string path = volume_dir + "/" + kQualsSidecarFile;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return util::Status::IOError("cannot write " + path);
+    out << "oasis-quals 1 " << num_residues << "\n";
+    for (const seq::Sequence& s : db.sequences()) {
+      if (s.has_quals()) {
+        out.write(reinterpret_cast<const char*>(s.quals().data()),
+                  static_cast<std::streamsize>(s.quals().size()));
+      } else {
+        const std::string fill(s.size(), static_cast<char>(kNoQual));
+        out.write(fill.data(), static_cast<std::streamsize>(fill.size()));
+      }
+    }
+    out.flush();
+    if (!out) return util::Status::IOError("short write to " + path);
+  }
+  return util::Status::OK();
+}
+
+/// Reads just the mask sidecar's header to learn whether the volume was
+/// built with soft masking. A missing sidecar reads as "not soft".
+util::StatusOr<bool> ReadMaskSidecarSoft(const std::string& volume_dir) {
+  const std::string path = volume_dir + "/" + kMaskSidecarFile;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string header;
+  std::string magic;
+  std::string mode;
+  uint32_t version = 0;
+  uint64_t residues = 0;
+  if (!std::getline(in, header)) {
+    return util::Status::Corruption("truncated mask sidecar " + path);
+  }
+  std::istringstream fields(header);
+  if (!(fields >> magic >> version >> residues >> mode) ||
+      magic != "oasis-mask" || version != 1 ||
+      (mode != "soft" && mode != "case")) {
+    return util::Status::Corruption("malformed mask sidecar header in " + path);
+  }
+  return mode == "soft";
+}
+
+/// One volume's persisted annotations, concatenated in sequence order.
+/// Empty vectors when the corresponding sidecar is absent.
+struct VolumeAnnotations {
+  std::vector<uint8_t> mask;
+  std::vector<uint8_t> quals;
+};
+
+/// Reads the body of one sidecar: header line (validated against
+/// `expected_residues`), then exactly that many raw bytes.
+util::Status ReadSidecarBody(const std::string& path, const char* magic,
+                             uint64_t expected_residues,
+                             std::vector<uint8_t>* body) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::OK();  // absent: leave *body empty
+  std::string header;
+  if (!std::getline(in, header)) {
+    return util::Status::Corruption("truncated sidecar " + path);
+  }
+  std::istringstream fields(header);
+  std::string got_magic;
+  uint32_t version = 0;
+  uint64_t residues = 0;
+  if (!(fields >> got_magic >> version >> residues) || got_magic != magic ||
+      version != 1) {
+    return util::Status::Corruption("malformed sidecar header in " + path);
+  }
+  if (residues != expected_residues) {
+    return util::Status::Corruption(
+        "sidecar " + path + " covers " + std::to_string(residues) +
+        " residues but the volume holds " + std::to_string(expected_residues));
+  }
+  body->resize(residues);
+  in.read(reinterpret_cast<char*>(body->data()),
+          static_cast<std::streamsize>(residues));
+  if (static_cast<uint64_t>(in.gcount()) != residues) {
+    return util::Status::Corruption("truncated sidecar body in " + path);
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<VolumeAnnotations> ReadAnnotations(const std::string& volume_dir,
+                                                  uint64_t expected_residues) {
+  VolumeAnnotations out;
+  OASIS_RETURN_NOT_OK(ReadSidecarBody(volume_dir + "/" + kMaskSidecarFile,
+                                      "oasis-mask", expected_residues,
+                                      &out.mask));
+  OASIS_RETURN_NOT_OK(ReadSidecarBody(volume_dir + "/" + kQualsSidecarFile,
+                                      "oasis-quals", expected_residues,
+                                      &out.quals));
+  return out;
+}
+
 }  // namespace
+
+// --- Mask mode --------------------------------------------------------------
+
+util::StatusOr<MaskMode> ParseMaskMode(const std::string& text) {
+  if (text == "off") return MaskMode::kOff;
+  if (text == "soft") return MaskMode::kSoft;
+  return util::Status::InvalidArgument("unknown mask mode '" + text +
+                                       "' (expected off or soft)");
+}
+
+std::string MaskModeName(MaskMode mode) {
+  return mode == MaskMode::kSoft ? "soft" : "off";
+}
 
 // --- SearchRequest ----------------------------------------------------------
 
@@ -174,18 +331,26 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::CreateFromDatabase(
   // are silently ambiguous; reject them before the expensive tree build.
   OASIS_RETURN_NOT_OK(SequenceCatalog::FromDatabase(db).CheckUniqueIds());
 
+  if (options.mask_mode == MaskMode::kSoft) {
+    // Repeat detection runs once, at build entry: detected positions OR
+    // into the per-sequence masks (lowercase input positions persist too)
+    // and the rebuilt database carries them into every volume build.
+    const seq::Alphabet& alphabet = db.alphabet();
+    std::vector<seq::Sequence> sequences = db.sequences();
+    mask::SoftMaskAll(&sequences, alphabet.size());
+    OASIS_ASSIGN_OR_RETURN(
+        db, seq::SequenceDatabase::Build(alphabet, std::move(sequences)));
+  }
+
   if (options.volume_size_bytes == 0) {
     // Legacy single-directory layout: one volume at the index root, no
-    // manifest — byte-compatible with every pre-volume reader.
-    suffix::PartitionedBuildStats build_stats;
-    OASIS_ASSIGN_OR_RETURN(
-        suffix::SuffixTree tree,
-        suffix::BuildPartitioned(db, suffix::PartitionedBuildOptions(),
-                                 &build_stats));
-    suffix::PackOptions pack;
-    pack.block_size = options.block_size;
-    OASIS_RETURN_NOT_OK(suffix::PackSuffixTree(tree, index_dir, pack));
-    OASIS_RETURN_NOT_OK(SequenceCatalog::FromDatabase(db).Save(index_dir));
+    // manifest — byte-compatible with every pre-volume reader. Built
+    // through the same BuildVolume path as real volumes (exclusion map,
+    // catalog, sidecars); the discarded VolumeInfo is manifest-only.
+    OASIS_RETURN_NOT_OK(
+        BuildVolume(db, index_dir, VolumeSetManifest::kLegacyVolumeName,
+                    options)
+            .status());
   } else {
     VolumeSetManifest manifest;
     OASIS_RETURN_NOT_OK(BuildVolumesParallel(db.alphabet(), db.sequences(),
@@ -283,14 +448,25 @@ util::StatusOr<VolumeInfo> Engine::BuildVolume(const seq::SequenceDatabase& db,
   // what parallel volume builds need — and reports the build statistics
   // the manifest persists.
   suffix::PartitionedBuildStats build_stats;
+  suffix::PartitionedBuildOptions build_options;
+  // Gentle masking: a masked position loses its *leaf* only. The symbols
+  // file still stores every residue, so arc labels pass straight through
+  // repeats and alignments extend across them at full score — the repeat
+  // just cannot start a match.
+  const bool soft = options.mask_mode == MaskMode::kSoft;
+  std::vector<uint8_t> exclusion;
+  if (soft) {
+    exclusion = mask::BuildExclusion(db);
+    if (!exclusion.empty()) build_options.exclude = &exclusion;
+  }
   OASIS_ASSIGN_OR_RETURN(
       suffix::SuffixTree tree,
-      suffix::BuildPartitioned(db, suffix::PartitionedBuildOptions(),
-                               &build_stats));
+      suffix::BuildPartitioned(db, build_options, &build_stats));
   suffix::PackOptions pack;
   pack.block_size = options.block_size;
   OASIS_RETURN_NOT_OK(suffix::PackSuffixTree(tree, volume_dir, pack));
   OASIS_RETURN_NOT_OK(SequenceCatalog::FromDatabase(db).Save(volume_dir));
+  OASIS_RETURN_NOT_OK(WriteSidecars(db, volume_dir, soft));
   VolumeInfo info;
   info.name = volume_name;
   info.num_sequences = db.num_sequences();
@@ -455,6 +631,7 @@ util::StatusOr<std::shared_ptr<Engine::VolumeSetState>> Engine::OpenVolumeSet(
     handle.build_stats = volume.build_stats;
     handle.id_base = id_base;
     handle.pos_base = pos_base;
+    OASIS_ASSIGN_OR_RETURN(handle.masked_soft, ReadMaskSidecarSoft(dir));
 
     auto catalog = SequenceCatalog::Load(dir);
     if (catalog.ok()) {
@@ -543,6 +720,13 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::OpenInternal(
       options.matrix != nullptr ? options.matrix : &DefaultMatrix(kind);
   OASIS_RETURN_NOT_OK(engine->AttachSearches(state.get()));
   engine->db_ = std::move(resident_db);
+  // Sticky soft mode: an index whose volumes were built soft keeps masking
+  // on Append/Compact regardless of the options it reopens with — its
+  // trees lack the masked leaves, so the masks are load-bearing.
+  engine->mask_soft_ = options.mask_mode == MaskMode::kSoft;
+  for (const VolumeHandle& volume : state->volumes) {
+    if (volume.masked_soft) engine->mask_soft_ = true;
+  }
 
   auto karlin = score::ComputeKarlinParams(*engine->matrix_);
   if (karlin.ok()) {
@@ -667,6 +851,8 @@ util::EngineStatsSnapshot Engine::CollectStats() const {
       row.partitions = volume.build_stats.num_partitions;
       row.passes = volume.build_stats.num_passes;
       row.max_partition_suffixes = volume.build_stats.max_partition_suffixes;
+      row.indexed_suffixes = volume.build_stats.total_suffixes;
+      row.masked_suffixes = volume.build_stats.excluded_suffixes;
       snapshot.volumes.push_back(std::move(row));
     }
   }
@@ -992,6 +1178,10 @@ util::StatusOr<ResultCursor> Engine::BlastSearch(
   if (resolved.simd == align::simd::SimdMode::kAuto) {
     resolved.simd = simd_mode_;
   }
+  // A soft index seeds gently here too: the BLAST word scan skips the same
+  // repeat map the suffix trees excluded, so the two engines stay
+  // comparable on repeat-dense input.
+  resolved.mask_seeds = resolved.mask_seeds || mask_soft_;
   OASIS_ASSIGN_OR_RETURN(
       blast::BlastQuery prepared,
       blast::BlastQuery::Prepare(request.query(), *matrix_, resolved));
@@ -1023,13 +1213,19 @@ util::StatusOr<ResultCursor> Engine::BlastSearch(
 // --- Resident database ------------------------------------------------------
 
 util::StatusOr<std::vector<seq::Sequence>> Engine::MaterializeSequences(
-    const VolumeSetState& state, size_t first_volume, size_t num_volumes,
-    const seq::Alphabet& alphabet) {
+    const std::string& index_dir, const VolumeSetState& state,
+    size_t first_volume, size_t num_volumes, const seq::Alphabet& alphabet) {
   std::vector<seq::Sequence> sequences;
   std::vector<uint8_t> bytes;
   for (size_t v = first_volume; v < first_volume + num_volumes; ++v) {
     const VolumeHandle& volume = state.volumes[v];
     const suffix::PackedSuffixTree& tree = *volume.tree;
+    const uint64_t volume_residues =
+        tree.total_length() - tree.num_sequences();
+    OASIS_ASSIGN_OR_RETURN(
+        VolumeAnnotations annotations,
+        ReadAnnotations(VolumeSetManifest::VolumeDir(index_dir, volume.name),
+                        volume_residues));
     for (uint32_t id = 0; id < tree.num_sequences(); ++id) {
       const uint32_t gid = volume.id_base + id;
       const uint64_t start = tree.SequenceStart(id);
@@ -1061,6 +1257,24 @@ util::StatusOr<std::vector<seq::Sequence>> Engine::MaterializeSequences(
                                     : "";
       sequences.emplace_back(std::move(cat_id), std::move(description),
                              std::move(symbols));
+      // Residue offset of this sequence within the volume's sidecars:
+      // every earlier sequence contributed exactly one terminator to the
+      // concatenated buffer, so the residue-only offset is start - id.
+      const auto residue_off = static_cast<std::ptrdiff_t>(start - id);
+      const auto residue_len = static_cast<std::ptrdiff_t>(len);
+      if (!annotations.mask.empty()) {
+        // set_mask normalizes an all-zero slice back to "no mask".
+        sequences.back().set_mask(std::vector<uint8_t>(
+            annotations.mask.begin() + residue_off,
+            annotations.mask.begin() + residue_off + residue_len));
+      }
+      if (!annotations.quals.empty() && len > 0 &&
+          annotations.quals[static_cast<size_t>(residue_off)] != kNoQual) {
+        // The kNoQual fill is whole-sequence, so the first byte decides.
+        sequences.back().set_quals(std::vector<uint8_t>(
+            annotations.quals.begin() + residue_off,
+            annotations.quals.begin() + residue_off + residue_len));
+      }
     }
   }
   return sequences;
@@ -1076,7 +1290,8 @@ util::StatusOr<const seq::SequenceDatabase*> Engine::ResidentDatabase() {
   auto state = snapshot();
   OASIS_ASSIGN_OR_RETURN(
       std::vector<seq::Sequence> sequences,
-      MaterializeSequences(*state, 0, state->volumes.size(), *alphabet_));
+      MaterializeSequences(index_dir_, *state, 0, state->volumes.size(),
+                           *alphabet_));
   OASIS_ASSIGN_OR_RETURN(
       seq::SequenceDatabase db,
       seq::SequenceDatabase::Build(*alphabet_, std::move(sequences)));
@@ -1101,18 +1316,46 @@ util::Status Engine::AppendSequences(std::vector<seq::Sequence> sequences) {
   auto state = snapshot();
 
   // Reject id collisions — against the existing catalog and within the
-  // batch — before anything touches disk.
-  std::unordered_set<std::string> seen;
-  seen.reserve(state->catalog.size() + sequences.size());
-  for (const CatalogEntry& entry : state->catalog.entries()) {
-    seen.insert(entry.id);
+  // batch — before anything touches disk. A collision with the existing
+  // set names the volume that already holds the id, so the caller can find
+  // (and, if intended, replace) the original.
+  std::unordered_map<std::string, uint32_t> existing;
+  existing.reserve(state->catalog.size());
+  for (uint32_t gid = 0; gid < state->catalog.size(); ++gid) {
+    existing.emplace(state->catalog.entry(gid).id, gid);
   }
+  std::unordered_set<std::string> batch;
+  batch.reserve(sequences.size());
   for (const seq::Sequence& sequence : sequences) {
-    if (!seen.insert(sequence.id()).second) {
+    const auto hit = existing.find(sequence.id());
+    if (hit != existing.end()) {
+      // The owning volume is the one whose global-id range covers the
+      // colliding id.
+      std::string owner = "?";
+      for (const VolumeHandle& volume : state->volumes) {
+        if (hit->second >= volume.id_base &&
+            hit->second < volume.id_base + volume.tree->num_sequences()) {
+          owner = volume.name;
+          break;
+        }
+      }
       return util::Status::InvalidArgument(
           "appending sequence id '" + sequence.id() +
-          "' would collide with an existing sequence");
+          "' would collide with an existing sequence in volume '" + owner +
+          "'");
     }
+    if (!batch.insert(sequence.id()).second) {
+      return util::Status::InvalidArgument(
+          "appended batch repeats sequence id '" + sequence.id() + "'");
+    }
+  }
+
+  // Sticky soft mode: the new volume masks under the same policy the set
+  // was built with, whatever options this engine reopened with.
+  EngineOptions volume_options = options_;
+  if (mask_soft_) {
+    volume_options.mask_mode = MaskMode::kSoft;
+    mask::SoftMaskAll(&sequences, alphabet_->size());
   }
 
   VolumeSetManifest manifest = state->manifest;
@@ -1123,7 +1366,7 @@ util::Status Engine::AppendSequences(std::vector<seq::Sequence> sequences) {
   OASIS_ASSIGN_OR_RETURN(
       VolumeInfo info,
       BuildVolume(db, VolumeSetManifest::VolumeDir(index_dir_, name), name,
-                  options_));
+                  volume_options));
   manifest.AddVolume(std::move(info));
   manifest.BumpGeneration();
   // Atomic publish: a crash between here and the swap below leaves a fully
@@ -1188,9 +1431,15 @@ util::Status Engine::CompactLocked() {
       const Run run = runs[next_run++];
       OASIS_ASSIGN_OR_RETURN(
           std::vector<seq::Sequence> sequences,
-          MaterializeSequences(*state, run.first, run.count, *alphabet_));
+          MaterializeSequences(index_dir_, *state, run.first, run.count,
+                               *alphabet_));
       std::vector<std::vector<seq::Sequence>> slices =
           SliceByBytes(std::move(sequences), options_.volume_size_bytes);
+      // Sticky soft mode, without re-running repeat detection: the merged
+      // volume rebuilds its exclusion map from the masks the sidecars
+      // restored, so compaction never changes what is masked.
+      EngineOptions volume_options = options_;
+      if (mask_soft_) volume_options.mask_mode = MaskMode::kSoft;
       for (std::vector<seq::Sequence>& slice : slices) {
         const std::string name = manifest.NextVolumeName();
         OASIS_ASSIGN_OR_RETURN(
@@ -1199,7 +1448,7 @@ util::Status Engine::CompactLocked() {
         OASIS_ASSIGN_OR_RETURN(
             VolumeInfo info,
             BuildVolume(db, VolumeSetManifest::VolumeDir(index_dir_, name),
-                        name, options_));
+                        name, volume_options));
         rebuilt.push_back(std::move(info));
       }
       for (size_t k = run.first; k < run.first + run.count; ++k) {
@@ -1232,7 +1481,9 @@ util::Status Engine::CompactLocked() {
       for (const char* file :
            {suffix::PackedTreeFiles::kSymbols, suffix::PackedTreeFiles::kInternal,
             suffix::PackedTreeFiles::kLeaves, suffix::PackedTreeFiles::kMeta,
-            SequenceCatalog::kFileName}) {
+            SequenceCatalog::kFileName,
+            static_cast<const char*>(kMaskSidecarFile),
+            static_cast<const char*>(kQualsSidecarFile)}) {
         std::filesystem::remove(index_dir_ + "/" + file, ec);
       }
     } else {

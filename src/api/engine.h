@@ -101,6 +101,30 @@ inline constexpr uint32_t kMaxReadaheadBlocks = 1024;
 /// Largest accepted EngineOptions::build_threads.
 inline constexpr uint32_t kMaxBuildThreads = 4096;
 
+/// Build-time handling of low-complexity / repeat regions.
+enum class MaskMode {
+  /// No repeat detection. Lowercase (soft-masked) residues in the input
+  /// still round-trip through the catalog, but every suffix is indexed.
+  kOff,
+  /// Gentle soft masking (LAST-style): tantan-like repeat detection runs
+  /// over the input at Create/Append time, detected positions are ORed
+  /// into the per-sequence masks (lowercase input positions count too),
+  /// and masked positions are excluded from suffix-tree seeding and from
+  /// BLAST word seeding. The residues themselves stay in the index — arc
+  /// labels and alignment extensions pass straight through them at full
+  /// score — so a real alignment crossing a repeat is reported intact;
+  /// the repeat just cannot *start* a match. An index built soft stays
+  /// soft: appends and compactions inherit the mode regardless of the
+  /// options they run under.
+  kSoft,
+};
+
+/// Parses "off" / "soft" (the CLI/daemon --mask values). Strict: anything
+/// else is InvalidArgument.
+util::StatusOr<MaskMode> ParseMaskMode(const std::string& text);
+/// The wire/CLI name of a mask mode ("off" / "soft").
+std::string MaskModeName(MaskMode mode);
+
 /// Construction-time knobs of an Engine.
 struct EngineOptions {
   /// Buffer pool capacity for this engine's searches — one global knob
@@ -216,6 +240,12 @@ struct EngineOptions {
   /// by Open() (recorded in the index) and CreateFromDatabase() (taken
   /// from the db).
   seq::AlphabetKind alphabet = seq::AlphabetKind::kProtein;
+
+  /// Repeat masking for newly built indexes; see MaskMode. On Open() of
+  /// an index whose volumes were built soft, the engine adopts soft mode
+  /// regardless of this field (the index's masks are load-bearing: its
+  /// trees lack the masked leaves).
+  MaskMode mask_mode = MaskMode::kOff;
 };
 
 /// A fluent search request: what to look for and how to report it. Replaces
@@ -630,6 +660,12 @@ class Engine {
   /// way.
   util::EngineStatsSnapshot CollectStats() const;
 
+  /// True when this engine runs in soft-masking mode: configured
+  /// MaskMode::kSoft, or opened over an index whose volumes were built
+  /// soft (the mode is sticky — see EngineOptions::mask_mode). Appends
+  /// and compactions re-apply it, and BlastSearch seeds gently.
+  bool soft_masking() const { return mask_soft_; }
+
   /// Karlin-Altschul statistics of the scoring system (needed for E-value
   /// cutoffs and E-value-ordered streams). Absent for scoring systems with
   /// no valid local-alignment statistics.
@@ -660,6 +696,9 @@ class Engine {
     uint32_t id_base = 0;
     uint64_t pos_base = 0;
     suffix::PartitionedBuildStats build_stats;
+    /// True when the volume's mask sidecar says it was built with soft
+    /// masking (its tree lacks the masked leaves).
+    bool masked_soft = false;
   };
 
   /// The immutable state one manifest generation opens to. Searches
@@ -737,10 +776,12 @@ class Engine {
       const VolumeSetState& state, const SearchRequest& request);
 
   /// Reads every sequence of `volumes` back out of their packed symbol
-  /// files, in order (the compaction / resident-database source).
+  /// files, in order (the compaction / resident-database source), and
+  /// re-attaches the per-sequence masks and qualities persisted in the
+  /// volumes' sidecar files under `index_dir`.
   static util::StatusOr<std::vector<seq::Sequence>> MaterializeSequences(
-      const VolumeSetState& state, size_t first_volume, size_t num_volumes,
-      const seq::Alphabet& alphabet);
+      const std::string& index_dir, const VolumeSetState& state,
+      size_t first_volume, size_t num_volumes, const seq::Alphabet& alphabet);
 
   /// Compact() body; caller holds maintenance_mu_.
   util::Status CompactLocked();
@@ -758,6 +799,9 @@ class Engine {
   std::unique_ptr<seq::SequenceDatabase> db_;  ///< resident; may be null
   score::KarlinParams karlin_;
   bool has_karlin_ = false;
+  /// Effective soft-masking mode: options say kSoft, or any opened volume
+  /// was built soft. Sticky — see soft_masking().
+  bool mask_soft_ = false;
   std::atomic<uint64_t> epoch_{0};  ///< process-unique; see epoch()
 
   mutable std::mutex state_mu_;  ///< guards state_ (pointer swap only)

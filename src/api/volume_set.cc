@@ -81,6 +81,15 @@ util::StatusOr<VolumeSetManifest> VolumeSetManifest::Load(
           volume.build_stats.num_partitions >> volume.build_stats.num_passes >>
           volume.build_stats.max_partition_suffixes;
       if (!fields) return corrupt("malformed volume record");
+      // Optional trailing fields (added with soft masking): indexed and
+      // mask-excluded suffix counts. Manifests written before they existed
+      // simply end the line here; the counts stay zero.
+      uint64_t total_suffixes = 0;
+      uint64_t excluded_suffixes = 0;
+      if (fields >> total_suffixes >> excluded_suffixes) {
+        volume.build_stats.total_suffixes = total_suffixes;
+        volume.build_stats.excluded_suffixes = excluded_suffixes;
+      }
       if (volume.name != kLegacyVolumeName &&
           (volume.name.find('/') != std::string::npos ||
            volume.name.find("..") != std::string::npos)) {
@@ -136,7 +145,9 @@ util::Status VolumeSetManifest::Save(const std::string& dir) const {
       out << "volume " << volume.name << " " << volume.num_sequences << " "
           << volume.num_residues << " " << volume.build_stats.num_partitions
           << " " << volume.build_stats.num_passes << " "
-          << volume.build_stats.max_partition_suffixes << "\n";
+          << volume.build_stats.max_partition_suffixes << " "
+          << volume.build_stats.total_suffixes << " "
+          << volume.build_stats.excluded_suffixes << "\n";
     }
     out.flush();
     if (!out) return util::Status::IOError("manifest write failed");

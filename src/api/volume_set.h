@@ -30,10 +30,13 @@
 //   generation G
 //   next_volume K
 //   num_volumes N
-//   volume <name> <num_sequences> <num_residues> <partitions> <passes> <max_pass_suffixes>
+//   volume <name> <num_sequences> <num_residues> <partitions> <passes> <max_pass_suffixes> [<indexed_suffixes> <masked_suffixes>]
 // one `volume` line per volume, in global (concatenation) order. The
-// three trailing fields persist the volume's PartitionedBuildStats so
-// Engine::CollectStats can report them long after the build.
+// trailing fields persist the volume's PartitionedBuildStats so
+// Engine::CollectStats can report them long after the build; the last two
+// (suffixes actually indexed / excluded by soft masking) are optional on
+// read — manifests written before masking existed omit them and the
+// counts read as zero.
 
 #pragma once
 

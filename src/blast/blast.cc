@@ -69,8 +69,19 @@ util::StatusOr<std::vector<BlastHit>> Search(const BlastQuery& query,
   const uint64_t db_residues = db.num_residues();
 
   for (seq::SequenceId sid = 0; sid < db.num_sequences(); ++sid) {
-    const std::vector<seq::Symbol>& t = db.sequence(sid).symbols();
+    const seq::Sequence& target = db.sequence(sid);
+    const std::vector<seq::Symbol>& t = target.symbols();
     if (t.size() < w) continue;
+    // Gentle masking: a word that touches any soft-masked position never
+    // seeds (the count below rolls how many of the window's w positions
+    // are masked), but extension stays mask-blind — it runs straight
+    // through repeats at full score, so real alignments survive intact.
+    const std::vector<uint8_t>* mask =
+        opt.mask_seeds && target.has_mask() ? &target.mask() : nullptr;
+    uint32_t masked_in_window = 0;
+    if (mask != nullptr) {
+      for (uint64_t i = 0; i + 1 < w; ++i) masked_in_window += (*mask)[i];
+    }
 
     DiagonalTracker diagonals(q.size(), t.size(), w, opt.two_hit_window);
     // Extension dedup: best gapped score per sequence; skip seeds that fall
@@ -84,6 +95,14 @@ util::StatusOr<std::vector<BlastHit>> Search(const BlastQuery& query,
 
     // Rolling word scan over the target.
     for (uint64_t tp = 0; tp + w <= t.size(); ++tp) {
+      if (mask != nullptr) {
+        masked_in_window += (*mask)[tp + w - 1];  // window gains tp+w-1
+        const bool skip = masked_in_window > 0;
+        if (skip) ++local_stats.masked_words;
+        // The window loses tp on the next iteration either way.
+        masked_in_window -= (*mask)[tp];
+        if (skip) continue;
+      }
       uint64_t code = query.EncodeWord(&t[tp]);
       for (uint32_t qp : query.Positions(code)) {
         ++local_stats.word_hits;

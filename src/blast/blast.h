@@ -55,6 +55,13 @@ struct BlastOptions {
   /// every mode produces identical hits). Engine::BlastSearch overrides
   /// kAuto with its configured EngineOptions::simd_mode.
   align::simd::SimdMode simd = align::simd::SimdMode::kAuto;
+  /// Gentle (LAST-style) masking: skip database words that touch a
+  /// soft-masked target position, so low-complexity repeats never *seed*
+  /// — but extensions still run straight through masked regions at full
+  /// score, so a real alignment crossing a repeat is reported intact.
+  /// Sequences without a mask are unaffected. Engine::BlastSearch turns
+  /// this on when the index was built with soft masking.
+  bool mask_seeds = false;
 };
 
 /// One reported database hit.
@@ -67,6 +74,7 @@ struct BlastHit {
 };
 
 struct BlastStats {
+  uint64_t masked_words = 0;  ///< database words skipped by mask_seeds
   uint64_t word_hits = 0;
   uint64_t seeds_extended = 0;      ///< ungapped extensions run
   uint64_t gapped_extensions = 0;

@@ -1,0 +1,204 @@
+#include "mask/tantan.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace mask {
+
+namespace {
+
+/// Forward-backward is run over bounded chunks so memory stays O(chunk ×
+/// periods) on arbitrarily long sequences. Chunks overlap by several
+/// periods and only the interior of each chunk commits its posterior, so
+/// the chunking is invisible in the output (the HMM mixes in far fewer
+/// steps than the overlap).
+constexpr size_t kChunkLength = 16384;
+
+/// Repeat-model emission probability at absolute position `i`, period `d`.
+/// Before a full period of history exists the repeat state is
+/// uninformative (background emission).
+inline double RepeatEmission(const std::vector<seq::Symbol>& s, size_t i,
+                             uint32_t d, double match_prob, double mismatch,
+                             double background) {
+  if (i < d) return background;
+  return s[i] == s[i - d] ? match_prob : mismatch;
+}
+
+void ForwardBackwardChunk(const std::vector<seq::Symbol>& s, size_t begin,
+                          size_t end, size_t commit_begin, size_t commit_end,
+                          uint32_t sigma, const TantanOptions& options,
+                          const std::vector<double>& period_weight,
+                          std::vector<uint8_t>* flags) {
+  const uint32_t periods = options.max_period;
+  const size_t len = end - begin;
+  const double background = 1.0 / sigma;
+  const double mismatch =
+      sigma > 1 ? (1.0 - options.match_prob) / (sigma - 1) : 0.0;
+  const double rs = options.repeat_start_prob;
+  const double re = options.repeat_end_prob;
+
+  // forward[i * (periods + 1) + 0] is the background state, + (1 + k) the
+  // repeat state of period k + 1. Each row is normalized to sum 1 (the
+  // scale cancels in the posterior).
+  std::vector<double> forward(len * (periods + 1));
+
+  // Row 0: the chain starts in the background (the overlap ahead of the
+  // committed region lets the state distribution mix before it matters).
+  {
+    double* row = forward.data();
+    row[0] = background;
+    for (uint32_t k = 0; k < periods; ++k) {
+      row[1 + k] = rs * period_weight[k] *
+                   RepeatEmission(s, begin, k + 1, options.match_prob,
+                                  mismatch, background);
+    }
+    double total = 0;
+    for (uint32_t k = 0; k <= periods; ++k) total += row[k];
+    const double inv = total > 0 ? 1.0 / total : 0.0;
+    for (uint32_t k = 0; k <= periods; ++k) row[k] *= inv;
+  }
+
+  for (size_t i = 1; i < len; ++i) {
+    const double* prev = forward.data() + (i - 1) * (periods + 1);
+    double* row = forward.data() + i * (periods + 1);
+    double from_repeats = 0;
+    for (uint32_t k = 0; k < periods; ++k) from_repeats += prev[1 + k];
+    row[0] = (prev[0] * (1.0 - rs) + from_repeats * re) * background;
+    double total = row[0];
+    for (uint32_t k = 0; k < periods; ++k) {
+      const double e = RepeatEmission(s, begin + i, k + 1, options.match_prob,
+                                      mismatch, background);
+      row[1 + k] =
+          (prev[0] * rs * period_weight[k] + prev[1 + k] * (1.0 - re)) * e;
+      total += row[1 + k];
+    }
+    const double inv = total > 0 ? 1.0 / total : 0.0;
+    for (uint32_t k = 0; k <= periods; ++k) row[k] *= inv;
+  }
+
+  // Backward pass, rolling a single row; each row renormalized (posterior
+  // normalizes per position, so independent scaling is exact).
+  std::vector<double> bwd(periods + 1, 1.0), next(periods + 1);
+  for (size_t i = len; i-- > 0;) {
+    const double* f = forward.data() + i * (periods + 1);
+    if (i + 1 < len) {
+      std::swap(bwd, next);
+      const size_t pos = begin + i + 1;
+      const double eb = background;
+      double total = 0;
+      // next currently holds bwd[i+1] after the swap.
+      double repeat_entry = 0;
+      for (uint32_t k = 0; k < periods; ++k) {
+        const double e = RepeatEmission(s, pos, k + 1, options.match_prob,
+                                        mismatch, background);
+        repeat_entry += rs * period_weight[k] * e * next[1 + k];
+        bwd[1 + k] = re * eb * next[0] + (1.0 - re) * e * next[1 + k];
+        total += bwd[1 + k];
+      }
+      bwd[0] = (1.0 - rs) * eb * next[0] + repeat_entry;
+      total += bwd[0];
+      const double inv = total > 0 ? 1.0 / total : 0.0;
+      for (uint32_t k = 0; k <= periods; ++k) bwd[k] *= inv;
+    }
+    const size_t pos = begin + i;
+    if (pos < commit_begin || pos >= commit_end) continue;
+    double repeat = 0, total = 0;
+    for (uint32_t k = 0; k <= periods; ++k) {
+      const double p = f[k] * bwd[k];
+      total += p;
+      if (k > 0) repeat += p;
+    }
+    if (total > 0 && repeat / total > options.mask_threshold) {
+      (*flags)[pos] = 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> FindRepeats(const std::vector<seq::Symbol>& symbols,
+                                 uint32_t sigma, const TantanOptions& options) {
+  OASIS_CHECK_GE(sigma, 2u);
+  OASIS_CHECK_GE(options.max_period, 1u);
+  std::vector<uint8_t> flags(symbols.size(), 0);
+  if (symbols.empty()) return flags;
+
+  // Period prior: period_weight[k] ∝ period_decay^(k+1), normalized.
+  std::vector<double> period_weight(options.max_period);
+  double w = 1.0, total = 0.0;
+  for (uint32_t k = 0; k < options.max_period; ++k) {
+    w *= options.period_decay;
+    period_weight[k] = w;
+    total += w;
+  }
+  for (double& x : period_weight) x /= total;
+
+  // The overlap must cover both the longest period's history and the
+  // repeat-state dwell time (mean 1/repeat_end_prob).
+  const size_t overlap =
+      std::max<size_t>(4 * options.max_period, kChunkLength / 8);
+  size_t commit_begin = 0;
+  while (commit_begin < symbols.size()) {
+    const size_t commit_end =
+        std::min(symbols.size(), commit_begin + kChunkLength);
+    const size_t begin = commit_begin > overlap ? commit_begin - overlap : 0;
+    const size_t end = std::min(symbols.size(), commit_end + overlap);
+    ForwardBackwardChunk(symbols, begin, end, commit_begin, commit_end, sigma,
+                         options, period_weight, &flags);
+    commit_begin = commit_end;
+  }
+  return flags;
+}
+
+uint64_t SoftMask(seq::Sequence* sequence, uint32_t sigma,
+                  const TantanOptions& options) {
+  if (sequence->empty()) return 0;
+  std::vector<uint8_t> flags =
+      FindRepeats(sequence->symbols(), sigma, options);
+  uint64_t newly_masked = 0;
+  std::vector<uint8_t> merged = sequence->mask();
+  merged.resize(sequence->size(), 0);
+  for (size_t i = 0; i < flags.size(); ++i) {
+    if (flags[i] && !merged[i]) {
+      merged[i] = 1;
+      ++newly_masked;
+    }
+  }
+  sequence->set_mask(std::move(merged));
+  return newly_masked;
+}
+
+uint64_t SoftMaskAll(std::vector<seq::Sequence>* sequences, uint32_t sigma,
+                     const TantanOptions& options) {
+  uint64_t newly_masked = 0;
+  for (seq::Sequence& sequence : *sequences) {
+    newly_masked += SoftMask(&sequence, sigma, options);
+  }
+  return newly_masked;
+}
+
+std::vector<uint8_t> BuildExclusion(const seq::SequenceDatabase& db) {
+  bool any = false;
+  for (const seq::Sequence& sequence : db.sequences()) {
+    if (sequence.has_mask()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return {};
+  std::vector<uint8_t> exclusion(db.total_length(), 0);
+  for (seq::SequenceId id = 0; id < db.num_sequences(); ++id) {
+    const seq::Sequence& sequence = db.sequence(id);
+    if (!sequence.has_mask()) continue;
+    const seq::GlobalPos start = db.SequenceStart(id);
+    for (size_t i = 0; i < sequence.mask().size(); ++i) {
+      if (sequence.mask()[i]) exclusion[start + i] = 1;
+    }
+  }
+  return exclusion;
+}
+
+}  // namespace mask
+}  // namespace oasis

@@ -1,0 +1,80 @@
+// tantan-style low-complexity / tandem-repeat detection.
+//
+// Implements the repeat model of Frith's tantan ("A new repeat-masking
+// method enables specific detection of remote homologs", LAST paper
+// lineage, SNIPPETS.md Snippet 1): a hidden Markov model with one
+// background state and one repeat state per period d in 1..max_period.
+// The repeat state of period d emits a residue matching the residue d
+// positions earlier with probability `match_prob`, so tandem repeats and
+// homopolymer runs of any short period light up the repeat states. The
+// per-position posterior probability of being in *any* repeat state is
+// computed by forward-backward; positions above `mask_threshold` are
+// soft-masked.
+//
+// Masking here is "gentle" in LAST's sense: a masked position keeps its
+// residue everywhere (sequence output, suffix-tree arc labels, alignment
+// extension) and is only excluded from *seeding* — suffix-tree leaf
+// insertion and BLAST word hits (see suffix/partitioned_builder.h and
+// blast/blast.h).
+//
+// Deterministic: same input, same options, same mask — on every platform
+// (plain double arithmetic, no randomness).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/database.h"
+#include "seq/sequence.h"
+
+namespace oasis {
+namespace mask {
+
+/// Tuning knobs of the repeat HMM. The defaults mask tandem repeats of
+/// roughly seven or more repeated positions and leave random sequence
+/// untouched with high probability.
+struct TantanOptions {
+  /// Largest tandem period the model tracks (repeat states r_1..r_max).
+  uint32_t max_period = 50;
+  /// Probability of entering a repeat state from the background per step.
+  double repeat_start_prob = 0.005;
+  /// Probability of leaving a repeat state back to the background.
+  double repeat_end_prob = 0.05;
+  /// Probability that a repeat-state emission copies the residue one
+  /// period earlier.
+  double match_prob = 0.9;
+  /// Geometric weight decay over periods: the prior of period d is
+  /// proportional to period_decay^d (short periods are more common).
+  double period_decay = 0.9;
+  /// Positions with repeat posterior above this are masked.
+  double mask_threshold = 0.5;
+};
+
+/// Per-position repeat flags (1 = repeat posterior > threshold) for an
+/// encoded residue vector over an alphabet of `sigma` symbols. `symbols`
+/// must hold residue codes only (no terminators). Returns an all-zero
+/// vector of the same length when nothing crosses the threshold.
+std::vector<uint8_t> FindRepeats(const std::vector<seq::Symbol>& symbols,
+                                 uint32_t sigma,
+                                 const TantanOptions& options = {});
+
+/// Runs FindRepeats on `sequence` and ORs the result into its soft-mask
+/// (lowercase input masking is preserved). Returns the number of *newly*
+/// masked positions.
+uint64_t SoftMask(seq::Sequence* sequence, uint32_t sigma,
+                  const TantanOptions& options = {});
+
+/// SoftMask over every sequence; returns the total newly-masked count.
+uint64_t SoftMaskAll(std::vector<seq::Sequence>* sequences, uint32_t sigma,
+                     const TantanOptions& options = {});
+
+/// Global-position exclusion map for a database: one byte per position of
+/// the concatenated buffer, 1 where the owning sequence soft-masks the
+/// residue (terminator positions are always 0). Returns an empty vector
+/// when no sequence carries a mask — the cheap "nothing to exclude"
+/// signal the suffix-tree builder tests for.
+std::vector<uint8_t> BuildExclusion(const seq::SequenceDatabase& db);
+
+}  // namespace mask
+}  // namespace oasis

@@ -1,0 +1,61 @@
+#include "score/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace oasis {
+namespace score {
+
+namespace {
+
+/// Representative base-call error probability per quality bin. The top
+/// bin is exactly zero so its table is the raw matrix (identity bin).
+constexpr double kBinErrorProb[QualityAdjust::kNumBins] = {0.5, 0.1, 0.04,
+                                                           0.0};
+
+}  // namespace
+
+QualityAdjust::QualityAdjust(const SubstitutionMatrix& matrix)
+    : matrix_(&matrix), sigma_(matrix.size()) {
+  table_.resize(static_cast<size_t>(sigma_) * effective_sigma());
+  const ScoreT lo = matrix.min_score();
+  const ScoreT hi = matrix.max_score();
+  for (seq::Symbol a = 0; a < sigma_; ++a) {
+    // Background score of `a`: its row mean (what aligning `a` against a
+    // residue we know nothing about is worth on average).
+    double background = 0;
+    for (seq::Symbol b = 0; b < sigma_; ++b) background += matrix.Score(a, b);
+    background /= sigma_;
+    for (uint32_t bin = 0; bin < kNumBins; ++bin) {
+      const double e = kBinErrorProb[bin];
+      for (seq::Symbol b = 0; b < sigma_; ++b) {
+        const ScoreT raw = matrix.Score(a, b);
+        ScoreT adjusted;
+        if (e == 0.0) {
+          adjusted = raw;  // identity bin: bit-exact raw matrix
+        } else {
+          const double blended = (1.0 - e) * raw + e * background;
+          adjusted = static_cast<ScoreT>(std::lround(blended));
+          adjusted = std::clamp(adjusted, lo, hi);
+        }
+        table_[a * effective_sigma() + bin * sigma_ + b] = adjusted;
+      }
+    }
+  }
+}
+
+void QualityAdjust::EffectiveTarget(std::span<const seq::Symbol> target,
+                                    std::span<const uint8_t> quals,
+                                    std::vector<seq::Symbol>* out) const {
+  OASIS_CHECK_EQ(target.size(), quals.size());
+  out->clear();
+  out->reserve(target.size());
+  for (size_t i = 0; i < target.size(); ++i) {
+    out->push_back(EffectiveCode(BinOf(quals[i]), target[i]));
+  }
+}
+
+}  // namespace score
+}  // namespace oasis

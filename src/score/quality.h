@@ -1,0 +1,111 @@
+// Quality-weighted match scoring (LAST's "incorporating sequence quality
+// data" idea, integerized).
+//
+// A base call with error probability e contributes less evidence than a
+// confident one: the expected substitution score of aligning query residue
+// a against an *uncertain* target residue b is approximately
+//
+//   (1 - e) * S(a, b) + e * Sbg(a)
+//
+// where Sbg(a) is a's score against the residue background (we use the
+// row mean). QualityAdjust precomputes that blend as integer tables over a
+// small number of phred-quality bins, so both the scalar DP and the SIMD
+// striped kernels can keep using plain table lookups:
+//
+//   * scalar: Score(a, b, bin) — a direct three-index lookup;
+//   * SIMD:   the target is re-coded into "effective symbols"
+//     bin * sigma + b and the query profile is built with kNumBins * sigma
+//     striped columns; the kernels' inner loop (column = lanes +
+//     target[j] * stride) is unchanged.
+//
+// The top bin (confident calls) is the *identity*: its adjusted scores
+// equal the raw matrix entries. A record without qualities never enters
+// this path at all, which is what keeps no-quality results byte-identical
+// to the pre-quality engine. All adjusted scores are clamped into
+// [matrix.min_score(), matrix.max_score()], so every layout/bias rule the
+// SIMD profiles derive from the raw matrix stays valid.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "score/substitution_matrix.h"
+#include "seq/alphabet.h"
+
+namespace oasis {
+namespace score {
+
+/// Precomputed quality-binned substitution tables for one matrix.
+/// Immutable after construction; cheap to build (kNumBins * sigma^2
+/// entries).
+class QualityAdjust {
+ public:
+  /// Number of phred-quality bins. Four bins keep the SIMD profile small
+  /// (kNumBins * sigma striped columns) while separating junk calls,
+  /// low-confidence calls, decent calls and confident calls.
+  static constexpr uint32_t kNumBins = 4;
+
+  /// Builds the binned tables for `matrix`. The matrix must outlive this
+  /// object.
+  explicit QualityAdjust(const SubstitutionMatrix& matrix);
+
+  /// The underlying raw matrix.
+  const SubstitutionMatrix& matrix() const { return *matrix_; }
+
+  /// Residue alphabet size of the underlying matrix.
+  uint32_t sigma() const { return sigma_; }
+
+  /// Number of effective target symbols: kNumBins * sigma().
+  uint32_t effective_sigma() const { return kNumBins * sigma_; }
+
+  /// Quality bin of a phred value. Bin boundaries (error-probability
+  /// representatives in parentheses): <=5 (0.5), 6-12 (0.1), 13-19
+  /// (0.04), >=20 (0 — the identity bin).
+  static uint32_t BinOf(uint8_t phred) {
+    if (phred <= 5) return 0;
+    if (phred <= 12) return 1;
+    if (phred <= 19) return 2;
+    return 3;
+  }
+
+  /// Effective symbol for target residue `b` in quality bin `bin`.
+  seq::Symbol EffectiveCode(uint32_t bin, seq::Symbol b) const {
+    return bin * sigma_ + b;
+  }
+
+  /// Quality-adjusted score of query residue `a` vs target residue `b`
+  /// whose base call falls in `bin`. Preconditions: a, b < sigma(),
+  /// bin < kNumBins.
+  ScoreT Score(seq::Symbol a, seq::Symbol b, uint32_t bin) const {
+    return table_[a * effective_sigma() + bin * sigma_ + b];
+  }
+
+  /// Score of query residue `a` vs effective target symbol `e`
+  /// (== Score(a, b, bin) with e == EffectiveCode(bin, b)).
+  ScoreT ScoreEffective(seq::Symbol a, seq::Symbol e) const {
+    return table_[a * effective_sigma() + e];
+  }
+
+  /// Raw table, row-major [sigma() rows] x [effective_sigma() columns]:
+  /// ScoreEffective(a, e) == table_data()[a * effective_sigma() + e]. The
+  /// SIMD query profiles gather from it directly; stable for the object's
+  /// lifetime.
+  const ScoreT* table_data() const { return table_.data(); }
+
+  /// Re-codes a target span into effective symbols from its phred
+  /// qualities (quals.size() must equal target.size(); target must hold
+  /// residue codes only). Clears and fills `out`.
+  void EffectiveTarget(std::span<const seq::Symbol> target,
+                       std::span<const uint8_t> quals,
+                       std::vector<seq::Symbol>* out) const;
+
+ private:
+  const SubstitutionMatrix* matrix_;
+  uint32_t sigma_;
+  std::vector<ScoreT> table_;  ///< sigma x (kNumBins * sigma), row-major
+};
+
+}  // namespace score
+}  // namespace oasis

@@ -31,8 +31,16 @@ util::StatusOr<std::vector<Sequence>> ReadFasta(std::istream& in,
       return util::Status::InvalidArgument("record '" + id + "': " +
                                            encoded.status().message());
     }
-    records.emplace_back(std::move(id), std::move(description),
-                         std::move(encoded).value());
+    Sequence record(std::move(id), std::move(description),
+                    std::move(encoded).value());
+    // Lowercase residues are soft-masked (case-preserving round-trip:
+    // ToString renders them lowercase again).
+    std::vector<uint8_t> mask(residues.size(), 0);
+    for (size_t i = 0; i < residues.size(); ++i) {
+      if (residues[i] >= 'a' && residues[i] <= 'z') mask[i] = 1;
+    }
+    record.set_mask(std::move(mask));
+    records.push_back(std::move(record));
     id.clear();
     description.clear();
     residues.clear();

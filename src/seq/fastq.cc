@@ -1,0 +1,194 @@
+#include "seq/fastq.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace oasis {
+namespace seq {
+
+namespace {
+
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+/// Maximum phred value a FASTQ byte can encode (printable ASCII tops out
+/// at '~' == 126; Sanger's range is '!'..'~').
+constexpr int kMaxQualChar = 126;
+
+util::Status RecordError(size_t record_no, const std::string& id,
+                         size_t line_no, const std::string& what) {
+  std::string label = "record " + std::to_string(record_no);
+  if (!id.empty()) label += " ('" + id + "')";
+  return util::Status::InvalidArgument(label + ", line " +
+                                       std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+util::StatusOr<FastqOffset> ParseFastqOffset(const std::string& spec) {
+  if (spec == "sanger") return FastqOffset::kSanger;
+  if (spec == "illumina") return FastqOffset::kIllumina;
+  return util::Status::InvalidArgument(
+      "unknown FASTQ quality encoding '" + spec +
+      "' (expected 'sanger' or 'illumina')");
+}
+
+util::StatusOr<std::vector<Sequence>> ReadFastq(std::istream& in,
+                                                const Alphabet& alphabet,
+                                                FastqOffset offset) {
+  std::vector<Sequence> records;
+  std::string line;
+  size_t line_no = 0;
+  size_t record_no = 0;
+  const int base = static_cast<int>(offset);
+
+  // Reads the next line, skipping blank lines only *between* records
+  // (mid-record a blank line is a truncation, reported by the caller).
+  auto next_line = [&](bool skip_blank) -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      StripTrailingCr(&line);
+      if (line.empty() && skip_blank) continue;
+      return true;
+    }
+    return false;
+  };
+
+  while (next_line(/*skip_blank=*/true)) {
+    ++record_no;
+    // Line 1: '@id [description]'.
+    if (line[0] != '@') {
+      return RecordError(record_no, "", line_no,
+                         "expected '@' record header, got '" +
+                             line.substr(0, 20) + "'");
+    }
+    std::string id, description;
+    const size_t ws = line.find_first_of(" \t");
+    if (ws == std::string::npos) {
+      id = line.substr(1);
+    } else {
+      id = line.substr(1, ws - 1);
+      const size_t desc_start = line.find_first_not_of(" \t", ws);
+      if (desc_start != std::string::npos) description = line.substr(desc_start);
+    }
+    if (id.empty()) {
+      return RecordError(record_no, "", line_no, "empty FASTQ identifier");
+    }
+
+    // Line 2: residues.
+    if (!next_line(/*skip_blank=*/false)) {
+      return RecordError(record_no, id, line_no,
+                         "truncated record: missing sequence line");
+    }
+    if (line.empty()) {
+      return RecordError(record_no, id, line_no, "empty sequence line");
+    }
+    const std::string residues = line;
+    const size_t seq_line_no = line_no;
+
+    // Line 3: '+' separator, optionally repeating the id.
+    if (!next_line(/*skip_blank=*/false)) {
+      return RecordError(record_no, id, line_no,
+                         "truncated record: missing '+' separator line");
+    }
+    if (line.empty() || line[0] != '+') {
+      return RecordError(record_no, id, line_no,
+                         "expected '+' separator line, got '" +
+                             line.substr(0, 20) + "'");
+    }
+    if (line.size() > 1) {
+      // A non-empty tail must repeat the record id (a full header copy —
+      // id plus description — is also accepted).
+      const std::string tail = line.substr(1);
+      const bool matches = tail == id || (tail.size() > id.size() &&
+                                          tail.compare(0, id.size(), id) == 0 &&
+                                          (tail[id.size()] == ' ' ||
+                                           tail[id.size()] == '\t'));
+      if (!matches) {
+        return RecordError(record_no, id, line_no,
+                           "'+' separator repeats a different id ('" + tail +
+                               "')");
+      }
+    }
+
+    // Line 4: qualities — exactly as long as the sequence. '@' and '+'
+    // are legal quality characters here; only the length disambiguates.
+    if (!next_line(/*skip_blank=*/false)) {
+      return RecordError(record_no, id, line_no,
+                         "truncated record: missing quality line");
+    }
+    if (line.size() != residues.size()) {
+      return RecordError(
+          record_no, id, line_no,
+          "quality length " + std::to_string(line.size()) +
+              " != sequence length " + std::to_string(residues.size()));
+    }
+    std::vector<uint8_t> quals(line.size());
+    for (size_t i = 0; i < line.size(); ++i) {
+      const int c = static_cast<unsigned char>(line[i]);
+      if (c < base || c > kMaxQualChar) {
+        return RecordError(
+            record_no, id, line_no,
+            "quality character '" + std::string(1, line[i]) + "' at column " +
+                std::to_string(i + 1) + " outside the " +
+                (offset == FastqOffset::kSanger ? "sanger" : "illumina") +
+                " encoding range");
+      }
+      quals[i] = static_cast<uint8_t>(c - base);
+    }
+
+    auto encoded = alphabet.Encode(residues);
+    if (!encoded.ok()) {
+      return RecordError(record_no, id, seq_line_no,
+                         std::string(encoded.status().message()));
+    }
+    Sequence record(std::move(id), std::move(description),
+                    std::move(encoded).value());
+    std::vector<uint8_t> mask(residues.size(), 0);
+    for (size_t i = 0; i < residues.size(); ++i) {
+      if (residues[i] >= 'a' && residues[i] <= 'z') mask[i] = 1;
+    }
+    record.set_mask(std::move(mask));
+    record.set_quals(std::move(quals));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+util::StatusOr<std::vector<Sequence>> ReadFastqFile(const std::string& path,
+                                                    const Alphabet& alphabet,
+                                                    FastqOffset offset) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return ReadFastq(in, alphabet, offset);
+}
+
+util::Status WriteFastq(std::ostream& out, const Alphabet& alphabet,
+                        const std::vector<Sequence>& records,
+                        FastqOffset offset) {
+  const int base = static_cast<int>(offset);
+  for (const Sequence& rec : records) {
+    if (rec.quals().size() != rec.size()) {
+      return util::Status::InvalidArgument(
+          "record '" + rec.id() + "' carries no qualities; cannot be "
+          "written as FASTQ");
+    }
+    out << '@' << rec.id();
+    if (!rec.description().empty()) out << ' ' << rec.description();
+    out << '\n' << rec.ToString(alphabet) << '\n' << '+' << '\n';
+    std::string quals(rec.size(), '!');
+    for (size_t i = 0; i < rec.size(); ++i) {
+      const int c = std::min(base + rec.quals()[i], kMaxQualChar);
+      quals[i] = static_cast<char>(c);
+    }
+    out << quals << '\n';
+  }
+  if (!out) return util::Status::IOError("FASTQ write failed");
+  return util::Status::OK();
+}
+
+}  // namespace seq
+}  // namespace oasis

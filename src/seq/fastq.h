@@ -1,0 +1,60 @@
+// FASTQ reading: sequencing reads with per-base phred qualities.
+//
+// The parser is strict about record structure — FASTQ's grammar is only
+// unambiguous in its rigid four-line form ('@' and '+' are both legal
+// *quality* characters, so quality lines cannot be recognized by content):
+//
+//   @id [description]
+//   RESIDUES                (one line, non-empty)
+//   +[id]                   (separator; a non-empty tail must repeat the id)
+//   QUALITIES               (one line, same length as RESIDUES)
+//
+// Malformed input (truncated records, quality/sequence length mismatch,
+// quality characters below the encoding offset, empty ids or sequences)
+// fails with an InvalidArgument naming the record position and line
+// number. CRLF line endings and lowercase (soft-masked) residues are
+// accepted, like the FASTA parser.
+
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "util/status.h"
+
+namespace oasis {
+namespace seq {
+
+/// Quality-encoding offset: the ASCII value of phred score 0.
+enum class FastqOffset {
+  kSanger = 33,    ///< Sanger / Illumina 1.8+ ("phred+33")
+  kIllumina = 64,  ///< legacy Illumina 1.3-1.7 ("phred+64")
+};
+
+/// Parses `spec` ("sanger" or "illumina") into an offset; any other value
+/// is an InvalidArgument naming the accepted spellings.
+util::StatusOr<FastqOffset> ParseFastqOffset(const std::string& spec);
+
+/// Parses all FASTQ records from `in`. Each returned Sequence carries its
+/// phred qualities (Sequence::quals) and the soft-mask of its lowercase
+/// residues (Sequence::mask). Any structural violation fails the whole
+/// parse with a record- and line-numbered InvalidArgument.
+util::StatusOr<std::vector<Sequence>> ReadFastq(
+    std::istream& in, const Alphabet& alphabet,
+    FastqOffset offset = FastqOffset::kSanger);
+
+/// Parses a FASTQ file from disk.
+util::StatusOr<std::vector<Sequence>> ReadFastqFile(
+    const std::string& path, const Alphabet& alphabet,
+    FastqOffset offset = FastqOffset::kSanger);
+
+/// Writes records as four-line FASTQ. Records without qualities are
+/// rejected (emitting fake qualities would launder FASTA into FASTQ).
+util::Status WriteFastq(std::ostream& out, const Alphabet& alphabet,
+                        const std::vector<Sequence>& records,
+                        FastqOffset offset = FastqOffset::kSanger);
+
+}  // namespace seq
+}  // namespace oasis

@@ -1,5 +1,9 @@
 #include "seq/sequence.h"
 
+#include <algorithm>
+
+#include "util/logging.h"
+
 namespace oasis {
 namespace seq {
 
@@ -7,7 +11,42 @@ util::StatusOr<Sequence> Sequence::FromString(const Alphabet& alphabet,
                                               std::string id,
                                               std::string_view residues) {
   OASIS_ASSIGN_OR_RETURN(std::vector<Symbol> codes, alphabet.Encode(residues));
-  return Sequence(std::move(id), std::move(codes));
+  Sequence sequence(std::move(id), std::move(codes));
+  std::vector<uint8_t> mask(residues.size(), 0);
+  for (size_t i = 0; i < residues.size(); ++i) {
+    if (residues[i] >= 'a' && residues[i] <= 'z') mask[i] = 1;
+  }
+  sequence.set_mask(std::move(mask));
+  return sequence;
+}
+
+void Sequence::set_mask(std::vector<uint8_t> mask) {
+  OASIS_CHECK(mask.empty() || mask.size() == symbols_.size())
+      << "mask length " << mask.size() << " != sequence length "
+      << symbols_.size();
+  const bool any =
+      std::any_of(mask.begin(), mask.end(), [](uint8_t m) { return m != 0; });
+  if (!any) mask.clear();
+  mask_ = std::move(mask);
+}
+
+void Sequence::set_quals(std::vector<uint8_t> quals) {
+  OASIS_CHECK(quals.empty() || quals.size() == symbols_.size())
+      << "quality length " << quals.size() << " != sequence length "
+      << symbols_.size();
+  quals_ = std::move(quals);
+}
+
+std::string Sequence::ToString(const Alphabet& alphabet) const {
+  std::string text = alphabet.Decode(symbols_);
+  if (!mask_.empty()) {
+    for (size_t i = 0; i < text.size() && i < mask_.size(); ++i) {
+      if (mask_[i] && text[i] >= 'A' && text[i] <= 'Z') {
+        text[i] = static_cast<char>(text[i] - 'A' + 'a');
+      }
+    }
+  }
+  return text;
 }
 
 }  // namespace seq

@@ -2,6 +2,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,8 +13,16 @@
 namespace oasis {
 namespace seq {
 
-/// An immutable encoded sequence with an identifier and optional
-/// description (FASTA header fields).
+/// An encoded sequence with an identifier, optional description (FASTA
+/// header fields), an optional soft-mask and optional base qualities.
+///
+/// The mask and the qualities are *annotations*: they never change the
+/// encoded symbols, only how downstream layers treat them. A masked
+/// position renders lowercase in ToString (so soft-masked FASTA survives a
+/// round-trip), is excluded from suffix-tree seeding when the index is
+/// built with mask_mode=soft, and is skipped by the BLAST word scan on
+/// such an index. Qualities are raw phred values (FASTQ input) consumed by
+/// score::QualityAdjust.
 class Sequence {
  public:
   Sequence() = default;
@@ -25,6 +34,7 @@ class Sequence {
         symbols_(std::move(symbols)) {}
 
   /// Encodes `residues` with `alphabet`. Fails on invalid characters.
+  /// Lowercase residues are recorded as soft-masked positions.
   static util::StatusOr<Sequence> FromString(const Alphabet& alphabet,
                                              std::string id,
                                              std::string_view residues);
@@ -36,15 +46,38 @@ class Sequence {
   bool empty() const { return symbols_.empty(); }
   Symbol operator[](size_t i) const { return symbols_[i]; }
 
-  /// Residue string under `alphabet`.
-  std::string ToString(const Alphabet& alphabet) const {
-    return alphabet.Decode(symbols_);
-  }
+  /// Soft-mask flags, one byte (0/1) per residue; empty when no position
+  /// is masked.
+  const std::vector<uint8_t>& mask() const { return mask_; }
+  /// True when at least one position is soft-masked.
+  bool has_mask() const { return !mask_.empty(); }
+
+  /// Phred base qualities, one byte per residue; empty when the record
+  /// carried none (FASTA input).
+  const std::vector<uint8_t>& quals() const { return quals_; }
+  /// True when the record carries base qualities.
+  bool has_quals() const { return !quals_.empty(); }
+
+  /// Installs a soft-mask. `mask` must be empty or exactly size() long;
+  /// an all-zero mask is normalized to empty (so has_mask() means "some
+  /// position is masked", never "a vector happens to be attached").
+  void set_mask(std::vector<uint8_t> mask);
+
+  /// Installs phred qualities. `quals` must be empty or exactly size()
+  /// long.
+  void set_quals(std::vector<uint8_t> quals);
+
+  /// Residue string under `alphabet`; soft-masked positions render
+  /// lowercase, so writing the string back through the parser round-trips
+  /// the mask.
+  std::string ToString(const Alphabet& alphabet) const;
 
  private:
   std::string id_;
   std::string description_;
   std::vector<Symbol> symbols_;
+  std::vector<uint8_t> mask_;   ///< empty, or one 0/1 flag per residue
+  std::vector<uint8_t> quals_;  ///< empty, or one phred value per residue
 };
 
 }  // namespace seq

@@ -40,7 +40,7 @@ std::string DaemonUsage() {
       "              [--deadline-ms MS] [--max-pinned-fraction F]\n"
       "              [--drain-timeout-ms MS] [--pool-mb MB]\n"
       "              [--io-mode auto|pooled|mmap] [--readahead K|auto]\n"
-      "              [--simd auto|avx2|sse4|off]\n";
+      "              [--simd auto|avx2|sse4|off] [--mask off|soft]\n";
 }
 
 util::StatusOr<DaemonConfig> ParseDaemonArgs(
@@ -144,6 +144,12 @@ util::StatusOr<DaemonConfig> ParseDaemonArgs(
       auto parsed = align::simd::ParseSimdMode(*v);
       if (!parsed.ok()) return BadFlag(flag, parsed.status());
       config.engine.simd_mode = *parsed;
+    } else if (flag == "--mask") {
+      const std::string* v = next();
+      if (v == nullptr) return MissingValue(flag);
+      auto parsed = api::ParseMaskMode(*v);
+      if (!parsed.ok()) return BadFlag(flag, parsed.status());
+      config.engine.mask_mode = *parsed;
     } else {
       return util::Status::InvalidArgument("unknown flag '" + flag + "'");
     }

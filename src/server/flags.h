@@ -52,6 +52,9 @@ struct DaemonConfig {
 ///   --io-mode auto|pooled|mmap                      (default pooled)
 ///   --readahead K|auto     speculative readahead    (default off)
 ///   --simd auto|avx2|sse4|off  alignment kernels    (default auto)
+///   --mask off|soft        repeat masking for appends to the served
+///                          indexes (an index built soft stays soft
+///                          regardless; default off)
 ///
 /// Every numeric value is range-checked via util/flag_parse; the returned
 /// status names the offending flag. The daemon defaults to the pooled

@@ -78,10 +78,26 @@ util::StatusOr<SuffixTree> BuildPartitioned(
   }
 
   const uint64_t n = db.total_length();
+  const std::vector<uint8_t>* exclude = options.exclude;
+  if (exclude != nullptr && exclude->empty()) exclude = nullptr;
+  if (exclude != nullptr && exclude->size() != n) {
+    return util::Status::InvalidArgument(
+        "exclusion map length " + std::to_string(exclude->size()) +
+        " != database length " + std::to_string(n));
+  }
 
-  // Pass 0: count suffixes per prefix code.
+  PartitionedBuildStats stats;
+
+  // Pass 0: count suffixes per prefix code (excluded positions never get
+  // a leaf, so they never count toward a partition's budget either).
   std::vector<uint64_t> counts(coder.num_codes(), 0);
-  for (uint64_t pos = 0; pos < n; ++pos) ++counts[coder.Encode(pos)];
+  for (uint64_t pos = 0; pos < n; ++pos) {
+    if (exclude != nullptr && (*exclude)[pos]) {
+      ++stats.excluded_suffixes;
+      continue;
+    }
+    ++counts[coder.Encode(pos)];
+  }
 
   // Greedily group consecutive codes into partitions under the budget.
   // Partition i covers codes [bounds[i], bounds[i+1]).
@@ -96,7 +112,6 @@ util::StatusOr<SuffixTree> BuildPartitioned(
   }
   bounds.push_back(coder.num_codes());
 
-  PartitionedBuildStats stats;
   stats.num_partitions = static_cast<uint32_t>(bounds.size() - 1);
 
   // One pass per partition: insert the partition's suffixes.
@@ -106,6 +121,7 @@ util::StatusOr<SuffixTree> BuildPartitioned(
     const uint64_t hi = bounds[part + 1];
     uint64_t inserted = 0;
     for (uint64_t pos = 0; pos < n; ++pos) {
+      if (exclude != nullptr && (*exclude)[pos]) continue;
       uint64_t code = coder.Encode(pos);
       if (code >= lo && code < hi) {
         builder.InsertSuffixFromRoot(pos);
@@ -115,10 +131,11 @@ util::StatusOr<SuffixTree> BuildPartitioned(
     ++stats.num_passes;
     stats.max_partition_suffixes =
         std::max(stats.max_partition_suffixes, inserted);
+    stats.total_suffixes += inserted;
   }
 
   if (stats_out != nullptr) *stats_out = stats;
-  return builder.Finish();
+  return builder.Finish(exclude);
 }
 
 }  // namespace suffix

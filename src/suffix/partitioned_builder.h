@@ -37,6 +37,13 @@ struct PartitionedBuildOptions {
   /// prefix whose count exceeds the budget still forms its own partition
   /// (it cannot be split at this prefix length).
   uint64_t max_suffixes_per_pass = 1u << 20;
+  /// Optional seeding exclusion: one byte per global position (must match
+  /// db.total_length() when set); positions flagged 1 get NO leaf — the
+  /// soft-masked half of LAST-style gentle masking. The excluded residues
+  /// still appear in the concatenated symbols (and hence on arc labels),
+  /// so alignment extension passes straight through them; they just never
+  /// *seed* a search. Not owned; must outlive the call.
+  const std::vector<uint8_t>* exclude = nullptr;
 };
 
 /// Statistics of a partitioned build (exposed for tests and benches).
@@ -44,6 +51,8 @@ struct PartitionedBuildStats {
   uint32_t num_partitions = 0;
   uint64_t num_passes = 0;  ///< == num_partitions (one scan per partition)
   uint64_t max_partition_suffixes = 0;
+  uint64_t total_suffixes = 0;     ///< leaves actually inserted
+  uint64_t excluded_suffixes = 0;  ///< suffixes skipped by the exclusion map
 };
 
 /// Builds the generalized suffix tree with the multi-pass partitioned

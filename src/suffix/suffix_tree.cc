@@ -127,8 +127,9 @@ void TreeBuilder::InsertSuffixFromRoot(uint64_t suffix_pos) {
   }
 }
 
-util::StatusOr<SuffixTree> TreeBuilder::Finish() {
-  OASIS_RETURN_NOT_OK(tree_.Validate());
+util::StatusOr<SuffixTree> TreeBuilder::Finish(
+    const std::vector<uint8_t>* excluded) {
+  OASIS_RETURN_NOT_OK(tree_.Validate(excluded));
   return std::move(tree_);
 }
 
@@ -347,13 +348,21 @@ std::vector<uint64_t> SuffixTree::FindOccurrences(
   return out;
 }
 
-util::Status SuffixTree::Validate() const {
+util::Status SuffixTree::Validate(
+    const std::vector<uint8_t>* excluded) const {
   const std::vector<seq::Symbol>& text = db_->symbols();
   if (nodes_.empty()) return util::Status::Corruption("no root node");
-  if (num_leaves_ != db_->total_length()) {
+  if (excluded != nullptr && excluded->size() != db_->total_length()) {
+    return util::Status::Corruption("exclusion map length mismatch");
+  }
+  uint64_t expected_leaves = db_->total_length();
+  if (excluded != nullptr) {
+    for (uint8_t e : *excluded) expected_leaves -= (e != 0);
+  }
+  if (num_leaves_ != expected_leaves) {
     return util::Status::Corruption(
         "leaf count " + std::to_string(num_leaves_) + " != suffix count " +
-        std::to_string(db_->total_length()));
+        std::to_string(expected_leaves));
   }
   // DFS: check compactness, child ordering, edge first-symbol consistency,
   // parent pointers, and leaf suffix labels.
@@ -372,6 +381,10 @@ util::Status SuffixTree::Validate() const {
       uint64_t ss = n.suffix_start;
       if (ss >= db_->total_length() || leaf_seen[ss]) {
         return util::Status::Corruption("bad or duplicate leaf suffix start");
+      }
+      if (excluded != nullptr && (*excluded)[ss]) {
+        return util::Status::Corruption(
+            "excluded suffix " + std::to_string(ss) + " present as a leaf");
       }
       leaf_seen[ss] = true;
       // The leaf's path must equal the suffix: depth symbols ending just
@@ -413,6 +426,7 @@ util::Status SuffixTree::Validate() const {
     return util::Status::Corruption("orphan nodes present");
   }
   for (size_t i = 0; i < leaf_seen.size(); ++i) {
+    if (excluded != nullptr && (*excluded)[i]) continue;
     if (!leaf_seen[i]) {
       return util::Status::Corruption("suffix " + std::to_string(i) +
                                       " missing from tree");

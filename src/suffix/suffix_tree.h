@@ -86,7 +86,16 @@ class SuffixTree {
   /// Structural invariants: leaf count, suffix coverage, compactness,
   /// child ordering, edge-label consistency. O(total path length); intended
   /// for tests.
-  util::Status Validate() const;
+  ///
+  /// `excluded` (optional, one byte per global position) marks suffixes
+  /// deliberately left out of the tree — soft-masked seeding exclusion.
+  /// With it, the leaf count must equal the number of *non*-excluded
+  /// positions, an excluded suffix appearing as a leaf is corruption, and
+  /// the suffix-coverage sweep skips excluded positions. Compactness
+  /// still holds for any suffix subset: unique terminators mean every
+  /// inserted suffix gets its own leaf and internal nodes only arise from
+  /// edge splits (always >= 2 children).
+  util::Status Validate(const std::vector<uint8_t>* excluded = nullptr) const;
 
   /// True when both trees are structurally identical (same shape, labels
   /// and suffix starts).
@@ -128,7 +137,11 @@ class TreeBuilder {
   void InsertSuffixFromRoot(uint64_t suffix_pos);
 
   /// Finalizes: sorts/validates bookkeeping and returns the tree.
-  util::StatusOr<SuffixTree> Finish();
+  /// `excluded` marks suffix positions deliberately not inserted (masked
+  /// seeding exclusion); validation then expects exactly the non-excluded
+  /// suffixes as leaves.
+  util::StatusOr<SuffixTree> Finish(
+      const std::vector<uint8_t>* excluded = nullptr);
 
   // --- primitives shared with the Ukkonen builder -------------------------
   NodeId NewInternal(uint64_t start, uint64_t end, NodeId parent);

@@ -34,15 +34,18 @@ void Appendf(std::string* out, const char* fmt, ...) {
 void AppendVolumesText(std::string* out, const EngineStatsSnapshot& s) {
   if (s.volumes.empty()) return;
   Appendf(out, "volumes: %zu\n", s.volumes.size());
-  Appendf(out, "%-10s %12s %14s %10s %7s %14s\n", "volume", "sequences",
-          "residues", "partitions", "passes", "max suffixes");
+  Appendf(out, "%-10s %12s %14s %10s %7s %14s %12s %10s\n", "volume",
+          "sequences", "residues", "partitions", "passes", "max suffixes",
+          "indexed", "masked");
   for (const VolumeStatsRow& v : s.volumes) {
-    Appendf(out, "%-10s %12llu %14llu %10llu %7llu %14llu\n", v.name.c_str(),
-            static_cast<unsigned long long>(v.sequences),
+    Appendf(out, "%-10s %12llu %14llu %10llu %7llu %14llu %12llu %10llu\n",
+            v.name.c_str(), static_cast<unsigned long long>(v.sequences),
             static_cast<unsigned long long>(v.residues),
             static_cast<unsigned long long>(v.partitions),
             static_cast<unsigned long long>(v.passes),
-            static_cast<unsigned long long>(v.max_partition_suffixes));
+            static_cast<unsigned long long>(v.max_partition_suffixes),
+            static_cast<unsigned long long>(v.indexed_suffixes),
+            static_cast<unsigned long long>(v.masked_suffixes));
   }
 }
 
@@ -148,13 +151,16 @@ void AppendVolumesJson(std::string* out, const EngineStatsSnapshot& s) {
     Appendf(out,
             "{\"name\":\"%s\",\"sequences\":%llu,\"residues\":%llu,"
             "\"partitions\":%llu,\"passes\":%llu,"
-            "\"max_partition_suffixes\":%llu}",
+            "\"max_partition_suffixes\":%llu,"
+            "\"indexed_suffixes\":%llu,\"masked_suffixes\":%llu}",
             JsonEscape(v.name).c_str(),
             static_cast<unsigned long long>(v.sequences),
             static_cast<unsigned long long>(v.residues),
             static_cast<unsigned long long>(v.partitions),
             static_cast<unsigned long long>(v.passes),
-            static_cast<unsigned long long>(v.max_partition_suffixes));
+            static_cast<unsigned long long>(v.max_partition_suffixes),
+            static_cast<unsigned long long>(v.indexed_suffixes),
+            static_cast<unsigned long long>(v.masked_suffixes));
   }
   *out += ']';
 }

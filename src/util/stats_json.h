@@ -53,6 +53,8 @@ struct VolumeStatsRow {
   uint64_t partitions = 0;  ///< prefix partitions of the volume's build
   uint64_t passes = 0;      ///< builder passes over the partitions
   uint64_t max_partition_suffixes = 0;  ///< largest single-pass suffix load
+  uint64_t indexed_suffixes = 0;  ///< suffixes given a leaf at build time
+  uint64_t masked_suffixes = 0;   ///< suffixes excluded by soft masking
 };
 
 /// Everything the stats surfaces render, captured at one instant. Plain

@@ -1,0 +1,145 @@
+// Adversarial workloads for the masking / quality subsystems: a
+// repeat-bomb DNA database whose tandem runs swamp unmasked seeding, and
+// quality-degraded reads whose error positions follow their phred values.
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace workload {
+
+namespace {
+
+std::vector<seq::Symbol> RandomDna(util::Random& rng, size_t length) {
+  std::vector<seq::Symbol> out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<seq::Symbol>(rng.Uniform(4)));
+  }
+  return out;
+}
+
+/// One tandem run: a random short unit repeated back to back until the run
+/// reaches `run_length`, with per-symbol divergence.
+std::vector<seq::Symbol> TandemRun(util::Random& rng, uint32_t max_unit_length,
+                                   uint32_t run_length, double divergence) {
+  const uint32_t unit_length =
+      1 + static_cast<uint32_t>(rng.Uniform(max_unit_length));
+  const std::vector<seq::Symbol> unit = RandomDna(rng, unit_length);
+  std::vector<seq::Symbol> out;
+  out.reserve(run_length);
+  while (out.size() < run_length) {
+    for (seq::Symbol s : unit) {
+      if (out.size() >= run_length) break;
+      if (rng.Bernoulli(divergence)) {
+        s = static_cast<seq::Symbol>((s + 1 + rng.Uniform(3)) % 4);
+      }
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+util::StatusOr<seq::SequenceDatabase> GenerateRepeatBombDatabase(
+    const RepeatBombOptions& options) {
+  if (options.num_sequences == 0 || options.target_residues == 0) {
+    return util::Status::InvalidArgument("empty database requested");
+  }
+  if (options.repeat_fraction < 0.0 || options.repeat_fraction > 1.0) {
+    return util::Status::InvalidArgument("repeat_fraction must be in [0, 1]");
+  }
+  if (options.max_unit_length == 0 || options.run_length == 0) {
+    return util::Status::InvalidArgument(
+        "max_unit_length and run_length must be positive");
+  }
+  util::Random rng(options.seed);
+
+  const uint64_t per_seq =
+      std::max<uint64_t>(1, options.target_residues / options.num_sequences);
+  std::vector<seq::Sequence> sequences;
+  for (uint32_t s = 0; s < options.num_sequences; ++s) {
+    std::vector<seq::Symbol> residues;
+    residues.reserve(per_seq);
+    while (residues.size() < per_seq) {
+      if (rng.Bernoulli(options.repeat_fraction)) {
+        std::vector<seq::Symbol> run =
+            TandemRun(rng, options.max_unit_length, options.run_length,
+                      options.run_divergence);
+        residues.insert(residues.end(), run.begin(), run.end());
+      } else {
+        // Unique spacer, sized like one run so the configured fraction
+        // holds in expectation.
+        std::vector<seq::Symbol> chunk = RandomDna(
+            rng, std::min<uint64_t>(options.run_length, per_seq));
+        residues.insert(residues.end(), chunk.begin(), chunk.end());
+      }
+    }
+    residues.resize(per_seq);
+    sequences.emplace_back("BOMB" + std::to_string(s), std::move(residues));
+  }
+  return seq::SequenceDatabase::Build(seq::Alphabet::Dna(),
+                                      std::move(sequences));
+}
+
+util::StatusOr<std::vector<seq::Sequence>> GenerateQualityDegradedReads(
+    const seq::SequenceDatabase& db, const QualityDegradedReadOptions& options) {
+  if (db.num_sequences() == 0) {
+    return util::Status::InvalidArgument("template database is empty");
+  }
+  if (options.num_reads == 0 || options.read_length == 0) {
+    return util::Status::InvalidArgument(
+        "num_reads and read_length must be positive");
+  }
+  const uint32_t sigma = db.alphabet().size();
+  util::Random rng(options.seed);
+
+  std::vector<seq::Sequence> reads;
+  reads.reserve(options.num_reads);
+  for (uint32_t r = 0; r < options.num_reads; ++r) {
+    // Pick a template long enough for a full-length read; fall back to the
+    // template's own length when none is (short-template corner).
+    const seq::SequenceId sid =
+        static_cast<seq::SequenceId>(rng.Uniform(db.num_sequences()));
+    const std::vector<seq::Symbol>& source = db.sequence(sid).symbols();
+    const uint32_t len = static_cast<uint32_t>(
+        std::min<uint64_t>(options.read_length, source.size()));
+    if (len == 0) {
+      return util::Status::InvalidArgument(
+          "template database contains an empty sequence");
+    }
+    const uint64_t offset = rng.Uniform(source.size() - len + 1);
+
+    std::vector<seq::Symbol> symbols(source.begin() + offset,
+                                     source.begin() + offset + len);
+    std::vector<uint8_t> quals(len);
+    const double q_start = options.start_quality;
+    const double q_end = options.end_quality;
+    for (uint32_t i = 0; i < len; ++i) {
+      // Linear 3' decay with per-cycle jitter, clamped to the phred range
+      // the FASTQ writer can represent.
+      const double frac = len > 1 ? static_cast<double>(i) / (len - 1) : 0.0;
+      double q = q_start + (q_end - q_start) * frac;
+      q += static_cast<double>(rng.UniformInt(-2, 2));
+      q = std::clamp(q, 0.0, 93.0);
+      const uint8_t phred = static_cast<uint8_t>(std::lround(q));
+      quals[i] = phred;
+      // Inject an error with exactly the probability the phred encodes.
+      if (rng.Bernoulli(std::pow(10.0, -static_cast<double>(phred) / 10.0))) {
+        symbols[i] = static_cast<seq::Symbol>(
+            (symbols[i] + 1 + rng.Uniform(sigma - 1)) % sigma);
+      }
+    }
+    seq::Sequence read("READ" + std::to_string(r), std::move(symbols));
+    read.set_quals(std::move(quals));
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+}  // namespace workload
+}  // namespace oasis

@@ -83,6 +83,54 @@ util::StatusOr<std::vector<MotifQuery>> GenerateMotifQueries(
     const seq::SequenceDatabase& db, const score::SubstitutionMatrix& matrix,
     const MotifQueryOptions& options);
 
+struct RepeatBombOptions {
+  uint64_t target_residues = 1 << 20;
+  uint32_t num_sequences = 32;
+  /// Fraction of each sequence covered by tandem low-complexity runs (the
+  /// "bomb"): every such run is a short unit repeated back to back, the
+  /// seeding pathology soft masking exists to defuse.
+  double repeat_fraction = 0.8;
+  /// Tandem unit lengths are drawn uniformly from [1, max_unit_length]
+  /// (period-1 gives homopolymer runs).
+  uint32_t max_unit_length = 6;
+  /// Length of one tandem run (unit repeated until the run is this long).
+  uint32_t run_length = 300;
+  /// Per-symbol divergence applied within a run, so the repeats are
+  /// realistic near-copies rather than exact ones.
+  double run_divergence = 0.02;
+  uint64_t seed = 45;
+};
+
+/// Generates a repeat-dense DNA database: tandem low-complexity runs
+/// (homopolymers and short-period microsatellites) interleaved with unique
+/// random sequence. An unmasked suffix-tree or BLAST search drowns in seed
+/// hits inside the runs; a soft-masked build indexes only the unique
+/// fraction. Sequence ids are "BOMB<index>".
+util::StatusOr<seq::SequenceDatabase> GenerateRepeatBombDatabase(
+    const RepeatBombOptions& options);
+
+struct QualityDegradedReadOptions {
+  uint32_t num_reads = 100;
+  uint32_t read_length = 100;
+  /// Phred quality at the first cycle of each read.
+  uint8_t start_quality = 38;
+  /// Phred quality the last cycles degrade to (Illumina-style 3' decay;
+  /// the ramp between start and end is linear with per-cycle jitter).
+  uint8_t end_quality = 5;
+  /// Sequencing errors are injected per position with the probability the
+  /// phred value encodes (10^(-q/10)), so low-quality tails really do
+  /// carry most of the mismatches.
+  uint64_t seed = 46;
+};
+
+/// Samples error-injected reads with per-base qualities from `db` (the
+/// template "genome"): each read copies a random substring of a random
+/// sequence, assigns a decaying phred ramp, then substitutes each position
+/// with its phred-encoded error probability. Read ids are "READ<index>";
+/// every read carries quals() for the quality-aware scoring path.
+util::StatusOr<std::vector<seq::Sequence>> GenerateQualityDegradedReads(
+    const seq::SequenceDatabase& db, const QualityDegradedReadOptions& options);
+
 /// Robinson-Robinson-weighted random protein residues (exposed for tests).
 std::vector<seq::Symbol> RandomProteinResidues(util::Random& rng, size_t length);
 

@@ -1,0 +1,293 @@
+// FASTQ parser suite: the strict four-line grammar, both quality
+// encodings, soft-mask/quality round-trips, and an adversarial corpus of
+// malformed records. FASTQ's grammar is only unambiguous in its rigid
+// form ('@' and '+' are both legal *quality* characters), so the parser
+// must never guess — every structural violation fails the whole parse
+// with an InvalidArgument naming the record position and line number,
+// which this suite pins message by message. The Fastq* suites run under
+// the TSan CI leg.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "seq/fastq.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace oasis {
+namespace {
+
+const seq::Alphabet& Dna() { return seq::Alphabet::Dna(); }
+
+util::StatusOr<std::vector<seq::Sequence>> Parse(
+    const std::string& text, seq::FastqOffset offset = seq::FastqOffset::kSanger) {
+  std::istringstream in(text);
+  return seq::ReadFastq(in, Dna(), offset);
+}
+
+/// Asserts the parse fails with an InvalidArgument whose message contains
+/// every fragment (record position, id, line number, cause).
+void ExpectParseError(const std::string& text,
+                      const std::vector<std::string>& fragments,
+                      seq::FastqOffset offset = seq::FastqOffset::kSanger) {
+  auto result = Parse(text, offset);
+  ASSERT_FALSE(result.ok()) << "parse unexpectedly succeeded";
+  EXPECT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+  for (const std::string& fragment : fragments) {
+    EXPECT_NE(result.status().message().find(fragment), std::string::npos)
+        << "missing '" << fragment << "' in: " << result.status().ToString();
+  }
+}
+
+// --- Well-formed input ------------------------------------------------------
+
+TEST(FastqParse, MultiRecordWithQualities) {
+  auto records = Parse(
+      "@r1 first read\n"
+      "ACGT\n"
+      "+\n"
+      "I!5#\n"
+      "@r2\n"
+      "TTG\n"
+      "+r2\n"
+      "III\n");
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].id(), "r1");
+  EXPECT_EQ((*records)[0].description(), "first read");
+  EXPECT_EQ((*records)[0].ToString(Dna()), "ACGT");
+  // Sanger offset 33: 'I' = 40, '!' = 0, '5' = 20, '#' = 2.
+  EXPECT_EQ((*records)[0].quals(), (std::vector<uint8_t>{40, 0, 20, 2}));
+  EXPECT_EQ((*records)[1].id(), "r2");
+  EXPECT_EQ((*records)[1].quals(), (std::vector<uint8_t>{40, 40, 40}));
+}
+
+TEST(FastqParse, IlluminaOffsetDecodesAgainst64) {
+  // Legacy phred+64: '@' = 0, 'h' = 40.
+  auto records = Parse("@r1\nAC\n+\n@h\n", seq::FastqOffset::kIllumina);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_EQ((*records)[0].quals(), (std::vector<uint8_t>{0, 40}));
+}
+
+TEST(FastqParse, CrlfLineEndings) {
+  auto records = Parse("@r1 desc\r\nACGT\r\n+\r\nIIII\r\n");
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_EQ((*records)[0].description(), "desc");
+  EXPECT_EQ((*records)[0].ToString(Dna()), "ACGT");
+  EXPECT_EQ((*records)[0].quals().size(), 4u);
+}
+
+TEST(FastqParse, LowercaseResiduesSoftMask) {
+  // Lowercase residues are soft-masked exactly like FASTA: encoded as
+  // their uppercase forms, remembered in the mask, restored lowercase.
+  auto records = Parse("@r1\nAcgT\n+\nIIII\n");
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_EQ((*records)[0].mask(), (std::vector<uint8_t>{0, 1, 1, 0}));
+  EXPECT_EQ((*records)[0].ToString(Dna()), "AcgT");
+  EXPECT_EQ((*records)[0].symbols(), (std::vector<seq::Symbol>{0, 1, 2, 3}));
+}
+
+TEST(FastqParse, QualityLineMayStartWithAtOrPlus) {
+  // '@' and '+' are legal quality characters; only the rigid four-line
+  // structure disambiguates them from headers and separators.
+  auto records = Parse("@r1\nACGT\n+\n@+@+\n@r2\nAC\n+\n++\n");
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].quals(),
+            (std::vector<uint8_t>{31, 10, 31, 10}));  // '@'=31, '+'=10
+  EXPECT_EQ((*records)[1].quals(), (std::vector<uint8_t>{10, 10}));
+}
+
+TEST(FastqParse, SeparatorMayRepeatIdOrFullHeader) {
+  auto records = Parse(
+      "@r1 tissue sample\nAC\n+r1\nII\n"
+      "@r2 other\nGT\n+r2 other\nII\n");
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+}
+
+TEST(FastqParse, BlankLinesBetweenRecordsSkipped) {
+  auto records = Parse("@r1\nAC\n+\nII\n\n\n@r2\nGT\n+\nII\n");
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+}
+
+TEST(FastqParse, EmptyInputYieldsNoRecords) {
+  auto records = Parse("");
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_TRUE(records->empty());
+}
+
+// --- Malformed corpus: every error names the record position ----------------
+
+TEST(FastqMalformed, MissingAtHeader) {
+  ExpectParseError("ACGT\n+\nIIII\n", {"record 1", "line 1", "expected '@'"});
+}
+
+TEST(FastqMalformed, EmptyIdentifier) {
+  ExpectParseError("@\nACGT\n+\nIIII\n",
+                   {"record 1", "empty FASTQ identifier"});
+  ExpectParseError("@ description only\nACGT\n+\nIIII\n",
+                   {"record 1", "empty FASTQ identifier"});
+}
+
+TEST(FastqMalformed, TruncatedAfterHeader) {
+  ExpectParseError("@r1\n", {"record 1", "('r1')", "missing sequence line"});
+}
+
+TEST(FastqMalformed, BlankSequenceLineIsTruncation) {
+  // Mid-record a blank line is a truncation, not a skippable separator.
+  ExpectParseError("@r1\n\n+\nII\n", {"record 1", "empty sequence line"});
+}
+
+TEST(FastqMalformed, TruncatedMissingSeparator) {
+  ExpectParseError("@r1\nACGT\n",
+                   {"record 1", "('r1')", "missing '+' separator"});
+}
+
+TEST(FastqMalformed, SeparatorRepeatsDifferentId) {
+  ExpectParseError("@r1\nACGT\n+r2\nIIII\n",
+                   {"record 1", "different id", "'r2'"});
+  // A tail that merely extends the id (no whitespace) is a different id.
+  ExpectParseError("@r1\nACGT\n+r1x\nIIII\n", {"record 1", "different id"});
+}
+
+TEST(FastqMalformed, MissingSeparatorLine) {
+  ExpectParseError("@r1\nACGT\nIIII\n@r2\nAC\n+\nII\n",
+                   {"record 1", "expected '+' separator"});
+}
+
+TEST(FastqMalformed, TruncatedMissingQuality) {
+  ExpectParseError("@r1\nACGT\n+\n", {"record 1", "missing quality line"});
+}
+
+TEST(FastqMalformed, QualityLengthMismatch) {
+  ExpectParseError("@r1\nACGT\n+\nIII\n",
+                   {"record 1", "quality length 3", "sequence length 4"});
+  ExpectParseError("@r1\nACGT\n+\nIIIII\n",
+                   {"record 1", "quality length 5", "sequence length 4"});
+}
+
+TEST(FastqMalformed, QualityBelowSangerRange) {
+  // ' ' (32) is below the sanger base '!' (33); the error names the
+  // offending column.
+  ExpectParseError("@r1\nACGT\n+\nII I\n",
+                   {"record 1", "column 3", "sanger encoding range"});
+}
+
+TEST(FastqMalformed, QualityBelowIlluminaRange) {
+  // '5' (53) is a fine sanger quality but sits below the illumina base
+  // '@' (64) — the strict offset check catches mixed-encoding files.
+  ASSERT_TRUE(Parse("@r1\nACGT\n+\n5555\n").ok());
+  ExpectParseError("@r1\nACGT\n+\n5555\n",
+                   {"record 1", "column 1", "illumina encoding range"},
+                   seq::FastqOffset::kIllumina);
+}
+
+TEST(FastqMalformed, InvalidResidueNamesSequenceLine) {
+  // The residue error points at the sequence line (line 2), not the
+  // quality line the parser had reached by then.
+  ExpectParseError("@r1\nACGN\n+\nIIII\n", {"record 1", "('r1')", "line 2"});
+}
+
+TEST(FastqMalformed, SecondRecordErrorNamesItsPosition) {
+  const std::string good = "@r1\nACGT\n+\nIIII\n";
+  ExpectParseError(good + "@r2\nAC\n+\n", {"record 2", "('r2')", "line 7"});
+  ExpectParseError(good + "@r2\nAC\n+\nIIII\n",
+                   {"record 2", "quality length 4", "sequence length 2"});
+}
+
+TEST(FastqMalformed, ParseOffsetRejectsUnknownSpelling) {
+  auto offset = seq::ParseFastqOffset("solexa");
+  ASSERT_FALSE(offset.ok());
+  EXPECT_TRUE(offset.status().IsInvalidArgument());
+  EXPECT_NE(offset.status().message().find("'solexa'"), std::string::npos);
+  ASSERT_TRUE(seq::ParseFastqOffset("sanger").ok());
+  ASSERT_TRUE(seq::ParseFastqOffset("illumina").ok());
+}
+
+// --- Round trips ------------------------------------------------------------
+
+TEST(FastqRoundTrip, WriterRejectsRecordsWithoutQualities) {
+  std::vector<seq::Sequence> records;
+  records.push_back(*seq::Sequence::FromString(Dna(), "r1", "ACGT"));
+  std::ostringstream out;
+  auto status = seq::WriteFastq(out, Dna(), records);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("'r1'"), std::string::npos);
+}
+
+TEST(FastqRoundTrip, FileRoundTrip) {
+  util::TempDir dir("fastq");
+  std::vector<seq::Sequence> records;
+  auto r = *seq::Sequence::FromString(Dna(), "r1", "ACgtAC");
+  r.set_quals({0, 10, 20, 30, 40, 93});
+  records.push_back(std::move(r));
+  const std::string path = dir.File("reads.fastq");
+  {
+    std::ostringstream out;
+    OASIS_ASSERT_OK(seq::WriteFastq(out, Dna(), records));
+    std::ofstream file(path);
+    file << out.str();
+  }
+  auto reread = seq::ReadFastqFile(path, Dna());
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  ASSERT_EQ(reread->size(), 1u);
+  EXPECT_EQ((*reread)[0].id(), "r1");
+  EXPECT_EQ((*reread)[0].symbols(), records[0].symbols());
+  EXPECT_EQ((*reread)[0].quals(), records[0].quals());
+  EXPECT_EQ((*reread)[0].mask(), records[0].mask());
+}
+
+TEST(FastqRoundTrip, MissingFileFails) {
+  EXPECT_FALSE(seq::ReadFastqFile("/nonexistent/reads.fastq", Dna()).ok());
+}
+
+TEST(FastqRoundTrip, RandomizedTenThousandRecords) {
+  // 10k randomized records through write -> parse: ids, symbols, phred
+  // values and soft-masks must all survive byte-for-byte. Deterministic
+  // given the seed.
+  util::Random rng(20260808);
+  std::vector<seq::Sequence> records;
+  records.reserve(10000);
+  for (uint32_t i = 0; i < 10000; ++i) {
+    const size_t length = 1 + rng.Uniform(60);
+    std::vector<seq::Symbol> symbols(length);
+    std::vector<uint8_t> quals(length);
+    std::vector<uint8_t> mask(length);
+    for (size_t j = 0; j < length; ++j) {
+      symbols[j] = static_cast<seq::Symbol>(rng.Uniform(4));
+      // 93 is the highest phred Sanger FASTQ can represent ('~').
+      quals[j] = static_cast<uint8_t>(rng.Uniform(94));
+      mask[j] = rng.Bernoulli(0.25) ? 1 : 0;
+    }
+    seq::Sequence record("q" + std::to_string(i),
+                         i % 7 == 0 ? "len " + std::to_string(length) : "",
+                         std::move(symbols));
+    record.set_mask(std::move(mask));
+    record.set_quals(std::move(quals));
+    records.push_back(std::move(record));
+  }
+
+  std::ostringstream out;
+  OASIS_ASSERT_OK(seq::WriteFastq(out, Dna(), records));
+  std::istringstream in(out.str());
+  auto reread = seq::ReadFastq(in, Dna());
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  ASSERT_EQ(reread->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ASSERT_EQ((*reread)[i].id(), records[i].id()) << "record " << i;
+    ASSERT_EQ((*reread)[i].symbols(), records[i].symbols()) << "record " << i;
+    ASSERT_EQ((*reread)[i].quals(), records[i].quals()) << "record " << i;
+    ASSERT_EQ((*reread)[i].mask(), records[i].mask()) << "record " << i;
+  }
+}
+
+}  // namespace
+}  // namespace oasis

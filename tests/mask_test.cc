@@ -1,0 +1,704 @@
+// Repeat masking and quality-aware scoring, proven adversarially.
+//
+// The central invariant is *clean-input parity*: on input the repeat
+// detector leaves untouched, an engine built with --mask soft must be THE
+// SAME index as one built with masking off — identical suffix counts,
+// identical streaming / batch / BLAST results — because gentle masking
+// only removes seeds that repeats would have produced. The adversarial
+// half is the other direction: on a repeat-bomb database the soft build
+// must index measurably fewer suffixes while alignments still extend
+// through the masked runs at full score (sequences round-trip unchanged).
+// Sidecar persistence (masks and phred qualities surviving reopen, append
+// and compaction, with soft mode sticky) and the quality-binned scoring
+// tables are covered here too. The Mask* and Quality* suites run under
+// the TSan CI leg.
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.h"
+#include "api/engine.h"
+#include "mask/tantan.h"
+#include "score/quality.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "util/stats_json.h"
+#include "workload/workload.h"
+
+namespace oasis {
+namespace {
+
+using testing::Encode;
+
+// --- Shared helpers ---------------------------------------------------------
+
+/// Repeat-free protein sequences, certified by the same detector the
+/// engine runs: any draw the detector flags is redrawn, so a soft build
+/// over these provably masks nothing.
+std::vector<seq::Sequence> CleanProteinSequences(uint32_t num_sequences,
+                                                 size_t length,
+                                                 uint64_t seed) {
+  const uint32_t sigma = seq::Alphabet::Protein().size();
+  util::Random rng(seed);
+  std::vector<seq::Sequence> sequences;
+  for (uint32_t i = 0; i < num_sequences; ++i) {
+    std::vector<seq::Symbol> residues;
+    for (int round = 0; round < 200; ++round) {
+      residues = workload::RandomProteinResidues(rng, length);
+      const std::vector<uint8_t> flags = mask::FindRepeats(residues, sigma);
+      if (std::count(flags.begin(), flags.end(), 1) == 0) break;
+      residues.clear();
+    }
+    EXPECT_FALSE(residues.empty()) << "no repeat-free draw in 200 rounds";
+    sequences.emplace_back("CLEAN" + std::to_string(i), std::move(residues));
+  }
+  return sequences;
+}
+
+seq::SequenceDatabase BuildDatabase(const seq::Alphabet& alphabet,
+                                    std::vector<seq::Sequence> sequences) {
+  auto db = seq::SequenceDatabase::Build(alphabet, std::move(sequences));
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+/// Multi-volume engine over `db` with the requested mask mode.
+std::unique_ptr<Engine> BuildEngine(const seq::SequenceDatabase& db,
+                                    const std::string& dir,
+                                    api::MaskMode mode) {
+  EngineOptions options;
+  options.alphabet = db.alphabet().size() == 4 ? seq::AlphabetKind::kDna
+                                               : seq::AlphabetKind::kProtein;
+  options.volume_size_bytes = 10000;
+  options.build_threads = 2;
+  options.mask_mode = mode;
+  std::vector<seq::Sequence> copy(db.sequences().begin(),
+                                  db.sequences().end());
+  auto engine = Engine::CreateFromDatabase(
+      BuildDatabase(db.alphabet(), std::move(copy)), dir, options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return engine.ok() ? std::move(engine).value() : nullptr;
+}
+
+/// (indexed, masked) suffix totals across all volumes.
+std::pair<uint64_t, uint64_t> SuffixCounts(const Engine& engine) {
+  const util::EngineStatsSnapshot snapshot = engine.CollectStats();
+  uint64_t indexed = 0, masked = 0;
+  for (const util::VolumeStatsRow& row : snapshot.volumes) {
+    indexed += row.indexed_suffixes;
+    masked += row.masked_suffixes;
+  }
+  return {indexed, masked};
+}
+
+std::vector<core::OasisResult> Drain(ResultCursor& cursor) {
+  std::vector<core::OasisResult> out;
+  while (true) {
+    auto next = cursor.Next();
+    EXPECT_TRUE(next.ok()) << next.status().ToString();
+    if (!next.ok() || !next->has_value()) break;
+    out.push_back(std::move(**next));
+  }
+  return out;
+}
+
+std::vector<core::OasisResult> DrainSearch(const Engine& engine,
+                                           const SearchRequest& request) {
+  auto cursor = engine.Search(request);
+  EXPECT_TRUE(cursor.ok()) << cursor.status().ToString();
+  if (!cursor.ok()) return {};
+  return Drain(*cursor);
+}
+
+/// Byte-level result equality — same index, not merely equivalent hits.
+void ExpectResultsIdentical(const std::vector<core::OasisResult>& a,
+                            const std::vector<core::OasisResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("result #" + std::to_string(i));
+    EXPECT_EQ(a[i].sequence_id, b[i].sequence_id);
+    EXPECT_EQ(a[i].score, b[i].score);
+    EXPECT_DOUBLE_EQ(a[i].evalue, b[i].evalue);
+    EXPECT_EQ(a[i].db_end_pos, b[i].db_end_pos);
+    EXPECT_EQ(a[i].query_end, b[i].query_end);
+  }
+}
+
+std::vector<SearchRequest> MotifRequests(Engine& engine, uint32_t count,
+                                         double evalue, uint64_t seed) {
+  workload::MotifQueryOptions q_options;
+  q_options.num_queries = count;
+  q_options.seed = seed;
+  auto db = engine.ResidentDatabase();
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  auto queries =
+      workload::GenerateMotifQueries(**db, engine.matrix(), q_options);
+  EXPECT_TRUE(queries.ok()) << queries.status().ToString();
+  std::vector<SearchRequest> requests;
+  for (auto& q : *queries) {
+    requests.push_back(SearchRequest(std::move(q.symbols)).EValue(evalue));
+  }
+  return requests;
+}
+
+// --- Tantan repeat detection ------------------------------------------------
+
+TEST(MaskTantan, FlagsHomopolymerRun) {
+  util::Random rng(1);
+  std::vector<seq::Symbol> symbols;
+  for (int i = 0; i < 100; ++i) {
+    symbols.push_back(static_cast<seq::Symbol>(rng.Uniform(4)));
+  }
+  const size_t run_start = symbols.size();
+  symbols.insert(symbols.end(), 60, seq::Symbol{0});  // poly-A
+  const size_t run_end = symbols.size();
+  for (int i = 0; i < 100; ++i) {
+    symbols.push_back(static_cast<seq::Symbol>(rng.Uniform(4)));
+  }
+
+  const std::vector<uint8_t> flags = mask::FindRepeats(symbols, 4);
+  ASSERT_EQ(flags.size(), symbols.size());
+  const auto flagged_in = [&](size_t lo, size_t hi) {
+    return static_cast<size_t>(
+        std::count(flags.begin() + lo, flags.begin() + hi, 1));
+  };
+  // The run lights up almost entirely; the flanks stay mostly dark.
+  EXPECT_GE(flagged_in(run_start, run_end), 50u);
+  EXPECT_LE(flagged_in(0, run_start) + flagged_in(run_end, flags.size()), 40u);
+}
+
+TEST(MaskTantan, FlagsShortPeriodMicrosatellite) {
+  // (ACG)^40: period 3, no position matches its immediate predecessor.
+  std::vector<seq::Symbol> symbols;
+  for (int i = 0; i < 40; ++i) {
+    symbols.insert(symbols.end(), {0, 1, 2});
+  }
+  const std::vector<uint8_t> flags = mask::FindRepeats(symbols, 4);
+  EXPECT_GE(std::count(flags.begin(), flags.end(), 1),
+            static_cast<long>(symbols.size() / 2));
+}
+
+TEST(MaskTantan, LeavesDiverseSequenceUntouched) {
+  // Twenty distinct residues: no tandem structure whatsoever.
+  const std::vector<seq::Symbol> symbols =
+      Encode(seq::Alphabet::Protein(), "ARNDCQEGHILKMFPSTWYV");
+  const std::vector<uint8_t> flags =
+      mask::FindRepeats(symbols, seq::Alphabet::Protein().size());
+  EXPECT_EQ(std::count(flags.begin(), flags.end(), 1), 0);
+}
+
+TEST(MaskTantan, DeterministicAcrossCalls) {
+  util::Random rng(7);
+  std::vector<seq::Symbol> symbols;
+  for (int i = 0; i < 500; ++i) {
+    symbols.push_back(static_cast<seq::Symbol>(rng.Uniform(4)));
+  }
+  symbols.insert(symbols.end(), 40, seq::Symbol{2});
+  EXPECT_EQ(mask::FindRepeats(symbols, 4), mask::FindRepeats(symbols, 4));
+}
+
+TEST(MaskTantan, SoftMaskOrsIntoLowercaseMask) {
+  // Position 0 is lowercase-masked on input; tantan adds the poly-T run.
+  // The union survives, and SoftMask reports only the *new* positions.
+  auto sequence = *seq::Sequence::FromString(
+      seq::Alphabet::Dna(), "s", "aACGATCAGCTGACTGACTGCA" + std::string(40, 'T'));
+  ASSERT_TRUE(sequence.has_mask());
+  ASSERT_EQ(sequence.mask()[0], 1);
+  const uint64_t newly = mask::SoftMask(&sequence, 4);
+  EXPECT_GT(newly, 20u);
+  EXPECT_EQ(sequence.mask()[0], 1) << "input soft-mask must be preserved";
+  const auto& m = sequence.mask();
+  EXPECT_GE(std::count(m.end() - 40, m.end(), 1), 30);
+}
+
+TEST(MaskTantan, BuildExclusionMapsGlobalPositions) {
+  std::vector<seq::Sequence> sequences;
+  sequences.push_back(*seq::Sequence::FromString(seq::Alphabet::Dna(), "a",
+                                                 "ACGT"));
+  auto masked = *seq::Sequence::FromString(seq::Alphabet::Dna(), "b",
+                                           "AcgT");
+  sequences.push_back(std::move(masked));
+  seq::SequenceDatabase db =
+      BuildDatabase(seq::Alphabet::Dna(), std::move(sequences));
+
+  const std::vector<uint8_t> exclusion = mask::BuildExclusion(db);
+  ASSERT_EQ(exclusion.size(), db.total_length());
+  const seq::GlobalPos b_start = db.SequenceStart(1);
+  for (size_t i = 0; i < exclusion.size(); ++i) {
+    const bool expect_masked = i == b_start + 1 || i == b_start + 2;
+    EXPECT_EQ(exclusion[i], expect_masked ? 1 : 0) << "global position " << i;
+  }
+
+  // No mask anywhere -> the cheap empty signal, not an all-zero vector.
+  std::vector<seq::Sequence> plain;
+  plain.push_back(*seq::Sequence::FromString(seq::Alphabet::Dna(), "a",
+                                             "ACGT"));
+  EXPECT_TRUE(
+      mask::BuildExclusion(BuildDatabase(seq::Alphabet::Dna(),
+                                         std::move(plain)))
+          .empty());
+}
+
+// --- Clean-input parity: soft == off on repeat-free input -------------------
+
+struct CleanParityFixture {
+  util::TempDir off_dir{"mask_off"};
+  util::TempDir soft_dir{"mask_soft"};
+  seq::SequenceDatabase db;
+  std::unique_ptr<Engine> off;
+  std::unique_ptr<Engine> soft;
+
+  CleanParityFixture()
+      : db(BuildDatabase(seq::Alphabet::Protein(),
+                         CleanProteinSequences(40, 400, 99))) {
+    off = BuildEngine(db, off_dir.path(), api::MaskMode::kOff);
+    soft = BuildEngine(db, soft_dir.path(), api::MaskMode::kSoft);
+    EXPECT_NE(off, nullptr);
+    EXPECT_NE(soft, nullptr);
+    EXPECT_GE(soft->num_volumes(), 2u) << "fixture must span volumes";
+  }
+};
+
+TEST(MaskParity, CleanInputBuildsTheIdenticalIndex) {
+  CleanParityFixture fx;
+  EXPECT_FALSE(fx.off->soft_masking());
+  EXPECT_TRUE(fx.soft->soft_masking());
+  const auto [off_indexed, off_masked] = SuffixCounts(*fx.off);
+  const auto [soft_indexed, soft_masked] = SuffixCounts(*fx.soft);
+  EXPECT_EQ(off_masked, 0u);
+  EXPECT_EQ(soft_masked, 0u)
+      << "certified repeat-free input must mask nothing";
+  EXPECT_EQ(soft_indexed, off_indexed)
+      << "clean-input soft build must be the same index";
+  EXPECT_GT(off_indexed, 0u);
+}
+
+TEST(MaskParity, CleanInputStreamingSearchByteIdentical) {
+  CleanParityFixture fx;
+  for (SearchRequest& request : MotifRequests(*fx.off, 6, 1000.0, 17)) {
+    ExpectResultsIdentical(DrainSearch(*fx.off, request),
+                           DrainSearch(*fx.soft, request));
+  }
+}
+
+TEST(MaskParity, CleanInputBatchSearchByteIdentical) {
+  CleanParityFixture fx;
+  std::vector<SearchRequest> requests = MotifRequests(*fx.off, 6, 100.0, 18);
+  BatchOptions batch;
+  batch.threads = 3;
+  auto off_results = fx.off->SearchBatch(requests, batch);
+  auto soft_results = fx.soft->SearchBatch(requests, batch);
+  OASIS_ASSERT_OK(off_results.status());
+  OASIS_ASSERT_OK(soft_results.status());
+  ASSERT_EQ(off_results->size(), soft_results->size());
+  for (size_t i = 0; i < off_results->size(); ++i) {
+    SCOPED_TRACE("query #" + std::to_string(i));
+    ExpectResultsIdentical((*off_results)[i].results,
+                           (*soft_results)[i].results);
+  }
+}
+
+TEST(MaskParity, CleanInputBlastSearchByteIdentical) {
+  CleanParityFixture fx;
+  for (SearchRequest& request : MotifRequests(*fx.off, 4, 100.0, 19)) {
+    auto off_cursor = fx.off->BlastSearch(request);
+    auto soft_cursor = fx.soft->BlastSearch(request);
+    OASIS_ASSERT_OK(off_cursor.status());
+    OASIS_ASSERT_OK(soft_cursor.status());
+    ExpectResultsIdentical(Drain(*off_cursor), Drain(*soft_cursor));
+  }
+}
+
+// --- The adversarial direction: repeat bombs --------------------------------
+
+seq::SequenceDatabase RepeatBomb(uint64_t residues, uint64_t seed) {
+  workload::RepeatBombOptions options;
+  options.target_residues = residues;
+  options.num_sequences = 16;
+  options.seed = seed;
+  auto db = workload::GenerateRepeatBombDatabase(options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+TEST(MaskAdversarial, RepeatBombShrinksTheSeedIndex) {
+  const seq::SequenceDatabase db = RepeatBomb(60000, 5);
+  util::TempDir off_dir("bomb_off");
+  util::TempDir soft_dir("bomb_soft");
+  auto off = BuildEngine(db, off_dir.path(), api::MaskMode::kOff);
+  auto soft = BuildEngine(db, soft_dir.path(), api::MaskMode::kSoft);
+  ASSERT_NE(off, nullptr);
+  ASSERT_NE(soft, nullptr);
+
+  const auto [off_indexed, off_masked] = SuffixCounts(*off);
+  const auto [soft_indexed, soft_masked] = SuffixCounts(*soft);
+  EXPECT_EQ(off_masked, 0u);
+  EXPECT_GT(soft_masked, off_indexed / 2)
+      << "the bomb is mostly repeats; most suffixes must be excluded";
+  EXPECT_EQ(soft_indexed + soft_masked, off_indexed)
+      << "every suffix is either indexed or masked, never dropped";
+}
+
+TEST(MaskAdversarial, MaskingIsGentleSequencesRoundTripUnchanged) {
+  const seq::SequenceDatabase db = RepeatBomb(20000, 6);
+  util::TempDir dir("bomb_gentle");
+  auto soft = BuildEngine(db, dir.path(), api::MaskMode::kSoft);
+  ASSERT_NE(soft, nullptr);
+  auto resident = soft->ResidentDatabase();
+  OASIS_ASSERT_OK(resident.status());
+  ASSERT_EQ((*resident)->num_sequences(), db.num_sequences());
+  uint64_t masked_positions = 0;
+  for (uint32_t i = 0; i < db.num_sequences(); ++i) {
+    const seq::Sequence& original = db.sequence(i);
+    const seq::Sequence& stored = (*resident)->sequence(i);
+    // Gentle masking: every residue is still there, byte for byte...
+    ASSERT_TRUE(std::equal(original.symbols().begin(),
+                           original.symbols().end(),
+                           stored.symbols().begin(),
+                           stored.symbols().end()))
+        << "sequence " << i;
+    // ...and the mask that excluded its suffixes is persisted alongside.
+    for (uint8_t bit : stored.mask()) masked_positions += bit;
+  }
+  EXPECT_GT(masked_positions, 0u);
+}
+
+TEST(MaskAdversarial, UniqueRegionsStaySearchableInTheMaskedIndex) {
+  const seq::SequenceDatabase db = RepeatBomb(20000, 7);
+  util::TempDir dir("bomb_search");
+  auto soft = BuildEngine(db, dir.path(), api::MaskMode::kSoft);
+  ASSERT_NE(soft, nullptr);
+  auto resident = soft->ResidentDatabase();
+  OASIS_ASSERT_OK(resident.status());
+
+  // Find a run of 28 consecutive unmasked positions — a unique spacer the
+  // index still seeds — and search for it verbatim.
+  for (uint32_t i = 0; i < (*resident)->num_sequences(); ++i) {
+    const seq::Sequence& s = (*resident)->sequence(i);
+    if (!s.has_mask()) continue;
+    size_t run = 0;
+    for (size_t j = 0; j < s.size(); ++j) {
+      run = s.mask()[j] ? 0 : run + 1;
+      if (run < 28) continue;
+      std::vector<seq::Symbol> query(s.symbols().begin() + (j + 1 - 28),
+                                     s.symbols().begin() + (j + 1));
+      SearchRequest request(std::move(query));
+      request.MinScore(25);
+      const auto results = DrainSearch(*soft, request);
+      ASSERT_FALSE(results.empty());
+      const bool found = std::any_of(
+          results.begin(), results.end(),
+          [&](const core::OasisResult& r) { return r.sequence_id == i; });
+      EXPECT_TRUE(found) << "unmasked region of sequence " << i
+                         << " must remain findable";
+      return;
+    }
+  }
+  FAIL() << "no 28-wide unmasked run found in the bomb database";
+}
+
+// --- Sidecar persistence and sticky soft mode -------------------------------
+
+TEST(MaskSidecar, MasksAndQualsSurviveReopen) {
+  // Clean sequences (tantan adds nothing) with a hand-set mask and phred
+  // qualities: what comes back after close-and-reopen must be exactly
+  // what went in.
+  std::vector<seq::Sequence> sequences = CleanProteinSequences(6, 300, 31);
+  std::vector<uint8_t> mask(sequences[1].size(), 0);
+  for (size_t i = 10; i < 60; ++i) mask[i] = 1;
+  sequences[1].set_mask(mask);
+  std::vector<uint8_t> quals(sequences[2].size());
+  for (size_t i = 0; i < quals.size(); ++i) {
+    quals[i] = static_cast<uint8_t>(i % 41);
+  }
+  sequences[2].set_quals(quals);
+
+  util::TempDir dir("sidecar");
+  EngineOptions options;
+  options.volume_size_bytes = 800;  // several volumes
+  options.mask_mode = api::MaskMode::kSoft;
+  auto built = Engine::CreateFromDatabase(
+      BuildDatabase(seq::Alphabet::Protein(), std::move(sequences)),
+      dir.path(), options);
+  OASIS_ASSERT_OK(built.status());
+  ASSERT_GE((*built)->num_volumes(), 2u);
+  built->reset();  // close before reopening
+
+  // Reopen with DEFAULT options: mask_mode off. The index was built soft,
+  // so the engine must adopt soft mode from the sidecars (sticky).
+  auto reopened = Engine::Open(dir.path());
+  OASIS_ASSERT_OK(reopened.status());
+  EXPECT_TRUE((*reopened)->soft_masking());
+  auto resident = (*reopened)->ResidentDatabase();
+  OASIS_ASSERT_OK(resident.status());
+  EXPECT_EQ((*resident)->sequence(1).mask(), mask);
+  EXPECT_FALSE((*resident)->sequence(0).has_mask());
+  EXPECT_EQ((*resident)->sequence(2).quals(), quals);
+  EXPECT_FALSE((*resident)->sequence(0).has_quals());
+}
+
+TEST(MaskSidecar, AppendToSoftIndexMasksTheNewVolume) {
+  util::TempDir dir("sidecar_append");
+  EngineOptions options;
+  options.volume_size_bytes = 10000;
+  options.mask_mode = api::MaskMode::kSoft;
+  auto engine = Engine::CreateFromDatabase(
+      BuildDatabase(seq::Alphabet::Protein(), CleanProteinSequences(8, 300, 32)),
+      dir.path(), options);
+  OASIS_ASSERT_OK(engine.status());
+  (*engine)->WaitForCompaction();
+  (*engine).reset();
+
+  // Reopen with masking off; append a repeat-heavy sequence. Sticky soft
+  // mode must mask it anyway — otherwise the appended volume would
+  // reintroduce exactly the seeds the index was built to exclude.
+  auto reopened = Engine::Open(dir.path());
+  OASIS_ASSERT_OK(reopened.status());
+  ASSERT_TRUE((*reopened)->soft_masking());
+  std::string repeat;
+  for (int i = 0; i < 100; ++i) repeat += "ARN";
+  std::vector<seq::Sequence> tail;
+  tail.push_back(*seq::Sequence::FromString(seq::Alphabet::Protein(),
+                                            "BOMBAPPEND", repeat));
+  OASIS_ASSERT_OK((*reopened)->AppendSequences(std::move(tail)));
+  (*reopened)->WaitForCompaction();
+
+  const auto [indexed, masked] = SuffixCounts(**reopened);
+  EXPECT_GT(masked, 200u) << "the appended tandem repeat must be masked";
+  EXPECT_GT(indexed, 0u);
+}
+
+TEST(MaskSidecar, CompactionPreservesMasksQualsAndSoftMode) {
+  std::vector<seq::Sequence> sequences = CleanProteinSequences(10, 200, 33);
+  std::vector<uint8_t> quals(sequences[4].size(), 17);
+  sequences[4].set_quals(quals);
+  std::vector<uint8_t> mask(sequences[5].size(), 0);
+  for (size_t i = 0; i < 50; ++i) mask[i] = 1;
+  sequences[5].set_mask(mask);
+
+  util::TempDir dir("sidecar_compact");
+  EngineOptions options;
+  options.volume_size_bytes = 10000;
+  options.compact_trigger_volumes = 0;  // explicit Compact() only
+  options.mask_mode = api::MaskMode::kSoft;
+  std::vector<seq::Sequence> base(
+      std::make_move_iterator(sequences.begin()),
+      std::make_move_iterator(sequences.begin() + 4));
+  auto engine = Engine::CreateFromDatabase(
+      BuildDatabase(seq::Alphabet::Protein(), std::move(base)), dir.path(),
+      options);
+  OASIS_ASSERT_OK(engine.status());
+  // Append the annotated tail one sequence at a time: a pile of tiny
+  // volumes, each with its own sidecars, for Compact() to merge.
+  for (size_t i = 4; i < sequences.size(); ++i) {
+    std::vector<seq::Sequence> one;
+    one.push_back(std::move(sequences[i]));
+    OASIS_ASSERT_OK((*engine)->AppendSequences(std::move(one)));
+  }
+  const size_t volumes_before = (*engine)->num_volumes();
+  ASSERT_GE(volumes_before, 3u);
+  OASIS_ASSERT_OK((*engine)->Compact());
+  EXPECT_LT((*engine)->num_volumes(), volumes_before);
+  EXPECT_TRUE((*engine)->soft_masking());
+
+  auto resident = (*engine)->ResidentDatabase();
+  OASIS_ASSERT_OK(resident.status());
+  EXPECT_EQ((*resident)->sequence(4).quals(), quals);
+  EXPECT_EQ((*resident)->sequence(5).mask(), mask);
+
+  // And the compacted index reopens soft, with the annotations intact.
+  (*engine).reset();
+  auto reopened = Engine::Open(dir.path());
+  OASIS_ASSERT_OK(reopened.status());
+  EXPECT_TRUE((*reopened)->soft_masking());
+  auto reread = (*reopened)->ResidentDatabase();
+  OASIS_ASSERT_OK(reread.status());
+  EXPECT_EQ((*reread)->sequence(4).quals(), quals);
+  EXPECT_EQ((*reread)->sequence(5).mask(), mask);
+}
+
+// --- Quality-binned scoring tables ------------------------------------------
+
+TEST(Quality, TopBinIsTheRawMatrix) {
+  const score::SubstitutionMatrix& matrix =
+      score::SubstitutionMatrix::Blosum62();
+  const score::QualityAdjust quality(matrix);
+  for (seq::Symbol a = 0; a < quality.sigma(); ++a) {
+    for (seq::Symbol b = 0; b < quality.sigma(); ++b) {
+      EXPECT_EQ(quality.Score(a, b, score::QualityAdjust::kNumBins - 1),
+                matrix.Score(a, b))
+          << "a=" << int(a) << " b=" << int(b);
+    }
+  }
+}
+
+TEST(Quality, LowQualityBlendsTowardTheBackground) {
+  // With blastn (+2 match / -3 mismatch) an uncertain call must weaken
+  // the match reward and soften the mismatch penalty, monotonically in
+  // the bin: less evidence either way.
+  const score::SubstitutionMatrix& matrix = score::SubstitutionMatrix::Blastn();
+  const score::QualityAdjust quality(matrix);
+  for (uint32_t bin = 0; bin + 1 < score::QualityAdjust::kNumBins; ++bin) {
+    EXPECT_LE(quality.Score(0, 0, bin), quality.Score(0, 0, bin + 1))
+        << "match reward must not grow as quality drops (bin " << bin << ")";
+    EXPECT_GE(quality.Score(0, 1, bin), quality.Score(0, 1, bin + 1))
+        << "mismatch penalty must not deepen as quality drops";
+  }
+  EXPECT_LT(quality.Score(0, 0, 0), matrix.Score(0, 0));
+  EXPECT_GT(quality.Score(0, 1, 0), matrix.Score(0, 1));
+}
+
+TEST(Quality, BinBoundariesAndEffectiveCoding) {
+  EXPECT_EQ(score::QualityAdjust::BinOf(0), 0u);
+  EXPECT_EQ(score::QualityAdjust::BinOf(5), 0u);
+  EXPECT_EQ(score::QualityAdjust::BinOf(6), 1u);
+  EXPECT_EQ(score::QualityAdjust::BinOf(12), 1u);
+  EXPECT_EQ(score::QualityAdjust::BinOf(13), 2u);
+  EXPECT_EQ(score::QualityAdjust::BinOf(19), 2u);
+  EXPECT_EQ(score::QualityAdjust::BinOf(20), 3u);
+  EXPECT_EQ(score::QualityAdjust::BinOf(93), 3u);
+
+  const score::QualityAdjust quality(score::SubstitutionMatrix::Blastn());
+  const std::vector<seq::Symbol> target = {0, 1, 2, 3};
+  const std::vector<uint8_t> quals = {2, 8, 15, 40};
+  std::vector<seq::Symbol> effective;
+  quality.EffectiveTarget(target, quals, &effective);
+  ASSERT_EQ(effective.size(), target.size());
+  for (size_t j = 0; j < target.size(); ++j) {
+    const uint32_t bin = score::QualityAdjust::BinOf(quals[j]);
+    EXPECT_EQ(effective[j], quality.EffectiveCode(bin, target[j]));
+    for (seq::Symbol a = 0; a < quality.sigma(); ++a) {
+      EXPECT_EQ(quality.ScoreEffective(a, effective[j]),
+                quality.Score(a, target[j], bin));
+    }
+  }
+}
+
+// --- Quality-weighted alignment ---------------------------------------------
+
+TEST(Quality, ConfidentQualsAlignByteIdenticalToPlain) {
+  util::Random rng(41);
+  const score::SubstitutionMatrix& matrix = score::SubstitutionMatrix::Blastn();
+  const score::QualityAdjust quality(matrix);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<seq::Symbol> query(30 + rng.Uniform(30));
+    std::vector<seq::Symbol> target(50 + rng.Uniform(100));
+    for (auto& s : query) s = static_cast<seq::Symbol>(rng.Uniform(4));
+    for (auto& s : target) s = static_cast<seq::Symbol>(rng.Uniform(4));
+    const std::vector<uint8_t> confident(target.size(), 40);
+
+    const align::SequenceHit plain = align::AlignPair(query, target, matrix);
+    const align::SequenceHit adjusted =
+        align::AlignPairQuality(query, target, quality, confident);
+    EXPECT_EQ(adjusted.score, plain.score) << "trial " << trial;
+    EXPECT_EQ(adjusted.query_end, plain.query_end) << "trial " << trial;
+    EXPECT_EQ(adjusted.target_end, plain.target_end) << "trial " << trial;
+  }
+}
+
+TEST(Quality, LowQualityMismatchCostsLess) {
+  // Same alignment, one mismatch. Marking only the mismatched base as a
+  // junk call must recover part of the penalty; marking a matched base
+  // instead must not help.
+  const seq::Alphabet& dna = seq::Alphabet::Dna();
+  const score::SubstitutionMatrix& matrix = score::SubstitutionMatrix::Blastn();
+  const score::QualityAdjust quality(matrix);
+  const std::vector<seq::Symbol> query = Encode(dna, "ACGTACGTACGTACGT");
+  std::vector<seq::Symbol> target = query;
+  target[8] = static_cast<seq::Symbol>((target[8] + 1) % 4);
+
+  std::vector<uint8_t> confident(target.size(), 40);
+  std::vector<uint8_t> doubt_mismatch = confident;
+  doubt_mismatch[8] = 2;
+  std::vector<uint8_t> doubt_match = confident;
+  doubt_match[3] = 2;
+
+  const auto base =
+      align::AlignPairQuality(query, target, quality, confident);
+  const auto softened =
+      align::AlignPairQuality(query, target, quality, doubt_mismatch);
+  const auto weakened =
+      align::AlignPairQuality(query, target, quality, doubt_match);
+  EXPECT_GT(softened.score, base.score);
+  EXPECT_LE(weakened.score, base.score);
+}
+
+TEST(QualityScan, SimdAndScalarAgreeOnQualityScoring) {
+  // The striped kernels score quality-carrying targets through the
+  // effective-symbol profile; the scalar path uses the three-index
+  // lookup. Same tables, same hits — across a database mixing annotated
+  // and plain sequences.
+  util::Random rng(43);
+  std::vector<seq::Sequence> sequences;
+  for (uint32_t i = 0; i < 24; ++i) {
+    std::vector<seq::Symbol> symbols(60 + rng.Uniform(200));
+    for (auto& s : symbols) s = static_cast<seq::Symbol>(rng.Uniform(4));
+    seq::Sequence sequence("t" + std::to_string(i), std::move(symbols));
+    if (i % 2 == 0) {
+      std::vector<uint8_t> quals(sequence.size());
+      for (auto& q : quals) q = static_cast<uint8_t>(rng.Uniform(45));
+      sequence.set_quals(std::move(quals));
+    }
+    sequences.push_back(std::move(sequence));
+  }
+  const seq::SequenceDatabase db =
+      BuildDatabase(seq::Alphabet::Dna(), std::move(sequences));
+  const score::SubstitutionMatrix& matrix = score::SubstitutionMatrix::Blastn();
+  const score::QualityAdjust quality(matrix);
+
+  std::vector<seq::Symbol> query(48);
+  for (auto& s : query) s = static_cast<seq::Symbol>(rng.Uniform(4));
+
+  const auto scalar = align::ScanDatabase(query, db, matrix, 10, nullptr,
+                                          align::simd::SimdMode::kOff,
+                                          &quality);
+  const auto simd = align::ScanDatabase(query, db, matrix, 10, nullptr,
+                                        align::simd::SimdMode::kAuto,
+                                        &quality);
+  ASSERT_EQ(scalar.size(), simd.size());
+  for (size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(scalar[i].sequence_id, simd[i].sequence_id) << "hit " << i;
+    EXPECT_EQ(scalar[i].score, simd[i].score) << "hit " << i;
+    EXPECT_EQ(scalar[i].query_end, simd[i].query_end) << "hit " << i;
+    EXPECT_EQ(scalar[i].target_end, simd[i].target_end) << "hit " << i;
+  }
+}
+
+TEST(QualityScan, QualLessDatabaseByteIdenticalWithAdjustEngaged) {
+  // Passing the quality tables over a database with no qualities must
+  // change nothing: every sequence takes the exact plain path.
+  util::Random rng(44);
+  std::vector<seq::Sequence> sequences;
+  for (uint32_t i = 0; i < 12; ++i) {
+    std::vector<seq::Symbol> symbols(80 + rng.Uniform(120));
+    for (auto& s : symbols) s = static_cast<seq::Symbol>(rng.Uniform(4));
+    sequences.emplace_back("t" + std::to_string(i), std::move(symbols));
+  }
+  const seq::SequenceDatabase db =
+      BuildDatabase(seq::Alphabet::Dna(), std::move(sequences));
+  const score::SubstitutionMatrix& matrix = score::SubstitutionMatrix::Blastn();
+  const score::QualityAdjust quality(matrix);
+  std::vector<seq::Symbol> query(40);
+  for (auto& s : query) s = static_cast<seq::Symbol>(rng.Uniform(4));
+
+  for (auto mode : {align::simd::SimdMode::kOff, align::simd::SimdMode::kAuto}) {
+    const auto plain = align::ScanDatabase(query, db, matrix, 8, nullptr, mode);
+    const auto adjusted =
+        align::ScanDatabase(query, db, matrix, 8, nullptr, mode, &quality);
+    ASSERT_EQ(plain.size(), adjusted.size());
+    for (size_t i = 0; i < plain.size(); ++i) {
+      EXPECT_EQ(plain[i].sequence_id, adjusted[i].sequence_id);
+      EXPECT_EQ(plain[i].score, adjusted[i].score);
+      EXPECT_EQ(plain[i].query_end, adjusted[i].query_end);
+      EXPECT_EQ(plain[i].target_end, adjusted[i].target_end);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oasis

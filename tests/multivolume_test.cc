@@ -438,6 +438,46 @@ TEST(MultiVolume, AppendRejectsDuplicateSequenceIds) {
   EXPECT_EQ(fx.multi->epoch(), epoch_before) << "failed append must not swap";
 }
 
+TEST(MultiVolume, DuplicateAppendErrorNamesTheOwningVolume) {
+  // Regression: the collision error used to say only "duplicate id",
+  // leaving the operator to hunt through volumes by hand. It must name
+  // the id AND the volume that already holds it.
+  ParityFixture fx;
+  auto db = fx.multi->ResidentDatabase();
+  OASIS_ASSERT_OK(db.status());
+  const std::vector<std::string> names = fx.multi->volume_names();
+  ASSERT_GE(names.size(), 2u);
+  // The last sequence lives in the last volume — a collision there proves
+  // the error localizes the owner instead of defaulting to volume 0.
+  const seq::Sequence& existing =
+      (*db)->sequence((*db)->num_sequences() - 1);
+  std::vector<seq::Symbol> symbols(existing.symbols().begin(),
+                                   existing.symbols().end());
+  std::vector<seq::Sequence> dupes;
+  dupes.emplace_back(existing.id(), std::move(symbols));
+  const util::Status status = fx.multi->AppendSequences(std::move(dupes));
+  ASSERT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.message().find("'" + existing.id() + "'"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("volume '" + names.back() + "'"),
+            std::string::npos)
+      << status.ToString();
+
+  // A within-batch repeat is a different mistake with a different message.
+  std::vector<seq::Sequence> twice;
+  twice.push_back(*seq::Sequence::FromString(seq::Alphabet::Protein(),
+                                             "FRESH", "MKTAYIAKQR"));
+  twice.push_back(*seq::Sequence::FromString(seq::Alphabet::Protein(),
+                                             "FRESH", "QFSLWKRPVG"));
+  const util::Status batch_status =
+      fx.multi->AppendSequences(std::move(twice));
+  ASSERT_TRUE(batch_status.IsInvalidArgument()) << batch_status.ToString();
+  EXPECT_NE(batch_status.message().find("batch repeats sequence id 'FRESH'"),
+            std::string::npos)
+      << batch_status.ToString();
+}
+
 TEST(MultiVolume, AppendToLegacyIndexUpgradesItInPlace) {
   std::vector<seq::Sequence> base, tail;
   SplitDatabase(&base, &tail);

@@ -79,12 +79,21 @@ TEST(Fasta, WindowsLineEndings) {
 }
 
 TEST(Fasta, LowercaseResidues) {
+  // Lowercase residues are soft-masked: encoded like their uppercase
+  // forms, remembered in the per-sequence mask, and restored as
+  // lowercase on the way out (the round-trip preserves case).
   std::istringstream in(">a\nacgt\n>b mixed CASE\nAcGtaC\n");
   auto records = seq::ReadFasta(in, seq::Alphabet::Dna());
   ASSERT_TRUE(records.ok()) << records.status().ToString();
   ASSERT_EQ(records->size(), 2u);
-  EXPECT_EQ((*records)[0].ToString(seq::Alphabet::Dna()), "ACGT");
-  EXPECT_EQ((*records)[1].ToString(seq::Alphabet::Dna()), "ACGTAC");
+  EXPECT_EQ((*records)[0].ToString(seq::Alphabet::Dna()), "acgt");
+  EXPECT_TRUE((*records)[0].has_mask());
+  EXPECT_EQ((*records)[0].mask(), (std::vector<uint8_t>{1, 1, 1, 1}));
+  EXPECT_EQ((*records)[1].ToString(seq::Alphabet::Dna()), "AcGtaC");
+  EXPECT_EQ((*records)[1].mask(), (std::vector<uint8_t>{0, 1, 0, 1, 1, 0}));
+  // The symbols themselves are case-insensitive.
+  EXPECT_EQ((*records)[1].symbols(),
+            (std::vector<seq::Symbol>{0, 1, 2, 3, 0, 1}));
 }
 
 TEST(Fasta, CrlfAndLowercaseTogether) {
@@ -93,8 +102,8 @@ TEST(Fasta, CrlfAndLowercaseTogether) {
   ASSERT_TRUE(records.ok()) << records.status().ToString();
   ASSERT_EQ(records->size(), 2u);
   EXPECT_EQ((*records)[0].description(), "desc here");
-  EXPECT_EQ((*records)[0].ToString(seq::Alphabet::Dna()), "ACGT");
-  EXPECT_EQ((*records)[1].ToString(seq::Alphabet::Dna()), "TTTT");
+  EXPECT_EQ((*records)[0].ToString(seq::Alphabet::Dna()), "acGT");
+  EXPECT_EQ((*records)[1].ToString(seq::Alphabet::Dna()), "tttt");
 }
 
 TEST(Fasta, EmptySequenceIsError) {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "align/smith_waterman.h"
+#include "mask/tantan.h"
 #include "test_util.h"
 #include "workload/workload.h"
 
@@ -201,6 +202,82 @@ TEST(MotifQueries, DeterministicForSeed) {
   for (size_t i = 0; i < a->size(); ++i) {
     EXPECT_EQ((*a)[i].symbols, (*b)[i].symbols);
   }
+}
+
+TEST(RepeatBomb, ShapeDeterminismAndRepeatDensity) {
+  workload::RepeatBombOptions options;
+  options.target_residues = 20000;
+  options.num_sequences = 8;
+  options.seed = 5;
+  auto a = workload::GenerateRepeatBombDatabase(options);
+  auto b = workload::GenerateRepeatBombDatabase(options);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a->num_sequences(), 8u);
+  EXPECT_EQ(a->sequence(0).id(), "BOMB0");
+  uint64_t residues = 0;
+  for (uint32_t i = 0; i < a->num_sequences(); ++i) {
+    EXPECT_EQ(a->sequence(i).symbols(), b->sequence(i).symbols())
+        << "sequence " << i;
+    residues += a->sequence(i).size();
+  }
+  EXPECT_NEAR(static_cast<double>(residues), 20000.0, 200.0);
+  // The bomb must actually be a bomb: the detector the engine uses flags
+  // a large fraction of it.
+  uint64_t flagged = 0;
+  for (uint32_t i = 0; i < a->num_sequences(); ++i) {
+    std::vector<seq::Symbol> symbols(a->sequence(i).symbols().begin(),
+                                     a->sequence(i).symbols().end());
+    const std::vector<uint8_t> flags = mask::FindRepeats(symbols, 4);
+    flagged += std::count(flags.begin(), flags.end(), 1);
+  }
+  EXPECT_GT(flagged, residues / 2);
+}
+
+TEST(RepeatBomb, RejectsBadOptions) {
+  workload::RepeatBombOptions options;
+  options.num_sequences = 0;
+  EXPECT_FALSE(workload::GenerateRepeatBombDatabase(options).ok());
+  options = {};
+  options.repeat_fraction = 1.5;
+  EXPECT_FALSE(workload::GenerateRepeatBombDatabase(options).ok());
+  options = {};
+  options.run_length = 0;
+  EXPECT_FALSE(workload::GenerateRepeatBombDatabase(options).ok());
+}
+
+TEST(QualityReads, CarryDecayingQualitiesAndPhredCalibratedErrors) {
+  workload::DnaDatabaseOptions db_options;
+  db_options.target_residues = 20000;
+  db_options.seed = 6;
+  auto db = workload::GenerateDnaDatabase(db_options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  workload::QualityDegradedReadOptions options;
+  options.num_reads = 200;
+  options.read_length = 100;
+  options.seed = 9;
+  auto reads = workload::GenerateQualityDegradedReads(*db, options);
+  auto again = workload::GenerateQualityDegradedReads(*db, options);
+  ASSERT_TRUE(reads.ok()) << reads.status().ToString();
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(reads->size(), 200u);
+
+  double head_q = 0, tail_q = 0;
+  for (size_t i = 0; i < reads->size(); ++i) {
+    const seq::Sequence& read = (*reads)[i];
+    ASSERT_TRUE(read.has_quals()) << "read " << i;
+    ASSERT_EQ(read.quals().size(), read.size());
+    EXPECT_EQ(read.id(), "READ" + std::to_string(i));
+    EXPECT_EQ(read.symbols(), (*again)[i].symbols()) << "determinism";
+    EXPECT_EQ(read.quals(), (*again)[i].quals()) << "determinism";
+    head_q += read.quals().front();
+    tail_q += read.quals().back();
+  }
+  // Illumina-style 3' decay: first cycles near start_quality, last near
+  // end_quality.
+  EXPECT_GT(head_q / reads->size(), 30.0);
+  EXPECT_LT(tail_q / reads->size(), 10.0);
 }
 
 }  // namespace
