@@ -53,7 +53,9 @@ HEADERS = [
     "src/storage/block_file.h",
     "src/suffix/packed_tree.h",
     "src/suffix/tree_cursor.h",
+    "src/util/mutex.h",
     "src/util/stats_json.h",
+    "src/util/thread_annotations.h",
 ]
 
 # Declaration groups whose FIRST line matches one of these never need a

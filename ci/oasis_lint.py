@@ -1,0 +1,433 @@
+#!/usr/bin/env python3
+"""oasis_lint: project-specific invariants the generic tools cannot express.
+
+Four rules, each encoding a contract that is documented in the sources and
+load-bearing for correctness or for the CI gates:
+
+  R1 lock-order   The AdaptiveReadahead per-segment mutex is a LEAF lock:
+                  it is taken with a buffer-pool shard mutex already held
+                  (RecordOutcome runs inside the pool's hit/evict paths),
+                  so holding it while acquiring ANY other lock inverts the
+                  order and can deadlock. While a leaf-lock scope is open,
+                  no other lock may be acquired. Clang's -Wthread-safety
+                  proves mutual exclusion but not this global ordering.
+
+  R2 naked-new    Every allocation must be owned: `new` is allowed only
+                  when the result lands in a smart pointer in the same
+                  statement (std::unique_ptr<T> p(new T...), .reset(new
+                  ...), make_* is better still); `delete` is never allowed.
+                  The one sanctioned exception is the leaked-singleton
+                  scoring-matrix arena (ALLOW_NEW_FILES), where process
+                  lifetime is the point.
+
+  R3 poll-hook    The resumable cursor's contract (core/oasis.h): the poll
+                  hook runs at every suspension point, i.e. before every
+                  Step() of the A* loop. Deadlines, cancellation and client
+                  disconnects all hang off it — a Step() without a
+                  preceding poll makes a query uncancellable for that
+                  stretch. Checked structurally in core/oasis.cc: every
+                  function that invokes the stepper must reference the
+                  poll hook earlier in its body.
+
+  R4 bench-counts Every bench that publishes gated metrics must also
+                  publish `counts` denominators — ci/bench_gate.py rejects
+                  gated ratios whose sample count is under a floor, and a
+                  bench without counts would pass vacuously (the PR-5
+                  vacuous-pass fix made this mandatory).
+
+Zero dependencies; regexes over comment-stripped sources. Run from
+anywhere in the repo:
+
+  python3 ci/oasis_lint.py             # lint the tree
+  python3 ci/oasis_lint.py --self-test # prove the rules fire
+
+Extending: add a `check_*` function returning [(path, line, message)],
+register it in CHECKS, and add a good + bad snippet to SELF_TESTS (the
+self-test fails any rule that stops firing on its bad snippet).
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+# --- Configuration ----------------------------------------------------------
+
+# Mutex expressions that are leaf locks: terminal in the lock order.
+LEAF_LOCK_RE = re.compile(r"\bstate\.mutex\b")
+
+# Lock-acquiring declarations (RAII). EXPR is captured for classification.
+ACQUIRE_RE = re.compile(
+    r"\b(?:util::MutexLock|std::lock_guard<[^>]*>|std::unique_lock<[^>]*>|"
+    r"std::scoped_lock(?:<[^>]*>)?)\s+\w+\s*[({]\s*([^;)}]+?)\s*[)}]")
+
+# Statements in which a `new` is immediately owned.
+OWNED_NEW_RE = re.compile(
+    r"(?:unique_ptr|shared_ptr)\s*<[^;]*>\s*\w*\s*[({][^;]*\bnew\b|"
+    r"\.reset\s*\(\s*new\b|"
+    r"WrapUnique\s*\(\s*new\b")
+
+# Files where naked `new` is the sanctioned leaked-singleton arena.
+ALLOW_NEW_FILES = {
+    "src/score/substitution_matrix.cc",  # process-lifetime scoring matrices
+}
+
+# The stepper invocation (the cursor's suspension point) and the poll hook
+# that must gate it. A `Step()` followed by `{` is the definition, not a
+# call, and is skipped.
+STEP_CALL_RE = re.compile(r"\bStep\s*\(\s*\)\s*(?![{a-zA-Z_])")
+POLL_RE = re.compile(r"\bpoll\b")
+
+# The bench JSON emitter (bench/bench_common.h).
+BENCH_JSON_RE = re.compile(r"\bWriteBenchJson\s*\(")
+
+LINT_DIRS = ("src", "bench")
+
+
+def repo_root():
+    out = subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                         capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            seg = text[i:j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j = j + 2 if text[j] == "\\" else j + 1
+            out.append(quote + " " * max(0, j - i - 1) + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+# --- R1: lock order ---------------------------------------------------------
+
+def check_lock_order(path, text):
+    """While a leaf-lock scope is open, no other lock may be acquired."""
+    failures = []
+    # Held leaf locks as (brace_depth_at_declaration, line).
+    depth = 0
+    held_leaf = []
+    acquires = {m.start(): m for m in ACQUIRE_RE.finditer(text)}
+    for i, ch in enumerate(text):
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            held_leaf = [(d, ln) for (d, ln) in held_leaf if d <= depth]
+        m = acquires.get(i)
+        if m is None:
+            continue
+        expr = m.group(1)
+        line = line_of(text, i)
+        if held_leaf and not LEAF_LOCK_RE.search(expr):
+            d, leaf_line = held_leaf[-1]
+            failures.append((path, line,
+                             f"lock-order: acquiring '{expr.strip()}' while "
+                             f"the leaf lock from line {leaf_line} is held "
+                             "(leaf locks must be innermost)"))
+        if LEAF_LOCK_RE.search(expr):
+            if held_leaf:
+                d, leaf_line = held_leaf[-1]
+                failures.append((path, line,
+                                 "lock-order: nested leaf-lock acquisition "
+                                 f"(outer at line {leaf_line})"))
+            held_leaf.append((depth, line))
+    return failures
+
+
+# --- R2: naked new/delete ---------------------------------------------------
+
+def statements(text):
+    """Yields (start_pos, statement_text) split on top-level ';' and '}'."""
+    start = 0
+    for i, ch in enumerate(text):
+        if ch in ";}{":
+            yield start, text[start:i + 1]
+            start = i + 1
+    if start < len(text):
+        yield start, text[start:]
+
+
+def check_naked_new(path, text):
+    rel_allowed = any(path.endswith(f) for f in ALLOW_NEW_FILES)
+    failures = []
+    for pos, stmt in statements(text):
+        for m in re.finditer(r"\bdelete\b(?:\[\])?", stmt):
+            # `= delete;` / `= delete("...")` declares a deleted function —
+            # C++ grammar, not a deallocation.
+            if stmt[:m.start()].rstrip().endswith("="):
+                continue
+            failures.append((path, line_of(text, pos + m.start()),
+                             "naked-delete: manual delete is never allowed "
+                             "(own the allocation in a smart pointer)"))
+        for m in re.finditer(r"\bnew\b", stmt):
+            if rel_allowed:
+                continue
+            if OWNED_NEW_RE.search(stmt):
+                continue
+            failures.append((path, line_of(text, pos + m.start()),
+                             "naked-new: allocation not owned by a smart "
+                             "pointer in the same statement"))
+    return failures
+
+
+# --- R3: poll hook before queue pop -----------------------------------------
+
+def function_bodies(text):
+    """Yields (start_pos, body) for every top-level-ish function body.
+
+    Heuristic: a '{' preceded by ')' (possibly with specifiers between)
+    opens a function; the body runs to its matching '}'.
+    """
+    opener = re.compile(r"\)\s*(?:const|noexcept|override|final|\s)*\{")
+    i = 0
+    while True:
+        m = opener.search(text, i)
+        if m is None:
+            return
+        start = m.end() - 1
+        depth = 0
+        for j in range(start, len(text)):
+            if text[j] == "{":
+                depth += 1
+            elif text[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    yield start, text[start:j + 1]
+                    break
+        else:
+            return
+        i = j + 1
+
+
+def check_poll_hook(path, text):
+    if not path.replace(os.sep, "/").endswith("core/oasis.cc"):
+        return []
+    failures = []
+    for start, body in function_bodies(text):
+        calls = list(STEP_CALL_RE.finditer(body))
+        if not calls:
+            continue
+        first_call = calls[0]
+        if not POLL_RE.search(body, 0, first_call.start()):
+            failures.append(
+                (path, line_of(text, start + first_call.start()),
+                 "poll-hook: stepper invocation (a cursor suspension "
+                 "point) without a preceding poll-hook check in this "
+                 "function — deadlines and cancellation would skip "
+                 "this stretch"))
+    return failures
+
+
+# --- R4: bench counts denominator -------------------------------------------
+
+def call_args(text, open_paren):
+    """Splits the argument list starting at `open_paren` ('(') into
+    top-level arguments; returns (args, end_pos)."""
+    depth = 0
+    args = []
+    current = []
+    for i in range(open_paren, len(text)):
+        ch = text[i]
+        if ch in "({[":
+            depth += 1
+            if depth > 1:
+                current.append(ch)
+        elif ch in ")}]":
+            depth -= 1
+            if depth == 0:
+                args.append("".join(current).strip())
+                return args, i
+            current.append(ch)
+        elif ch == "," and depth == 1:
+            args.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    return args, len(text)
+
+
+def check_bench_counts(path, text):
+    if "/bench/" not in "/" + path.replace(os.sep, "/"):
+        return []
+    failures = []
+    for m in BENCH_JSON_RE.finditer(text):
+        args, _ = call_args(text, m.end() - 1)
+        line = line_of(text, m.start())
+        if len(args) < 3 or args[2] in ("", "{}"):
+            failures.append(
+                (path, line,
+                 "bench-counts: WriteBenchJson without a counts "
+                 "denominator — the bench gate's vacuous-pass check "
+                 "needs a sample count for every gated ratio"))
+    return failures
+
+
+CHECKS = [
+    ("lock-order", check_lock_order, (".cc", ".h")),
+    ("naked-new", check_naked_new, (".cc", ".h")),
+    ("poll-hook", check_poll_hook, (".cc",)),
+    ("bench-counts", check_bench_counts, (".cc",)),
+]
+
+
+def lint_tree(root):
+    failures = []
+    for top in LINT_DIRS:
+        for dirpath, _, names in os.walk(os.path.join(root, top)):
+            for name in sorted(names):
+                if not name.endswith((".cc", ".h")):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root)
+                with open(path, encoding="utf-8") as f:
+                    text = strip_comments_and_strings(f.read())
+                for _, fn, exts in CHECKS:
+                    if name.endswith(exts):
+                        failures.extend(fn(rel, text))
+    return failures
+
+
+# --- Self-test --------------------------------------------------------------
+
+SELF_TESTS = [
+    # (rule, snippet, should_fail)
+    ("lock-order", """
+void Good() {
+  util::MutexLock lock(shard.mutex);
+  util::MutexLock leaf(state.mutex);
+}
+""", False),
+    ("lock-order", """
+void Bad() {
+  util::MutexLock leaf(state.mutex);
+  util::MutexLock lock(shard.mutex);
+}
+""", True),
+    ("lock-order", """
+void GoodScoped() {
+  { util::MutexLock leaf(state.mutex); }
+  util::MutexLock lock(shard.mutex);
+}
+""", False),
+    ("naked-new", """
+void Good() { std::unique_ptr<Foo> p(new Foo()); }
+""", False),
+    ("naked-new", """
+void Bad() { Foo* p = new Foo(); }
+""", True),
+    ("naked-new", """
+void Bad(Foo* p) { delete p; }
+""", True),
+    ("naked-new", """
+struct Good { Good(const Good&) = delete; };
+""", False),
+    ("poll-hook", """
+util::Status Next() {
+  while (!done_) {
+    if (options_.poll) OASIS_RETURN_NOT_OK(options_.poll());
+    OASIS_RETURN_NOT_OK(Step());
+  }
+  return util::Status::OK();
+}
+""", False),
+    ("poll-hook", """
+util::Status Next() {
+  while (!done_) {
+    OASIS_RETURN_NOT_OK(Step());
+  }
+  return util::Status::OK();
+}
+""", True),
+    ("poll-hook", """
+util::Status Step() {
+  QueueEntry top = queue_.top();
+  queue_.pop();
+  return util::Status::OK();
+}
+""", False),
+    ("bench-counts", """
+int main() {
+  WriteBenchJson("x", {{"a", 1.0}}, {{"n", 10}});
+}
+""", False),
+    ("bench-counts", """
+int main() {
+  WriteBenchJson("x", {{"a", 1.0}});
+}
+""", True),
+]
+
+
+def self_test():
+    by_name = {name: fn for name, fn, _ in CHECKS}
+    failed = 0
+    for rule, snippet, should_fail in SELF_TESTS:
+        fn = by_name[rule]
+        path = {"bench-counts": "bench/self_test.cc",
+                "poll-hook": "src/core/oasis.cc"}.get(rule,
+                                                      "src/self_test.cc")
+        findings = fn(path, strip_comments_and_strings(snippet))
+        fired = bool(findings)
+        ok = fired == should_fail
+        status = "ok" if ok else "FAIL"
+        kind = "bad" if should_fail else "good"
+        print(f"  [{status}] {rule}: {kind} snippet "
+              f"{'fired' if fired else 'passed'}")
+        if not ok:
+            failed += 1
+            for f in findings:
+                print(f"         unexpected: {f[2]}")
+    if failed:
+        print(f"self-test FAILED ({failed} cases)")
+        return 1
+    print(f"self-test passed ({len(SELF_TESTS)} cases)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded rule tests and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+
+    failures = lint_tree(repo_root())
+    if failures:
+        print("oasis_lint FAILED:")
+        for path, line, message in sorted(failures):
+            print(f"  {path}:{line}: {message}")
+        sys.exit(1)
+    print("oasis_lint passed (lock-order, naked-new, poll-hook, "
+          "bench-counts)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: the repo's .clang-tidy, warnings are errors)
+# over every first-party translation unit in the compilation database.
+#
+# Usage: ci/run_clang_tidy.sh <build-dir> [clang-tidy binary]
+# The build dir must hold compile_commands.json (the top-level
+# CMakeLists exports it unconditionally).
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:?usage: ci/run_clang_tidy.sh <build-dir> [clang-tidy]}"
+TIDY="${2:-clang-tidy}"
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "no compile_commands.json in $BUILD_DIR (configure with cmake first)"
+  exit 1
+fi
+
+# First-party TUs only: the database also lists gtest/benchmark sources
+# fetched by the build, which are not ours to lint.
+mapfile -t files < <(python3 - "$BUILD_DIR" <<'EOF'
+import json, os, sys
+build = sys.argv[1]
+root = os.getcwd()
+seen = set()
+for entry in json.load(open(os.path.join(build, "compile_commands.json"))):
+    path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.startswith(("src/", "tests/", "bench/", "examples/")):
+        seen.add(path)
+for path in sorted(seen):
+    print(path)
+EOF
+)
+
+echo "clang-tidy over ${#files[@]} translation units"
+status=0
+printf '%s\n' "${files[@]}" |
+  xargs -P "$(nproc)" -n 8 "$TIDY" -p "$BUILD_DIR" --quiet || status=$?
+
+if [ "$status" -ne 0 ]; then
+  echo "clang-tidy FAILED (warnings are errors; see above)"
+  exit 1
+fi
+echo "clang-tidy passed"

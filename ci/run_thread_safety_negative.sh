@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Proves the thread-safety gate has teeth: ci/thread_safety_negative.cc
+# contains a deliberate unguarded access to a GUARDED_BY member and must
+# NOT compile under -Werror=thread-safety. If it compiles, the analysis
+# has been silently neutered and this script fails the build.
+#
+# Usage: ci/run_thread_safety_negative.sh [clang++ binary]
+set -u
+cd "$(dirname "$0")/.."
+
+CXX="${1:-clang++}"
+
+out=$("$CXX" -std=c++20 -Isrc -Wthread-safety -Werror=thread-safety \
+      -fsyntax-only ci/thread_safety_negative.cc 2>&1)
+status=$?
+
+if [ "$status" -eq 0 ]; then
+  echo "FAIL: thread_safety_negative.cc compiled cleanly —" \
+       "the thread-safety analysis is not catching unguarded access"
+  exit 1
+fi
+
+if ! echo "$out" | grep -q "thread-safety"; then
+  echo "FAIL: compile failed, but not with a thread-safety diagnostic:"
+  echo "$out"
+  exit 1
+fi
+
+echo "PASS: negative probe rejected with a thread-safety diagnostic"
+exit 0

@@ -1,0 +1,39 @@
+// Negative-compile probe for the thread-safety gate.
+//
+// This file MUST FAIL to compile under
+//   clang++ -std=c++20 -Isrc -Wthread-safety -Werror=thread-safety
+// — it reads and writes a GUARDED_BY member without holding its mutex.
+// The CI step inverts the compiler's exit status: a successful compile
+// means the analysis has been silently disabled (annotations macroed
+// away, flag dropped, or the header rotted) and the whole -Werror=
+// thread-safety leg is vacuous. See ci/run_thread_safety_negative.sh.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    // BUG (deliberate): count_ is guarded by mu_, which is not held.
+    ++count_;
+  }
+
+  int Read() const {
+    oasis::util::MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable oasis::util::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Read();
+}

@@ -719,7 +719,10 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::OpenInternal(
   engine->matrix_ =
       options.matrix != nullptr ? options.matrix : &DefaultMatrix(kind);
   OASIS_RETURN_NOT_OK(engine->AttachSearches(state.get()));
-  engine->db_ = std::move(resident_db);
+  {
+    util::MutexLock lock(engine->maintenance_mu_);
+    engine->db_ = std::move(resident_db);
+  }
   // Sticky soft mode: an index whose volumes were built soft keeps masking
   // on Append/Compact regardless of the options it reopens with — its
   // trees lack the masked leaves, so the masks are load-bearing.
@@ -740,13 +743,13 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::OpenInternal(
 // --- Snapshot plumbing ------------------------------------------------------
 
 std::shared_ptr<const Engine::VolumeSetState> Engine::snapshot() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  util::MutexLock lock(state_mu_);
   return state_;
 }
 
 void Engine::SwapState(std::shared_ptr<const VolumeSetState> next) {
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    util::MutexLock lock(state_mu_);
     state_ = std::move(next);
   }
   // New epoch after the new state is visible: a cache entry written under
@@ -757,7 +760,7 @@ void Engine::SwapState(std::shared_ptr<const VolumeSetState> next) {
 // --- Accessors --------------------------------------------------------------
 
 const suffix::PackedSuffixTree& Engine::tree() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  util::MutexLock lock(state_mu_);
   OASIS_CHECK(state_->volumes.size() == 1)
       << "Engine::tree() is single-volume only (this set holds "
       << state_->volumes.size()
@@ -766,7 +769,7 @@ const suffix::PackedSuffixTree& Engine::tree() const {
 }
 
 const SequenceCatalog& Engine::catalog() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  util::MutexLock lock(state_mu_);
   return state_->catalog;
 }
 
@@ -793,7 +796,7 @@ IoMode Engine::io_mode() const { return snapshot()->io_mode; }
 bool Engine::uses_pool() const { return snapshot()->pool != nullptr; }
 
 storage::BufferPool& Engine::pool() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  util::MutexLock lock(state_mu_);
   OASIS_CHECK(state_->pool != nullptr)
       << "pool() requires a pooled engine (io_mode kPooled)";
   return *state_->pool;
@@ -812,7 +815,7 @@ bool Engine::readahead_adaptive() const {
 }
 
 const storage::Readahead& Engine::readahead() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  util::MutexLock lock(state_mu_);
   OASIS_CHECK(state_->readahead != nullptr)
       << "readahead() requires a pooled engine with readahead_blocks > 0";
   return *state_->readahead;
@@ -1281,6 +1284,10 @@ util::StatusOr<std::vector<seq::Sequence>> Engine::MaterializeSequences(
 }
 
 util::StatusOr<const seq::SequenceDatabase*> Engine::ResidentDatabase() {
+  // maintenance_mu_ serializes this lazy materialization against the
+  // db_.reset() in Append/Compact — including the *background* compaction
+  // thread, which made the previous unlocked fast path a genuine race.
+  util::MutexLock lock(maintenance_mu_);
   if (db_ != nullptr) {
     return static_cast<const seq::SequenceDatabase*>(db_.get());
   }
@@ -1312,7 +1319,7 @@ util::Status Engine::AppendSequences(std::vector<seq::Sequence> sequences) {
     return util::Status::InvalidArgument("Append needs at least one sequence");
   }
   WaitForCompaction();
-  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  util::MutexLock maintenance(maintenance_mu_);
   auto state = snapshot();
 
   // Reject id collisions — against the existing catalog and within the
@@ -1388,7 +1395,7 @@ util::Status Engine::AppendSequences(std::vector<seq::Sequence> sequences) {
 
 util::Status Engine::Compact() {
   WaitForCompaction();
-  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  util::MutexLock maintenance(maintenance_mu_);
   return CompactLocked();
 }
 
@@ -1497,13 +1504,13 @@ util::Status Engine::CompactLocked() {
 void Engine::MaybeScheduleCompaction() {
   if (options_.compact_trigger_volumes == 0) return;
   if (snapshot()->volumes.size() <= options_.compact_trigger_volumes) return;
-  std::lock_guard<std::mutex> lock(thread_mu_);
+  util::MutexLock lock(thread_mu_);
   if (compact_thread_.joinable()) return;  // one in flight is enough
   // The thread blocks on maintenance_mu_ until the scheduling mutation
   // releases it, then compacts in the background; mutators and the
   // destructor join it via WaitForCompaction() before proceeding.
   compact_thread_ = std::thread([this]() {
-    std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+    util::MutexLock maintenance(maintenance_mu_);
     const util::Status status = CompactLocked();
     if (!status.ok()) {
       // Background compaction is an optimization: a failure leaves the
@@ -1518,7 +1525,7 @@ void Engine::MaybeScheduleCompaction() {
 void Engine::WaitForCompaction() {
   std::thread thread;
   {
-    std::lock_guard<std::mutex> lock(thread_mu_);
+    util::MutexLock lock(thread_mu_);
     thread = std::move(compact_thread_);
   }
   if (thread.joinable()) thread.join();

@@ -53,7 +53,6 @@
 #include <chrono>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -72,8 +71,10 @@
 #include "storage/buffer_pool.h"
 #include "storage/readahead.h"
 #include "suffix/packed_builder.h"
+#include "util/mutex.h"
 #include "util/stats_json.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace oasis {
 namespace api {
@@ -589,7 +590,10 @@ class Engine {
   util::StatusOr<const seq::SequenceDatabase*> ResidentDatabase();
 
   /// Resident database if already materialized, else nullptr (non-forcing).
-  const seq::SequenceDatabase* database() const { return db_.get(); }
+  const seq::SequenceDatabase* database() const {
+    util::MutexLock lock(maintenance_mu_);
+    return db_.get();
+  }
 
   const std::string& index_dir() const { return index_dir_; }  ///< opened index path
   const seq::Alphabet& alphabet() const { return *alphabet_; }  ///< index alphabet
@@ -784,10 +788,10 @@ class Engine {
       size_t first_volume, size_t num_volumes, const seq::Alphabet& alphabet);
 
   /// Compact() body; caller holds maintenance_mu_.
-  util::Status CompactLocked();
+  util::Status CompactLocked() REQUIRES(maintenance_mu_);
   /// Schedules a background compaction when the volume count crossed the
   /// trigger; caller holds maintenance_mu_.
-  void MaybeScheduleCompaction();
+  void MaybeScheduleCompaction() REQUIRES(maintenance_mu_);
 
   std::string index_dir_;
   EngineOptions options_;  ///< as configured (reused by Append/Compact)
@@ -796,7 +800,12 @@ class Engine {
   align::simd::SimdMode simd_mode_ = align::simd::SimdMode::kAuto;
   align::simd::SimdLevel simd_level_ = align::simd::SimdLevel::kScalar;
   bool fetch_memo_ = true;  ///< resolved EngineOptions::fetch_memo
-  std::unique_ptr<seq::SequenceDatabase> db_;  ///< resident; may be null
+  /// Resident database; may be null. Guarded by maintenance_mu_: the
+  /// background compaction thread resets it (CompactLocked), so the
+  /// lazy materialization in ResidentDatabase() and every peek must
+  /// synchronize — the annotation pass flagged the previous unlocked
+  /// access as a real race.
+  std::unique_ptr<seq::SequenceDatabase> db_ GUARDED_BY(maintenance_mu_);
   score::KarlinParams karlin_;
   bool has_karlin_ = false;
   /// Effective soft-masking mode: options say kSoft, or any opened volume
@@ -804,12 +813,14 @@ class Engine {
   bool mask_soft_ = false;
   std::atomic<uint64_t> epoch_{0};  ///< process-unique; see epoch()
 
-  mutable std::mutex state_mu_;  ///< guards state_ (pointer swap only)
-  std::shared_ptr<const VolumeSetState> state_;
+  mutable util::Mutex state_mu_;  ///< guards state_ (pointer swap only)
+  std::shared_ptr<const VolumeSetState> state_ GUARDED_BY(state_mu_);
 
-  std::mutex maintenance_mu_;  ///< serializes Append/Compact bodies
-  std::mutex thread_mu_;       ///< guards compact_thread_
-  std::thread compact_thread_;
+  /// Serializes Append/Compact bodies and guards db_. Acquired before
+  /// state_mu_ / thread_mu_ when held together (never the reverse).
+  mutable util::Mutex maintenance_mu_;
+  util::Mutex thread_mu_;  ///< guards compact_thread_
+  std::thread compact_thread_ GUARDED_BY(thread_mu_);
 };
 
 }  // namespace api

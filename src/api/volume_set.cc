@@ -42,14 +42,21 @@ util::StatusOr<VolumeSetManifest> VolumeSetManifest::Load(
                                   "' holds neither a volume-set manifest "
                                   "nor a legacy packed tree");
   }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return Parse(contents.str(), path);
+}
 
+util::StatusOr<VolumeSetManifest> VolumeSetManifest::Parse(
+    std::string_view text, const std::string& source) {
   VolumeSetManifest manifest;
+  std::istringstream in{std::string(text)};
   std::string line;
   size_t line_no = 0;
   uint64_t declared_volumes = 0;
   bool saw_header = false;
   auto corrupt = [&](const std::string& what) {
-    return util::Status::Corruption("manifest '" + path + "' line " +
+    return util::Status::Corruption("manifest '" + source + "' line " +
                                     std::to_string(line_no) + ": " + what);
   };
   while (std::getline(in, line)) {
@@ -103,17 +110,17 @@ util::StatusOr<VolumeSetManifest> VolumeSetManifest::Load(
     }
   }
   if (!saw_header) {
-    return util::Status::Corruption("manifest '" + path +
+    return util::Status::Corruption("manifest '" + source +
                                     "' is missing its format header");
   }
   if (declared_volumes != manifest.volumes_.size()) {
     return util::Status::Corruption(
-        "manifest '" + path + "' declares " +
+        "manifest '" + source + "' declares " +
         std::to_string(declared_volumes) + " volumes but lists " +
         std::to_string(manifest.volumes_.size()));
   }
   if (manifest.volumes_.empty()) {
-    return util::Status::Corruption("manifest '" + path +
+    return util::Status::Corruption("manifest '" + source +
                                     "' lists no volumes");
   }
   return manifest;

@@ -42,6 +42,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "suffix/partitioned_builder.h"
@@ -84,6 +85,14 @@ class VolumeSetManifest {
   /// counts from the tree) and legacy() == true. NotFound when the
   /// directory holds neither.
   static util::StatusOr<VolumeSetManifest> Load(const std::string& dir);
+
+  /// Parses manifest text (the contents of a volumeset.meta file).
+  /// `source` names the input in error messages. Pure — no filesystem
+  /// access — which is what Load() is built on and what the manifest
+  /// fuzz harness drives: Parse must return Corruption on malformed
+  /// input, never crash, for arbitrary bytes.
+  static util::StatusOr<VolumeSetManifest> Parse(std::string_view text,
+                                                 const std::string& source);
 
   /// Writes `dir`/volumeset.meta atomically (temp file + rename): readers
   /// racing the save see the old manifest or the new one, never a torn

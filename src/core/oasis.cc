@@ -465,7 +465,11 @@ class SearchRun {
     // Internal node, arc fully processed, improvements still possible.
     node.status = NodeStatus::kViable;
     node.f = h_col;
-    OASIS_DCHECK(node.f >= min_score);
+    // Rule 3 is what guarantees viable nodes carry f >= min_score; with the
+    // ablation flag set, nodes below the threshold legitimately stay viable
+    // (they are filtered at accept time instead), so the invariant only
+    // holds when the rule is active.
+    OASIS_DCHECK(node.f >= min_score || options_.disable_rule3_pruning);
     return node;
   }
 

@@ -13,7 +13,7 @@ uint64_t ResultCache::EntryBytes(const std::string& key,
 }
 
 CachedResult ResultCache::Lookup(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++lookups_;
   auto it = index_.find(key);
   if (it == index_.end()) return nullptr;
@@ -27,7 +27,7 @@ void ResultCache::Insert(const std::string& key, CachedResult lines) {
   if (capacity_bytes_ == 0 || lines == nullptr) return;
   const uint64_t entry_bytes = EntryBytes(key, lines);
   if (entry_bytes > capacity_bytes_) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     bytes_ -= it->second->bytes;
@@ -51,7 +51,7 @@ void ResultCache::Insert(const std::string& key, CachedResult lines) {
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Stats stats;
   stats.lookups = lookups_;
   stats.hits = hits_;

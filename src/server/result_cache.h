@@ -23,10 +23,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace oasis {
 namespace server {
@@ -81,14 +83,16 @@ class ResultCache {
   };
 
   const uint64_t capacity_bytes_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< front = most recent
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  uint64_t bytes_ = 0;
-  uint64_t lookups_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t insertions_ = 0;
-  uint64_t evictions_ = 0;
+  mutable util::Mutex mu_;
+  /// front = most recent
+  std::list<Entry> lru_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      GUARDED_BY(mu_);
+  uint64_t bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t lookups_ GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t insertions_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace server

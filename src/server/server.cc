@@ -158,7 +158,7 @@ void Server::AcceptLoop() {
     conn->fd = fd;
     Connection* raw = conn.get();
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      util::MutexLock lock(conns_mu_);
       conns_.push_back(std::move(conn));
     }
     raw->thread = std::thread([this, raw]() {
@@ -171,7 +171,7 @@ void Server::AcceptLoop() {
 void Server::ReapConnections(bool all) {
   std::vector<std::unique_ptr<Connection>> finished;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    util::MutexLock lock(conns_mu_);
     for (auto it = conns_.begin(); it != conns_.end();) {
       if (all || (*it)->finished.load(std::memory_order_acquire)) {
         finished.push_back(std::move(*it));
@@ -220,10 +220,12 @@ void Server::HandleConnection(Connection* conn) {
           break;
         default:
           // A response-typed frame from a client is protocol corruption.
-          SendFrame(conn->fd, FrameType::kError,
-                    util::Status::InvalidArgument(
-                        "unexpected frame type from client")
-                        .ToString());
+          // The error frame is best-effort: the connection is being
+          // dropped either way, so a failed send changes nothing.
+          (void)SendFrame(conn->fd, FrameType::kError,
+                          util::Status::InvalidArgument(
+                              "unexpected frame type from client")
+                              .ToString());
           goto done;
       }
       continue;

@@ -30,7 +30,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,7 +38,9 @@
 #include "server/result_cache.h"
 #include "server/session.h"
 #include "server/wire.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace oasis {
 namespace server {
@@ -135,8 +136,8 @@ class Server {
   std::atomic<bool> stop_{false};
   std::atomic<bool> shut_down_{false};
   std::thread accept_thread_;
-  std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Connection>> conns_;
+  util::Mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_ GUARDED_BY(conns_mu_);
 };
 
 }  // namespace server

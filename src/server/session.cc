@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "util/thread_annotations.h"
+
 namespace oasis {
 namespace server {
 
@@ -18,7 +20,7 @@ util::StatusOr<SessionRegistry::Ticket> SessionRegistry::Admit() {
   if (options_.pinned_fraction && options_.max_pinned_fraction < 1.0) {
     pinned = options_.pinned_fraction();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (draining_) {
     ++rejected_draining_;
     return util::Status::Unavailable("server is shutting down");
@@ -43,36 +45,39 @@ util::StatusOr<SessionRegistry::Ticket> SessionRegistry::Admit() {
 }
 
 void SessionRegistry::Release(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   active_.erase(id);
-  if (active_.empty()) idle_cv_.notify_all();
+  if (active_.empty()) idle_cv_.NotifyAll();
 }
 
 void SessionRegistry::BeginDrain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   draining_ = true;
 }
 
 bool SessionRegistry::draining() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return draining_;
 }
 
 bool SessionRegistry::WaitIdle(std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return idle_cv_.wait_for(lock, timeout,
-                           [this]() { return active_.empty(); });
+  util::MutexLock lock(mu_);
+  // The predicate runs with mu_ held (condvar contract), but the analysis
+  // cannot see through the timed-wait template, so it is exempted.
+  return idle_cv_.WaitFor(
+      mu_, timeout,
+      [this]() NO_THREAD_SAFETY_ANALYSIS { return active_.empty(); });
 }
 
 void SessionRegistry::CancelAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [id, cancel] : active_) {
     cancel->store(true, std::memory_order_relaxed);
   }
 }
 
 SessionRegistry::Stats SessionRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Stats stats;
   stats.admitted = admitted_;
   stats.rejected_inflight = rejected_inflight_;

@@ -22,14 +22,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace oasis {
 namespace server {
@@ -125,15 +125,16 @@ class SessionRegistry {
   void Release(uint64_t id);
 
   const Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
-  bool draining_ = false;
-  uint64_t next_id_ = 1;
-  std::unordered_map<uint64_t, std::shared_ptr<std::atomic<bool>>> active_;
-  uint64_t admitted_ = 0;
-  uint64_t rejected_inflight_ = 0;
-  uint64_t rejected_pressure_ = 0;
-  uint64_t rejected_draining_ = 0;
+  mutable util::Mutex mu_;
+  util::CondVar idle_cv_;
+  bool draining_ GUARDED_BY(mu_) = false;
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<std::atomic<bool>>> active_
+      GUARDED_BY(mu_);
+  uint64_t admitted_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_inflight_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_pressure_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_draining_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace server

@@ -50,7 +50,7 @@ uint32_t AdaptiveReadahead::WindowForSchedule(SegmentId segment) {
 void AdaptiveReadahead::RecordOutcome(SegmentId segment, bool used) {
   if (segment >= states_.size()) return;
   SegmentState& state = states_[segment];
-  std::lock_guard<std::mutex> lock(state.mutex);
+  util::MutexLock lock(state.mutex);
   ++state.sample_total;
   if (used) ++state.sample_used;
   if (state.sample_total >= options_.sample_outcomes) FoldSample(state);
@@ -117,7 +117,7 @@ AdaptiveReadahead::SegmentSnapshot AdaptiveReadahead::snapshot(
   out.grows = state.grows.load(std::memory_order_relaxed);
   out.shrinks = state.shrinks.load(std::memory_order_relaxed);
   out.probes = state.probes.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(state.mutex);
+  util::MutexLock lock(state.mutex);
   out.ewma = state.ewma;
   return out;
 }

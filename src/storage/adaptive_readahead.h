@@ -50,9 +50,10 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 
 #include "storage/buffer_pool.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace oasis {
 namespace storage {
@@ -154,18 +155,22 @@ class AdaptiveReadahead {
     std::atomic<uint64_t> probes{0};
     std::atomic<uint64_t> samples{0};
     /// Guards the sample accumulator and EWMA below (cold: taken once per
-    /// outcome, held for a few arithmetic ops).
-    mutable std::mutex mutex;
-    uint32_t sample_used = 0;
-    uint32_t sample_total = 0;
-    double ewma = -1.0;  ///< -1 until the first sample completes
-    uint32_t grow_streak = 0;
-    uint32_t shrink_streak = 0;
+    /// outcome, held for a few arithmetic ops). A LEAF lock: it is taken
+    /// with a pool shard mutex already held (RecordOutcome runs inside the
+    /// pool's eviction/hit paths) and must never be held while acquiring
+    /// any other lock — ci/oasis_lint.py enforces that order.
+    mutable util::Mutex mutex;
+    uint32_t sample_used GUARDED_BY(mutex) = 0;
+    uint32_t sample_total GUARDED_BY(mutex) = 0;
+    /// -1 until the first sample completes.
+    double ewma GUARDED_BY(mutex) = -1.0;
+    uint32_t grow_streak GUARDED_BY(mutex) = 0;
+    uint32_t shrink_streak GUARDED_BY(mutex) = 0;
   };
 
   /// Folds a completed sample into the EWMA and applies the AIMD +
   /// hysteresis decision. Caller holds `state.mutex`.
-  void FoldSample(SegmentState& state);
+  void FoldSample(SegmentState& state) REQUIRES(state.mutex);
 
   const Options options_;
   /// deque: SegmentState holds a mutex and atomics (immovable).

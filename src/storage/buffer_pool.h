@@ -52,18 +52,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/block_file.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace oasis {
 namespace storage {
@@ -293,9 +293,9 @@ class BufferPool {
     /// Signalled (under the shard mutex) when a load into this frame
     /// finishes, success or failure. Heap-allocated so frames stay movable
     /// during shard construction.
-    std::unique_ptr<std::condition_variable> ready;
+    std::unique_ptr<util::CondVar> ready;
 
-    Frame() : ready(std::make_unique<std::condition_variable>()) {}
+    Frame() : ready(std::make_unique<util::CondVar>()) {}
     // Move is only used while the shard's frame vector is being built,
     // strictly before any concurrent access.
     Frame(Frame&& other) noexcept
@@ -307,16 +307,21 @@ class BufferPool {
   };
 
   /// One independent CLOCK region: its own lock, frames, table and hand.
+  /// Everything but `memory` (set once at construction) is guarded by the
+  /// shard mutex; the thread-safety analysis enforces that on the clang
+  /// CI leg. Frame *fields* cannot carry GUARDED_BY themselves (their
+  /// mutex lives in the enclosing shard), so the guarded member is the
+  /// `frames` vector: every access path starts there, under the lock.
   struct Shard {
-    mutable std::mutex mutex;
-    std::vector<Frame> frames;
+    mutable util::Mutex mutex;
+    std::vector<Frame> frames GUARDED_BY(mutex);
     /// (segment, block) key -> index into `frames`.
-    std::unordered_map<uint64_t, uint32_t> page_table;
+    std::unordered_map<uint64_t, uint32_t> page_table GUARDED_BY(mutex);
     /// Keys whose miss read is currently outstanding -> loading frame.
     /// Requesters of an in-flight key wait on that frame's condvar instead
     /// of duplicating the I/O.
-    std::unordered_map<uint64_t, uint32_t> in_flight;
-    uint32_t clock_hand = 0;
+    std::unordered_map<uint64_t, uint32_t> in_flight GUARDED_BY(mutex);
+    uint32_t clock_hand GUARDED_BY(mutex) = 0;
     uint8_t* memory = nullptr;  ///< frames.size() * block_size bytes.
   };
 
@@ -336,12 +341,12 @@ class BufferPool {
 
   /// CLOCK sweep within one shard (its mutex held); returns a victim frame
   /// index or fails when every frame of the shard is pinned.
-  util::StatusOr<uint32_t> FindVictim(Shard& shard);
+  util::StatusOr<uint32_t> FindVictim(Shard& shard) REQUIRES(shard.mutex);
 
   /// Strips a victim frame of its old identity (shard mutex held),
   /// counting a wasted prefetch if speculation loaded it and no demand
   /// Fetch ever came.
-  void EvictFrame(Shard& shard, Frame& frame);
+  void EvictFrame(Shard& shard, Frame& frame) REQUIRES(shard.mutex);
 
   static uint64_t Key(SegmentId segment, BlockId block) {
     return (static_cast<uint64_t>(segment) << 48) | block;

@@ -36,11 +36,11 @@ Readahead::~Readahead() {
   // (Setup/teardown contract: no pool traffic races this destructor.)
   pool_->SetReadahead(nullptr);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
     queue_.clear();
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -53,7 +53,7 @@ void Readahead::Schedule(SegmentId segment, BlockId first) {
     if (count == 0) return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (stop_) return;
     // Adjacent misses schedule overlapping runs; collapsing an exact
     // duplicate of the newest entry is a cheap dedupe that covers the
@@ -68,33 +68,35 @@ void Readahead::Schedule(SegmentId segment, BlockId first) {
     // behind, the search has long moved past those blocks.
     if (queue_.size() > queue_capacity_) queue_.pop_front();
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void Readahead::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] {
-    return (queue_.empty() && active_workers_ == 0) || stop_;
-  });
+  util::MutexLock lock(mutex_);
+  // Explicit wait loop (not the predicate overload) so the guarded reads
+  // in the condition stay visible to the thread-safety analysis.
+  while (!((queue_.empty() && active_workers_ == 0) || stop_)) {
+    idle_.Wait(mutex_);
+  }
 }
 
 void Readahead::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   while (true) {
-    work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) work_available_.Wait(mutex_);
     if (stop_) return;
     const Run run = queue_.front();
     queue_.pop_front();
     ++active_workers_;
-    lock.unlock();
+    lock.Unlock();
     // The reads happen off this object's mutex, so Schedule stays a pure
     // queue push even while a prefetch read is outstanding. PrefetchRun
     // clips past-the-end blocks, declines resident/loading ones, and
     // coalesces each contiguous stretch it claims into one scatter pread.
     pool_->PrefetchRun(run.segment, run.first, run.count);
-    lock.lock();
+    lock.Lock();
     --active_workers_;
-    if (queue_.empty() && active_workers_ == 0) idle_.notify_all();
+    if (queue_.empty() && active_workers_ == 0) idle_.NotifyAll();
   }
 }
 

@@ -43,16 +43,16 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "storage/adaptive_readahead.h"
 #include "storage/buffer_pool.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace oasis {
 namespace storage {
@@ -100,7 +100,7 @@ class Readahead {
   /// probes occasionally — see AdaptiveReadahead). Called by the pool on
   /// every demand miss; callable from any thread. Never blocks on I/O —
   /// the queue push is the entire cost on the caller.
-  void Schedule(SegmentId segment, BlockId first);
+  void Schedule(SegmentId segment, BlockId first) EXCLUDES(mutex_);
 
   /// One resolved prefetch outcome on `segment` (used = a demand Fetch
   /// consumed the block; wasted otherwise). Called by the pool alongside
@@ -114,7 +114,7 @@ class Readahead {
   /// Blocks until the queue is empty and no worker is mid-prefetch. For
   /// tests and benches that need deterministic "speculation done" points;
   /// concurrent Schedule() calls can of course re-fill the queue.
-  void Drain();
+  void Drain() EXCLUDES(mutex_);
 
   /// The configured window (Options::blocks): the per-miss window in
   /// fixed mode, the initial window in adaptive mode.
@@ -147,7 +147,7 @@ class Readahead {
   };
 
   /// Worker loop: pop a run, Prefetch each of its blocks, repeat.
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
   BufferPool* pool_;
   const uint32_t blocks_;
@@ -155,12 +155,13 @@ class Readahead {
   /// Window controller; nullptr in fixed mode.
   std::unique_ptr<AdaptiveReadahead> adaptive_;
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;   ///< signalled on push / stop
-  std::condition_variable idle_;             ///< signalled when drained
-  std::deque<Run> queue_;
-  uint32_t active_workers_ = 0;  ///< workers currently inside a prefetch
-  bool stop_ = false;
+  util::Mutex mutex_;
+  util::CondVar work_available_;  ///< signalled on push / stop
+  util::CondVar idle_;            ///< signalled when drained
+  std::deque<Run> queue_ GUARDED_BY(mutex_);
+  /// Workers currently inside a prefetch.
+  uint32_t active_workers_ GUARDED_BY(mutex_) = 0;
+  bool stop_ GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,137 @@
+// Annotated synchronization primitives.
+//
+// Thin zero-overhead wrappers over std::mutex / std::condition_variable
+// that carry the Clang Thread Safety attributes from
+// util/thread_annotations.h. The standard library types are not
+// annotated, so code that wants `-Werror=thread-safety` coverage must
+// hold its locks through these types: the clang CI leg then proves at
+// compile time that every GUARDED_BY member is only touched with the
+// right mutex held.
+//
+// All methods inline to the exact std:: calls they wrap; Release builds
+// emit identical code to using the std types directly.
+
+#ifndef OASIS_UTIL_MUTEX_H_
+#define OASIS_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace oasis {
+namespace util {
+
+/// Annotated standard mutex. Prefer the RAII `MutexLock` over calling
+/// `Lock`/`Unlock` directly; the raw calls exist for adoption patterns
+/// and for `CondVar`.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  /// Deleted: a mutex identifies a critical section and cannot be copied.
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Blocks until the calling thread owns the mutex.
+  void Lock() ACQUIRE() { mu_.lock(); }
+
+  /// Releases ownership; the caller must hold the mutex.
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+  /// Attempts to acquire without blocking; returns true on success.
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for interop with std::unique_lock in the
+  /// few places that need deferred/adopted locking (see CondVar).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for `Mutex` with mid-scope `Unlock`/`Lock` support, so the
+/// buffer pool's "claim under the lock, pread off the lock, publish under
+/// the lock" pattern stays expressible under analysis.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  /// Acquires `mu` for the lifetime of this object.
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu.Lock();
+  }
+
+  /// Releases the mutex unless `Unlock()` already did.
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  /// Deleted: the lock is bound to one scope.
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases the mutex early (e.g. to do I/O off the lock).
+  void Unlock() RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+
+  /// Re-acquires after an early `Unlock()`.
+  void Lock() ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Annotated condition variable bound to `Mutex`. Waits require the
+/// mutex held, exactly like std::condition_variable with a unique_lock;
+/// the analysis sees the mutex as continuously held across the wait
+/// (it is re-acquired before `Wait` returns, so GUARDED_BY data is safe
+/// to touch on either side).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  /// Deleted: waiters hold references to this object.
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, re-acquires `mu`.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Predicate loop: waits until `pred()` is true.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  /// Timed predicate wait; returns `pred()` at exit (false on timeout).
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout,
+               Pred pred) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+    const bool ok = cv_.wait_for(lk, timeout, std::move(pred));
+    lk.release();
+    return ok;
+  }
+
+  /// Wakes one waiter.
+  void NotifyOne() { cv_.notify_one(); }
+
+  /// Wakes all waiters.
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace util
+}  // namespace oasis
+
+#endif  // OASIS_UTIL_MUTEX_H_

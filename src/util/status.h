@@ -29,7 +29,7 @@ enum class StatusCode {
 
 /// Result of a fallible operation: a code plus a human-readable message.
 /// Cheap to copy in the OK case (no allocation), explicit everywhere else.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -95,7 +95,7 @@ class Status {
 /// Either a value of type T or an error Status. Analogous to
 /// absl::StatusOr / arrow::Result.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value: `return value;` works in StatusOr-returning code.
   StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)

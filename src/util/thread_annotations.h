@@ -1,0 +1,103 @@
+// Clang Thread Safety Analysis annotations (ABSL-style spelling).
+//
+// These macros expand to Clang's capability attributes when the compiler
+// supports them and to nothing everywhere else, so annotated code builds
+// identically under gcc/MSVC while the clang CI leg compiles the tree
+// with -Werror=thread-safety and rejects any lock-discipline violation
+// at compile time.
+//
+// The annotations only see syntax, not aliases: a member access and the
+// lock expression that guards it must name the mutex through the same
+// base expression (`shard.mutex` guards `shard.frames`, not a copy of
+// the reference). std::mutex itself carries no attributes, so analysed
+// code must use the annotated wrappers in util/mutex.h.
+//
+// See docs/STATIC_ANALYSIS.md for the annotation guide.
+
+#ifndef OASIS_UTIL_THREAD_ANNOTATIONS_H_
+#define OASIS_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define OASIS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define OASIS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define CAPABILITY(x) OASIS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Marks an RAII class whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY OASIS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Declares that the data member is protected by the given capability:
+// reads require the capability held shared or exclusive, writes require
+// it exclusive.
+#define GUARDED_BY(x) OASIS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Like GUARDED_BY, but protects the data POINTED TO by the member rather
+// than the pointer itself.
+#define PT_GUARDED_BY(x) OASIS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Declares that callers must hold the capability (exclusively) before
+// calling, and that the function does not release it.
+#define REQUIRES(...) \
+  OASIS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// Shared-ownership variant of REQUIRES.
+#define REQUIRES_SHARED(...) \
+  OASIS_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// Declares that the function acquires the capability and holds it on
+// return; callers must not already hold it.
+#define ACQUIRE(...) \
+  OASIS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+// Shared-ownership variant of ACQUIRE.
+#define ACQUIRE_SHARED(...) \
+  OASIS_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+// Declares that the function releases the capability; callers must hold
+// it on entry.
+#define RELEASE(...) \
+  OASIS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// Shared-ownership variant of RELEASE.
+#define RELEASE_SHARED(...) \
+  OASIS_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+// Declares a try-lock: acquires the capability only when returning the
+// given boolean value.
+#define TRY_ACQUIRE(...) \
+  OASIS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+// Declares that callers must NOT hold the capability (the function
+// acquires and releases it internally, or would deadlock).
+#define EXCLUDES(...) OASIS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Declares that the annotated capability must be acquired after the
+// argument (lock-order edges, checked when both are annotated).
+#define ACQUIRED_AFTER(...) \
+  OASIS_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+// Declares that the annotated capability must be acquired before the
+// argument.
+#define ACQUIRED_BEFORE(...) \
+  OASIS_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+// Declares that the function returns a reference to the given capability
+// (lets accessors expose a member mutex for annotation purposes).
+#define RETURN_CAPABILITY(x) OASIS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: disables analysis inside one function. Use only where
+// the discipline is correct but inexpressible (e.g. adopting a lock
+// taken through a type the analysis cannot see).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  OASIS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+// Marks a function that dynamically verifies (and then vouches to the
+// analysis) that the capability is held — for helpers reachable from
+// annotated and unannotated code alike.
+#define ASSERT_CAPABILITY(x) \
+  OASIS_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#endif  // OASIS_UTIL_THREAD_ANNOTATIONS_H_

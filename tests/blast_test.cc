@@ -206,7 +206,7 @@ TEST(BlastSearch, NeverExceedsSmithWaterman) {
     std::map<seq::SequenceId, score::ScoreT> sw_best;
     for (const auto& h : sw) sw_best[h.sequence_id] = h.score;
     for (const auto& h : *hits) {
-      ASSERT_TRUE(sw_best.count(h.sequence_id));
+      ASSERT_TRUE(sw_best.contains(h.sequence_id));
       EXPECT_LE(h.score, sw_best[h.sequence_id]);
     }
   }

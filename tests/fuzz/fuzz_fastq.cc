@@ -1,0 +1,50 @@
+// Fuzz harness for the FASTQ reader — sequencing reads are operator
+// input, frequently produced by other tools with their own bugs. The
+// input bytes are parsed as a whole FASTQ stream against both alphabets
+// and both quality offsets; the invariant is a Status on malformed
+// input, never a crash, regardless of structure (truncated records,
+// mismatched quality lengths, '@'/'+' quality bytes that mimic record
+// boundaries, CRLF, embedded NULs).
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "seq/alphabet.h"
+#include "seq/fastq.h"
+
+namespace {
+
+void DriveFastq(const uint8_t* data, size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  for (const auto* alphabet :
+       {&oasis::seq::Alphabet::Protein(), &oasis::seq::Alphabet::Dna()}) {
+    for (auto offset : {oasis::seq::FastqOffset::kSanger,
+                        oasis::seq::FastqOffset::kIllumina}) {
+      std::istringstream in(input);
+      auto records = oasis::seq::ReadFastq(in, *alphabet, offset);
+      if (records.ok()) {
+        // Round-trip: whatever parsed must re-serialize cleanly.
+        std::ostringstream out;
+        auto written =
+            oasis::seq::WriteFastq(out, *alphabet, *records, offset);
+        if (!written.ok()) __builtin_trap();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  DriveFastq(data, size);
+  return 0;
+}
+
+#ifndef OASIS_LIBFUZZER
+#include "fuzz_standalone.h"
+int main(int argc, char** argv) {
+  return oasis::fuzz::ReplayMain(argc, argv, LLVMFuzzerTestOneInput);
+}
+#endif

@@ -1,0 +1,41 @@
+// Standalone replay driver shared by the fuzz harnesses when built
+// without libFuzzer (any toolchain, notably gcc): each command-line
+// argument is a corpus file, fed whole to the harness entry point. This
+// keeps the harness logic itself exercised by plain `ctest` on every
+// toolchain, while the clang fuzz-smoke CI leg links the same sources
+// against libFuzzer for real coverage-guided runs.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace oasis {
+namespace fuzz {
+
+/// Replays every file in argv through `one_input`; returns a process
+/// exit code (non-zero when a file cannot be read — a missing corpus is
+/// a test-setup bug, not a pass).
+inline int ReplayMain(int argc, char** argv,
+                      int (*one_input)(const uint8_t*, size_t)) {
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read corpus file '%s'\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    one_input(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+    std::fprintf(stderr, "replayed %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace fuzz
+}  // namespace oasis
